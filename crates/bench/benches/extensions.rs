@@ -1,0 +1,140 @@
+//! Benches for the future-work extensions: poisoning defence arms, robust
+//! aggregation rules, the FedAsync driver, and adaptive difficulty retarget.
+
+use blockfed_bench::{decentralized_config, prepare, run_retarget, ModelSel, Profile};
+use blockfed_core::Decentralized;
+use blockfed_fl::robust::{clipped_mean, coordinate_median, krum, multi_krum, trimmed_mean};
+use blockfed_fl::{
+    Adversary, AsyncFl, AsyncFlConfig, Attack, AsyncMerger, ClientId, ModelUpdate,
+    StalenessDecay, WaitPolicy,
+};
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Six 62 K-parameter updates (the paper's SimpleNN size), one an outlier.
+fn cohort(dim: usize) -> Vec<ModelUpdate> {
+    let mut rng = StdRng::seed_from_u64(3);
+    let mut updates: Vec<ModelUpdate> = (0..5)
+        .map(|i| {
+            let params: Vec<f32> = (0..dim).map(|_| rng.gen_range(-0.1..0.1)).collect();
+            ModelUpdate::new(ClientId(i), 1, params, 100)
+        })
+        .collect();
+    let boosted: Vec<f32> = (0..dim).map(|_| rng.gen_range(-5.0..5.0)).collect();
+    updates.push(ModelUpdate::new(ClientId(5), 1, boosted, 100));
+    updates
+}
+
+fn bench_robust_rules(c: &mut Criterion) {
+    let dim = 62_000;
+    let updates = cohort(dim);
+    let refs: Vec<&ModelUpdate> = updates.iter().collect();
+    let mut g = c.benchmark_group("robust");
+    g.sample_size(20);
+    g.bench_function("krum_6x62k", |b| b.iter(|| krum(&refs, 1).unwrap()));
+    g.bench_function("multi_krum_6x62k", |b| b.iter(|| multi_krum(&refs, 1, 3).unwrap()));
+    g.bench_function("trimmed_mean_6x62k", |b| b.iter(|| trimmed_mean(&refs, 1).unwrap()));
+    g.bench_function("median_6x62k", |b| b.iter(|| coordinate_median(&refs).unwrap()));
+    g.bench_function("clipped_mean_6x62k", |b| b.iter(|| clipped_mean(&refs, 1.0).unwrap()));
+    g.finish();
+}
+
+fn bench_attacks(c: &mut Criterion) {
+    let dim = 62_000;
+    let base = cohort(dim).remove(0);
+    let mut rng = StdRng::seed_from_u64(9);
+    let mut g = c.benchmark_group("attack");
+    g.sample_size(20);
+    for attack in [
+        Attack::SignFlip { scale: 1.0 },
+        Attack::GaussianNoise { sigma: 0.5 },
+        Attack::Scale { factor: 50.0 },
+        Attack::NanInjection { fraction: 0.5 },
+    ] {
+        g.bench_function(format!("apply_{attack}_62k"), |b| {
+            b.iter_batched(
+                || base.clone(),
+                |mut u| attack.apply(&mut u, &mut rng),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+fn bench_async_merge(c: &mut Criterion) {
+    let dim = 62_000;
+    let update: Vec<f32> = (0..dim).map(|i| (i % 17) as f32 / 17.0).collect();
+    let mut g = c.benchmark_group("staleness");
+    g.sample_size(20);
+    g.bench_function("merge_62k_poly_decay", |b| {
+        let mut merger =
+            AsyncMerger::new(vec![0.0; dim], 0.6, StalenessDecay::Polynomial { a: 0.5 });
+        let mut s = 0u32;
+        b.iter(|| {
+            s = (s + 1) % 8;
+            merger.merge(&update, s).unwrap()
+        })
+    });
+    g.finish();
+}
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let data = prepare(Profile::tiny());
+    let mut g = c.benchmark_group("extensions");
+    g.sample_size(10);
+
+    g.bench_function("poisoning_arm_defended_scale50", |b| {
+        b.iter(|| {
+            let mut config = decentralized_config(&data, ModelSel::Simple, WaitPolicy::All, None);
+            config.adversaries =
+                vec![Adversary::new(ClientId(0), Attack::Scale { factor: 50.0 })];
+            config.fitness_threshold = Some(0.3);
+            config.norm_z_threshold = Some(1.2);
+            let driver = Decentralized::new(
+                config,
+                data.shards(ModelSel::Simple),
+                data.peer_tests(ModelSel::Simple),
+            );
+            let mut factory = data.model_factory(ModelSel::Simple);
+            driver.run(&mut *factory)
+        })
+    });
+
+    g.bench_function("asyncfl_12_merges", |b| {
+        b.iter(|| {
+            let config = AsyncFlConfig {
+                total_merges: 12,
+                local_epochs: 1,
+                batch_size: 16,
+                lr: 0.1,
+                momentum: 0.9,
+                alpha: 0.6,
+                decay: StalenessDecay::Polynomial { a: 0.5 },
+                client_speeds: vec![8.0, 4.0, 1.0],
+                eval_every: 12,
+            };
+            let driver = AsyncFl::new(
+                config,
+                data.shards(ModelSel::Simple),
+                data.test(ModelSel::Simple),
+            );
+            let mut factory = data.model_factory(ModelSel::Simple);
+            let mut rng = StdRng::seed_from_u64(5);
+            driver.run(&mut *factory, &mut rng)
+        })
+    });
+
+    g.bench_function("retarget_shock_300_blocks", |b| b.iter(|| run_retarget(42)));
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_robust_rules,
+    bench_attacks,
+    bench_async_merge,
+    bench_end_to_end
+);
+criterion_main!(benches);

@@ -1,0 +1,174 @@
+//! Microbenchmarks of the substrates: the kernels every experiment is built on.
+
+use blockfed_chain::{pow, GenesisSpec, Transaction};
+use blockfed_crypto::{merkle_root, sha256::sha256, KeyPair, U256};
+use blockfed_fl::{fed_avg, ClientId, ModelUpdate};
+use blockfed_net::{LinkSpec, Network, NodeId, Topology};
+use blockfed_tensor::{matmul, Tensor};
+use blockfed_vm::{asm::assemble, BlockfedRuntime};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn bench_crypto(c: &mut Criterion) {
+    let mut g = c.benchmark_group("crypto");
+    let data_1k = vec![0xA5u8; 1024];
+    g.bench_function("sha256_1KiB", |b| b.iter(|| sha256(black_box(&data_1k))));
+
+    let leaves: Vec<_> = (0..256).map(|i: u32| sha256(&i.to_le_bytes())).collect();
+    g.bench_function("merkle_root_256", |b| b.iter(|| merkle_root(black_box(&leaves))));
+
+    let a = U256::from_hex("deadbeefdeadbeefdeadbeefdeadbeefdeadbeefdeadbeefdeadbeefdeadbeef")
+        .unwrap();
+    let m = blockfed_crypto::secp::group_order();
+    g.bench_function("u256_mul_mod", |b| b.iter(|| black_box(a).mul_mod(black_box(a), m)));
+
+    let key = KeyPair::generate(&mut StdRng::seed_from_u64(1));
+    let msg = b"model update round 3";
+    g.bench_function("schnorr_sign", |b| b.iter(|| key.sign(black_box(msg))));
+    let sig = key.sign(msg);
+    g.bench_function("schnorr_verify", |b| {
+        b.iter(|| key.public().verify(black_box(msg), &sig).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_chain(c: &mut Criterion) {
+    let mut g = c.benchmark_group("chain");
+    g.bench_function("pow_mine_d64", |b| {
+        let mut nonce_start = 0u64;
+        b.iter(|| {
+            let mut header = blockfed_chain::Header {
+                parent: sha256(b"parent"),
+                number: 1,
+                timestamp_ns: 1,
+                miner: Default::default(),
+                difficulty: 64,
+                nonce: 0,
+                tx_root: Default::default(),
+                state_root: Default::default(),
+                gas_used: 0,
+                gas_limit: 1_000_000,
+            };
+            nonce_start = nonce_start.wrapping_add(1 << 20);
+            pow::mine(&mut header, nonce_start, u64::MAX).unwrap()
+        })
+    });
+
+    let key = KeyPair::generate(&mut StdRng::seed_from_u64(2));
+    let spec = GenesisSpec::with_accounts(&[key.address()], u64::MAX / 4).with_difficulty(16);
+    g.bench_function("block_build_and_import_10tx", |b| {
+        b.iter(|| {
+            let mut chain = blockfed_chain::Blockchain::with_seal_policy(
+                &spec,
+                blockfed_chain::SealPolicy::Simulated,
+            );
+            let txs: Vec<Transaction> = (0..10)
+                .map(|n| Transaction::transfer(key.address(), key.address(), 1, n).signed(&key))
+                .collect();
+            let block = chain.build_candidate(
+                key.address(),
+                txs,
+                1_000,
+                &mut blockfed_chain::NullRuntime,
+            );
+            chain.import(block, &mut blockfed_chain::NullRuntime).unwrap()
+        })
+    });
+    g.finish();
+}
+
+fn bench_vm(c: &mut Criterion) {
+    let mut g = c.benchmark_group("vm");
+    // Sum 1..=100 in a MiniVM loop.
+    let code = assemble(
+        "PUSH8 100\nPUSH8 1\nSSTORE\nloop:\nJUMPDEST\nPUSH8 1\nSLOAD\nISZERO\nPUSH8 @exit\nJUMPI\nPUSH8 0\nSLOAD\nPUSH8 1\nSLOAD\nADD\nPUSH8 0\nSSTORE\nPUSH8 1\nSLOAD\nPUSH8 1\nSUB\nPUSH8 1\nSSTORE\nPUSH8 @loop\nJUMP\nexit:\nJUMPDEST\nPUSH8 0\nSLOAD\nPUSH8 1\nRETURN",
+    )
+    .unwrap();
+    g.bench_function("minivm_loop_100", |b| {
+        b.iter(|| {
+            let mut state = blockfed_chain::State::new();
+            let ctx = blockfed_chain::CallContext {
+                caller: Default::default(),
+                contract: Default::default(),
+                calldata: vec![],
+                gas_budget: 10_000_000,
+                block_number: 1,
+                timestamp_ns: 0,
+            };
+            blockfed_vm::interp::run(&ctx, black_box(&code), &mut state)
+        })
+    });
+
+    g.bench_function("registry_submit", |b| {
+        use blockfed_chain::ContractRuntime;
+        let mut rt = BlockfedRuntime::new();
+        let mut state = blockfed_chain::State::new();
+        let registry = blockfed_crypto::H160::from_bytes([0xEE; 20]);
+        rt.install_fl_registry(&mut state, registry);
+        let caller = blockfed_crypto::H160::from_bytes([1; 20]);
+        let reg = blockfed_vm::RegistryCall::Register.encode();
+        let ctx = blockfed_chain::CallContext {
+            caller,
+            contract: registry,
+            calldata: reg,
+            gas_budget: 10_000_000,
+            block_number: 1,
+            timestamp_ns: 0,
+        };
+        rt.execute(&ctx, b"native", &mut state);
+        let mut round = 0u32;
+        b.iter(|| {
+            round += 1;
+            let call = blockfed_vm::RegistryCall::SubmitModel {
+                round,
+                model_hash: sha256(&round.to_le_bytes()),
+                payload_bytes: 253_952,
+                sample_count: 100,
+            };
+            let ctx = blockfed_chain::CallContext {
+                caller,
+                contract: registry,
+                calldata: call.encode(),
+                gas_budget: 10_000_000,
+                block_number: 1,
+                timestamp_ns: 0,
+            };
+            rt.execute(&ctx, b"native", &mut state)
+        })
+    });
+    g.finish();
+}
+
+fn bench_ml(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ml");
+    let mut rng = StdRng::seed_from_u64(3);
+    let a = Tensor::from_vec((0..64 * 256).map(|_| rng.gen_range(-1.0..1.0)).collect(), &[64, 256]);
+    let b_m =
+        Tensor::from_vec((0..256 * 128).map(|_| rng.gen_range(-1.0..1.0)).collect(), &[256, 128]);
+    g.bench_function("matmul_64x256x128", |b| b.iter(|| matmul(black_box(&a), black_box(&b_m))));
+
+    // FedAvg over three SimpleNN-sized updates (the paper's 62 K params).
+    let updates: Vec<ModelUpdate> = (0..3)
+        .map(|i| {
+            let params: Vec<f32> = (0..61_890).map(|_| rng.gen_range(-0.5..0.5)).collect();
+            ModelUpdate::new(ClientId(i), 1, params, 500)
+        })
+        .collect();
+    let refs: Vec<&ModelUpdate> = updates.iter().collect();
+    g.bench_function("fedavg_62k_x3", |b| b.iter(|| fed_avg(black_box(&refs)).unwrap()));
+    g.finish();
+}
+
+fn bench_net(c: &mut Criterion) {
+    let mut g = c.benchmark_group("net");
+    let network = Network::new(24, Topology::FullMesh, LinkSpec::lan());
+    let mut rng = StdRng::seed_from_u64(4);
+    g.bench_function("flood_24_peers_21MB", |b| {
+        b.iter(|| network.flood(NodeId(0), 21_200_000, &mut rng))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_crypto, bench_chain, bench_vm, bench_ml, bench_net);
+criterion_main!(benches);

@@ -1,0 +1,170 @@
+//! Blocks and headers.
+
+use blockfed_crypto::sha256::Sha256;
+use blockfed_crypto::{merkle_root, H160, H256};
+use serde::{Deserialize, Serialize};
+
+use crate::tx::Transaction;
+
+/// A block header.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Header {
+    /// Hash of the parent block.
+    pub parent: H256,
+    /// Height (genesis is 0).
+    pub number: u64,
+    /// Timestamp in simulation nanoseconds.
+    pub timestamp_ns: u64,
+    /// Address of the miner that sealed the block.
+    pub miner: H160,
+    /// Proof-of-work difficulty.
+    pub difficulty: u128,
+    /// Proof-of-work nonce.
+    pub nonce: u64,
+    /// Merkle root over transaction hashes.
+    pub tx_root: H256,
+    /// State root after executing this block.
+    pub state_root: H256,
+    /// Gas consumed by the block's transactions.
+    pub gas_used: u64,
+    /// The block gas limit.
+    pub gas_limit: u64,
+}
+
+impl Header {
+    /// The header hash (the proof-of-work pre-image includes the nonce).
+    pub fn hash(&self) -> H256 {
+        let mut h = Sha256::new();
+        h.update(self.parent.as_bytes());
+        h.update(&self.number.to_le_bytes());
+        h.update(&self.timestamp_ns.to_le_bytes());
+        h.update(self.miner.as_bytes());
+        h.update(&self.difficulty.to_le_bytes());
+        h.update(&self.nonce.to_le_bytes());
+        h.update(self.tx_root.as_bytes());
+        h.update(self.state_root.as_bytes());
+        h.update(&self.gas_used.to_le_bytes());
+        h.update(&self.gas_limit.to_le_bytes());
+        h.finalize()
+    }
+}
+
+/// A full block: header plus transaction list.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Block {
+    /// The sealed header.
+    pub header: Header,
+    /// Included transactions, in execution order.
+    pub transactions: Vec<Transaction>,
+}
+
+impl Block {
+    /// The block hash (the header hash).
+    pub fn hash(&self) -> H256 {
+        self.header.hash()
+    }
+
+    /// Height shorthand.
+    pub fn number(&self) -> u64 {
+        self.header.number
+    }
+
+    /// Computes the merkle root over the transaction hashes.
+    pub fn compute_tx_root(transactions: &[Transaction]) -> H256 {
+        let leaves: Vec<H256> = transactions.iter().map(Transaction::hash).collect();
+        merkle_root(&leaves)
+    }
+
+    /// Whether the header's `tx_root` matches the transaction list.
+    pub fn tx_root_valid(&self) -> bool {
+        self.header.tx_root == Self::compute_tx_root(&self.transactions)
+    }
+
+    /// Total declared payload bytes (model artifacts) in the block.
+    pub fn total_payload_bytes(&self) -> u64 {
+        self.transactions.iter().map(|t| t.payload_bytes).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn header() -> Header {
+        Header {
+            parent: H256::zero(),
+            number: 1,
+            timestamp_ns: 13_000,
+            miner: H160::zero(),
+            difficulty: 1000,
+            nonce: 42,
+            tx_root: H256::zero(),
+            state_root: H256::zero(),
+            gas_used: 0,
+            gas_limit: 1_000_000,
+        }
+    }
+
+    #[test]
+    fn hash_covers_every_field() {
+        let base = header();
+        let mut variants = Vec::new();
+        let mut h = base.clone();
+        h.number = 2;
+        variants.push(h.hash());
+        let mut h = base.clone();
+        h.timestamp_ns = 14_000;
+        variants.push(h.hash());
+        let mut h = base.clone();
+        h.difficulty = 1001;
+        variants.push(h.hash());
+        let mut h = base.clone();
+        h.nonce = 43;
+        variants.push(h.hash());
+        let mut h = base.clone();
+        h.gas_used = 5;
+        variants.push(h.hash());
+        let mut h = base.clone();
+        h.tx_root = blockfed_crypto::sha256::sha256(b"txs");
+        variants.push(h.hash());
+        for v in &variants {
+            assert_ne!(*v, base.hash());
+        }
+        // All variants distinct from each other too.
+        for i in 0..variants.len() {
+            for j in i + 1..variants.len() {
+                assert_ne!(variants[i], variants[j]);
+            }
+        }
+    }
+
+    #[test]
+    fn tx_root_validation() {
+        let tx = Transaction::transfer(H160::zero(), H160::zero(), 1, 0);
+        let txs = vec![tx];
+        let mut h = header();
+        h.tx_root = Block::compute_tx_root(&txs);
+        let block = Block { header: h, transactions: txs };
+        assert!(block.tx_root_valid());
+        assert_eq!(block.number(), 1);
+
+        let mut tampered = block.clone();
+        tampered.transactions[0].value = 999;
+        assert!(!tampered.tx_root_valid());
+    }
+
+    #[test]
+    fn empty_block_tx_root_is_zero() {
+        assert_eq!(Block::compute_tx_root(&[]), H256::zero());
+    }
+
+    #[test]
+    fn payload_bytes_sum() {
+        let a = Transaction::transfer(H160::zero(), H160::zero(), 0, 0).with_payload_bytes(100);
+        let b = Transaction::transfer(H160::zero(), H160::zero(), 0, 1).with_payload_bytes(250);
+        let mut h = header();
+        h.tx_root = Block::compute_tx_root(&[a.clone(), b.clone()]);
+        let block = Block { header: h, transactions: vec![a, b] };
+        assert_eq!(block.total_payload_bytes(), 350);
+    }
+}

@@ -1,0 +1,665 @@
+//! The blockchain: block storage, validation, execution, total-difficulty fork
+//! choice, and candidate-block building for miners.
+
+use std::collections::HashMap;
+
+use blockfed_crypto::H256;
+
+use crate::block::{Block, Header};
+use crate::executor::{execute_block_txs, BlockEnv};
+use crate::genesis::GenesisSpec;
+use crate::pow;
+use crate::receipt::Receipt;
+use crate::runtime::ContractRuntime;
+use crate::state::State;
+use crate::tx::Transaction;
+
+/// How strictly imported seals are checked.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SealPolicy {
+    /// Require `hash(header) ≤ target` (real proof-of-work).
+    Full,
+    /// Trust the seal; the mining race was decided by the discrete-event
+    /// simulation upstream (statistically equivalent, documented in DESIGN.md).
+    Simulated,
+}
+
+/// Why a block was rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ImportError {
+    /// The parent block is unknown (orphan).
+    UnknownParent(H256),
+    /// Height is not parent height + 1.
+    BadNumber {
+        /// Expected height.
+        expected: u64,
+        /// Height in the header.
+        got: u64,
+    },
+    /// Timestamp is not after the parent's.
+    BadTimestamp,
+    /// The proof-of-work seal does not meet the difficulty target.
+    BadSeal,
+    /// The header's transaction root does not match the body.
+    BadTxRoot,
+    /// Re-execution produced a different state root.
+    BadStateRoot {
+        /// Root the header declared.
+        declared: H256,
+        /// Root re-execution produced.
+        computed: H256,
+    },
+    /// Re-execution produced different gas usage.
+    BadGasUsed {
+        /// Gas the header declared.
+        declared: u64,
+        /// Gas re-execution measured.
+        computed: u64,
+    },
+}
+
+impl std::fmt::Display for ImportError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ImportError::UnknownParent(h) => write!(f, "unknown parent {h}"),
+            ImportError::BadNumber { expected, got } => {
+                write!(f, "bad height: expected {expected}, got {got}")
+            }
+            ImportError::BadTimestamp => write!(f, "timestamp not after parent"),
+            ImportError::BadSeal => write!(f, "proof-of-work seal invalid"),
+            ImportError::BadTxRoot => write!(f, "transaction root mismatch"),
+            ImportError::BadStateRoot { .. } => write!(f, "state root mismatch"),
+            ImportError::BadGasUsed { declared, computed } => {
+                write!(f, "gas used mismatch: declared {declared}, computed {computed}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ImportError {}
+
+/// What importing a block did to the canonical chain.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ImportOutcome {
+    /// The block extended the canonical head.
+    Extended,
+    /// The block was valid but landed on a side chain.
+    SideChain,
+    /// The block triggered a reorganization to a heavier fork.
+    Reorged {
+        /// The head before the reorg.
+        old_head: H256,
+    },
+    /// The block was already known; nothing changed.
+    AlreadyKnown,
+}
+
+/// An in-memory blockchain with full per-block state tracking.
+pub struct Blockchain {
+    blocks: HashMap<H256, Block>,
+    states: HashMap<H256, State>,
+    receipts: HashMap<H256, Vec<Receipt>>,
+    total_difficulty: HashMap<H256, u128>,
+    head: H256,
+    genesis: H256,
+    seal_policy: SealPolicy,
+    retarget_rule: crate::retarget::RetargetRule,
+}
+
+impl Blockchain {
+    /// Creates a chain from a genesis spec with full seal checking.
+    pub fn new(spec: &GenesisSpec) -> Self {
+        Self::with_seal_policy(spec, SealPolicy::Full)
+    }
+
+    /// Creates a chain with an explicit seal policy.
+    pub fn with_seal_policy(spec: &GenesisSpec, seal_policy: SealPolicy) -> Self {
+        let (genesis_block, genesis_state) = spec.build();
+        let genesis_hash = genesis_block.hash();
+        let mut blocks = HashMap::new();
+        let mut states = HashMap::new();
+        let mut total_difficulty = HashMap::new();
+        blocks.insert(genesis_hash, genesis_block);
+        states.insert(genesis_hash, genesis_state);
+        total_difficulty.insert(genesis_hash, spec.difficulty);
+        Blockchain {
+            blocks,
+            states,
+            receipts: HashMap::new(),
+            total_difficulty,
+            head: genesis_hash,
+            genesis: genesis_hash,
+            seal_policy,
+            retarget_rule: crate::retarget::RetargetRule::Homestead,
+        }
+    }
+
+    /// The difficulty-retarget rule used by [`Blockchain::build_candidate`]
+    /// (Homestead by default).
+    pub fn retarget_rule(&self) -> crate::retarget::RetargetRule {
+        self.retarget_rule
+    }
+
+    /// Switches the difficulty-retarget rule used when building candidates
+    /// (builder style). Existing blocks are untouched: the rule is a pure
+    /// function of chain history, so miners can change policy at any height.
+    #[must_use]
+    pub fn with_retarget_rule(mut self, rule: crate::retarget::RetargetRule) -> Self {
+        self.retarget_rule = rule;
+        self
+    }
+
+    /// Block intervals (nanoseconds, newest first) of the chain ending at
+    /// `from`, up to `max` entries, stopping at genesis.
+    pub fn recent_intervals(&self, from: &H256, max: usize) -> Vec<u64> {
+        let mut out = Vec::with_capacity(max);
+        let mut cursor = *from;
+        while out.len() < max {
+            let Some(block) = self.blocks.get(&cursor) else { break };
+            if cursor == self.genesis {
+                break;
+            }
+            let parent = &self.blocks[&block.header.parent];
+            out.push(block.header.timestamp_ns.saturating_sub(parent.header.timestamp_ns));
+            cursor = block.header.parent;
+        }
+        out
+    }
+
+    /// The canonical head hash.
+    pub fn head(&self) -> H256 {
+        self.head
+    }
+
+    /// The canonical head block.
+    pub fn head_block(&self) -> &Block {
+        &self.blocks[&self.head]
+    }
+
+    /// The genesis hash.
+    pub fn genesis(&self) -> H256 {
+        self.genesis
+    }
+
+    /// Canonical height.
+    pub fn height(&self) -> u64 {
+        self.head_block().number()
+    }
+
+    /// The state at the canonical head.
+    pub fn state(&self) -> &State {
+        &self.states[&self.head]
+    }
+
+    /// The state after a given block, if known.
+    pub fn state_at(&self, hash: &H256) -> Option<&State> {
+        self.states.get(hash)
+    }
+
+    /// A block by hash.
+    pub fn block(&self, hash: &H256) -> Option<&Block> {
+        self.blocks.get(hash)
+    }
+
+    /// Whether a block is known.
+    pub fn contains(&self, hash: &H256) -> bool {
+        self.blocks.contains_key(hash)
+    }
+
+    /// Receipts of a block's transactions, if known.
+    pub fn receipts(&self, hash: &H256) -> Option<&[Receipt]> {
+        self.receipts.get(hash).map(Vec::as_slice)
+    }
+
+    /// Total difficulty of a block.
+    pub fn total_difficulty_of(&self, hash: &H256) -> Option<u128> {
+        self.total_difficulty.get(hash).copied()
+    }
+
+    /// Number of blocks stored (including side chains and genesis).
+    pub fn block_count(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Hashes of the canonical chain from genesis to head.
+    pub fn canonical_chain(&self) -> Vec<H256> {
+        let mut out = Vec::with_capacity(self.height() as usize + 1);
+        let mut cursor = self.head;
+        loop {
+            out.push(cursor);
+            if cursor == self.genesis {
+                break;
+            }
+            cursor = self.blocks[&cursor].header.parent;
+        }
+        out.reverse();
+        out
+    }
+
+    /// The canonical block at a height, if within range.
+    pub fn block_by_number(&self, number: u64) -> Option<&Block> {
+        let chain = self.canonical_chain();
+        chain.get(number as usize).map(|h| &self.blocks[h])
+    }
+
+    /// Validates and imports a block, executing its transactions.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ImportError`] describing the first validation failure; the
+    /// chain is unchanged on error.
+    pub fn import(
+        &mut self,
+        block: Block,
+        runtime: &mut dyn ContractRuntime,
+    ) -> Result<ImportOutcome, ImportError> {
+        let hash = block.hash();
+        if self.blocks.contains_key(&hash) {
+            return Ok(ImportOutcome::AlreadyKnown);
+        }
+        let parent = self
+            .blocks
+            .get(&block.header.parent)
+            .ok_or(ImportError::UnknownParent(block.header.parent))?;
+        if block.header.number != parent.header.number + 1 {
+            return Err(ImportError::BadNumber {
+                expected: parent.header.number + 1,
+                got: block.header.number,
+            });
+        }
+        if block.header.timestamp_ns <= parent.header.timestamp_ns {
+            return Err(ImportError::BadTimestamp);
+        }
+        if self.seal_policy == SealPolicy::Full && !pow::seal_valid(&block.header) {
+            return Err(ImportError::BadSeal);
+        }
+        if !block.tx_root_valid() {
+            return Err(ImportError::BadTxRoot);
+        }
+
+        // Re-execute on the parent state.
+        let parent_state = &self.states[&block.header.parent];
+        let env = BlockEnv {
+            number: block.header.number,
+            timestamp_ns: block.header.timestamp_ns,
+            miner: block.header.miner,
+            gas_limit: block.header.gas_limit,
+        };
+        let result = execute_block_txs(parent_state, &block.transactions, &env, runtime);
+        let computed_root = result.state.root();
+        if computed_root != block.header.state_root {
+            return Err(ImportError::BadStateRoot {
+                declared: block.header.state_root,
+                computed: computed_root,
+            });
+        }
+        if result.gas_used != block.header.gas_used {
+            return Err(ImportError::BadGasUsed {
+                declared: block.header.gas_used,
+                computed: result.gas_used,
+            });
+        }
+
+        let parent_td = self.total_difficulty[&block.header.parent];
+        let td = parent_td.saturating_add(block.header.difficulty);
+        self.total_difficulty.insert(hash, td);
+        self.states.insert(hash, result.state);
+        self.receipts.insert(hash, result.receipts);
+        let parent_hash = block.header.parent;
+        self.blocks.insert(hash, block);
+
+        // Fork choice: heaviest total difficulty; ties keep the current head.
+        let head_td = self.total_difficulty[&self.head];
+        if td > head_td {
+            let old_head = self.head;
+            self.head = hash;
+            if parent_hash == old_head {
+                Ok(ImportOutcome::Extended)
+            } else {
+                Ok(ImportOutcome::Reorged { old_head })
+            }
+        } else {
+            Ok(ImportOutcome::SideChain)
+        }
+    }
+
+    /// Builds an unsealed candidate block on the current head: executes `txs`,
+    /// fills in roots and gas, and computes the retargeted difficulty. The
+    /// caller still has to seal it (literal [`pow::mine`] or the simulated
+    /// race) before importing.
+    pub fn build_candidate(
+        &self,
+        miner: blockfed_crypto::H160,
+        txs: Vec<Transaction>,
+        timestamp_ns: u64,
+        runtime: &mut dyn ContractRuntime,
+    ) -> Block {
+        let parent = self.head_block();
+        let interval = timestamp_ns.saturating_sub(parent.header.timestamp_ns);
+        let mut intervals = vec![interval];
+        intervals.extend(self.recent_intervals(&self.head, 15));
+        let difficulty = self.retarget_rule.from_history(
+            parent.header.difficulty,
+            parent.header.number + 1,
+            &intervals,
+            pow::TARGET_BLOCK_TIME_NS,
+        );
+        let env = BlockEnv {
+            number: parent.header.number + 1,
+            timestamp_ns,
+            miner,
+            gas_limit: parent.header.gas_limit,
+        };
+        let result = execute_block_txs(&self.states[&self.head], &txs, &env, runtime);
+        let header = Header {
+            parent: self.head,
+            number: parent.header.number + 1,
+            timestamp_ns,
+            miner,
+            difficulty,
+            nonce: 0,
+            tx_root: Block::compute_tx_root(&txs),
+            state_root: result.state.root(),
+            gas_used: result.gas_used,
+            gas_limit: parent.header.gas_limit,
+        };
+        Block { header, transactions: txs }
+    }
+}
+
+impl std::fmt::Debug for Blockchain {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Blockchain")
+            .field("height", &self.height())
+            .field("head", &self.head)
+            .field("blocks", &self.blocks.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runtime::NullRuntime;
+    use blockfed_crypto::{H160, KeyPair};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn key(seed: u64) -> KeyPair {
+        KeyPair::generate(&mut StdRng::seed_from_u64(seed))
+    }
+
+    fn low_difficulty_chain(accounts: &[H160]) -> Blockchain {
+        let spec = GenesisSpec::with_accounts(accounts, 1_000_000_000).with_difficulty(16);
+        Blockchain::new(&spec)
+    }
+
+    fn sealed_block(chain: &Blockchain, miner: H160, txs: Vec<Transaction>, ts: u64) -> Block {
+        let mut block = chain.build_candidate(miner, txs, ts, &mut NullRuntime);
+        pow::mine(&mut block.header, 0, 10_000_000).expect("low difficulty seals fast");
+        block
+    }
+
+    #[test]
+    fn genesis_is_the_initial_head() {
+        let chain = low_difficulty_chain(&[]);
+        assert_eq!(chain.height(), 0);
+        assert_eq!(chain.head(), chain.genesis());
+        assert_eq!(chain.canonical_chain().len(), 1);
+        assert_eq!(chain.block_count(), 1);
+    }
+
+    #[test]
+    fn import_extends_head_and_executes() {
+        let k = key(1);
+        let mut chain = low_difficulty_chain(&[k.address()]);
+        let recipient = key(2).address();
+        let tx = Transaction::transfer(k.address(), recipient, 77, 0).signed(&k);
+        let block = sealed_block(&chain, k.address(), vec![tx], 13_000_000_000);
+        let outcome = chain.import(block, &mut NullRuntime).unwrap();
+        assert_eq!(outcome, ImportOutcome::Extended);
+        assert_eq!(chain.height(), 1);
+        assert_eq!(chain.state().balance(&recipient), 77);
+        let receipts = chain.receipts(&chain.head()).unwrap();
+        assert_eq!(receipts.len(), 1);
+        assert!(receipts[0].is_success());
+    }
+
+    #[test]
+    fn duplicate_import_is_noop() {
+        let k = key(3);
+        let mut chain = low_difficulty_chain(&[k.address()]);
+        let block = sealed_block(&chain, k.address(), vec![], 1_000);
+        chain.import(block.clone(), &mut NullRuntime).unwrap();
+        assert_eq!(chain.import(block, &mut NullRuntime), Ok(ImportOutcome::AlreadyKnown));
+    }
+
+    #[test]
+    fn orphans_are_rejected() {
+        let k = key(4);
+        let mut chain = low_difficulty_chain(&[k.address()]);
+        let mut block = sealed_block(&chain, k.address(), vec![], 1_000);
+        block.header.parent = blockfed_crypto::sha256::sha256(b"nowhere");
+        pow::mine(&mut block.header, 0, 10_000_000).unwrap();
+        assert!(matches!(
+            chain.import(block, &mut NullRuntime),
+            Err(ImportError::UnknownParent(_))
+        ));
+    }
+
+    #[test]
+    fn bad_seal_rejected_under_full_policy() {
+        let k = key(5);
+        let spec = GenesisSpec::with_accounts(&[k.address()], 1_000).with_difficulty(u128::MAX / 2);
+        let mut chain = Blockchain::new(&spec);
+        // Candidate without real mining: astronomically unlikely to seal.
+        let block = chain.build_candidate(k.address(), vec![], 1_000, &mut NullRuntime);
+        assert_eq!(chain.import(block, &mut NullRuntime), Err(ImportError::BadSeal));
+    }
+
+    #[test]
+    fn simulated_policy_skips_seal_check() {
+        let k = key(6);
+        let spec = GenesisSpec::with_accounts(&[k.address()], 1_000).with_difficulty(u128::MAX / 2);
+        let mut chain = Blockchain::with_seal_policy(&spec, SealPolicy::Simulated);
+        let block = chain.build_candidate(k.address(), vec![], 1_000, &mut NullRuntime);
+        assert_eq!(chain.import(block, &mut NullRuntime), Ok(ImportOutcome::Extended));
+    }
+
+    #[test]
+    fn tampered_state_root_rejected() {
+        let k = key(7);
+        let mut chain = low_difficulty_chain(&[k.address()]);
+        let mut block = sealed_block(&chain, k.address(), vec![], 1_000);
+        block.header.state_root = blockfed_crypto::sha256::sha256(b"fake");
+        pow::mine(&mut block.header, 0, 10_000_000).unwrap();
+        assert!(matches!(
+            chain.import(block, &mut NullRuntime),
+            Err(ImportError::BadStateRoot { .. })
+        ));
+    }
+
+    #[test]
+    fn tampered_tx_root_rejected() {
+        let k = key(8);
+        let mut chain = low_difficulty_chain(&[k.address()]);
+        let tx = Transaction::transfer(k.address(), k.address(), 1, 0).signed(&k);
+        let mut block = sealed_block(&chain, k.address(), vec![tx], 1_000);
+        block.transactions.clear();
+        pow::mine(&mut block.header, 0, 10_000_000).unwrap();
+        assert_eq!(chain.import(block, &mut NullRuntime), Err(ImportError::BadTxRoot));
+    }
+
+    #[test]
+    fn bad_number_and_timestamp_rejected() {
+        let k = key(9);
+        let mut chain = low_difficulty_chain(&[k.address()]);
+        let mut wrong_number = sealed_block(&chain, k.address(), vec![], 1_000);
+        wrong_number.header.number = 7;
+        pow::mine(&mut wrong_number.header, 0, 10_000_000).unwrap();
+        assert!(matches!(
+            chain.import(wrong_number, &mut NullRuntime),
+            Err(ImportError::BadNumber { expected: 1, got: 7 })
+        ));
+
+        let mut stale_ts = sealed_block(&chain, k.address(), vec![], 1_000);
+        stale_ts.header.timestamp_ns = 0; // genesis is 0; must be strictly greater
+        pow::mine(&mut stale_ts.header, 0, 10_000_000).unwrap();
+        assert_eq!(chain.import(stale_ts, &mut NullRuntime), Err(ImportError::BadTimestamp));
+    }
+
+    #[test]
+    fn fork_choice_prefers_heavier_chain_and_reorgs() {
+        let k = key(10);
+        let mut chain = low_difficulty_chain(&[k.address()]);
+        let genesis = chain.head();
+
+        // Block A extends genesis; becomes head.
+        let block_a = sealed_block(&chain, k.address(), vec![], 1_000);
+        let a_hash = block_a.hash();
+        chain.import(block_a, &mut NullRuntime).unwrap();
+        assert_eq!(chain.head(), a_hash);
+
+        // Competing block B also on genesis: side chain (equal TD keeps head).
+        let mut block_b = Block {
+            header: Header {
+                parent: genesis,
+                number: 1,
+                timestamp_ns: 2_000,
+                miner: k.address(),
+                difficulty: chain.block(&a_hash).unwrap().header.difficulty,
+                nonce: 0,
+                tx_root: H256::zero(),
+                state_root: chain.state_at(&genesis).unwrap().root(),
+                gas_used: 0,
+                gas_limit: chain.head_block().header.gas_limit,
+            },
+            transactions: vec![],
+        };
+        pow::mine(&mut block_b.header, 0, 10_000_000).unwrap();
+        let b_hash = block_b.hash();
+        assert_eq!(chain.import(block_b, &mut NullRuntime), Ok(ImportOutcome::SideChain));
+        assert_eq!(chain.head(), a_hash);
+
+        // Extend B: the B-branch becomes heavier and triggers a reorg.
+        let parent_b = chain.block(&b_hash).unwrap().clone();
+        let mut block_c = Block {
+            header: Header {
+                parent: b_hash,
+                number: 2,
+                timestamp_ns: 3_000,
+                miner: k.address(),
+                difficulty: pow::next_difficulty(parent_b.header.difficulty, 1_000),
+                nonce: 0,
+                tx_root: H256::zero(),
+                state_root: chain.state_at(&b_hash).unwrap().root(),
+                gas_used: 0,
+                gas_limit: parent_b.header.gas_limit,
+            },
+            transactions: vec![],
+        };
+        pow::mine(&mut block_c.header, 0, 10_000_000).unwrap();
+        let outcome = chain.import(block_c, &mut NullRuntime).unwrap();
+        assert_eq!(outcome, ImportOutcome::Reorged { old_head: a_hash });
+        assert_eq!(chain.height(), 2);
+        let canon = chain.canonical_chain();
+        assert!(canon.contains(&b_hash));
+        assert!(!canon.contains(&a_hash));
+    }
+
+    #[test]
+    fn block_by_number_walks_canonical_chain() {
+        let k = key(11);
+        let mut chain = low_difficulty_chain(&[k.address()]);
+        for i in 1..=3u64 {
+            let b = sealed_block(&chain, k.address(), vec![], i * 1_000);
+            chain.import(b, &mut NullRuntime).unwrap();
+        }
+        assert_eq!(chain.block_by_number(0).unwrap().number(), 0);
+        assert_eq!(chain.block_by_number(2).unwrap().number(), 2);
+        assert!(chain.block_by_number(9).is_none());
+    }
+
+    #[test]
+    fn difficulty_retargets_along_the_chain() {
+        let k = key(12);
+        let mut chain = low_difficulty_chain(&[k.address()]);
+        // Fast blocks (1 ms apart) push difficulty up from 16.
+        let mut last_difficulty = 16u128;
+        for i in 1..=5u64 {
+            let b = sealed_block(&chain, k.address(), vec![], i * 1_000_000);
+            assert!(b.header.difficulty >= last_difficulty);
+            last_difficulty = b.header.difficulty;
+            chain.import(b, &mut NullRuntime).unwrap();
+        }
+    }
+
+    #[test]
+    fn recent_intervals_walks_newest_first_and_stops_at_genesis() {
+        let k = key(30);
+        let mut chain = low_difficulty_chain(&[k.address()]);
+        // Genesis at t=0; blocks at 10, 25, 45 -> intervals 10, 15, 20 (ns).
+        for ts in [10u64, 25, 45] {
+            let b = sealed_block(&chain, k.address(), vec![], ts);
+            chain.import(b, &mut NullRuntime).unwrap();
+        }
+        let head = chain.head();
+        assert_eq!(chain.recent_intervals(&head, 10), vec![20, 15, 10]);
+        assert_eq!(chain.recent_intervals(&head, 2), vec![20, 15]);
+        assert!(chain.recent_intervals(&chain.genesis(), 10).is_empty());
+    }
+
+    #[test]
+    fn retarget_rule_is_homestead_by_default_and_switchable() {
+        let k = key(31);
+        let chain = low_difficulty_chain(&[k.address()]);
+        assert_eq!(chain.retarget_rule(), crate::retarget::RetargetRule::Homestead);
+        let spec = GenesisSpec::with_accounts(&[k.address()], 1_000_000_000).with_difficulty(16);
+        let chain = Blockchain::new(&spec)
+            .with_retarget_rule(crate::retarget::RetargetRule::MovingAverage { window: 4 });
+        assert_eq!(
+            chain.retarget_rule(),
+            crate::retarget::RetargetRule::MovingAverage { window: 4 }
+        );
+    }
+
+    #[test]
+    fn moving_average_chain_retargets_at_epoch_boundaries() {
+        let k = key(32);
+        let spec =
+            GenesisSpec::with_accounts(&[k.address()], 1_000_000_000).with_difficulty(100_000);
+        let mut chain = Blockchain::with_seal_policy(&spec, SealPolicy::Simulated)
+            .with_retarget_rule(crate::retarget::RetargetRule::MovingAverage { window: 4 });
+        // Blocks arriving far faster than the 13 s target.
+        let step = pow::TARGET_BLOCK_TIME_NS / 4;
+        let mut difficulties = Vec::new();
+        for i in 1..=8u64 {
+            let b = chain.build_candidate(k.address(), vec![], i * step, &mut NullRuntime);
+            difficulties.push(b.header.difficulty);
+            chain.import(b, &mut NullRuntime).unwrap();
+        }
+        // Blocks 1-3 inherit genesis difficulty; block 4 (epoch boundary)
+        // jumps; 5-7 inherit; block 8 jumps again.
+        assert_eq!(difficulties[0], 100_000);
+        assert_eq!(difficulties[1], 100_000);
+        assert_eq!(difficulties[2], 100_000);
+        assert!(difficulties[3] > 150_000, "no epoch retarget: {difficulties:?}");
+        assert_eq!(difficulties[4], difficulties[3]);
+        assert!(difficulties[7] > difficulties[3], "second epoch flat: {difficulties:?}");
+    }
+
+    #[test]
+    fn homestead_candidate_difficulty_matches_pow_helper() {
+        let k = key(33);
+        let mut chain = low_difficulty_chain(&[k.address()]);
+        let b1 = sealed_block(&chain, k.address(), vec![], 1_000);
+        chain.import(b1, &mut NullRuntime).unwrap();
+        let parent = chain.head_block().header.clone();
+        let ts = parent.timestamp_ns + 5_000_000_000;
+        let candidate = chain.build_candidate(k.address(), vec![], ts, &mut NullRuntime);
+        assert_eq!(
+            candidate.header.difficulty,
+            pow::next_difficulty(parent.difficulty, ts - parent.timestamp_ns)
+        );
+    }
+}

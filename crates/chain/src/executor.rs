@@ -1,0 +1,310 @@
+//! Transaction and block execution.
+
+use blockfed_crypto::H160;
+
+use crate::gas::intrinsic_gas;
+use crate::receipt::{ExecStatus, Receipt};
+use crate::runtime::{CallContext, ContractRuntime};
+use crate::state::State;
+use crate::tx::{contract_address, Transaction};
+
+/// Block-level environment for execution.
+#[derive(Debug, Clone, Copy)]
+pub struct BlockEnv {
+    /// Height of the block being executed.
+    pub number: u64,
+    /// Block timestamp in simulation nanoseconds.
+    pub timestamp_ns: u64,
+    /// Address receiving transaction fees.
+    pub miner: H160,
+    /// Block gas limit.
+    pub gas_limit: u64,
+}
+
+/// Result of executing a full transaction list.
+#[derive(Debug, Clone)]
+pub struct ExecutionResult {
+    /// State after all transactions.
+    pub state: State,
+    /// One receipt per transaction, in order.
+    pub receipts: Vec<Receipt>,
+    /// Total gas consumed by non-invalid transactions.
+    pub gas_used: u64,
+}
+
+/// Executes one transaction against `state`, returning its receipt.
+///
+/// Invalid transactions (bad signature, wrong nonce, unaffordable cost,
+/// intrinsic gas above the limit) leave the state untouched except for nothing
+/// — they produce an [`ExecStatus::Invalid`] receipt with zero gas.
+pub fn execute_tx(
+    state: &mut State,
+    tx: &Transaction,
+    env: &BlockEnv,
+    runtime: &mut dyn ContractRuntime,
+) -> Receipt {
+    let tx_hash = tx.hash();
+    let invalid = |_reason: &str| Receipt {
+        tx_hash,
+        status: ExecStatus::Invalid,
+        gas_used: 0,
+        output: Vec::new(),
+        logs: Vec::new(),
+    };
+
+    if tx.verify_signature().is_err() {
+        return invalid("signature");
+    }
+    let intrinsic = intrinsic_gas(tx);
+    if intrinsic > tx.gas_limit {
+        return invalid("intrinsic gas exceeds limit");
+    }
+    // Affordability: worst-case gas plus transferred value.
+    let max_cost = tx.gas_limit.saturating_mul(tx.gas_price).saturating_add(tx.value);
+    if state.balance(&tx.from) < max_cost {
+        return invalid("unaffordable");
+    }
+    if state.consume_nonce(tx.from, tx.nonce).is_err() {
+        return invalid("nonce");
+    }
+
+    let mut gas_used = intrinsic;
+    let mut output = Vec::new();
+    let mut logs = Vec::new();
+    let mut status = ExecStatus::Success;
+
+    match &tx.to {
+        None => {
+            // Deployment: calldata becomes the contract code.
+            let addr = contract_address(tx.from, tx.nonce);
+            state.set_code(addr, tx.data.clone());
+            if tx.value > 0 {
+                state
+                    .transfer(tx.from, addr, tx.value)
+                    .expect("affordability pre-checked");
+            }
+            output = addr.as_bytes().to_vec();
+        }
+        Some(to) => {
+            let code = state.code(to);
+            // Snapshot covers the value transfer and all contract effects but
+            // not the nonce bump: a reverted call still burns the nonce.
+            let snapshot = if code.is_empty() { None } else { Some(state.clone()) };
+            if tx.value > 0 {
+                state.transfer(tx.from, *to, tx.value).expect("affordability pre-checked");
+            }
+            if !code.is_empty() {
+                let ctx = CallContext {
+                    caller: tx.from,
+                    contract: *to,
+                    calldata: tx.data.clone(),
+                    gas_budget: tx.gas_limit - intrinsic,
+                    block_number: env.number,
+                    timestamp_ns: env.timestamp_ns,
+                };
+                let outcome = runtime.execute(&ctx, &code, state);
+                gas_used = gas_used.saturating_add(outcome.gas_used).min(tx.gas_limit);
+                output = outcome.output;
+                if outcome.success {
+                    logs = outcome.logs;
+                } else {
+                    *state = snapshot.expect("snapshot exists for contract calls");
+                    status = ExecStatus::Reverted;
+                }
+            }
+        }
+    }
+
+    // Fee: gas_used * price moves from sender to miner.
+    let fee = gas_used.saturating_mul(tx.gas_price);
+    state.debit(tx.from, fee).expect("affordability pre-checked");
+    state.credit(env.miner, fee);
+
+    Receipt { tx_hash, status, gas_used, output, logs }
+}
+
+/// Executes a transaction list on a copy of `parent_state`.
+///
+/// Transactions that would push the block past its gas limit are marked
+/// invalid (a real miner would simply not include them; a validator treats
+/// their inclusion as a no-op with zero gas).
+pub fn execute_block_txs(
+    parent_state: &State,
+    txs: &[Transaction],
+    env: &BlockEnv,
+    runtime: &mut dyn ContractRuntime,
+) -> ExecutionResult {
+    let mut state = parent_state.clone();
+    let mut receipts = Vec::with_capacity(txs.len());
+    let mut gas_used = 0u64;
+    for tx in txs {
+        if gas_used.saturating_add(intrinsic_gas(tx)) > env.gas_limit {
+            receipts.push(Receipt {
+                tx_hash: tx.hash(),
+                status: ExecStatus::Invalid,
+                gas_used: 0,
+                output: Vec::new(),
+                logs: Vec::new(),
+            });
+            continue;
+        }
+        let receipt = execute_tx(&mut state, tx, env, runtime);
+        gas_used += receipt.gas_used;
+        receipts.push(receipt);
+    }
+    ExecutionResult { state, receipts, gas_used }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gas::TX_BASE_GAS;
+    use crate::runtime::NullRuntime;
+    use blockfed_crypto::KeyPair;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn key(seed: u64) -> KeyPair {
+        KeyPair::generate(&mut StdRng::seed_from_u64(seed))
+    }
+
+    fn env() -> BlockEnv {
+        let mut miner = [0u8; 20];
+        miner[19] = 0xAA;
+        BlockEnv {
+            number: 1,
+            timestamp_ns: 1,
+            miner: H160::from_bytes(miner),
+            gas_limit: 10_000_000,
+        }
+    }
+
+    fn funded_state(k: &KeyPair, amount: u64) -> State {
+        let mut s = State::new();
+        s.credit(k.address(), amount);
+        s
+    }
+
+    #[test]
+    fn successful_transfer_pays_fee_to_miner() {
+        let k = key(1);
+        let recipient = key(2).address();
+        let mut state = funded_state(&k, 1_000_000);
+        let tx = Transaction::transfer(k.address(), recipient, 100, 0).signed(&k);
+        let env = env();
+        let r = execute_tx(&mut state, &tx, &env, &mut NullRuntime);
+        assert_eq!(r.status, ExecStatus::Success);
+        assert_eq!(r.gas_used, TX_BASE_GAS);
+        assert_eq!(state.balance(&recipient), 100);
+        assert_eq!(state.balance(&env.miner), TX_BASE_GAS); // gas_price = 1
+        assert_eq!(state.balance(&k.address()), 1_000_000 - 100 - TX_BASE_GAS);
+        assert_eq!(state.nonce(&k.address()), 1);
+    }
+
+    #[test]
+    fn unsigned_tx_is_invalid_and_free() {
+        let k = key(3);
+        let mut state = funded_state(&k, 1_000_000);
+        let before = state.clone();
+        let tx = Transaction::transfer(k.address(), k.address(), 1, 0);
+        let r = execute_tx(&mut state, &tx, &env(), &mut NullRuntime);
+        assert_eq!(r.status, ExecStatus::Invalid);
+        assert_eq!(state, before);
+    }
+
+    #[test]
+    fn wrong_nonce_rejected() {
+        let k = key(4);
+        let mut state = funded_state(&k, 1_000_000);
+        let tx = Transaction::transfer(k.address(), k.address(), 1, 5).signed(&k);
+        let r = execute_tx(&mut state, &tx, &env(), &mut NullRuntime);
+        assert_eq!(r.status, ExecStatus::Invalid);
+        assert_eq!(state.nonce(&k.address()), 0);
+    }
+
+    #[test]
+    fn unaffordable_tx_rejected_before_any_mutation() {
+        let k = key(5);
+        let mut state = funded_state(&k, 10); // cannot afford 21000 gas
+        let before = state.clone();
+        let tx = Transaction::transfer(k.address(), k.address(), 1, 0).signed(&k);
+        let r = execute_tx(&mut state, &tx, &env(), &mut NullRuntime);
+        assert_eq!(r.status, ExecStatus::Invalid);
+        assert_eq!(state, before);
+    }
+
+    #[test]
+    fn deployment_installs_code_at_derived_address() {
+        let k = key(6);
+        let mut state = funded_state(&k, 100_000_000);
+        let tx = Transaction::deploy(k.address(), vec![0xAB, 0xCD], 0).signed(&k);
+        let r = execute_tx(&mut state, &tx, &env(), &mut NullRuntime);
+        assert_eq!(r.status, ExecStatus::Success);
+        let addr = contract_address(k.address(), 0);
+        assert_eq!(state.code(&addr), vec![0xAB, 0xCD]);
+        assert_eq!(r.output, addr.as_bytes().to_vec());
+    }
+
+    struct RevertingRuntime;
+    impl ContractRuntime for RevertingRuntime {
+        fn execute(&mut self, _c: &CallContext, _code: &[u8], state: &mut State) -> crate::runtime::ExecOutcome {
+            // Scribble on state, then revert.
+            state.credit(H160::zero(), 999_999);
+            crate::runtime::ExecOutcome::reverted(5_000)
+        }
+    }
+
+    #[test]
+    fn reverted_call_rolls_back_state_but_charges_gas() {
+        let deployer = key(7);
+        let caller = key(8);
+        let mut state = State::new();
+        state.credit(deployer.address(), 100_000_000);
+        state.credit(caller.address(), 100_000_000);
+        let env = env();
+        // Deploy a contract.
+        let deploy = Transaction::deploy(deployer.address(), vec![1], 0).signed(&deployer);
+        execute_tx(&mut state, &deploy, &env, &mut NullRuntime);
+        let contract = contract_address(deployer.address(), 0);
+
+        let call = Transaction::call(caller.address(), contract, vec![], 0).signed(&caller);
+        let r = execute_tx(&mut state, &call, &env, &mut RevertingRuntime);
+        assert_eq!(r.status, ExecStatus::Reverted);
+        assert_eq!(state.balance(&H160::zero()), 0, "scribbles must be rolled back");
+        assert_eq!(r.gas_used, TX_BASE_GAS + 5_000);
+        assert_eq!(state.nonce(&caller.address()), 1, "nonce burned despite revert");
+        // Miner collected the deploy fee (base + 1 nonzero byte + create) plus
+        // the reverted call's fee (base + 5 000 execution gas).
+        let deploy_fee =
+            TX_BASE_GAS + crate::gas::DATA_NONZERO_GAS + crate::gas::CREATE_GAS;
+        assert_eq!(state.balance(&env.miner), deploy_fee + TX_BASE_GAS + 5_000);
+    }
+
+    #[test]
+    fn block_execution_respects_gas_limit() {
+        let k = key(9);
+        let mut state = State::new();
+        state.credit(k.address(), 100_000_000);
+        let txs: Vec<Transaction> = (0..5)
+            .map(|n| Transaction::transfer(k.address(), k.address(), 1, n).signed(&k))
+            .collect();
+        let env = BlockEnv { gas_limit: TX_BASE_GAS * 2, ..env() };
+        let result = execute_block_txs(&state, &txs, &env, &mut NullRuntime);
+        let ok = result.receipts.iter().filter(|r| r.is_success()).count();
+        assert_eq!(ok, 2, "only two transfers fit the block");
+        assert_eq!(result.gas_used, TX_BASE_GAS * 2);
+        // Skipped transactions must still have receipts.
+        assert_eq!(result.receipts.len(), 5);
+    }
+
+    #[test]
+    fn block_execution_does_not_mutate_parent_state() {
+        let k = key(10);
+        let mut parent = State::new();
+        parent.credit(k.address(), 1_000_000);
+        let snapshot = parent.clone();
+        let tx = Transaction::transfer(k.address(), k.address(), 1, 0).signed(&k);
+        let _ = execute_block_txs(&parent, &[tx], &env(), &mut NullRuntime);
+        assert_eq!(parent, snapshot);
+    }
+}

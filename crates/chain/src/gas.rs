@@ -1,0 +1,91 @@
+//! Gas accounting, mirroring Ethereum's fee model.
+//!
+//! The paper configures its private Ethereum "without block size and transaction
+//! size constraints … ensure that the transaction size exceeds the model's size"
+//! (§IV-A1). We therefore meter model payload bytes at a flat rate and leave the
+//! default block gas limit effectively unconstrained, while keeping the standard
+//! intrinsic/calldata costs so chain-level economics stay Ethereum-shaped.
+
+use crate::tx::Transaction;
+
+/// Base cost of any transaction.
+pub const TX_BASE_GAS: u64 = 21_000;
+/// Cost per zero byte of calldata.
+pub const DATA_ZERO_GAS: u64 = 4;
+/// Cost per non-zero byte of calldata.
+pub const DATA_NONZERO_GAS: u64 = 16;
+/// Cost per byte of off-band model payload (the "transaction size exceeds the
+/// model's size" adjustment).
+pub const PAYLOAD_BYTE_GAS: u64 = 1;
+/// Extra cost of deploying a contract.
+pub const CREATE_GAS: u64 = 32_000;
+/// Default per-block gas limit: high enough that a 21.2 MB model transaction
+/// fits comfortably (the paper's "no constraints" configuration).
+pub const DEFAULT_BLOCK_GAS_LIMIT: u64 = 200_000_000;
+
+/// The intrinsic (pre-execution) gas cost of a transaction.
+///
+/// # Examples
+///
+/// ```
+/// use blockfed_chain::gas::{intrinsic_gas, TX_BASE_GAS};
+/// use blockfed_chain::tx::Transaction;
+/// use blockfed_crypto::H160;
+///
+/// let tx = Transaction::transfer(H160::zero(), H160::zero(), 0, 0);
+/// assert_eq!(intrinsic_gas(&tx), TX_BASE_GAS);
+/// ```
+pub fn intrinsic_gas(tx: &Transaction) -> u64 {
+    let mut gas = TX_BASE_GAS;
+    for &b in &tx.data {
+        gas += if b == 0 { DATA_ZERO_GAS } else { DATA_NONZERO_GAS };
+    }
+    gas += tx.payload_bytes.saturating_mul(PAYLOAD_BYTE_GAS);
+    if tx.to.is_none() {
+        gas += CREATE_GAS;
+    }
+    gas
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blockfed_crypto::H160;
+
+    #[test]
+    fn plain_transfer_costs_base() {
+        let tx = Transaction::transfer(H160::zero(), H160::zero(), 5, 0);
+        assert_eq!(intrinsic_gas(&tx), TX_BASE_GAS);
+    }
+
+    #[test]
+    fn calldata_charges_by_byte_kind() {
+        let mut tx = Transaction::transfer(H160::zero(), H160::zero(), 0, 0);
+        tx.data = vec![0, 0, 1, 2];
+        assert_eq!(
+            intrinsic_gas(&tx),
+            TX_BASE_GAS + 2 * DATA_ZERO_GAS + 2 * DATA_NONZERO_GAS
+        );
+    }
+
+    #[test]
+    fn model_payload_charges_flat_rate() {
+        let mut tx = Transaction::transfer(H160::zero(), H160::zero(), 0, 0);
+        tx.payload_bytes = 253_952; // SimpleNN's 248 KB
+        assert_eq!(intrinsic_gas(&tx), TX_BASE_GAS + 253_952);
+    }
+
+    #[test]
+    fn creation_costs_extra() {
+        let mut tx = Transaction::transfer(H160::zero(), H160::zero(), 0, 0);
+        tx.to = None;
+        assert_eq!(intrinsic_gas(&tx), TX_BASE_GAS + CREATE_GAS);
+    }
+
+    #[test]
+    fn effnet_payload_fits_default_block_limit() {
+        let mut tx = Transaction::transfer(H160::zero(), H160::zero(), 0, 0);
+        tx.payload_bytes = 22_228_000; // 21.2 MB
+        assert!(intrinsic_gas(&tx) < DEFAULT_BLOCK_GAS_LIMIT);
+    }
+}

@@ -1,0 +1,128 @@
+//! Genesis configuration: the paper's private-network bootstrap, where the
+//! three peers are pre-funded and the difficulty starts low.
+
+use blockfed_crypto::{H160, H256};
+use serde::{Deserialize, Serialize};
+
+use crate::block::{Block, Header};
+use crate::gas::DEFAULT_BLOCK_GAS_LIMIT;
+use crate::state::State;
+
+/// Parameters of a new chain.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GenesisSpec {
+    /// Pre-funded accounts.
+    pub alloc: Vec<(H160, u64)>,
+    /// Contract code installed at genesis (address, code).
+    pub alloc_code: Vec<(H160, Vec<u8>)>,
+    /// Starting difficulty.
+    pub difficulty: u128,
+    /// Block gas limit.
+    pub gas_limit: u64,
+    /// Genesis timestamp (simulation nanoseconds).
+    pub timestamp_ns: u64,
+}
+
+impl Default for GenesisSpec {
+    fn default() -> Self {
+        GenesisSpec {
+            alloc: Vec::new(),
+            alloc_code: Vec::new(),
+            difficulty: 1_000,
+            gas_limit: DEFAULT_BLOCK_GAS_LIMIT,
+            timestamp_ns: 0,
+        }
+    }
+}
+
+impl GenesisSpec {
+    /// A spec pre-funding the given accounts equally.
+    pub fn with_accounts(accounts: &[H160], balance: u64) -> Self {
+        GenesisSpec {
+            alloc: accounts.iter().map(|a| (*a, balance)).collect(),
+            ..GenesisSpec::default()
+        }
+    }
+
+    /// Overrides the starting difficulty (builder style).
+    #[must_use]
+    pub fn with_difficulty(mut self, difficulty: u128) -> Self {
+        self.difficulty = difficulty;
+        self
+    }
+
+    /// Installs contract code at genesis (builder style).
+    #[must_use]
+    pub fn with_code(mut self, addr: H160, code: Vec<u8>) -> Self {
+        self.alloc_code.push((addr, code));
+        self
+    }
+
+    /// Builds the genesis block and its state.
+    pub fn build(&self) -> (Block, State) {
+        let mut state = State::new();
+        for (addr, balance) in &self.alloc {
+            state.credit(*addr, *balance);
+        }
+        for (addr, code) in &self.alloc_code {
+            state.set_code(*addr, code.clone());
+        }
+        let header = Header {
+            parent: H256::zero(),
+            number: 0,
+            timestamp_ns: self.timestamp_ns,
+            miner: H160::zero(),
+            difficulty: self.difficulty,
+            nonce: 0,
+            tx_root: H256::zero(),
+            state_root: state.root(),
+            gas_used: 0,
+            gas_limit: self.gas_limit,
+        };
+        (Block { header, transactions: Vec::new() }, state)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn addr(n: u8) -> H160 {
+        let mut b = [0u8; 20];
+        b[0] = n;
+        H160::from_bytes(b)
+    }
+
+    #[test]
+    fn builds_funded_genesis() {
+        let spec = GenesisSpec::with_accounts(&[addr(1), addr(2)], 500);
+        let (block, state) = spec.build();
+        assert_eq!(block.number(), 0);
+        assert!(block.transactions.is_empty());
+        assert_eq!(state.balance(&addr(1)), 500);
+        assert_eq!(state.balance(&addr(2)), 500);
+        assert_eq!(block.header.state_root, state.root());
+    }
+
+    #[test]
+    fn same_spec_same_genesis_hash() {
+        let spec = GenesisSpec::with_accounts(&[addr(1)], 10);
+        assert_eq!(spec.build().0.hash(), spec.build().0.hash());
+        let different = GenesisSpec::with_accounts(&[addr(1)], 11);
+        assert_ne!(spec.build().0.hash(), different.build().0.hash());
+    }
+
+    #[test]
+    fn difficulty_override() {
+        let spec = GenesisSpec::default().with_difficulty(77);
+        assert_eq!(spec.build().0.header.difficulty, 77);
+    }
+
+    #[test]
+    fn genesis_code_allocation() {
+        let spec = GenesisSpec::default().with_code(addr(9), vec![1, 2, 3]);
+        let (_, state) = spec.build();
+        assert_eq!(state.code(&addr(9)), vec![1, 2, 3]);
+        assert!(state.account(&addr(9)).is_contract());
+    }
+}

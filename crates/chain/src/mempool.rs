@@ -1,0 +1,355 @@
+//! The transaction pool: pending transactions ordered by sender nonce and
+//! prioritized by gas price.
+
+use std::collections::{BTreeMap, HashSet};
+
+use blockfed_crypto::{H160, H256};
+
+use crate::gas::intrinsic_gas;
+use crate::state::State;
+use crate::tx::Transaction;
+
+/// Error admitting a transaction to the pool.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MempoolError {
+    /// Signature missing or invalid.
+    BadSignature,
+    /// Nonce below the sender's current account nonce (already spent).
+    StaleNonce {
+        /// The sender's account nonce.
+        current: u64,
+        /// The transaction's nonce.
+        got: u64,
+    },
+    /// Same (sender, nonce) already pooled with an equal-or-better price.
+    Duplicate,
+    /// Gas limit below the intrinsic cost.
+    GasTooLow,
+}
+
+impl std::fmt::Display for MempoolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MempoolError::BadSignature => write!(f, "bad signature"),
+            MempoolError::StaleNonce { current, got } => {
+                write!(f, "stale nonce {got} (account at {current})")
+            }
+            MempoolError::Duplicate => write!(f, "duplicate transaction"),
+            MempoolError::GasTooLow => write!(f, "gas limit below intrinsic cost"),
+        }
+    }
+}
+
+impl std::error::Error for MempoolError {}
+
+/// A per-node transaction pool.
+///
+/// # Examples
+///
+/// ```
+/// use blockfed_chain::{mempool::Mempool, state::State, tx::Transaction};
+/// use blockfed_crypto::KeyPair;
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let key = KeyPair::generate(&mut rng);
+/// let mut state = State::new();
+/// state.credit(key.address(), 1_000_000);
+/// let mut pool = Mempool::new();
+/// let tx = Transaction::transfer(key.address(), key.address(), 1, 0).signed(&key);
+/// pool.insert(tx, &state)?;
+/// assert_eq!(pool.len(), 1);
+/// # Ok::<(), blockfed_chain::mempool::MempoolError>(())
+/// ```
+#[derive(Debug, Default)]
+pub struct Mempool {
+    by_sender: BTreeMap<H160, BTreeMap<u64, Transaction>>,
+    known: HashSet<H256>,
+}
+
+impl Mempool {
+    /// An empty pool.
+    pub fn new() -> Self {
+        Mempool::default()
+    }
+
+    /// Number of pooled transactions.
+    pub fn len(&self) -> usize {
+        self.by_sender.values().map(BTreeMap::len).sum()
+    }
+
+    /// Whether the pool is empty.
+    pub fn is_empty(&self) -> bool {
+        self.by_sender.is_empty()
+    }
+
+    /// Whether a transaction with this hash is pooled.
+    pub fn contains(&self, hash: &H256) -> bool {
+        self.known.contains(hash)
+    }
+
+    /// Admits a transaction after validating it against current `state`.
+    ///
+    /// A replacement for a pooled (sender, nonce) is accepted only at a
+    /// strictly higher gas price.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MempoolError`] explaining the rejection.
+    pub fn insert(&mut self, tx: Transaction, state: &State) -> Result<(), MempoolError> {
+        if tx.verify_signature().is_err() {
+            return Err(MempoolError::BadSignature);
+        }
+        if intrinsic_gas(&tx) > tx.gas_limit {
+            return Err(MempoolError::GasTooLow);
+        }
+        let current = state.nonce(&tx.from);
+        if tx.nonce < current {
+            return Err(MempoolError::StaleNonce { current, got: tx.nonce });
+        }
+        let slot = self.by_sender.entry(tx.from).or_default();
+        if let Some(existing) = slot.get(&tx.nonce) {
+            if existing.gas_price >= tx.gas_price {
+                return Err(MempoolError::Duplicate);
+            }
+            self.known.remove(&existing.hash());
+        }
+        self.known.insert(tx.hash());
+        slot.insert(tx.nonce, tx);
+        Ok(())
+    }
+
+    /// Selects transactions for a block: highest gas price first, nonces kept
+    /// consecutive per sender starting at the account nonce, total intrinsic
+    /// gas bounded by `gas_budget`. Selected transactions stay pooled until
+    /// [`Mempool::prune`] runs after the block commits.
+    pub fn select(&self, state: &State, gas_budget: u64, max_txs: usize) -> Vec<Transaction> {
+        // Cursor per sender: next expected nonce.
+        let mut cursors: BTreeMap<H160, u64> =
+            self.by_sender.keys().map(|a| (*a, state.nonce(a))).collect();
+        let mut chosen = Vec::new();
+        let mut gas_left = gas_budget;
+        while chosen.len() < max_txs {
+            // Among each sender's next-eligible tx, pick the best gas price
+            // (ties: lower sender address, deterministic).
+            let mut best: Option<&Transaction> = None;
+            for (sender, txs) in &self.by_sender {
+                let next_nonce = cursors[sender];
+                if let Some(tx) = txs.get(&next_nonce) {
+                    let better = match best {
+                        None => true,
+                        Some(b) => tx.gas_price > b.gas_price,
+                    };
+                    if better && intrinsic_gas(tx) <= gas_left {
+                        best = Some(tx);
+                    }
+                }
+            }
+            match best {
+                Some(tx) => {
+                    gas_left -= intrinsic_gas(tx);
+                    *cursors.get_mut(&tx.from).expect("cursor exists") += 1;
+                    chosen.push(tx.clone());
+                }
+                None => break,
+            }
+        }
+        chosen
+    }
+
+    /// Drops every pooled transaction whose nonce is now below its sender's
+    /// account nonce (i.e. included in a committed block or invalidated).
+    pub fn prune(&mut self, state: &State) {
+        let mut empty_senders = Vec::new();
+        for (sender, txs) in &mut self.by_sender {
+            let current = state.nonce(sender);
+            let stale: Vec<u64> = txs.range(..current).map(|(n, _)| *n).collect();
+            for n in stale {
+                if let Some(tx) = txs.remove(&n) {
+                    self.known.remove(&tx.hash());
+                }
+            }
+            if txs.is_empty() {
+                empty_senders.push(*sender);
+            }
+        }
+        for s in empty_senders {
+            self.by_sender.remove(&s);
+        }
+    }
+
+    /// Removes everything.
+    pub fn clear(&mut self) {
+        self.by_sender.clear();
+        self.known.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blockfed_crypto::KeyPair;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn key(seed: u64) -> KeyPair {
+        KeyPair::generate(&mut StdRng::seed_from_u64(seed))
+    }
+
+    fn funded(keys: &[&KeyPair]) -> State {
+        let mut s = State::new();
+        for k in keys {
+            s.credit(k.address(), 100_000_000);
+        }
+        s
+    }
+
+    #[test]
+    fn insert_and_select_in_nonce_order() {
+        let k = key(1);
+        let state = funded(&[&k]);
+        let mut pool = Mempool::new();
+        // Insert out of order.
+        for n in [2u64, 0, 1] {
+            let tx = Transaction::transfer(k.address(), k.address(), 1, n).signed(&k);
+            pool.insert(tx, &state).unwrap();
+        }
+        assert_eq!(pool.len(), 3);
+        let picked = pool.select(&state, u64::MAX, 10);
+        let nonces: Vec<u64> = picked.iter().map(|t| t.nonce).collect();
+        assert_eq!(nonces, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn gas_price_priority_across_senders() {
+        let a = key(2);
+        let b = key(3);
+        let state = funded(&[&a, &b]);
+        let mut pool = Mempool::new();
+        pool.insert(
+            Transaction::transfer(a.address(), a.address(), 1, 0).with_gas_price(1).signed(&a),
+            &state,
+        )
+        .unwrap();
+        pool.insert(
+            Transaction::transfer(b.address(), b.address(), 1, 0).with_gas_price(5).signed(&b),
+            &state,
+        )
+        .unwrap();
+        let picked = pool.select(&state, u64::MAX, 10);
+        assert_eq!(picked[0].from, b.address(), "higher gas price goes first");
+    }
+
+    #[test]
+    fn rejects_unsigned_and_stale() {
+        let k = key(4);
+        let mut state = funded(&[&k]);
+        state.consume_nonce(k.address(), 0).unwrap();
+        let mut pool = Mempool::new();
+        let unsigned = Transaction::transfer(k.address(), k.address(), 1, 1);
+        assert_eq!(pool.insert(unsigned, &state), Err(MempoolError::BadSignature));
+        let stale = Transaction::transfer(k.address(), k.address(), 1, 0).signed(&k);
+        assert_eq!(
+            pool.insert(stale, &state),
+            Err(MempoolError::StaleNonce { current: 1, got: 0 })
+        );
+    }
+
+    #[test]
+    fn duplicate_needs_strictly_higher_price() {
+        let k = key(5);
+        let state = funded(&[&k]);
+        let mut pool = Mempool::new();
+        let tx1 = Transaction::transfer(k.address(), k.address(), 1, 0).with_gas_price(2).signed(&k);
+        pool.insert(tx1, &state).unwrap();
+        let same_price =
+            Transaction::transfer(k.address(), k.address(), 2, 0).with_gas_price(2).signed(&k);
+        assert_eq!(pool.insert(same_price, &state), Err(MempoolError::Duplicate));
+        let bumped =
+            Transaction::transfer(k.address(), k.address(), 2, 0).with_gas_price(3).signed(&k);
+        pool.insert(bumped.clone(), &state).unwrap();
+        assert_eq!(pool.len(), 1);
+        let picked = pool.select(&state, u64::MAX, 10);
+        assert_eq!(picked[0].hash(), bumped.hash());
+    }
+
+    #[test]
+    fn rejects_gas_below_intrinsic() {
+        let k = key(6);
+        let state = funded(&[&k]);
+        let mut pool = Mempool::new();
+        let tx = Transaction::transfer(k.address(), k.address(), 1, 0)
+            .with_gas_limit(100)
+            .signed(&k);
+        assert_eq!(pool.insert(tx, &state), Err(MempoolError::GasTooLow));
+    }
+
+    #[test]
+    fn select_respects_gas_budget_and_count() {
+        let k = key(7);
+        let state = funded(&[&k]);
+        let mut pool = Mempool::new();
+        for n in 0..5 {
+            pool.insert(
+                Transaction::transfer(k.address(), k.address(), 1, n).signed(&k),
+                &state,
+            )
+            .unwrap();
+        }
+        let by_gas = pool.select(&state, crate::gas::TX_BASE_GAS * 3, 10);
+        assert_eq!(by_gas.len(), 3);
+        let by_count = pool.select(&state, u64::MAX, 2);
+        assert_eq!(by_count.len(), 2);
+    }
+
+    #[test]
+    fn nonce_gaps_block_later_transactions() {
+        let k = key(8);
+        let state = funded(&[&k]);
+        let mut pool = Mempool::new();
+        // Only nonces 1 and 2 pooled; account is at 0.
+        for n in [1u64, 2] {
+            pool.insert(
+                Transaction::transfer(k.address(), k.address(), 1, n).signed(&k),
+                &state,
+            )
+            .unwrap();
+        }
+        assert!(pool.select(&state, u64::MAX, 10).is_empty());
+    }
+
+    #[test]
+    fn prune_drops_included_transactions() {
+        let k = key(9);
+        let mut state = funded(&[&k]);
+        let mut pool = Mempool::new();
+        for n in 0..3 {
+            pool.insert(
+                Transaction::transfer(k.address(), k.address(), 1, n).signed(&k),
+                &state,
+            )
+            .unwrap();
+        }
+        // Simulate inclusion of nonces 0 and 1.
+        state.consume_nonce(k.address(), 0).unwrap();
+        state.consume_nonce(k.address(), 1).unwrap();
+        pool.prune(&state);
+        assert_eq!(pool.len(), 1);
+        let left = pool.select(&state, u64::MAX, 10);
+        assert_eq!(left[0].nonce, 2);
+        pool.clear();
+        assert!(pool.is_empty());
+    }
+
+    #[test]
+    fn contains_tracks_hashes() {
+        let k = key(10);
+        let state = funded(&[&k]);
+        let mut pool = Mempool::new();
+        let tx = Transaction::transfer(k.address(), k.address(), 1, 0).signed(&k);
+        let h = tx.hash();
+        assert!(!pool.contains(&h));
+        pool.insert(tx, &state).unwrap();
+        assert!(pool.contains(&h));
+    }
+}

@@ -1,0 +1,70 @@
+//! Execution receipts and event logs.
+
+use blockfed_crypto::{H160, H256};
+use serde::{Deserialize, Serialize};
+
+/// A contract event log entry.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LogEntry {
+    /// Emitting contract.
+    pub address: H160,
+    /// Topic (event discriminator).
+    pub topic: H256,
+    /// ABI-free payload bytes.
+    pub data: Vec<u8>,
+}
+
+/// Outcome of executing one transaction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ExecStatus {
+    /// Executed and committed.
+    Success,
+    /// Contract reverted; state changes rolled back, gas still charged.
+    Reverted,
+    /// Rejected before execution (bad nonce, unaffordable gas, bad signature).
+    Invalid,
+}
+
+/// A transaction receipt.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Receipt {
+    /// Hash of the transaction this receipt belongs to.
+    pub tx_hash: H256,
+    /// Execution status.
+    pub status: ExecStatus,
+    /// Gas consumed.
+    pub gas_used: u64,
+    /// Return data from the contract (empty otherwise).
+    pub output: Vec<u8>,
+    /// Emitted logs.
+    pub logs: Vec<LogEntry>,
+}
+
+impl Receipt {
+    /// Whether the transaction executed successfully.
+    pub fn is_success(&self) -> bool {
+        self.status == ExecStatus::Success
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn success_predicate() {
+        let r = Receipt {
+            tx_hash: H256::zero(),
+            status: ExecStatus::Success,
+            gas_used: 21_000,
+            output: vec![],
+            logs: vec![],
+        };
+        assert!(r.is_success());
+        let mut failed = r.clone();
+        failed.status = ExecStatus::Reverted;
+        assert!(!failed.is_success());
+        failed.status = ExecStatus::Invalid;
+        assert!(!failed.is_success());
+    }
+}

@@ -1,0 +1,288 @@
+//! Transactions: signed messages that move value, deploy contracts, call
+//! contracts, and — in this system — carry federated model updates.
+
+use blockfed_crypto::sha256::Sha256;
+use blockfed_crypto::{H160, H256, KeyPair, PublicKey, Signature, SignatureError};
+use serde::{Deserialize, Serialize};
+
+/// A transaction, optionally signed.
+///
+/// # Examples
+///
+/// ```
+/// use blockfed_chain::tx::Transaction;
+/// use blockfed_crypto::KeyPair;
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let kp = KeyPair::generate(&mut rng);
+/// let tx = Transaction::transfer(kp.address(), kp.address(), 10, 0).signed(&kp);
+/// assert!(tx.verify_signature().is_ok());
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Transaction {
+    /// Sender address (must match the signing key).
+    pub from: H160,
+    /// Recipient; `None` deploys a contract.
+    pub to: Option<H160>,
+    /// Sender's transaction counter.
+    pub nonce: u64,
+    /// Value transferred.
+    pub value: u64,
+    /// Maximum gas the sender will pay for.
+    pub gas_limit: u64,
+    /// Price per unit of gas.
+    pub gas_price: u64,
+    /// Calldata (contract input or init code).
+    pub data: Vec<u8>,
+    /// Declared size in bytes of the off-band artifact this transaction
+    /// anchors (e.g. a 21.2 MB model); metered by gas and by the network
+    /// bandwidth model.
+    pub payload_bytes: u64,
+    /// Signature material, filled in by [`Transaction::signed`].
+    pub signature: Option<(PublicKey, Signature)>,
+}
+
+/// Error validating a transaction's signature.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TxError {
+    /// The transaction carries no signature.
+    Unsigned,
+    /// The signature or key is invalid.
+    BadSignature(SignatureError),
+    /// The public key does not hash to the declared sender.
+    SenderMismatch,
+}
+
+impl std::fmt::Display for TxError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TxError::Unsigned => write!(f, "transaction is unsigned"),
+            TxError::BadSignature(e) => write!(f, "bad signature: {e}"),
+            TxError::SenderMismatch => write!(f, "public key does not match sender address"),
+        }
+    }
+}
+
+impl std::error::Error for TxError {}
+
+impl Transaction {
+    /// A plain value transfer.
+    pub fn transfer(from: H160, to: H160, value: u64, nonce: u64) -> Self {
+        Transaction {
+            from,
+            to: Some(to),
+            nonce,
+            value,
+            gas_limit: 100_000,
+            gas_price: 1,
+            data: Vec::new(),
+            payload_bytes: 0,
+            signature: None,
+        }
+    }
+
+    /// A contract call with calldata.
+    pub fn call(from: H160, to: H160, data: Vec<u8>, nonce: u64) -> Self {
+        Transaction {
+            from,
+            to: Some(to),
+            nonce,
+            value: 0,
+            gas_limit: 50_000_000,
+            gas_price: 1,
+            data,
+            payload_bytes: 0,
+            signature: None,
+        }
+    }
+
+    /// A contract deployment carrying init code.
+    pub fn deploy(from: H160, code: Vec<u8>, nonce: u64) -> Self {
+        Transaction {
+            from,
+            to: None,
+            nonce,
+            value: 0,
+            gas_limit: 50_000_000,
+            gas_price: 1,
+            data: code,
+            payload_bytes: 0,
+            signature: None,
+        }
+    }
+
+    /// Sets the declared off-band payload size (builder style).
+    #[must_use]
+    pub fn with_payload_bytes(mut self, bytes: u64) -> Self {
+        self.payload_bytes = bytes;
+        self
+    }
+
+    /// Sets the gas price (builder style).
+    #[must_use]
+    pub fn with_gas_price(mut self, price: u64) -> Self {
+        self.gas_price = price;
+        self
+    }
+
+    /// Sets the gas limit (builder style).
+    #[must_use]
+    pub fn with_gas_limit(mut self, limit: u64) -> Self {
+        self.gas_limit = limit;
+        self
+    }
+
+    /// The canonical signing pre-image (all fields except the signature).
+    pub fn signing_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(80 + self.data.len());
+        out.extend_from_slice(self.from.as_bytes());
+        match &self.to {
+            Some(a) => {
+                out.push(1);
+                out.extend_from_slice(a.as_bytes());
+            }
+            None => out.push(0),
+        }
+        out.extend_from_slice(&self.nonce.to_le_bytes());
+        out.extend_from_slice(&self.value.to_le_bytes());
+        out.extend_from_slice(&self.gas_limit.to_le_bytes());
+        out.extend_from_slice(&self.gas_price.to_le_bytes());
+        out.extend_from_slice(&(self.data.len() as u64).to_le_bytes());
+        out.extend_from_slice(&self.data);
+        out.extend_from_slice(&self.payload_bytes.to_le_bytes());
+        out
+    }
+
+    /// Signs the transaction, setting `from` to the key's address.
+    #[must_use]
+    pub fn signed(mut self, key: &KeyPair) -> Self {
+        self.from = key.address();
+        let sig = key.sign(&self.signing_bytes());
+        self.signature = Some((key.public(), sig));
+        self
+    }
+
+    /// Verifies the signature and that the key matches the sender address.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TxError`] describing what failed.
+    pub fn verify_signature(&self) -> Result<(), TxError> {
+        let (pk, sig) = self.signature.as_ref().ok_or(TxError::Unsigned)?;
+        if pk.address() != self.from {
+            return Err(TxError::SenderMismatch);
+        }
+        pk.verify(&self.signing_bytes(), sig).map_err(TxError::BadSignature)
+    }
+
+    /// The transaction hash (covers the signature when present).
+    pub fn hash(&self) -> H256 {
+        let mut h = Sha256::new();
+        h.update(&self.signing_bytes());
+        if let Some((pk, sig)) = &self.signature {
+            h.update(&pk.to_point_bytes());
+            h.update(sig.digest().as_bytes());
+        }
+        h.finalize()
+    }
+
+    /// Whether this transaction creates a contract.
+    pub fn is_deploy(&self) -> bool {
+        self.to.is_none()
+    }
+}
+
+/// The address of a contract deployed by `sender` at `nonce`
+/// (`sha256(sender ‖ nonce)` truncated to 20 bytes).
+pub fn contract_address(sender: H160, nonce: u64) -> H160 {
+    let mut h = Sha256::new();
+    h.update(sender.as_bytes());
+    h.update(&nonce.to_le_bytes());
+    let digest = h.finalize();
+    let mut out = [0u8; 20];
+    out.copy_from_slice(&digest.as_bytes()[12..]);
+    H160::from_bytes(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn key(seed: u64) -> KeyPair {
+        KeyPair::generate(&mut StdRng::seed_from_u64(seed))
+    }
+
+    #[test]
+    fn sign_and_verify() {
+        let k = key(1);
+        let tx = Transaction::transfer(H160::zero(), k.address(), 5, 0).signed(&k);
+        assert_eq!(tx.from, k.address());
+        assert!(tx.verify_signature().is_ok());
+    }
+
+    #[test]
+    fn unsigned_rejected() {
+        let tx = Transaction::transfer(H160::zero(), H160::zero(), 1, 0);
+        assert_eq!(tx.verify_signature(), Err(TxError::Unsigned));
+    }
+
+    #[test]
+    fn tampering_breaks_signature() {
+        let k = key(2);
+        let mut tx = Transaction::transfer(k.address(), H160::zero(), 5, 0).signed(&k);
+        tx.value = 500;
+        assert!(matches!(tx.verify_signature(), Err(TxError::BadSignature(_))));
+    }
+
+    #[test]
+    fn sender_spoofing_detected() {
+        let k = key(3);
+        let mut tx = Transaction::transfer(k.address(), H160::zero(), 5, 0).signed(&k);
+        tx.from = H160::zero();
+        assert_eq!(tx.verify_signature(), Err(TxError::SenderMismatch));
+    }
+
+    #[test]
+    fn hash_is_stable_and_signature_sensitive() {
+        let k = key(4);
+        let unsigned = Transaction::transfer(k.address(), H160::zero(), 5, 0);
+        let signed = unsigned.clone().signed(&k);
+        assert_eq!(unsigned.hash(), unsigned.hash());
+        assert_ne!(unsigned.hash(), signed.hash());
+    }
+
+    #[test]
+    fn hash_covers_payload_bytes() {
+        let a = Transaction::transfer(H160::zero(), H160::zero(), 0, 0);
+        let b = a.clone().with_payload_bytes(1024);
+        assert_ne!(a.hash(), b.hash());
+    }
+
+    #[test]
+    fn builders() {
+        let tx = Transaction::call(H160::zero(), H160::zero(), vec![1, 2], 3)
+            .with_gas_price(7)
+            .with_gas_limit(9)
+            .with_payload_bytes(11);
+        assert_eq!(tx.gas_price, 7);
+        assert_eq!(tx.gas_limit, 9);
+        assert_eq!(tx.payload_bytes, 11);
+        assert_eq!(tx.nonce, 3);
+        assert!(!tx.is_deploy());
+        assert!(Transaction::deploy(H160::zero(), vec![], 0).is_deploy());
+    }
+
+    #[test]
+    fn contract_addresses_differ_by_nonce_and_sender() {
+        let a = contract_address(H160::zero(), 0);
+        let b = contract_address(H160::zero(), 1);
+        let mut other = [0u8; 20];
+        other[0] = 1;
+        let c = contract_address(H160::from_bytes(other), 0);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+    }
+}

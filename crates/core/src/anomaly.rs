@@ -1,0 +1,263 @@
+//! Abnormal-model detection.
+//!
+//! The paper: "abnormalities do not necessarily imply malicious intent …; they
+//! may arise from the natural data heterogeneity across clients". Two
+//! complementary detectors are provided: a statistical one on parameter norms
+//! (catches scaled/poisoned weights without needing data) and the paper's
+//! fitness-threshold test on a local test set.
+
+use blockfed_fl::ModelUpdate;
+
+/// Verdict of a detector for one update.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnomalyReport {
+    /// Index into the inspected update slice.
+    pub index: usize,
+    /// Why the update was flagged.
+    pub reason: AnomalyReason,
+}
+
+/// Why an update was flagged.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AnomalyReason {
+    /// NaN or infinite parameters.
+    NonFinite,
+    /// Parameter norm is a statistical outlier (|z| above the threshold).
+    NormOutlier {
+        /// The update's z-score.
+        z: f64,
+    },
+    /// Standalone accuracy below the fitness threshold.
+    BelowFitness {
+        /// The measured accuracy.
+        accuracy: f64,
+        /// The configured threshold.
+        threshold: f64,
+    },
+    /// The model predicts (almost) a single class — the free-rider
+    /// fingerprint, which accuracy alone can miss when the constant class is
+    /// over-represented in the test data.
+    Degenerate {
+        /// How many distinct classes the model predicted.
+        predicted_classes: usize,
+    },
+}
+
+/// Flags updates whose L2 parameter norm deviates from the cohort by more than
+/// `z_threshold` standard deviations, plus any non-finite update.
+///
+/// With fewer than three updates the norm statistics are meaningless, so only
+/// non-finite updates are flagged.
+pub fn detect_norm_outliers(updates: &[&ModelUpdate], z_threshold: f64) -> Vec<AnomalyReport> {
+    assert!(z_threshold > 0.0, "z threshold must be positive");
+    let mut reports = Vec::new();
+    let mut norms = Vec::with_capacity(updates.len());
+    for (i, u) in updates.iter().enumerate() {
+        if !u.is_finite() {
+            reports.push(AnomalyReport { index: i, reason: AnomalyReason::NonFinite });
+            norms.push(None);
+        } else {
+            let norm: f64 =
+                u.params.iter().map(|&p| f64::from(p) * f64::from(p)).sum::<f64>().sqrt();
+            norms.push(Some(norm));
+        }
+    }
+    let clean: Vec<f64> = norms.iter().flatten().copied().collect();
+    if clean.len() < 3 {
+        return reports;
+    }
+    let mean = clean.iter().sum::<f64>() / clean.len() as f64;
+    let var = clean.iter().map(|n| (n - mean) * (n - mean)).sum::<f64>() / clean.len() as f64;
+    let std = var.sqrt();
+    if std < 1e-12 {
+        return reports;
+    }
+    for (i, norm) in norms.iter().enumerate() {
+        if let Some(n) = norm {
+            let z = (n - mean) / std;
+            if z.abs() > z_threshold {
+                reports.push(AnomalyReport { index: i, reason: AnomalyReason::NormOutlier { z } });
+            }
+        }
+    }
+    reports.sort_by_key(|r| r.index);
+    reports
+}
+
+/// Flags updates whose standalone fitness (via `evaluate`) is below
+/// `threshold` — the paper's §III test-set gate.
+pub fn detect_unfit(
+    updates: &[&ModelUpdate],
+    threshold: f64,
+    mut evaluate: impl FnMut(&ModelUpdate) -> f64,
+) -> Vec<AnomalyReport> {
+    let mut reports = Vec::new();
+    for (i, u) in updates.iter().enumerate() {
+        if !u.is_finite() {
+            reports.push(AnomalyReport { index: i, reason: AnomalyReason::NonFinite });
+            continue;
+        }
+        let accuracy = evaluate(u);
+        if accuracy < threshold {
+            reports.push(AnomalyReport {
+                index: i,
+                reason: AnomalyReason::BelowFitness { accuracy, threshold },
+            });
+        }
+    }
+    reports
+}
+
+/// Flags updates whose predictions on a test set are degenerate (at most
+/// `min_classes - 1` distinct predicted classes) — catches free-riders
+/// submitting constant models, which can sit *above* a chance-level fitness
+/// threshold whenever their constant class is over-represented locally.
+///
+/// `confusion` maps an update to its confusion matrix on the inspecting
+/// peer's test data (see `blockfed_nn::Sequential::evaluate_confusion`).
+pub fn detect_degenerate(
+    updates: &[&ModelUpdate],
+    min_classes: usize,
+    mut confusion: impl FnMut(&ModelUpdate) -> blockfed_nn::ConfusionMatrix,
+) -> Vec<AnomalyReport> {
+    assert!(min_classes >= 2, "a one-class requirement flags nothing");
+    let mut reports = Vec::new();
+    for (i, u) in updates.iter().enumerate() {
+        if !u.is_finite() {
+            reports.push(AnomalyReport { index: i, reason: AnomalyReason::NonFinite });
+            continue;
+        }
+        let cm = confusion(u);
+        let predicted = cm.predicted_class_count();
+        if cm.total() > 1 && predicted < min_classes {
+            reports.push(AnomalyReport {
+                index: i,
+                reason: AnomalyReason::Degenerate { predicted_classes: predicted },
+            });
+        }
+    }
+    reports
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blockfed_fl::ClientId;
+
+    fn upd(i: usize, params: Vec<f32>) -> ModelUpdate {
+        ModelUpdate::new(ClientId(i), 0, params, 10)
+    }
+
+    #[test]
+    fn scaled_weights_are_norm_outliers() {
+        let normal1 = upd(0, vec![0.1, -0.2, 0.3]);
+        let normal2 = upd(1, vec![0.12, -0.18, 0.29]);
+        let normal3 = upd(2, vec![0.09, -0.22, 0.31]);
+        let poisoned = upd(3, vec![50.0, -80.0, 90.0]);
+        let all = [&normal1, &normal2, &normal3, &poisoned];
+        let reports = detect_norm_outliers(&all, 1.4);
+        assert_eq!(reports.len(), 1);
+        assert_eq!(reports[0].index, 3);
+        assert!(matches!(reports[0].reason, AnomalyReason::NormOutlier { z } if z > 1.4));
+    }
+
+    #[test]
+    fn non_finite_always_flagged() {
+        let a = upd(0, vec![f32::NAN]);
+        let b = upd(1, vec![1.0]);
+        let reports = detect_norm_outliers(&[&a, &b], 3.0);
+        assert_eq!(reports.len(), 1);
+        assert_eq!(reports[0].reason, AnomalyReason::NonFinite);
+    }
+
+    #[test]
+    fn small_cohorts_skip_norm_statistics() {
+        let a = upd(0, vec![1.0]);
+        let b = upd(1, vec![100.0]);
+        assert!(detect_norm_outliers(&[&a, &b], 1.0).is_empty());
+    }
+
+    #[test]
+    fn identical_norms_never_flag() {
+        let a = upd(0, vec![1.0, 0.0]);
+        let b = upd(1, vec![0.0, 1.0]);
+        let c = upd(2, vec![-1.0, 0.0]);
+        assert!(detect_norm_outliers(&[&a, &b, &c], 1.0).is_empty());
+    }
+
+    #[test]
+    fn fitness_gate_flags_below_threshold() {
+        let good = upd(0, vec![1.0]);
+        let bad = upd(1, vec![2.0]);
+        let reports = detect_unfit(&[&good, &bad], 0.5, |u| {
+            if u.client == ClientId(0) {
+                0.8
+            } else {
+                0.2
+            }
+        });
+        assert_eq!(reports.len(), 1);
+        assert_eq!(reports[0].index, 1);
+        assert!(matches!(
+            reports[0].reason,
+            AnomalyReason::BelowFitness { accuracy, threshold }
+                if (accuracy - 0.2).abs() < 1e-12 && threshold == 0.5
+        ));
+    }
+
+    #[test]
+    fn fitness_gate_flags_non_finite_without_evaluating() {
+        let bad = upd(0, vec![f32::INFINITY]);
+        let reports = detect_unfit(&[&bad], 0.0, |_| panic!("must not evaluate non-finite"));
+        assert_eq!(reports[0].reason, AnomalyReason::NonFinite);
+    }
+
+    #[test]
+    #[should_panic(expected = "z threshold must be positive")]
+    fn invalid_threshold_panics() {
+        let _ = detect_norm_outliers(&[], 0.0);
+    }
+
+    #[test]
+    fn degenerate_constant_model_is_flagged() {
+        use blockfed_nn::ConfusionMatrix;
+        let free_rider = upd(0, vec![0.0; 4]);
+        let honest = upd(1, vec![0.3, -0.2, 0.4, 0.1]);
+        let all = [&free_rider, &honest];
+        let reports = detect_degenerate(&all, 2, |u| {
+            // Free-rider predicts one class; honest model spreads out.
+            if u.client == ClientId(0) {
+                ConfusionMatrix::from_predictions(4, &[0, 1, 2, 3], &[2, 2, 2, 2])
+            } else {
+                ConfusionMatrix::from_predictions(4, &[0, 1, 2, 3], &[0, 1, 2, 2])
+            }
+        });
+        assert_eq!(reports.len(), 1);
+        assert_eq!(reports[0].index, 0);
+        assert_eq!(reports[0].reason, AnomalyReason::Degenerate { predicted_classes: 1 });
+    }
+
+    #[test]
+    fn degenerate_detector_flags_non_finite_without_scoring() {
+        let bad = upd(0, vec![f32::NAN]);
+        let reports =
+            detect_degenerate(&[&bad], 2, |_| panic!("must not evaluate non-finite"));
+        assert_eq!(reports[0].reason, AnomalyReason::NonFinite);
+    }
+
+    #[test]
+    fn single_example_matrices_are_not_judged_degenerate() {
+        use blockfed_nn::ConfusionMatrix;
+        let u = upd(0, vec![1.0]);
+        let reports = detect_degenerate(&[&u], 2, |_| {
+            ConfusionMatrix::from_predictions(3, &[1], &[1])
+        });
+        assert!(reports.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "one-class requirement")]
+    fn degenerate_requires_sane_min_classes() {
+        let _ = detect_degenerate(&[], 1, |_| blockfed_nn::ConfusionMatrix::new(2));
+    }
+}

@@ -1,0 +1,131 @@
+//! The mining⇄training contention model.
+//!
+//! The paper's conclusion reports "resource exhaustion due to dual tasks on one
+//! peer (mining and training model), a scenario that similar research with
+//! simulation experiments do not encounter". We model it explicitly: a peer has
+//! one compute budget; while it trains, its hash rate drops by a contention
+//! factor, and while it mines, training slows by the complementary factor.
+//! Setting the factor to zero disables the effect, which makes it an ablation
+//! rather than a confound.
+
+use blockfed_sim::SimDuration;
+
+/// The compute capacity and contention behaviour of one peer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ComputeProfile {
+    /// Hash rate in hashes per second when not training.
+    pub hashrate: f64,
+    /// Local training throughput in examples per second (one epoch = one pass).
+    pub train_rate: f64,
+    /// Fraction of compute that the *other* task steals when both run
+    /// (`0.0` = perfect isolation, `0.9` = severe exhaustion).
+    pub contention: f64,
+}
+
+impl ComputeProfile {
+    /// A profile shaped like the paper's testbed: one i7-8700 core pair per VM,
+    /// with visible contention between Geth mining and PyTorch training.
+    pub fn paper_vm() -> Self {
+        ComputeProfile { hashrate: 80_000.0, train_rate: 900.0, contention: 0.35 }
+    }
+
+    /// A contention-free profile (the ablation baseline).
+    pub fn isolated(hashrate: f64, train_rate: f64) -> Self {
+        ComputeProfile { hashrate, train_rate, contention: 0.0 }
+    }
+
+    /// Validates the profile.
+    ///
+    /// # Errors
+    ///
+    /// Describes the first violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(self.hashrate > 0.0) || !self.hashrate.is_finite() {
+            return Err("hashrate must be positive".into());
+        }
+        if !(self.train_rate > 0.0) || !self.train_rate.is_finite() {
+            return Err("train_rate must be positive".into());
+        }
+        if !(0.0..1.0).contains(&self.contention) {
+            return Err("contention must be in [0, 1)".into());
+        }
+        Ok(())
+    }
+
+    /// Effective hash rate, reduced while the peer trains.
+    pub fn effective_hashrate(&self, training: bool) -> f64 {
+        if training {
+            self.hashrate * (1.0 - self.contention)
+        } else {
+            self.hashrate
+        }
+    }
+
+    /// Wall-clock duration of local training: `examples × epochs` at the
+    /// training rate, inflated by contention when the peer also mines.
+    pub fn training_time(&self, examples: usize, epochs: usize, mining: bool) -> SimDuration {
+        let work = (examples * epochs) as f64;
+        let rate = if mining {
+            self.train_rate * (1.0 - self.contention)
+        } else {
+            self.train_rate
+        };
+        SimDuration::from_secs_f64(work / rate)
+    }
+}
+
+impl Default for ComputeProfile {
+    fn default() -> Self {
+        ComputeProfile::paper_vm()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contention_reduces_hashrate_only_while_training() {
+        let p = ComputeProfile { hashrate: 1000.0, train_rate: 100.0, contention: 0.4 };
+        assert_eq!(p.effective_hashrate(false), 1000.0);
+        assert_eq!(p.effective_hashrate(true), 600.0);
+    }
+
+    #[test]
+    fn training_time_scales_with_work() {
+        let p = ComputeProfile::isolated(1.0, 100.0);
+        let t1 = p.training_time(100, 1, false);
+        let t5 = p.training_time(100, 5, false);
+        assert_eq!(t1.as_secs_f64(), 1.0);
+        assert_eq!(t5.as_secs_f64(), 5.0);
+    }
+
+    #[test]
+    fn mining_inflates_training_time() {
+        let p = ComputeProfile { hashrate: 1000.0, train_rate: 100.0, contention: 0.5 };
+        let quiet = p.training_time(100, 1, false);
+        let contended = p.training_time(100, 1, true);
+        assert_eq!(contended.as_secs_f64(), 2.0 * quiet.as_secs_f64());
+    }
+
+    #[test]
+    fn isolated_profile_has_no_interference() {
+        let p = ComputeProfile::isolated(500.0, 50.0);
+        assert_eq!(p.effective_hashrate(true), 500.0);
+        assert_eq!(
+            p.training_time(10, 1, true),
+            p.training_time(10, 1, false)
+        );
+    }
+
+    #[test]
+    fn validation() {
+        assert!(ComputeProfile::paper_vm().validate().is_ok());
+        let bad = ComputeProfile { hashrate: 0.0, ..ComputeProfile::paper_vm() };
+        assert!(bad.validate().is_err());
+        let bad = ComputeProfile { contention: 1.0, ..ComputeProfile::paper_vm() };
+        assert!(bad.validate().is_err());
+        let bad = ComputeProfile { train_rate: f64::NAN, ..ComputeProfile::paper_vm() };
+        assert!(bad.validate().is_err());
+    }
+}

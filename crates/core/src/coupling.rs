@@ -1,0 +1,222 @@
+//! The blockchain⇄FL coupling: turning model updates into signed registry
+//! transactions and reading confirmed updates back off a peer's chain.
+
+use blockfed_chain::{Blockchain, Transaction};
+use blockfed_crypto::sha256::sha256;
+use blockfed_crypto::{H160, H256, KeyPair};
+use blockfed_fl::ModelUpdate;
+use blockfed_nn::serialize::encode_params;
+use blockfed_vm::RegistryCall;
+
+/// Fingerprint of a model update: the hash of its serialized parameters.
+pub fn model_fingerprint(update: &ModelUpdate) -> H256 {
+    sha256(&encode_params(&update.params))
+}
+
+/// Builds the signed `submit_model` transaction for an update.
+///
+/// The transaction's declared `payload_bytes` is the update's full artifact
+/// size (21.2 MB for the complex model), so gas and bandwidth behave as in the
+/// paper's "transaction size exceeds the model's size" configuration.
+pub fn submit_model_tx(
+    update: &ModelUpdate,
+    registry: H160,
+    key: &KeyPair,
+    nonce: u64,
+) -> Transaction {
+    let call = RegistryCall::SubmitModel {
+        round: update.round,
+        model_hash: model_fingerprint(update),
+        payload_bytes: update.payload_bytes,
+        sample_count: update.sample_count as u64,
+    };
+    Transaction::call(key.address(), registry, call.encode(), nonce)
+        .with_payload_bytes(update.payload_bytes)
+        .with_gas_limit(100_000_000)
+        .signed(key)
+}
+
+/// Builds the signed `register` transaction.
+pub fn register_tx(registry: H160, key: &KeyPair, nonce: u64) -> Transaction {
+    Transaction::call(key.address(), registry, RegistryCall::Register.encode(), nonce).signed(key)
+}
+
+/// Builds the signed `record_aggregate` transaction.
+pub fn record_aggregate_tx(
+    round: u32,
+    combo_mask: u32,
+    agg_hash: H256,
+    registry: H160,
+    key: &KeyPair,
+    nonce: u64,
+) -> Transaction {
+    let call = RegistryCall::RecordAggregate { round, combo_mask, agg_hash };
+    Transaction::call(key.address(), registry, call.encode(), nonce).signed(key)
+}
+
+/// A model submission confirmed on a peer's canonical chain.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfirmedSubmission {
+    /// The submitting account.
+    pub sender: H160,
+    /// Communication round.
+    pub round: u32,
+    /// Model fingerprint anchored on chain.
+    pub model_hash: H256,
+    /// Declared artifact size.
+    pub payload_bytes: u64,
+    /// FedAvg weight.
+    pub sample_count: u64,
+    /// Hash of the carrying transaction (evidence pointer).
+    pub tx_hash: H256,
+    /// Hash of the including block.
+    pub block_hash: H256,
+}
+
+/// Scans a peer's canonical chain for successfully executed `submit_model`
+/// calls to `registry` in the given round.
+pub fn confirmed_submissions(
+    chain: &Blockchain,
+    registry: H160,
+    round: u32,
+) -> Vec<ConfirmedSubmission> {
+    let mut out = Vec::new();
+    for block_hash in chain.canonical_chain() {
+        let block = chain.block(&block_hash).expect("canonical block exists");
+        let receipts = chain.receipts(&block_hash);
+        for (i, tx) in block.transactions.iter().enumerate() {
+            if tx.to != Some(registry) {
+                continue;
+            }
+            let ok = receipts
+                .and_then(|rs| rs.get(i))
+                .map(blockfed_chain::Receipt::is_success)
+                .unwrap_or(false);
+            if !ok {
+                continue;
+            }
+            if let Some(RegistryCall::SubmitModel {
+                round: r,
+                model_hash,
+                payload_bytes,
+                sample_count,
+            }) = RegistryCall::decode(&tx.data)
+            {
+                if r == round {
+                    out.push(ConfirmedSubmission {
+                        sender: tx.from,
+                        round: r,
+                        model_hash,
+                        payload_bytes,
+                        sample_count,
+                        tx_hash: tx.hash(),
+                        block_hash,
+                    });
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blockfed_chain::{GenesisSpec, SealPolicy};
+    use blockfed_fl::ClientId;
+    use blockfed_vm::BlockfedRuntime;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn key(seed: u64) -> KeyPair {
+        KeyPair::generate(&mut StdRng::seed_from_u64(seed))
+    }
+
+    fn registry_addr() -> H160 {
+        let mut b = [0u8; 20];
+        b[0] = 0xEE;
+        H160::from_bytes(b)
+    }
+
+    fn update(client: usize, round: u32) -> ModelUpdate {
+        ModelUpdate::new(ClientId(client), round, vec![0.5, -0.5, 1.0], 100)
+            .with_payload_bytes(253_952)
+    }
+
+    #[test]
+    fn fingerprint_is_content_addressed() {
+        let a = update(0, 1);
+        let mut b = update(0, 1);
+        assert_eq!(model_fingerprint(&a), model_fingerprint(&b));
+        b.params[0] += 0.1;
+        assert_ne!(model_fingerprint(&a), model_fingerprint(&b));
+    }
+
+    #[test]
+    fn txs_are_signed_and_payload_stamped() {
+        let k = key(1);
+        let tx = submit_model_tx(&update(0, 3), registry_addr(), &k, 1);
+        assert!(tx.verify_signature().is_ok());
+        assert_eq!(tx.payload_bytes, 253_952);
+        assert_eq!(tx.nonce, 1);
+        let reg = register_tx(registry_addr(), &k, 0);
+        assert!(reg.verify_signature().is_ok());
+        let agg = record_aggregate_tx(3, 0b111, sha256(b"agg"), registry_addr(), &k, 2);
+        assert!(agg.verify_signature().is_ok());
+    }
+
+    #[test]
+    fn end_to_end_submission_confirmation() {
+        let peers: Vec<KeyPair> = (1..=3).map(key).collect();
+        let addrs: Vec<H160> = peers.iter().map(KeyPair::address).collect();
+        let registry = registry_addr();
+        let spec = GenesisSpec::with_accounts(&addrs, u64::MAX / 4)
+            .with_code(registry, blockfed_vm::NATIVE_REGISTRY_CODE.to_vec());
+        let mut chain = Blockchain::with_seal_policy(&spec, SealPolicy::Simulated);
+        let mut runtime = BlockfedRuntime::new();
+        runtime.register_native(registry, blockfed_vm::NativeContract::FlRegistry);
+
+        // Block 1: everyone registers. Block 2: two submissions for round 1.
+        let mut txs = Vec::new();
+        for k in &peers {
+            txs.push(register_tx(registry, k, 0));
+        }
+        let block1 = chain.build_candidate(addrs[0], txs, 1_000, &mut runtime);
+        chain.import(block1, &mut runtime).unwrap();
+
+        let u0 = update(0, 1);
+        let u1 = update(1, 1);
+        let txs = vec![
+            submit_model_tx(&u0, registry, &peers[0], 1),
+            submit_model_tx(&u1, registry, &peers[1], 1),
+        ];
+        let block2 = chain.build_candidate(addrs[1], txs, 2_000, &mut runtime);
+        chain.import(block2, &mut runtime).unwrap();
+
+        let confirmed = confirmed_submissions(&chain, registry, 1);
+        assert_eq!(confirmed.len(), 2);
+        assert_eq!(confirmed[0].sender, addrs[0]);
+        assert_eq!(confirmed[0].model_hash, model_fingerprint(&u0));
+        assert_eq!(confirmed[0].sample_count, 100);
+        assert_eq!(confirmed[1].sender, addrs[1]);
+        // No submissions confirmed for other rounds.
+        assert!(confirmed_submissions(&chain, registry, 2).is_empty());
+    }
+
+    #[test]
+    fn failed_submissions_are_not_confirmed() {
+        let k = key(9);
+        let registry = registry_addr();
+        let spec = GenesisSpec::with_accounts(&[k.address()], u64::MAX / 4)
+            .with_code(registry, blockfed_vm::NATIVE_REGISTRY_CODE.to_vec());
+        let mut chain = Blockchain::with_seal_policy(&spec, SealPolicy::Simulated);
+        let mut runtime = BlockfedRuntime::new();
+        runtime.register_native(registry, blockfed_vm::NativeContract::FlRegistry);
+
+        // Submission without registration reverts; it must not count.
+        let tx = submit_model_tx(&update(0, 1), registry, &k, 0);
+        let block = chain.build_candidate(k.address(), vec![tx], 1_000, &mut runtime);
+        chain.import(block, &mut runtime).unwrap();
+        assert!(confirmed_submissions(&chain, registry, 1).is_empty());
+    }
+}

@@ -1,0 +1,42 @@
+//! `blockfed-core`: the paper's primary contribution — a **fully coupled
+//! blockchain-based federated learning** system in which every participant is
+//! simultaneously a trainer, an aggregator, and a blockchain peer.
+//!
+//! The crate wires the substrates together:
+//!
+//! * [`coupling`] — model updates become signed registry transactions on the
+//!   `blockfed-chain` proof-of-work chain (via the `blockfed-vm` FL registry);
+//! * [`orchestrator`] — the deterministic discrete-event driver of the
+//!   decentralized experiment: training, gossip, mining races, per-peer
+//!   customized ("consider") aggregation and asynchronous wait policies;
+//! * [`nonrepudiation`] — evidence bundles (signature + merkle inclusion +
+//!   proof-of-work block) that make model authorship undeniable;
+//! * [`anomaly`] — abnormal-model detectors (norm outliers, fitness gates);
+//! * [`compute`] — the mining⇄training contention model behind the paper's
+//!   "resource exhaustion due to dual tasks" observation.
+//!
+//! The Vanilla (centralized) baseline lives in `blockfed-fl`; the experiment
+//! harness regenerating every table and figure lives in `blockfed-bench`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod anomaly;
+pub mod compute;
+pub mod coupling;
+pub mod nonrepudiation;
+pub mod orchestrator;
+
+pub use anomaly::{
+    detect_degenerate, detect_norm_outliers, detect_unfit, AnomalyReason, AnomalyReport,
+};
+pub use compute::ComputeProfile;
+pub use coupling::{
+    confirmed_submissions, model_fingerprint, record_aggregate_tx, register_tx,
+    submit_model_tx, ConfirmedSubmission,
+};
+pub use nonrepudiation::{collect_evidence, verify_evidence, AuditError, Evidence};
+pub use orchestrator::{
+    AuditRecord, ChainStats, Decentralized, DecentralizedConfig, DecentralizedRun,
+    PeerRoundRecord,
+};

@@ -1,0 +1,1435 @@
+//! The fully coupled blockchain-based FL orchestrator.
+//!
+//! Every peer simultaneously (i) trains on its local shard, (ii) mines, and
+//! (iii) aggregates: exactly the paper's §III architecture where "worker node,
+//! as well as the aggregator, are merged into one layer". The whole run is a
+//! deterministic discrete-event simulation:
+//!
+//! 1. at `t=0` every peer signs a registry `register` transaction and starts
+//!    training round 1;
+//! 2. when training finishes, the peer publishes its model: a signed
+//!    `submit_model` transaction whose declared payload is the full model
+//!    artifact (248 KB / 21.2 MB), gossiped to every peer together with the
+//!    parameters themselves;
+//! 3. miners race continuously — the winner of each exponential race (rate
+//!    proportional to its contention-adjusted hash rate) builds a block from
+//!    its mempool and floods it;
+//! 4. a peer whose [`WaitPolicy`] is satisfied *by submissions confirmed on
+//!    its own chain* evaluates every model combination on its own test set
+//!    (the "consider" search), adopts the best one, records the choice on
+//!    chain, and starts the next round.
+//!
+//! The per-peer, per-round combination accuracies are exactly the rows of the
+//! paper's Tables II–IV; the wait times quantify the title's
+//! "wait or not to wait" trade-off.
+
+use std::collections::HashMap;
+
+use blockfed_chain::{Blockchain, GenesisSpec, Mempool, SealPolicy, Transaction};
+use blockfed_crypto::{H160, H256, KeyPair};
+use blockfed_data::{Batcher, Dataset};
+use blockfed_fl::{
+    aggregate, Adversary, ClientId, Combination, ModelUpdate, Strategy, WaitPolicy,
+};
+use blockfed_net::{LinkSpec, Network, NodeId, Topology};
+use blockfed_nn::{Sequential, Sgd};
+use blockfed_sim::{RngHub, Scheduler, SimDuration, SimTime, Trace};
+use blockfed_vm::{BlockfedRuntime, NativeContract, NATIVE_REGISTRY_CODE};
+use rand::Rng;
+
+use crate::compute::ComputeProfile;
+use crate::coupling::{
+    confirmed_submissions, record_aggregate_tx, register_tx, submit_model_tx,
+};
+
+/// Configuration of a decentralized run.
+#[derive(Debug, Clone)]
+pub struct DecentralizedConfig {
+    /// Communication rounds (paper: 10).
+    pub rounds: u32,
+    /// Local epochs per round (paper: 5).
+    pub local_epochs: usize,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// SGD learning rate.
+    pub lr: f32,
+    /// SGD momentum.
+    pub momentum: f32,
+    /// When a peer stops waiting for more models (the title question).
+    pub wait_policy: WaitPolicy,
+    /// How a peer aggregates once its wait policy is satisfied. The paper's
+    /// decentralized setting uses [`Strategy::Consider`] (the full
+    /// combination search, default); [`Strategy::BestK`] caps how many local
+    /// updates enter the aggregate at linear cost; and
+    /// [`Strategy::NotConsider`] always averages everything usable.
+    pub strategy: Strategy,
+    /// Declared size of the full model artifact on chain.
+    pub payload_bytes: u64,
+    /// Proof-of-work difficulty (sets the block cadence together with the
+    /// compute profiles).
+    pub difficulty: u128,
+    /// Per-peer compute (hash rate, training rate, contention).
+    pub compute: ComputeProfile,
+    /// Optional per-peer override of `compute` — the realistic heterogeneous
+    /// setting ("stragglers") where asynchronous aggregation actually pays.
+    /// Must match the peer count when set.
+    pub per_peer_compute: Option<Vec<ComputeProfile>>,
+    /// The paper's §III fitness gate: a received model whose standalone
+    /// accuracy on the peer's own test data falls below this threshold is
+    /// ignored during aggregation ("otherwise, it will be ignored"). `None`
+    /// disables the gate. If every model fails the gate once all peers have
+    /// reported, the single best-scoring model is used as a fallback so a
+    /// round can always complete.
+    pub fitness_threshold: Option<f64>,
+    /// Statistical anomaly gate: drop received models whose parameter-norm
+    /// z-score across the round's cohort exceeds this threshold (see
+    /// [`crate::anomaly::detect_norm_outliers`]). `None` disables the gate.
+    /// Non-finite (malformed) models are always dropped regardless.
+    pub norm_z_threshold: Option<f64>,
+    /// Degeneracy gate: drop models that predict fewer than this many
+    /// distinct classes on the peer's own test data (see
+    /// [`crate::anomaly::detect_degenerate`]) — the free-rider fingerprint a
+    /// chance-level fitness threshold can miss. `None` disables the gate. If
+    /// the gate would drop *every* candidate, it is skipped for that
+    /// aggregation so rounds always stay live.
+    pub degeneracy_min_classes: Option<usize>,
+    /// Compromised peers and the model-poisoning attacks they mount (the
+    /// paper's future-work evaluation). Applied to the peer's update after
+    /// honest training, before signing and publication — so the signed
+    /// transaction binds the attacker to the poisoned artefact.
+    pub adversaries: Vec<Adversary>,
+    /// Link profile between peers.
+    pub link: LinkSpec,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Default for DecentralizedConfig {
+    fn default() -> Self {
+        DecentralizedConfig {
+            rounds: 10,
+            local_epochs: 5,
+            batch_size: 32,
+            lr: 0.05,
+            momentum: 0.9,
+            wait_policy: WaitPolicy::All,
+            strategy: Strategy::Consider,
+            payload_bytes: 253_952, // SimpleNN's 248 KB
+            difficulty: 3_000_000,  // ≈13 s blocks with 3 paper_vm miners
+            compute: ComputeProfile::paper_vm(),
+            per_peer_compute: None,
+            fitness_threshold: None,
+            norm_z_threshold: None,
+            degeneracy_min_classes: None,
+            adversaries: Vec::new(),
+            link: LinkSpec::lan(),
+            seed: 42,
+        }
+    }
+}
+
+/// One peer's record of one communication round.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PeerRoundRecord {
+    /// 1-based round.
+    pub round: u32,
+    /// Accuracy of every evaluated combination on this peer's own test set,
+    /// labelled owner-first as in the paper's tables (`"B,A"` etc.).
+    pub combos: Vec<(String, f64)>,
+    /// The combination this peer adopted.
+    pub chosen: String,
+    /// Its accuracy.
+    pub chosen_accuracy: f64,
+    /// How long the peer waited between finishing local training and
+    /// aggregating (propagation + mining + policy wait).
+    pub wait: SimDuration,
+    /// Virtual time of the aggregation.
+    pub aggregated_at: SimTime,
+    /// How many confirmed updates entered the aggregation.
+    pub updates_used: usize,
+    /// Mean age of the aggregated updates — the time between a model being
+    /// published and this peer consuming it (Wilhelmi et al.'s age-of-block
+    /// freshness metric).
+    pub update_age_mean: SimDuration,
+    /// Maximum update age in this aggregation.
+    pub update_age_max: SimDuration,
+    /// Clients whose models this peer dropped before aggregation, with the
+    /// reason (`"A:malformed"`, `"B:norm-outlier"`, `"C:degenerate"`,
+    /// `"C:unfit"`).
+    pub dropped: Vec<String>,
+}
+
+impl PeerRoundRecord {
+    /// Looks up a combination's accuracy by its label.
+    pub fn accuracy_of(&self, label: &str) -> Option<f64> {
+        self.combos.iter().find(|(l, _)| l == label).map(|(_, a)| *a)
+    }
+}
+
+/// Chain-side statistics of a run (measured on peer 0's canonical chain).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChainStats {
+    /// Canonical blocks (excluding genesis).
+    pub blocks: usize,
+    /// Mean interval between canonical blocks.
+    pub mean_block_interval: Option<SimDuration>,
+    /// Successful transactions included.
+    pub total_txs: usize,
+    /// Total gas used.
+    pub total_gas: u64,
+    /// Total declared model payload bytes carried.
+    pub total_payload_bytes: u64,
+}
+
+/// Post-run non-repudiation audit of one published model update: whether a
+/// signed, merkle-anchored, proof-of-work-buried evidence bundle binding the
+/// update to its author could be collected from peer 0's canonical chain and
+/// independently verified (see [`crate::nonrepudiation`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AuditRecord {
+    /// The update's author.
+    pub client: ClientId,
+    /// Communication round of the update.
+    pub round: u32,
+    /// Whether evidence was collected and verified.
+    pub verified: bool,
+}
+
+/// The complete result of a decentralized run.
+#[derive(Debug)]
+pub struct DecentralizedRun {
+    /// Per-peer, per-round records (`peer_records[peer][round-1]`).
+    pub peer_records: Vec<Vec<PeerRoundRecord>>,
+    /// Chain statistics.
+    pub chain: ChainStats,
+    /// Timestamped event log.
+    pub trace: Trace,
+    /// Virtual time at which the last peer finished the last round.
+    pub finished_at: SimTime,
+    /// Every model update published during the run (poisoned ones included —
+    /// the attack mutates parameters *before* signing, so authorship binds).
+    pub published_updates: Vec<ModelUpdate>,
+    /// One non-repudiation audit per published update, against peer 0's
+    /// canonical chain. Updates a wait-`k` policy left unconfirmed at the end
+    /// of the final round audit as `verified: false`.
+    pub audits: Vec<AuditRecord>,
+}
+
+impl DecentralizedRun {
+    /// Mean aggregation wait across all peers and rounds.
+    pub fn mean_wait(&self) -> SimDuration {
+        let mut total = SimDuration::ZERO;
+        let mut n = 0u64;
+        for peer in &self.peer_records {
+            for r in peer {
+                total += r.wait;
+                n += 1;
+            }
+        }
+        if n == 0 {
+            SimDuration::ZERO
+        } else {
+            total / n
+        }
+    }
+
+    /// Final-round chosen accuracy of a peer.
+    pub fn final_accuracy(&self, peer: usize) -> f64 {
+        self.peer_records[peer].last().map(|r| r.chosen_accuracy).unwrap_or(0.0)
+    }
+
+    /// Age-of-block statistics pooled across all peers and rounds (exact
+    /// pooled mean and true maximum, reconstructed from the per-round
+    /// summaries).
+    pub fn age_of_block(&self) -> blockfed_fl::AgeOfBlock {
+        let mut age = blockfed_fl::AgeOfBlock::new();
+        for peer in &self.peer_records {
+            for r in peer {
+                age.record_summary(
+                    r.updates_used as u64,
+                    r.update_age_mean.as_secs_f64(),
+                    r.update_age_max.as_secs_f64(),
+                );
+            }
+        }
+        age
+    }
+
+    /// Every drop (client excluded from an aggregation) across the run, as
+    /// `(peer, round, reason)` tuples — the detection log the non-repudiation
+    /// audit then acts on.
+    pub fn drops(&self) -> Vec<(usize, u32, String)> {
+        let mut out = Vec::new();
+        for (peer, records) in self.peer_records.iter().enumerate() {
+            for r in records {
+                for d in &r.dropped {
+                    out.push((peer, r.round, d.clone()));
+                }
+            }
+        }
+        out
+    }
+}
+
+#[derive(Debug)]
+enum Event {
+    TrainDone { peer: usize },
+    DeliverTx { to: usize, idx: usize },
+    DeliverBlock { to: usize, idx: usize },
+    SealBlock,
+}
+
+struct PeerState {
+    key: KeyPair,
+    chain: Blockchain,
+    mempool: Mempool,
+    runtime: BlockfedRuntime,
+    next_nonce: u64,
+    model_store: HashMap<H256, ModelUpdate>,
+    orphans: Vec<usize>,
+    current_round: u32,
+    training: bool,
+    train_done_at: Option<SimTime>,
+    global_params: Vec<f32>,
+    records: Vec<PeerRoundRecord>,
+}
+
+impl PeerState {
+    fn done(&self, total_rounds: u32) -> bool {
+        self.records.len() as u32 >= total_rounds
+    }
+}
+
+/// The decentralized experiment driver.
+pub struct Decentralized<'a> {
+    config: DecentralizedConfig,
+    train_shards: &'a [Dataset],
+    peer_tests: &'a [Dataset],
+}
+
+impl<'a> Decentralized<'a> {
+    /// Creates a driver over per-peer train shards and test sets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shard and test counts disagree, fewer than two peers are
+    /// given, or the configuration is invalid.
+    pub fn new(
+        config: DecentralizedConfig,
+        train_shards: &'a [Dataset],
+        peer_tests: &'a [Dataset],
+    ) -> Self {
+        assert!(train_shards.len() >= 2, "need at least two peers");
+        assert_eq!(train_shards.len(), peer_tests.len(), "shard/test count mismatch");
+        config.compute.validate().expect("invalid compute profile");
+        if let Some(profiles) = &config.per_peer_compute {
+            assert_eq!(profiles.len(), train_shards.len(), "per-peer compute count mismatch");
+            for p in profiles {
+                p.validate().expect("invalid per-peer compute profile");
+            }
+        }
+        assert!(config.rounds > 0, "need at least one round");
+        Decentralized { config, train_shards, peer_tests }
+    }
+
+    /// The compute profile of one peer.
+    fn compute_for(&self, peer: usize) -> ComputeProfile {
+        self.config
+            .per_peer_compute
+            .as_ref()
+            .map(|v| v[peer])
+            .unwrap_or(self.config.compute)
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &DecentralizedConfig {
+        &self.config
+    }
+
+    /// Runs the experiment. `make_model` builds the shared architecture; the
+    /// first instance's initialization seeds every peer's starting point.
+    pub fn run(&self, make_model: &mut dyn FnMut() -> Sequential) -> DecentralizedRun {
+        self.run_with_hook(make_model, &mut |_| {})
+    }
+
+    /// Like [`Decentralized::run`] but calls `update_hook` on every local
+    /// update right after training — the failure-injection point for studying
+    /// poisoned or noisy peers in the decentralized setting.
+    pub fn run_with_hook(
+        &self,
+        make_model: &mut dyn FnMut() -> Sequential,
+        update_hook: &mut dyn FnMut(&mut ModelUpdate),
+    ) -> DecentralizedRun {
+        let n = self.train_shards.len();
+        let cfg = &self.config;
+        let hub = RngHub::new(cfg.seed);
+        let mut trace = Trace::new();
+
+        // --- identities, registry, chains -------------------------------
+        let mut key_rng = hub.stream("keys");
+        let keys: Vec<KeyPair> = (0..n).map(|_| KeyPair::generate(&mut key_rng)).collect();
+        let addrs: Vec<H160> = keys.iter().map(KeyPair::address).collect();
+        let mut registry_bytes = [0u8; 20];
+        registry_bytes[0] = 0xFE;
+        registry_bytes[19] = 0xED;
+        let registry = H160::from_bytes(registry_bytes);
+        let spec = GenesisSpec::with_accounts(&addrs, u64::MAX / 4)
+            .with_difficulty(cfg.difficulty)
+            .with_code(registry, NATIVE_REGISTRY_CODE.to_vec());
+        let addr_to_client: HashMap<H160, ClientId> =
+            addrs.iter().enumerate().map(|(i, a)| (*a, ClientId(i))).collect();
+
+        let init_params = make_model().params_flat();
+        let mut scratch = make_model();
+        let mut peers: Vec<PeerState> = (0..n)
+            .map(|i| {
+                let mut runtime = BlockfedRuntime::new();
+                runtime.register_native(registry, NativeContract::FlRegistry);
+                PeerState {
+                    key: keys[i].clone(),
+                    chain: Blockchain::with_seal_policy(&spec, SealPolicy::Simulated),
+                    mempool: Mempool::new(),
+                    runtime,
+                    next_nonce: 0,
+                    model_store: HashMap::new(),
+                    orphans: Vec::new(),
+                    current_round: 1,
+                    training: true,
+                    train_done_at: None,
+                    global_params: init_params.clone(),
+                    records: Vec::new(),
+                }
+            })
+            .collect();
+
+        // --- network & schedule ------------------------------------------
+        let network = Network::new(n, Topology::FullMesh, cfg.link);
+        let mut sched: Scheduler<Event> = Scheduler::new();
+        let mut net_rng = hub.stream("net");
+        let mut mine_rng = hub.stream("mining");
+        let mut train_time_rng = hub.stream("train-time");
+
+        // Shared logs so events carry small indices instead of payloads.
+        let mut tx_log: Vec<Transaction> = Vec::new();
+        let mut update_log: Vec<ModelUpdate> = Vec::new(); // aligned with tx_log where applicable
+        let mut tx_update: Vec<Option<usize>> = Vec::new();
+        let mut block_log: Vec<blockfed_chain::Block> = Vec::new();
+
+        // Publication times (for the age-of-block metric) and each peer's
+        // previously published parameters (for the replay attack).
+        let mut publish_time: HashMap<H256, SimTime> = HashMap::new();
+        let mut last_published: Vec<Option<Vec<f32>>> = vec![None; n];
+        let mut attack_rng = hub.stream("attack");
+
+        // Registration txs at t = 0.
+        for i in 0..n {
+            let tx = register_tx(registry, &keys[i], 0);
+            peers[i].next_nonce = 1;
+            let idx = tx_log.len();
+            tx_log.push(tx.clone());
+            tx_update.push(None);
+            let state_now = peers[i].chain.state().clone();
+            let _ = peers[i].mempool.insert(tx, &state_now);
+            for (node, delay) in network.flood(NodeId(i), 512, &mut net_rng) {
+                sched.schedule_after(delay, Event::DeliverTx { to: node.0, idx });
+            }
+        }
+
+        // Initial training for every peer.
+        for (i, shard) in self.train_shards.iter().enumerate() {
+            let base = self.compute_for(i).training_time(shard.len(), cfg.local_epochs, true);
+            let jitter = base.mul_f64(train_time_rng.gen_range(0.0..0.05));
+            sched.schedule_after(base + jitter, Event::TrainDone { peer: i });
+        }
+
+        // First mining race.
+        let first_delay = self.sample_race_delay(&peers, &mut mine_rng);
+        sched.schedule_after(first_delay, Event::SealBlock);
+
+        // --- event loop ----------------------------------------------------
+        let mut events_processed: u64 = 0;
+        let event_cap: u64 = 2_000_000;
+        let mut finished_at = SimTime::ZERO;
+
+        while let Some((now, event)) = sched.next() {
+            events_processed += 1;
+            assert!(events_processed < event_cap, "event cap exceeded; livelock?");
+            if peers.iter().all(|p| p.done(cfg.rounds)) {
+                finished_at = finished_at.max(now);
+                break;
+            }
+            match event {
+                Event::TrainDone { peer } => {
+                    let round = peers[peer].current_round;
+                    // Train eagerly at the event (virtual time already paid).
+                    let mut model = make_model();
+                    model.set_params_flat(&peers[peer].global_params);
+                    let mut opt = Sgd::new(cfg.lr, cfg.momentum);
+                    let mut rng = hub.indexed_stream("train", (peer as u64) << 32 | u64::from(round));
+                    model.train_epochs(
+                        &self.train_shards[peer],
+                        cfg.local_epochs,
+                        &Batcher::new(cfg.batch_size),
+                        &mut opt,
+                        &mut rng,
+                    );
+                    let mut update = ModelUpdate::new(
+                        ClientId(peer),
+                        round,
+                        model.params_flat(),
+                        self.train_shards[peer].len(),
+                    )
+                    .with_payload_bytes(cfg.payload_bytes);
+                    update_hook(&mut update);
+                    for adv in &cfg.adversaries {
+                        if adv.client == ClientId(peer) && adv.active_in(round) {
+                            adv.attack.apply_with_history(
+                                &mut update,
+                                last_published[peer].as_deref(),
+                                &mut attack_rng,
+                            );
+                            trace.record(
+                                now,
+                                "attack.mounted",
+                                format!("peer={peer} round={round} attack={}", adv.attack),
+                            );
+                        }
+                    }
+                    last_published[peer] = Some(update.params.clone());
+                    let fingerprint = crate::coupling::model_fingerprint(&update);
+                    publish_time.insert(fingerprint, now);
+                    let tx =
+                        submit_model_tx(&update, registry, &keys[peer], peers[peer].next_nonce);
+                    peers[peer].next_nonce += 1;
+                    trace.record(now, "train.done", format!("peer={peer} round={round}"));
+
+                    let tx_idx = tx_log.len();
+                    tx_log.push(tx.clone());
+                    let upd_idx = update_log.len();
+                    update_log.push(update.clone());
+                    tx_update.push(Some(upd_idx));
+
+                    peers[peer].model_store.insert(fingerprint, update);
+                    let state_now = peers[peer].chain.state().clone();
+                    let _ = peers[peer].mempool.insert(tx, &state_now);
+                    peers[peer].training = false;
+                    peers[peer].train_done_at = Some(now);
+
+                    for (node, delay) in
+                        network.flood(NodeId(peer), cfg.payload_bytes, &mut net_rng)
+                    {
+                        sched.schedule_after(delay, Event::DeliverTx { to: node.0, idx: tx_idx });
+                    }
+                    self.try_aggregate(
+                        peer, now, registry, &mut peers, &mut scratch, &addr_to_client, &publish_time, &hub,
+                        &mut trace, &mut sched, &network, &mut net_rng, &mut tx_log,
+                        &mut tx_update, &mut train_time_rng,
+                    );
+                }
+                Event::DeliverTx { to, idx } => {
+                    let tx = tx_log[idx].clone();
+                    if let Some(u) = tx_update[idx] {
+                        let update = update_log[u].clone();
+                        let fp = crate::coupling::model_fingerprint(&update);
+                        peers[to].model_store.insert(fp, update);
+                    }
+                    let state_now = peers[to].chain.state().clone();
+                    let _ = peers[to].mempool.insert(tx, &state_now);
+                    self.try_aggregate(
+                        to, now, registry, &mut peers, &mut scratch, &addr_to_client, &publish_time, &hub,
+                        &mut trace, &mut sched, &network, &mut net_rng, &mut tx_log,
+                        &mut tx_update, &mut train_time_rng,
+                    );
+                }
+                Event::SealBlock => {
+                    // Pick the race winner ∝ current effective hash rates.
+                    let weights: Vec<f64> = peers
+                        .iter()
+                        .enumerate()
+                        .map(|(i, p)| self.compute_for(i).effective_hashrate(p.training))
+                        .collect();
+                    let total: f64 = weights.iter().sum();
+                    let mut draw = mine_rng.gen_range(0.0..total);
+                    let mut winner = 0usize;
+                    for (i, w) in weights.iter().enumerate() {
+                        if draw < *w {
+                            winner = i;
+                            break;
+                        }
+                        draw -= w;
+                    }
+                    let head_ts = peers[winner].chain.head_block().header.timestamp_ns;
+                    let ts = now.as_nanos().max(head_ts + 1);
+                    let state_now = peers[winner].chain.state().clone();
+                    peers[winner].mempool.prune(&state_now);
+                    let gas_limit = peers[winner].chain.head_block().header.gas_limit;
+                    let txs = peers[winner].mempool.select(&state_now, gas_limit, 64);
+                    let (block, ok) = {
+                        let p = &mut peers[winner];
+                        let block = p.chain.build_candidate(
+                            p.key.address(),
+                            txs,
+                            ts,
+                            &mut p.runtime,
+                        );
+                        let ok = p.chain.import(block.clone(), &mut p.runtime).is_ok();
+                        (block, ok)
+                    };
+                    if ok {
+                        trace.record(
+                            now,
+                            "block.sealed",
+                            format!(
+                                "miner={winner} number={} txs={}",
+                                block.number(),
+                                block.transactions.len()
+                            ),
+                        );
+                        let state_after = peers[winner].chain.state().clone();
+                        peers[winner].mempool.prune(&state_after);
+                        let block_idx = block_log.len();
+                        let block_bytes = 1024 + 256 * block.transactions.len() as u64;
+                        block_log.push(block);
+                        for (node, delay) in
+                            network.flood(NodeId(winner), block_bytes, &mut net_rng)
+                        {
+                            sched.schedule_after(
+                                delay,
+                                Event::DeliverBlock { to: node.0, idx: block_idx },
+                            );
+                        }
+                        self.try_aggregate(
+                            winner, now, registry, &mut peers, &mut scratch, &addr_to_client,
+                            &publish_time, &hub, &mut trace, &mut sched, &network, &mut net_rng, &mut tx_log,
+                            &mut tx_update, &mut train_time_rng,
+                        );
+                    }
+                    let delay = self.sample_race_delay(&peers, &mut mine_rng);
+                    sched.schedule_after(delay, Event::SealBlock);
+                }
+                Event::DeliverBlock { to, idx } => {
+                    self.import_with_orphans(to, idx, &mut peers, &block_log);
+                    self.try_aggregate(
+                        to, now, registry, &mut peers, &mut scratch, &addr_to_client, &publish_time, &hub,
+                        &mut trace, &mut sched, &network, &mut net_rng, &mut tx_log,
+                        &mut tx_update, &mut train_time_rng,
+                    );
+                }
+            }
+            finished_at = now;
+            if peers.iter().all(|p| p.done(cfg.rounds)) {
+                break;
+            }
+        }
+
+        // --- assemble results -----------------------------------------------
+        let chain = self.chain_stats(&peers[0].chain);
+        let audits: Vec<AuditRecord> = update_log
+            .iter()
+            .map(|u| {
+                let author = addrs[u.client.0];
+                let verified =
+                    crate::nonrepudiation::collect_evidence(&peers[0].chain, registry, author, u)
+                        .and_then(|ev| {
+                            crate::nonrepudiation::verify_evidence(&peers[0].chain, &ev, u)
+                        })
+                        .is_ok();
+                AuditRecord { client: u.client, round: u.round, verified }
+            })
+            .collect();
+        DecentralizedRun {
+            peer_records: peers.into_iter().map(|p| p.records).collect(),
+            chain,
+            trace,
+            finished_at,
+            published_updates: update_log,
+            audits,
+        }
+    }
+
+    fn sample_race_delay(&self, peers: &[PeerState], rng: &mut impl Rng) -> SimDuration {
+        let total: f64 = peers
+            .iter()
+            .enumerate()
+            .map(|(i, p)| self.compute_for(i).effective_hashrate(p.training))
+            .sum();
+        blockfed_chain::pow::sample_mining_delay(self.config.difficulty, total, rng)
+    }
+
+    fn import_with_orphans(
+        &self,
+        to: usize,
+        idx: usize,
+        peers: &mut [PeerState],
+        block_log: &[blockfed_chain::Block],
+    ) {
+        let p = &mut peers[to];
+        p.orphans.push(idx);
+        // Keep trying until no orphan imports (parents may arrive out of order).
+        loop {
+            let mut imported_any = false;
+            let mut remaining = Vec::new();
+            for &i in &p.orphans {
+                let block = block_log[i].clone();
+                match p.chain.import(block, &mut p.runtime) {
+                    Ok(_) => imported_any = true,
+                    Err(blockfed_chain::ImportError::UnknownParent(_)) => remaining.push(i),
+                    Err(_) => {} // permanently invalid; drop
+                }
+            }
+            p.orphans = remaining;
+            if !imported_any || p.orphans.is_empty() {
+                break;
+            }
+        }
+        let state_now = p.chain.state().clone();
+        p.mempool.prune(&state_now);
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn try_aggregate(
+        &self,
+        peer: usize,
+        now: SimTime,
+        registry: H160,
+        peers: &mut [PeerState],
+        scratch: &mut Sequential,
+        addr_to_client: &HashMap<H160, ClientId>,
+        publish_time: &HashMap<H256, SimTime>,
+        hub: &RngHub,
+        trace: &mut Trace,
+        sched: &mut Scheduler<Event>,
+        network: &Network,
+        net_rng: &mut impl Rng,
+        tx_log: &mut Vec<Transaction>,
+        tx_update: &mut Vec<Option<usize>>,
+        train_time_rng: &mut impl Rng,
+    ) {
+        let cfg = &self.config;
+        let n = peers.len();
+        let round = peers[peer].current_round;
+        if peers[peer].done(cfg.rounds)
+            || peers[peer].training
+            || peers[peer].train_done_at.is_none()
+        {
+            return;
+        }
+        // Confirmed submissions on *this peer's* chain with payloads at hand.
+        let confirmed = confirmed_submissions(&peers[peer].chain, registry, round);
+        let arrived: Vec<ModelUpdate> = confirmed
+            .iter()
+            .filter_map(|s| peers[peer].model_store.get(&s.model_hash).cloned())
+            .collect();
+        let arrived_count = arrived.len();
+        if !cfg.wait_policy.ready(arrived_count, n) || arrived.is_empty() {
+            return;
+        }
+
+        let mut dropped: Vec<String> = Vec::new();
+
+        // Malformed (non-finite) models can never enter an average; they are
+        // dropped unconditionally and logged for the audit trail.
+        let (finite, malformed): (Vec<ModelUpdate>, Vec<ModelUpdate>) =
+            arrived.into_iter().partition(ModelUpdate::is_finite);
+        for u in &malformed {
+            dropped.push(format!("{}:malformed", u.client));
+            trace.record(
+                now,
+                "anomaly.malformed",
+                format!("peer={peer} round={round} from={}", u.client),
+            );
+        }
+        if finite.is_empty() {
+            return; // nothing aggregatable yet; wait for more submissions
+        }
+
+        // Statistical norm gate: drop cohort-level norm outliers.
+        let screened: Vec<ModelUpdate> = match cfg.norm_z_threshold {
+            None => finite,
+            Some(z) => {
+                let refs: Vec<&ModelUpdate> = finite.iter().collect();
+                let flagged: std::collections::HashSet<usize> =
+                    crate::anomaly::detect_norm_outliers(&refs, z)
+                        .into_iter()
+                        .map(|r| r.index)
+                        .collect();
+                let mut kept = Vec::new();
+                for (i, u) in finite.into_iter().enumerate() {
+                    if flagged.contains(&i) {
+                        dropped.push(format!("{}:norm-outlier", u.client));
+                        trace.record(
+                            now,
+                            "anomaly.norm",
+                            format!("peer={peer} round={round} from={}", u.client),
+                        );
+                        continue;
+                    }
+                    kept.push(u);
+                }
+                kept
+            }
+        };
+        if screened.is_empty() {
+            return;
+        }
+
+        // Degeneracy gate: drop constant-prediction (free-rider) models. If
+        // it would drop everything, skip it for liveness.
+        let screened: Vec<ModelUpdate> = match cfg.degeneracy_min_classes {
+            None => screened,
+            Some(min) => {
+                let test = &self.peer_tests[peer];
+                let refs: Vec<&ModelUpdate> = screened.iter().collect();
+                let flagged: std::collections::HashSet<usize> =
+                    crate::anomaly::detect_degenerate(&refs, min, |u| {
+                        scratch.set_params_flat(&u.params);
+                        scratch.evaluate_confusion(test)
+                    })
+                    .into_iter()
+                    .map(|r| r.index)
+                    .collect();
+                if flagged.len() >= screened.len() {
+                    trace.record(
+                        now,
+                        "anomaly.degenerate-gate-skipped",
+                        format!("peer={peer} round={round} all candidates degenerate"),
+                    );
+                    screened
+                } else {
+                    let mut kept = Vec::new();
+                    for (i, u) in screened.into_iter().enumerate() {
+                        if flagged.contains(&i) {
+                            dropped.push(format!("{}:degenerate", u.client));
+                            trace.record(
+                                now,
+                                "anomaly.degenerate",
+                                format!("peer={peer} round={round} from={}", u.client),
+                            );
+                            continue;
+                        }
+                        kept.push(u);
+                    }
+                    kept
+                }
+            }
+        };
+
+        // §III fitness gate: drop models below the threshold on this peer's
+        // own test data; if everything fails once all peers reported, fall
+        // back to the single best model so a round can always complete.
+        let usable: Vec<ModelUpdate> = match cfg.fitness_threshold {
+            None => screened,
+            Some(th) => {
+                let test = &self.peer_tests[peer];
+                let mut scored: Vec<(f64, ModelUpdate)> = screened
+                    .into_iter()
+                    .map(|u| {
+                        scratch.set_params_flat(&u.params);
+                        (scratch.evaluate(test).accuracy, u)
+                    })
+                    .collect();
+                let passing: Vec<ModelUpdate> = scored
+                    .iter()
+                    .filter(|(a, _)| *a >= th)
+                    .map(|(_, u)| u.clone())
+                    .collect();
+                if !passing.is_empty() {
+                    for (a, u) in &scored {
+                        if *a < th {
+                            dropped.push(format!("{}:unfit", u.client));
+                            trace.record(
+                                now,
+                                "anomaly.unfit",
+                                format!("peer={peer} round={round} from={}", u.client),
+                            );
+                        }
+                    }
+                    passing
+                } else if arrived_count == n {
+                    scored.sort_by(|(a, _), (b, _)| b.partial_cmp(a).expect("finite accuracies"));
+                    vec![scored.remove(0).1]
+                } else {
+                    return; // wait for more candidates
+                }
+            }
+        };
+
+        // Aggregation under the configured strategy (the paper's "consider"
+        // search by default), scored on the peer's own test data.
+        let refs: Vec<&ModelUpdate> = usable.iter().collect();
+        let test = &self.peer_tests[peer];
+        let mut agg_rng = hub.indexed_stream("aggregate", (peer as u64) << 32 | u64::from(round));
+        let outcome = aggregate(
+            cfg.strategy,
+            &refs,
+            |params| {
+                scratch.set_params_flat(params);
+                scratch.evaluate(test).accuracy
+            },
+            &mut agg_rng,
+        )
+        .expect("non-empty usable updates");
+
+        let me = ClientId(peer);
+        let label = |c: &Combination| c.label(Some(me));
+        let combos: Vec<(String, f64)> =
+            outcome.candidates.iter().map(|(c, a)| (label(c), *a)).collect();
+        let chosen_label = label(&outcome.combination);
+
+        // Record the aggregate on chain (mask over client indices).
+        let mut mask = 0u32;
+        for member in outcome.combination.members() {
+            mask |= 1 << member.0;
+        }
+        let agg_hash = blockfed_crypto::sha256::sha256(
+            &blockfed_nn::serialize::encode_params(&outcome.params),
+        );
+        let tx = record_aggregate_tx(
+            round,
+            mask,
+            agg_hash,
+            registry,
+            &peers[peer].key,
+            peers[peer].next_nonce,
+        );
+        peers[peer].next_nonce += 1;
+        let idx = tx_log.len();
+        tx_log.push(tx.clone());
+        tx_update.push(None);
+        let state_now = peers[peer].chain.state().clone();
+        let _ = peers[peer].mempool.insert(tx, &state_now);
+        for (node, delay) in network.flood(NodeId(peer), 512, net_rng) {
+            sched.schedule_after(delay, Event::DeliverTx { to: node.0, idx });
+        }
+
+        let wait = now.saturating_since(peers[peer].train_done_at.expect("checked above"));
+        trace.record(
+            now,
+            "round.aggregated",
+            format!("peer={peer} round={round} chosen={chosen_label} wait={wait}"),
+        );
+        // Age-of-block freshness of the consumed updates.
+        let mut age_total = SimDuration::ZERO;
+        let mut age_max = SimDuration::ZERO;
+        for u in &usable {
+            let fp = crate::coupling::model_fingerprint(u);
+            if let Some(&published) = publish_time.get(&fp) {
+                let age = now.saturating_since(published);
+                age_total += age;
+                age_max = age_max.max(age);
+            }
+        }
+        let update_age_mean = age_total / usable.len() as u64;
+        peers[peer].records.push(PeerRoundRecord {
+            round,
+            combos,
+            chosen: chosen_label,
+            chosen_accuracy: outcome.score,
+            wait,
+            aggregated_at: now,
+            updates_used: usable.len(),
+            update_age_mean,
+            update_age_max: age_max,
+            dropped,
+        });
+        peers[peer].global_params = outcome.params;
+        peers[peer].train_done_at = None;
+
+        // Map confirmed senders for the trace (audit-friendly).
+        for s in &confirmed {
+            if let Some(c) = addr_to_client.get(&s.sender) {
+                trace.record(now, "round.input", format!("peer={peer} from={c} round={round}"));
+            }
+        }
+
+        if round < cfg.rounds {
+            peers[peer].current_round = round + 1;
+            peers[peer].training = true;
+            let base = self
+                .compute_for(peer)
+                .training_time(self.train_shards[peer].len(), cfg.local_epochs, true);
+            let jitter = base.mul_f64(train_time_rng.gen_range(0.0..0.05));
+            sched.schedule_after(base + jitter, Event::TrainDone { peer });
+        }
+    }
+
+    fn chain_stats(&self, chain: &Blockchain) -> ChainStats {
+        let canonical = chain.canonical_chain();
+        let mut total_txs = 0usize;
+        let mut total_gas = 0u64;
+        let mut total_payload = 0u64;
+        let mut times = Vec::new();
+        for hash in canonical.iter().skip(1) {
+            let block = chain.block(hash).expect("canonical block");
+            times.push(block.header.timestamp_ns);
+            total_gas += block.header.gas_used;
+            total_payload += block.total_payload_bytes();
+            if let Some(receipts) = chain.receipts(hash) {
+                total_txs += receipts.iter().filter(|r| r.is_success()).count();
+            }
+        }
+        let mean_block_interval = if times.len() >= 2 {
+            let span = times.last().unwrap() - times[0];
+            Some(SimDuration::from_nanos(span / (times.len() as u64 - 1)))
+        } else {
+            None
+        };
+        ChainStats {
+            blocks: canonical.len().saturating_sub(1),
+            mean_block_interval,
+            total_txs,
+            total_gas,
+            total_payload_bytes: total_payload,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blockfed_data::{partition_dataset, Partition, SynthCifar, SynthCifarConfig};
+    use blockfed_nn::SimpleNnConfig;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    struct Fixture {
+        shards: Vec<Dataset>,
+        tests: Vec<Dataset>,
+    }
+
+    fn fixture() -> Fixture {
+        let gen = SynthCifar::new(SynthCifarConfig::tiny());
+        let (train, test) = gen.generate(2);
+        let mut rng = StdRng::seed_from_u64(3);
+        let shards =
+            partition_dataset(&train, 3, Partition::DirichletLabelSkew { alpha: 0.7 }, &mut rng);
+        Fixture { shards, tests: vec![test.clone(), test.clone(), test] }
+    }
+
+    fn quick_config(policy: WaitPolicy, seed: u64) -> DecentralizedConfig {
+        DecentralizedConfig {
+            rounds: 2,
+            local_epochs: 2,
+            batch_size: 16,
+            lr: 0.1,
+            momentum: 0.9,
+            wait_policy: policy,
+            strategy: Strategy::Consider,
+            payload_bytes: 10_000,
+            difficulty: 200_000, // fast blocks so tests stay quick
+            compute: ComputeProfile { hashrate: 100_000.0, train_rate: 500.0, contention: 0.3 },
+            per_peer_compute: None,
+            fitness_threshold: None,
+            norm_z_threshold: None,
+            degeneracy_min_classes: None,
+            adversaries: Vec::new(),
+            link: LinkSpec::lan(),
+            seed,
+        }
+    }
+
+    fn run(policy: WaitPolicy, seed: u64) -> DecentralizedRun {
+        run_with(quick_config(policy, seed), seed)
+    }
+
+    fn run_with(config: DecentralizedConfig, seed: u64) -> DecentralizedRun {
+        let fx = fixture();
+        let driver = Decentralized::new(config, &fx.shards, &fx.tests);
+        let cfg = SimpleNnConfig::tiny(fx.tests[0].feature_dim(), fx.tests[0].num_classes());
+        let mut arch_rng = StdRng::seed_from_u64(seed);
+        driver.run(&mut || cfg.build(&mut arch_rng))
+    }
+
+    /// A config where training-time differences dwarf the block interval, so
+    /// asynchronous policies genuinely aggregate before stragglers finish.
+    fn straggler_config(policy: WaitPolicy, seed: u64) -> DecentralizedConfig {
+        let mut cfg = quick_config(policy, seed);
+        cfg.compute = ComputeProfile { hashrate: 100_000.0, train_rate: 5.0, contention: 0.3 };
+        cfg.difficulty = 100_000;
+        cfg
+    }
+
+    #[test]
+    fn completes_all_rounds_for_all_peers() {
+        let out = run(WaitPolicy::All, 1);
+        assert_eq!(out.peer_records.len(), 3);
+        for records in &out.peer_records {
+            assert_eq!(records.len(), 2);
+            assert_eq!(records[0].round, 1);
+            assert_eq!(records[1].round, 2);
+        }
+    }
+
+    #[test]
+    fn wait_all_uses_every_model_and_enumerates_combos() {
+        let out = run(WaitPolicy::All, 2);
+        for records in &out.peer_records {
+            for r in records {
+                assert_eq!(r.updates_used, 3);
+                assert_eq!(r.combos.len(), 7, "all subsets of 3 evaluated");
+                // Chosen must be one of the evaluated combos with max accuracy.
+                let max = r.combos.iter().map(|(_, a)| *a).fold(f64::MIN, f64::max);
+                assert!((r.chosen_accuracy - max).abs() < 1e-12);
+                assert!(r.accuracy_of(&r.chosen).is_some());
+            }
+        }
+    }
+
+    #[test]
+    fn async_wait_two_aggregates_with_fewer_models() {
+        let out = run_with(straggler_config(WaitPolicy::FirstK(2), 3), 3);
+        let mut saw_partial = false;
+        for records in &out.peer_records {
+            for r in records {
+                assert!(r.updates_used >= 2);
+                if r.updates_used == 2 {
+                    saw_partial = true;
+                    assert_eq!(r.combos.len(), 3, "subsets of 2");
+                }
+            }
+        }
+        assert!(saw_partial, "wait-2 never aggregated early");
+    }
+
+    #[test]
+    fn async_policy_reduces_waiting() {
+        let sync = run_with(straggler_config(WaitPolicy::All, 4), 4);
+        let async_run = run_with(straggler_config(WaitPolicy::FirstK(2), 4), 4);
+        assert!(
+            async_run.mean_wait() < sync.mean_wait(),
+            "async {} !< sync {}",
+            async_run.mean_wait(),
+            sync.mean_wait()
+        );
+    }
+
+    #[test]
+    fn chain_reflects_the_run() {
+        let out = run(WaitPolicy::All, 5);
+        assert!(out.chain.blocks > 0);
+        // 3 registrations + 3 peers × 2 rounds × (submit + aggregate) = 15.
+        assert!(out.chain.total_txs >= 9, "txs {}", out.chain.total_txs);
+        assert!(out.chain.total_gas > 0);
+        // 6 model submissions × 10 000 declared payload bytes.
+        assert!(out.chain.total_payload_bytes >= 40_000);
+        assert!(out.trace.count("block.sealed") > 0);
+        assert_eq!(out.trace.count("round.aggregated"), 6);
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let a = run(WaitPolicy::All, 7);
+        let b = run(WaitPolicy::All, 7);
+        assert_eq!(a.peer_records, b.peer_records);
+        assert_eq!(a.chain, b.chain);
+        assert_eq!(a.finished_at, b.finished_at);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = run(WaitPolicy::All, 8);
+        let b = run(WaitPolicy::All, 9);
+        assert_ne!(a.finished_at, b.finished_at);
+    }
+
+    #[test]
+    fn accuracy_improves_over_rounds() {
+        let fx = fixture();
+        let mut cfg = quick_config(WaitPolicy::All, 10);
+        cfg.rounds = 4;
+        let driver = Decentralized::new(cfg, &fx.shards, &fx.tests);
+        let nn = SimpleNnConfig::tiny(fx.tests[0].feature_dim(), fx.tests[0].num_classes());
+        let mut arch_rng = StdRng::seed_from_u64(10);
+        let out = driver.run(&mut || nn.build(&mut arch_rng));
+        for peer in 0..3 {
+            let first = out.peer_records[peer][0].chosen_accuracy;
+            let last = out.final_accuracy(peer);
+            assert!(last > first, "peer {peer}: {first} -> {last}");
+        }
+    }
+
+    #[test]
+    fn fitness_gate_excludes_poisoned_peer() {
+        let fx = fixture();
+        let mut cfg = quick_config(WaitPolicy::All, 30);
+        // Above chance (0.25 on 4 classes): a constant-prediction poisoned
+        // model fails the gate, honest models pass within a round or two.
+        cfg.fitness_threshold = Some(0.30);
+        let driver = Decentralized::new(cfg, &fx.shards, &fx.tests);
+        let nn = SimpleNnConfig::tiny(fx.tests[0].feature_dim(), fx.tests[0].num_classes());
+        let mut arch_rng = StdRng::seed_from_u64(30);
+        let out = driver.run_with_hook(
+            &mut || nn.build(&mut arch_rng),
+            &mut |u| {
+                if u.client == blockfed_fl::ClientId(0) {
+                    for p in &mut u.params {
+                        *p = 25.0; // garbage weights: near-zero accuracy
+                    }
+                }
+            },
+        );
+        // Peers B and C must never include A's model in their chosen combo.
+        for peer in 1..3 {
+            for r in &out.peer_records[peer] {
+                assert!(
+                    !r.chosen.split(',').any(|c| c == "A"),
+                    "peer {peer} round {} chose poisoned A: {}",
+                    r.round,
+                    r.chosen
+                );
+                // And the combination search never even evaluated A.
+                assert!(r.combos.iter().all(|(l, _)| !l.split(',').any(|c| c == "A")));
+            }
+        }
+    }
+
+    #[test]
+    fn fitness_gate_fallback_keeps_rounds_alive() {
+        let fx = fixture();
+        let mut cfg = quick_config(WaitPolicy::All, 31);
+        cfg.fitness_threshold = Some(1.1); // impossible threshold: all fail
+        let driver = Decentralized::new(cfg, &fx.shards, &fx.tests);
+        let nn = SimpleNnConfig::tiny(fx.tests[0].feature_dim(), fx.tests[0].num_classes());
+        let mut arch_rng = StdRng::seed_from_u64(31);
+        let out = driver.run(&mut || nn.build(&mut arch_rng));
+        // Fallback: every round completes with exactly the single best model.
+        for records in &out.peer_records {
+            assert_eq!(records.len(), 2);
+            for r in records {
+                assert_eq!(r.updates_used, 1, "single-model fallback");
+                assert_eq!(r.combos.len(), 1, "single-model fallback");
+            }
+        }
+    }
+
+    #[test]
+    fn every_published_update_audits_cleanly_under_wait_all() {
+        let out = run(WaitPolicy::All, 12);
+        // 3 peers × 2 rounds of submissions, all confirmed before the run can
+        // end, so every audit must verify.
+        assert_eq!(out.published_updates.len(), 6);
+        assert_eq!(out.audits.len(), 6);
+        assert!(out.audits.iter().all(|a| a.verified), "{:?}", out.audits);
+        // The log covers every (client, round) pair exactly once.
+        let mut pairs: Vec<(usize, u32)> =
+            out.audits.iter().map(|a| (a.client.0, a.round)).collect();
+        pairs.sort_unstable();
+        assert_eq!(pairs, vec![(0, 1), (0, 2), (1, 1), (1, 2), (2, 1), (2, 2)]);
+    }
+
+    #[test]
+    fn poisoned_updates_still_bind_their_author() {
+        // Non-repudiation is exactly this: the attacker signed the poisoned
+        // artefact, so the evidence chain still verifies against it.
+        let fx = fixture();
+        let mut cfg = quick_config(WaitPolicy::All, 44);
+        cfg.adversaries =
+            vec![Adversary::new(blockfed_fl::ClientId(1), blockfed_fl::Attack::NanInjection {
+                fraction: 1.0,
+            })];
+        let driver = Decentralized::new(cfg, &fx.shards, &fx.tests);
+        let nn = SimpleNnConfig::tiny(fx.tests[0].feature_dim(), fx.tests[0].num_classes());
+        let mut arch_rng = StdRng::seed_from_u64(44);
+        let out = driver.run(&mut || nn.build(&mut arch_rng));
+        let attacker_audits: Vec<_> =
+            out.audits.iter().filter(|a| a.client == blockfed_fl::ClientId(1)).collect();
+        assert!(!attacker_audits.is_empty());
+        assert!(attacker_audits.iter().all(|a| a.verified), "{attacker_audits:?}");
+        // And the published log preserves the poisoned parameters.
+        let poisoned = out
+            .published_updates
+            .iter()
+            .find(|u| u.client == blockfed_fl::ClientId(1))
+            .expect("attacker published");
+        assert!(!poisoned.is_finite());
+    }
+
+    #[test]
+    fn ages_are_recorded_and_bounded_by_wait_plus_training_spread() {
+        let out = run(WaitPolicy::All, 11);
+        for records in &out.peer_records {
+            for r in records {
+                assert!(r.update_age_max >= r.update_age_mean);
+                // Fresh own model is included, so the mean is strictly below
+                // the max whenever stragglers exist; at minimum it is finite.
+                assert!(r.update_age_mean.as_secs_f64().is_finite());
+            }
+        }
+        let pooled = out.age_of_block();
+        assert!(pooled.count() > 0);
+        assert!(pooled.max() >= pooled.mean());
+    }
+
+    #[test]
+    fn sign_flip_adversary_is_dropped_by_norm_gate() {
+        let fx = fixture();
+        let mut cfg = quick_config(WaitPolicy::All, 40);
+        cfg.norm_z_threshold = Some(1.2);
+        cfg.adversaries =
+            vec![Adversary::new(blockfed_fl::ClientId(0), blockfed_fl::Attack::Scale {
+                factor: 50.0,
+            })];
+        let driver = Decentralized::new(cfg, &fx.shards, &fx.tests);
+        let nn = SimpleNnConfig::tiny(fx.tests[0].feature_dim(), fx.tests[0].num_classes());
+        let mut arch_rng = StdRng::seed_from_u64(40);
+        let out = driver.run(&mut || nn.build(&mut arch_rng));
+        assert!(out.trace.count("attack.mounted") > 0);
+        // Honest peers must have dropped A's boosted model as a norm outlier.
+        let drops = out.drops();
+        assert!(
+            drops.iter().any(|(peer, _, reason)| *peer != 0 && reason == "A:norm-outlier"),
+            "no norm-outlier drop of the attacker recorded: {drops:?}"
+        );
+        // And their chosen combinations never include A while under attack.
+        for peer in 1..3 {
+            for r in &out.peer_records[peer] {
+                assert!(
+                    !r.chosen.split(',').any(|c| c == "A"),
+                    "peer {peer} chose the attacker: {}",
+                    r.chosen
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn nan_adversary_is_always_screened_without_gates() {
+        let fx = fixture();
+        let mut cfg = quick_config(WaitPolicy::All, 41);
+        cfg.adversaries =
+            vec![Adversary::new(blockfed_fl::ClientId(1), blockfed_fl::Attack::NanInjection {
+                fraction: 1.0,
+            })];
+        let driver = Decentralized::new(cfg, &fx.shards, &fx.tests);
+        let nn = SimpleNnConfig::tiny(fx.tests[0].feature_dim(), fx.tests[0].num_classes());
+        let mut arch_rng = StdRng::seed_from_u64(41);
+        let out = driver.run(&mut || nn.build(&mut arch_rng));
+        // Every round completes; the malformed model is dropped everywhere.
+        for (peer, records) in out.peer_records.iter().enumerate() {
+            assert_eq!(records.len(), 2, "peer {peer} incomplete");
+            for r in records {
+                assert!(r.dropped.iter().any(|d| d == "B:malformed"), "{:?}", r.dropped);
+                assert_eq!(r.updates_used, 2);
+            }
+        }
+        assert!(out.trace.count("anomaly.malformed") > 0);
+    }
+
+    #[test]
+    fn degeneracy_gate_drops_constant_free_rider() {
+        let fx = fixture();
+        let mut cfg = quick_config(WaitPolicy::All, 45);
+        cfg.degeneracy_min_classes = Some(2);
+        cfg.adversaries =
+            vec![Adversary::new(blockfed_fl::ClientId(0), blockfed_fl::Attack::Constant {
+                value: 0.0,
+            })];
+        let driver = Decentralized::new(cfg, &fx.shards, &fx.tests);
+        let nn = SimpleNnConfig::tiny(fx.tests[0].feature_dim(), fx.tests[0].num_classes());
+        let mut arch_rng = StdRng::seed_from_u64(45);
+        let out = driver.run(&mut || nn.build(&mut arch_rng));
+        // Honest peers flag and exclude the all-zeros constant model.
+        assert!(out.trace.count("anomaly.degenerate") > 0);
+        for peer in 1..3 {
+            for r in &out.peer_records[peer] {
+                assert!(
+                    r.dropped.iter().any(|d| d == "A:degenerate"),
+                    "peer {peer} round {}: {:?}",
+                    r.round,
+                    r.dropped
+                );
+                assert!(!r.chosen.split(',').any(|c| c == "A"));
+            }
+        }
+    }
+
+    #[test]
+    fn best_k_strategy_caps_aggregation_size_on_chain() {
+        let fx = fixture();
+        let mut cfg = quick_config(WaitPolicy::All, 46);
+        cfg.strategy = blockfed_fl::Strategy::BestK(2);
+        let driver = Decentralized::new(cfg, &fx.shards, &fx.tests);
+        let nn = SimpleNnConfig::tiny(fx.tests[0].feature_dim(), fx.tests[0].num_classes());
+        let mut arch_rng = StdRng::seed_from_u64(46);
+        let out = driver.run(&mut || nn.build(&mut arch_rng));
+        for records in &out.peer_records {
+            assert_eq!(records.len(), 2);
+            for r in records {
+                // All three confirmed models were usable, but only the two
+                // best entered the aggregate.
+                assert_eq!(r.updates_used, 3);
+                assert_eq!(r.chosen.split(',').count(), 2, "chosen {}", r.chosen);
+                assert_eq!(r.combos.len(), 1, "best-k evaluates one candidate");
+            }
+        }
+    }
+
+    #[test]
+    fn not_consider_strategy_always_averages_everything() {
+        let fx = fixture();
+        let mut cfg = quick_config(WaitPolicy::All, 47);
+        cfg.strategy = blockfed_fl::Strategy::NotConsider;
+        let driver = Decentralized::new(cfg, &fx.shards, &fx.tests);
+        let nn = SimpleNnConfig::tiny(fx.tests[0].feature_dim(), fx.tests[0].num_classes());
+        let mut arch_rng = StdRng::seed_from_u64(47);
+        let out = driver.run(&mut || nn.build(&mut arch_rng));
+        for records in &out.peer_records {
+            for r in records {
+                assert_eq!(r.chosen.split(',').count(), 3, "chosen {}", r.chosen);
+            }
+        }
+    }
+
+    #[test]
+    fn sleeper_adversary_behaves_honestly_before_activation() {
+        let fx = fixture();
+        let mut cfg = quick_config(WaitPolicy::All, 42);
+        cfg.adversaries = vec![Adversary::new(
+            blockfed_fl::ClientId(0),
+            blockfed_fl::Attack::NanInjection { fraction: 1.0 },
+        )
+        .starting_at(2)];
+        let driver = Decentralized::new(cfg, &fx.shards, &fx.tests);
+        let nn = SimpleNnConfig::tiny(fx.tests[0].feature_dim(), fx.tests[0].num_classes());
+        let mut arch_rng = StdRng::seed_from_u64(42);
+        let out = driver.run(&mut || nn.build(&mut arch_rng));
+        for records in &out.peer_records {
+            // Round 1: no drops; round 2: A malformed.
+            assert!(records[0].dropped.is_empty(), "{:?}", records[0].dropped);
+            assert!(records[1].dropped.iter().any(|d| d == "A:malformed"));
+        }
+    }
+
+    #[test]
+    fn replay_adversary_resubmits_previous_round_params() {
+        let fx = fixture();
+        let mut cfg = quick_config(WaitPolicy::All, 43);
+        cfg.rounds = 3;
+        cfg.adversaries = vec![Adversary::new(
+            blockfed_fl::ClientId(2),
+            blockfed_fl::Attack::Replay,
+        )
+        .starting_at(2)];
+        let driver = Decentralized::new(cfg, &fx.shards, &fx.tests);
+        let nn = SimpleNnConfig::tiny(fx.tests[0].feature_dim(), fx.tests[0].num_classes());
+        let mut arch_rng = StdRng::seed_from_u64(43);
+        let out = driver.run(&mut || nn.build(&mut arch_rng));
+        // The run completes; replayed models are stale but finite, so they
+        // aggregate unless gated.
+        for records in &out.peer_records {
+            assert_eq!(records.len(), 3);
+        }
+        assert!(out.trace.count("attack.mounted") >= 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "need at least two peers")]
+    fn single_peer_rejected() {
+        let fx = fixture();
+        let _ = Decentralized::new(
+            quick_config(WaitPolicy::All, 1),
+            &fx.shards[..1],
+            &fx.tests[..1],
+        );
+    }
+}

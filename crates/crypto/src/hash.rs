@@ -1,0 +1,255 @@
+//! Fixed-size hash and address types.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+fn hex_encode(bytes: &[u8]) -> String {
+    const TABLE: &[u8; 16] = b"0123456789abcdef";
+    let mut s = String::with_capacity(bytes.len() * 2);
+    for &b in bytes {
+        s.push(TABLE[(b >> 4) as usize] as char);
+        s.push(TABLE[(b & 0xf) as usize] as char);
+    }
+    s
+}
+
+fn hex_val(c: u8) -> Option<u8> {
+    match c {
+        b'0'..=b'9' => Some(c - b'0'),
+        b'a'..=b'f' => Some(c - b'a' + 10),
+        b'A'..=b'F' => Some(c - b'A' + 10),
+        _ => None,
+    }
+}
+
+fn hex_decode(s: &str, out: &mut [u8]) -> Result<(), ParseHashError> {
+    let s = s.strip_prefix("0x").unwrap_or(s);
+    if s.len() != out.len() * 2 {
+        return Err(ParseHashError::Length { expected: out.len() * 2, got: s.len() });
+    }
+    let b = s.as_bytes();
+    for i in 0..out.len() {
+        let hi = hex_val(b[2 * i]).ok_or(ParseHashError::Digit)?;
+        let lo = hex_val(b[2 * i + 1]).ok_or(ParseHashError::Digit)?;
+        out[i] = (hi << 4) | lo;
+    }
+    Ok(())
+}
+
+/// Error parsing a hash from hex.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ParseHashError {
+    /// Wrong number of hex digits.
+    Length {
+        /// Digits expected.
+        expected: usize,
+        /// Digits provided.
+        got: usize,
+    },
+    /// A character was not a hex digit.
+    Digit,
+}
+
+impl fmt::Display for ParseHashError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseHashError::Length { expected, got } => {
+                write!(f, "expected {expected} hex digits, got {got}")
+            }
+            ParseHashError::Digit => write!(f, "invalid hex digit"),
+        }
+    }
+}
+
+impl std::error::Error for ParseHashError {}
+
+macro_rules! hash_type {
+    ($(#[$doc:meta])* $name:ident, $len:expr) => {
+        $(#[$doc])*
+        #[derive(
+            Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+        )]
+        pub struct $name([u8; $len]);
+
+        impl $name {
+            /// Byte width of this hash type.
+            pub const LEN: usize = $len;
+
+            /// The all-zero value.
+            pub const fn zero() -> Self {
+                $name([0u8; $len])
+            }
+
+            /// Wraps a byte array.
+            pub const fn from_bytes(bytes: [u8; $len]) -> Self {
+                $name(bytes)
+            }
+
+            /// Borrows the raw bytes.
+            pub fn as_bytes(&self) -> &[u8; $len] {
+                &self.0
+            }
+
+            /// Copies out the raw bytes.
+            pub fn to_bytes(self) -> [u8; $len] {
+                self.0
+            }
+
+            /// Whether every byte is zero.
+            pub fn is_zero(&self) -> bool {
+                self.0.iter().all(|&b| b == 0)
+            }
+
+            /// Lowercase hex without a `0x` prefix.
+            pub fn to_hex(&self) -> String {
+                hex_encode(&self.0)
+            }
+
+            /// Parses from hex, with or without a `0x` prefix.
+            ///
+            /// # Errors
+            ///
+            /// Returns [`ParseHashError`] if the digit count is wrong or a
+            /// character is not hexadecimal.
+            pub fn from_hex(s: &str) -> Result<Self, ParseHashError> {
+                let mut out = [0u8; $len];
+                hex_decode(s, &mut out)?;
+                Ok($name(out))
+            }
+
+            /// A short prefix (4 bytes of hex) for human-readable logs.
+            pub fn short(&self) -> String {
+                hex_encode(&self.0[..4])
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{}(0x{})", stringify!($name), self.to_hex())
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "0x{}", self.to_hex())
+            }
+        }
+
+        impl From<[u8; $len]> for $name {
+            fn from(bytes: [u8; $len]) -> Self {
+                $name(bytes)
+            }
+        }
+
+        impl AsRef<[u8]> for $name {
+            fn as_ref(&self) -> &[u8] {
+                &self.0
+            }
+        }
+
+        impl std::str::FromStr for $name {
+            type Err = ParseHashError;
+            fn from_str(s: &str) -> Result<Self, Self::Err> {
+                Self::from_hex(s)
+            }
+        }
+    };
+}
+
+hash_type!(
+    /// A 256-bit hash (block hashes, transaction ids, model fingerprints).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use blockfed_crypto::H256;
+    ///
+    /// let h = H256::from_hex("0x0000000000000000000000000000000000000000000000000000000000000001")?;
+    /// assert!(!h.is_zero());
+    /// # Ok::<(), blockfed_crypto::hash::ParseHashError>(())
+    /// ```
+    H256,
+    32
+);
+
+hash_type!(
+    /// A 160-bit account address, derived from a public key.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use blockfed_crypto::H160;
+    ///
+    /// assert!(H160::zero().is_zero());
+    /// ```
+    H160,
+    20
+);
+
+impl H256 {
+    /// Interprets the hash as a big-endian 256-bit integer and compares it to
+    /// another — used for proof-of-work target checks.
+    pub fn meets_target(&self, target: &crate::u256::U256) -> bool {
+        &crate::u256::U256::from_be_bytes(self.0) <= target
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hex_roundtrip() {
+        let mut bytes = [0u8; 32];
+        for (i, b) in bytes.iter_mut().enumerate() {
+            *b = i as u8;
+        }
+        let h = H256::from_bytes(bytes);
+        let parsed = H256::from_hex(&h.to_hex()).unwrap();
+        assert_eq!(h, parsed);
+        let prefixed = H256::from_hex(&format!("0x{}", h.to_hex())).unwrap();
+        assert_eq!(h, prefixed);
+    }
+
+    #[test]
+    fn rejects_bad_lengths_and_digits() {
+        assert!(matches!(H256::from_hex("ab"), Err(ParseHashError::Length { .. })));
+        let bad = "zz".repeat(32);
+        assert!(matches!(H256::from_hex(&bad), Err(ParseHashError::Digit)));
+        assert!(H160::from_hex(&"00".repeat(20)).is_ok());
+        assert!(H160::from_hex(&"00".repeat(32)).is_err());
+    }
+
+    #[test]
+    fn zero_checks() {
+        assert!(H256::zero().is_zero());
+        let mut b = [0u8; 32];
+        b[31] = 1;
+        assert!(!H256::from_bytes(b).is_zero());
+    }
+
+    #[test]
+    fn display_and_debug_are_nonempty() {
+        let h = H160::zero();
+        assert!(h.to_string().starts_with("0x"));
+        assert!(format!("{h:?}").contains("H160"));
+        assert_eq!(h.short().len(), 8);
+    }
+
+    #[test]
+    fn ordering_is_bytewise() {
+        let mut a = [0u8; 32];
+        let mut b = [0u8; 32];
+        a[0] = 1;
+        b[0] = 2;
+        assert!(H256::from_bytes(a) < H256::from_bytes(b));
+    }
+
+    #[test]
+    fn parse_error_display() {
+        let e = H256::from_hex("12").unwrap_err();
+        assert!(e.to_string().contains("64"));
+        assert_eq!(ParseHashError::Digit.to_string(), "invalid hex digit");
+    }
+}

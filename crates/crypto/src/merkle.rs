@@ -1,0 +1,212 @@
+//! Binary merkle trees over SHA-256.
+//!
+//! Blocks commit to their transaction set with a merkle root; light verification
+//! of "model X was included in block B" uses [`MerkleProof`].
+
+use serde::{Deserialize, Serialize};
+
+use crate::hash::H256;
+use crate::sha256::sha256_pair;
+
+/// A full merkle tree, retaining all levels so proofs can be extracted.
+///
+/// Odd nodes at any level are paired with themselves (Bitcoin-style duplication).
+///
+/// # Examples
+///
+/// ```
+/// use blockfed_crypto::merkle::MerkleTree;
+/// use blockfed_crypto::sha256::sha256;
+///
+/// let leaves = vec![sha256(b"a"), sha256(b"b"), sha256(b"c")];
+/// let tree = MerkleTree::from_leaves(leaves.clone());
+/// let proof = tree.proof(2).unwrap();
+/// assert!(proof.verify(&leaves[2], &tree.root()));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MerkleTree {
+    levels: Vec<Vec<H256>>,
+}
+
+/// An inclusion proof: the sibling path from a leaf to the root.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MerkleProof {
+    /// Sibling hashes from leaf level upward, with the side the sibling sits on.
+    steps: Vec<ProofStep>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+struct ProofStep {
+    sibling: H256,
+    sibling_on_left: bool,
+}
+
+impl MerkleTree {
+    /// Builds a tree over the given leaf hashes.
+    ///
+    /// An empty leaf set produces the all-zero root, distinguishing it from any
+    /// real tree.
+    pub fn from_leaves(leaves: Vec<H256>) -> Self {
+        if leaves.is_empty() {
+            return MerkleTree { levels: vec![vec![]] };
+        }
+        let mut levels = vec![leaves];
+        while levels.last().unwrap().len() > 1 {
+            let prev = levels.last().unwrap();
+            let mut next = Vec::with_capacity(prev.len().div_ceil(2));
+            for pair in prev.chunks(2) {
+                let left = &pair[0];
+                let right = pair.get(1).unwrap_or(left);
+                next.push(sha256_pair(left, right));
+            }
+            levels.push(next);
+        }
+        MerkleTree { levels }
+    }
+
+    /// The root commitment (all-zero for an empty tree).
+    pub fn root(&self) -> H256 {
+        self.levels.last().unwrap().first().copied().unwrap_or_else(H256::zero)
+    }
+
+    /// Number of leaves.
+    pub fn leaf_count(&self) -> usize {
+        self.levels[0].len()
+    }
+
+    /// The inclusion proof for leaf `index`, or `None` if out of range.
+    pub fn proof(&self, index: usize) -> Option<MerkleProof> {
+        if index >= self.leaf_count() {
+            return None;
+        }
+        let mut steps = Vec::new();
+        let mut i = index;
+        for level in &self.levels[..self.levels.len() - 1] {
+            let sibling_index = if i.is_multiple_of(2) { i + 1 } else { i - 1 };
+            let sibling = *level.get(sibling_index).unwrap_or(&level[i]);
+            steps.push(ProofStep { sibling, sibling_on_left: i % 2 == 1 });
+            i /= 2;
+        }
+        Some(MerkleProof { steps })
+    }
+}
+
+impl MerkleProof {
+    /// Verifies that `leaf` hashes up to `root` along this proof.
+    pub fn verify(&self, leaf: &H256, root: &H256) -> bool {
+        let mut acc = *leaf;
+        for step in &self.steps {
+            acc = if step.sibling_on_left {
+                sha256_pair(&step.sibling, &acc)
+            } else {
+                sha256_pair(&acc, &step.sibling)
+            };
+        }
+        acc == *root
+    }
+
+    /// Proof length in tree levels.
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Whether the proof is empty (single-leaf tree).
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+}
+
+/// Computes just the merkle root of a leaf list without retaining the tree.
+pub fn merkle_root(leaves: &[H256]) -> H256 {
+    MerkleTree::from_leaves(leaves.to_vec()).root()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sha256::sha256;
+
+    fn leaves(n: usize) -> Vec<H256> {
+        (0..n).map(|i| sha256(format!("leaf-{i}").as_bytes())).collect()
+    }
+
+    #[test]
+    fn empty_tree_has_zero_root() {
+        let tree = MerkleTree::from_leaves(vec![]);
+        assert_eq!(tree.root(), H256::zero());
+        assert_eq!(tree.leaf_count(), 0);
+        assert!(tree.proof(0).is_none());
+    }
+
+    #[test]
+    fn single_leaf_root_is_the_leaf() {
+        let l = sha256(b"only");
+        let tree = MerkleTree::from_leaves(vec![l]);
+        assert_eq!(tree.root(), l);
+        let proof = tree.proof(0).unwrap();
+        assert!(proof.is_empty());
+        assert!(proof.verify(&l, &tree.root()));
+    }
+
+    #[test]
+    fn two_leaves_root_is_pair_hash() {
+        let ls = leaves(2);
+        let tree = MerkleTree::from_leaves(ls.clone());
+        assert_eq!(tree.root(), sha256_pair(&ls[0], &ls[1]));
+    }
+
+    #[test]
+    fn odd_leaf_duplication() {
+        let ls = leaves(3);
+        let tree = MerkleTree::from_leaves(ls.clone());
+        let right = sha256_pair(&ls[2], &ls[2]);
+        let left = sha256_pair(&ls[0], &ls[1]);
+        assert_eq!(tree.root(), sha256_pair(&left, &right));
+    }
+
+    #[test]
+    fn all_proofs_verify_for_various_sizes() {
+        for n in [1usize, 2, 3, 4, 5, 7, 8, 9, 16, 33] {
+            let ls = leaves(n);
+            let tree = MerkleTree::from_leaves(ls.clone());
+            for (i, leaf) in ls.iter().enumerate() {
+                let proof = tree.proof(i).unwrap();
+                assert!(proof.verify(leaf, &tree.root()), "n={n} i={i}");
+            }
+        }
+    }
+
+    #[test]
+    fn proof_fails_for_wrong_leaf_or_root() {
+        let ls = leaves(8);
+        let tree = MerkleTree::from_leaves(ls.clone());
+        let proof = tree.proof(3).unwrap();
+        assert!(!proof.verify(&ls[4], &tree.root()));
+        assert!(!proof.verify(&ls[3], &sha256(b"wrong root")));
+    }
+
+    #[test]
+    fn out_of_range_proof_is_none() {
+        let tree = MerkleTree::from_leaves(leaves(4));
+        assert!(tree.proof(4).is_none());
+    }
+
+    #[test]
+    fn root_changes_when_any_leaf_changes() {
+        let ls = leaves(6);
+        let base = merkle_root(&ls);
+        for i in 0..ls.len() {
+            let mut modified = ls.clone();
+            modified[i] = sha256(b"modified");
+            assert_ne!(merkle_root(&modified), base, "leaf {i}");
+        }
+    }
+
+    #[test]
+    fn proof_len_is_log_depth() {
+        let tree = MerkleTree::from_leaves(leaves(16));
+        assert_eq!(tree.proof(0).unwrap().len(), 4);
+        let tree9 = MerkleTree::from_leaves(leaves(9));
+        assert_eq!(tree9.proof(8).unwrap().len(), 4);
+    }
+}

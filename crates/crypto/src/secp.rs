@@ -1,0 +1,396 @@
+//! secp256k1 elliptic-curve arithmetic, implemented from scratch on [`U256`].
+//!
+//! The curve is `y² = x³ + 7` over the prime field `GF(p)` with
+//! `p = 2^256 − 2^32 − 977`. Points are manipulated in Jacobian coordinates so a
+//! scalar multiplication needs only one field inversion. The group order `n`
+//! is exposed for scalar arithmetic in the signature scheme ([`crate::keys`]).
+
+use crate::u256::{U256, U512};
+
+/// The field prime `p = 2^256 − 2^32 − 977`.
+pub fn field_prime() -> U256 {
+    U256::from_hex("fffffffffffffffffffffffffffffffffffffffffffffffffffffffefffffc2f").unwrap()
+}
+
+/// The group order `n`.
+pub fn group_order() -> U256 {
+    U256::from_hex("fffffffffffffffffffffffffffffffebaaedce6af48a03bbfd25e8cd0364141").unwrap()
+}
+
+/// The standard generator point `G`.
+pub fn generator() -> Point {
+    Point::Affine {
+        x: U256::from_hex("79be667ef9dcbbac55a06295ce870b07029bfcdb2dce28d959f2815b16f81798")
+            .unwrap(),
+        y: U256::from_hex("483ada7726a3c4655da4fbfc0e1108a8fd17b448a68554199c47d08ffb10d4b8")
+            .unwrap(),
+    }
+}
+
+/// `2^256 ≡ C (mod p)` with `C = 2^32 + 977`, which makes reduction cheap.
+const C: u64 = 0x1_0000_03D1;
+
+/// Reduces a 512-bit product modulo the field prime using the special form of `p`.
+fn reduce_p(wide: U512) -> U256 {
+    let p = field_prime();
+    let (hi, lo) = wide.split_halves();
+    // value ≡ hi*C + lo (mod p)
+    let (t, t_carry) = hi.mul_u64_carry(C);
+    let (sum, c1) = t.overflowing_add(lo);
+    let extra = t_carry + u64::from(c1); // ≤ C + 1, tiny
+    let add = U256::from_u128(u128::from(extra) * u128::from(C));
+    let (mut r, c2) = sum.overflowing_add(add);
+    if c2 {
+        // One more wrap: + 2^256 ≡ + C.  r is tiny after wrapping, no overflow.
+        r = r.wrapping_add(U256::from_u64(C));
+    }
+    while r >= p {
+        r = r.wrapping_sub(p);
+    }
+    r
+}
+
+fn fmul(a: U256, b: U256) -> U256 {
+    reduce_p(a.mul_wide(b))
+}
+
+fn fsq(a: U256) -> U256 {
+    fmul(a, a)
+}
+
+fn fadd(a: U256, b: U256) -> U256 {
+    a.add_mod(b, field_prime())
+}
+
+fn fsub(a: U256, b: U256) -> U256 {
+    a.sub_mod(b, field_prime())
+}
+
+fn fneg(a: U256) -> U256 {
+    if a.is_zero() {
+        a
+    } else {
+        field_prime().wrapping_sub(a)
+    }
+}
+
+/// Field inversion via Fermat's little theorem (`a^(p−2)`).
+fn finv(a: U256) -> U256 {
+    assert!(!a.is_zero(), "inversion of zero");
+    let p = field_prime();
+    let exp = p.wrapping_sub(U256::from_u64(2));
+    let mut result = U256::ONE;
+    let mut base = a;
+    for i in 0..exp.bits() {
+        if exp.bit(i) {
+            result = fmul(result, base);
+        }
+        base = fsq(base);
+    }
+    result
+}
+
+/// A point on secp256k1, either the identity or an affine coordinate pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Point {
+    /// The identity element (point at infinity).
+    Infinity,
+    /// A finite point with affine coordinates.
+    Affine {
+        /// x coordinate.
+        x: U256,
+        /// y coordinate.
+        y: U256,
+    },
+}
+
+/// Internal Jacobian representation `(X, Y, Z)` with `x = X/Z²`, `y = Y/Z³`.
+#[derive(Debug, Clone, Copy)]
+struct Jacobian {
+    x: U256,
+    y: U256,
+    z: U256,
+}
+
+impl Jacobian {
+    const INFINITY: Jacobian = Jacobian { x: U256::ONE, y: U256::ONE, z: U256::ZERO };
+
+    fn is_infinity(&self) -> bool {
+        self.z.is_zero()
+    }
+
+    fn from_affine(p: Point) -> Jacobian {
+        match p {
+            Point::Infinity => Jacobian::INFINITY,
+            Point::Affine { x, y } => Jacobian { x, y, z: U256::ONE },
+        }
+    }
+
+    fn to_affine(self) -> Point {
+        if self.is_infinity() {
+            return Point::Infinity;
+        }
+        let zinv = finv(self.z);
+        let zinv2 = fsq(zinv);
+        let zinv3 = fmul(zinv2, zinv);
+        Point::Affine { x: fmul(self.x, zinv2), y: fmul(self.y, zinv3) }
+    }
+
+    /// Point doubling (a = 0 curve).
+    fn double(self) -> Jacobian {
+        if self.is_infinity() || self.y.is_zero() {
+            return Jacobian::INFINITY;
+        }
+        let y2 = fsq(self.y);
+        let s = fmul(fmul(U256::from_u64(4), self.x), y2);
+        let m = fmul(U256::from_u64(3), fsq(self.x));
+        let x3 = fsub(fsq(m), fadd(s, s));
+        let y3 = fsub(fmul(m, fsub(s, x3)), fmul(U256::from_u64(8), fsq(y2)));
+        let z3 = fmul(fadd(self.y, self.y), self.z);
+        Jacobian { x: x3, y: y3, z: z3 }
+    }
+
+    fn add(self, other: Jacobian) -> Jacobian {
+        if self.is_infinity() {
+            return other;
+        }
+        if other.is_infinity() {
+            return self;
+        }
+        let z1z1 = fsq(self.z);
+        let z2z2 = fsq(other.z);
+        let u1 = fmul(self.x, z2z2);
+        let u2 = fmul(other.x, z1z1);
+        let s1 = fmul(fmul(self.y, z2z2), other.z);
+        let s2 = fmul(fmul(other.y, z1z1), self.z);
+        if u1 == u2 {
+            if s1 == s2 {
+                return self.double();
+            }
+            return Jacobian::INFINITY;
+        }
+        let h = fsub(u2, u1);
+        let r = fsub(s2, s1);
+        let h2 = fsq(h);
+        let h3 = fmul(h2, h);
+        let u1h2 = fmul(u1, h2);
+        let x3 = fsub(fsub(fsq(r), h3), fadd(u1h2, u1h2));
+        let y3 = fsub(fmul(r, fsub(u1h2, x3)), fmul(s1, h3));
+        let z3 = fmul(fmul(self.z, other.z), h);
+        Jacobian { x: x3, y: y3, z: z3 }
+    }
+}
+
+impl Point {
+    /// Whether this is the identity element.
+    pub fn is_infinity(&self) -> bool {
+        matches!(self, Point::Infinity)
+    }
+
+    /// The affine coordinates, or `None` for the identity.
+    pub fn coordinates(&self) -> Option<(U256, U256)> {
+        match self {
+            Point::Infinity => None,
+            Point::Affine { x, y } => Some((*x, *y)),
+        }
+    }
+
+    /// Whether the point satisfies the curve equation `y² = x³ + 7`.
+    pub fn is_on_curve(&self) -> bool {
+        match self {
+            Point::Infinity => true,
+            Point::Affine { x, y } => {
+                let lhs = fsq(*y);
+                let rhs = fadd(fmul(fsq(*x), *x), U256::from_u64(7));
+                lhs == rhs
+            }
+        }
+    }
+
+    /// Point addition.
+    pub fn add(&self, other: &Point) -> Point {
+        Jacobian::from_affine(*self).add(Jacobian::from_affine(*other)).to_affine()
+    }
+
+    /// Point doubling.
+    pub fn double(&self) -> Point {
+        Jacobian::from_affine(*self).double().to_affine()
+    }
+
+    /// The additive inverse `(x, −y)`.
+    pub fn negate(&self) -> Point {
+        match self {
+            Point::Infinity => Point::Infinity,
+            Point::Affine { x, y } => Point::Affine { x: *x, y: fneg(*y) },
+        }
+    }
+
+    /// Scalar multiplication `k·P` by double-and-add.
+    pub fn mul_scalar(&self, k: U256) -> Point {
+        if k.is_zero() || self.is_infinity() {
+            return Point::Infinity;
+        }
+        let base = Jacobian::from_affine(*self);
+        let mut acc = Jacobian::INFINITY;
+        for i in (0..k.bits()).rev() {
+            acc = acc.double();
+            if k.bit(i) {
+                acc = acc.add(base);
+            }
+        }
+        acc.to_affine()
+    }
+
+    /// Serializes the point as 64 bytes (`x ‖ y` big-endian), or 64 zero bytes
+    /// for the identity.
+    pub fn to_bytes(&self) -> [u8; 64] {
+        let mut out = [0u8; 64];
+        if let Point::Affine { x, y } = self {
+            out[..32].copy_from_slice(&x.to_be_bytes());
+            out[32..].copy_from_slice(&y.to_be_bytes());
+        }
+        out
+    }
+
+    /// Deserializes a point from [`Point::to_bytes`] output, validating that it
+    /// lies on the curve.
+    ///
+    /// # Errors
+    ///
+    /// Returns `None` if the coordinates are not on the curve.
+    pub fn from_bytes(bytes: &[u8; 64]) -> Option<Point> {
+        if bytes.iter().all(|&b| b == 0) {
+            return Some(Point::Infinity);
+        }
+        let mut xb = [0u8; 32];
+        let mut yb = [0u8; 32];
+        xb.copy_from_slice(&bytes[..32]);
+        yb.copy_from_slice(&bytes[32..]);
+        let p = Point::Affine { x: U256::from_be_bytes(xb), y: U256::from_be_bytes(yb) };
+        p.is_on_curve().then_some(p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generator_is_on_curve() {
+        assert!(generator().is_on_curve());
+    }
+
+    #[test]
+    fn identity_laws() {
+        let g = generator();
+        assert_eq!(g.add(&Point::Infinity), g);
+        assert_eq!(Point::Infinity.add(&g), g);
+        assert_eq!(g.add(&g.negate()), Point::Infinity);
+        assert!(Point::Infinity.is_on_curve());
+    }
+
+    #[test]
+    fn doubling_matches_addition() {
+        let g = generator();
+        assert_eq!(g.double(), g.add(&g));
+        let g2 = g.double();
+        assert!(g2.is_on_curve());
+        assert_ne!(g2, g);
+    }
+
+    #[test]
+    fn scalar_multiplication_distributes() {
+        let g = generator();
+        // (a + b)G == aG + bG
+        let a = U256::from_u64(123456789);
+        let b = U256::from_u64(987654321);
+        let lhs = g.mul_scalar(a.wrapping_add(b));
+        let rhs = g.mul_scalar(a).add(&g.mul_scalar(b));
+        assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn small_scalar_multiples_agree_with_repeated_addition() {
+        let g = generator();
+        let mut acc = Point::Infinity;
+        for k in 1..=8u64 {
+            acc = acc.add(&g);
+            assert_eq!(g.mul_scalar(U256::from_u64(k)), acc, "k = {k}");
+            assert!(acc.is_on_curve());
+        }
+    }
+
+    #[test]
+    fn order_times_generator_is_identity() {
+        let g = generator();
+        assert_eq!(g.mul_scalar(group_order()), Point::Infinity);
+        // (n-1)G = -G
+        let n_minus_1 = group_order().wrapping_sub(U256::ONE);
+        assert_eq!(g.mul_scalar(n_minus_1), g.negate());
+    }
+
+    #[test]
+    fn scalar_mul_associativity_via_composition() {
+        // (ab)G == a(bG)
+        let g = generator();
+        let a = U256::from_u64(31337);
+        let b = U256::from_u64(271828);
+        let ab = a.mul_mod(b, group_order());
+        assert_eq!(g.mul_scalar(ab), g.mul_scalar(b).mul_scalar(a));
+    }
+
+    #[test]
+    fn point_serialization_roundtrip() {
+        let p = generator().mul_scalar(U256::from_u64(42));
+        let bytes = p.to_bytes();
+        assert_eq!(Point::from_bytes(&bytes), Some(p));
+        assert_eq!(Point::from_bytes(&[0u8; 64]), Some(Point::Infinity));
+        // Corrupt a byte: no longer on the curve.
+        let mut bad = bytes;
+        bad[5] ^= 1;
+        assert_eq!(Point::from_bytes(&bad), None);
+    }
+
+    #[test]
+    fn reduce_p_agrees_with_generic_reduction() {
+        let p = field_prime();
+        let a = U256::from_hex("deadbeefdeadbeefdeadbeefdeadbeefdeadbeefdeadbeefdeadbeefdeadbeef")
+            .unwrap();
+        let b = U256::from_hex("cafebabecafebabecafebabecafebabecafebabecafebabecafebabecafebabe")
+            .unwrap();
+        let fast = fmul(a, b);
+        let slow = a.mul_mod(b, p);
+        assert_eq!(fast, slow);
+    }
+
+    #[test]
+    fn field_inverse() {
+        let a = U256::from_u64(1234567);
+        assert_eq!(fmul(a, finv(a)), U256::ONE);
+        assert_eq!(finv(U256::ONE), U256::ONE);
+    }
+
+    #[test]
+    #[should_panic(expected = "inversion of zero")]
+    fn zero_inverse_panics() {
+        let _ = finv(U256::ZERO);
+    }
+
+    #[test]
+    fn negation_is_involutive() {
+        let p = generator().mul_scalar(U256::from_u64(7));
+        assert_eq!(p.negate().negate(), p);
+        assert_eq!(Point::Infinity.negate(), Point::Infinity);
+    }
+
+    #[test]
+    fn coordinates_accessor() {
+        assert_eq!(Point::Infinity.coordinates(), None);
+        let (x, _) = generator().coordinates().unwrap();
+        assert_eq!(
+            x,
+            U256::from_hex("79be667ef9dcbbac55a06295ce870b07029bfcdb2dce28d959f2815b16f81798")
+                .unwrap()
+        );
+    }
+}

@@ -1,0 +1,778 @@
+//! 256-bit unsigned integers (with a 512-bit helper for products).
+//!
+//! Used for proof-of-work difficulty targets and as the limb arithmetic under the
+//! secp256k1 implementation in [`crate::secp`]. Little-endian `u64` limbs.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, BitAnd, BitOr, BitXor, Not, Shl, Shr, Sub};
+
+use serde::{Deserialize, Serialize};
+
+/// A 256-bit unsigned integer.
+///
+/// # Examples
+///
+/// ```
+/// use blockfed_crypto::U256;
+///
+/// let a = U256::from_u64(7);
+/// let b = U256::from_u64(6);
+/// assert_eq!(a + b, U256::from_u64(13));
+/// assert_eq!((a * b).low_u64(), 42);
+/// ```
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct U256(pub(crate) [u64; 4]);
+
+/// A 512-bit unsigned integer, produced by [`U256::mul_wide`].
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Default, Debug)]
+pub struct U512(pub(crate) [u64; 8]);
+
+impl U256 {
+    /// Zero.
+    pub const ZERO: U256 = U256([0; 4]);
+    /// One.
+    pub const ONE: U256 = U256([1, 0, 0, 0]);
+    /// The largest representable value, `2^256 - 1`.
+    pub const MAX: U256 = U256([u64::MAX; 4]);
+
+    /// Creates a value from a `u64`.
+    pub const fn from_u64(v: u64) -> Self {
+        U256([v, 0, 0, 0])
+    }
+
+    /// Creates a value from a `u128`.
+    pub const fn from_u128(v: u128) -> Self {
+        U256([v as u64, (v >> 64) as u64, 0, 0])
+    }
+
+    /// Creates a value from little-endian limbs.
+    pub const fn from_limbs(limbs: [u64; 4]) -> Self {
+        U256(limbs)
+    }
+
+    /// The little-endian limbs.
+    pub const fn limbs(&self) -> [u64; 4] {
+        self.0
+    }
+
+    /// The low 64 bits.
+    pub const fn low_u64(&self) -> u64 {
+        self.0[0]
+    }
+
+    /// The low 128 bits.
+    pub const fn low_u128(&self) -> u128 {
+        (self.0[0] as u128) | ((self.0[1] as u128) << 64)
+    }
+
+    /// Parses from big-endian bytes.
+    pub fn from_be_bytes(bytes: [u8; 32]) -> Self {
+        let mut limbs = [0u64; 4];
+        for i in 0..4 {
+            let mut chunk = [0u8; 8];
+            chunk.copy_from_slice(&bytes[8 * (3 - i)..8 * (3 - i) + 8]);
+            limbs[i] = u64::from_be_bytes(chunk);
+        }
+        U256(limbs)
+    }
+
+    /// Serializes to big-endian bytes.
+    pub fn to_be_bytes(self) -> [u8; 32] {
+        let mut out = [0u8; 32];
+        for i in 0..4 {
+            out[8 * (3 - i)..8 * (3 - i) + 8].copy_from_slice(&self.0[i].to_be_bytes());
+        }
+        out
+    }
+
+    /// Parses a hexadecimal string (with or without `0x`), up to 64 digits.
+    ///
+    /// # Errors
+    ///
+    /// Returns `None` for empty input, more than 64 digits, or non-hex characters.
+    pub fn from_hex(s: &str) -> Option<Self> {
+        let s = s.strip_prefix("0x").unwrap_or(s);
+        if s.is_empty() || s.len() > 64 {
+            return None;
+        }
+        let mut v = U256::ZERO;
+        for c in s.bytes() {
+            let d = match c {
+                b'0'..=b'9' => c - b'0',
+                b'a'..=b'f' => c - b'a' + 10,
+                b'A'..=b'F' => c - b'A' + 10,
+                _ => return None,
+            };
+            v = (v << 4) | U256::from_u64(u64::from(d));
+        }
+        Some(v)
+    }
+
+    /// Whether the value is zero.
+    pub fn is_zero(&self) -> bool {
+        self.0 == [0; 4]
+    }
+
+    /// Whether the value is even.
+    pub fn is_even(&self) -> bool {
+        self.0[0] & 1 == 0
+    }
+
+    /// Number of significant bits (`0` for zero).
+    pub fn bits(&self) -> u32 {
+        for i in (0..4).rev() {
+            if self.0[i] != 0 {
+                return 64 * i as u32 + (64 - self.0[i].leading_zeros());
+            }
+        }
+        0
+    }
+
+    /// The value of bit `i` (little-endian bit order).
+    pub fn bit(&self, i: u32) -> bool {
+        if i >= 256 {
+            return false;
+        }
+        (self.0[(i / 64) as usize] >> (i % 64)) & 1 == 1
+    }
+
+    /// Addition reporting overflow.
+    pub fn overflowing_add(self, rhs: U256) -> (U256, bool) {
+        let mut out = [0u64; 4];
+        let mut carry = false;
+        for i in 0..4 {
+            let (s1, c1) = self.0[i].overflowing_add(rhs.0[i]);
+            let (s2, c2) = s1.overflowing_add(u64::from(carry));
+            out[i] = s2;
+            carry = c1 || c2;
+        }
+        (U256(out), carry)
+    }
+
+    /// Subtraction reporting borrow.
+    pub fn overflowing_sub(self, rhs: U256) -> (U256, bool) {
+        let mut out = [0u64; 4];
+        let mut borrow = false;
+        for i in 0..4 {
+            let (d1, b1) = self.0[i].overflowing_sub(rhs.0[i]);
+            let (d2, b2) = d1.overflowing_sub(u64::from(borrow));
+            out[i] = d2;
+            borrow = b1 || b2;
+        }
+        (U256(out), borrow)
+    }
+
+    /// Wrapping (mod 2^256) addition.
+    pub fn wrapping_add(self, rhs: U256) -> U256 {
+        self.overflowing_add(rhs).0
+    }
+
+    /// Wrapping (mod 2^256) subtraction.
+    pub fn wrapping_sub(self, rhs: U256) -> U256 {
+        self.overflowing_sub(rhs).0
+    }
+
+    /// Checked addition; `None` on overflow.
+    pub fn checked_add(self, rhs: U256) -> Option<U256> {
+        match self.overflowing_add(rhs) {
+            (v, false) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Checked subtraction; `None` on underflow.
+    pub fn checked_sub(self, rhs: U256) -> Option<U256> {
+        match self.overflowing_sub(rhs) {
+            (v, false) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Full 256×256 → 512-bit multiplication.
+    pub fn mul_wide(self, rhs: U256) -> U512 {
+        let mut out = [0u64; 8];
+        for i in 0..4 {
+            let mut carry: u128 = 0;
+            for j in 0..4 {
+                let cur = out[i + j] as u128
+                    + (self.0[i] as u128) * (rhs.0[j] as u128)
+                    + carry;
+                out[i + j] = cur as u64;
+                carry = cur >> 64;
+            }
+            out[i + 4] = carry as u64;
+        }
+        U512(out)
+    }
+
+    /// Wrapping (mod 2^256) multiplication.
+    pub fn wrapping_mul(self, rhs: U256) -> U256 {
+        let wide = self.mul_wide(rhs);
+        U256([wide.0[0], wide.0[1], wide.0[2], wide.0[3]])
+    }
+
+    /// Multiplication by a `u64`, returning the 320-bit result as
+    /// `(low 256 bits, high limb)`.
+    pub fn mul_u64_carry(self, rhs: u64) -> (U256, u64) {
+        let mut out = [0u64; 4];
+        let mut carry: u128 = 0;
+        for i in 0..4 {
+            let cur = (self.0[i] as u128) * (rhs as u128) + carry;
+            out[i] = cur as u64;
+            carry = cur >> 64;
+        }
+        (U256(out), carry as u64)
+    }
+
+    /// Division with remainder.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `divisor` is zero.
+    pub fn div_rem(self, divisor: U256) -> (U256, U256) {
+        assert!(!divisor.is_zero(), "division by zero");
+        if self < divisor {
+            return (U256::ZERO, self);
+        }
+        if divisor.bits() <= 64 {
+            let (q, r) = self.div_rem_u64(divisor.low_u64());
+            return (q, U256::from_u64(r));
+        }
+        // Restoring binary long division.
+        let mut quotient = U256::ZERO;
+        let mut remainder = U256::ZERO;
+        let n = self.bits();
+        for i in (0..n).rev() {
+            remainder = remainder << 1;
+            if self.bit(i) {
+                remainder.0[0] |= 1;
+            }
+            if remainder >= divisor {
+                remainder = remainder.wrapping_sub(divisor);
+                quotient.0[(i / 64) as usize] |= 1 << (i % 64);
+            }
+        }
+        (quotient, remainder)
+    }
+
+    /// Division with remainder by a `u64`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `divisor` is zero.
+    pub fn div_rem_u64(self, divisor: u64) -> (U256, u64) {
+        assert!(divisor != 0, "division by zero");
+        let mut out = [0u64; 4];
+        let mut rem: u128 = 0;
+        for i in (0..4).rev() {
+            let cur = (rem << 64) | self.0[i] as u128;
+            out[i] = (cur / divisor as u128) as u64;
+            rem = cur % divisor as u128;
+        }
+        (U256(out), rem as u64)
+    }
+
+    /// Modular addition: `(self + rhs) mod m`.
+    ///
+    /// Inputs must already be reduced below `m`.
+    pub fn add_mod(self, rhs: U256, m: U256) -> U256 {
+        debug_assert!(self < m && rhs < m);
+        let (sum, carry) = self.overflowing_add(rhs);
+        if carry || sum >= m {
+            sum.wrapping_sub(m)
+        } else {
+            sum
+        }
+    }
+
+    /// Modular subtraction: `(self - rhs) mod m`.
+    ///
+    /// Inputs must already be reduced below `m`.
+    pub fn sub_mod(self, rhs: U256, m: U256) -> U256 {
+        debug_assert!(self < m && rhs < m);
+        if self >= rhs {
+            self.wrapping_sub(rhs)
+        } else {
+            m.wrapping_sub(rhs).wrapping_add(self)
+        }
+    }
+
+    /// Modular multiplication: `(self * rhs) mod m`.
+    pub fn mul_mod(self, rhs: U256, m: U256) -> U256 {
+        self.mul_wide(rhs).rem(m)
+    }
+
+    /// Modular exponentiation by square-and-multiply.
+    pub fn pow_mod(self, exp: U256, m: U256) -> U256 {
+        assert!(!m.is_zero(), "modulus must be nonzero");
+        if m == U256::ONE {
+            return U256::ZERO;
+        }
+        let mut result = U256::ONE;
+        let mut base = self.div_rem(m).1;
+        let n = exp.bits();
+        for i in 0..n {
+            if exp.bit(i) {
+                result = result.mul_mod(base, m);
+            }
+            base = base.mul_mod(base, m);
+        }
+        result
+    }
+
+    /// Leading (most-significant) zero bits.
+    pub fn leading_zeros(&self) -> u32 {
+        256 - self.bits()
+    }
+}
+
+impl U512 {
+    /// Zero.
+    pub const ZERO: U512 = U512([0; 8]);
+
+    /// Builds a 512-bit value as `hi * 2^256 + lo`.
+    pub fn from_halves(hi: U256, lo: U256) -> Self {
+        U512([lo.0[0], lo.0[1], lo.0[2], lo.0[3], hi.0[0], hi.0[1], hi.0[2], hi.0[3]])
+    }
+
+    /// Splits into `(hi, lo)` halves.
+    pub fn split_halves(&self) -> (U256, U256) {
+        (
+            U256([self.0[4], self.0[5], self.0[6], self.0[7]]),
+            U256([self.0[0], self.0[1], self.0[2], self.0[3]]),
+        )
+    }
+
+    /// Whether the value is zero.
+    pub fn is_zero(&self) -> bool {
+        self.0 == [0; 8]
+    }
+
+    /// Number of significant bits.
+    pub fn bits(&self) -> u32 {
+        for i in (0..8).rev() {
+            if self.0[i] != 0 {
+                return 64 * i as u32 + (64 - self.0[i].leading_zeros());
+            }
+        }
+        0
+    }
+
+    /// The value of bit `i`.
+    pub fn bit(&self, i: u32) -> bool {
+        if i >= 512 {
+            return false;
+        }
+        (self.0[(i / 64) as usize] >> (i % 64)) & 1 == 1
+    }
+
+    /// Remainder modulo a 256-bit value, via restoring binary division.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` is zero.
+    pub fn rem(self, m: U256) -> U256 {
+        assert!(!m.is_zero(), "division by zero");
+        let n = self.bits();
+        if n <= 256 {
+            let (_, lo) = self.split_halves();
+            return lo.div_rem(m).1;
+        }
+        let mut rem = U256::ZERO;
+        for i in (0..n).rev() {
+            // rem = rem * 2 + bit; rem may transiently reach 2m-1 < 2^257,
+            // tracked by the shift-out carry.
+            let carry = rem.bit(255);
+            rem = rem << 1;
+            if self.bit(i) {
+                rem.0[0] |= 1;
+            }
+            if carry || rem >= m {
+                rem = rem.wrapping_sub(m);
+            }
+        }
+        rem
+    }
+}
+
+impl PartialOrd for U256 {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for U256 {
+    fn cmp(&self, other: &Self) -> Ordering {
+        for i in (0..4).rev() {
+            match self.0[i].cmp(&other.0[i]) {
+                Ordering::Equal => continue,
+                ord => return ord,
+            }
+        }
+        Ordering::Equal
+    }
+}
+
+impl Add for U256 {
+    type Output = U256;
+    fn add(self, rhs: U256) -> U256 {
+        self.checked_add(rhs).expect("U256 overflow")
+    }
+}
+
+impl Sub for U256 {
+    type Output = U256;
+    fn sub(self, rhs: U256) -> U256 {
+        self.checked_sub(rhs).expect("U256 underflow")
+    }
+}
+
+impl std::ops::Mul for U256 {
+    type Output = U256;
+    /// Multiplication that panics on overflow (use [`U256::mul_wide`] or
+    /// [`U256::wrapping_mul`] when the product may exceed 256 bits).
+    fn mul(self, rhs: U256) -> U256 {
+        let wide = self.mul_wide(rhs);
+        let (hi, lo) = wide.split_halves();
+        assert!(hi.is_zero(), "U256 multiplication overflow");
+        lo
+    }
+}
+
+impl Shl<u32> for U256 {
+    type Output = U256;
+    fn shl(self, shift: u32) -> U256 {
+        if shift >= 256 {
+            return U256::ZERO;
+        }
+        let limb_shift = (shift / 64) as usize;
+        let bit_shift = shift % 64;
+        let mut out = [0u64; 4];
+        for i in (0..4).rev() {
+            if i >= limb_shift {
+                out[i] = self.0[i - limb_shift] << bit_shift;
+                if bit_shift > 0 && i > limb_shift {
+                    out[i] |= self.0[i - limb_shift - 1] >> (64 - bit_shift);
+                }
+            }
+        }
+        U256(out)
+    }
+}
+
+impl Shr<u32> for U256 {
+    type Output = U256;
+    fn shr(self, shift: u32) -> U256 {
+        if shift >= 256 {
+            return U256::ZERO;
+        }
+        let limb_shift = (shift / 64) as usize;
+        let bit_shift = shift % 64;
+        let mut out = [0u64; 4];
+        for i in 0..4 {
+            if i + limb_shift < 4 {
+                out[i] = self.0[i + limb_shift] >> bit_shift;
+                if bit_shift > 0 && i + limb_shift + 1 < 4 {
+                    out[i] |= self.0[i + limb_shift + 1] << (64 - bit_shift);
+                }
+            }
+        }
+        U256(out)
+    }
+}
+
+impl BitAnd for U256 {
+    type Output = U256;
+    fn bitand(self, rhs: U256) -> U256 {
+        U256([self.0[0] & rhs.0[0], self.0[1] & rhs.0[1], self.0[2] & rhs.0[2], self.0[3] & rhs.0[3]])
+    }
+}
+
+impl BitOr for U256 {
+    type Output = U256;
+    fn bitor(self, rhs: U256) -> U256 {
+        U256([self.0[0] | rhs.0[0], self.0[1] | rhs.0[1], self.0[2] | rhs.0[2], self.0[3] | rhs.0[3]])
+    }
+}
+
+impl BitXor for U256 {
+    type Output = U256;
+    fn bitxor(self, rhs: U256) -> U256 {
+        U256([self.0[0] ^ rhs.0[0], self.0[1] ^ rhs.0[1], self.0[2] ^ rhs.0[2], self.0[3] ^ rhs.0[3]])
+    }
+}
+
+impl Not for U256 {
+    type Output = U256;
+    fn not(self) -> U256 {
+        U256([!self.0[0], !self.0[1], !self.0[2], !self.0[3]])
+    }
+}
+
+impl From<u64> for U256 {
+    fn from(v: u64) -> Self {
+        U256::from_u64(v)
+    }
+}
+
+impl From<u128> for U256 {
+    fn from(v: u128) -> Self {
+        U256::from_u128(v)
+    }
+}
+
+impl fmt::Debug for U256 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "U256(0x{self:x})")
+    }
+}
+
+impl fmt::Display for U256 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Decimal via repeated division by 10^19 (largest power of ten in u64).
+        if self.is_zero() {
+            return write!(f, "0");
+        }
+        let mut parts = Vec::new();
+        let mut v = *self;
+        while !v.is_zero() {
+            let (q, r) = v.div_rem_u64(10_000_000_000_000_000_000);
+            parts.push(r);
+            v = q;
+        }
+        write!(f, "{}", parts.pop().unwrap())?;
+        for p in parts.iter().rev() {
+            write!(f, "{p:019}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::LowerHex for U256 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_zero() {
+            return write!(f, "0");
+        }
+        let mut started = false;
+        for i in (0..4).rev() {
+            if started {
+                write!(f, "{:016x}", self.0[i])?;
+            } else if self.0[i] != 0 {
+                write!(f, "{:x}", self.0[i])?;
+                started = true;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn u(v: u64) -> U256 {
+        U256::from_u64(v)
+    }
+
+    #[test]
+    fn small_arithmetic() {
+        assert_eq!(u(2) + u(3), u(5));
+        assert_eq!(u(7) - u(3), u(4));
+        assert_eq!(u(6) * u(7), u(42));
+        assert_eq!(u(100).div_rem(u(7)), (u(14), u(2)));
+    }
+
+    #[test]
+    fn carries_propagate_across_limbs() {
+        let a = U256([u64::MAX, 0, 0, 0]);
+        assert_eq!(a + U256::ONE, U256([0, 1, 0, 0]));
+        let b = U256([0, 1, 0, 0]);
+        assert_eq!(b - U256::ONE, U256([u64::MAX, 0, 0, 0]));
+    }
+
+    #[test]
+    fn overflow_detection() {
+        assert!(U256::MAX.checked_add(U256::ONE).is_none());
+        assert!(U256::ZERO.checked_sub(U256::ONE).is_none());
+        assert_eq!(U256::MAX.wrapping_add(U256::ONE), U256::ZERO);
+        assert_eq!(U256::ZERO.wrapping_sub(U256::ONE), U256::MAX);
+    }
+
+    #[test]
+    fn wide_multiplication() {
+        // (2^128 - 1)^2 = 2^256 - 2^129 + 1, which still fits in 256 bits.
+        let a = U256::from_u128(u128::MAX);
+        let wide = a.mul_wide(a);
+        let (hi, lo) = wide.split_halves();
+        let expected_lo = U256::ONE.wrapping_sub(U256::ONE << 129);
+        assert_eq!(lo, expected_lo);
+        assert_eq!(hi, U256::ZERO);
+        // (2^255)^2 = 2^510: hi = 2^254.
+        let b = U256::ONE << 255;
+        let (hi2, lo2) = b.mul_wide(b).split_halves();
+        assert_eq!(lo2, U256::ZERO);
+        assert_eq!(hi2, U256::ONE << 254);
+    }
+
+    #[test]
+    fn be_bytes_roundtrip() {
+        let v = U256::from_hex("0123456789abcdef0123456789abcdef0123456789abcdef0123456789abcdef")
+            .unwrap();
+        assert_eq!(U256::from_be_bytes(v.to_be_bytes()), v);
+        assert_eq!(v.to_be_bytes()[0], 0x01);
+        assert_eq!(v.to_be_bytes()[31], 0xef);
+    }
+
+    #[test]
+    fn hex_parsing() {
+        assert_eq!(U256::from_hex("ff"), Some(u(255)));
+        assert_eq!(U256::from_hex("0xff"), Some(u(255)));
+        assert_eq!(U256::from_hex(""), None);
+        assert_eq!(U256::from_hex("xyz"), None);
+        assert_eq!(U256::from_hex(&"f".repeat(65)), None);
+        assert_eq!(U256::from_hex(&"f".repeat(64)), Some(U256::MAX));
+    }
+
+    #[test]
+    fn shifts() {
+        assert_eq!(u(1) << 64, U256([0, 1, 0, 0]));
+        assert_eq!(U256([0, 1, 0, 0]) >> 64, u(1));
+        assert_eq!(u(1) << 255 >> 255, u(1));
+        assert_eq!(u(1) << 256, U256::ZERO);
+        assert_eq!(U256::MAX >> 256, U256::ZERO);
+        assert_eq!(u(0b1010) >> 1, u(0b101));
+    }
+
+    #[test]
+    fn bits_and_bit() {
+        assert_eq!(U256::ZERO.bits(), 0);
+        assert_eq!(U256::ONE.bits(), 1);
+        assert_eq!((U256::ONE << 200).bits(), 201);
+        assert_eq!(U256::MAX.bits(), 256);
+        assert!(U256::ONE.bit(0));
+        assert!(!U256::ONE.bit(1));
+        assert!((U256::ONE << 200).bit(200));
+        assert!(!U256::MAX.bit(300));
+        assert_eq!(U256::MAX.leading_zeros(), 0);
+        assert_eq!(U256::ONE.leading_zeros(), 255);
+    }
+
+    #[test]
+    fn div_rem_large() {
+        let a = U256::from_hex("ffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffff")
+            .unwrap();
+        let b = U256::from_hex("100000000000000000000000000000000").unwrap(); // 2^128
+        let (q, r) = a.div_rem(b);
+        assert_eq!(q, U256::from_u128(u128::MAX));
+        assert_eq!(r, U256::from_u128(u128::MAX));
+        // Reconstruct: q*b + r == a
+        assert_eq!(q.wrapping_mul(b).wrapping_add(r), a);
+    }
+
+    #[test]
+    #[should_panic(expected = "division by zero")]
+    fn div_by_zero_panics() {
+        let _ = u(1).div_rem(U256::ZERO);
+    }
+
+    #[test]
+    fn u512_rem_matches_div_rem_for_small_values() {
+        let a = u(123456789);
+        let b = u(1000);
+        let wide = U512::from_halves(U256::ZERO, a);
+        assert_eq!(wide.rem(b), u(123456789 % 1000));
+    }
+
+    #[test]
+    fn u512_rem_large() {
+        // (m + 5) * m + 7 mod m == 7
+        let m = U256::from_hex("fffffffffffffffffffffffffffffffebaaedce6af48a03bbfd25e8cd0364141")
+            .unwrap();
+        let a = m.wrapping_add(u(5));
+        let wide = a.mul_wide(m);
+        let (lo_sum, carry) = wide.split_halves().1.overflowing_add(u(7));
+        let mut limbs = [lo_sum.0[0], lo_sum.0[1], lo_sum.0[2], lo_sum.0[3], 0, 0, 0, 0];
+        let (hi, _) = wide.split_halves();
+        limbs[4] = hi.0[0].wrapping_add(u64::from(carry));
+        limbs[5] = hi.0[1];
+        limbs[6] = hi.0[2];
+        limbs[7] = hi.0[3];
+        assert_eq!(U512(limbs).rem(m), u(7));
+    }
+
+    #[test]
+    fn modular_arithmetic() {
+        let m = u(97);
+        assert_eq!(u(90).add_mod(u(20), m), u(13));
+        assert_eq!(u(5).sub_mod(u(20), m), u(82));
+        assert_eq!(u(50).mul_mod(u(60), m), u(3000 % 97));
+        assert_eq!(u(2).pow_mod(u(96), m), U256::ONE); // Fermat
+        assert_eq!(u(3).pow_mod(U256::ZERO, m), U256::ONE);
+        assert_eq!(u(3).pow_mod(u(5), U256::ONE), U256::ZERO);
+    }
+
+    #[test]
+    fn pow_mod_large_modulus() {
+        // Fermat's little theorem with the secp256k1 field prime.
+        let p = U256::from_hex("fffffffffffffffffffffffffffffffffffffffffffffffffffffffefffffc2f")
+            .unwrap();
+        let a = u(123456789);
+        assert_eq!(a.pow_mod(p.wrapping_sub(U256::ONE), p), U256::ONE);
+        // Inverse via Fermat: a * a^(p-2) == 1.
+        let inv = a.pow_mod(p.wrapping_sub(u(2)), p);
+        assert_eq!(a.mul_mod(inv, p), U256::ONE);
+    }
+
+    #[test]
+    fn mul_u64_carry_matches_wide() {
+        let a = U256::MAX;
+        let (lo, hi) = a.mul_u64_carry(u64::MAX);
+        let wide = a.mul_wide(u(u64::MAX));
+        let (whi, wlo) = wide.split_halves();
+        assert_eq!(lo, wlo);
+        assert_eq!(U256::from_u64(hi), whi);
+    }
+
+    #[test]
+    fn display_decimal() {
+        assert_eq!(U256::ZERO.to_string(), "0");
+        assert_eq!(u(12345).to_string(), "12345");
+        // 2^64 = 18446744073709551616
+        assert_eq!((U256::ONE << 64).to_string(), "18446744073709551616");
+        // 10^19 boundary handling
+        assert_eq!(u(10_000_000_000_000_000_000).to_string(), "10000000000000000000");
+    }
+
+    #[test]
+    fn lower_hex_formatting() {
+        assert_eq!(format!("{:x}", U256::ZERO), "0");
+        assert_eq!(format!("{:x}", u(0xdeadbeef)), "deadbeef");
+        let v = U256::ONE << 64;
+        assert_eq!(format!("{v:x}"), "10000000000000000");
+    }
+
+    #[test]
+    fn bitwise_ops() {
+        let a = u(0b1100);
+        let b = u(0b1010);
+        assert_eq!(a & b, u(0b1000));
+        assert_eq!(a | b, u(0b1110));
+        assert_eq!(a ^ b, u(0b0110));
+        assert_eq!(!U256::ZERO, U256::MAX);
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(U256::ZERO < U256::ONE);
+        assert!(U256([0, 0, 0, 1]) > U256([u64::MAX, u64::MAX, u64::MAX, 0]));
+        assert_eq!(u(5).cmp(&u(5)), Ordering::Equal);
+    }
+
+    #[test]
+    #[should_panic(expected = "U256 multiplication overflow")]
+    fn mul_overflow_panics() {
+        let big = U256::ONE << 200;
+        let _ = big * big;
+    }
+}

@@ -1,0 +1,191 @@
+//! Labeled datasets for the federated-learning experiments.
+
+use blockfed_tensor::Tensor;
+use serde::{Deserialize, Serialize};
+
+/// A labeled classification dataset with flat feature vectors.
+///
+/// # Examples
+///
+/// ```
+/// use blockfed_data::Dataset;
+/// use blockfed_tensor::Tensor;
+///
+/// let ds = Dataset::new(Tensor::zeros(&[4, 3]), vec![0, 1, 0, 1], 2);
+/// assert_eq!(ds.len(), 4);
+/// assert_eq!(ds.class_counts(), vec![2, 2]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Dataset {
+    features: Tensor,
+    labels: Vec<usize>,
+    num_classes: usize,
+}
+
+impl Dataset {
+    /// Creates a dataset from a `[n, d]` feature tensor and `n` labels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the feature tensor is not 2-D, the label count differs from
+    /// the row count, or any label is out of range.
+    pub fn new(features: Tensor, labels: Vec<usize>, num_classes: usize) -> Self {
+        assert_eq!(features.ndim(), 2, "features must be 2-D [n, d]");
+        assert_eq!(features.shape()[0], labels.len(), "feature/label count mismatch");
+        assert!(num_classes > 0, "num_classes must be positive");
+        assert!(
+            labels.iter().all(|&l| l < num_classes),
+            "label out of range for {num_classes} classes"
+        );
+        Dataset { features, labels, num_classes }
+    }
+
+    /// Number of examples.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Whether the dataset is empty.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Feature dimensionality.
+    pub fn feature_dim(&self) -> usize {
+        self.features.shape()[1]
+    }
+
+    /// Number of classes.
+    pub fn num_classes(&self) -> usize {
+        self.num_classes
+    }
+
+    /// The `[n, d]` feature tensor.
+    pub fn features(&self) -> &Tensor {
+        &self.features
+    }
+
+    /// The labels.
+    pub fn labels(&self) -> &[usize] {
+        &self.labels
+    }
+
+    /// Copies the selected examples into a new dataset.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of range.
+    pub fn subset(&self, indices: &[usize]) -> Dataset {
+        let features = self.features.gather_rows(indices);
+        let labels = indices.iter().map(|&i| self.labels[i]).collect();
+        Dataset { features, labels, num_classes: self.num_classes }
+    }
+
+    /// Splits into `(first n, rest)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` exceeds the length.
+    pub fn split_at(&self, n: usize) -> (Dataset, Dataset) {
+        assert!(n <= self.len(), "split point beyond dataset");
+        let head: Vec<usize> = (0..n).collect();
+        let tail: Vec<usize> = (n..self.len()).collect();
+        (self.subset(&head), self.subset(&tail))
+    }
+
+    /// Number of examples per class.
+    pub fn class_counts(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.num_classes];
+        for &l in &self.labels {
+            counts[l] += 1;
+        }
+        counts
+    }
+
+    /// Concatenates two datasets over the same feature space.
+    ///
+    /// # Panics
+    ///
+    /// Panics if dimensionality or class count disagree.
+    pub fn concat(&self, other: &Dataset) -> Dataset {
+        assert_eq!(self.feature_dim(), other.feature_dim(), "feature dim mismatch");
+        assert_eq!(self.num_classes, other.num_classes, "class count mismatch");
+        let mut data = self.features.as_slice().to_vec();
+        data.extend_from_slice(other.features.as_slice());
+        let mut labels = self.labels.clone();
+        labels.extend_from_slice(&other.labels);
+        Dataset {
+            features: Tensor::from_vec(data, &[self.len() + other.len(), self.feature_dim()]),
+            labels,
+            num_classes: self.num_classes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> Dataset {
+        let features = Tensor::from_vec((0..12).map(|x| x as f32).collect(), &[4, 3]);
+        Dataset::new(features, vec![0, 1, 1, 2], 3)
+    }
+
+    #[test]
+    fn accessors() {
+        let ds = toy();
+        assert_eq!(ds.len(), 4);
+        assert!(!ds.is_empty());
+        assert_eq!(ds.feature_dim(), 3);
+        assert_eq!(ds.num_classes(), 3);
+        assert_eq!(ds.class_counts(), vec![1, 2, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "label out of range")]
+    fn rejects_out_of_range_labels() {
+        let _ = Dataset::new(Tensor::zeros(&[1, 2]), vec![5], 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "feature/label count mismatch")]
+    fn rejects_count_mismatch() {
+        let _ = Dataset::new(Tensor::zeros(&[2, 2]), vec![0], 2);
+    }
+
+    #[test]
+    fn subset_selects_rows_and_labels() {
+        let ds = toy();
+        let sub = ds.subset(&[3, 0]);
+        assert_eq!(sub.len(), 2);
+        assert_eq!(sub.labels(), &[2, 0]);
+        assert_eq!(sub.features().row(0), &[9.0, 10.0, 11.0]);
+    }
+
+    #[test]
+    fn split_at_partitions() {
+        let ds = toy();
+        let (a, b) = ds.split_at(1);
+        assert_eq!(a.len(), 1);
+        assert_eq!(b.len(), 3);
+        assert_eq!(b.labels(), &[1, 1, 2]);
+        let (all, none) = ds.split_at(4);
+        assert_eq!(all.len(), 4);
+        assert!(none.is_empty());
+    }
+
+    #[test]
+    fn concat_appends() {
+        let ds = toy();
+        let merged = ds.concat(&ds);
+        assert_eq!(merged.len(), 8);
+        assert_eq!(merged.class_counts(), vec![2, 4, 2]);
+        assert_eq!(merged.features().row(4), ds.features().row(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "split point beyond dataset")]
+    fn split_beyond_len_panics() {
+        let _ = toy().split_at(9);
+    }
+}

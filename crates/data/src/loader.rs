@@ -1,0 +1,134 @@
+//! Mini-batch iteration with per-epoch shuffling.
+
+use blockfed_tensor::Tensor;
+use rand::Rng;
+
+use crate::dataset::Dataset;
+
+/// One mini-batch of features and labels.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Batch {
+    /// `[batch, d]` features.
+    pub features: Tensor,
+    /// Labels aligned with the feature rows.
+    pub labels: Vec<usize>,
+}
+
+/// Produces shuffled mini-batches over a dataset.
+///
+/// # Examples
+///
+/// ```
+/// use blockfed_data::{Batcher, Dataset};
+/// use blockfed_tensor::Tensor;
+/// use rand::SeedableRng;
+///
+/// let ds = Dataset::new(Tensor::zeros(&[5, 2]), vec![0, 1, 0, 1, 0], 2);
+/// let batcher = Batcher::new(2);
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let batches = batcher.epoch(&ds, &mut rng);
+/// assert_eq!(batches.len(), 3); // 2 + 2 + 1
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Batcher {
+    batch_size: usize,
+}
+
+impl Batcher {
+    /// Creates a batcher with the given batch size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch_size` is zero.
+    pub fn new(batch_size: usize) -> Self {
+        assert!(batch_size > 0, "batch size must be positive");
+        Batcher { batch_size }
+    }
+
+    /// The configured batch size.
+    pub fn batch_size(&self) -> usize {
+        self.batch_size
+    }
+
+    /// Produces one epoch of shuffled batches (the last batch may be smaller).
+    pub fn epoch<R: Rng + ?Sized>(&self, dataset: &Dataset, rng: &mut R) -> Vec<Batch> {
+        let mut order: Vec<usize> = (0..dataset.len()).collect();
+        for i in (1..order.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            order.swap(i, j);
+        }
+        order
+            .chunks(self.batch_size)
+            .map(|chunk| {
+                let sub = dataset.subset(chunk);
+                Batch { labels: sub.labels().to_vec(), features: sub.features().clone() }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn toy(n: usize) -> Dataset {
+        let features = Tensor::from_vec((0..n * 2).map(|x| x as f32).collect(), &[n, 2]);
+        let labels = (0..n).map(|i| i % 3).collect();
+        Dataset::new(features, labels, 3)
+    }
+
+    #[test]
+    fn covers_every_example_once() {
+        let ds = toy(10);
+        let batcher = Batcher::new(3);
+        let mut rng = StdRng::seed_from_u64(1);
+        let batches = batcher.epoch(&ds, &mut rng);
+        assert_eq!(batches.len(), 4);
+        let total: usize = batches.iter().map(|b| b.labels.len()).sum();
+        assert_eq!(total, 10);
+        // Every original first-feature value appears exactly once.
+        let mut firsts: Vec<f32> = batches
+            .iter()
+            .flat_map(|b| (0..b.features.shape()[0]).map(|r| b.features.row(r)[0]).collect::<Vec<_>>())
+            .collect();
+        firsts.sort_by(f32::total_cmp);
+        let expected: Vec<f32> = (0..10).map(|i| (i * 2) as f32).collect();
+        assert_eq!(firsts, expected);
+    }
+
+    #[test]
+    fn shuffles_between_epochs() {
+        let ds = toy(32);
+        let batcher = Batcher::new(32);
+        let mut rng = StdRng::seed_from_u64(2);
+        let e1 = batcher.epoch(&ds, &mut rng);
+        let e2 = batcher.epoch(&ds, &mut rng);
+        assert_ne!(e1[0].labels, e2[0].labels, "epochs should shuffle differently");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let ds = toy(16);
+        let batcher = Batcher::new(4);
+        let a = batcher.epoch(&ds, &mut StdRng::seed_from_u64(3));
+        let b = batcher.epoch(&ds, &mut StdRng::seed_from_u64(3));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn exact_division_has_no_runt_batch() {
+        let ds = toy(9);
+        let batcher = Batcher::new(3);
+        let mut rng = StdRng::seed_from_u64(4);
+        let batches = batcher.epoch(&ds, &mut rng);
+        assert!(batches.iter().all(|b| b.labels.len() == 3));
+    }
+
+    #[test]
+    #[should_panic(expected = "batch size must be positive")]
+    fn zero_batch_size_panics() {
+        let _ = Batcher::new(0);
+    }
+}

@@ -1,0 +1,358 @@
+//! Federated partitioning: splitting one dataset across clients.
+//!
+//! The paper's heterogeneity ("noisy models … due to the heterogeneous data from
+//! other regions or scopes") is modeled with the standard Dirichlet label-skew
+//! partition; IID and quantity-skew partitions are provided as baselines and for
+//! ablations.
+
+use rand::Rng;
+
+use crate::dataset::Dataset;
+
+/// How to split a dataset across clients.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Partition {
+    /// Uniformly random equal-size shards.
+    Iid,
+    /// Label-skew via per-class Dirichlet(α) allocation. Small α → heavy skew.
+    DirichletLabelSkew {
+        /// Dirichlet concentration; the standard 0.5 gives visible skew.
+        alpha: f64,
+    },
+    /// Same label distribution but unequal shard sizes drawn from Dirichlet(α).
+    QuantitySkew {
+        /// Dirichlet concentration over shard sizes.
+        alpha: f64,
+    },
+}
+
+/// Splits `dataset` into `clients` shards according to the partition scheme.
+///
+/// Every example is assigned to exactly one shard; shards are never empty (a
+/// round-robin repair pass moves examples from the largest shard if needed).
+///
+/// # Panics
+///
+/// Panics if `clients` is zero or exceeds the dataset size.
+///
+/// # Examples
+///
+/// ```
+/// use blockfed_data::{partition_dataset, Dataset, Partition};
+/// use blockfed_tensor::Tensor;
+/// use rand::SeedableRng;
+///
+/// let ds = Dataset::new(Tensor::zeros(&[10, 2]), vec![0, 1, 0, 1, 0, 1, 0, 1, 0, 1], 2);
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let shards = partition_dataset(&ds, 2, Partition::Iid, &mut rng);
+/// assert_eq!(shards.len(), 2);
+/// assert_eq!(shards[0].len() + shards[1].len(), 10);
+/// ```
+pub fn partition_dataset<R: Rng + ?Sized>(
+    dataset: &Dataset,
+    clients: usize,
+    partition: Partition,
+    rng: &mut R,
+) -> Vec<Dataset> {
+    assert!(clients > 0, "client count must be positive");
+    assert!(clients <= dataset.len(), "more clients than examples");
+    let assignment = match partition {
+        Partition::Iid => assign_iid(dataset.len(), clients, rng),
+        Partition::DirichletLabelSkew { alpha } => {
+            assert!(alpha > 0.0, "alpha must be positive");
+            assign_label_skew(dataset, clients, alpha, rng)
+        }
+        Partition::QuantitySkew { alpha } => {
+            assert!(alpha > 0.0, "alpha must be positive");
+            assign_quantity_skew(dataset.len(), clients, alpha, rng)
+        }
+    };
+    let mut shards: Vec<Vec<usize>> = vec![Vec::new(); clients];
+    for (example, &client) in assignment.iter().enumerate() {
+        shards[client].push(example);
+    }
+    repair_empty_shards(&mut shards);
+    shards.iter().map(|idx| dataset.subset(idx)).collect()
+}
+
+fn assign_iid<R: Rng + ?Sized>(n: usize, clients: usize, rng: &mut R) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..n).collect();
+    shuffle(&mut order, rng);
+    let mut assignment = vec![0usize; n];
+    for (pos, &example) in order.iter().enumerate() {
+        assignment[example] = pos % clients;
+    }
+    assignment
+}
+
+fn assign_label_skew<R: Rng + ?Sized>(
+    dataset: &Dataset,
+    clients: usize,
+    alpha: f64,
+    rng: &mut R,
+) -> Vec<usize> {
+    let mut assignment = vec![0usize; dataset.len()];
+    for class in 0..dataset.num_classes() {
+        let mut members: Vec<usize> = (0..dataset.len())
+            .filter(|&i| dataset.labels()[i] == class)
+            .collect();
+        shuffle(&mut members, rng);
+        let weights = dirichlet(clients, alpha, rng);
+        // Convert weights to cumulative example counts.
+        let mut cut = 0usize;
+        let mut cursor = 0usize;
+        for (client, &w) in weights.iter().enumerate() {
+            let take = if client == clients - 1 {
+                members.len() - cursor
+            } else {
+                ((w * members.len() as f64).round() as usize).min(members.len() - cursor)
+            };
+            cut += take;
+            for &m in &members[cursor..cursor + take] {
+                assignment[m] = client;
+            }
+            cursor += take;
+        }
+        debug_assert_eq!(cut, members.len());
+    }
+    assignment
+}
+
+fn assign_quantity_skew<R: Rng + ?Sized>(
+    n: usize,
+    clients: usize,
+    alpha: f64,
+    rng: &mut R,
+) -> Vec<usize> {
+    let weights = dirichlet(clients, alpha, rng);
+    let mut order: Vec<usize> = (0..n).collect();
+    shuffle(&mut order, rng);
+    let mut assignment = vec![0usize; n];
+    let mut cursor = 0usize;
+    for (client, &w) in weights.iter().enumerate() {
+        let take = if client == clients - 1 {
+            n - cursor
+        } else {
+            ((w * n as f64).round() as usize).min(n - cursor)
+        };
+        for &e in &order[cursor..cursor + take] {
+            assignment[e] = client;
+        }
+        cursor += take;
+    }
+    assignment
+}
+
+fn repair_empty_shards(shards: &mut [Vec<usize>]) {
+    loop {
+        let empty = match shards.iter().position(Vec::is_empty) {
+            Some(i) => i,
+            None => return,
+        };
+        let largest = shards
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, s)| s.len())
+            .map(|(i, _)| i)
+            .expect("at least one shard");
+        if shards[largest].len() <= 1 {
+            return; // nothing to move without emptying the donor
+        }
+        let moved = shards[largest].pop().expect("largest shard nonempty");
+        shards[empty].push(moved);
+    }
+}
+
+/// Samples from a symmetric Dirichlet(α) via normalized Gamma draws
+/// (Marsaglia–Tsang for shape ≥ 1, boost trick below 1).
+fn dirichlet<R: Rng + ?Sized>(k: usize, alpha: f64, rng: &mut R) -> Vec<f64> {
+    let draws: Vec<f64> = (0..k).map(|_| gamma(alpha, rng)).collect();
+    let total: f64 = draws.iter().sum();
+    if total <= 0.0 {
+        return vec![1.0 / k as f64; k];
+    }
+    draws.into_iter().map(|d| d / total).collect()
+}
+
+fn gamma<R: Rng + ?Sized>(shape: f64, rng: &mut R) -> f64 {
+    if shape < 1.0 {
+        // Boost: Gamma(a) = Gamma(a+1) * U^(1/a)
+        let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+        return gamma(shape + 1.0, rng) * u.powf(1.0 / shape);
+    }
+    let d = shape - 1.0 / 3.0;
+    let c = 1.0 / (9.0 * d).sqrt();
+    loop {
+        let x = gaussian64(rng);
+        let v = (1.0 + c * x).powi(3);
+        if v <= 0.0 {
+            continue;
+        }
+        let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+        if u.ln() < 0.5 * x * x + d - d * v + d * v.ln() {
+            return d * v;
+        }
+    }
+}
+
+fn gaussian64<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+fn shuffle<R: Rng + ?Sized>(v: &mut [usize], rng: &mut R) {
+    for i in (1..v.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        v.swap(i, j);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blockfed_tensor::Tensor;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn balanced_dataset(n_per_class: usize, classes: usize) -> Dataset {
+        let n = n_per_class * classes;
+        let labels: Vec<usize> = (0..n).map(|i| i % classes).collect();
+        Dataset::new(Tensor::zeros(&[n, 2]), labels, classes)
+    }
+
+    #[test]
+    fn iid_is_an_exact_partition() {
+        let ds = balanced_dataset(30, 4);
+        let mut rng = StdRng::seed_from_u64(1);
+        let shards = partition_dataset(&ds, 3, Partition::Iid, &mut rng);
+        assert_eq!(shards.len(), 3);
+        let total: usize = shards.iter().map(Dataset::len).sum();
+        assert_eq!(total, ds.len());
+        // Equal sizes for IID.
+        assert!(shards.iter().all(|s| s.len() == 40));
+    }
+
+    #[test]
+    fn iid_class_distribution_is_roughly_uniform() {
+        let ds = balanced_dataset(100, 5);
+        let mut rng = StdRng::seed_from_u64(2);
+        let shards = partition_dataset(&ds, 4, Partition::Iid, &mut rng);
+        for s in &shards {
+            for &c in &s.class_counts() {
+                assert!((10..=40).contains(&c), "count {c} far from uniform 25");
+            }
+        }
+    }
+
+    #[test]
+    fn dirichlet_low_alpha_skews_labels() {
+        let ds = balanced_dataset(100, 5);
+        let mut rng = StdRng::seed_from_u64(3);
+        let shards =
+            partition_dataset(&ds, 3, Partition::DirichletLabelSkew { alpha: 0.1 }, &mut rng);
+        let total: usize = shards.iter().map(Dataset::len).sum();
+        assert_eq!(total, ds.len());
+        // With alpha=0.1 at least one client should be missing (or nearly
+        // missing) some class.
+        let skewed = shards.iter().any(|s| s.class_counts().iter().any(|&c| c < 10));
+        assert!(skewed, "expected visible label skew");
+    }
+
+    #[test]
+    fn dirichlet_high_alpha_approaches_uniform() {
+        let ds = balanced_dataset(200, 4);
+        let mut rng = StdRng::seed_from_u64(4);
+        let shards =
+            partition_dataset(&ds, 2, Partition::DirichletLabelSkew { alpha: 100.0 }, &mut rng);
+        for s in &shards {
+            for &c in &s.class_counts() {
+                assert!((70..=130).contains(&c), "count {c} far from uniform 100");
+            }
+        }
+    }
+
+    #[test]
+    fn quantity_skew_varies_sizes() {
+        let ds = balanced_dataset(100, 4);
+        let mut rng = StdRng::seed_from_u64(5);
+        let shards = partition_dataset(&ds, 4, Partition::QuantitySkew { alpha: 0.3 }, &mut rng);
+        let sizes: Vec<usize> = shards.iter().map(Dataset::len).collect();
+        assert_eq!(sizes.iter().sum::<usize>(), 400);
+        let max = *sizes.iter().max().unwrap();
+        let min = *sizes.iter().min().unwrap();
+        assert!(max > min, "expected unequal shard sizes, got {sizes:?}");
+    }
+
+    #[test]
+    fn no_shard_is_empty() {
+        let ds = balanced_dataset(5, 2);
+        for seed in 0..20 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let shards = partition_dataset(
+                &ds,
+                3,
+                Partition::DirichletLabelSkew { alpha: 0.05 },
+                &mut rng,
+            );
+            assert!(shards.iter().all(|s| !s.is_empty()), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn partition_is_deterministic_given_rng() {
+        let ds = balanced_dataset(50, 3);
+        let a = partition_dataset(
+            &ds,
+            3,
+            Partition::DirichletLabelSkew { alpha: 0.5 },
+            &mut StdRng::seed_from_u64(9),
+        );
+        let b = partition_dataset(
+            &ds,
+            3,
+            Partition::DirichletLabelSkew { alpha: 0.5 },
+            &mut StdRng::seed_from_u64(9),
+        );
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.labels(), y.labels());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "client count must be positive")]
+    fn zero_clients_panics() {
+        let ds = balanced_dataset(4, 2);
+        let mut rng = StdRng::seed_from_u64(1);
+        let _ = partition_dataset(&ds, 0, Partition::Iid, &mut rng);
+    }
+
+    #[test]
+    #[should_panic(expected = "more clients than examples")]
+    fn too_many_clients_panics() {
+        let ds = balanced_dataset(1, 2);
+        let mut rng = StdRng::seed_from_u64(1);
+        let _ = partition_dataset(&ds, 5, Partition::Iid, &mut rng);
+    }
+
+    #[test]
+    fn dirichlet_weights_sum_to_one() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for &alpha in &[0.1, 0.5, 1.0, 10.0] {
+            let w = dirichlet(5, alpha, &mut rng);
+            assert_eq!(w.len(), 5);
+            assert!((w.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+            assert!(w.iter().all(|&x| x >= 0.0));
+        }
+    }
+
+    #[test]
+    fn gamma_mean_is_plausible() {
+        let mut rng = StdRng::seed_from_u64(12);
+        for &shape in &[0.5f64, 1.0, 2.0, 5.0] {
+            let n = 20_000;
+            let mean: f64 = (0..n).map(|_| gamma(shape, &mut rng)).sum::<f64>() / n as f64;
+            assert!((mean - shape).abs() < shape * 0.1, "shape {shape}: mean {mean}");
+        }
+    }
+}

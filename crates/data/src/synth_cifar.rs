@@ -1,0 +1,313 @@
+//! SynthCifar: the offline stand-in for CIFAR-10.
+//!
+//! The paper uses CIFAR-10 purely as "a 10-class image classification task that a
+//! small network fits poorly and a large (transfer-learned) network fits well,
+//! and that becomes heterogeneous when split across clients". SynthCifar is a
+//! seeded generative process engineered to have exactly those properties:
+//!
+//! 1. each class has several latent sub-cluster prototypes (intra-class
+//!    variation),
+//! 2. latent vectors pass through a fixed random two-layer nonlinear "camera"
+//!    shared by every sample (so the raw features are *not* linearly separable,
+//!    giving high-capacity models headroom over small ones — the
+//!    SimpleNN-vs-EfficientNet gap of the paper),
+//! 3. additive observation noise.
+//!
+//! The generator is deterministic given a seed, so experiments are reproducible
+//! without shipping a dataset.
+
+use blockfed_tensor::{matmul, ops::relu, Tensor};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::dataset::Dataset;
+
+/// Configuration of the SynthCifar generator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SynthCifarConfig {
+    /// Number of classes (CIFAR-10 uses 10).
+    pub num_classes: usize,
+    /// Latent dimensionality of the class structure.
+    pub latent_dim: usize,
+    /// Observed feature dimensionality (the "pixels").
+    pub feature_dim: usize,
+    /// Latent sub-clusters per class (intra-class variation).
+    pub subclusters: usize,
+    /// Training examples per class.
+    pub train_per_class: usize,
+    /// Test examples per class.
+    pub test_per_class: usize,
+    /// Distance between class prototypes in latent space.
+    pub class_separation: f32,
+    /// Radius of sub-cluster offsets around the class prototype.
+    pub subcluster_spread: f32,
+    /// Std-dev of latent noise added per sample.
+    pub latent_noise: f32,
+    /// Std-dev of observation noise added after the nonlinear mixing.
+    pub observation_noise: f32,
+    /// Seed for the fixed mixing "camera" and prototypes.
+    pub seed: u64,
+}
+
+impl Default for SynthCifarConfig {
+    fn default() -> Self {
+        SynthCifarConfig {
+            num_classes: 10,
+            latent_dim: 24,
+            feature_dim: 64,
+            subclusters: 10,
+            train_per_class: 150,
+            test_per_class: 60,
+            class_separation: 0.8,
+            subcluster_spread: 2.5,
+            latent_noise: 1.05,
+            observation_noise: 0.15,
+            seed: 0xC1FA_0010,
+        }
+    }
+}
+
+impl SynthCifarConfig {
+    /// A reduced configuration for fast unit tests — easier than the default
+    /// so tiny models learn it in a couple of epochs.
+    pub fn tiny() -> Self {
+        SynthCifarConfig {
+            num_classes: 4,
+            latent_dim: 6,
+            feature_dim: 12,
+            subclusters: 2,
+            train_per_class: 20,
+            test_per_class: 10,
+            class_separation: 3.0,
+            subcluster_spread: 1.2,
+            latent_noise: 0.8,
+            observation_noise: 0.05,
+            ..SynthCifarConfig::default()
+        }
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.num_classes == 0 {
+            return Err("num_classes must be positive".into());
+        }
+        if self.latent_dim == 0 || self.feature_dim == 0 {
+            return Err("dimensions must be positive".into());
+        }
+        if self.subclusters == 0 {
+            return Err("subclusters must be positive".into());
+        }
+        if self.train_per_class == 0 || self.test_per_class == 0 {
+            return Err("per-class sample counts must be positive".into());
+        }
+        if !(self.class_separation > 0.0) {
+            return Err("class_separation must be positive".into());
+        }
+        Ok(())
+    }
+}
+
+/// The deterministic SynthCifar generator.
+#[derive(Debug, Clone)]
+pub struct SynthCifar {
+    config: SynthCifarConfig,
+    prototypes: Vec<Tensor>, // per class-subcluster latent prototype [latent_dim]
+    mix1: Tensor,            // [latent_dim, hidden]
+    mix2: Tensor,            // [hidden, feature_dim]
+}
+
+impl SynthCifar {
+    /// Builds the generator (prototypes and fixed mixing weights) from a config.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid; call
+    /// [`SynthCifarConfig::validate`] first to handle errors gracefully.
+    pub fn new(config: SynthCifarConfig) -> Self {
+        config.validate().expect("invalid SynthCifar configuration");
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let hidden = (config.latent_dim + config.feature_dim) / 2 + 8;
+        let mut prototypes = Vec::with_capacity(config.num_classes * config.subclusters);
+        for _ in 0..config.num_classes {
+            // One center per class, subclusters scattered around it.
+            let center: Vec<f32> = (0..config.latent_dim)
+                .map(|_| gaussian(&mut rng) * config.class_separation)
+                .collect();
+            for _ in 0..config.subclusters {
+                let proto: Vec<f32> = center
+                    .iter()
+                    .map(|&c| c + gaussian(&mut rng) * config.subcluster_spread)
+                    .collect();
+                prototypes.push(Tensor::from_vec(proto, &[config.latent_dim]));
+            }
+        }
+        let mix1 = random_matrix(&mut rng, config.latent_dim, hidden, 1.0 / (config.latent_dim as f32).sqrt());
+        let mix2 = random_matrix(&mut rng, hidden, config.feature_dim, 1.0 / (hidden as f32).sqrt());
+        SynthCifar { config, prototypes, mix1, mix2 }
+    }
+
+    /// The configuration used to build this generator.
+    pub fn config(&self) -> &SynthCifarConfig {
+        &self.config
+    }
+
+    /// Generates `per_class` samples of each class using the provided RNG.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R, per_class: usize) -> Dataset {
+        let c = &self.config;
+        let n = per_class * c.num_classes;
+        let mut latents = Vec::with_capacity(n * c.latent_dim);
+        let mut labels = Vec::with_capacity(n);
+        for class in 0..c.num_classes {
+            for _ in 0..per_class {
+                let sub = rng.gen_range(0..c.subclusters);
+                let proto = &self.prototypes[class * c.subclusters + sub];
+                for &p in proto.as_slice() {
+                    latents.push(p + gaussian(rng) * c.latent_noise);
+                }
+                labels.push(class);
+            }
+        }
+        let z = Tensor::from_vec(latents, &[n, c.latent_dim]);
+        // Fixed nonlinear "camera": x = tanh(relu(z·M1)·M2) + noise.
+        let h = relu(&matmul(&z, &self.mix1));
+        let mut x = matmul(&h, &self.mix2).map(f32::tanh);
+        if c.observation_noise > 0.0 {
+            for v in x.as_mut_slice() {
+                *v += gaussian(rng) * c.observation_noise;
+            }
+        }
+        Dataset::new(x, labels, c.num_classes)
+    }
+
+    /// Generates the standard `(train, test)` split from a seed.
+    pub fn generate(&self, split_seed: u64) -> (Dataset, Dataset) {
+        let mut train_rng = StdRng::seed_from_u64(split_seed.wrapping_mul(2).wrapping_add(1));
+        let mut test_rng = StdRng::seed_from_u64(split_seed.wrapping_mul(2).wrapping_add(2));
+        let train = self.sample(&mut train_rng, self.config.train_per_class);
+        let test = self.sample(&mut test_rng, self.config.test_per_class);
+        (train, test)
+    }
+}
+
+fn gaussian<R: Rng + ?Sized>(rng: &mut R) -> f32 {
+    let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
+    let u2: f32 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos()
+}
+
+fn random_matrix<R: Rng + ?Sized>(rng: &mut R, rows: usize, cols: usize, scale: f32) -> Tensor {
+    let data = (0..rows * cols).map(|_| gaussian(rng) * scale).collect();
+    Tensor::from_vec(data, &[rows, cols])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let gen1 = SynthCifar::new(SynthCifarConfig::tiny());
+        let gen2 = SynthCifar::new(SynthCifarConfig::tiny());
+        let (tr1, te1) = gen1.generate(7);
+        let (tr2, te2) = gen2.generate(7);
+        assert_eq!(tr1, tr2);
+        assert_eq!(te1, te2);
+    }
+
+    #[test]
+    fn different_split_seeds_differ() {
+        let gen = SynthCifar::new(SynthCifarConfig::tiny());
+        let (tr1, _) = gen.generate(1);
+        let (tr2, _) = gen.generate(2);
+        assert_ne!(tr1, tr2);
+    }
+
+    #[test]
+    fn shape_and_balance() {
+        let cfg = SynthCifarConfig::tiny();
+        let gen = SynthCifar::new(cfg.clone());
+        let (train, test) = gen.generate(0);
+        assert_eq!(train.len(), cfg.num_classes * cfg.train_per_class);
+        assert_eq!(test.len(), cfg.num_classes * cfg.test_per_class);
+        assert_eq!(train.feature_dim(), cfg.feature_dim);
+        assert!(train.class_counts().iter().all(|&c| c == cfg.train_per_class));
+    }
+
+    #[test]
+    fn features_are_bounded_and_finite() {
+        let gen = SynthCifar::new(SynthCifarConfig::tiny());
+        let (train, _) = gen.generate(0);
+        assert!(train.features().all_finite());
+        // tanh output plus small noise: comfortably within [-2, 2].
+        assert!(train.features().as_slice().iter().all(|&v| v.abs() < 2.0));
+    }
+
+    #[test]
+    fn classes_are_statistically_distinguishable() {
+        // Nearest-class-mean classification on raw features must beat chance by
+        // a wide margin, otherwise no model could learn anything.
+        let gen = SynthCifar::new(SynthCifarConfig::tiny());
+        let (train, test) = gen.generate(3);
+        let d = train.feature_dim();
+        let k = train.num_classes();
+        let mut means = vec![vec![0.0f32; d]; k];
+        let counts = train.class_counts();
+        for i in 0..train.len() {
+            let row = train.features().row(i);
+            let l = train.labels()[i];
+            for j in 0..d {
+                means[l][j] += row[j];
+            }
+        }
+        for (c, m) in means.iter_mut().enumerate() {
+            for v in m.iter_mut() {
+                *v /= counts[c] as f32;
+            }
+        }
+        let mut correct = 0usize;
+        for i in 0..test.len() {
+            let row = test.features().row(i);
+            let mut best = 0;
+            let mut best_dist = f32::INFINITY;
+            for (c, m) in means.iter().enumerate() {
+                let dist: f32 = row.iter().zip(m).map(|(a, b)| (a - b) * (a - b)).sum();
+                if dist < best_dist {
+                    best_dist = dist;
+                    best = c;
+                }
+            }
+            if best == test.labels()[i] {
+                correct += 1;
+            }
+        }
+        let acc = correct as f64 / test.len() as f64;
+        let chance = 1.0 / k as f64;
+        assert!(acc > chance * 2.0, "nearest-mean accuracy {acc} vs chance {chance}");
+    }
+
+    #[test]
+    fn config_validation_catches_errors() {
+        let mut cfg = SynthCifarConfig::default();
+        assert!(cfg.validate().is_ok());
+        cfg.num_classes = 0;
+        assert!(cfg.validate().is_err());
+        let mut cfg2 = SynthCifarConfig::default();
+        cfg2.class_separation = 0.0;
+        assert!(cfg2.validate().is_err());
+        let mut cfg3 = SynthCifarConfig::default();
+        cfg3.train_per_class = 0;
+        assert!(cfg3.validate().is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid SynthCifar configuration")]
+    fn constructor_panics_on_invalid_config() {
+        let mut cfg = SynthCifarConfig::default();
+        cfg.latent_dim = 0;
+        let _ = SynthCifar::new(cfg);
+    }
+}

@@ -1,0 +1,98 @@
+//! Wait-or-not policies: when may an aggregator stop waiting?
+//!
+//! The title question of the paper — "Should we prioritize waiting for all
+//! models for aggregation, or accept a slight reduction in accuracy to expedite
+//! the process asynchronously?" — is a choice of [`WaitPolicy`]. Synchronous
+//! aggregation is [`WaitPolicy::All`]; asynchronous aggregation proceeds once
+//! any `k` local models have arrived ([`WaitPolicy::FirstK`]).
+
+use serde::{Deserialize, Serialize};
+
+/// When an aggregator considers a round's update set sufficient.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum WaitPolicy {
+    /// Wait for every participant (synchronous aggregation).
+    All,
+    /// Proceed once `k` updates have arrived (asynchronous aggregation).
+    FirstK(usize),
+}
+
+impl WaitPolicy {
+    /// Whether `received` updates out of `total` participants satisfy the policy.
+    ///
+    /// `FirstK(k)` with `k > total` degrades to waiting for everyone.
+    pub fn ready(&self, received: usize, total: usize) -> bool {
+        match *self {
+            WaitPolicy::All => received >= total,
+            WaitPolicy::FirstK(k) => received >= k.min(total),
+        }
+    }
+
+    /// How many updates the policy will wait for given `total` participants.
+    pub fn expected(&self, total: usize) -> usize {
+        match *self {
+            WaitPolicy::All => total,
+            WaitPolicy::FirstK(k) => k.min(total),
+        }
+    }
+
+    /// Whether this policy is asynchronous (may aggregate a strict subset).
+    pub fn is_async(&self, total: usize) -> bool {
+        self.expected(total) < total
+    }
+}
+
+impl std::fmt::Display for WaitPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WaitPolicy::All => write!(f, "wait-all"),
+            WaitPolicy::FirstK(k) => write!(f, "wait-{k}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_requires_every_participant() {
+        let p = WaitPolicy::All;
+        assert!(!p.ready(2, 3));
+        assert!(p.ready(3, 3));
+        assert_eq!(p.expected(3), 3);
+        assert!(!p.is_async(3));
+    }
+
+    #[test]
+    fn first_k_releases_early() {
+        let p = WaitPolicy::FirstK(2);
+        assert!(!p.ready(1, 3));
+        assert!(p.ready(2, 3));
+        assert!(p.ready(3, 3));
+        assert_eq!(p.expected(3), 2);
+        assert!(p.is_async(3));
+    }
+
+    #[test]
+    fn oversized_k_degrades_to_all() {
+        let p = WaitPolicy::FirstK(10);
+        assert!(!p.ready(3, 4));
+        assert!(p.ready(4, 4));
+        assert_eq!(p.expected(4), 4);
+        assert!(!p.is_async(4));
+    }
+
+    #[test]
+    fn zero_k_is_immediately_ready() {
+        let p = WaitPolicy::FirstK(0);
+        assert!(p.ready(0, 3));
+        assert_eq!(p.expected(3), 0);
+    }
+
+    #[test]
+    fn display_labels() {
+        assert_eq!(WaitPolicy::All.to_string(), "wait-all");
+        assert_eq!(WaitPolicy::FirstK(2).to_string(), "wait-2");
+    }
+}

@@ -1,0 +1,409 @@
+//! Fully asynchronous FL driver (FedAsync-style), for the paper's future-work
+//! question: "the impact of an arbitrary number of local updates on each peer
+//! in asynchronous communication is another intriguing question we aim to
+//! explore for optimal values".
+//!
+//! Unlike the round-based drivers ([`VanillaFl`] waits for all clients;
+//! the decentralized orchestrator waits for a [`WaitPolicy`]), this driver
+//! never waits: clients train continuously at heterogeneous speeds and the
+//! server folds each update in the moment it arrives, discounted by its
+//! staleness via an [`AsyncMerger`]. Sweeping the mixing rate `alpha` and the
+//! [`StalenessDecay`] maps the speed-precision frontier of full asynchrony.
+//!
+//! [`VanillaFl`]: crate::VanillaFl
+//! [`WaitPolicy`]: crate::WaitPolicy
+
+use blockfed_data::{Batcher, Dataset};
+use blockfed_nn::{Sequential, Sgd};
+use rand::Rng;
+
+use crate::staleness::{AsyncMerger, StalenessDecay};
+use crate::update::ClientId;
+
+/// Configuration of a fully asynchronous FL run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AsyncFlConfig {
+    /// Total number of updates the server merges before stopping.
+    pub total_merges: u32,
+    /// Local epochs per client iteration.
+    pub local_epochs: usize,
+    /// Mini-batch size for local training.
+    pub batch_size: usize,
+    /// SGD learning rate.
+    pub lr: f32,
+    /// SGD momentum.
+    pub momentum: f32,
+    /// Base mixing rate α (FedAsync); the fraction of a perfectly fresh
+    /// update folded into the global model.
+    pub alpha: f64,
+    /// How the mixing weight decays with staleness.
+    pub decay: StalenessDecay,
+    /// Relative training speed of each client (updates per unit virtual
+    /// time; must be positive). Length sets the client count.
+    pub client_speeds: Vec<f64>,
+    /// Evaluate the global model every this many merges (1 = every merge).
+    pub eval_every: u32,
+}
+
+impl Default for AsyncFlConfig {
+    fn default() -> Self {
+        AsyncFlConfig {
+            total_merges: 30,
+            local_epochs: 1,
+            batch_size: 32,
+            lr: 0.05,
+            momentum: 0.9,
+            alpha: 0.6,
+            decay: StalenessDecay::Polynomial { a: 0.5 },
+            client_speeds: vec![1.0, 1.0, 1.0],
+            eval_every: 1,
+        }
+    }
+}
+
+impl AsyncFlConfig {
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first invalid field.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.total_merges == 0 {
+            return Err("total_merges must be positive".into());
+        }
+        if self.client_speeds.len() < 2 {
+            return Err("need at least two clients".into());
+        }
+        if self.client_speeds.iter().any(|&s| !(s.is_finite() && s > 0.0)) {
+            return Err("client speeds must be positive and finite".into());
+        }
+        if self.eval_every == 0 {
+            return Err("eval_every must be positive".into());
+        }
+        Ok(())
+    }
+}
+
+/// One server-side merge event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MergeRecord {
+    /// 1-based merge sequence number (the server's model version after it).
+    pub merge: u32,
+    /// The client whose update was folded in.
+    pub client: ClientId,
+    /// Server versions that elapsed while the client trained.
+    pub staleness: u32,
+    /// Effective mixing weight after staleness decay.
+    pub weight: f64,
+    /// Virtual time of the merge.
+    pub at: f64,
+    /// Global-model accuracy right after the merge (only on `eval_every`
+    /// boundaries).
+    pub accuracy: Option<f64>,
+}
+
+/// The complete result of an asynchronous run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AsyncFlRun {
+    /// One record per merge, in merge order.
+    pub records: Vec<MergeRecord>,
+    /// Final global parameters.
+    pub final_params: Vec<f32>,
+    /// Final global accuracy on the evaluation set.
+    pub final_accuracy: f64,
+    /// Virtual time of the last merge.
+    pub finished_at: f64,
+}
+
+impl AsyncFlRun {
+    /// Mean staleness across all merges.
+    pub fn mean_staleness(&self) -> f64 {
+        if self.records.is_empty() {
+            return 0.0;
+        }
+        self.records.iter().map(|r| f64::from(r.staleness)).sum::<f64>()
+            / self.records.len() as f64
+    }
+
+    /// How many merges each client contributed.
+    pub fn merges_by_client(&self, clients: usize) -> Vec<u32> {
+        let mut counts = vec![0u32; clients];
+        for r in &self.records {
+            if r.client.0 < clients {
+                counts[r.client.0] += 1;
+            }
+        }
+        counts
+    }
+}
+
+/// The asynchronous FL experiment driver.
+pub struct AsyncFl<'a> {
+    config: AsyncFlConfig,
+    train_shards: &'a [Dataset],
+    eval_test: &'a Dataset,
+}
+
+impl<'a> AsyncFl<'a> {
+    /// Creates a driver over per-client train shards and a shared test set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid or the shard count disagrees
+    /// with `client_speeds`.
+    pub fn new(config: AsyncFlConfig, train_shards: &'a [Dataset], eval_test: &'a Dataset) -> Self {
+        config.validate().expect("invalid async FL config");
+        assert_eq!(
+            config.client_speeds.len(),
+            train_shards.len(),
+            "client_speeds/shard count mismatch"
+        );
+        AsyncFl { config, train_shards, eval_test }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &AsyncFlConfig {
+        &self.config
+    }
+
+    /// Runs the experiment. `make_model` builds the shared architecture; the
+    /// first instance's initialization seeds the server's starting point.
+    pub fn run<R: Rng + ?Sized>(
+        &self,
+        make_model: &mut dyn FnMut() -> Sequential,
+        rng: &mut R,
+    ) -> AsyncFlRun {
+        let cfg = &self.config;
+        let n = self.train_shards.len();
+        let batcher = Batcher::new(cfg.batch_size);
+        let mut eval_model = make_model();
+        let mut merger =
+            AsyncMerger::new(eval_model.params_flat(), cfg.alpha, cfg.decay);
+
+        // Per-client state: the server version it last pulled, the snapshot
+        // of the global it pulled then (what it actually trains from — using
+        // the *current* global would hide staleness), and when its current
+        // training iteration completes in virtual time.
+        //
+        // Training duration ~ shard_len * epochs / speed, with ±5% jitter so
+        // equal-speed clients interleave rather than tie.
+        let mut pulled_version = vec![0u32; n];
+        let mut snapshots: Vec<Vec<f32>> = vec![merger.global().to_vec(); n];
+        let mut finish_at: Vec<f64> = (0..n)
+            .map(|i| self.duration_for(i) * (1.0 + rng.gen_range(-0.05..0.05)))
+            .collect();
+        let mut version = 0u32;
+        let mut records = Vec::with_capacity(cfg.total_merges as usize);
+        let mut now = 0.0f64;
+
+        while version < cfg.total_merges {
+            // Next client to finish (deterministic tie-break by index).
+            let i = (0..n)
+                .min_by(|&a, &b| finish_at[a].partial_cmp(&finish_at[b]).expect("finite times"))
+                .expect("at least one client");
+            now = finish_at[i];
+
+            // Train from the snapshot the client pulled.
+            let staleness = version - pulled_version[i];
+            let mut model = make_model();
+            model.set_params_flat(&snapshots[i]);
+            let mut opt = Sgd::new(cfg.lr, cfg.momentum);
+            model.train_epochs(&self.train_shards[i], cfg.local_epochs, &batcher, &mut opt, rng);
+
+            let weight = merger
+                .merge(&model.params_flat(), staleness)
+                .expect("trained parameters are finite and well-shaped");
+            version += 1;
+
+            let accuracy = if version.is_multiple_of(cfg.eval_every) || version == cfg.total_merges {
+                eval_model.set_params_flat(merger.global());
+                Some(eval_model.evaluate(self.eval_test).accuracy)
+            } else {
+                None
+            };
+            records.push(MergeRecord {
+                merge: version,
+                client: ClientId(i),
+                staleness,
+                weight,
+                at: now,
+                accuracy,
+            });
+
+            // The client pulls the fresh global and trains again.
+            pulled_version[i] = version;
+            snapshots[i] = merger.global().to_vec();
+            finish_at[i] = now + self.duration_for(i) * (1.0 + rng.gen_range(-0.05..0.05));
+        }
+
+        eval_model.set_params_flat(merger.global());
+        let final_accuracy = eval_model.evaluate(self.eval_test).accuracy;
+        AsyncFlRun {
+            records,
+            final_params: merger.into_global(),
+            final_accuracy,
+            finished_at: now,
+        }
+    }
+
+    fn duration_for(&self, client: usize) -> f64 {
+        let work = (self.train_shards[client].len() * self.config.local_epochs) as f64;
+        work / self.config.client_speeds[client]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blockfed_data::{partition_dataset, Partition, SynthCifar, SynthCifarConfig};
+    use blockfed_nn::SimpleNnConfig;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    struct Fixture {
+        shards: Vec<Dataset>,
+        test: Dataset,
+    }
+
+    fn fixture() -> Fixture {
+        let gen = SynthCifar::new(SynthCifarConfig::tiny());
+        let (train, test) = gen.generate(2);
+        let mut rng = StdRng::seed_from_u64(5);
+        let shards =
+            partition_dataset(&train, 3, Partition::DirichletLabelSkew { alpha: 0.7 }, &mut rng);
+        Fixture { shards, test }
+    }
+
+    fn quick_config() -> AsyncFlConfig {
+        AsyncFlConfig {
+            total_merges: 12,
+            local_epochs: 1,
+            batch_size: 16,
+            lr: 0.1,
+            momentum: 0.9,
+            alpha: 0.6,
+            decay: StalenessDecay::Polynomial { a: 0.5 },
+            client_speeds: vec![1.0, 1.0, 1.0],
+            eval_every: 4,
+        }
+    }
+
+    fn run_with(cfg: AsyncFlConfig, seed: u64) -> AsyncFlRun {
+        let fx = fixture();
+        let driver = AsyncFl::new(cfg, &fx.shards, &fx.test);
+        let nn = SimpleNnConfig::tiny(fx.test.feature_dim(), fx.test.num_classes());
+        let mut arch_rng = StdRng::seed_from_u64(seed);
+        let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(31));
+        driver.run(&mut || nn.build(&mut arch_rng), &mut rng)
+    }
+
+    #[test]
+    fn completes_the_merge_budget() {
+        let out = run_with(quick_config(), 1);
+        assert_eq!(out.records.len(), 12);
+        assert_eq!(out.records.last().unwrap().merge, 12);
+        assert!(out.finished_at > 0.0);
+        // eval_every=4 evaluates at merges 4, 8, 12.
+        let evals = out.records.iter().filter(|r| r.accuracy.is_some()).count();
+        assert_eq!(evals, 3);
+    }
+
+    #[test]
+    fn all_clients_contribute_with_equal_speeds() {
+        let out = run_with(quick_config(), 2);
+        let counts = out.merges_by_client(3);
+        assert!(counts.iter().all(|&c| c >= 3), "unbalanced merges: {counts:?}");
+    }
+
+    #[test]
+    fn fast_clients_contribute_more_and_induce_staleness() {
+        let mut cfg = quick_config();
+        cfg.total_merges = 16;
+        cfg.client_speeds = vec![8.0, 1.0, 1.0]; // client A is 8x faster
+        let out = run_with(cfg, 3);
+        let counts = out.merges_by_client(3);
+        assert!(
+            counts[0] > counts[1] && counts[0] > counts[2],
+            "fast client did not dominate: {counts:?}"
+        );
+        // Slow clients accumulate staleness: while B trains once, A merges
+        // several times, so B's updates arrive stale.
+        let max_staleness = out.records.iter().map(|r| r.staleness).max().unwrap();
+        assert!(max_staleness >= 3, "no staleness with an 8x straggler gap");
+        assert!(out.mean_staleness() > 0.0);
+    }
+
+    #[test]
+    fn stale_merges_receive_smaller_weights() {
+        let mut cfg = quick_config();
+        cfg.total_merges = 16;
+        cfg.client_speeds = vec![8.0, 1.0, 1.0];
+        cfg.decay = StalenessDecay::Polynomial { a: 1.0 };
+        let alpha = cfg.alpha;
+        let out = run_with(cfg, 4);
+        for r in &out.records {
+            let expected = alpha * StalenessDecay::Polynomial { a: 1.0 }.factor(r.staleness);
+            assert!((r.weight - expected).abs() < 1e-12);
+        }
+        // Some fresh and some stale weights must both occur.
+        let weights: std::collections::BTreeSet<u64> =
+            out.records.iter().map(|r| r.weight.to_bits()).collect();
+        assert!(weights.len() >= 2);
+    }
+
+    #[test]
+    fn learning_happens() {
+        let mut cfg = quick_config();
+        cfg.total_merges = 30;
+        cfg.eval_every = 30;
+        let out = run_with(cfg, 5);
+        // SynthCifar tiny has 4 classes; random is 0.25.
+        assert!(out.final_accuracy > 0.35, "accuracy {}", out.final_accuracy);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = run_with(quick_config(), 7);
+        let b = run_with(quick_config(), 7);
+        assert_eq!(a.records, b.records);
+        assert_eq!(a.final_params, b.final_params);
+    }
+
+    #[test]
+    fn config_validation() {
+        let mut cfg = quick_config();
+        cfg.total_merges = 0;
+        assert!(cfg.validate().is_err());
+        let mut cfg = quick_config();
+        cfg.client_speeds = vec![1.0];
+        assert!(cfg.validate().is_err());
+        let mut cfg = quick_config();
+        cfg.client_speeds = vec![1.0, -1.0];
+        assert!(cfg.validate().is_err());
+        let mut cfg = quick_config();
+        cfg.eval_every = 0;
+        assert!(cfg.validate().is_err());
+        assert!(quick_config().validate().is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "client_speeds/shard count mismatch")]
+    fn mismatched_speeds_rejected() {
+        let fx = fixture();
+        let mut cfg = quick_config();
+        cfg.client_speeds = vec![1.0, 1.0];
+        let _ = AsyncFl::new(cfg, &fx.shards, &fx.test);
+    }
+
+    #[test]
+    fn mean_staleness_of_empty_run_is_zero() {
+        let run = AsyncFlRun {
+            records: Vec::new(),
+            final_params: Vec::new(),
+            final_accuracy: 0.0,
+            finished_at: 0.0,
+        };
+        assert_eq!(run.mean_staleness(), 0.0);
+        assert_eq!(run.merges_by_client(2), vec![0, 0]);
+    }
+}

@@ -1,0 +1,311 @@
+//! Model-poisoning attack models.
+//!
+//! The paper's conclusion commits to "deploying and evaluating the robustness
+//! of this method on the non-repudiation in various poisonous data attacks";
+//! this module supplies those attacks. Each [`Attack`] transforms an honest
+//! [`ModelUpdate`] into the adversarial update the compromised peer actually
+//! publishes on chain — the signature still binds the attacker, which is what
+//! the non-repudiation audit then demonstrates.
+//!
+//! All attacks are deterministic given the supplied RNG, so experiment runs
+//! replay bit-for-bit.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::update::ModelUpdate;
+
+/// A standard-normal sample via Box–Muller (keeps this crate free of a
+/// distributions dependency, matching `blockfed-data`).
+fn gaussian<R: Rng + ?Sized>(rng: &mut R) -> f32 {
+    let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
+    let u2: f32 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (std::f32::consts::TAU * u2).cos()
+}
+
+/// A model-poisoning transformation applied to an honest local update before
+/// it is published.
+///
+/// # Examples
+///
+/// ```
+/// use blockfed_fl::{Attack, ClientId, ModelUpdate};
+/// use rand::SeedableRng;
+///
+/// let mut update = ModelUpdate::new(ClientId(0), 1, vec![1.0, -2.0], 100);
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+/// Attack::SignFlip { scale: 2.0 }.apply(&mut update, &mut rng);
+/// assert_eq!(update.params, vec![-2.0, 4.0]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Attack {
+    /// Negate every parameter and scale: `p ← -scale · p`. The classic
+    /// gradient sign-flip; `scale > 1` also boosts magnitude.
+    SignFlip {
+        /// Magnitude multiplier applied after negation.
+        scale: f32,
+    },
+    /// Add i.i.d. Gaussian noise with standard deviation `sigma` to every
+    /// parameter (an *unintended* "noisy model" per the paper's §I, or a
+    /// stealthy attack at low `sigma`).
+    GaussianNoise {
+        /// Noise standard deviation.
+        sigma: f32,
+    },
+    /// Multiply every parameter by `factor` (model-boosting / scaling attack;
+    /// with a large factor this dominates any unweighted average).
+    Scale {
+        /// Magnitude multiplier.
+        factor: f32,
+    },
+    /// Replace all parameters with a constant (free-rider submitting a
+    /// trivial artefact; `0.0` is the all-zeros free-rider).
+    Constant {
+        /// The constant parameter value.
+        value: f32,
+    },
+    /// Corrupt a fraction of parameters to NaN (malformed payload; exercised
+    /// by the finiteness defences).
+    NanInjection {
+        /// Fraction of parameters corrupted, in `[0, 1]`.
+        fraction: f32,
+    },
+    /// Replay the attacker's update from an earlier round (staleness attack):
+    /// the params are substituted by the caller-supplied stale snapshot.
+    Replay,
+}
+
+impl Attack {
+    /// Applies the attack to `update`, drawing randomness from `rng`.
+    ///
+    /// [`Attack::Replay`] needs the stale parameters via [`Attack::apply_with_history`];
+    /// calling `apply` leaves a replayed update unchanged (no history available).
+    pub fn apply<R: Rng + ?Sized>(&self, update: &mut ModelUpdate, rng: &mut R) {
+        self.apply_with_history(update, None, rng);
+    }
+
+    /// Applies the attack, supplying `stale` parameters for [`Attack::Replay`].
+    pub fn apply_with_history<R: Rng + ?Sized>(
+        &self,
+        update: &mut ModelUpdate,
+        stale: Option<&[f32]>,
+        rng: &mut R,
+    ) {
+        match *self {
+            Attack::SignFlip { scale } => {
+                for p in &mut update.params {
+                    *p *= -scale;
+                }
+            }
+            Attack::GaussianNoise { sigma } => {
+                for p in &mut update.params {
+                    *p += sigma * gaussian(rng);
+                }
+            }
+            Attack::Scale { factor } => {
+                for p in &mut update.params {
+                    *p *= factor;
+                }
+            }
+            Attack::Constant { value } => {
+                for p in &mut update.params {
+                    *p = value;
+                }
+            }
+            Attack::NanInjection { fraction } => {
+                let frac = fraction.clamp(0.0, 1.0);
+                for p in &mut update.params {
+                    if rng.gen::<f32>() < frac {
+                        *p = f32::NAN;
+                    }
+                }
+            }
+            Attack::Replay => {
+                if let Some(old) = stale {
+                    if old.len() == update.params.len() {
+                        update.params.copy_from_slice(old);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Whether the attack produces non-finite parameters (and is therefore
+    /// caught by finiteness screening rather than statistical defences).
+    pub fn is_malformed(&self) -> bool {
+        matches!(self, Attack::NanInjection { fraction } if *fraction > 0.0)
+    }
+}
+
+impl std::fmt::Display for Attack {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Attack::SignFlip { scale } => write!(f, "sign-flip(x{scale})"),
+            Attack::GaussianNoise { sigma } => write!(f, "gauss-noise(σ={sigma})"),
+            Attack::Scale { factor } => write!(f, "scale(x{factor})"),
+            Attack::Constant { value } => write!(f, "constant({value})"),
+            Attack::NanInjection { fraction } => write!(f, "nan-inject({fraction})"),
+            Attack::Replay => write!(f, "replay"),
+        }
+    }
+}
+
+/// Binds an attack to the client that mounts it, with an activation round.
+///
+/// # Examples
+///
+/// ```
+/// use blockfed_fl::{Adversary, Attack, ClientId};
+///
+/// // A sleeper: honest for three rounds, then boosts its model 50x.
+/// let adv = Adversary::new(ClientId(2), Attack::Scale { factor: 50.0 }).starting_at(4);
+/// assert!(!adv.active_in(3));
+/// assert!(adv.active_in(4));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Adversary {
+    /// Index of the compromised client.
+    pub client: crate::ClientId,
+    /// The attack the client mounts.
+    pub attack: Attack,
+    /// First round (1-based) in which the attack is active; earlier rounds
+    /// the client behaves honestly (a sleeper adversary).
+    pub from_round: u32,
+}
+
+impl Adversary {
+    /// An adversary active from round 1.
+    pub fn new(client: crate::ClientId, attack: Attack) -> Self {
+        Adversary { client, attack, from_round: 1 }
+    }
+
+    /// Delays activation until `round` (builder style).
+    #[must_use]
+    pub fn starting_at(mut self, round: u32) -> Self {
+        self.from_round = round;
+        self
+    }
+
+    /// Whether this adversary poisons updates in `round`.
+    pub fn active_in(&self, round: u32) -> bool {
+        round >= self.from_round
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::update::ClientId;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(99)
+    }
+
+    fn honest() -> ModelUpdate {
+        ModelUpdate::new(ClientId(0), 3, vec![1.0, -2.0, 0.5], 100)
+    }
+
+    #[test]
+    fn sign_flip_negates_and_scales() {
+        let mut u = honest();
+        Attack::SignFlip { scale: 2.0 }.apply(&mut u, &mut rng());
+        assert_eq!(u.params, vec![-2.0, 4.0, -1.0]);
+    }
+
+    #[test]
+    fn gaussian_noise_perturbs_but_stays_finite() {
+        let mut u = honest();
+        let before = u.params.clone();
+        Attack::GaussianNoise { sigma: 0.1 }.apply(&mut u, &mut rng());
+        assert!(u.is_finite());
+        assert_ne!(u.params, before);
+        // Perturbation magnitude is on the order of sigma.
+        for (a, b) in u.params.iter().zip(&before) {
+            assert!((a - b).abs() < 1.0);
+        }
+    }
+
+    #[test]
+    fn gaussian_noise_is_deterministic_per_seed() {
+        let mut u1 = honest();
+        let mut u2 = honest();
+        Attack::GaussianNoise { sigma: 0.5 }.apply(&mut u1, &mut rng());
+        Attack::GaussianNoise { sigma: 0.5 }.apply(&mut u2, &mut rng());
+        assert_eq!(u1.params, u2.params);
+    }
+
+    #[test]
+    fn scale_boosts_magnitude() {
+        let mut u = honest();
+        Attack::Scale { factor: 100.0 }.apply(&mut u, &mut rng());
+        assert_eq!(u.params, vec![100.0, -200.0, 50.0]);
+    }
+
+    #[test]
+    fn constant_free_rider_zeroes() {
+        let mut u = honest();
+        Attack::Constant { value: 0.0 }.apply(&mut u, &mut rng());
+        assert_eq!(u.params, vec![0.0; 3]);
+    }
+
+    #[test]
+    fn nan_injection_corrupts_and_is_flagged_malformed() {
+        let mut u = honest();
+        Attack::NanInjection { fraction: 1.0 }.apply(&mut u, &mut rng());
+        assert!(!u.is_finite());
+        assert!(Attack::NanInjection { fraction: 0.5 }.is_malformed());
+        assert!(!Attack::NanInjection { fraction: 0.0 }.is_malformed());
+        assert!(!Attack::SignFlip { scale: 1.0 }.is_malformed());
+    }
+
+    #[test]
+    fn nan_injection_fraction_zero_is_noop() {
+        let mut u = honest();
+        let before = u.params.clone();
+        Attack::NanInjection { fraction: 0.0 }.apply(&mut u, &mut rng());
+        assert_eq!(u.params, before);
+    }
+
+    #[test]
+    fn replay_substitutes_history() {
+        let mut u = honest();
+        let stale = vec![9.0, 9.0, 9.0];
+        Attack::Replay.apply_with_history(&mut u, Some(&stale), &mut rng());
+        assert_eq!(u.params, stale);
+    }
+
+    #[test]
+    fn replay_without_history_is_noop() {
+        let mut u = honest();
+        let before = u.params.clone();
+        Attack::Replay.apply(&mut u, &mut rng());
+        assert_eq!(u.params, before);
+        // Mismatched history length also leaves the update untouched.
+        let mut u2 = honest();
+        Attack::Replay.apply_with_history(&mut u2, Some(&[1.0]), &mut rng());
+        assert_eq!(u2.params, before);
+    }
+
+    #[test]
+    fn adversary_activation_window() {
+        let adv = Adversary::new(ClientId(1), Attack::Scale { factor: 10.0 }).starting_at(4);
+        assert!(!adv.active_in(1));
+        assert!(!adv.active_in(3));
+        assert!(adv.active_in(4));
+        assert!(adv.active_in(10));
+        // Default activates from round 1.
+        assert!(Adversary::new(ClientId(0), Attack::Replay).active_in(1));
+    }
+
+    #[test]
+    fn attack_display_labels() {
+        assert_eq!(Attack::SignFlip { scale: 1.0 }.to_string(), "sign-flip(x1)");
+        assert_eq!(Attack::Scale { factor: 5.0 }.to_string(), "scale(x5)");
+        assert_eq!(Attack::Constant { value: 0.0 }.to_string(), "constant(0)");
+        assert_eq!(Attack::Replay.to_string(), "replay");
+        assert!(Attack::GaussianNoise { sigma: 0.1 }.to_string().contains("0.1"));
+        assert!(Attack::NanInjection { fraction: 0.5 }.to_string().contains("0.5"));
+    }
+}

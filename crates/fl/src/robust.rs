@@ -1,0 +1,623 @@
+//! Byzantine-robust aggregation baselines.
+//!
+//! The paper's "consider" strategy defends aggregation by *searching
+//! combinations* against a local test set. The robust-statistics literature
+//! defends it by *estimator choice* instead. This module implements the
+//! classic baselines — Krum / Multi-Krum (Blanchard et al., NeurIPS 2017),
+//! coordinate-wise trimmed mean and median (Yin et al., ICML 2018), and
+//! norm-clipped averaging — so the two defence families can be compared under
+//! the same attacks (the paper's stated future work: "evaluating the
+//! robustness of this method ... in various poisonous data attacks").
+//!
+//! All rules consume the same [`ModelUpdate`] slices as [`fed_avg`] and return
+//! plain parameter vectors, so they slot into the decentralized aggregation
+//! path unchanged.
+//!
+//! [`fed_avg`]: crate::fed_avg
+
+use serde::{Deserialize, Serialize};
+
+use crate::update::ModelUpdate;
+
+/// Error applying a robust aggregation rule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RobustError {
+    /// No updates were supplied.
+    Empty,
+    /// Updates disagree on parameter count.
+    ShapeMismatch {
+        /// Parameter count of the first update.
+        expected: usize,
+        /// Offending parameter count.
+        got: usize,
+    },
+    /// An update contains NaN or infinite parameters.
+    NonFinite,
+    /// The rule needs more updates than were supplied (e.g. Krum requires
+    /// `n >= 2f + 3` for `f` tolerated Byzantine clients).
+    TooFewUpdates {
+        /// Minimum update count the rule needs.
+        needed: usize,
+        /// Updates actually supplied.
+        got: usize,
+    },
+    /// A rule parameter is out of its valid range.
+    InvalidParameter(String),
+}
+
+impl std::fmt::Display for RobustError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RobustError::Empty => write!(f, "no updates to aggregate"),
+            RobustError::ShapeMismatch { expected, got } => {
+                write!(f, "update has {got} parameters, expected {expected}")
+            }
+            RobustError::NonFinite => write!(f, "update contains non-finite parameters"),
+            RobustError::TooFewUpdates { needed, got } => {
+                write!(f, "rule needs at least {needed} updates, got {got}")
+            }
+            RobustError::InvalidParameter(msg) => write!(f, "invalid rule parameter: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for RobustError {}
+
+fn validate(updates: &[&ModelUpdate]) -> Result<usize, RobustError> {
+    let first = updates.first().ok_or(RobustError::Empty)?;
+    let dim = first.params.len();
+    for u in updates {
+        if u.params.len() != dim {
+            return Err(RobustError::ShapeMismatch { expected: dim, got: u.params.len() });
+        }
+        if !u.is_finite() {
+            return Err(RobustError::NonFinite);
+        }
+    }
+    Ok(dim)
+}
+
+/// Euclidean (L2) norm of a parameter vector.
+///
+/// # Examples
+///
+/// ```
+/// use blockfed_fl::robust::l2_norm;
+///
+/// assert_eq!(l2_norm(&[3.0, 4.0]), 5.0);
+/// ```
+pub fn l2_norm(params: &[f32]) -> f64 {
+    params.iter().map(|&p| f64::from(p) * f64::from(p)).sum::<f64>().sqrt()
+}
+
+/// Squared Euclidean distance between two equal-length parameter vectors.
+///
+/// # Panics
+///
+/// Panics if the vectors differ in length.
+pub fn l2_distance_sq(a: &[f32], b: &[f32]) -> f64 {
+    assert_eq!(a.len(), b.len(), "distance requires equal-length vectors");
+    a.iter()
+        .zip(b)
+        .map(|(&x, &y)| {
+            let d = f64::from(x) - f64::from(y);
+            d * d
+        })
+        .sum()
+}
+
+/// Krum scores: for each update, the sum of squared distances to its
+/// `n - f - 2` nearest neighbours (lower is more central).
+///
+/// # Errors
+///
+/// Returns [`RobustError::TooFewUpdates`] unless `n >= 2f + 3`, plus the usual
+/// shape/finiteness errors.
+pub fn krum_scores(updates: &[&ModelUpdate], f: usize) -> Result<Vec<f64>, RobustError> {
+    validate(updates)?;
+    let n = updates.len();
+    let needed = 2 * f + 3;
+    if n < needed {
+        return Err(RobustError::TooFewUpdates { needed, got: n });
+    }
+    let closest = n - f - 2;
+    let mut scores = Vec::with_capacity(n);
+    for i in 0..n {
+        let mut dists: Vec<f64> = (0..n)
+            .filter(|&j| j != i)
+            .map(|j| l2_distance_sq(&updates[i].params, &updates[j].params))
+            .collect();
+        dists.sort_by(|a, b| a.partial_cmp(b).expect("finite distances"));
+        scores.push(dists.iter().take(closest).sum());
+    }
+    Ok(scores)
+}
+
+/// Krum (Blanchard et al., 2017): selects the single update with the smallest
+/// Krum score. Returns `(index, params)` so the caller can attribute the
+/// winner (for on-chain audit).
+///
+/// # Errors
+///
+/// See [`krum_scores`].
+pub fn krum(updates: &[&ModelUpdate], f: usize) -> Result<(usize, Vec<f32>), RobustError> {
+    let scores = krum_scores(updates, f)?;
+    let best = scores
+        .iter()
+        .enumerate()
+        .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite scores"))
+        .map(|(i, _)| i)
+        .expect("non-empty scores");
+    Ok((best, updates[best].params.clone()))
+}
+
+/// Multi-Krum: average the `m` updates with the lowest Krum scores.
+/// Returns the selected indices alongside the aggregate.
+///
+/// # Errors
+///
+/// [`RobustError::InvalidParameter`] if `m` is zero or exceeds `n`, plus the
+/// conditions of [`krum_scores`].
+pub fn multi_krum(
+    updates: &[&ModelUpdate],
+    f: usize,
+    m: usize,
+) -> Result<(Vec<usize>, Vec<f32>), RobustError> {
+    let n = updates.len();
+    if m == 0 || m > n {
+        return Err(RobustError::InvalidParameter(format!(
+            "multi-krum selection m={m} must be in 1..={n}"
+        )));
+    }
+    let scores = krum_scores(updates, f)?;
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| scores[a].partial_cmp(&scores[b]).expect("finite scores"));
+    let mut selected: Vec<usize> = order.into_iter().take(m).collect();
+    selected.sort_unstable();
+    let dim = updates[0].params.len();
+    let mut out = vec![0.0f64; dim];
+    for &i in &selected {
+        for (o, &p) in out.iter_mut().zip(&updates[i].params) {
+            *o += f64::from(p) / m as f64;
+        }
+    }
+    Ok((selected, out.into_iter().map(|v| v as f32).collect()))
+}
+
+/// Coordinate-wise trimmed mean: per coordinate, drop the `trim` largest and
+/// `trim` smallest values, then average the rest (Yin et al., 2018).
+///
+/// # Errors
+///
+/// [`RobustError::TooFewUpdates`] unless `n > 2 * trim`, plus shape/finiteness
+/// errors.
+pub fn trimmed_mean(updates: &[&ModelUpdate], trim: usize) -> Result<Vec<f32>, RobustError> {
+    let dim = validate(updates)?;
+    let n = updates.len();
+    if n <= 2 * trim {
+        return Err(RobustError::TooFewUpdates { needed: 2 * trim + 1, got: n });
+    }
+    let kept = n - 2 * trim;
+    let mut out = Vec::with_capacity(dim);
+    let mut column = vec![0.0f32; n];
+    for c in 0..dim {
+        for (slot, u) in column.iter_mut().zip(updates) {
+            *slot = u.params[c];
+        }
+        column.sort_by(|a, b| a.partial_cmp(b).expect("finite parameters"));
+        let sum: f64 = column[trim..n - trim].iter().map(|&v| f64::from(v)).sum();
+        out.push((sum / kept as f64) as f32);
+    }
+    Ok(out)
+}
+
+/// Coordinate-wise median — the `trim`-maximal special case of
+/// [`trimmed_mean`]; tolerates any minority of arbitrarily corrupted updates.
+///
+/// # Errors
+///
+/// Shape/finiteness errors as in [`trimmed_mean`].
+pub fn coordinate_median(updates: &[&ModelUpdate]) -> Result<Vec<f32>, RobustError> {
+    let dim = validate(updates)?;
+    let n = updates.len();
+    let mut out = Vec::with_capacity(dim);
+    let mut column = vec![0.0f32; n];
+    for c in 0..dim {
+        for (slot, u) in column.iter_mut().zip(updates) {
+            *slot = u.params[c];
+        }
+        column.sort_by(|a, b| a.partial_cmp(b).expect("finite parameters"));
+        let median = if n % 2 == 1 {
+            column[n / 2]
+        } else {
+            ((f64::from(column[n / 2 - 1]) + f64::from(column[n / 2])) / 2.0) as f32
+        };
+        out.push(median);
+    }
+    Ok(out)
+}
+
+/// Rescales `params` so its L2 norm is at most `max_norm` (no-op when already
+/// within bounds). The standard defence against scaling/boosting attacks.
+///
+/// # Errors
+///
+/// [`RobustError::InvalidParameter`] when `max_norm` is not strictly positive
+/// and finite; [`RobustError::NonFinite`] when `params` contains NaN/inf.
+pub fn clip_to_norm(params: &[f32], max_norm: f64) -> Result<Vec<f32>, RobustError> {
+    if !(max_norm.is_finite() && max_norm > 0.0) {
+        return Err(RobustError::InvalidParameter(format!(
+            "max_norm must be positive and finite, got {max_norm}"
+        )));
+    }
+    if params.iter().any(|p| !p.is_finite()) {
+        return Err(RobustError::NonFinite);
+    }
+    let norm = l2_norm(params);
+    if norm <= max_norm {
+        return Ok(params.to_vec());
+    }
+    let scale = max_norm / norm;
+    Ok(params.iter().map(|&p| (f64::from(p) * scale) as f32).collect())
+}
+
+/// Sample-weighted mean of norm-clipped updates: each update is clipped to
+/// `max_norm` before FedAvg-style weighting.
+///
+/// # Errors
+///
+/// Conditions of [`clip_to_norm`] plus shape errors; zero total sample weight
+/// is reported as [`RobustError::InvalidParameter`].
+pub fn clipped_mean(updates: &[&ModelUpdate], max_norm: f64) -> Result<Vec<f32>, RobustError> {
+    let dim = validate(updates)?;
+    let total_weight: f64 = updates.iter().map(|u| u.sample_count as f64).sum();
+    if total_weight == 0.0 {
+        return Err(RobustError::InvalidParameter("total sample weight is zero".into()));
+    }
+    let mut out = vec![0.0f64; dim];
+    for u in updates {
+        let clipped = clip_to_norm(&u.params, max_norm)?;
+        let w = u.sample_count as f64 / total_weight;
+        for (o, p) in out.iter_mut().zip(clipped) {
+            *o += w * f64::from(p);
+        }
+    }
+    Ok(out.into_iter().map(|v| v as f32).collect())
+}
+
+/// A robust aggregation rule, selectable at experiment-configuration time.
+///
+/// # Examples
+///
+/// ```
+/// use blockfed_fl::robust::RobustRule;
+/// use blockfed_fl::{ClientId, ModelUpdate};
+///
+/// let honest = ModelUpdate::new(ClientId(0), 1, vec![1.0], 10);
+/// let also = ModelUpdate::new(ClientId(1), 1, vec![1.2], 10);
+/// let evil = ModelUpdate::new(ClientId(2), 1, vec![900.0], 10);
+/// let agg = RobustRule::Median.apply(&[&honest, &also, &evil])?;
+/// assert_eq!(agg, vec![1.2]); // the boosted update cannot move the median
+/// # Ok::<(), blockfed_fl::RobustError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum RobustRule {
+    /// Plain sample-weighted FedAvg (no defence) — the control arm.
+    FedAvg,
+    /// Krum selecting a single central update, tolerating `f` Byzantine peers.
+    Krum {
+        /// Number of Byzantine clients tolerated.
+        f: usize,
+    },
+    /// Multi-Krum averaging the `m` most central updates.
+    MultiKrum {
+        /// Number of Byzantine clients tolerated.
+        f: usize,
+        /// How many central updates to average.
+        m: usize,
+    },
+    /// Coordinate-wise trimmed mean dropping `trim` per tail.
+    TrimmedMean {
+        /// Values trimmed from each end of every coordinate.
+        trim: usize,
+    },
+    /// Coordinate-wise median.
+    Median,
+    /// Norm-clipped weighted mean.
+    ClippedMean {
+        /// L2 norm ceiling applied to each update before averaging.
+        max_norm: f64,
+    },
+}
+
+impl RobustRule {
+    /// Applies the rule to `updates`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying rule's [`RobustError`]; `FedAvg` errors are
+    /// mapped onto the matching `RobustError` variants.
+    pub fn apply(&self, updates: &[&ModelUpdate]) -> Result<Vec<f32>, RobustError> {
+        match *self {
+            RobustRule::FedAvg => crate::fed_avg(updates).map_err(|e| match e {
+                crate::AggregateError::Empty => RobustError::Empty,
+                crate::AggregateError::ShapeMismatch { expected, got } => {
+                    RobustError::ShapeMismatch { expected, got }
+                }
+                crate::AggregateError::NonFinite => RobustError::NonFinite,
+                crate::AggregateError::ZeroWeight => {
+                    RobustError::InvalidParameter("total sample weight is zero".into())
+                }
+            }),
+            RobustRule::Krum { f } => krum(updates, f).map(|(_, p)| p),
+            RobustRule::MultiKrum { f, m } => multi_krum(updates, f, m).map(|(_, p)| p),
+            RobustRule::TrimmedMean { trim } => trimmed_mean(updates, trim),
+            RobustRule::Median => coordinate_median(updates),
+            RobustRule::ClippedMean { max_norm } => clipped_mean(updates, max_norm),
+        }
+    }
+
+    /// Minimum honest-update count the rule needs to run at all.
+    pub fn min_updates(&self) -> usize {
+        match *self {
+            RobustRule::FedAvg | RobustRule::Median => 1,
+            RobustRule::Krum { f } | RobustRule::MultiKrum { f, .. } => 2 * f + 3,
+            RobustRule::TrimmedMean { trim } => 2 * trim + 1,
+            RobustRule::ClippedMean { .. } => 1,
+        }
+    }
+}
+
+impl std::fmt::Display for RobustRule {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RobustRule::FedAvg => write!(f, "fedavg"),
+            RobustRule::Krum { f: tol } => write!(f, "krum(f={tol})"),
+            RobustRule::MultiKrum { f: tol, m } => write!(f, "multi-krum(f={tol},m={m})"),
+            RobustRule::TrimmedMean { trim } => write!(f, "trimmed-mean(k={trim})"),
+            RobustRule::Median => write!(f, "median"),
+            RobustRule::ClippedMean { max_norm } => write!(f, "clipped-mean(c={max_norm})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::update::ClientId;
+
+    fn upd(client: usize, params: Vec<f32>) -> ModelUpdate {
+        ModelUpdate::new(ClientId(client), 0, params, 10)
+    }
+
+    /// Five close honest updates around 1.0 plus one far outlier.
+    fn honest_plus_outlier() -> Vec<ModelUpdate> {
+        vec![
+            upd(0, vec![1.00, 1.00]),
+            upd(1, vec![1.10, 0.90]),
+            upd(2, vec![0.90, 1.10]),
+            upd(3, vec![1.05, 0.95]),
+            upd(4, vec![0.95, 1.05]),
+            upd(5, vec![100.0, -100.0]), // attacker
+        ]
+    }
+
+    fn refs(v: &[ModelUpdate]) -> Vec<&ModelUpdate> {
+        v.iter().collect()
+    }
+
+    #[test]
+    fn l2_helpers() {
+        assert_eq!(l2_norm(&[3.0, 4.0]), 5.0);
+        assert_eq!(l2_distance_sq(&[0.0, 0.0], &[3.0, 4.0]), 25.0);
+        assert_eq!(l2_norm(&[]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal-length")]
+    fn distance_panics_on_length_mismatch() {
+        let _ = l2_distance_sq(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn krum_rejects_the_outlier() {
+        let updates = honest_plus_outlier();
+        let (idx, params) = krum(&refs(&updates), 1).unwrap();
+        assert_ne!(idx, 5, "krum must not select the attacker");
+        assert!(l2_norm(&params) < 2.0);
+    }
+
+    #[test]
+    fn krum_scores_rank_outlier_worst() {
+        let updates = honest_plus_outlier();
+        let scores = krum_scores(&refs(&updates), 1).unwrap();
+        let worst = scores
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .map(|(i, _)| i)
+            .unwrap();
+        assert_eq!(worst, 5);
+    }
+
+    #[test]
+    fn krum_needs_2f_plus_3() {
+        let updates: Vec<ModelUpdate> = (0..4).map(|i| upd(i, vec![i as f32])).collect();
+        assert_eq!(
+            krum(&refs(&updates), 1),
+            Err(RobustError::TooFewUpdates { needed: 5, got: 4 })
+        );
+    }
+
+    #[test]
+    fn multi_krum_averages_central_updates() {
+        let updates = honest_plus_outlier();
+        let (selected, params) = multi_krum(&refs(&updates), 1, 3).unwrap();
+        assert_eq!(selected.len(), 3);
+        assert!(!selected.contains(&5), "attacker selected by multi-krum");
+        // Average of three near-1.0 updates stays near 1.0.
+        assert!((f64::from(params[0]) - 1.0).abs() < 0.2);
+        assert!((f64::from(params[1]) - 1.0).abs() < 0.2);
+    }
+
+    #[test]
+    fn multi_krum_rejects_bad_m() {
+        let updates = honest_plus_outlier();
+        assert!(matches!(
+            multi_krum(&refs(&updates), 1, 0),
+            Err(RobustError::InvalidParameter(_))
+        ));
+        assert!(matches!(
+            multi_krum(&refs(&updates), 1, 7),
+            Err(RobustError::InvalidParameter(_))
+        ));
+    }
+
+    #[test]
+    fn trimmed_mean_removes_tails() {
+        let updates = vec![
+            upd(0, vec![1.0]),
+            upd(1, vec![2.0]),
+            upd(2, vec![3.0]),
+            upd(3, vec![4.0]),
+            upd(4, vec![1000.0]), // attacker inflates the top tail
+        ];
+        let out = trimmed_mean(&refs(&updates), 1).unwrap();
+        // Drops 1.0 and 1000.0; mean of {2,3,4} = 3.
+        assert_eq!(out, vec![3.0]);
+    }
+
+    #[test]
+    fn trimmed_mean_zero_trim_is_unweighted_mean() {
+        let updates = vec![upd(0, vec![1.0, 2.0]), upd(1, vec![3.0, 6.0])];
+        assert_eq!(trimmed_mean(&refs(&updates), 0).unwrap(), vec![2.0, 4.0]);
+    }
+
+    #[test]
+    fn trimmed_mean_needs_enough_updates() {
+        let updates = vec![upd(0, vec![1.0]), upd(1, vec![2.0])];
+        assert_eq!(
+            trimmed_mean(&refs(&updates), 1),
+            Err(RobustError::TooFewUpdates { needed: 3, got: 2 })
+        );
+    }
+
+    #[test]
+    fn median_odd_and_even() {
+        let odd = vec![upd(0, vec![1.0]), upd(1, vec![9.0]), upd(2, vec![2.0])];
+        assert_eq!(coordinate_median(&refs(&odd)).unwrap(), vec![2.0]);
+        let even = vec![upd(0, vec![1.0]), upd(1, vec![3.0])];
+        assert_eq!(coordinate_median(&refs(&even)).unwrap(), vec![2.0]);
+    }
+
+    #[test]
+    fn median_survives_minority_corruption() {
+        let updates = vec![
+            upd(0, vec![1.0, -1.0]),
+            upd(1, vec![1.1, -0.9]),
+            upd(2, vec![0.9, -1.1]),
+            upd(3, vec![1e6, -1e6]),
+            upd(4, vec![-1e6, 1e6]),
+        ];
+        let out = coordinate_median(&refs(&updates)).unwrap();
+        assert!((f64::from(out[0]) - 1.0).abs() < 0.2);
+        assert!((f64::from(out[1]) + 1.0).abs() < 0.2);
+    }
+
+    #[test]
+    fn clip_leaves_small_vectors_alone() {
+        let p = vec![0.3, 0.4];
+        assert_eq!(clip_to_norm(&p, 1.0).unwrap(), p);
+    }
+
+    #[test]
+    fn clip_rescales_to_exactly_max_norm() {
+        let clipped = clip_to_norm(&[30.0, 40.0], 5.0).unwrap();
+        assert!((l2_norm(&clipped) - 5.0).abs() < 1e-6);
+        // Direction preserved.
+        assert!((f64::from(clipped[0]) - 3.0).abs() < 1e-6);
+        assert!((f64::from(clipped[1]) - 4.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn clip_rejects_bad_inputs() {
+        assert!(matches!(clip_to_norm(&[1.0], 0.0), Err(RobustError::InvalidParameter(_))));
+        assert!(matches!(clip_to_norm(&[1.0], f64::NAN), Err(RobustError::InvalidParameter(_))));
+        assert_eq!(clip_to_norm(&[f32::NAN], 1.0), Err(RobustError::NonFinite));
+    }
+
+    #[test]
+    fn clipped_mean_neutralizes_boosting() {
+        // Attacker boosts by 1000x; clipping to the honest norm restores sanity.
+        let updates = vec![
+            upd(0, vec![1.0, 0.0]),
+            upd(1, vec![0.0, 1.0]),
+            upd(2, vec![1000.0, 1000.0]),
+        ];
+        let out = clipped_mean(&refs(&updates), 1.0).unwrap();
+        assert!(l2_norm(&out) <= 1.0 + 1e-6);
+    }
+
+    #[test]
+    fn rule_dispatch_matches_direct_calls() {
+        let updates = honest_plus_outlier();
+        let refs = refs(&updates);
+        assert_eq!(
+            RobustRule::Krum { f: 1 }.apply(&refs).unwrap(),
+            krum(&refs, 1).unwrap().1
+        );
+        assert_eq!(
+            RobustRule::TrimmedMean { trim: 1 }.apply(&refs).unwrap(),
+            trimmed_mean(&refs, 1).unwrap()
+        );
+        assert_eq!(
+            RobustRule::Median.apply(&refs).unwrap(),
+            coordinate_median(&refs).unwrap()
+        );
+        assert_eq!(
+            RobustRule::FedAvg.apply(&refs).unwrap(),
+            crate::fed_avg(&refs).unwrap()
+        );
+    }
+
+    #[test]
+    fn rule_min_updates() {
+        assert_eq!(RobustRule::FedAvg.min_updates(), 1);
+        assert_eq!(RobustRule::Krum { f: 1 }.min_updates(), 5);
+        assert_eq!(RobustRule::MultiKrum { f: 2, m: 3 }.min_updates(), 7);
+        assert_eq!(RobustRule::TrimmedMean { trim: 2 }.min_updates(), 5);
+        assert_eq!(RobustRule::Median.min_updates(), 1);
+    }
+
+    #[test]
+    fn rule_display_labels() {
+        assert_eq!(RobustRule::FedAvg.to_string(), "fedavg");
+        assert_eq!(RobustRule::Krum { f: 1 }.to_string(), "krum(f=1)");
+        assert_eq!(RobustRule::MultiKrum { f: 1, m: 3 }.to_string(), "multi-krum(f=1,m=3)");
+        assert_eq!(RobustRule::TrimmedMean { trim: 1 }.to_string(), "trimmed-mean(k=1)");
+        assert_eq!(RobustRule::Median.to_string(), "median");
+        assert_eq!(RobustRule::ClippedMean { max_norm: 2.0 }.to_string(), "clipped-mean(c=2)");
+    }
+
+    #[test]
+    fn errors_propagate_from_validation() {
+        assert_eq!(coordinate_median(&[]), Err(RobustError::Empty));
+        let a = upd(0, vec![1.0]);
+        let b = upd(1, vec![1.0, 2.0]);
+        assert_eq!(
+            coordinate_median(&[&a, &b]),
+            Err(RobustError::ShapeMismatch { expected: 1, got: 2 })
+        );
+        let nan = upd(0, vec![f32::NAN]);
+        assert_eq!(coordinate_median(&[&nan]), Err(RobustError::NonFinite));
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        assert!(RobustError::Empty.to_string().contains("no updates"));
+        assert!(RobustError::TooFewUpdates { needed: 5, got: 4 }.to_string().contains('5'));
+        assert!(RobustError::InvalidParameter("x".into()).to_string().contains('x'));
+        assert!(RobustError::ShapeMismatch { expected: 1, got: 2 }.to_string().contains('2'));
+        assert!(RobustError::NonFinite.to_string().contains("non-finite"));
+    }
+}

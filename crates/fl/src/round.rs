@@ -1,0 +1,334 @@
+//! The Vanilla (centralized) federated-learning driver — the paper's baseline.
+//!
+//! Three clients train locally for five epochs, send updates to a central
+//! aggregator, which aggregates under "consider" or "not consider" and sends the
+//! global model back; ten communication rounds (§IV-B1, *Centralized setting*).
+
+use blockfed_data::{Batcher, Dataset};
+use blockfed_nn::{Sequential, Sgd};
+use rand::Rng;
+
+use crate::selector::Combination;
+use crate::strategy::{aggregate, Strategy};
+use crate::update::{ClientId, ModelUpdate};
+
+/// Configuration of a Vanilla FL run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VanillaFlConfig {
+    /// Communication rounds (the paper uses 10).
+    pub rounds: u32,
+    /// Local epochs per round (the paper uses 5).
+    pub local_epochs: usize,
+    /// Mini-batch size for local training.
+    pub batch_size: usize,
+    /// SGD learning rate.
+    pub lr: f32,
+    /// SGD momentum.
+    pub momentum: f32,
+    /// Aggregation strategy at the central aggregator.
+    pub strategy: Strategy,
+}
+
+impl Default for VanillaFlConfig {
+    fn default() -> Self {
+        VanillaFlConfig {
+            rounds: 10,
+            local_epochs: 5,
+            batch_size: 32,
+            lr: 0.05,
+            momentum: 0.9,
+            strategy: Strategy::NotConsider,
+        }
+    }
+}
+
+/// Per-round record of a Vanilla FL run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoundRecord {
+    /// 1-based round number.
+    pub round: u32,
+    /// The combination the aggregator chose.
+    pub chosen: Combination,
+    /// Aggregator-side score of the chosen aggregate.
+    pub score: f64,
+    /// Accuracy of the distributed global model on each client's test data.
+    pub client_accuracy: Vec<(ClientId, f64)>,
+}
+
+/// The complete result of a Vanilla FL run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VanillaRun {
+    /// One record per round, in order.
+    pub records: Vec<RoundRecord>,
+    /// The final global parameters.
+    pub final_params: Vec<f32>,
+}
+
+impl VanillaRun {
+    /// The accuracy series for one client across rounds.
+    pub fn client_series(&self, client: ClientId) -> Vec<f64> {
+        self.records
+            .iter()
+            .map(|r| {
+                r.client_accuracy
+                    .iter()
+                    .find(|(c, _)| *c == client)
+                    .map(|(_, a)| *a)
+                    .unwrap_or(0.0)
+            })
+            .collect()
+    }
+
+    /// Final-round accuracy of a client.
+    pub fn final_accuracy(&self, client: ClientId) -> f64 {
+        self.client_series(client).last().copied().unwrap_or(0.0)
+    }
+}
+
+/// The Vanilla FL experiment: train shards, per-client test sets, and the
+/// aggregator's selection test set.
+pub struct VanillaFl<'a> {
+    config: VanillaFlConfig,
+    train_shards: &'a [Dataset],
+    client_tests: &'a [Dataset],
+    selection_test: &'a Dataset,
+}
+
+impl<'a> VanillaFl<'a> {
+    /// Creates a driver.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shard and test counts disagree or are empty.
+    pub fn new(
+        config: VanillaFlConfig,
+        train_shards: &'a [Dataset],
+        client_tests: &'a [Dataset],
+        selection_test: &'a Dataset,
+    ) -> Self {
+        assert!(!train_shards.is_empty(), "need at least one client");
+        assert_eq!(train_shards.len(), client_tests.len(), "shard/test count mismatch");
+        VanillaFl { config, train_shards, client_tests, selection_test }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &VanillaFlConfig {
+        &self.config
+    }
+
+    /// Runs the experiment. `make_model` builds the shared architecture
+    /// (initial weights are taken from the first call and redistributed, so all
+    /// clients start identically, as in the paper).
+    pub fn run<R: Rng + ?Sized>(
+        &self,
+        make_model: &mut dyn FnMut() -> Sequential,
+        rng: &mut R,
+    ) -> VanillaRun {
+        self.run_with_hook(make_model, &mut |_| {}, rng)
+    }
+
+    /// Like [`VanillaFl::run`] but calls `update_hook` on every local update
+    /// before aggregation — the failure-injection point used to study poisoned
+    /// or noisy clients.
+    pub fn run_with_hook<R: Rng + ?Sized>(
+        &self,
+        make_model: &mut dyn FnMut() -> Sequential,
+        update_hook: &mut dyn FnMut(&mut ModelUpdate),
+        rng: &mut R,
+    ) -> VanillaRun {
+        let n = self.train_shards.len();
+        let batcher = Batcher::new(self.config.batch_size);
+        let mut global = make_model();
+        let mut global_params = global.params_flat();
+        let mut records = Vec::with_capacity(self.config.rounds as usize);
+
+        // Scratch model reused for candidate evaluation.
+        let mut scratch = make_model();
+
+        for round in 1..=self.config.rounds {
+            // Local training at every client, from the current global model.
+            let mut updates = Vec::with_capacity(n);
+            for (i, shard) in self.train_shards.iter().enumerate() {
+                let mut model = make_model();
+                model.set_params_flat(&global_params);
+                let mut opt = Sgd::new(self.config.lr, self.config.momentum);
+                model.train_epochs(shard, self.config.local_epochs, &batcher, &mut opt, rng);
+                let mut update =
+                    ModelUpdate::new(ClientId(i), round, model.params_flat(), shard.len());
+                update_hook(&mut update);
+                updates.push(update);
+            }
+            let update_refs: Vec<&ModelUpdate> = updates.iter().collect();
+
+            // Central aggregation.
+            let selection_test = self.selection_test;
+            let outcome = aggregate(
+                self.config.strategy,
+                &update_refs,
+                |params| {
+                    scratch.set_params_flat(params);
+                    scratch.evaluate(selection_test).accuracy
+                },
+                rng,
+            )
+            .expect("aggregation cannot fail with non-empty finite updates");
+
+            // Distribute and measure on every client's test data.
+            global_params = outcome.params.clone();
+            global.set_params_flat(&global_params);
+            let client_accuracy = self
+                .client_tests
+                .iter()
+                .enumerate()
+                .map(|(i, test)| (ClientId(i), global.evaluate(test).accuracy))
+                .collect();
+
+            records.push(RoundRecord {
+                round,
+                chosen: outcome.combination,
+                score: outcome.score,
+                client_accuracy,
+            });
+        }
+
+        VanillaRun { records, final_params: global_params }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blockfed_data::{partition_dataset, Partition, SynthCifar, SynthCifarConfig};
+    use blockfed_nn::SimpleNnConfig;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    struct Fixture {
+        shards: Vec<Dataset>,
+        tests: Vec<Dataset>,
+        selection: Dataset,
+    }
+
+    fn fixture() -> Fixture {
+        let gen = SynthCifar::new(SynthCifarConfig::tiny());
+        let (train, test) = gen.generate(1);
+        let mut rng = StdRng::seed_from_u64(5);
+        let shards =
+            partition_dataset(&train, 3, Partition::DirichletLabelSkew { alpha: 0.7 }, &mut rng);
+        let tests = vec![test.clone(), test.clone(), test.clone()];
+        Fixture { shards, tests, selection: test }
+    }
+
+    fn quick_config(strategy: Strategy) -> VanillaFlConfig {
+        VanillaFlConfig { rounds: 3, local_epochs: 2, batch_size: 16, lr: 0.1, momentum: 0.9, strategy }
+    }
+
+    fn run(strategy: Strategy, seed: u64) -> VanillaRun {
+        let fx = fixture();
+        let driver = VanillaFl::new(quick_config(strategy), &fx.shards, &fx.tests, &fx.selection);
+        let mut arch_rng = StdRng::seed_from_u64(seed);
+        let cfg = SimpleNnConfig::tiny(fx.selection.feature_dim(), fx.selection.num_classes());
+        let mut rng = StdRng::seed_from_u64(seed + 1);
+        driver.run(&mut || cfg.build(&mut arch_rng), &mut rng)
+    }
+
+    #[test]
+    fn produces_one_record_per_round() {
+        let out = run(Strategy::NotConsider, 1);
+        assert_eq!(out.records.len(), 3);
+        for (i, r) in out.records.iter().enumerate() {
+            assert_eq!(r.round as usize, i + 1);
+            assert_eq!(r.client_accuracy.len(), 3);
+        }
+    }
+
+    #[test]
+    fn learning_improves_over_rounds() {
+        let out = run(Strategy::NotConsider, 2);
+        let first = out.records.first().unwrap().client_accuracy[0].1;
+        let last = out.records.last().unwrap().client_accuracy[0].1;
+        assert!(last > first, "accuracy did not improve: {first} -> {last}");
+        // Above chance (4 classes in the tiny config).
+        assert!(last > 0.3, "final accuracy {last}");
+    }
+
+    #[test]
+    fn not_consider_uses_full_combination() {
+        let out = run(Strategy::NotConsider, 3);
+        for r in &out.records {
+            assert_eq!(r.chosen.len(), 3);
+        }
+    }
+
+    #[test]
+    fn consider_records_selected_combination() {
+        let out = run(Strategy::Consider, 4);
+        for r in &out.records {
+            assert!((1..=3).contains(&r.chosen.len()));
+            assert!(r.score >= 0.0 && r.score <= 1.0);
+        }
+    }
+
+    #[test]
+    fn runs_are_deterministic_given_seed() {
+        let a = run(Strategy::Consider, 9);
+        let b = run(Strategy::Consider, 9);
+        assert_eq!(a.records, b.records);
+        assert_eq!(a.final_params, b.final_params);
+    }
+
+    #[test]
+    fn client_series_extraction() {
+        let out = run(Strategy::NotConsider, 5);
+        let series = out.client_series(ClientId(1));
+        assert_eq!(series.len(), 3);
+        assert_eq!(series.last().copied().unwrap(), out.final_accuracy(ClientId(1)));
+        // Unknown client yields zeros.
+        assert_eq!(out.client_series(ClientId(9)), vec![0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn hook_can_poison_an_update() {
+        let fx = fixture();
+        let driver = VanillaFl::new(
+            quick_config(Strategy::Consider),
+            &fx.shards,
+            &fx.tests,
+            &fx.selection,
+        );
+        let cfg = SimpleNnConfig::tiny(fx.selection.feature_dim(), fx.selection.num_classes());
+        let mut arch_rng = StdRng::seed_from_u64(20);
+        let mut rng = StdRng::seed_from_u64(21);
+        let out = driver.run_with_hook(
+            &mut || cfg.build(&mut arch_rng),
+            &mut |u| {
+                if u.client == ClientId(0) {
+                    // Garbage weights: a poisoned client.
+                    for p in &mut u.params {
+                        *p = 50.0;
+                    }
+                }
+            },
+            &mut rng,
+        );
+        // The consider strategy should avoid the poisoned client in the final round.
+        let last = out.records.last().unwrap();
+        assert!(
+            !last.chosen.contains(ClientId(0)),
+            "poisoned client was selected: {:?}",
+            last.chosen
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "shard/test count mismatch")]
+    fn mismatched_tests_rejected() {
+        let fx = fixture();
+        let _ = VanillaFl::new(
+            VanillaFlConfig::default(),
+            &fx.shards,
+            &fx.tests[..2],
+            &fx.selection,
+        );
+    }
+}

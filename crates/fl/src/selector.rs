@@ -1,0 +1,180 @@
+//! Combination enumeration and fitness-threshold filtering.
+//!
+//! Section III of the paper: "a test dataset is prepared to evaluate the fitness
+//! of the shared model. If the evaluation is over a pre-set threshold, the worker
+//! will then include that model in their aggregation process; otherwise, it will
+//! be ignored."
+
+use crate::update::{ClientId, ModelUpdate};
+
+/// A subset of clients whose models are aggregated together.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Combination(Vec<ClientId>);
+
+impl Combination {
+    /// Creates a combination, sorting and deduplicating members.
+    pub fn new(mut members: Vec<ClientId>) -> Self {
+        members.sort();
+        members.dedup();
+        Combination(members)
+    }
+
+    /// The sorted members.
+    pub fn members(&self) -> &[ClientId] {
+        &self.0
+    }
+
+    /// Number of member clients.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether the combination is empty.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Whether `client` participates.
+    pub fn contains(&self, client: ClientId) -> bool {
+        self.0.contains(&client)
+    }
+
+    /// The paper's label style: members concatenated with the owner first if
+    /// present (e.g. client B labels `{A, B}` as `"B,A"`). With no owner the
+    /// label is plain member order (`"A,B"`).
+    pub fn label(&self, owner: Option<ClientId>) -> String {
+        let mut ids: Vec<ClientId> = self.0.clone();
+        if let Some(o) = owner {
+            if let Some(pos) = ids.iter().position(|&c| c == o) {
+                let me = ids.remove(pos);
+                ids.insert(0, me);
+            }
+        }
+        ids.iter().map(ToString::to_string).collect::<Vec<_>>().join(",")
+    }
+}
+
+impl std::fmt::Display for Combination {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.label(None))
+    }
+}
+
+/// Enumerates every non-empty subset of the given clients, ordered by size then
+/// lexicographically — the candidate space of the "consider" aggregation.
+///
+/// # Examples
+///
+/// ```
+/// use blockfed_fl::{all_combinations, ClientId};
+///
+/// let combos = all_combinations(&[ClientId(0), ClientId(1)]);
+/// assert_eq!(combos.len(), 3); // {A}, {B}, {A,B}
+/// ```
+pub fn all_combinations(clients: &[ClientId]) -> Vec<Combination> {
+    let n = clients.len();
+    assert!(n <= 20, "combination enumeration beyond 20 clients is intractable");
+    let mut out = Vec::with_capacity((1usize << n).saturating_sub(1));
+    for mask in 1u32..(1u32 << n) {
+        let members: Vec<ClientId> =
+            (0..n).filter(|i| mask & (1 << i) != 0).map(|i| clients[i]).collect();
+        out.push(Combination::new(members));
+    }
+    out.sort_by(|a, b| (a.len(), a.members()).cmp(&(b.len(), b.members())));
+    out
+}
+
+/// Filters updates by a fitness threshold: keep those whose standalone
+/// evaluation (via `fitness`) reaches `threshold`.
+///
+/// Returns `(kept, rejected)` so rejections can be audited on chain.
+pub fn threshold_filter<'a>(
+    updates: &[&'a ModelUpdate],
+    threshold: f64,
+    mut fitness: impl FnMut(&ModelUpdate) -> f64,
+) -> (Vec<&'a ModelUpdate>, Vec<&'a ModelUpdate>) {
+    let mut kept = Vec::new();
+    let mut rejected = Vec::new();
+    for &u in updates {
+        if u.is_finite() && fitness(u) >= threshold {
+            kept.push(u);
+        } else {
+            rejected.push(u);
+        }
+    }
+    (kept, rejected)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ids(n: usize) -> Vec<ClientId> {
+        (0..n).map(ClientId).collect()
+    }
+
+    #[test]
+    fn enumerates_all_nonempty_subsets() {
+        let combos = all_combinations(&ids(3));
+        assert_eq!(combos.len(), 7);
+        // Ordered by size: three singletons, three pairs, one triple.
+        assert_eq!(combos[0].len(), 1);
+        assert_eq!(combos[3].len(), 2);
+        assert_eq!(combos[6].len(), 3);
+        assert_eq!(combos[6].members(), &ids(3));
+    }
+
+    #[test]
+    fn empty_input_gives_no_combinations() {
+        assert!(all_combinations(&[]).is_empty());
+    }
+
+    #[test]
+    fn combination_dedups_and_sorts() {
+        let c = Combination::new(vec![ClientId(2), ClientId(0), ClientId(2)]);
+        assert_eq!(c.members(), &[ClientId(0), ClientId(2)]);
+        assert_eq!(c.len(), 2);
+        assert!(c.contains(ClientId(0)));
+        assert!(!c.contains(ClientId(1)));
+    }
+
+    #[test]
+    fn labels_match_paper_style() {
+        let c = Combination::new(vec![ClientId(0), ClientId(1)]);
+        assert_eq!(c.label(None), "A,B");
+        // Client B writes its own combination as "B,A" (Table III's row names).
+        assert_eq!(c.label(Some(ClientId(1))), "B,A");
+        // Owner not in the combination leaves the order untouched.
+        assert_eq!(c.label(Some(ClientId(2))), "A,B");
+        assert_eq!(c.to_string(), "A,B");
+    }
+
+    #[test]
+    fn threshold_filter_splits() {
+        let a = ModelUpdate::new(ClientId(0), 0, vec![1.0], 1);
+        let b = ModelUpdate::new(ClientId(1), 0, vec![2.0], 1);
+        let c = ModelUpdate::new(ClientId(2), 0, vec![3.0], 1);
+        let all = [&a, &b, &c];
+        // Fitness = first parameter value.
+        let (kept, rejected) =
+            threshold_filter(&all, 2.0, |u| f64::from(u.params[0]));
+        assert_eq!(kept.len(), 2);
+        assert_eq!(rejected.len(), 1);
+        assert_eq!(rejected[0].client, ClientId(0));
+    }
+
+    #[test]
+    fn threshold_filter_rejects_non_finite_regardless_of_fitness() {
+        let poisoned = ModelUpdate::new(ClientId(0), 0, vec![f32::NAN], 1);
+        let all = [&poisoned];
+        let (kept, rejected) = threshold_filter(&all, 0.0, |_| 1.0);
+        assert!(kept.is_empty());
+        assert_eq!(rejected.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "intractable")]
+    fn refuses_huge_enumerations() {
+        let _ = all_combinations(&ids(21));
+    }
+}

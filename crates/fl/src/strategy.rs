@@ -1,0 +1,304 @@
+//! The paper's two aggregation strategies.
+//!
+//! * **"not consider"** — Vanilla FedAvg over every received update.
+//! * **"consider"** — enumerate model combinations, evaluate each candidate
+//!   aggregate on a test set, and keep the best (ties broken uniformly at
+//!   random, as in §IV-B1: "the device selects one of them randomly").
+
+use rand::Rng;
+
+use crate::fedavg::{fed_avg, AggregateError};
+use crate::selector::{all_combinations, Combination};
+use crate::update::{ClientId, ModelUpdate};
+
+/// Aggregation strategy selector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Strategy {
+    /// Aggregate all updates (the paper's "not consider").
+    NotConsider,
+    /// Search all combinations and keep the best on a test set ("consider").
+    Consider,
+    /// Aggregate the `k` best *standalone* models (by test-set score) — the
+    /// §III knob "each aggregator can desire how many local updates she/he
+    /// would use to aggregate", at linear rather than exponential cost.
+    /// `k ≥ n` degrades to aggregating everything.
+    BestK(usize),
+}
+
+impl std::fmt::Display for Strategy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Strategy::NotConsider => write!(f, "not consider"),
+            Strategy::Consider => write!(f, "consider"),
+            Strategy::BestK(k) => write!(f, "best-{k}"),
+        }
+    }
+}
+
+/// The outcome of an aggregation decision.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AggregationOutcome {
+    /// The chosen aggregated parameters.
+    pub params: Vec<f32>,
+    /// Which combination produced them.
+    pub combination: Combination,
+    /// The evaluation score of the chosen candidate.
+    pub score: f64,
+    /// Every candidate evaluated, with its score (for the paper's per-
+    /// combination tables).
+    pub candidates: Vec<(Combination, f64)>,
+}
+
+/// Aggregates `updates` under `strategy`, scoring candidates with `evaluate`
+/// (higher is better; typically test-set accuracy).
+///
+/// # Errors
+///
+/// Returns [`AggregateError`] if the updates cannot be aggregated at all.
+pub fn aggregate<R: Rng + ?Sized>(
+    strategy: Strategy,
+    updates: &[&ModelUpdate],
+    mut evaluate: impl FnMut(&[f32]) -> f64,
+    rng: &mut R,
+) -> Result<AggregationOutcome, AggregateError> {
+    match strategy {
+        Strategy::NotConsider => {
+            let params = fed_avg(updates)?;
+            let members: Vec<ClientId> = updates.iter().map(|u| u.client).collect();
+            let combination = Combination::new(members);
+            let score = evaluate(&params);
+            Ok(AggregationOutcome {
+                params,
+                combination: combination.clone(),
+                score,
+                candidates: vec![(combination, score)],
+            })
+        }
+        Strategy::Consider => {
+            if updates.is_empty() {
+                return Err(AggregateError::Empty);
+            }
+            let clients: Vec<ClientId> = {
+                let mut c: Vec<ClientId> = updates.iter().map(|u| u.client).collect();
+                c.sort();
+                c.dedup();
+                c
+            };
+            let mut candidates = Vec::new();
+            for combo in all_combinations(&clients) {
+                let member_updates: Vec<&ModelUpdate> = updates
+                    .iter()
+                    .copied()
+                    .filter(|u| combo.contains(u.client))
+                    .collect();
+                let params = fed_avg(&member_updates)?;
+                let score = evaluate(&params);
+                candidates.push((combo, score, params));
+            }
+            // Highest score wins; ties broken uniformly at random.
+            let best_score = candidates
+                .iter()
+                .map(|(_, s, _)| *s)
+                .fold(f64::NEG_INFINITY, f64::max);
+            let tied: Vec<usize> = candidates
+                .iter()
+                .enumerate()
+                .filter(|(_, (_, s, _))| *s == best_score)
+                .map(|(i, _)| i)
+                .collect();
+            let chosen = tied[rng.gen_range(0..tied.len())];
+            let (combination, score, params) = candidates[chosen].clone();
+            Ok(AggregationOutcome {
+                params,
+                combination,
+                score,
+                candidates: candidates.into_iter().map(|(c, s, _)| (c, s)).collect(),
+            })
+        }
+        Strategy::BestK(k) => {
+            if updates.is_empty() || k == 0 {
+                return Err(AggregateError::Empty);
+            }
+            // Rank models by standalone score; ties broken uniformly at
+            // random among equal scores via a random jitter key drawn per
+            // update (deterministic given the rng).
+            let mut ranked: Vec<(f64, f64, &ModelUpdate)> = updates
+                .iter()
+                .map(|&u| (evaluate(&u.params), rng.gen::<f64>(), u))
+                .collect();
+            ranked.sort_by(|a, b| {
+                b.0.partial_cmp(&a.0)
+                    .expect("finite standalone scores")
+                    .then(b.1.partial_cmp(&a.1).expect("finite jitter"))
+            });
+            let selected: Vec<&ModelUpdate> =
+                ranked.iter().take(k.min(ranked.len())).map(|(_, _, u)| *u).collect();
+            let params = fed_avg(&selected)?;
+            let members: Vec<ClientId> = selected.iter().map(|u| u.client).collect();
+            let combination = Combination::new(members);
+            let score = evaluate(&params);
+            Ok(AggregationOutcome {
+                params,
+                combination: combination.clone(),
+                score,
+                candidates: vec![(combination, score)],
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn upd(client: usize, params: Vec<f32>) -> ModelUpdate {
+        ModelUpdate::new(ClientId(client), 0, params, 10)
+    }
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(7)
+    }
+
+    #[test]
+    fn not_consider_averages_everything() {
+        let a = upd(0, vec![0.0]);
+        let b = upd(1, vec![2.0]);
+        let out =
+            aggregate(Strategy::NotConsider, &[&a, &b], |p| f64::from(p[0]), &mut rng()).unwrap();
+        assert_eq!(out.params, vec![1.0]);
+        assert_eq!(out.combination.len(), 2);
+        assert_eq!(out.candidates.len(), 1);
+    }
+
+    #[test]
+    fn consider_explores_all_candidates() {
+        let a = upd(0, vec![0.0]);
+        let b = upd(1, vec![2.0]);
+        let c = upd(2, vec![4.0]);
+        let out =
+            aggregate(Strategy::Consider, &[&a, &b, &c], |p| f64::from(p[0]), &mut rng()).unwrap();
+        assert_eq!(out.candidates.len(), 7);
+        // Highest mean is the singleton {C} with 4.0.
+        assert_eq!(out.params, vec![4.0]);
+        assert_eq!(out.combination.members(), &[ClientId(2)]);
+        assert_eq!(out.score, 4.0);
+    }
+
+    #[test]
+    fn consider_beats_or_matches_not_consider_on_the_selection_metric() {
+        let a = upd(0, vec![1.0, -5.0]);
+        let b = upd(1, vec![-3.0, 2.0]);
+        let c = upd(2, vec![0.5, 0.5]);
+        let score = |p: &[f32]| -> f64 { -f64::from(p.iter().map(|x| x * x).sum::<f32>()) };
+        let all = [&a, &b, &c];
+        let consider = aggregate(Strategy::Consider, &all, score, &mut rng()).unwrap();
+        let not = aggregate(Strategy::NotConsider, &all, score, &mut rng()).unwrap();
+        assert!(consider.score >= not.score);
+    }
+
+    #[test]
+    fn ties_are_broken_randomly_but_deterministically_per_seed() {
+        let a = upd(0, vec![1.0]);
+        let b = upd(1, vec![1.0]);
+        // All candidates score identically.
+        let pick = |seed: u64| {
+            let mut r = StdRng::seed_from_u64(seed);
+            aggregate(Strategy::Consider, &[&a, &b], |_| 0.5, &mut r)
+                .unwrap()
+                .combination
+        };
+        assert_eq!(pick(1), pick(1));
+        // Across seeds, at least two different combinations must appear.
+        let distinct: std::collections::HashSet<_> = (0..16).map(pick).collect();
+        assert!(distinct.len() >= 2, "tie-break never varied");
+    }
+
+    #[test]
+    fn empty_updates_error() {
+        assert!(matches!(
+            aggregate(Strategy::Consider, &[], |_| 0.0, &mut rng()),
+            Err(AggregateError::Empty)
+        ));
+        assert!(matches!(
+            aggregate(Strategy::NotConsider, &[], |_| 0.0, &mut rng()),
+            Err(AggregateError::Empty)
+        ));
+    }
+
+    #[test]
+    fn strategy_display() {
+        assert_eq!(Strategy::NotConsider.to_string(), "not consider");
+        assert_eq!(Strategy::Consider.to_string(), "consider");
+        assert_eq!(Strategy::BestK(2).to_string(), "best-2");
+    }
+
+    #[test]
+    fn best_k_selects_highest_standalone_models() {
+        let a = upd(0, vec![1.0]);
+        let b = upd(1, vec![5.0]);
+        let c = upd(2, vec![3.0]);
+        // Standalone score = the parameter value itself.
+        let out = aggregate(
+            Strategy::BestK(2),
+            &[&a, &b, &c],
+            |p| f64::from(p[0]),
+            &mut rng(),
+        )
+        .unwrap();
+        // Best two are B (5.0) and C (3.0); equal weights → mean 4.0.
+        assert_eq!(out.params, vec![4.0]);
+        assert_eq!(out.combination.members(), &[ClientId(1), ClientId(2)]);
+        assert_eq!(out.candidates.len(), 1);
+    }
+
+    #[test]
+    fn best_k_oversized_k_uses_everything() {
+        let a = upd(0, vec![0.0]);
+        let b = upd(1, vec![2.0]);
+        let out =
+            aggregate(Strategy::BestK(10), &[&a, &b], |p| f64::from(p[0]), &mut rng()).unwrap();
+        assert_eq!(out.params, vec![1.0]);
+        assert_eq!(out.combination.len(), 2);
+    }
+
+    #[test]
+    fn best_one_is_the_single_best_model() {
+        let a = upd(0, vec![1.0]);
+        let b = upd(1, vec![9.0]);
+        let out =
+            aggregate(Strategy::BestK(1), &[&a, &b], |p| f64::from(p[0]), &mut rng()).unwrap();
+        assert_eq!(out.params, vec![9.0]);
+        assert_eq!(out.combination.members(), &[ClientId(1)]);
+    }
+
+    #[test]
+    fn best_k_zero_and_empty_error() {
+        let a = upd(0, vec![1.0]);
+        assert!(matches!(
+            aggregate(Strategy::BestK(0), &[&a], |_| 0.0, &mut rng()),
+            Err(AggregateError::Empty)
+        ));
+        assert!(matches!(
+            aggregate(Strategy::BestK(2), &[], |_| 0.0, &mut rng()),
+            Err(AggregateError::Empty)
+        ));
+    }
+
+    #[test]
+    fn best_k_tie_break_is_deterministic_per_seed_but_varies() {
+        let a = upd(0, vec![1.0]);
+        let b = upd(1, vec![1.0]);
+        let c = upd(2, vec![1.0]);
+        let pick = |seed: u64| {
+            let mut r = StdRng::seed_from_u64(seed);
+            aggregate(Strategy::BestK(1), &[&a, &b, &c], |_| 0.5, &mut r)
+                .unwrap()
+                .combination
+        };
+        assert_eq!(pick(3), pick(3));
+        let distinct: std::collections::HashSet<_> = (0..24).map(pick).collect();
+        assert!(distinct.len() >= 2, "tie-break never varied");
+    }
+}

@@ -1,0 +1,111 @@
+//! Model updates: what a client produces after local training.
+
+use serde::{Deserialize, Serialize};
+
+/// Identifies a federated client. Small indices render as the paper's client
+/// letters (`A`, `B`, `C`, …).
+///
+/// # Examples
+///
+/// ```
+/// use blockfed_fl::ClientId;
+///
+/// assert_eq!(ClientId(0).to_string(), "A");
+/// assert_eq!(ClientId(2).to_string(), "C");
+/// assert_eq!(ClientId(30).to_string(), "client#30");
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct ClientId(pub usize);
+
+impl std::fmt::Display for ClientId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.0 < 26 {
+            write!(f, "{}", (b'A' + self.0 as u8) as char)
+        } else {
+            write!(f, "client#{}", self.0)
+        }
+    }
+}
+
+/// A trained local model offered for aggregation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModelUpdate {
+    /// Which client trained it.
+    pub client: ClientId,
+    /// Communication round it belongs to.
+    pub round: u32,
+    /// Flat trainable parameters.
+    pub params: Vec<f32>,
+    /// Number of local training examples (the FedAvg weight).
+    pub sample_count: usize,
+    /// Size of the full serialized model artifact in bytes — what the
+    /// blockchain transaction carries (may exceed `params` for transfer
+    /// learning, where frozen weights ship but do not train).
+    pub payload_bytes: u64,
+}
+
+impl ModelUpdate {
+    /// Creates an update; `payload_bytes` defaults to the raw parameter bytes.
+    pub fn new(client: ClientId, round: u32, params: Vec<f32>, sample_count: usize) -> Self {
+        let payload_bytes = (params.len() as u64) * 4;
+        ModelUpdate { client, round, params, sample_count, payload_bytes }
+    }
+
+    /// Overrides the on-chain payload size (builder style).
+    #[must_use]
+    pub fn with_payload_bytes(mut self, bytes: u64) -> Self {
+        self.payload_bytes = bytes;
+        self
+    }
+
+    /// Whether all parameters are finite (defense against poisoned/corrupt
+    /// updates).
+    pub fn is_finite(&self) -> bool {
+        self.params.iter().all(|p| p.is_finite())
+    }
+
+    /// Parameter count.
+    pub fn param_count(&self) -> usize {
+        self.params.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn client_letters() {
+        assert_eq!(ClientId(0).to_string(), "A");
+        assert_eq!(ClientId(1).to_string(), "B");
+        assert_eq!(ClientId(25).to_string(), "Z");
+        assert_eq!(ClientId(26).to_string(), "client#26");
+    }
+
+    #[test]
+    fn default_payload_is_param_bytes() {
+        let u = ModelUpdate::new(ClientId(0), 1, vec![0.0; 10], 100);
+        assert_eq!(u.payload_bytes, 40);
+        assert_eq!(u.param_count(), 10);
+        let big = u.clone().with_payload_bytes(21_200_000);
+        assert_eq!(big.payload_bytes, 21_200_000);
+        assert_eq!(big.params, vec![0.0; 10]);
+    }
+
+    #[test]
+    fn finiteness_check() {
+        let good = ModelUpdate::new(ClientId(0), 0, vec![1.0, -2.0], 1);
+        assert!(good.is_finite());
+        let bad = ModelUpdate::new(ClientId(0), 0, vec![1.0, f32::NAN], 1);
+        assert!(!bad.is_finite());
+        let inf = ModelUpdate::new(ClientId(0), 0, vec![f32::INFINITY], 1);
+        assert!(!inf.is_finite());
+    }
+
+    #[test]
+    fn ordering_by_client_then_round() {
+        assert!(ClientId(0) < ClientId(1));
+    }
+}

@@ -1,0 +1,92 @@
+//! Gossip bookkeeping: per-node duplicate suppression.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::Hash;
+
+use crate::topology::NodeId;
+
+/// Tracks which messages each node has already seen, so flooding relays each
+/// message exactly once per node.
+///
+/// # Examples
+///
+/// ```
+/// use blockfed_net::{GossipTracker, NodeId};
+///
+/// let mut seen: GossipTracker<u64> = GossipTracker::new();
+/// assert!(seen.first_seen(NodeId(0), 42));
+/// assert!(!seen.first_seen(NodeId(0), 42));
+/// assert!(seen.first_seen(NodeId(1), 42));
+/// ```
+#[derive(Debug, Clone)]
+pub struct GossipTracker<Id: Eq + Hash> {
+    seen: HashMap<NodeId, HashSet<Id>>,
+}
+
+impl<Id: Eq + Hash> Default for GossipTracker<Id> {
+    fn default() -> Self {
+        GossipTracker { seen: HashMap::new() }
+    }
+}
+
+impl<Id: Eq + Hash> GossipTracker<Id> {
+    /// Creates an empty tracker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records that `node` received `id`; returns `true` on first receipt.
+    pub fn first_seen(&mut self, node: NodeId, id: Id) -> bool {
+        self.seen.entry(node).or_default().insert(id)
+    }
+
+    /// Whether `node` has seen `id`.
+    pub fn has_seen(&self, node: NodeId, id: &Id) -> bool {
+        self.seen.get(&node).is_some_and(|s| s.contains(id))
+    }
+
+    /// How many distinct messages `node` has seen.
+    pub fn count_for(&self, node: NodeId) -> usize {
+        self.seen.get(&node).map(HashSet::len).unwrap_or(0)
+    }
+
+    /// Forgets everything (e.g. between experiment repetitions).
+    pub fn clear(&mut self) {
+        self.seen.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duplicate_suppression_is_per_node() {
+        let mut t: GossipTracker<&str> = GossipTracker::new();
+        assert!(t.first_seen(NodeId(0), "m1"));
+        assert!(!t.first_seen(NodeId(0), "m1"));
+        assert!(t.first_seen(NodeId(1), "m1"));
+        assert!(t.first_seen(NodeId(0), "m2"));
+        assert_eq!(t.count_for(NodeId(0)), 2);
+        assert_eq!(t.count_for(NodeId(1)), 1);
+        assert_eq!(t.count_for(NodeId(9)), 0);
+    }
+
+    #[test]
+    fn has_seen_is_read_only() {
+        let mut t: GossipTracker<u32> = GossipTracker::new();
+        assert!(!t.has_seen(NodeId(0), &7));
+        t.first_seen(NodeId(0), 7);
+        assert!(t.has_seen(NodeId(0), &7));
+        assert!(!t.has_seen(NodeId(1), &7));
+    }
+
+    #[test]
+    fn clear_forgets() {
+        let mut t: GossipTracker<u32> = GossipTracker::new();
+        t.first_seen(NodeId(0), 1);
+        t.clear();
+        assert!(!t.has_seen(NodeId(0), &1));
+        assert!(t.first_seen(NodeId(0), 1));
+    }
+}

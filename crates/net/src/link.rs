@@ -1,0 +1,140 @@
+//! Point-to-point link models: latency, jitter, bandwidth, loss.
+
+use blockfed_sim::{SimDuration, UniformJitter};
+use rand::Rng;
+
+/// The transmission characteristics of one directed link.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkSpec {
+    /// Propagation latency model (base + uniform jitter).
+    pub latency: UniformJitter,
+    /// Bytes per second; `None` means infinite bandwidth (no serialization
+    /// delay). Model payloads of 21.2 MB make this term matter.
+    pub bandwidth: Option<u64>,
+    /// Probability in `[0, 1]` that a message is lost on this link.
+    pub loss_rate: f64,
+}
+
+impl LinkSpec {
+    /// A LAN-ish default: 2 ms ± 1 ms, 1 Gbit/s, lossless — the paper's three
+    /// VMs on one physical host.
+    pub fn lan() -> Self {
+        LinkSpec {
+            latency: UniformJitter::new(SimDuration::from_millis(2), SimDuration::from_millis(1)),
+            bandwidth: Some(125_000_000), // 1 Gbit/s in bytes/s
+            loss_rate: 0.0,
+        }
+    }
+
+    /// A WAN-ish profile: 40 ms ± 20 ms, 100 Mbit/s.
+    pub fn wan() -> Self {
+        LinkSpec {
+            latency: UniformJitter::new(SimDuration::from_millis(40), SimDuration::from_millis(20)),
+            bandwidth: Some(12_500_000),
+            loss_rate: 0.0,
+        }
+    }
+
+    /// An ideal instantaneous link (unit tests).
+    pub fn instant() -> Self {
+        LinkSpec {
+            latency: UniformJitter::constant(SimDuration::ZERO),
+            bandwidth: None,
+            loss_rate: 0.0,
+        }
+    }
+
+    /// Sets the loss rate (builder style).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rate is outside `[0, 1]`.
+    #[must_use]
+    pub fn with_loss(mut self, rate: f64) -> Self {
+        assert!((0.0..=1.0).contains(&rate), "loss rate must be a probability");
+        self.loss_rate = rate;
+        self
+    }
+
+    /// Samples the one-way delay for a message of `bytes`, or `None` if the
+    /// message is lost.
+    pub fn delay<R: Rng + ?Sized>(&self, bytes: u64, rng: &mut R) -> Option<SimDuration> {
+        if self.loss_rate > 0.0 && rng.gen_range(0.0..1.0) < self.loss_rate {
+            return None;
+        }
+        let mut d = self.latency.sample(rng);
+        if let Some(bw) = self.bandwidth {
+            assert!(bw > 0, "bandwidth must be positive");
+            d += SimDuration::from_secs_f64(bytes as f64 / bw as f64);
+        }
+        Some(d)
+    }
+}
+
+impl Default for LinkSpec {
+    fn default() -> Self {
+        LinkSpec::lan()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blockfed_sim::RngHub;
+
+    #[test]
+    fn lan_delay_within_bounds() {
+        let link = LinkSpec::lan();
+        let mut rng = RngHub::new(1).stream("l");
+        for _ in 0..100 {
+            let d = link.delay(0, &mut rng).unwrap();
+            assert!(d >= SimDuration::from_millis(2));
+            assert!(d <= SimDuration::from_millis(3));
+        }
+    }
+
+    #[test]
+    fn bandwidth_adds_serialization_delay() {
+        let link = LinkSpec {
+            latency: UniformJitter::constant(SimDuration::ZERO),
+            bandwidth: Some(1_000_000), // 1 MB/s
+            loss_rate: 0.0,
+        };
+        let mut rng = RngHub::new(2).stream("l");
+        let d = link.delay(21_200_000, &mut rng).unwrap(); // the 21.2 MB model
+        assert!((d.as_secs_f64() - 21.2).abs() < 0.01, "{d}");
+        let small = link.delay(248_000, &mut rng).unwrap(); // SimpleNN
+        assert!(small < d);
+    }
+
+    #[test]
+    fn infinite_bandwidth_ignores_size() {
+        let link = LinkSpec::instant();
+        let mut rng = RngHub::new(3).stream("l");
+        assert_eq!(link.delay(u64::MAX / 2, &mut rng), Some(SimDuration::ZERO));
+    }
+
+    #[test]
+    fn loss_drops_roughly_the_right_fraction() {
+        let link = LinkSpec::instant().with_loss(0.3);
+        let mut rng = RngHub::new(4).stream("l");
+        let n = 10_000;
+        let lost = (0..n).filter(|_| link.delay(0, &mut rng).is_none()).count();
+        let rate = lost as f64 / n as f64;
+        assert!((rate - 0.3).abs() < 0.03, "loss rate {rate}");
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn invalid_loss_rejected() {
+        let _ = LinkSpec::lan().with_loss(1.5);
+    }
+
+    #[test]
+    fn profiles_are_ordered() {
+        let mut rng = RngHub::new(5).stream("l");
+        let lan = LinkSpec::lan().delay(1000, &mut rng).unwrap();
+        let wan = LinkSpec::wan().delay(1000, &mut rng).unwrap();
+        assert!(wan > lan);
+    }
+}

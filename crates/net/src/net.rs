@@ -1,0 +1,296 @@
+//! The simulated peer-to-peer network: topology + links + partitions.
+
+use std::collections::{HashMap, HashSet};
+
+use blockfed_sim::SimDuration;
+use rand::Rng;
+
+use crate::link::LinkSpec;
+use crate::topology::{NodeId, Topology};
+
+/// A simulated network over `n` nodes.
+///
+/// # Examples
+///
+/// ```
+/// use blockfed_net::{LinkSpec, Network, NodeId, Topology};
+/// use rand::SeedableRng;
+///
+/// let net = Network::new(3, Topology::FullMesh, LinkSpec::lan());
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let d = net.delay(NodeId(0), NodeId(1), 1_000, &mut rng);
+/// assert!(d.is_some());
+/// ```
+#[derive(Debug, Clone)]
+pub struct Network {
+    n: usize,
+    topology: Topology,
+    default_link: LinkSpec,
+    overrides: HashMap<(NodeId, NodeId), LinkSpec>,
+    cut: HashSet<(NodeId, NodeId)>,
+}
+
+fn unordered(a: NodeId, b: NodeId) -> (NodeId, NodeId) {
+    if a <= b {
+        (a, b)
+    } else {
+        (b, a)
+    }
+}
+
+impl Network {
+    /// Creates a network with one link profile everywhere.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn new(n: usize, topology: Topology, default_link: LinkSpec) -> Self {
+        assert!(n > 0, "network needs at least one node");
+        Network { n, topology, default_link, overrides: HashMap::new(), cut: HashSet::new() }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the network has no nodes (never true; constructor enforces ≥1).
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// All node ids.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> {
+        (0..self.n).map(NodeId)
+    }
+
+    /// The configured topology.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// Overrides the link profile between two nodes (both directions).
+    pub fn set_link(&mut self, a: NodeId, b: NodeId, spec: LinkSpec) {
+        self.overrides.insert(unordered(a, b), spec);
+    }
+
+    /// The effective link profile between two nodes.
+    pub fn link(&self, a: NodeId, b: NodeId) -> LinkSpec {
+        self.overrides.get(&unordered(a, b)).copied().unwrap_or(self.default_link)
+    }
+
+    /// Severs the link between two nodes (fault injection).
+    pub fn partition(&mut self, a: NodeId, b: NodeId) {
+        self.cut.insert(unordered(a, b));
+    }
+
+    /// Splits the network into two halves, cutting every cross link.
+    pub fn partition_halves(&mut self, left: &[NodeId], right: &[NodeId]) {
+        for &a in left {
+            for &b in right {
+                self.partition(a, b);
+            }
+        }
+    }
+
+    /// Restores the link between two nodes.
+    pub fn heal(&mut self, a: NodeId, b: NodeId) {
+        self.cut.remove(&unordered(a, b));
+    }
+
+    /// Restores every severed link.
+    pub fn heal_all(&mut self) {
+        self.cut.clear();
+    }
+
+    /// Whether two nodes can currently exchange messages directly.
+    pub fn connected(&self, a: NodeId, b: NodeId) -> bool {
+        a != b
+            && self.topology.adjacent(a, b, self.n)
+            && !self.cut.contains(&unordered(a, b))
+    }
+
+    /// Samples the delay of a direct message, or `None` if not adjacent,
+    /// partitioned, or lost.
+    pub fn delay<R: Rng + ?Sized>(
+        &self,
+        from: NodeId,
+        to: NodeId,
+        bytes: u64,
+        rng: &mut R,
+    ) -> Option<SimDuration> {
+        if !self.connected(from, to) {
+            return None;
+        }
+        self.link(from, to).delay(bytes, rng)
+    }
+
+    /// Computes flood (gossip) arrival offsets from `origin` to every reachable
+    /// node: a shortest-path relay where each hop's delay is sampled once.
+    /// Nodes cut off by partitions or loss are absent from the result.
+    pub fn flood<R: Rng + ?Sized>(
+        &self,
+        origin: NodeId,
+        bytes: u64,
+        rng: &mut R,
+    ) -> HashMap<NodeId, SimDuration> {
+        assert!(origin.0 < self.n, "origin out of range");
+        // Dijkstra with sampled edge weights: deterministic given the RNG.
+        let mut dist: HashMap<NodeId, SimDuration> = HashMap::new();
+        dist.insert(origin, SimDuration::ZERO);
+        let mut visited: HashSet<NodeId> = HashSet::new();
+        // Pre-sample each usable edge once (symmetric delay per message relay).
+        let mut edge_delay: HashMap<(NodeId, NodeId), Option<SimDuration>> = HashMap::new();
+        for a in self.nodes() {
+            for b in self.topology.neighbors(a, self.n) {
+                let key = unordered(a, b);
+                edge_delay
+                    .entry(key)
+                    .or_insert_with(|| self.delay(key.0, key.1, bytes, rng));
+            }
+        }
+        loop {
+            let current = dist
+                .iter()
+                .filter(|(n, _)| !visited.contains(n))
+                .min_by_key(|(n, d)| (**d, n.0))
+                .map(|(n, d)| (*n, *d));
+            let (node, base) = match current {
+                Some(x) => x,
+                None => break,
+            };
+            visited.insert(node);
+            for nb in self.topology.neighbors(node, self.n) {
+                if visited.contains(&nb) {
+                    continue;
+                }
+                if let Some(Some(d)) = edge_delay.get(&unordered(node, nb)) {
+                    let candidate = base + *d;
+                    let best = dist.entry(nb).or_insert(SimDuration::MAX);
+                    if candidate < *best {
+                        *best = candidate;
+                    }
+                }
+            }
+        }
+        dist.remove(&origin);
+        dist
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blockfed_sim::RngHub;
+
+    fn rng() -> rand::rngs::StdRng {
+        RngHub::new(9).stream("net")
+    }
+
+    #[test]
+    fn full_mesh_floods_in_one_hop() {
+        let net = Network::new(4, Topology::FullMesh, LinkSpec::instant());
+        let arrivals = net.flood(NodeId(0), 0, &mut rng());
+        assert_eq!(arrivals.len(), 3);
+        assert!(arrivals.values().all(|&d| d == SimDuration::ZERO));
+    }
+
+    #[test]
+    fn ring_flood_accumulates_hops() {
+        let mut net = Network::new(5, Topology::Ring, LinkSpec::instant());
+        // Make delays visible: constant 10 ms per hop.
+        let spec = LinkSpec {
+            latency: blockfed_sim::UniformJitter::constant(SimDuration::from_millis(10)),
+            bandwidth: None,
+            loss_rate: 0.0,
+        };
+        for a in 0..5 {
+            for b in 0..5 {
+                if a < b {
+                    net.set_link(NodeId(a), NodeId(b), spec);
+                }
+            }
+        }
+        let arrivals = net.flood(NodeId(0), 0, &mut rng());
+        // Farthest node on a 5-ring is 2 hops away.
+        assert_eq!(arrivals[&NodeId(1)], SimDuration::from_millis(10));
+        assert_eq!(arrivals[&NodeId(2)], SimDuration::from_millis(20));
+        assert_eq!(arrivals[&NodeId(3)], SimDuration::from_millis(20));
+        assert_eq!(arrivals[&NodeId(4)], SimDuration::from_millis(10));
+    }
+
+    #[test]
+    fn partition_blocks_direct_traffic_but_not_relays() {
+        let mut net = Network::new(3, Topology::FullMesh, LinkSpec::instant());
+        net.partition(NodeId(0), NodeId(1));
+        assert!(net.delay(NodeId(0), NodeId(1), 0, &mut rng()).is_none());
+        assert!(net.delay(NodeId(0), NodeId(2), 0, &mut rng()).is_some());
+        // Flood still reaches node 1 via node 2.
+        let arrivals = net.flood(NodeId(0), 0, &mut rng());
+        assert!(arrivals.contains_key(&NodeId(1)));
+    }
+
+    #[test]
+    fn full_partition_isolates() {
+        let mut net = Network::new(4, Topology::FullMesh, LinkSpec::instant());
+        net.partition_halves(&[NodeId(0), NodeId(1)], &[NodeId(2), NodeId(3)]);
+        let arrivals = net.flood(NodeId(0), 0, &mut rng());
+        assert!(arrivals.contains_key(&NodeId(1)));
+        assert!(!arrivals.contains_key(&NodeId(2)));
+        assert!(!arrivals.contains_key(&NodeId(3)));
+        net.heal_all();
+        let healed = net.flood(NodeId(0), 0, &mut rng());
+        assert_eq!(healed.len(), 3);
+    }
+
+    #[test]
+    fn heal_restores_single_link() {
+        let mut net = Network::new(2, Topology::FullMesh, LinkSpec::instant());
+        net.partition(NodeId(0), NodeId(1));
+        assert!(!net.connected(NodeId(0), NodeId(1)));
+        net.heal(NodeId(0), NodeId(1));
+        assert!(net.connected(NodeId(0), NodeId(1)));
+    }
+
+    #[test]
+    fn payload_size_slows_flood() {
+        let spec = LinkSpec {
+            latency: blockfed_sim::UniformJitter::constant(SimDuration::ZERO),
+            bandwidth: Some(1_000_000),
+            loss_rate: 0.0,
+        };
+        let net = Network::new(2, Topology::FullMesh, spec);
+        let small = net.flood(NodeId(0), 1_000, &mut rng());
+        let big = net.flood(NodeId(0), 21_200_000, &mut rng());
+        assert!(big[&NodeId(1)] > small[&NodeId(1)]);
+        // 21.2 MB at 1 MB/s ≈ 21.2 s.
+        assert!((big[&NodeId(1)].as_secs_f64() - 21.2).abs() < 0.1);
+    }
+
+    #[test]
+    fn link_overrides_apply_symmetrically() {
+        let mut net = Network::new(2, Topology::FullMesh, LinkSpec::lan());
+        net.set_link(NodeId(1), NodeId(0), LinkSpec::instant());
+        assert_eq!(net.link(NodeId(0), NodeId(1)), LinkSpec::instant());
+    }
+
+    #[test]
+    fn flood_is_deterministic_per_seed() {
+        let net = Network::new(6, Topology::FullMesh, LinkSpec::lan());
+        let a = net.flood(NodeId(2), 500, &mut RngHub::new(3).stream("f"));
+        let b = net.flood(NodeId(2), 500, &mut RngHub::new(3).stream("f"));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one node")]
+    fn empty_network_rejected() {
+        let _ = Network::new(0, Topology::FullMesh, LinkSpec::lan());
+    }
+
+    #[test]
+    fn self_delay_is_none() {
+        let net = Network::new(2, Topology::FullMesh, LinkSpec::lan());
+        assert!(net.delay(NodeId(0), NodeId(0), 0, &mut rng()).is_none());
+    }
+}

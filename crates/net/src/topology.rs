@@ -1,0 +1,141 @@
+//! Network topologies.
+
+use serde::{Deserialize, Serialize};
+
+/// Identifies a network node (same index space as the FL client ids).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct NodeId(pub usize);
+
+impl std::fmt::Display for NodeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "N{}", self.0)
+    }
+}
+
+/// Who is adjacent to whom.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Topology {
+    /// Every pair of nodes is connected (the paper's 3-peer network).
+    FullMesh,
+    /// Node `i` connects to `i±1 mod n`.
+    Ring,
+    /// All nodes connect through one hub.
+    Star {
+        /// The hub node.
+        hub: NodeId,
+    },
+    /// Explicit undirected edge list.
+    Custom(Vec<(NodeId, NodeId)>),
+}
+
+impl Topology {
+    /// The neighbors of `node` in an `n`-node network.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn neighbors(&self, node: NodeId, n: usize) -> Vec<NodeId> {
+        assert!(node.0 < n, "node {node} out of range for {n} nodes");
+        match self {
+            Topology::FullMesh => (0..n).filter(|&i| i != node.0).map(NodeId).collect(),
+            Topology::Ring => {
+                if n <= 1 {
+                    return Vec::new();
+                }
+                if n == 2 {
+                    return vec![NodeId(1 - node.0)];
+                }
+                let prev = NodeId((node.0 + n - 1) % n);
+                let next = NodeId((node.0 + 1) % n);
+                vec![prev, next]
+            }
+            Topology::Star { hub } => {
+                if node == *hub {
+                    (0..n).filter(|&i| i != hub.0).map(NodeId).collect()
+                } else {
+                    vec![*hub]
+                }
+            }
+            Topology::Custom(edges) => {
+                let mut out: Vec<NodeId> = edges
+                    .iter()
+                    .filter_map(|&(a, b)| {
+                        if a == node {
+                            Some(b)
+                        } else if b == node {
+                            Some(a)
+                        } else {
+                            None
+                        }
+                    })
+                    .collect();
+                out.sort();
+                out.dedup();
+                out
+            }
+        }
+    }
+
+    /// Whether two distinct nodes are adjacent.
+    pub fn adjacent(&self, a: NodeId, b: NodeId, n: usize) -> bool {
+        a != b && self.neighbors(a, n).contains(&b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_mesh_connects_everyone() {
+        let t = Topology::FullMesh;
+        assert_eq!(t.neighbors(NodeId(0), 3), vec![NodeId(1), NodeId(2)]);
+        assert!(t.adjacent(NodeId(0), NodeId(2), 3));
+        assert!(!t.adjacent(NodeId(1), NodeId(1), 3));
+    }
+
+    #[test]
+    fn ring_has_two_neighbors() {
+        let t = Topology::Ring;
+        assert_eq!(t.neighbors(NodeId(0), 5), vec![NodeId(4), NodeId(1)]);
+        assert_eq!(t.neighbors(NodeId(2), 5), vec![NodeId(1), NodeId(3)]);
+        assert!(!t.adjacent(NodeId(0), NodeId(2), 5));
+        // Degenerate sizes.
+        assert_eq!(t.neighbors(NodeId(0), 1), Vec::<NodeId>::new());
+        assert_eq!(t.neighbors(NodeId(0), 2), vec![NodeId(1)]);
+    }
+
+    #[test]
+    fn star_routes_through_hub() {
+        let t = Topology::Star { hub: NodeId(0) };
+        assert_eq!(t.neighbors(NodeId(0), 4), vec![NodeId(1), NodeId(2), NodeId(3)]);
+        assert_eq!(t.neighbors(NodeId(2), 4), vec![NodeId(0)]);
+        assert!(!t.adjacent(NodeId(1), NodeId(2), 4));
+    }
+
+    #[test]
+    fn custom_edges_are_undirected_and_deduped() {
+        let t = Topology::Custom(vec![
+            (NodeId(0), NodeId(1)),
+            (NodeId(1), NodeId(0)),
+            (NodeId(1), NodeId(2)),
+        ]);
+        assert_eq!(t.neighbors(NodeId(1), 3), vec![NodeId(0), NodeId(2)]);
+        assert_eq!(t.neighbors(NodeId(2), 3), vec![NodeId(1)]);
+        assert!(t.adjacent(NodeId(0), NodeId(1), 3));
+        assert!(!t.adjacent(NodeId(0), NodeId(2), 3));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_node_panics() {
+        let _ = Topology::FullMesh.neighbors(NodeId(5), 3);
+    }
+
+    #[test]
+    fn node_display() {
+        assert_eq!(NodeId(3).to_string(), "N3");
+    }
+}

@@ -1,0 +1,130 @@
+//! Loss functions.
+
+use blockfed_tensor::{ops, Tensor};
+
+/// Mean cross-entropy over a batch, with the gradient w.r.t. the logits.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LossOutput {
+    /// Mean negative log-likelihood.
+    pub loss: f32,
+    /// `[batch, classes]` gradient of the mean loss w.r.t. the logits.
+    pub grad: Tensor,
+}
+
+/// Softmax cross-entropy between `logits` (`[batch, classes]`) and integer
+/// labels.
+///
+/// # Panics
+///
+/// Panics if the logits are not 2-D, the label count differs from the batch
+/// size, or a label is out of range.
+///
+/// # Examples
+///
+/// ```
+/// use blockfed_nn::loss::cross_entropy;
+/// use blockfed_tensor::Tensor;
+///
+/// let confident = Tensor::from_vec(vec![10.0, -10.0], &[1, 2]);
+/// let out = cross_entropy(&confident, &[0]);
+/// assert!(out.loss < 1e-3);
+/// ```
+pub fn cross_entropy(logits: &Tensor, labels: &[usize]) -> LossOutput {
+    assert_eq!(logits.ndim(), 2, "logits must be [batch, classes]");
+    let (batch, classes) = (logits.shape()[0], logits.shape()[1]);
+    assert_eq!(batch, labels.len(), "label count mismatch");
+    assert!(labels.iter().all(|&l| l < classes), "label out of range");
+    assert!(batch > 0, "empty batch");
+
+    let log_probs = ops::log_softmax_rows(logits);
+    let mut loss = 0.0f32;
+    for (r, &l) in labels.iter().enumerate() {
+        loss -= log_probs.get(&[r, l]);
+    }
+    loss /= batch as f32;
+
+    // grad = (softmax - onehot) / batch
+    let mut grad = ops::softmax_rows(logits);
+    for (r, &l) in labels.iter().enumerate() {
+        let v = grad.get(&[r, l]);
+        grad.set(&[r, l], v - 1.0);
+    }
+    let grad = grad.scale(1.0 / batch as f32);
+    LossOutput { loss, grad }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_logits_give_log_k() {
+        let logits = Tensor::zeros(&[4, 10]);
+        let out = cross_entropy(&logits, &[0, 3, 5, 9]);
+        assert!((out.loss - 10.0f32.ln()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn confident_correct_prediction_has_low_loss() {
+        let logits = Tensor::from_vec(vec![20.0, 0.0, 0.0], &[1, 3]);
+        let out = cross_entropy(&logits, &[0]);
+        assert!(out.loss < 1e-6);
+    }
+
+    #[test]
+    fn confident_wrong_prediction_has_high_loss() {
+        let logits = Tensor::from_vec(vec![20.0, 0.0, 0.0], &[1, 3]);
+        let out = cross_entropy(&logits, &[1]);
+        assert!(out.loss > 10.0);
+    }
+
+    #[test]
+    fn gradient_rows_sum_to_zero() {
+        let logits = Tensor::from_vec(vec![1.0, -2.0, 0.5, 3.0, 0.0, -1.0], &[2, 3]);
+        let out = cross_entropy(&logits, &[2, 0]);
+        for r in 0..2 {
+            let s: f32 = out.grad.row(r).iter().sum();
+            assert!(s.abs() < 1e-6, "row {r} sums to {s}");
+        }
+    }
+
+    #[test]
+    fn gradient_matches_finite_differences() {
+        let logits = Tensor::from_vec(vec![0.3, -0.7, 1.2], &[1, 3]);
+        let labels = [2usize];
+        let out = cross_entropy(&logits, &labels);
+        let eps = 1e-3f32;
+        for j in 0..3 {
+            let mut bumped = logits.clone();
+            bumped.set(&[0, j], bumped.get(&[0, j]) + eps);
+            let out2 = cross_entropy(&bumped, &labels);
+            let numeric = (out2.loss - out.loss) / eps;
+            let analytic = out.grad.get(&[0, j]);
+            assert!(
+                (numeric - analytic).abs() < 1e-2,
+                "logit {j}: numeric {numeric} vs analytic {analytic}"
+            );
+        }
+    }
+
+    #[test]
+    fn batch_mean_scaling() {
+        let one = cross_entropy(&Tensor::zeros(&[1, 2]), &[0]);
+        let four = cross_entropy(&Tensor::zeros(&[4, 2]), &[0, 0, 0, 0]);
+        assert!((one.loss - four.loss).abs() < 1e-6);
+        // Per-example gradient magnitude shrinks with batch size.
+        assert!((one.grad.get(&[0, 0]) - 4.0 * four.grad.get(&[0, 0])).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "label out of range")]
+    fn out_of_range_label_panics() {
+        let _ = cross_entropy(&Tensor::zeros(&[1, 2]), &[2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty batch")]
+    fn empty_batch_panics() {
+        let _ = cross_entropy(&Tensor::zeros(&[0, 2]), &[]);
+    }
+}

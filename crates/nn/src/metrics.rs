@@ -1,0 +1,265 @@
+//! Classification metrics beyond plain accuracy.
+//!
+//! The anomaly studies need to *explain* why a model is abnormal, not just
+//! that its accuracy is low: a free-rider's constant model has chance-level
+//! accuracy but a degenerate confusion matrix (one predicted class), while an
+//! honestly-trained model on skewed data has a skewed but full-rank one. The
+//! [`ConfusionMatrix`] and its derived per-class metrics make that
+//! distinction measurable.
+
+/// A `classes × classes` confusion matrix; rows are true labels, columns are
+/// predicted labels.
+///
+/// # Examples
+///
+/// ```
+/// use blockfed_nn::metrics::ConfusionMatrix;
+///
+/// let mut cm = ConfusionMatrix::new(2);
+/// cm.record(0, 0); // true 0, predicted 0
+/// cm.record(0, 1); // true 0, predicted 1
+/// cm.record(1, 1);
+/// assert_eq!(cm.accuracy(), 2.0 / 3.0);
+/// assert_eq!(cm.count(0, 1), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfusionMatrix {
+    classes: usize,
+    counts: Vec<u64>, // row-major [true][predicted]
+}
+
+impl ConfusionMatrix {
+    /// An empty matrix for `classes` classes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `classes` is zero.
+    pub fn new(classes: usize) -> Self {
+        assert!(classes > 0, "need at least one class");
+        ConfusionMatrix { classes, counts: vec![0; classes * classes] }
+    }
+
+    /// Builds a matrix from parallel label/prediction slices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices disagree in length or contain out-of-range
+    /// classes.
+    pub fn from_predictions(classes: usize, truth: &[usize], predicted: &[usize]) -> Self {
+        assert_eq!(truth.len(), predicted.len(), "label/prediction length mismatch");
+        let mut cm = ConfusionMatrix::new(classes);
+        for (&t, &p) in truth.iter().zip(predicted) {
+            cm.record(t, p);
+        }
+        cm
+    }
+
+    /// Number of classes.
+    pub fn classes(&self) -> usize {
+        self.classes
+    }
+
+    /// Records one example.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either class is out of range.
+    pub fn record(&mut self, truth: usize, predicted: usize) {
+        assert!(truth < self.classes, "true class {truth} out of range");
+        assert!(predicted < self.classes, "predicted class {predicted} out of range");
+        self.counts[truth * self.classes + predicted] += 1;
+    }
+
+    /// The count of examples with `truth` label predicted as `predicted`.
+    pub fn count(&self, truth: usize, predicted: usize) -> u64 {
+        self.counts[truth * self.classes + predicted]
+    }
+
+    /// Total recorded examples.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Overall accuracy (0 when empty).
+    pub fn accuracy(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        let correct: u64 = (0..self.classes).map(|c| self.count(c, c)).sum();
+        correct as f64 / total as f64
+    }
+
+    /// Per-class recall: `tp / (tp + fn)`; `None` for classes with no
+    /// examples.
+    pub fn recall(&self, class: usize) -> Option<f64> {
+        let row: u64 = (0..self.classes).map(|p| self.count(class, p)).sum();
+        if row == 0 {
+            None
+        } else {
+            Some(self.count(class, class) as f64 / row as f64)
+        }
+    }
+
+    /// Per-class precision: `tp / (tp + fp)`; `None` for classes never
+    /// predicted.
+    pub fn precision(&self, class: usize) -> Option<f64> {
+        let col: u64 = (0..self.classes).map(|t| self.count(t, class)).sum();
+        if col == 0 {
+            None
+        } else {
+            Some(self.count(class, class) as f64 / col as f64)
+        }
+    }
+
+    /// Per-class F1 (harmonic mean of precision and recall); `None` when
+    /// either is undefined, 0 when both are 0.
+    pub fn f1(&self, class: usize) -> Option<f64> {
+        let p = self.precision(class)?;
+        let r = self.recall(class)?;
+        if p + r == 0.0 {
+            Some(0.0)
+        } else {
+            Some(2.0 * p * r / (p + r))
+        }
+    }
+
+    /// Macro-averaged F1 over classes with defined F1 (0 when none).
+    pub fn macro_f1(&self) -> f64 {
+        let f1s: Vec<f64> = (0..self.classes).filter_map(|c| self.f1(c)).collect();
+        if f1s.is_empty() {
+            0.0
+        } else {
+            f1s.iter().sum::<f64>() / f1s.len() as f64
+        }
+    }
+
+    /// How many distinct classes the model ever predicted — the degeneracy
+    /// signal: a constant (free-rider) model predicts exactly one.
+    pub fn predicted_class_count(&self) -> usize {
+        (0..self.classes)
+            .filter(|&p| (0..self.classes).any(|t| self.count(t, p) > 0))
+            .count()
+    }
+
+    /// Whether the predictions are degenerate (at most one predicted class
+    /// despite multiple examples) — the free-rider fingerprint.
+    pub fn is_degenerate(&self) -> bool {
+        self.total() > 1 && self.predicted_class_count() <= 1
+    }
+}
+
+impl std::fmt::Display for ConfusionMatrix {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "true\\pred {}", (0..self.classes).map(|c| format!("{c:>6}")).collect::<String>())?;
+        for t in 0..self.classes {
+            write!(f, "{t:>9} ")?;
+            for p in 0..self.classes {
+                write!(f, "{:>6}", self.count(t, p))?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diagonal() -> ConfusionMatrix {
+        // Perfect classifier on 3 classes, 2 examples each.
+        ConfusionMatrix::from_predictions(3, &[0, 0, 1, 1, 2, 2], &[0, 0, 1, 1, 2, 2])
+    }
+
+    #[test]
+    fn perfect_classifier_metrics() {
+        let cm = diagonal();
+        assert_eq!(cm.accuracy(), 1.0);
+        assert_eq!(cm.macro_f1(), 1.0);
+        for c in 0..3 {
+            assert_eq!(cm.recall(c), Some(1.0));
+            assert_eq!(cm.precision(c), Some(1.0));
+            assert_eq!(cm.f1(c), Some(1.0));
+        }
+        assert_eq!(cm.predicted_class_count(), 3);
+        assert!(!cm.is_degenerate());
+    }
+
+    #[test]
+    fn constant_model_is_degenerate() {
+        // Predicts class 0 for everything: chance-level accuracy on balanced
+        // data but a one-column matrix.
+        let cm = ConfusionMatrix::from_predictions(4, &[0, 1, 2, 3], &[0, 0, 0, 0]);
+        assert_eq!(cm.accuracy(), 0.25);
+        assert_eq!(cm.predicted_class_count(), 1);
+        assert!(cm.is_degenerate());
+        // Recall defined everywhere, precision only for the predicted class.
+        assert_eq!(cm.recall(1), Some(0.0));
+        assert_eq!(cm.precision(1), None);
+        assert_eq!(cm.precision(0), Some(0.25));
+    }
+
+    #[test]
+    fn mixed_case_counts_and_metrics() {
+        let cm = ConfusionMatrix::from_predictions(2, &[0, 0, 1, 1, 1], &[0, 1, 1, 1, 0]);
+        assert_eq!(cm.count(0, 0), 1);
+        assert_eq!(cm.count(0, 1), 1);
+        assert_eq!(cm.count(1, 1), 2);
+        assert_eq!(cm.count(1, 0), 1);
+        assert_eq!(cm.total(), 5);
+        assert!((cm.accuracy() - 0.6).abs() < 1e-12);
+        // Class 1: precision 2/3, recall 2/3 → f1 2/3.
+        assert!((cm.f1(1).unwrap() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_matrix_behaviour() {
+        let cm = ConfusionMatrix::new(3);
+        assert_eq!(cm.accuracy(), 0.0);
+        assert_eq!(cm.total(), 0);
+        assert_eq!(cm.recall(0), None);
+        assert_eq!(cm.precision(0), None);
+        assert_eq!(cm.f1(0), None);
+        assert_eq!(cm.macro_f1(), 0.0);
+        assert!(!cm.is_degenerate(), "a single-or-zero-example matrix is not judged");
+    }
+
+    #[test]
+    fn incremental_matches_batch() {
+        let truth = [0usize, 1, 2, 1, 0];
+        let pred = [0usize, 1, 1, 1, 2];
+        let batch = ConfusionMatrix::from_predictions(3, &truth, &pred);
+        let mut inc = ConfusionMatrix::new(3);
+        for (&t, &p) in truth.iter().zip(&pred) {
+            inc.record(t, p);
+        }
+        assert_eq!(batch, inc);
+    }
+
+    #[test]
+    fn display_renders_all_cells() {
+        let s = diagonal().to_string();
+        assert!(s.contains("true\\pred"));
+        assert_eq!(s.lines().count(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_rejected() {
+        let mut cm = ConfusionMatrix::new(2);
+        cm.record(2, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_slices_rejected() {
+        let _ = ConfusionMatrix::from_predictions(2, &[0, 1], &[0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one class")]
+    fn zero_classes_rejected() {
+        let _ = ConfusionMatrix::new(0);
+    }
+}

@@ -1,0 +1,315 @@
+//! The [`Sequential`] model container and training/evaluation entry points.
+
+use blockfed_data::{Batcher, Dataset};
+use blockfed_tensor::{ops, Tensor};
+use rand::Rng;
+
+use crate::layer::Layer;
+use crate::loss::cross_entropy;
+use crate::optim::Sgd;
+
+/// A feed-forward stack of layers.
+///
+/// # Examples
+///
+/// ```
+/// use blockfed_nn::{Linear, Relu, Sequential};
+/// use blockfed_tensor::Tensor;
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// let mut model = Sequential::new();
+/// model.push(Linear::new(&mut rng, 4, 8));
+/// model.push(Relu::new());
+/// model.push(Linear::new(&mut rng, 8, 2));
+/// let logits = model.forward(&Tensor::ones(&[3, 4]), false);
+/// assert_eq!(logits.shape(), &[3, 2]);
+/// ```
+#[derive(Default)]
+pub struct Sequential {
+    layers: Vec<Box<dyn Layer>>,
+}
+
+/// Result of evaluating a model on a dataset.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EvalResult {
+    /// Fraction of correctly classified examples.
+    pub accuracy: f64,
+    /// Mean cross-entropy.
+    pub loss: f64,
+    /// Number of evaluated examples.
+    pub examples: usize,
+}
+
+impl Sequential {
+    /// Creates an empty model.
+    pub fn new() -> Self {
+        Sequential { layers: Vec::new() }
+    }
+
+    /// Appends a layer.
+    pub fn push(&mut self, layer: impl Layer + 'static) {
+        self.layers.push(Box::new(layer));
+    }
+
+    /// Number of layers.
+    pub fn depth(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Runs the forward pass. `train = true` caches activations for backward.
+    pub fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        let mut x = input.clone();
+        for layer in &mut self.layers {
+            x = layer.forward(&x, train);
+        }
+        x
+    }
+
+    /// Runs the backward pass from the loss gradient.
+    pub fn backward(&mut self, grad: &Tensor) -> Tensor {
+        let mut g = grad.clone();
+        for layer in self.layers.iter_mut().rev() {
+            g = layer.backward(&g);
+        }
+        g
+    }
+
+    /// Clears accumulated gradients in every layer.
+    pub fn zero_grads(&mut self) {
+        for layer in &mut self.layers {
+            layer.zero_grads();
+        }
+    }
+
+    /// Number of trainable scalars.
+    pub fn param_count(&self) -> usize {
+        self.layers.iter().map(|l| l.param_count()).sum()
+    }
+
+    /// Visits every trainable parameter in a fixed order.
+    pub fn visit_params(&self, f: &mut dyn FnMut(&Tensor)) {
+        for layer in &self.layers {
+            layer.visit_params(f);
+        }
+    }
+
+    /// Visits every trainable parameter mutably.
+    pub fn visit_params_mut(&mut self, f: &mut dyn FnMut(&mut Tensor)) {
+        for layer in &mut self.layers {
+            layer.visit_params_mut(f);
+        }
+    }
+
+    /// Visits every accumulated gradient.
+    pub fn visit_grads(&self, f: &mut dyn FnMut(&Tensor)) {
+        for layer in &self.layers {
+            layer.visit_grads(f);
+        }
+    }
+
+    /// Flattens all trainable parameters into one vector (federated payloads).
+    pub fn params_flat(&self) -> Vec<f32> {
+        let mut out = Vec::with_capacity(self.param_count());
+        self.visit_params(&mut |p| out.extend_from_slice(p.as_slice()));
+        out
+    }
+
+    /// Loads trainable parameters from a flat vector produced by
+    /// [`Sequential::params_flat`] on an identically shaped model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the length does not match the parameter count.
+    pub fn set_params_flat(&mut self, flat: &[f32]) {
+        assert_eq!(flat.len(), self.param_count(), "flat parameter length mismatch");
+        let mut offset = 0usize;
+        self.visit_params_mut(&mut |p| {
+            let n = p.numel();
+            p.as_mut_slice().copy_from_slice(&flat[offset..offset + n]);
+            offset += n;
+        });
+    }
+
+    /// One SGD step over one mini-batch; returns the batch loss.
+    pub fn train_batch(&mut self, features: &Tensor, labels: &[usize], opt: &mut Sgd) -> f32 {
+        self.zero_grads();
+        let logits = self.forward(features, true);
+        let out = cross_entropy(&logits, labels);
+        self.backward(&out.grad);
+        opt.step(self);
+        out.loss
+    }
+
+    /// Trains for `epochs` full passes over `dataset`; returns mean epoch losses.
+    pub fn train_epochs<R: Rng + ?Sized>(
+        &mut self,
+        dataset: &Dataset,
+        epochs: usize,
+        batcher: &Batcher,
+        opt: &mut Sgd,
+        rng: &mut R,
+    ) -> Vec<f32> {
+        let mut losses = Vec::with_capacity(epochs);
+        for _ in 0..epochs {
+            let mut total = 0.0f32;
+            let mut batches = 0usize;
+            for batch in batcher.epoch(dataset, rng) {
+                total += self.train_batch(&batch.features, &batch.labels, opt);
+                batches += 1;
+            }
+            losses.push(if batches > 0 { total / batches as f32 } else { 0.0 });
+        }
+        losses
+    }
+
+    /// Evaluates accuracy and loss on a dataset (inference mode).
+    pub fn evaluate(&mut self, dataset: &Dataset) -> EvalResult {
+        if dataset.is_empty() {
+            return EvalResult { accuracy: 0.0, loss: 0.0, examples: 0 };
+        }
+        let logits = self.forward(dataset.features(), false);
+        let out = cross_entropy(&logits, dataset.labels());
+        EvalResult {
+            accuracy: ops::accuracy(&logits, dataset.labels()),
+            loss: f64::from(out.loss),
+            examples: dataset.len(),
+        }
+    }
+
+    /// Predicted class per row.
+    pub fn predict(&mut self, features: &Tensor) -> Vec<usize> {
+        self.forward(features, false).argmax_rows()
+    }
+
+    /// Evaluates on `dataset` and returns the full confusion matrix (rows =
+    /// true labels, columns = predictions) — see [`crate::metrics`] for the
+    /// derived per-class metrics and the degeneracy signal used by anomaly
+    /// detection.
+    pub fn evaluate_confusion(&mut self, dataset: &Dataset) -> crate::metrics::ConfusionMatrix {
+        let predicted = self.predict(dataset.features());
+        crate::metrics::ConfusionMatrix::from_predictions(
+            dataset.num_classes(),
+            dataset.labels(),
+            &predicted,
+        )
+    }
+}
+
+impl std::fmt::Debug for Sequential {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let names: Vec<&str> = self.layers.iter().map(|l| l.name()).collect();
+        f.debug_struct("Sequential")
+            .field("layers", &names)
+            .field("params", &self.param_count())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::{Linear, Relu};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn two_blob_dataset(n_per: usize) -> Dataset {
+        // Two linearly separable blobs.
+        let mut data = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..n_per {
+            let t = (i as f32) / (n_per as f32);
+            data.extend_from_slice(&[1.0 + 0.1 * t, 1.0 - 0.1 * t]);
+            labels.push(0);
+            data.extend_from_slice(&[-1.0 - 0.1 * t, -1.0 + 0.1 * t]);
+            labels.push(1);
+        }
+        Dataset::new(Tensor::from_vec(data, &[2 * n_per, 2]), labels, 2)
+    }
+
+    fn mlp(seed: u64) -> Sequential {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut m = Sequential::new();
+        m.push(Linear::new(&mut rng, 2, 16));
+        m.push(Relu::new());
+        m.push(Linear::new(&mut rng, 16, 2));
+        m
+    }
+
+    #[test]
+    fn training_reaches_full_accuracy_on_separable_data() {
+        let ds = two_blob_dataset(20);
+        let mut model = mlp(0);
+        let mut opt = Sgd::new(0.1, 0.9);
+        let mut rng = StdRng::seed_from_u64(1);
+        let losses = model.train_epochs(&ds, 20, &Batcher::new(8), &mut opt, &mut rng);
+        assert!(losses.last().unwrap() < &0.05, "final loss {:?}", losses.last());
+        let eval = model.evaluate(&ds);
+        assert_eq!(eval.accuracy, 1.0);
+        assert_eq!(eval.examples, 40);
+    }
+
+    #[test]
+    fn loss_decreases_over_epochs() {
+        let ds = two_blob_dataset(20);
+        let mut model = mlp(2);
+        let mut opt = Sgd::new(0.05, 0.0);
+        let mut rng = StdRng::seed_from_u64(3);
+        let losses = model.train_epochs(&ds, 10, &Batcher::new(8), &mut opt, &mut rng);
+        assert!(losses.last().unwrap() < losses.first().unwrap());
+    }
+
+    #[test]
+    fn params_flat_roundtrip() {
+        let mut a = mlp(4);
+        let mut b = mlp(5);
+        let x = Tensor::ones(&[1, 2]);
+        assert_ne!(a.forward(&x, false), b.forward(&x, false));
+        let flat = a.params_flat();
+        assert_eq!(flat.len(), a.param_count());
+        b.set_params_flat(&flat);
+        assert_eq!(a.forward(&x, false), b.forward(&x, false));
+    }
+
+    #[test]
+    #[should_panic(expected = "flat parameter length mismatch")]
+    fn set_params_rejects_wrong_length() {
+        let mut m = mlp(6);
+        m.set_params_flat(&[0.0]);
+    }
+
+    #[test]
+    fn param_count_matches_architecture() {
+        let m = mlp(7);
+        assert_eq!(m.param_count(), 2 * 16 + 16 + 16 * 2 + 2);
+        assert_eq!(m.depth(), 3);
+    }
+
+    #[test]
+    fn evaluate_on_empty_dataset() {
+        let mut m = mlp(8);
+        let empty = Dataset::new(Tensor::zeros(&[0, 2]), vec![], 2);
+        let r = m.evaluate(&empty);
+        assert_eq!(r.examples, 0);
+        assert_eq!(r.accuracy, 0.0);
+    }
+
+    #[test]
+    fn predict_returns_argmax_labels() {
+        let ds = two_blob_dataset(5);
+        let mut model = mlp(9);
+        let mut opt = Sgd::new(0.1, 0.9);
+        let mut rng = StdRng::seed_from_u64(10);
+        model.train_epochs(&ds, 15, &Batcher::new(5), &mut opt, &mut rng);
+        let preds = model.predict(ds.features());
+        assert_eq!(preds, ds.labels());
+    }
+
+    #[test]
+    fn debug_lists_layers() {
+        let m = mlp(11);
+        let s = format!("{m:?}");
+        assert!(s.contains("linear"));
+        assert!(s.contains("relu"));
+    }
+}

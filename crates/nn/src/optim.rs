@@ -1,0 +1,182 @@
+//! Optimizers.
+
+use blockfed_tensor::Tensor;
+
+use crate::model::Sequential;
+
+/// Stochastic gradient descent with classical momentum.
+///
+/// # Examples
+///
+/// ```
+/// use blockfed_nn::Sgd;
+///
+/// let opt = Sgd::new(0.01, 0.9);
+/// assert_eq!(opt.learning_rate(), 0.01);
+/// ```
+#[derive(Debug)]
+pub struct Sgd {
+    lr: f32,
+    momentum: f32,
+    velocity: Vec<Tensor>,
+}
+
+impl Sgd {
+    /// Creates an optimizer with learning rate `lr` and momentum coefficient
+    /// `momentum` (`0.0` disables momentum).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lr` is not positive/finite or momentum is outside `[0, 1)`.
+    pub fn new(lr: f32, momentum: f32) -> Self {
+        assert!(lr > 0.0 && lr.is_finite(), "learning rate must be positive");
+        assert!((0.0..1.0).contains(&momentum), "momentum must be in [0, 1)");
+        Sgd { lr, momentum, velocity: Vec::new() }
+    }
+
+    /// The configured learning rate.
+    pub fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    /// The configured momentum coefficient.
+    pub fn momentum(&self) -> f32 {
+        self.momentum
+    }
+
+    /// Overrides the learning rate (e.g. for decay schedules).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lr` is not positive/finite.
+    pub fn set_learning_rate(&mut self, lr: f32) {
+        assert!(lr > 0.0 && lr.is_finite(), "learning rate must be positive");
+        self.lr = lr;
+    }
+
+    /// Applies one update step to every trainable parameter of `model`, using
+    /// the gradients accumulated since the last `zero_grads`.
+    ///
+    /// Velocity slots are allocated lazily on first use; reusing one optimizer
+    /// across models of different shapes resets the mismatched slots.
+    pub fn step(&mut self, model: &mut Sequential) {
+        // Snapshot gradients first (immutable walk), then update parameters.
+        let mut grads: Vec<Tensor> = Vec::new();
+        model.visit_grads(&mut |g| grads.push(g.clone()));
+        if self.velocity.len() != grads.len() {
+            self.velocity = grads.iter().map(|g| Tensor::zeros(g.shape())).collect();
+        }
+        let mut idx = 0usize;
+        let lr = self.lr;
+        let momentum = self.momentum;
+        let velocity = &mut self.velocity;
+        model.visit_params_mut(&mut |p| {
+            let g = &grads[idx];
+            if velocity[idx].shape() != g.shape() {
+                velocity[idx] = Tensor::zeros(g.shape());
+            }
+            if momentum > 0.0 {
+                let v = &mut velocity[idx];
+                // v = momentum*v + g ; p -= lr*v
+                for (vv, &gg) in v.as_mut_slice().iter_mut().zip(g.as_slice()) {
+                    *vv = momentum * *vv + gg;
+                }
+                p.axpy(-lr, v);
+            } else {
+                p.axpy(-lr, g);
+            }
+            idx += 1;
+        });
+    }
+
+    /// Drops accumulated momentum (used when a federated round replaces the
+    /// model parameters wholesale).
+    pub fn reset_state(&mut self) {
+        self.velocity.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::Linear;
+    use crate::model::Sequential;
+    use blockfed_tensor::Tensor;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn one_layer() -> Sequential {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut m = Sequential::new();
+        m.push(Linear::new(&mut rng, 1, 1));
+        m
+    }
+
+    #[test]
+    fn plain_sgd_moves_against_gradient() {
+        let mut m = one_layer();
+        let before = m.params_flat();
+        let x = Tensor::ones(&[1, 1]);
+        let y = m.forward(&x, true);
+        m.backward(&Tensor::ones(y.shape())); // dL/dW = 1, dL/db = 1
+        let mut opt = Sgd::new(0.5, 0.0);
+        opt.step(&mut m);
+        let after = m.params_flat();
+        assert!((before[0] - 0.5 - after[0]).abs() < 1e-6);
+        assert!((before[1] - 0.5 - after[1]).abs() < 1e-6);
+    }
+
+    #[test]
+    fn momentum_accelerates_repeated_steps() {
+        let run = |momentum: f32| {
+            let mut m = one_layer();
+            let start = m.params_flat()[0];
+            let mut opt = Sgd::new(0.1, momentum);
+            for _ in 0..5 {
+                m.zero_grads();
+                let x = Tensor::ones(&[1, 1]);
+                let y = m.forward(&x, true);
+                m.backward(&Tensor::ones(y.shape()));
+                opt.step(&mut m);
+            }
+            start - m.params_flat()[0]
+        };
+        assert!(run(0.9) > run(0.0), "momentum should travel further");
+    }
+
+    #[test]
+    fn reset_state_clears_velocity() {
+        let mut m = one_layer();
+        let mut opt = Sgd::new(0.1, 0.9);
+        let x = Tensor::ones(&[1, 1]);
+        let y = m.forward(&x, true);
+        m.backward(&Tensor::ones(y.shape()));
+        opt.step(&mut m);
+        opt.reset_state();
+        // After reset, one step with zero grads must not move parameters.
+        m.zero_grads();
+        let before = m.params_flat();
+        opt.step(&mut m);
+        assert_eq!(before, m.params_flat());
+    }
+
+    #[test]
+    fn learning_rate_can_be_adjusted() {
+        let mut opt = Sgd::new(0.1, 0.0);
+        opt.set_learning_rate(0.01);
+        assert_eq!(opt.learning_rate(), 0.01);
+        assert_eq!(opt.momentum(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "learning rate must be positive")]
+    fn zero_lr_rejected() {
+        let _ = Sgd::new(0.0, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "momentum must be in")]
+    fn momentum_one_rejected() {
+        let _ = Sgd::new(0.1, 1.0);
+    }
+}

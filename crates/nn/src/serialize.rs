@@ -1,0 +1,206 @@
+//! Wire format for model parameters.
+//!
+//! Federated peers exchange trainable parameters as length-prefixed
+//! little-endian `f32` buffers with a magic/version header, so malformed or
+//! truncated payloads from the network are rejected instead of silently
+//! producing garbage models.
+
+use std::fmt;
+
+/// Magic bytes identifying a blockfed weight buffer.
+pub const MAGIC: [u8; 4] = *b"BFWT";
+/// Current wire-format version.
+pub const VERSION: u16 = 1;
+
+/// Error decoding a parameter buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecodeError {
+    /// Buffer shorter than the fixed header.
+    TooShort,
+    /// Magic bytes did not match.
+    BadMagic,
+    /// Unsupported version.
+    BadVersion {
+        /// Version found in the header.
+        found: u16,
+    },
+    /// Declared element count disagrees with the payload size.
+    LengthMismatch {
+        /// Elements declared in the header.
+        declared: u64,
+        /// Elements actually present.
+        present: u64,
+    },
+    /// A parameter decoded to NaN or infinity.
+    NonFinite {
+        /// Index of the offending element.
+        index: usize,
+    },
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::TooShort => write!(f, "buffer shorter than header"),
+            DecodeError::BadMagic => write!(f, "magic bytes mismatch"),
+            DecodeError::BadVersion { found } => write!(f, "unsupported version {found}"),
+            DecodeError::LengthMismatch { declared, present } => {
+                write!(f, "declared {declared} elements but payload holds {present}")
+            }
+            DecodeError::NonFinite { index } => {
+                write!(f, "non-finite parameter at index {index}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Encodes parameters into the wire format.
+///
+/// # Examples
+///
+/// ```
+/// use blockfed_nn::serialize::{decode_params, encode_params};
+///
+/// let params = vec![1.0f32, -2.5, 0.0];
+/// let bytes = encode_params(&params);
+/// assert_eq!(decode_params(&bytes)?, params);
+/// # Ok::<(), blockfed_nn::serialize::DecodeError>(())
+/// ```
+pub fn encode_params(params: &[f32]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(14 + params.len() * 4);
+    out.extend_from_slice(&MAGIC);
+    out.extend_from_slice(&VERSION.to_le_bytes());
+    out.extend_from_slice(&(params.len() as u64).to_le_bytes());
+    for &p in params {
+        out.extend_from_slice(&p.to_le_bytes());
+    }
+    out
+}
+
+/// Decodes a wire-format buffer back into parameters, rejecting malformed
+/// input and non-finite values.
+///
+/// # Errors
+///
+/// Returns [`DecodeError`] describing the first problem found.
+pub fn decode_params(bytes: &[u8]) -> Result<Vec<f32>, DecodeError> {
+    if bytes.len() < 14 {
+        return Err(DecodeError::TooShort);
+    }
+    if bytes[..4] != MAGIC {
+        return Err(DecodeError::BadMagic);
+    }
+    let version = u16::from_le_bytes([bytes[4], bytes[5]]);
+    if version != VERSION {
+        return Err(DecodeError::BadVersion { found: version });
+    }
+    let declared = u64::from_le_bytes(bytes[6..14].try_into().expect("8 bytes"));
+    let payload = &bytes[14..];
+    if !payload.len().is_multiple_of(4) || (payload.len() / 4) as u64 != declared {
+        return Err(DecodeError::LengthMismatch {
+            declared,
+            present: (payload.len() / 4) as u64,
+        });
+    }
+    let mut out = Vec::with_capacity(payload.len() / 4);
+    for (i, chunk) in payload.chunks_exact(4).enumerate() {
+        let v = f32::from_le_bytes(chunk.try_into().expect("4 bytes"));
+        if !v.is_finite() {
+            return Err(DecodeError::NonFinite { index: i });
+        }
+        out.push(v);
+    }
+    Ok(out)
+}
+
+/// Encoded size in bytes for a parameter count (header included).
+pub fn encoded_len(param_count: usize) -> usize {
+    14 + param_count * 4
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_preserves_bits() {
+        let params = vec![0.0f32, -0.0, 1.5, f32::MIN_POSITIVE, -123.456, 7e20];
+        let decoded = decode_params(&encode_params(&params)).unwrap();
+        assert_eq!(params.len(), decoded.len());
+        for (a, b) in params.iter().zip(&decoded) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn empty_params_roundtrip() {
+        let decoded = decode_params(&encode_params(&[])).unwrap();
+        assert!(decoded.is_empty());
+    }
+
+    #[test]
+    fn encoded_len_matches() {
+        assert_eq!(encode_params(&[1.0; 10]).len(), encoded_len(10));
+        assert_eq!(encode_params(&[]).len(), encoded_len(0));
+    }
+
+    #[test]
+    fn rejects_short_buffer() {
+        assert_eq!(decode_params(&[1, 2, 3]), Err(DecodeError::TooShort));
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let mut b = encode_params(&[1.0]);
+        b[0] = b'X';
+        assert_eq!(decode_params(&b), Err(DecodeError::BadMagic));
+    }
+
+    #[test]
+    fn rejects_bad_version() {
+        let mut b = encode_params(&[1.0]);
+        b[4] = 99;
+        assert_eq!(decode_params(&b), Err(DecodeError::BadVersion { found: 99 }));
+    }
+
+    #[test]
+    fn rejects_truncated_payload() {
+        let mut b = encode_params(&[1.0, 2.0]);
+        b.truncate(b.len() - 4);
+        assert!(matches!(decode_params(&b), Err(DecodeError::LengthMismatch { declared: 2, present: 1 })));
+    }
+
+    #[test]
+    fn rejects_extra_payload() {
+        let mut b = encode_params(&[1.0]);
+        b.extend_from_slice(&[0, 0, 128, 63]);
+        assert!(matches!(decode_params(&b), Err(DecodeError::LengthMismatch { .. })));
+    }
+
+    #[test]
+    fn rejects_ragged_payload() {
+        let mut b = encode_params(&[1.0]);
+        b.push(0);
+        assert!(matches!(decode_params(&b), Err(DecodeError::LengthMismatch { .. })));
+    }
+
+    #[test]
+    fn rejects_nan_and_infinity() {
+        let b = encode_params(&[1.0, f32::NAN]);
+        assert_eq!(decode_params(&b), Err(DecodeError::NonFinite { index: 1 }));
+        let b2 = encode_params(&[f32::INFINITY]);
+        assert_eq!(decode_params(&b2), Err(DecodeError::NonFinite { index: 0 }));
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = DecodeError::LengthMismatch { declared: 5, present: 2 };
+        assert!(e.to_string().contains('5'));
+        assert!(DecodeError::TooShort.to_string().contains("header"));
+        assert!(DecodeError::BadMagic.to_string().contains("magic"));
+        assert!(DecodeError::BadVersion { found: 7 }.to_string().contains('7'));
+        assert!(DecodeError::NonFinite { index: 3 }.to_string().contains('3'));
+    }
+}

@@ -1,0 +1,345 @@
+//! The model zoo: the two architectures the paper evaluates.
+//!
+//! * [`SimpleNn`] — the "Simple NN … constructed from scratch with only 62K
+//!   parameters and approximately 248KB in size".
+//! * [`EffNetLite`] — the EfficientNet-B0 stand-in (5.3M parameters, 21.2MB):
+//!   a backbone that is *pretrained on a related task and then frozen*, plus a
+//!   trainable classification head — the same transfer-learning shape as the
+//!   paper's "modifying its final layer". Only the head's parameters are
+//!   trainable (and therefore exchanged in federated rounds), but the on-chain
+//!   payload is the full serialized model, as in the paper.
+
+use blockfed_data::{Batcher, Dataset};
+use blockfed_tensor::Tensor;
+use rand::Rng;
+
+use crate::layer::{Frozen, Linear, Relu};
+use crate::model::Sequential;
+use crate::optim::Sgd;
+
+/// Which of the paper's two models an experiment uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ModelKind {
+    /// The small from-scratch network.
+    SimpleNn,
+    /// The transfer-learned complex network.
+    EffNetLite,
+}
+
+impl std::fmt::Display for ModelKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ModelKind::SimpleNn => write!(f, "Simple NN"),
+            ModelKind::EffNetLite => write!(f, "Efficient-B0"),
+        }
+    }
+}
+
+/// Configuration of [`SimpleNn`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SimpleNnConfig {
+    /// Input dimensionality.
+    pub input_dim: usize,
+    /// First hidden width.
+    pub hidden1: usize,
+    /// Second hidden width.
+    pub hidden2: usize,
+    /// Number of classes.
+    pub num_classes: usize,
+}
+
+impl SimpleNnConfig {
+    /// The paper-scale configuration: ≈62 K parameters (≈248 KB of f32s) on a
+    /// 64-dimensional input.
+    pub fn paper() -> Self {
+        SimpleNnConfig { input_dim: 64, hidden1: 310, hidden2: 130, num_classes: 10 }
+    }
+
+    /// A reduced configuration for fast tests.
+    pub fn tiny(input_dim: usize, num_classes: usize) -> Self {
+        SimpleNnConfig { input_dim, hidden1: 16, hidden2: 8, num_classes }
+    }
+
+    /// Exact trainable parameter count of the architecture.
+    pub fn param_count(&self) -> usize {
+        self.input_dim * self.hidden1
+            + self.hidden1
+            + self.hidden1 * self.hidden2
+            + self.hidden2
+            + self.hidden2 * self.num_classes
+            + self.num_classes
+    }
+
+    /// Serialized model size in bytes (4 bytes per parameter, as in the paper's
+    /// 62 K ↔ 248 KB correspondence).
+    pub fn payload_bytes(&self) -> u64 {
+        (self.param_count() as u64) * 4
+    }
+
+    /// Builds a freshly initialized model.
+    pub fn build<R: Rng + ?Sized>(&self, rng: &mut R) -> Sequential {
+        let mut m = Sequential::new();
+        m.push(Linear::new(rng, self.input_dim, self.hidden1));
+        m.push(Relu::new());
+        m.push(Linear::new(rng, self.hidden1, self.hidden2));
+        m.push(Relu::new());
+        m.push(Linear::new(rng, self.hidden2, self.num_classes));
+        m
+    }
+}
+
+/// Convenience alias: builds a [`SimpleNnConfig`] model.
+pub struct SimpleNn;
+
+impl SimpleNn {
+    /// Builds the paper-scale SimpleNN.
+    pub fn paper<R: Rng + ?Sized>(rng: &mut R) -> Sequential {
+        SimpleNnConfig::paper().build(rng)
+    }
+}
+
+/// Configuration of [`EffNetLite`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EffNetLiteConfig {
+    /// Input dimensionality.
+    pub input_dim: usize,
+    /// Backbone width (two hidden layers of this width).
+    pub width: usize,
+    /// Number of classes.
+    pub num_classes: usize,
+    /// Epochs of backbone pretraining on the pretext task.
+    pub pretrain_epochs: usize,
+    /// Learning rate for pretraining.
+    pub pretrain_lr: f32,
+}
+
+impl EffNetLiteConfig {
+    /// The paper-scale configuration: ≈5.3 M total parameters (≈21.2 MB).
+    pub fn paper() -> Self {
+        EffNetLiteConfig {
+            input_dim: 64,
+            width: 2270,
+            num_classes: 10,
+            pretrain_epochs: 8,
+            pretrain_lr: 0.05,
+        }
+    }
+
+    /// A faster configuration with the same qualitative behaviour, used by the
+    /// default experiment profile.
+    pub fn quick() -> Self {
+        EffNetLiteConfig {
+            input_dim: 64,
+            width: 384,
+            num_classes: 10,
+            pretrain_epochs: 8,
+            pretrain_lr: 0.05,
+        }
+    }
+
+    /// A reduced configuration for unit tests.
+    pub fn tiny(input_dim: usize, num_classes: usize) -> Self {
+        EffNetLiteConfig { input_dim, width: 24, num_classes, pretrain_epochs: 2, pretrain_lr: 0.05 }
+    }
+
+    /// Total parameter count including the frozen backbone.
+    pub fn total_param_count(&self) -> usize {
+        self.input_dim * self.width
+            + self.width
+            + self.width * self.width
+            + self.width
+            + self.width * self.num_classes
+            + self.num_classes
+    }
+
+    /// Trainable (head) parameter count — what federated rounds exchange.
+    pub fn head_param_count(&self) -> usize {
+        self.width * self.num_classes + self.num_classes
+    }
+
+    /// Serialized full-model size in bytes (what travels on chain, as in the
+    /// paper's 5.3 M ↔ 21.2 MB correspondence).
+    pub fn payload_bytes(&self) -> u64 {
+        (self.total_param_count() as u64) * 4
+    }
+}
+
+/// The EfficientNet-B0 stand-in: frozen pretrained backbone + trainable head.
+pub struct EffNetLite {
+    config: EffNetLiteConfig,
+    backbone: Sequential,
+}
+
+impl EffNetLite {
+    /// Builds the model and *pretrains* the backbone on a pretext dataset —
+    /// the analog of "EfficientNet-B0 pretrained on ImageNet": the pretext data
+    /// shares the observation process ("natural image statistics") with the
+    /// downstream task but has its own classes.
+    ///
+    /// After pretraining the backbone is frozen; only heads created by
+    /// [`EffNetLite::fresh_head`] train afterwards.
+    pub fn pretrained<R: Rng + ?Sized>(
+        config: EffNetLiteConfig,
+        pretext: &Dataset,
+        rng: &mut R,
+    ) -> Self {
+        assert_eq!(pretext.feature_dim(), config.input_dim, "pretext dim mismatch");
+        // Build backbone + auxiliary head, train jointly, then freeze backbone.
+        let mut full = Sequential::new();
+        full.push(Linear::new(rng, config.input_dim, config.width));
+        full.push(Relu::new());
+        full.push(Linear::new(rng, config.width, config.width));
+        full.push(Relu::new());
+        full.push(Linear::new(rng, config.width, pretext.num_classes()));
+        let mut opt = Sgd::new(config.pretrain_lr, 0.9);
+        let batcher = Batcher::new(32);
+        full.train_epochs(pretext, config.pretrain_epochs, &batcher, &mut opt, rng);
+
+        // Extract the trained backbone weights into frozen layers.
+        let flat = full.params_flat();
+        let (w1n, b1n) = (config.input_dim * config.width, config.width);
+        let (w2n, b2n) = (config.width * config.width, config.width);
+        let mut off = 0usize;
+        let take = |off: &mut usize, n: usize| {
+            let s = flat[*off..*off + n].to_vec();
+            *off += n;
+            s
+        };
+        let w1 = Tensor::from_vec(take(&mut off, w1n), &[config.width, config.input_dim]);
+        let b1 = Tensor::from_vec(take(&mut off, b1n), &[config.width]);
+        let w2 = Tensor::from_vec(take(&mut off, w2n), &[config.width, config.width]);
+        let b2 = Tensor::from_vec(take(&mut off, b2n), &[config.width]);
+
+        let mut backbone = Sequential::new();
+        backbone.push(Frozen::new(Linear::from_parts(w1, b1)));
+        backbone.push(Relu::new());
+        backbone.push(Frozen::new(Linear::from_parts(w2, b2)));
+        backbone.push(Relu::new());
+        EffNetLite { config, backbone }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &EffNetLiteConfig {
+        &self.config
+    }
+
+    /// Runs the frozen backbone over a dataset once, producing the feature
+    /// dataset the head trains on (the standard frozen-transfer optimization;
+    /// numerically identical to running the full network every step).
+    pub fn extract_features(&mut self, dataset: &Dataset) -> Dataset {
+        let feats = self.backbone.forward(dataset.features(), false);
+        Dataset::new(feats, dataset.labels().to_vec(), dataset.num_classes())
+    }
+
+    /// A freshly initialized trainable head (`width → num_classes`).
+    pub fn fresh_head<R: Rng + ?Sized>(&self, rng: &mut R) -> Sequential {
+        let mut head = Sequential::new();
+        head.push(Linear::new(rng, self.config.width, self.config.num_classes));
+        head
+    }
+
+    /// The backbone's frozen parameter count.
+    pub fn backbone_param_count(&self) -> usize {
+        self.config.input_dim * self.config.width
+            + self.config.width
+            + self.config.width * self.config.width
+            + self.config.width
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn simple_nn_paper_parameter_budget() {
+        let cfg = SimpleNnConfig::paper();
+        // "only 62K parameters and approximately 248KB in size"
+        assert!((60_000..=64_000).contains(&cfg.param_count()), "{}", cfg.param_count());
+        let kb = cfg.payload_bytes() as f64 / 1024.0;
+        assert!((235.0..=255.0).contains(&kb), "{kb} KB");
+        let mut rng = StdRng::seed_from_u64(0);
+        let model = cfg.build(&mut rng);
+        assert_eq!(model.param_count(), cfg.param_count());
+    }
+
+    #[test]
+    fn effnet_paper_parameter_budget() {
+        let cfg = EffNetLiteConfig::paper();
+        // "parameters count 5.3M, size 21.2MB"
+        let m = cfg.total_param_count() as f64 / 1e6;
+        assert!((5.0..=5.6).contains(&m), "{m} M params");
+        let mb = cfg.payload_bytes() as f64 / (1024.0 * 1024.0);
+        assert!((19.5..=22.5).contains(&mb), "{mb} MB");
+        // Trainable head is a tiny fraction (transfer learning).
+        assert!(cfg.head_param_count() * 100 < cfg.total_param_count());
+    }
+
+    #[test]
+    fn model_kind_display() {
+        assert_eq!(ModelKind::SimpleNn.to_string(), "Simple NN");
+        assert_eq!(ModelKind::EffNetLite.to_string(), "Efficient-B0");
+    }
+
+    fn pretext_dataset(n: usize, dim: usize, classes: usize, seed: u64) -> Dataset {
+        use rand::Rng;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut data = Vec::with_capacity(n * dim);
+        let mut labels = Vec::with_capacity(n);
+        for i in 0..n {
+            let class = i % classes;
+            for j in 0..dim {
+                let center = if j % classes == class { 1.0 } else { -0.2 };
+                data.push(center + rng.gen_range(-0.3..0.3));
+            }
+            labels.push(class);
+        }
+        Dataset::new(Tensor::from_vec(data, &[n, dim]), labels, classes)
+    }
+
+    #[test]
+    fn pretrained_backbone_is_frozen_and_reusable() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let pretext = pretext_dataset(60, 8, 3, 2);
+        let cfg = EffNetLiteConfig::tiny(8, 4);
+        let mut model = EffNetLite::pretrained(cfg, &pretext, &mut rng);
+        assert_eq!(model.backbone_param_count(), 8 * 24 + 24 + 24 * 24 + 24);
+        // Backbone exposes no trainable params.
+        let downstream = pretext_dataset(40, 8, 4, 3);
+        let feats = model.extract_features(&downstream);
+        assert_eq!(feats.len(), 40);
+        assert_eq!(feats.feature_dim(), 24);
+        // Extraction is deterministic (frozen).
+        let feats2 = model.extract_features(&downstream);
+        assert_eq!(feats, feats2);
+        // Heads are trainable and sized width → classes.
+        let head = model.fresh_head(&mut rng);
+        assert_eq!(head.param_count(), 24 * 4 + 4);
+    }
+
+    #[test]
+    fn transfer_head_learns_downstream_task() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let pretext = pretext_dataset(90, 8, 3, 5);
+        let cfg = EffNetLiteConfig::tiny(8, 3);
+        let mut model = EffNetLite::pretrained(cfg, &pretext, &mut rng);
+        let downstream = pretext_dataset(90, 8, 3, 6);
+        let feats = model.extract_features(&downstream);
+        let mut head = model.fresh_head(&mut rng);
+        let mut opt = Sgd::new(0.1, 0.9);
+        head.train_epochs(&feats, 10, &Batcher::new(16), &mut opt, &mut rng);
+        let eval = head.evaluate(&feats);
+        assert!(eval.accuracy > 0.8, "transfer accuracy {}", eval.accuracy);
+    }
+
+    #[test]
+    fn tiny_configs_are_consistent() {
+        let s = SimpleNnConfig::tiny(12, 4);
+        assert_eq!(s.param_count(), 12 * 16 + 16 + 16 * 8 + 8 + 8 * 4 + 4);
+        let e = EffNetLiteConfig::tiny(12, 4);
+        assert_eq!(e.head_param_count(), 24 * 4 + 4);
+        assert!(e.total_param_count() > e.head_param_count());
+    }
+}

@@ -1,0 +1,38 @@
+//! CSV export to the `results/` directory.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::table::Table;
+
+/// Writes a table's CSV rendering to `dir/name.csv`, creating the directory.
+///
+/// Returns the path written.
+///
+/// # Errors
+///
+/// Propagates I/O errors from directory creation or the write.
+pub fn write_csv(dir: impl AsRef<Path>, name: &str, table: &Table) -> io::Result<PathBuf> {
+    let dir = dir.as_ref();
+    fs::create_dir_all(dir)?;
+    let path = dir.join(format!("{name}.csv"));
+    fs::write(&path, table.to_csv())?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writes_and_reads_back() {
+        let dir = std::env::temp_dir().join(format!("blockfed-csv-test-{}", std::process::id()));
+        let mut t = Table::new("T", &["a", "b"]);
+        t.row(&["1", "2"]);
+        let path = write_csv(&dir, "demo", &t).unwrap();
+        let content = fs::read_to_string(&path).unwrap();
+        assert_eq!(content, "a,b\n1,2\n");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,15 @@
+//! Experiment reporting: aligned tables (the paper's Tables I–IV), ASCII line
+//! charts (Figures 3–4), CSV export, and summary statistics.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod csv;
+pub mod plot;
+pub mod summary;
+pub mod table;
+
+pub use csv::write_csv;
+pub use plot::LinePlot;
+pub use summary::{percent_change, summarize, Stats};
+pub use table::{fmt_acc, fmt_secs, Table};

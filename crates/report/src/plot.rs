@@ -1,0 +1,154 @@
+//! ASCII line charts — terminal renditions of the paper's Figures 3 and 4.
+
+use std::fmt;
+
+/// A multi-series line chart rendered with terminal characters.
+///
+/// # Examples
+///
+/// ```
+/// use blockfed_report::LinePlot;
+///
+/// let mut p = LinePlot::new("accuracy vs round", 40, 10);
+/// p.series("consider", &[0.2, 0.4, 0.5, 0.6]);
+/// p.series("not consider", &[0.3, 0.38, 0.52, 0.59]);
+/// let s = p.to_string();
+/// assert!(s.contains("consider"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct LinePlot {
+    title: String,
+    width: usize,
+    height: usize,
+    series: Vec<(String, Vec<f64>)>,
+}
+
+const MARKS: &[char] = &['*', 'o', '+', 'x', '#', '@', '%', '&'];
+
+impl LinePlot {
+    /// Creates a plot canvas of `width × height` characters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is below 2.
+    pub fn new(title: impl Into<String>, width: usize, height: usize) -> Self {
+        assert!(width >= 2 && height >= 2, "plot must be at least 2x2");
+        LinePlot { title: title.into(), width, height, series: Vec::new() }
+    }
+
+    /// Adds a named series.
+    pub fn series(&mut self, name: impl Into<String>, values: &[f64]) {
+        self.series.push((name.into(), values.to_vec()));
+    }
+
+    /// Number of series.
+    pub fn series_count(&self) -> usize {
+        self.series.len()
+    }
+}
+
+impl fmt::Display for LinePlot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{}", self.title)?;
+        let all: Vec<f64> = self
+            .series
+            .iter()
+            .flat_map(|(_, v)| v.iter().copied())
+            .filter(|v| v.is_finite())
+            .collect();
+        if all.is_empty() {
+            return writeln!(f, "(no data)");
+        }
+        let lo = all.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = all.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let span = if (hi - lo).abs() < 1e-12 { 1.0 } else { hi - lo };
+        let max_len = self.series.iter().map(|(_, v)| v.len()).max().unwrap_or(0);
+        let mut grid = vec![vec![' '; self.width]; self.height];
+        for (si, (_, values)) in self.series.iter().enumerate() {
+            let mark = MARKS[si % MARKS.len()];
+            for (i, &v) in values.iter().enumerate() {
+                if !v.is_finite() {
+                    continue;
+                }
+                let x = if max_len <= 1 {
+                    0
+                } else {
+                    i * (self.width - 1) / (max_len - 1)
+                };
+                let yf = (v - lo) / span;
+                let y = ((1.0 - yf) * (self.height - 1) as f64).round() as usize;
+                grid[y.min(self.height - 1)][x.min(self.width - 1)] = mark;
+            }
+        }
+        for (i, row) in grid.iter().enumerate() {
+            let label = if i == 0 {
+                format!("{hi:8.4} ")
+            } else if i == self.height - 1 {
+                format!("{lo:8.4} ")
+            } else {
+                " ".repeat(9)
+            };
+            writeln!(f, "{label}|{}", row.iter().collect::<String>())?;
+        }
+        writeln!(f, "{}+{}", " ".repeat(9), "-".repeat(self.width))?;
+        for (si, (name, _)) in self.series.iter().enumerate() {
+            writeln!(f, "{} {} = {}", " ".repeat(9), MARKS[si % MARKS.len()], name)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_marks_and_legend() {
+        let mut p = LinePlot::new("t", 20, 6);
+        p.series("up", &[0.0, 0.5, 1.0]);
+        p.series("down", &[1.0, 0.5, 0.0]);
+        let s = p.to_string();
+        assert!(s.contains('*'));
+        assert!(s.contains('o'));
+        assert!(s.contains("* = up"));
+        assert!(s.contains("o = down"));
+        assert_eq!(p.series_count(), 2);
+    }
+
+    #[test]
+    fn empty_plot_says_no_data() {
+        let p = LinePlot::new("t", 10, 4);
+        assert!(p.to_string().contains("(no data)"));
+    }
+
+    #[test]
+    fn constant_series_does_not_divide_by_zero() {
+        let mut p = LinePlot::new("t", 10, 4);
+        p.series("flat", &[0.5, 0.5, 0.5]);
+        let s = p.to_string();
+        assert!(s.contains('*'));
+    }
+
+    #[test]
+    fn axis_labels_show_extremes() {
+        let mut p = LinePlot::new("t", 10, 4);
+        p.series("s", &[0.25, 0.75]);
+        let s = p.to_string();
+        assert!(s.contains("0.7500"));
+        assert!(s.contains("0.2500"));
+    }
+
+    #[test]
+    fn non_finite_values_are_skipped() {
+        let mut p = LinePlot::new("t", 10, 4);
+        p.series("s", &[f64::NAN, 0.5, f64::INFINITY, 1.0]);
+        let s = p.to_string();
+        assert!(s.contains("1.0000"));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2x2")]
+    fn degenerate_canvas_rejected() {
+        let _ = LinePlot::new("t", 1, 5);
+    }
+}

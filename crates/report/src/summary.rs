@@ -1,0 +1,89 @@
+//! Summary statistics for experiment series.
+
+/// Basic statistics of a sample.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Stats {
+    /// Sample size.
+    pub n: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Population standard deviation.
+    pub std: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+/// Computes [`Stats`] over a slice, ignoring non-finite values.
+///
+/// Returns `None` for an empty (or all-non-finite) input.
+///
+/// # Examples
+///
+/// ```
+/// use blockfed_report::summarize;
+///
+/// let s = summarize(&[1.0, 2.0, 3.0]).unwrap();
+/// assert_eq!(s.mean, 2.0);
+/// assert_eq!(s.min, 1.0);
+/// assert_eq!(s.max, 3.0);
+/// ```
+pub fn summarize(values: &[f64]) -> Option<Stats> {
+    let clean: Vec<f64> = values.iter().copied().filter(|v| v.is_finite()).collect();
+    if clean.is_empty() {
+        return None;
+    }
+    let n = clean.len();
+    let mean = clean.iter().sum::<f64>() / n as f64;
+    let var = clean.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n as f64;
+    let min = clean.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = clean.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    Some(Stats { n, mean, std: var.sqrt(), min, max })
+}
+
+/// The relative change `(b - a) / a`, in percent.
+///
+/// # Panics
+///
+/// Panics if `a` is zero.
+pub fn percent_change(a: f64, b: f64) -> f64 {
+    assert!(a != 0.0, "baseline must be nonzero");
+    (b - a) / a * 100.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_stats() {
+        let s = summarize(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]).unwrap();
+        assert_eq!(s.n, 8);
+        assert_eq!(s.mean, 5.0);
+        assert_eq!(s.std, 2.0);
+        assert_eq!(s.min, 2.0);
+        assert_eq!(s.max, 9.0);
+    }
+
+    #[test]
+    fn empty_and_nan_inputs() {
+        assert!(summarize(&[]).is_none());
+        assert!(summarize(&[f64::NAN, f64::INFINITY]).is_none());
+        let s = summarize(&[1.0, f64::NAN]).unwrap();
+        assert_eq!(s.n, 1);
+        assert_eq!(s.mean, 1.0);
+    }
+
+    #[test]
+    fn percent_change_signs() {
+        assert_eq!(percent_change(2.0, 3.0), 50.0);
+        assert_eq!(percent_change(2.0, 1.0), -50.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "baseline must be nonzero")]
+    fn zero_baseline_panics() {
+        let _ = percent_change(0.0, 1.0);
+    }
+}

@@ -1,0 +1,192 @@
+//! Aligned text tables in the style of the paper's Tables I–IV.
+
+use std::fmt;
+
+/// A simple column-aligned table.
+///
+/// # Examples
+///
+/// ```
+/// use blockfed_report::Table;
+///
+/// let mut t = Table::new("demo", &["round", "accuracy"]);
+/// t.row(&["1", "0.2263"]);
+/// t.row(&["2", "0.3733"]);
+/// let s = t.to_string();
+/// assert!(s.contains("round"));
+/// assert!(s.contains("0.3733"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Table {
+    title: String,
+    columns: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with a title and column headers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no columns are given.
+    pub fn new(title: impl Into<String>, columns: &[&str]) -> Self {
+        assert!(!columns.is_empty(), "a table needs at least one column");
+        Table {
+            title: title.into(),
+            columns: columns.iter().map(|s| (*s).to_owned()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell count differs from the column count.
+    pub fn row(&mut self, cells: &[&str]) {
+        assert_eq!(cells.len(), self.columns.len(), "cell count mismatch");
+        self.rows.push(cells.iter().map(|s| (*s).to_owned()).collect());
+    }
+
+    /// Appends a row of owned strings.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell count differs from the column count.
+    pub fn row_owned(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.columns.len(), "cell count mismatch");
+        self.rows.push(cells);
+    }
+
+    /// The table title.
+    pub fn title(&self) -> &str {
+        &self.title
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table as CSV (header row + data rows).
+    pub fn to_csv(&self) -> String {
+        let escape = |s: &str| {
+            if s.contains(',') || s.contains('"') || s.contains('\n') {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_owned()
+            }
+        };
+        let mut out = String::new();
+        out.push_str(
+            &self.columns.iter().map(|c| escape(c)).collect::<Vec<_>>().join(","),
+        );
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.iter().map(|c| escape(c)).collect::<Vec<_>>().join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut widths: Vec<usize> = self.columns.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        writeln!(f, "{}", self.title)?;
+        let line = |f: &mut fmt::Formatter<'_>| {
+            let total: usize = widths.iter().map(|w| w + 3).sum::<usize>() + 1;
+            writeln!(f, "{}", "-".repeat(total))
+        };
+        line(f)?;
+        write!(f, "|")?;
+        for (c, w) in self.columns.iter().zip(&widths) {
+            write!(f, " {c:<w$} |")?;
+        }
+        writeln!(f)?;
+        line(f)?;
+        for row in &self.rows {
+            write!(f, "|")?;
+            for (cell, w) in row.iter().zip(&widths) {
+                write!(f, " {cell:<w$} |")?;
+            }
+            writeln!(f)?;
+        }
+        line(f)
+    }
+}
+
+/// Formats an accuracy in the paper's four-decimal style (e.g. `0.5953`).
+pub fn fmt_acc(v: f64) -> String {
+    format!("{v:.4}")
+}
+
+/// Formats a duration in seconds with three decimals.
+pub fn fmt_secs(v: f64) -> String {
+    format!("{v:.3}s")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new("T", &["a", "long-header"]);
+        t.row(&["x", "1"]);
+        t.row(&["yyyyy", "2"]);
+        let s = t.to_string();
+        assert!(s.contains("| a     | long-header |"));
+        assert!(s.contains("| yyyyy | 2           |"));
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+        assert_eq!(t.title(), "T");
+    }
+
+    #[test]
+    fn csv_output_escapes() {
+        let mut t = Table::new("T", &["name", "note"]);
+        t.row(&["plain", "a,b"]);
+        t.row(&["q\"q", "fine"]);
+        let csv = t.to_csv();
+        assert!(csv.starts_with("name,note\n"));
+        assert!(csv.contains("\"a,b\""));
+        assert!(csv.contains("\"q\"\"q\""));
+    }
+
+    #[test]
+    #[should_panic(expected = "cell count mismatch")]
+    fn wrong_cell_count_panics() {
+        let mut t = Table::new("T", &["a", "b"]);
+        t.row(&["only-one"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one column")]
+    fn empty_columns_panic() {
+        let _ = Table::new("T", &[]);
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(fmt_acc(0.59530001), "0.5953");
+        assert_eq!(fmt_secs(13.0), "13.000s");
+    }
+
+    #[test]
+    fn row_owned_accepts_strings() {
+        let mut t = Table::new("T", &["a"]);
+        t.row_owned(vec![String::from("v")]);
+        assert_eq!(t.len(), 1);
+    }
+}

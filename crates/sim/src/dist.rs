@@ -1,0 +1,183 @@
+//! The probability distributions the experiments sample from.
+//!
+//! Proof-of-work block discovery is memoryless, so mining delay is exponential
+//! with rate `hashrate / difficulty` ([`Exponential`]); network latency adds a
+//! bounded uniform jitter ([`UniformJitter`]).
+
+use rand::Rng;
+
+use crate::time::SimDuration;
+
+/// An exponential distribution with the given rate (events per second).
+///
+/// # Examples
+///
+/// ```
+/// use blockfed_sim::{Exponential, RngHub};
+///
+/// let exp = Exponential::new(2.0); // mean 0.5 s
+/// let mut rng = RngHub::new(1).stream("demo");
+/// let d = exp.sample(&mut rng);
+/// assert!(d.as_secs_f64() >= 0.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Exponential {
+    rate: f64,
+}
+
+impl Exponential {
+    /// Creates an exponential distribution with `rate` events per second.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is not strictly positive and finite.
+    pub fn new(rate: f64) -> Self {
+        assert!(rate > 0.0 && rate.is_finite(), "rate must be positive and finite");
+        Exponential { rate }
+    }
+
+    /// Creates the distribution from its mean instead of its rate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the mean is not strictly positive and finite.
+    pub fn from_mean(mean: SimDuration) -> Self {
+        let secs = mean.as_secs_f64();
+        assert!(secs > 0.0, "mean must be positive");
+        Exponential::new(1.0 / secs)
+    }
+
+    /// The rate parameter (events per second).
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+
+    /// The mean of the distribution.
+    pub fn mean(&self) -> SimDuration {
+        SimDuration::from_secs_f64(1.0 / self.rate)
+    }
+
+    /// Draws one delay.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> SimDuration {
+        // Inverse CDF; 1-u avoids ln(0).
+        let u: f64 = rng.gen_range(0.0..1.0);
+        SimDuration::from_secs_f64(-(1.0 - u).ln() / self.rate)
+    }
+}
+
+/// A latency jitter model: `base + U(0, spread)`.
+///
+/// # Examples
+///
+/// ```
+/// use blockfed_sim::{RngHub, SimDuration, UniformJitter};
+///
+/// let j = UniformJitter::new(SimDuration::from_millis(10), SimDuration::from_millis(5));
+/// let mut rng = RngHub::new(1).stream("demo");
+/// let d = j.sample(&mut rng);
+/// assert!(d >= SimDuration::from_millis(10));
+/// assert!(d <= SimDuration::from_millis(15));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UniformJitter {
+    base: SimDuration,
+    spread: SimDuration,
+}
+
+impl UniformJitter {
+    /// A jitter of `base` plus a uniform draw in `[0, spread]`.
+    pub fn new(base: SimDuration, spread: SimDuration) -> Self {
+        UniformJitter { base, spread }
+    }
+
+    /// A constant (jitter-free) delay.
+    pub fn constant(base: SimDuration) -> Self {
+        UniformJitter { base, spread: SimDuration::ZERO }
+    }
+
+    /// The fixed part of the delay.
+    pub fn base(&self) -> SimDuration {
+        self.base
+    }
+
+    /// The maximum random part of the delay.
+    pub fn spread(&self) -> SimDuration {
+        self.spread
+    }
+
+    /// Draws one delay.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> SimDuration {
+        if self.spread == SimDuration::ZERO {
+            return self.base;
+        }
+        let extra = rng.gen_range(0..=self.spread.as_nanos());
+        self.base + SimDuration::from_nanos(extra)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::RngHub;
+
+    #[test]
+    fn exponential_mean_is_close_to_configured() {
+        let exp = Exponential::from_mean(SimDuration::from_secs(13));
+        let mut rng = RngHub::new(42).stream("exp");
+        let n = 20_000;
+        let total: f64 = (0..n).map(|_| exp.sample(&mut rng).as_secs_f64()).sum();
+        let mean = total / f64::from(n);
+        assert!((mean - 13.0).abs() < 0.5, "empirical mean {mean}");
+    }
+
+    #[test]
+    fn exponential_rate_mean_inverse() {
+        let exp = Exponential::new(4.0);
+        assert!((exp.mean().as_secs_f64() - 0.25).abs() < 1e-12);
+        assert_eq!(exp.rate(), 4.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "rate must be positive")]
+    fn zero_rate_rejected() {
+        let _ = Exponential::new(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "mean must be positive")]
+    fn zero_mean_rejected() {
+        let _ = Exponential::from_mean(SimDuration::ZERO);
+    }
+
+    #[test]
+    fn jitter_stays_in_bounds() {
+        let j = UniformJitter::new(SimDuration::from_millis(3), SimDuration::from_millis(2));
+        let mut rng = RngHub::new(7).stream("jit");
+        for _ in 0..1000 {
+            let d = j.sample(&mut rng);
+            assert!(d >= SimDuration::from_millis(3));
+            assert!(d <= SimDuration::from_millis(5));
+        }
+    }
+
+    #[test]
+    fn constant_jitter_has_no_randomness() {
+        let j = UniformJitter::constant(SimDuration::from_micros(42));
+        let mut rng = RngHub::new(7).stream("jit");
+        for _ in 0..10 {
+            assert_eq!(j.sample(&mut rng), SimDuration::from_micros(42));
+        }
+        assert_eq!(j.spread(), SimDuration::ZERO);
+        assert_eq!(j.base(), SimDuration::from_micros(42));
+    }
+
+    #[test]
+    fn samples_are_deterministic_given_stream() {
+        let exp = Exponential::new(1.0);
+        let mut a = RngHub::new(5).stream("s");
+        let mut b = RngHub::new(5).stream("s");
+        for _ in 0..16 {
+            assert_eq!(exp.sample(&mut a), exp.sample(&mut b));
+        }
+    }
+}

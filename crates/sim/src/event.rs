@@ -1,0 +1,273 @@
+//! Timestamped event queues with deterministic tie-breaking.
+//!
+//! [`EventQueue`] is a min-heap keyed on `(time, insertion sequence)`, so two events
+//! scheduled for the same instant pop in the order they were pushed — the property
+//! that makes whole-simulation determinism possible. [`Scheduler`] adds a monotone
+//! clock on top.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::{SimDuration, SimTime};
+
+struct Entry<E> {
+    time: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want the earliest entry on top.
+        (other.time, other.seq).cmp(&(self.time, self.seq))
+    }
+}
+
+/// A deterministic priority queue of timestamped events.
+///
+/// Events with equal timestamps are returned in insertion order (FIFO), which keeps
+/// simulations reproducible regardless of heap internals.
+///
+/// # Examples
+///
+/// ```
+/// use blockfed_sim::{EventQueue, SimTime};
+///
+/// let mut q = EventQueue::new();
+/// q.push(SimTime::from_millis(2), "later");
+/// q.push(SimTime::from_millis(1), "sooner");
+/// assert_eq!(q.pop(), Some((SimTime::from_millis(1), "sooner")));
+/// ```
+#[derive(Default)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    seq: u64,
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue { heap: BinaryHeap::new(), seq: 0 }
+    }
+
+    /// Schedules `event` at absolute instant `time`.
+    pub fn push(&mut self, time: SimTime, event: E) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Entry { time, seq, event });
+    }
+
+    /// Removes and returns the earliest event, or `None` if the queue is empty.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        self.heap.pop().map(|e| (e.time, e.event))
+    }
+
+    /// The timestamp of the earliest pending event, if any.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.time)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Discards all pending events.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+impl<E> std::fmt::Debug for EventQueue<E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EventQueue")
+            .field("len", &self.heap.len())
+            .field("next_at", &self.peek_time())
+            .finish()
+    }
+}
+
+/// An [`EventQueue`] fused with a clock that only moves forward.
+///
+/// Popping an event advances the clock to the event's timestamp; scheduling in the
+/// past is rejected with a panic so timing bugs surface immediately.
+///
+/// # Examples
+///
+/// ```
+/// use blockfed_sim::{Scheduler, SimDuration, SimTime};
+///
+/// let mut s: Scheduler<u32> = Scheduler::new();
+/// s.schedule_after(SimDuration::from_secs(1), 7);
+/// let (t, ev) = s.next().unwrap();
+/// assert_eq!((t, ev), (SimTime::from_secs(1), 7));
+/// assert_eq!(s.now(), SimTime::from_secs(1));
+/// ```
+pub struct Scheduler<E> {
+    queue: EventQueue<E>,
+    now: SimTime,
+    processed: u64,
+}
+
+impl<E> Default for Scheduler<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> Scheduler<E> {
+    /// Creates a scheduler whose clock starts at [`SimTime::ZERO`].
+    pub fn new() -> Self {
+        Scheduler { queue: EventQueue::new(), now: SimTime::ZERO, processed: 0 }
+    }
+
+    /// The current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Total number of events processed so far.
+    pub fn processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// Schedules `event` at absolute instant `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is earlier than the current time.
+    pub fn schedule_at(&mut self, at: SimTime, event: E) {
+        assert!(at >= self.now, "cannot schedule into the past: {at} < {}", self.now);
+        self.queue.push(at, event);
+    }
+
+    /// Schedules `event` to fire `delay` after the current time.
+    pub fn schedule_after(&mut self, delay: SimDuration, event: E) {
+        let at = self.now.checked_add(delay).expect("schedule time overflow");
+        self.queue.push(at, event);
+    }
+
+    /// Pops the next event and advances the clock to its timestamp.
+    #[allow(clippy::should_implement_trait)]
+    pub fn next(&mut self) -> Option<(SimTime, E)> {
+        let (t, ev) = self.queue.pop()?;
+        debug_assert!(t >= self.now, "event queue yielded an event from the past");
+        self.now = t;
+        self.processed += 1;
+        Some((t, ev))
+    }
+
+    /// Number of pending events.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_idle(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// The timestamp of the next pending event, if any.
+    pub fn next_time(&self) -> Option<SimTime> {
+        self.queue.peek_time()
+    }
+}
+
+impl<E> std::fmt::Debug for Scheduler<E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Scheduler")
+            .field("now", &self.now)
+            .field("pending", &self.queue.len())
+            .field("processed", &self.processed)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_millis(3), 'c');
+        q.push(SimTime::from_millis(1), 'a');
+        q.push(SimTime::from_millis(2), 'b');
+        let order: Vec<char> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec!['a', 'b', 'c']);
+    }
+
+    #[test]
+    fn ties_pop_in_insertion_order() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_secs(1);
+        for i in 0..100 {
+            q.push(t, i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn peek_does_not_consume() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_secs(5), ());
+        assert_eq!(q.peek_time(), Some(SimTime::from_secs(5)));
+        assert_eq!(q.len(), 1);
+        q.clear();
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+    }
+
+    #[test]
+    fn scheduler_clock_advances_monotonically() {
+        let mut s: Scheduler<u8> = Scheduler::new();
+        s.schedule_after(SimDuration::from_secs(2), 2);
+        s.schedule_after(SimDuration::from_secs(1), 1);
+        assert_eq!(s.next_time(), Some(SimTime::from_secs(1)));
+        let mut last = SimTime::ZERO;
+        while let Some((t, _)) = s.next() {
+            assert!(t >= last);
+            last = t;
+        }
+        assert_eq!(s.processed(), 2);
+        assert!(s.is_idle());
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot schedule into the past")]
+    fn scheduling_into_past_panics() {
+        let mut s: Scheduler<u8> = Scheduler::new();
+        s.schedule_after(SimDuration::from_secs(1), 1);
+        s.next();
+        s.schedule_at(SimTime::from_millis(500), 9);
+    }
+
+    #[test]
+    fn schedule_relative_to_current_time() {
+        let mut s: Scheduler<&str> = Scheduler::new();
+        s.schedule_after(SimDuration::from_secs(1), "first");
+        s.next();
+        s.schedule_after(SimDuration::from_secs(1), "second");
+        let (t, _) = s.next().unwrap();
+        assert_eq!(t, SimTime::from_secs(2));
+    }
+}

@@ -1,0 +1,214 @@
+//! Timestamped experiment traces and named counters.
+//!
+//! The experiment drivers record what happened when ([`Trace`]) and how often
+//! ([`Counters`]); the report layer turns these into the tables and figures.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::time::{SimDuration, SimTime};
+
+/// One recorded trace entry.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceEntry {
+    /// When the event happened.
+    pub time: SimTime,
+    /// Free-form label, e.g. `"block.sealed"`.
+    pub label: String,
+    /// Free-form detail, e.g. the block hash.
+    pub detail: String,
+}
+
+/// An append-only, timestamped log of notable simulation events.
+///
+/// # Examples
+///
+/// ```
+/// use blockfed_sim::{SimTime, Trace};
+///
+/// let mut trace = Trace::new();
+/// trace.record(SimTime::from_secs(1), "block.sealed", "#1");
+/// trace.record(SimTime::from_secs(2), "block.sealed", "#2");
+/// assert_eq!(trace.count("block.sealed"), 2);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Trace {
+    entries: Vec<TraceEntry>,
+}
+
+impl Trace {
+    /// Creates an empty trace.
+    pub fn new() -> Self {
+        Trace::default()
+    }
+
+    /// Appends an entry.
+    pub fn record(&mut self, time: SimTime, label: impl Into<String>, detail: impl Into<String>) {
+        self.entries.push(TraceEntry { time, label: label.into(), detail: detail.into() });
+    }
+
+    /// All entries, in recording order.
+    pub fn entries(&self) -> &[TraceEntry] {
+        &self.entries
+    }
+
+    /// Number of entries with the given label.
+    pub fn count(&self, label: &str) -> usize {
+        self.entries.iter().filter(|e| e.label == label).count()
+    }
+
+    /// All entries with the given label, in recording order.
+    pub fn with_label<'a>(&'a self, label: &'a str) -> impl Iterator<Item = &'a TraceEntry> + 'a {
+        self.entries.iter().filter(move |e| e.label == label)
+    }
+
+    /// Timestamps of entries with the given label.
+    pub fn times_of(&self, label: &str) -> Vec<SimTime> {
+        self.with_label(label).map(|e| e.time).collect()
+    }
+
+    /// Mean interval between consecutive entries with the given label,
+    /// or `None` if fewer than two such entries exist.
+    pub fn mean_interval(&self, label: &str) -> Option<SimDuration> {
+        let times = self.times_of(label);
+        if times.len() < 2 {
+            return None;
+        }
+        let total = times.last().unwrap().since(times[0]);
+        Some(total / (times.len() as u64 - 1))
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+impl fmt::Display for Trace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for e in &self.entries {
+            writeln!(f, "{} {} {}", e.time, e.label, e.detail)?;
+        }
+        Ok(())
+    }
+}
+
+/// Named monotonic counters and gauges for experiment accounting.
+///
+/// # Examples
+///
+/// ```
+/// use blockfed_sim::Counters;
+///
+/// let mut c = Counters::new();
+/// c.incr("tx.included", 3.0);
+/// c.incr("tx.included", 2.0);
+/// assert_eq!(c.get("tx.included"), 5.0);
+/// assert_eq!(c.get("missing"), 0.0);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Counters {
+    values: BTreeMap<String, f64>,
+}
+
+impl Counters {
+    /// Creates an empty set of counters.
+    pub fn new() -> Self {
+        Counters::default()
+    }
+
+    /// Adds `by` to the counter `name` (creating it at zero if absent).
+    pub fn incr(&mut self, name: &str, by: f64) {
+        *self.values.entry(name.to_owned()).or_insert(0.0) += by;
+    }
+
+    /// Sets gauge `name` to `value`.
+    pub fn set(&mut self, name: &str, value: f64) {
+        self.values.insert(name.to_owned(), value);
+    }
+
+    /// Current value of `name`, or `0.0` if never touched.
+    pub fn get(&self, name: &str) -> f64 {
+        self.values.get(name).copied().unwrap_or(0.0)
+    }
+
+    /// Iterates over `(name, value)` pairs in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, f64)> {
+        self.values.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// Merges another counter set into this one by addition.
+    pub fn merge(&mut self, other: &Counters) {
+        for (k, v) in other.iter() {
+            self.incr(k, v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_counts_and_filters() {
+        let mut t = Trace::new();
+        t.record(SimTime::from_secs(1), "a", "1");
+        t.record(SimTime::from_secs(2), "b", "2");
+        t.record(SimTime::from_secs(3), "a", "3");
+        assert_eq!(t.count("a"), 2);
+        assert_eq!(t.count("b"), 1);
+        assert_eq!(t.count("c"), 0);
+        assert_eq!(t.len(), 3);
+        assert!(!t.is_empty());
+        let details: Vec<&str> = t.with_label("a").map(|e| e.detail.as_str()).collect();
+        assert_eq!(details, vec!["1", "3"]);
+    }
+
+    #[test]
+    fn mean_interval_between_blocks() {
+        let mut t = Trace::new();
+        for i in 0..5u64 {
+            t.record(SimTime::from_secs(13 * i), "block", format!("#{i}"));
+        }
+        assert_eq!(t.mean_interval("block"), Some(SimDuration::from_secs(13)));
+        assert_eq!(t.mean_interval("nothing"), None);
+        let mut single = Trace::new();
+        single.record(SimTime::ZERO, "block", "#0");
+        assert_eq!(single.mean_interval("block"), None);
+    }
+
+    #[test]
+    fn display_renders_each_entry() {
+        let mut t = Trace::new();
+        t.record(SimTime::from_secs(1), "x", "y");
+        let s = t.to_string();
+        assert!(s.contains('x'));
+        assert!(s.contains('y'));
+    }
+
+    #[test]
+    fn counters_incr_set_get_merge() {
+        let mut c = Counters::new();
+        c.incr("a", 1.0);
+        c.incr("a", 2.0);
+        c.set("b", 10.0);
+        assert_eq!(c.get("a"), 3.0);
+        assert_eq!(c.get("b"), 10.0);
+
+        let mut d = Counters::new();
+        d.incr("a", 5.0);
+        d.incr("c", 1.0);
+        c.merge(&d);
+        assert_eq!(c.get("a"), 8.0);
+        assert_eq!(c.get("c"), 1.0);
+        let names: Vec<&str> = c.iter().map(|(k, _)| k).collect();
+        assert_eq!(names, vec!["a", "b", "c"]);
+    }
+}

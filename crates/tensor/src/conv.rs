@@ -1,0 +1,228 @@
+//! 2-D convolution via im2col, plus average pooling.
+//!
+//! Used by the image-like models in `blockfed-nn`. Layout is NCHW
+//! (`[batch, channels, height, width]`) flattened row-major.
+
+use crate::matmul::matmul_bt;
+use crate::tensor::Tensor;
+
+/// Parameters of a 2-D convolution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Conv2dSpec {
+    /// Input channels.
+    pub in_channels: usize,
+    /// Output channels.
+    pub out_channels: usize,
+    /// Square kernel size.
+    pub kernel: usize,
+    /// Stride in both dimensions.
+    pub stride: usize,
+    /// Zero padding on each side.
+    pub padding: usize,
+}
+
+impl Conv2dSpec {
+    /// Output spatial size for an input of `h × w`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the kernel does not fit the padded input.
+    pub fn output_size(&self, h: usize, w: usize) -> (usize, usize) {
+        let eff_h = h + 2 * self.padding;
+        let eff_w = w + 2 * self.padding;
+        assert!(
+            eff_h >= self.kernel && eff_w >= self.kernel,
+            "kernel {} larger than padded input {eff_h}x{eff_w}",
+            self.kernel
+        );
+        ((eff_h - self.kernel) / self.stride + 1, (eff_w - self.kernel) / self.stride + 1)
+    }
+}
+
+/// Unfolds image patches into rows: input `[n, c, h, w]` becomes
+/// `[n * oh * ow, c * k * k]`.
+///
+/// # Panics
+///
+/// Panics if the input is not 4-D or the channel count disagrees with `spec`.
+pub fn im2col(input: &Tensor, spec: &Conv2dSpec) -> Tensor {
+    assert_eq!(input.ndim(), 4, "im2col requires NCHW input");
+    let (n, c, h, w) =
+        (input.shape()[0], input.shape()[1], input.shape()[2], input.shape()[3]);
+    assert_eq!(c, spec.in_channels, "channel mismatch");
+    let (oh, ow) = spec.output_size(h, w);
+    let k = spec.kernel;
+    let cols = c * k * k;
+    let mut out = vec![0.0f32; n * oh * ow * cols];
+    let iv = input.as_slice();
+    let mut row = 0usize;
+    for img in 0..n {
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let base = row * cols;
+                for ch in 0..c {
+                    for ky in 0..k {
+                        let iy = (oy * spec.stride + ky) as isize - spec.padding as isize;
+                        for kx in 0..k {
+                            let ix = (ox * spec.stride + kx) as isize - spec.padding as isize;
+                            let dst = base + ch * k * k + ky * k + kx;
+                            if iy >= 0 && iy < h as isize && ix >= 0 && ix < w as isize {
+                                let src = ((img * c + ch) * h + iy as usize) * w + ix as usize;
+                                out[dst] = iv[src];
+                            }
+                        }
+                    }
+                }
+                row += 1;
+            }
+        }
+    }
+    Tensor::from_vec(out, &[n * oh * ow, cols])
+}
+
+/// Convolution forward pass: weights `[out_channels, c*k*k]`, bias
+/// `[out_channels]`, input `[n, c, h, w]` → output `[n, out_channels, oh, ow]`.
+///
+/// # Panics
+///
+/// Panics on any shape mismatch.
+pub fn conv2d_forward(
+    input: &Tensor,
+    weights: &Tensor,
+    bias: &Tensor,
+    spec: &Conv2dSpec,
+) -> Tensor {
+    let (n, h, w) = (input.shape()[0], input.shape()[2], input.shape()[3]);
+    let (oh, ow) = spec.output_size(h, w);
+    assert_eq!(weights.shape(), &[spec.out_channels, spec.in_channels * spec.kernel * spec.kernel]);
+    assert_eq!(bias.numel(), spec.out_channels, "bias length mismatch");
+    let cols = im2col(input, spec); // [n*oh*ow, c*k*k]
+    let prod = matmul_bt(&cols, weights); // [n*oh*ow, out_channels]
+    let biased = prod.add_row_broadcast(bias);
+    // Rearrange [n*oh*ow, oc] -> [n, oc, oh, ow]
+    let oc = spec.out_channels;
+    let mut out = vec![0.0f32; n * oc * oh * ow];
+    let bv = biased.as_slice();
+    for img in 0..n {
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let row = (img * oh + oy) * ow + ox;
+                for ch in 0..oc {
+                    out[((img * oc + ch) * oh + oy) * ow + ox] = bv[row * oc + ch];
+                }
+            }
+        }
+    }
+    Tensor::from_vec(out, &[n, oc, oh, ow])
+}
+
+/// Global average pooling: `[n, c, h, w]` → `[n, c]`.
+///
+/// # Panics
+///
+/// Panics if the input is not 4-D.
+pub fn global_avg_pool(input: &Tensor) -> Tensor {
+    assert_eq!(input.ndim(), 4, "global_avg_pool requires NCHW input");
+    let (n, c, h, w) =
+        (input.shape()[0], input.shape()[1], input.shape()[2], input.shape()[3]);
+    let hw = (h * w) as f32;
+    let iv = input.as_slice();
+    let mut out = vec![0.0f32; n * c];
+    for img in 0..n {
+        for ch in 0..c {
+            let base = (img * c + ch) * h * w;
+            let s: f32 = iv[base..base + h * w].iter().sum();
+            out[img * c + ch] = s / hw;
+        }
+    }
+    Tensor::from_vec(out, &[n, c])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn output_size_math() {
+        let spec = Conv2dSpec { in_channels: 1, out_channels: 1, kernel: 3, stride: 1, padding: 1 };
+        assert_eq!(spec.output_size(8, 8), (8, 8));
+        let spec2 = Conv2dSpec { in_channels: 1, out_channels: 1, kernel: 3, stride: 2, padding: 0 };
+        assert_eq!(spec2.output_size(7, 7), (3, 3));
+    }
+
+    #[test]
+    #[should_panic(expected = "larger than padded input")]
+    fn kernel_too_big_panics() {
+        let spec = Conv2dSpec { in_channels: 1, out_channels: 1, kernel: 5, stride: 1, padding: 0 };
+        let _ = spec.output_size(3, 3);
+    }
+
+    #[test]
+    fn im2col_identity_kernel_layout() {
+        // 1 image, 1 channel, 3x3 input, 2x2 kernel, stride 1, no padding.
+        let input = Tensor::from_vec((1..=9).map(|x| x as f32).collect(), &[1, 1, 3, 3]);
+        let spec = Conv2dSpec { in_channels: 1, out_channels: 1, kernel: 2, stride: 1, padding: 0 };
+        let cols = im2col(&input, &spec);
+        assert_eq!(cols.shape(), &[4, 4]);
+        // First patch is the top-left 2x2 block.
+        assert_eq!(cols.row(0), &[1.0, 2.0, 4.0, 5.0]);
+        assert_eq!(cols.row(3), &[5.0, 6.0, 8.0, 9.0]);
+    }
+
+    #[test]
+    fn conv_with_averaging_kernel() {
+        let input = Tensor::from_vec((1..=9).map(|x| x as f32).collect(), &[1, 1, 3, 3]);
+        let spec = Conv2dSpec { in_channels: 1, out_channels: 1, kernel: 2, stride: 1, padding: 0 };
+        let weights = Tensor::full(&[1, 4], 0.25);
+        let bias = Tensor::zeros(&[1]);
+        let out = conv2d_forward(&input, &weights, &bias, &spec);
+        assert_eq!(out.shape(), &[1, 1, 2, 2]);
+        assert_eq!(out.as_slice(), &[3.0, 4.0, 6.0, 7.0]);
+    }
+
+    #[test]
+    fn conv_bias_is_added_per_channel() {
+        let input = Tensor::zeros(&[1, 1, 2, 2]);
+        let spec = Conv2dSpec { in_channels: 1, out_channels: 3, kernel: 1, stride: 1, padding: 0 };
+        let weights = Tensor::zeros(&[3, 1]);
+        let bias = Tensor::from_vec(vec![1.0, 2.0, 3.0], &[3]);
+        let out = conv2d_forward(&input, &weights, &bias, &spec);
+        assert_eq!(out.shape(), &[1, 3, 2, 2]);
+        assert_eq!(out.get(&[0, 0, 0, 0]), 1.0);
+        assert_eq!(out.get(&[0, 1, 1, 1]), 2.0);
+        assert_eq!(out.get(&[0, 2, 0, 1]), 3.0);
+    }
+
+    #[test]
+    fn padding_adds_zeros() {
+        let input = Tensor::ones(&[1, 1, 2, 2]);
+        let spec = Conv2dSpec { in_channels: 1, out_channels: 1, kernel: 3, stride: 1, padding: 1 };
+        let weights = Tensor::ones(&[1, 9]);
+        let bias = Tensor::zeros(&[1]);
+        let out = conv2d_forward(&input, &weights, &bias, &spec);
+        assert_eq!(out.shape(), &[1, 1, 2, 2]);
+        // Every output sums the 4 ones (corners of the padded window).
+        assert_eq!(out.as_slice(), &[4.0, 4.0, 4.0, 4.0]);
+    }
+
+    #[test]
+    fn global_avg_pool_means() {
+        let input = Tensor::from_vec(vec![1.0, 3.0, 5.0, 7.0, 10.0, 20.0, 30.0, 40.0], &[1, 2, 2, 2]);
+        let out = global_avg_pool(&input);
+        assert_eq!(out.shape(), &[1, 2]);
+        assert_eq!(out.as_slice(), &[4.0, 25.0]);
+    }
+
+    #[test]
+    fn batch_dimension_is_respected() {
+        let mut data = vec![0.0f32; 2 * 2 * 2];
+        data[4..].copy_from_slice(&[1.0, 1.0, 1.0, 1.0]);
+        let input = Tensor::from_vec(data, &[2, 1, 2, 2]);
+        let spec = Conv2dSpec { in_channels: 1, out_channels: 1, kernel: 2, stride: 1, padding: 0 };
+        let weights = Tensor::ones(&[1, 4]);
+        let bias = Tensor::zeros(&[1]);
+        let out = conv2d_forward(&input, &weights, &bias, &spec);
+        assert_eq!(out.shape(), &[2, 1, 1, 1]);
+        assert_eq!(out.as_slice(), &[0.0, 4.0]);
+    }
+}

@@ -1,0 +1,170 @@
+//! Numerically careful tensor operations used by losses and metrics.
+
+use crate::tensor::Tensor;
+
+/// Row-wise softmax of a 2-D tensor, computed with the max-subtraction trick.
+///
+/// # Panics
+///
+/// Panics if the tensor is not 2-D.
+///
+/// # Examples
+///
+/// ```
+/// use blockfed_tensor::{ops::softmax_rows, Tensor};
+///
+/// let logits = Tensor::from_vec(vec![1.0, 1.0, 1.0, 1.0], &[2, 2]);
+/// let p = softmax_rows(&logits);
+/// assert!((p.get(&[0, 0]) - 0.5).abs() < 1e-6);
+/// ```
+pub fn softmax_rows(logits: &Tensor) -> Tensor {
+    assert_eq!(logits.ndim(), 2, "softmax_rows requires a 2-D tensor");
+    let (rows, cols) = (logits.shape()[0], logits.shape()[1]);
+    let mut out = logits.clone();
+    for r in 0..rows {
+        let row = out.row_mut(r);
+        let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let mut denom = 0.0f32;
+        for v in row.iter_mut() {
+            *v = (*v - max).exp();
+            denom += *v;
+        }
+        if denom > 0.0 {
+            for v in row.iter_mut() {
+                *v /= denom;
+            }
+        } else {
+            let uniform = 1.0 / cols as f32;
+            for v in row.iter_mut() {
+                *v = uniform;
+            }
+        }
+    }
+    out
+}
+
+/// Row-wise log-softmax (softmax in log space; used by cross-entropy).
+///
+/// # Panics
+///
+/// Panics if the tensor is not 2-D.
+pub fn log_softmax_rows(logits: &Tensor) -> Tensor {
+    assert_eq!(logits.ndim(), 2, "log_softmax_rows requires a 2-D tensor");
+    let rows = logits.shape()[0];
+    let mut out = logits.clone();
+    for r in 0..rows {
+        let row = out.row_mut(r);
+        let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let log_denom = row.iter().map(|&v| (v - max).exp()).sum::<f32>().ln() + max;
+        for v in row.iter_mut() {
+            *v -= log_denom;
+        }
+    }
+    out
+}
+
+/// Rectified linear unit, elementwise.
+pub fn relu(x: &Tensor) -> Tensor {
+    x.map(|v| v.max(0.0))
+}
+
+/// Gradient mask of ReLU: passes `grad` where the forward input was positive.
+///
+/// # Panics
+///
+/// Panics if the shapes differ.
+pub fn relu_backward(grad: &Tensor, input: &Tensor) -> Tensor {
+    grad.zip_map(input, |g, x| if x > 0.0 { g } else { 0.0 })
+}
+
+/// Clamps every element into `[lo, hi]`.
+///
+/// # Panics
+///
+/// Panics if `lo > hi`.
+pub fn clip(x: &Tensor, lo: f32, hi: f32) -> Tensor {
+    assert!(lo <= hi, "clip bounds inverted");
+    x.map(|v| v.clamp(lo, hi))
+}
+
+/// Fraction of rows of `predictions` (2-D logits or probabilities) whose argmax
+/// equals the label.
+///
+/// # Panics
+///
+/// Panics if `labels.len()` differs from the row count.
+pub fn accuracy(predictions: &Tensor, labels: &[usize]) -> f64 {
+    assert_eq!(predictions.shape()[0], labels.len(), "label count mismatch");
+    if labels.is_empty() {
+        return 0.0;
+    }
+    let preds = predictions.argmax_rows();
+    let correct = preds.iter().zip(labels).filter(|(p, l)| p == l).count();
+    correct as f64 / labels.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let logits = Tensor::from_vec(vec![1.0, 2.0, 3.0, -5.0, 0.0, 5.0], &[2, 3]);
+        let p = softmax_rows(&logits);
+        for r in 0..2 {
+            let s: f32 = p.row(r).iter().sum();
+            assert!((s - 1.0).abs() < 1e-6, "row {r} sums to {s}");
+            assert!(p.row(r).iter().all(|&v| (0.0..=1.0).contains(&v)));
+        }
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0], &[1, 3]);
+        let b = a.map(|v| v + 100.0);
+        assert!(softmax_rows(&a).max_abs_diff(&softmax_rows(&b)) < 1e-6);
+    }
+
+    #[test]
+    fn softmax_handles_extreme_logits() {
+        let logits = Tensor::from_vec(vec![1000.0, -1000.0], &[1, 2]);
+        let p = softmax_rows(&logits);
+        assert!(p.all_finite());
+        assert!((p.get(&[0, 0]) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn log_softmax_matches_log_of_softmax() {
+        let logits = Tensor::from_vec(vec![0.5, -1.0, 2.0, 0.0, 0.1, 0.2], &[2, 3]);
+        let a = log_softmax_rows(&logits);
+        let b = softmax_rows(&logits).map(|v| v.ln());
+        assert!(a.max_abs_diff(&b) < 1e-5);
+    }
+
+    #[test]
+    fn relu_and_backward() {
+        let x = Tensor::from_vec(vec![-1.0, 0.0, 2.0], &[3]);
+        assert_eq!(relu(&x).as_slice(), &[0.0, 0.0, 2.0]);
+        let g = Tensor::from_vec(vec![5.0, 5.0, 5.0], &[3]);
+        assert_eq!(relu_backward(&g, &x).as_slice(), &[0.0, 0.0, 5.0]);
+    }
+
+    #[test]
+    fn clip_bounds() {
+        let x = Tensor::from_vec(vec![-10.0, 0.5, 10.0], &[3]);
+        assert_eq!(clip(&x, -1.0, 1.0).as_slice(), &[-1.0, 0.5, 1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "clip bounds inverted")]
+    fn clip_rejects_inverted_bounds() {
+        let _ = clip(&Tensor::zeros(&[1]), 1.0, -1.0);
+    }
+
+    #[test]
+    fn accuracy_counts_matches() {
+        let preds = Tensor::from_vec(vec![0.9, 0.1, 0.2, 0.8, 0.6, 0.4], &[3, 2]);
+        assert!((accuracy(&preds, &[0, 1, 1]) - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(accuracy(&Tensor::zeros(&[0, 2]), &[]), 0.0);
+    }
+}

@@ -1,0 +1,283 @@
+//! A tiny MiniVM assembler: one instruction per line, `;` comments, `name:`
+//! labels, and `@name` label references in `PUSH8` operands.
+//!
+//! Exists so contracts and tests are written in readable mnemonics instead of
+//! hand-counted byte offsets.
+
+use std::collections::HashMap;
+
+use blockfed_crypto::U256;
+
+use crate::opcode::Opcode;
+
+/// Error assembling MiniVM source.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AsmError {
+    /// Unknown mnemonic.
+    UnknownMnemonic {
+        /// 1-based source line.
+        line: usize,
+        /// The offending token.
+        token: String,
+    },
+    /// The instruction's operand is missing or malformed.
+    BadOperand {
+        /// 1-based source line.
+        line: usize,
+    },
+    /// A `@label` reference has no definition.
+    UndefinedLabel {
+        /// The missing label.
+        label: String,
+    },
+    /// The same label is defined twice.
+    DuplicateLabel {
+        /// The repeated label.
+        label: String,
+    },
+}
+
+impl std::fmt::Display for AsmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AsmError::UnknownMnemonic { line, token } => {
+                write!(f, "line {line}: unknown mnemonic `{token}`")
+            }
+            AsmError::BadOperand { line } => write!(f, "line {line}: bad operand"),
+            AsmError::UndefinedLabel { label } => write!(f, "undefined label `{label}`"),
+            AsmError::DuplicateLabel { label } => write!(f, "duplicate label `{label}`"),
+        }
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+fn mnemonic_to_opcode(m: &str) -> Option<Opcode> {
+    Some(match m.to_ascii_uppercase().as_str() {
+        "STOP" => Opcode::Stop,
+        "ADD" => Opcode::Add,
+        "SUB" => Opcode::Sub,
+        "MUL" => Opcode::Mul,
+        "DIV" => Opcode::Div,
+        "MOD" => Opcode::Mod,
+        "LT" => Opcode::Lt,
+        "GT" => Opcode::Gt,
+        "EQ" => Opcode::Eq,
+        "ISZERO" => Opcode::IsZero,
+        "AND" => Opcode::And,
+        "OR" => Opcode::Or,
+        "XOR" => Opcode::Xor,
+        "NOT" => Opcode::Not,
+        "CALLER" => Opcode::Caller,
+        "CALLDATASIZE" => Opcode::CallDataSize,
+        "CALLDATALOAD" => Opcode::CallDataLoad,
+        "TIMESTAMP" => Opcode::Timestamp,
+        "NUMBER" => Opcode::Number,
+        "POP" => Opcode::Pop,
+        "SLOAD" => Opcode::SLoad,
+        "SSTORE" => Opcode::SStore,
+        "JUMP" => Opcode::Jump,
+        "JUMPI" => Opcode::JumpI,
+        "PC" => Opcode::Pc,
+        "JUMPDEST" => Opcode::JumpDest,
+        "PUSH8" | "PUSH" => Opcode::Push8,
+        "PUSH32" => Opcode::Push32,
+        "DUP1" => Opcode::Dup1,
+        "DUP2" => Opcode::Dup2,
+        "SWAP1" => Opcode::Swap1,
+        "LOG1" => Opcode::Log1,
+        "RETURN" => Opcode::Return,
+        "REVERT" => Opcode::Revert,
+        _ => return None,
+    })
+}
+
+enum Operand {
+    None,
+    Value(U256),
+    Label(String),
+}
+
+/// Assembles MiniVM source into bytecode.
+///
+/// # Errors
+///
+/// Returns [`AsmError`] on unknown mnemonics, malformed operands, and
+/// undefined or duplicate labels.
+///
+/// # Examples
+///
+/// ```
+/// use blockfed_vm::asm::assemble;
+///
+/// let code = assemble("PUSH8 1\nPUSH8 2\nADD\nPUSH8 1\nRETURN")?;
+/// assert!(!code.is_empty());
+/// # Ok::<(), blockfed_vm::asm::AsmError>(())
+/// ```
+pub fn assemble(source: &str) -> Result<Vec<u8>, AsmError> {
+    struct Item {
+        op: Opcode,
+        operand: Operand,
+        line: usize,
+    }
+
+    let mut items = Vec::new();
+    let mut labels: HashMap<String, u64> = HashMap::new();
+    let mut offset: u64 = 0;
+
+    for (lineno, raw) in source.lines().enumerate() {
+        let line = lineno + 1;
+        let text = raw.split(';').next().unwrap_or("").trim();
+        if text.is_empty() {
+            continue;
+        }
+        let mut rest = text;
+        // Leading label definitions ("name:").
+        while let Some(colon) = rest.find(':') {
+            let (candidate, after) = rest.split_at(colon);
+            let candidate = candidate.trim();
+            if candidate.is_empty() || candidate.contains(char::is_whitespace) {
+                break;
+            }
+            if labels.insert(candidate.to_owned(), offset).is_some() {
+                return Err(AsmError::DuplicateLabel { label: candidate.to_owned() });
+            }
+            rest = after[1..].trim();
+        }
+        if rest.is_empty() {
+            continue;
+        }
+        let mut parts = rest.split_whitespace();
+        let mnemonic = parts.next().expect("nonempty");
+        let op = mnemonic_to_opcode(mnemonic).ok_or_else(|| AsmError::UnknownMnemonic {
+            line,
+            token: mnemonic.to_owned(),
+        })?;
+        let operand = match op.immediate_len() {
+            0 => {
+                if parts.next().is_some() {
+                    return Err(AsmError::BadOperand { line });
+                }
+                Operand::None
+            }
+            _ => {
+                let tok = parts.next().ok_or(AsmError::BadOperand { line })?;
+                if parts.next().is_some() {
+                    return Err(AsmError::BadOperand { line });
+                }
+                if let Some(label) = tok.strip_prefix('@') {
+                    Operand::Label(label.to_owned())
+                } else if let Some(hex) = tok.strip_prefix("0x") {
+                    Operand::Value(U256::from_hex(hex).ok_or(AsmError::BadOperand { line })?)
+                } else {
+                    let v: u128 =
+                        tok.parse().map_err(|_| AsmError::BadOperand { line })?;
+                    Operand::Value(U256::from_u128(v))
+                }
+            }
+        };
+        offset += 1 + op.immediate_len() as u64;
+        items.push(Item { op, operand, line });
+    }
+
+    let mut code = Vec::with_capacity(offset as usize);
+    for item in items {
+        code.push(item.op as u8);
+        match (&item.operand, item.op.immediate_len()) {
+            (Operand::None, 0) => {}
+            (Operand::Value(v), 8) => {
+                if v.bits() > 64 {
+                    return Err(AsmError::BadOperand { line: item.line });
+                }
+                code.extend_from_slice(&v.low_u64().to_be_bytes());
+            }
+            (Operand::Value(v), 32) => code.extend_from_slice(&v.to_be_bytes()),
+            (Operand::Label(l), width) => {
+                let dest = *labels
+                    .get(l.as_str())
+                    .ok_or_else(|| AsmError::UndefinedLabel { label: l.clone() })?;
+                if width == 8 {
+                    code.extend_from_slice(&dest.to_be_bytes());
+                } else {
+                    code.extend_from_slice(&U256::from_u64(dest).to_be_bytes());
+                }
+            }
+            _ => return Err(AsmError::BadOperand { line: item.line }),
+        }
+    }
+    Ok(code)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn assembles_simple_program() {
+        let code = assemble("PUSH8 5\nPUSH8 3\nADD").unwrap();
+        assert_eq!(code.len(), 9 + 9 + 1);
+        assert_eq!(code[0], Opcode::Push8 as u8);
+        assert_eq!(code[8], 5);
+        assert_eq!(code[18], Opcode::Add as u8);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let code = assemble("; a comment\n\nSTOP ; trailing\n").unwrap();
+        assert_eq!(code, vec![Opcode::Stop as u8]);
+    }
+
+    #[test]
+    fn hex_and_decimal_operands() {
+        let code = assemble("PUSH8 0xff").unwrap();
+        assert_eq!(code[8], 255);
+        let code = assemble("PUSH8 255").unwrap();
+        assert_eq!(code[8], 255);
+        let code = assemble("PUSH32 0xdeadbeef").unwrap();
+        assert_eq!(code.len(), 33);
+        assert_eq!(&code[29..33], &[0xde, 0xad, 0xbe, 0xef]);
+    }
+
+    #[test]
+    fn labels_resolve_to_offsets() {
+        let code = assemble("start:\nPUSH8 @end\nJUMP\nend:\nJUMPDEST\nSTOP").unwrap();
+        // PUSH8 (9 bytes) + JUMP (1) = offset 10 for `end`.
+        assert_eq!(code[8], 10);
+        assert_eq!(code[10], Opcode::JumpDest as u8);
+    }
+
+    #[test]
+    fn forward_and_backward_labels() {
+        let src = "loop:\nJUMPDEST\nPUSH8 @loop\nJUMP";
+        let code = assemble(src).unwrap();
+        assert_eq!(code[9], 0, "backward label points at offset 0");
+    }
+
+    #[test]
+    fn errors() {
+        assert!(matches!(
+            assemble("BOGUS"),
+            Err(AsmError::UnknownMnemonic { line: 1, .. })
+        ));
+        assert_eq!(assemble("PUSH8"), Err(AsmError::BadOperand { line: 1 }));
+        assert_eq!(assemble("PUSH8 zz"), Err(AsmError::BadOperand { line: 1 }));
+        assert_eq!(assemble("ADD 5"), Err(AsmError::BadOperand { line: 1 }));
+        assert!(matches!(
+            assemble("PUSH8 @nowhere\nJUMP"),
+            Err(AsmError::UndefinedLabel { .. })
+        ));
+        assert!(matches!(
+            assemble("a:\nSTOP\na:\nSTOP"),
+            Err(AsmError::DuplicateLabel { .. })
+        ));
+    }
+
+    #[test]
+    fn error_display() {
+        let e = assemble("BOGUS").unwrap_err();
+        assert!(e.to_string().contains("BOGUS"));
+        assert!(AsmError::BadOperand { line: 3 }.to_string().contains('3'));
+        assert!(AsmError::UndefinedLabel { label: "x".into() }.to_string().contains('x'));
+        assert!(AsmError::DuplicateLabel { label: "y".into() }.to_string().contains('y'));
+    }
+}

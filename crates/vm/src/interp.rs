@@ -1,0 +1,558 @@
+//! The MiniVM interpreter.
+
+use blockfed_chain::{CallContext, ExecOutcome, LogEntry, State};
+use blockfed_crypto::{H256, U256};
+
+use crate::opcode::Opcode;
+
+/// Extra gas charged when an `SSTORE` turns a zero slot non-zero (mirrors the
+/// EVM's cold-write surcharge).
+pub const SSTORE_INIT_SURCHARGE: u64 = 15_000;
+/// Maximum stack depth.
+pub const STACK_LIMIT: usize = 1024;
+/// Maximum words a `RETURN` may emit.
+pub const RETURN_LIMIT: u64 = 16;
+
+/// Why execution stopped abnormally (folded into a revert outcome).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Fault {
+    OutOfGas,
+    StackUnderflow,
+    StackOverflow,
+    InvalidOpcode,
+    InvalidJump,
+    TruncatedImmediate,
+    ReturnTooLarge,
+    Reverted,
+}
+
+/// Executes MiniVM bytecode under a call context.
+///
+/// Any fault (bad opcode, stack underflow, invalid jump, out of gas) produces a
+/// reverted [`ExecOutcome`]; the chain's executor rolls the state back.
+pub fn run(ctx: &CallContext, code: &[u8], state: &mut State) -> ExecOutcome {
+    let mut stack: Vec<U256> = Vec::with_capacity(32);
+    let mut logs: Vec<LogEntry> = Vec::new();
+    let mut gas_used: u64 = 0;
+    let mut pc: usize = 0;
+
+    // Pre-scan valid jump destinations (must not sit inside an immediate).
+    let mut jumpdests = vec![false; code.len()];
+    {
+        let mut i = 0usize;
+        while i < code.len() {
+            match Opcode::from_byte(code[i]) {
+                Some(Opcode::JumpDest) => {
+                    jumpdests[i] = true;
+                    i += 1;
+                }
+                Some(op) => i += 1 + op.immediate_len(),
+                None => i += 1,
+            }
+        }
+    }
+
+    macro_rules! fault {
+        ($f:expr) => {{
+            let f: Fault = $f;
+            let gas = if f == Fault::OutOfGas { ctx.gas_budget } else { gas_used };
+            return ExecOutcome { success: false, gas_used: gas, output: Vec::new(), logs: Vec::new() };
+        }};
+    }
+
+    macro_rules! pop {
+        () => {
+            match stack.pop() {
+                Some(v) => v,
+                None => fault!(Fault::StackUnderflow),
+            }
+        };
+    }
+
+    macro_rules! push {
+        ($v:expr) => {{
+            if stack.len() >= STACK_LIMIT {
+                fault!(Fault::StackOverflow);
+            }
+            stack.push($v);
+        }};
+    }
+
+    loop {
+        if pc >= code.len() {
+            // Running off the end halts successfully, like STOP.
+            return ExecOutcome { success: true, gas_used, output: Vec::new(), logs };
+        }
+        let op = match Opcode::from_byte(code[pc]) {
+            Some(op) => op,
+            None => fault!(Fault::InvalidOpcode),
+        };
+        let mut cost = op.base_gas();
+        // Look ahead for the SSTORE surcharge before charging.
+        if op == Opcode::SStore {
+            if let (Some(key), Some(_value)) =
+                (stack.len().checked_sub(1).map(|i| stack[i]), stack.len().checked_sub(2).map(|i| stack[i]))
+            {
+                let slot = H256::from_bytes(key.to_be_bytes());
+                if state.storage_get(&ctx.contract, &slot).is_zero() {
+                    cost += SSTORE_INIT_SURCHARGE;
+                }
+            }
+        }
+        if gas_used.saturating_add(cost) > ctx.gas_budget {
+            fault!(Fault::OutOfGas);
+        }
+        gas_used += cost;
+
+        match op {
+            Opcode::Stop => {
+                return ExecOutcome { success: true, gas_used, output: Vec::new(), logs };
+            }
+            Opcode::Add => {
+                let b = pop!();
+                let a = pop!();
+                push!(a.wrapping_add(b));
+            }
+            Opcode::Sub => {
+                let b = pop!();
+                let a = pop!();
+                push!(a.wrapping_sub(b));
+            }
+            Opcode::Mul => {
+                let b = pop!();
+                let a = pop!();
+                push!(a.wrapping_mul(b));
+            }
+            Opcode::Div => {
+                let b = pop!();
+                let a = pop!();
+                push!(if b.is_zero() { U256::ZERO } else { a.div_rem(b).0 });
+            }
+            Opcode::Mod => {
+                let b = pop!();
+                let a = pop!();
+                push!(if b.is_zero() { U256::ZERO } else { a.div_rem(b).1 });
+            }
+            Opcode::Lt => {
+                let b = pop!();
+                let a = pop!();
+                push!(if a < b { U256::ONE } else { U256::ZERO });
+            }
+            Opcode::Gt => {
+                let b = pop!();
+                let a = pop!();
+                push!(if a > b { U256::ONE } else { U256::ZERO });
+            }
+            Opcode::Eq => {
+                let b = pop!();
+                let a = pop!();
+                push!(if a == b { U256::ONE } else { U256::ZERO });
+            }
+            Opcode::IsZero => {
+                let a = pop!();
+                push!(if a.is_zero() { U256::ONE } else { U256::ZERO });
+            }
+            Opcode::And => {
+                let b = pop!();
+                let a = pop!();
+                push!(a & b);
+            }
+            Opcode::Or => {
+                let b = pop!();
+                let a = pop!();
+                push!(a | b);
+            }
+            Opcode::Xor => {
+                let b = pop!();
+                let a = pop!();
+                push!(a ^ b);
+            }
+            Opcode::Not => {
+                let a = pop!();
+                push!(!a);
+            }
+            Opcode::Caller => {
+                let mut bytes = [0u8; 32];
+                bytes[12..].copy_from_slice(ctx.caller.as_bytes());
+                push!(U256::from_be_bytes(bytes));
+            }
+            Opcode::CallDataSize => {
+                push!(U256::from_u64(ctx.calldata.len() as u64));
+            }
+            Opcode::CallDataLoad => {
+                let offset = pop!();
+                let mut word = [0u8; 32];
+                if offset.bits() <= 32 {
+                    let off = offset.low_u64() as usize;
+                    for (i, slot) in word.iter_mut().enumerate() {
+                        if let Some(&b) = ctx.calldata.get(off + i) {
+                            *slot = b;
+                        }
+                    }
+                }
+                push!(U256::from_be_bytes(word));
+            }
+            Opcode::Timestamp => push!(U256::from_u64(ctx.timestamp_ns)),
+            Opcode::Number => push!(U256::from_u64(ctx.block_number)),
+            Opcode::Pop => {
+                let _ = pop!();
+            }
+            Opcode::SLoad => {
+                let key = pop!();
+                let slot = H256::from_bytes(key.to_be_bytes());
+                let value = state.storage_get(&ctx.contract, &slot);
+                push!(U256::from_be_bytes(value.to_bytes()));
+            }
+            Opcode::SStore => {
+                let key = pop!();
+                let value = pop!();
+                state.storage_set(
+                    ctx.contract,
+                    H256::from_bytes(key.to_be_bytes()),
+                    H256::from_bytes(value.to_be_bytes()),
+                );
+            }
+            Opcode::Jump => {
+                let dest = pop!();
+                let d = dest.low_u64() as usize;
+                if dest.bits() > 32 || d >= code.len() || !jumpdests[d] {
+                    fault!(Fault::InvalidJump);
+                }
+                pc = d;
+                continue;
+            }
+            Opcode::JumpI => {
+                let dest = pop!();
+                let cond = pop!();
+                if !cond.is_zero() {
+                    let d = dest.low_u64() as usize;
+                    if dest.bits() > 32 || d >= code.len() || !jumpdests[d] {
+                        fault!(Fault::InvalidJump);
+                    }
+                    pc = d;
+                    continue;
+                }
+            }
+            Opcode::Pc => push!(U256::from_u64(pc as u64)),
+            Opcode::JumpDest => {}
+            Opcode::Push8 => {
+                if pc + 9 > code.len() {
+                    fault!(Fault::TruncatedImmediate);
+                }
+                let mut bytes = [0u8; 8];
+                bytes.copy_from_slice(&code[pc + 1..pc + 9]);
+                push!(U256::from_u64(u64::from_be_bytes(bytes)));
+            }
+            Opcode::Push32 => {
+                if pc + 33 > code.len() {
+                    fault!(Fault::TruncatedImmediate);
+                }
+                let mut bytes = [0u8; 32];
+                bytes.copy_from_slice(&code[pc + 1..pc + 33]);
+                push!(U256::from_be_bytes(bytes));
+            }
+            Opcode::Dup1 => {
+                let a = match stack.last() {
+                    Some(v) => *v,
+                    None => fault!(Fault::StackUnderflow),
+                };
+                push!(a);
+            }
+            Opcode::Dup2 => {
+                if stack.len() < 2 {
+                    fault!(Fault::StackUnderflow);
+                }
+                let a = stack[stack.len() - 2];
+                push!(a);
+            }
+            Opcode::Swap1 => {
+                let n = stack.len();
+                if n < 2 {
+                    fault!(Fault::StackUnderflow);
+                }
+                stack.swap(n - 1, n - 2);
+            }
+            Opcode::Log1 => {
+                let topic = pop!();
+                let data = pop!();
+                logs.push(LogEntry {
+                    address: ctx.contract,
+                    topic: H256::from_bytes(topic.to_be_bytes()),
+                    data: data.to_be_bytes().to_vec(),
+                });
+            }
+            Opcode::Return => {
+                let count = pop!();
+                if count.bits() > 8 || count.low_u64() > RETURN_LIMIT {
+                    fault!(Fault::ReturnTooLarge);
+                }
+                let n = count.low_u64() as usize;
+                if stack.len() < n {
+                    fault!(Fault::StackUnderflow);
+                }
+                let mut output = Vec::with_capacity(n * 32);
+                for _ in 0..n {
+                    let w = stack.pop().expect("length checked");
+                    output.extend_from_slice(&w.to_be_bytes());
+                }
+                return ExecOutcome { success: true, gas_used, output, logs };
+            }
+            Opcode::Revert => fault!(Fault::Reverted),
+        }
+        pc += 1 + op.immediate_len();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::assemble;
+    use blockfed_crypto::H160;
+
+    fn ctx(calldata: Vec<u8>) -> CallContext {
+        let mut contract = [0u8; 20];
+        contract[0] = 0xCC;
+        let mut caller = [0u8; 20];
+        caller[0] = 0xAA;
+        CallContext {
+            caller: H160::from_bytes(caller),
+            contract: H160::from_bytes(contract),
+            calldata,
+            gas_budget: 1_000_000,
+            block_number: 7,
+            timestamp_ns: 13_000,
+        }
+    }
+
+    fn exec(src: &str, calldata: Vec<u8>) -> (ExecOutcome, State) {
+        let mut state = State::new();
+        let out = run(&ctx(calldata), &assemble(src).unwrap(), &mut state);
+        (out, state)
+    }
+
+    fn word(out: &ExecOutcome) -> U256 {
+        assert!(out.success, "execution failed");
+        assert_eq!(out.output.len(), 32);
+        let mut b = [0u8; 32];
+        b.copy_from_slice(&out.output);
+        U256::from_be_bytes(b)
+    }
+
+    #[test]
+    fn arithmetic() {
+        let (out, _) = exec("PUSH8 7\nPUSH8 5\nADD\nPUSH8 1\nRETURN", vec![]);
+        assert_eq!(word(&out), U256::from_u64(12));
+        let (out, _) = exec("PUSH8 7\nPUSH8 5\nSUB\nPUSH8 1\nRETURN", vec![]);
+        assert_eq!(word(&out), U256::from_u64(2));
+        let (out, _) = exec("PUSH8 6\nPUSH8 7\nMUL\nPUSH8 1\nRETURN", vec![]);
+        assert_eq!(word(&out), U256::from_u64(42));
+        let (out, _) = exec("PUSH8 20\nPUSH8 6\nDIV\nPUSH8 1\nRETURN", vec![]);
+        assert_eq!(word(&out), U256::from_u64(3));
+        let (out, _) = exec("PUSH8 20\nPUSH8 6\nMOD\nPUSH8 1\nRETURN", vec![]);
+        assert_eq!(word(&out), U256::from_u64(2));
+    }
+
+    #[test]
+    fn division_by_zero_yields_zero() {
+        let (out, _) = exec("PUSH8 5\nPUSH8 0\nDIV\nPUSH8 1\nRETURN", vec![]);
+        assert_eq!(word(&out), U256::ZERO);
+        let (out, _) = exec("PUSH8 5\nPUSH8 0\nMOD\nPUSH8 1\nRETURN", vec![]);
+        assert_eq!(word(&out), U256::ZERO);
+    }
+
+    #[test]
+    fn comparisons_and_logic() {
+        let (out, _) = exec("PUSH8 3\nPUSH8 5\nLT\nPUSH8 1\nRETURN", vec![]);
+        assert_eq!(word(&out), U256::ONE);
+        let (out, _) = exec("PUSH8 3\nPUSH8 5\nGT\nPUSH8 1\nRETURN", vec![]);
+        assert_eq!(word(&out), U256::ZERO);
+        let (out, _) = exec("PUSH8 5\nPUSH8 5\nEQ\nPUSH8 1\nRETURN", vec![]);
+        assert_eq!(word(&out), U256::ONE);
+        let (out, _) = exec("PUSH8 0\nISZERO\nPUSH8 1\nRETURN", vec![]);
+        assert_eq!(word(&out), U256::ONE);
+        let (out, _) = exec("PUSH8 12\nPUSH8 10\nAND\nPUSH8 1\nRETURN", vec![]);
+        assert_eq!(word(&out), U256::from_u64(8));
+        let (out, _) = exec("PUSH8 12\nPUSH8 10\nXOR\nPUSH8 1\nRETURN", vec![]);
+        assert_eq!(word(&out), U256::from_u64(6));
+    }
+
+    #[test]
+    fn storage_persists_within_and_across_runs() {
+        // slot 9 = 41; slot 9 += 1; return slot 9.
+        let src = "PUSH8 41\nPUSH8 9\nSSTORE\nPUSH8 9\nSLOAD\nPUSH8 1\nADD\nPUSH8 9\nSSTORE\nPUSH8 9\nSLOAD\nPUSH8 1\nRETURN";
+        let (out, state) = exec(src, vec![]);
+        assert_eq!(word(&out), U256::from_u64(42));
+        // Value visible in state afterwards.
+        let key = H256::from_bytes(U256::from_u64(9).to_be_bytes());
+        let stored = state.storage_get(&ctx(vec![]).contract, &key);
+        assert_eq!(U256::from_be_bytes(stored.to_bytes()), U256::from_u64(42));
+    }
+
+    #[test]
+    fn calldata_access() {
+        let mut data = vec![0u8; 32];
+        data[31] = 99;
+        let (out, _) = exec("PUSH8 0\nCALLDATALOAD\nPUSH8 1\nRETURN", data.clone());
+        assert_eq!(word(&out), U256::from_u64(99));
+        let (out, _) = exec("CALLDATASIZE\nPUSH8 1\nRETURN", data);
+        assert_eq!(word(&out), U256::from_u64(32));
+        // Past-the-end load is zero padded.
+        let (out, _) = exec("PUSH8 100\nCALLDATALOAD\nPUSH8 1\nRETURN", vec![1, 2, 3]);
+        assert_eq!(word(&out), U256::ZERO);
+    }
+
+    #[test]
+    fn environment_opcodes() {
+        let (out, _) = exec("NUMBER\nPUSH8 1\nRETURN", vec![]);
+        assert_eq!(word(&out), U256::from_u64(7));
+        let (out, _) = exec("TIMESTAMP\nPUSH8 1\nRETURN", vec![]);
+        assert_eq!(word(&out), U256::from_u64(13_000));
+        let (out, _) = exec("CALLER\nPUSH8 1\nRETURN", vec![]);
+        let mut expect = [0u8; 32];
+        expect[12] = 0xAA;
+        assert_eq!(word(&out), U256::from_be_bytes(expect));
+    }
+
+    #[test]
+    fn jumps_loop_and_terminate() {
+        // Sum 1..=5 with a loop: slot0 = acc, slot1 = i.
+        let src = "\
+PUSH8 5
+PUSH8 1
+SSTORE
+loop:
+JUMPDEST
+PUSH8 1
+SLOAD
+ISZERO
+PUSH8 @exit
+JUMPI
+PUSH8 0
+SLOAD
+PUSH8 1
+SLOAD
+ADD
+PUSH8 0
+SSTORE
+PUSH8 1
+SLOAD
+PUSH8 1
+SUB
+PUSH8 1
+SSTORE
+PUSH8 @loop
+JUMP
+exit:
+JUMPDEST
+PUSH8 0
+SLOAD
+PUSH8 1
+RETURN";
+        let (out, _) = exec(src, vec![]);
+        assert_eq!(word(&out), U256::from_u64(15));
+    }
+
+    #[test]
+    fn invalid_jump_reverts() {
+        let (out, _) = exec("PUSH8 3\nJUMP\nSTOP", vec![]);
+        assert!(!out.success);
+    }
+
+    #[test]
+    fn jump_into_immediate_rejected() {
+        // Destination 1 is inside the PUSH8 immediate, not a JUMPDEST.
+        let (out, _) = exec("PUSH8 1\nJUMP", vec![]);
+        assert!(!out.success);
+    }
+
+    #[test]
+    fn stack_underflow_reverts() {
+        let (out, _) = exec("ADD", vec![]);
+        assert!(!out.success);
+        let (out, _) = exec("POP", vec![]);
+        assert!(!out.success);
+    }
+
+    #[test]
+    fn invalid_opcode_reverts() {
+        let mut state = State::new();
+        let out = run(&ctx(vec![]), &[0xFE], &mut state);
+        assert!(!out.success);
+    }
+
+    #[test]
+    fn explicit_revert() {
+        let (out, state) = exec("PUSH8 1\nPUSH8 0\nSSTORE\nREVERT", vec![]);
+        assert!(!out.success);
+        assert!(out.gas_used > 0);
+        // Interpreter-level state is mutated; the chain executor rolls it back.
+        let _ = state;
+    }
+
+    #[test]
+    fn out_of_gas_consumes_budget() {
+        let mut state = State::new();
+        let mut c = ctx(vec![]);
+        c.gas_budget = 10;
+        // An SSTORE costs far more than 10 gas.
+        let code = assemble("PUSH8 1\nPUSH8 0\nSSTORE").unwrap();
+        let out = run(&c, &code, &mut state);
+        assert!(!out.success);
+        assert_eq!(out.gas_used, 10, "out-of-gas burns the whole budget");
+    }
+
+    #[test]
+    fn gas_accounting_includes_sstore_surcharge() {
+        // First write to a zero slot pays the init surcharge; rewriting does not.
+        let (out1, _) = exec("PUSH8 1\nPUSH8 0\nSSTORE", vec![]);
+        let (out2, _) = exec("PUSH8 1\nPUSH8 0\nSSTORE\nPUSH8 2\nPUSH8 0\nSSTORE", vec![]);
+        let first_write = out1.gas_used;
+        let second_write = out2.gas_used - first_write;
+        assert!(first_write > second_write, "{first_write} vs {second_write}");
+    }
+
+    #[test]
+    fn dup_and_swap() {
+        let (out, _) = exec("PUSH8 1\nPUSH8 2\nDUP2\nADD\nADD\nPUSH8 1\nRETURN", vec![]);
+        // stack: 1,2 -> dup2: 1,2,1 -> add: 1,3 -> add: 4
+        assert_eq!(word(&out), U256::from_u64(4));
+        let (out, _) = exec("PUSH8 10\nPUSH8 3\nSWAP1\nSUB\nPUSH8 1\nRETURN", vec![]);
+        // stack: 10,3 -> swap: 3,10 -> sub: 3-10 wraps... a=3? pop order: b=10,a=3 => 3-10 wraps.
+        assert_eq!(word(&out), U256::from_u64(3).wrapping_sub(U256::from_u64(10)));
+    }
+
+    #[test]
+    fn logs_are_emitted() {
+        let (out, _) = exec("PUSH8 77\nPUSH8 5\nLOG1\nSTOP", vec![]);
+        assert!(out.success);
+        assert_eq!(out.logs.len(), 1);
+        assert_eq!(
+            out.logs[0].topic,
+            H256::from_bytes(U256::from_u64(5).to_be_bytes())
+        );
+    }
+
+    #[test]
+    fn running_off_the_end_is_stop() {
+        let (out, _) = exec("PUSH8 1", vec![]);
+        assert!(out.success);
+        assert!(out.output.is_empty());
+    }
+
+    #[test]
+    fn return_multiple_words() {
+        let (out, _) = exec("PUSH8 1\nPUSH8 2\nPUSH8 2\nRETURN", vec![]);
+        assert!(out.success);
+        assert_eq!(out.output.len(), 64);
+        // Top of stack first: word0 = 2, word1 = 1.
+        assert_eq!(out.output[31], 2);
+        assert_eq!(out.output[63], 1);
+    }
+
+    #[test]
+    fn truncated_immediate_reverts() {
+        let mut state = State::new();
+        let out = run(&ctx(vec![]), &[Opcode::Push8 as u8, 1, 2], &mut state);
+        assert!(!out.success);
+    }
+}

@@ -1,0 +1,52 @@
+//! Smart-contract execution for `blockfed`: the MiniVM bytecode interpreter
+//! and the native federated-learning registry contract.
+//!
+//! The paper implements its asynchronous aggregation as a Solidity contract on
+//! private Ethereum. Here the same observable behaviour is provided twice:
+//!
+//! * [`interp`] — MiniVM, a small EVM-flavoured stack machine with storage,
+//!   gas metering, jumps and revert semantics (plus [`asm`], an assembler for
+//!   writing contracts readably), and
+//! * [`registry`] — the FL registry as a native contract (register, submit
+//!   model fingerprints per round, record chosen aggregates) exposed through
+//!   the same `ContractRuntime` interface and cross-checked against MiniVM
+//!   programs in tests.
+//!
+//! [`BlockfedRuntime`] is the dispatcher the chain executes blocks with.
+//!
+//! # Examples
+//!
+//! ```
+//! use blockfed_vm::{asm::assemble, BlockfedRuntime};
+//! use blockfed_chain::{CallContext, ContractRuntime, State};
+//! use blockfed_crypto::H160;
+//!
+//! let mut rt = BlockfedRuntime::new();
+//! let mut state = State::new();
+//! let code = assemble("PUSH8 2\nPUSH8 40\nADD\nPUSH8 1\nRETURN")?;
+//! let ctx = CallContext {
+//!     caller: H160::zero(),
+//!     contract: H160::zero(),
+//!     calldata: vec![],
+//!     gas_budget: 10_000,
+//!     block_number: 0,
+//!     timestamp_ns: 0,
+//! };
+//! let out = rt.execute(&ctx, &code, &mut state);
+//! assert!(out.success);
+//! assert_eq!(out.output[31], 42);
+//! # Ok::<(), blockfed_vm::asm::AsmError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod asm;
+pub mod interp;
+pub mod opcode;
+pub mod registry;
+pub mod runtime;
+
+pub use opcode::Opcode;
+pub use registry::{parse_submission, parse_u64, RegistryCall};
+pub use runtime::{BlockfedRuntime, NativeContract, NATIVE_REGISTRY_CODE};

@@ -1,0 +1,212 @@
+//! MiniVM instruction set.
+//!
+//! A deliberately small, EVM-flavoured stack machine: 256-bit words, contract
+//! storage, calldata access, jumps with `JUMPDEST` validation, logs, and
+//! revert semantics. Opcode numbers follow the EVM where an equivalent exists.
+
+/// One MiniVM instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum Opcode {
+    /// Halt successfully with no return data.
+    Stop = 0x00,
+    /// Pop two, push wrapping sum.
+    Add = 0x01,
+    /// Pop two, push wrapping difference (`a - b`).
+    Sub = 0x02,
+    /// Pop two, push wrapping product.
+    Mul = 0x03,
+    /// Pop two, push quotient (zero when dividing by zero).
+    Div = 0x04,
+    /// Pop two, push remainder (zero when dividing by zero).
+    Mod = 0x05,
+    /// Pop two, push `a < b`.
+    Lt = 0x10,
+    /// Pop two, push `a > b`.
+    Gt = 0x11,
+    /// Pop two, push `a == b`.
+    Eq = 0x12,
+    /// Pop one, push `x == 0`.
+    IsZero = 0x13,
+    /// Pop two, push bitwise AND.
+    And = 0x16,
+    /// Pop two, push bitwise OR.
+    Or = 0x17,
+    /// Pop two, push bitwise XOR.
+    Xor = 0x18,
+    /// Pop one, push bitwise NOT.
+    Not = 0x19,
+    /// Push the caller address (20 bytes, big-endian).
+    Caller = 0x30,
+    /// Push the calldata length in bytes.
+    CallDataSize = 0x33,
+    /// Pop offset, push 32 calldata bytes from it (zero padded).
+    CallDataLoad = 0x35,
+    /// Push the block timestamp (nanoseconds).
+    Timestamp = 0x42,
+    /// Push the block number.
+    Number = 0x43,
+    /// Discard the top of stack.
+    Pop = 0x50,
+    /// Pop key, push storage value.
+    SLoad = 0x54,
+    /// Pop key then value, write storage.
+    SStore = 0x55,
+    /// Pop destination, jump (must be a `JumpDest`).
+    Jump = 0x56,
+    /// Pop destination then condition, jump if condition ≠ 0.
+    JumpI = 0x57,
+    /// Push the current program counter.
+    Pc = 0x58,
+    /// Valid jump target marker (no-op).
+    JumpDest = 0x5B,
+    /// Push an 8-byte big-endian immediate.
+    Push8 = 0x60,
+    /// Push a 32-byte big-endian immediate.
+    Push32 = 0x7F,
+    /// Duplicate the top of stack.
+    Dup1 = 0x80,
+    /// Duplicate the second stack item.
+    Dup2 = 0x81,
+    /// Swap the top two stack items.
+    Swap1 = 0x90,
+    /// Pop topic then data word, emit a log entry.
+    Log1 = 0xA0,
+    /// Pop a count `n`, then `n` words; halt returning their bytes.
+    Return = 0xF3,
+    /// Halt, reverting all state changes.
+    Revert = 0xFD,
+}
+
+impl Opcode {
+    /// Decodes a byte into an opcode.
+    pub fn from_byte(b: u8) -> Option<Opcode> {
+        use Opcode::*;
+        Some(match b {
+            0x00 => Stop,
+            0x01 => Add,
+            0x02 => Sub,
+            0x03 => Mul,
+            0x04 => Div,
+            0x05 => Mod,
+            0x10 => Lt,
+            0x11 => Gt,
+            0x12 => Eq,
+            0x13 => IsZero,
+            0x16 => And,
+            0x17 => Or,
+            0x18 => Xor,
+            0x19 => Not,
+            0x30 => Caller,
+            0x33 => CallDataSize,
+            0x35 => CallDataLoad,
+            0x42 => Timestamp,
+            0x43 => Number,
+            0x50 => Pop,
+            0x54 => SLoad,
+            0x55 => SStore,
+            0x56 => Jump,
+            0x57 => JumpI,
+            0x58 => Pc,
+            0x5B => JumpDest,
+            0x60 => Push8,
+            0x7F => Push32,
+            0x80 => Dup1,
+            0x81 => Dup2,
+            0x90 => Swap1,
+            0xA0 => Log1,
+            0xF3 => Return,
+            0xFD => Revert,
+            _ => return None,
+        })
+    }
+
+    /// Length of the immediate operand following this opcode in the bytecode.
+    pub fn immediate_len(self) -> usize {
+        match self {
+            Opcode::Push8 => 8,
+            Opcode::Push32 => 32,
+            _ => 0,
+        }
+    }
+
+    /// Base gas cost of the instruction (storage ops add surcharges at
+    /// execution time).
+    pub fn base_gas(self) -> u64 {
+        match self {
+            Opcode::Stop | Opcode::JumpDest => 1,
+            Opcode::SLoad => 200,
+            Opcode::SStore => 5_000,
+            Opcode::Log1 => 375,
+            Opcode::Jump | Opcode::JumpI => 8,
+            _ => 3,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn byte_roundtrip_for_all_opcodes() {
+        let all = [
+            Opcode::Stop,
+            Opcode::Add,
+            Opcode::Sub,
+            Opcode::Mul,
+            Opcode::Div,
+            Opcode::Mod,
+            Opcode::Lt,
+            Opcode::Gt,
+            Opcode::Eq,
+            Opcode::IsZero,
+            Opcode::And,
+            Opcode::Or,
+            Opcode::Xor,
+            Opcode::Not,
+            Opcode::Caller,
+            Opcode::CallDataSize,
+            Opcode::CallDataLoad,
+            Opcode::Timestamp,
+            Opcode::Number,
+            Opcode::Pop,
+            Opcode::SLoad,
+            Opcode::SStore,
+            Opcode::Jump,
+            Opcode::JumpI,
+            Opcode::Pc,
+            Opcode::JumpDest,
+            Opcode::Push8,
+            Opcode::Push32,
+            Opcode::Dup1,
+            Opcode::Dup2,
+            Opcode::Swap1,
+            Opcode::Log1,
+            Opcode::Return,
+            Opcode::Revert,
+        ];
+        for op in all {
+            assert_eq!(Opcode::from_byte(op as u8), Some(op));
+        }
+    }
+
+    #[test]
+    fn unknown_bytes_decode_to_none() {
+        assert_eq!(Opcode::from_byte(0xFE), None);
+        assert_eq!(Opcode::from_byte(0x99), None);
+    }
+
+    #[test]
+    fn immediates() {
+        assert_eq!(Opcode::Push8.immediate_len(), 8);
+        assert_eq!(Opcode::Push32.immediate_len(), 32);
+        assert_eq!(Opcode::Add.immediate_len(), 0);
+    }
+
+    #[test]
+    fn storage_ops_cost_more() {
+        assert!(Opcode::SStore.base_gas() > Opcode::SLoad.base_gas());
+        assert!(Opcode::SLoad.base_gas() > Opcode::Add.base_gas());
+    }
+}

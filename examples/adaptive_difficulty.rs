@@ -1,0 +1,56 @@
+//! Adaptive proof-of-work difficulty when the miner population is flexible —
+//! the blockchain-side tuning knob §II-A2 points at (Sethi et al., CCNC 2024).
+//!
+//! Federated participants come and go; every joining peer also mines. A fixed
+//! per-block step (Ethereum Homestead) re-targets too slowly, so block cadence
+//! — and with it every aggregation wait — drifts. Adaptive controllers restore
+//! the 13 s cadence within an epoch or two.
+//!
+//! ```text
+//! cargo run --release --example adaptive_difficulty
+//! ```
+
+use blockfed::chain::pow::TARGET_BLOCK_TIME_NS;
+use blockfed::chain::{simulate_cadence, DifficultyController, RetargetRule};
+use blockfed::report::Table;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let target_s = TARGET_BLOCK_TIME_NS as f64 / 1e9;
+    let base = 240_000.0; // three paper-VM peers' pooled hash rate
+
+    // Blocks 0–99: three peers. 100–199: twelve peers (others join the
+    // collaboration). 200–299: back to three.
+    let schedule = move |b: usize| if (100..200).contains(&b) { 4.0 * base } else { base };
+
+    let mut table = Table::new(
+        format!("Block cadence through a miner-population shock (target {target_s:.0} s)"),
+        &["Rule", "3 peers (s)", "12 peers join (s)", "9 peers leave (s)"],
+    );
+    for rule in [
+        RetargetRule::Homestead,
+        RetargetRule::MovingAverage { window: 8 },
+        RetargetRule::Pi { kp: 0.3, ki: 0.05 },
+    ] {
+        let mut controller = DifficultyController::new(rule, (base * target_s) as u128);
+        let mut rng = StdRng::seed_from_u64(42);
+        let intervals = simulate_cadence(&mut controller, schedule, 300, &mut rng);
+        let mean = |r: std::ops::Range<usize>| -> f64 {
+            intervals[r.clone()].iter().sum::<f64>() / r.len() as f64
+        };
+        table.row_owned(vec![
+            rule.to_string(),
+            format!("{:.1}", mean(40..100)),
+            format!("{:.1}", mean(140..200)),
+            format!("{:.1}", mean(240..300)),
+        ]);
+    }
+    println!("{table}");
+    println!(
+        "Homestead's ±1/2048-per-block step barely moves in 100 blocks, so cadence sticks\n\
+         at ~{:.0} s while the extra miners stay and overshoots after they leave. The\n\
+         epochal moving average and the PI controller re-find the target inside a phase.",
+        target_s / 4.0
+    );
+}
