@@ -5,8 +5,8 @@ use blockfed_bench::{decentralized_config, prepare, run_retarget, ModelSel, Prof
 use blockfed_core::Decentralized;
 use blockfed_fl::robust::{clipped_mean, coordinate_median, krum, multi_krum, trimmed_mean};
 use blockfed_fl::{
-    Adversary, AsyncFl, AsyncFlConfig, Attack, AsyncMerger, ClientId, ModelUpdate,
-    StalenessDecay, WaitPolicy,
+    Adversary, AsyncFl, AsyncFlConfig, AsyncMerger, Attack, ClientId, ModelUpdate, StalenessDecay,
+    WaitPolicy,
 };
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use rand::rngs::StdRng;
@@ -33,10 +33,18 @@ fn bench_robust_rules(c: &mut Criterion) {
     let mut g = c.benchmark_group("robust");
     g.sample_size(20);
     g.bench_function("krum_6x62k", |b| b.iter(|| krum(&refs, 1).unwrap()));
-    g.bench_function("multi_krum_6x62k", |b| b.iter(|| multi_krum(&refs, 1, 3).unwrap()));
-    g.bench_function("trimmed_mean_6x62k", |b| b.iter(|| trimmed_mean(&refs, 1).unwrap()));
-    g.bench_function("median_6x62k", |b| b.iter(|| coordinate_median(&refs).unwrap()));
-    g.bench_function("clipped_mean_6x62k", |b| b.iter(|| clipped_mean(&refs, 1.0).unwrap()));
+    g.bench_function("multi_krum_6x62k", |b| {
+        b.iter(|| multi_krum(&refs, 1, 3).unwrap())
+    });
+    g.bench_function("trimmed_mean_6x62k", |b| {
+        b.iter(|| trimmed_mean(&refs, 1).unwrap())
+    });
+    g.bench_function("median_6x62k", |b| {
+        b.iter(|| coordinate_median(&refs).unwrap())
+    });
+    g.bench_function("clipped_mean_6x62k", |b| {
+        b.iter(|| clipped_mean(&refs, 1.0).unwrap())
+    });
     g.finish();
 }
 
@@ -88,8 +96,7 @@ fn bench_end_to_end(c: &mut Criterion) {
     g.bench_function("poisoning_arm_defended_scale50", |b| {
         b.iter(|| {
             let mut config = decentralized_config(&data, ModelSel::Simple, WaitPolicy::All, None);
-            config.adversaries =
-                vec![Adversary::new(ClientId(0), Attack::Scale { factor: 50.0 })];
+            config.adversaries = vec![Adversary::new(ClientId(0), Attack::Scale { factor: 50.0 })];
             config.fitness_threshold = Some(0.3);
             config.norm_z_threshold = Some(1.2);
             let driver = Decentralized::new(

@@ -16,12 +16,16 @@ fn bench_crypto(c: &mut Criterion) {
     g.bench_function("sha256_1KiB", |b| b.iter(|| sha256(black_box(&data_1k))));
 
     let leaves: Vec<_> = (0..256).map(|i: u32| sha256(&i.to_le_bytes())).collect();
-    g.bench_function("merkle_root_256", |b| b.iter(|| merkle_root(black_box(&leaves))));
+    g.bench_function("merkle_root_256", |b| {
+        b.iter(|| merkle_root(black_box(&leaves)))
+    });
 
-    let a = U256::from_hex("deadbeefdeadbeefdeadbeefdeadbeefdeadbeefdeadbeefdeadbeefdeadbeef")
-        .unwrap();
+    let a =
+        U256::from_hex("deadbeefdeadbeefdeadbeefdeadbeefdeadbeefdeadbeefdeadbeefdeadbeef").unwrap();
     let m = blockfed_crypto::secp::group_order();
-    g.bench_function("u256_mul_mod", |b| b.iter(|| black_box(a).mul_mod(black_box(a), m)));
+    g.bench_function("u256_mul_mod", |b| {
+        b.iter(|| black_box(a).mul_mod(black_box(a), m))
+    });
 
     let key = KeyPair::generate(&mut StdRng::seed_from_u64(1));
     let msg = b"model update round 3";
@@ -66,13 +70,11 @@ fn bench_chain(c: &mut Criterion) {
             let txs: Vec<Transaction> = (0..10)
                 .map(|n| Transaction::transfer(key.address(), key.address(), 1, n).signed(&key))
                 .collect();
-            let block = chain.build_candidate(
-                key.address(),
-                txs,
-                1_000,
-                &mut blockfed_chain::NullRuntime,
-            );
-            chain.import(block, &mut blockfed_chain::NullRuntime).unwrap()
+            let block =
+                chain.build_candidate(key.address(), txs, 1_000, &mut blockfed_chain::NullRuntime);
+            chain
+                .import(block, &mut blockfed_chain::NullRuntime)
+                .unwrap()
         })
     });
     g.finish();
@@ -143,10 +145,17 @@ fn bench_vm(c: &mut Criterion) {
 fn bench_ml(c: &mut Criterion) {
     let mut g = c.benchmark_group("ml");
     let mut rng = StdRng::seed_from_u64(3);
-    let a = Tensor::from_vec((0..64 * 256).map(|_| rng.gen_range(-1.0..1.0)).collect(), &[64, 256]);
-    let b_m =
-        Tensor::from_vec((0..256 * 128).map(|_| rng.gen_range(-1.0..1.0)).collect(), &[256, 128]);
-    g.bench_function("matmul_64x256x128", |b| b.iter(|| matmul(black_box(&a), black_box(&b_m))));
+    let a = Tensor::from_vec(
+        (0..64 * 256).map(|_| rng.gen_range(-1.0..1.0)).collect(),
+        &[64, 256],
+    );
+    let b_m = Tensor::from_vec(
+        (0..256 * 128).map(|_| rng.gen_range(-1.0..1.0)).collect(),
+        &[256, 128],
+    );
+    g.bench_function("matmul_64x256x128", |b| {
+        b.iter(|| matmul(black_box(&a), black_box(&b_m)))
+    });
 
     // FedAvg over three SimpleNN-sized updates (the paper's 62 K params).
     let updates: Vec<ModelUpdate> = (0..3)
@@ -156,7 +165,9 @@ fn bench_ml(c: &mut Criterion) {
         })
         .collect();
     let refs: Vec<&ModelUpdate> = updates.iter().collect();
-    g.bench_function("fedavg_62k_x3", |b| b.iter(|| fed_avg(black_box(&refs)).unwrap()));
+    g.bench_function("fedavg_62k_x3", |b| {
+        b.iter(|| fed_avg(black_box(&refs)).unwrap())
+    });
     g.finish();
 }
 
@@ -170,5 +181,110 @@ fn bench_net(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_crypto, bench_chain, bench_vm, bench_ml, bench_net);
+/// Scalar-vs-parallel kernels: the perf trajectory of the compute backend.
+///
+/// `scalar` rows pin the compute layer to one worker (and, for PoW, the
+/// non-midstate reference); `parallel` rows use the detected worker count.
+/// The matmul shapes are the EffNet-lite layers the paper's heavy experiments
+/// spend their time in (batch 32, backbone width 2270, 10 classes).
+fn bench_scaling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("scaling");
+    let mut rng = StdRng::seed_from_u64(5);
+    let batch = 32usize;
+    let width = 2270usize; // EffNetLiteConfig::paper().width
+    let x = Tensor::from_vec(
+        (0..batch * width)
+            .map(|_| rng.gen_range(-1.0..1.0))
+            .collect(),
+        &[batch, width],
+    );
+    let w_backbone = Tensor::from_vec(
+        (0..width * width)
+            .map(|_| rng.gen_range(-0.1..0.1))
+            .collect(),
+        &[width, width],
+    );
+    let w_head = Tensor::from_vec(
+        (0..10 * width).map(|_| rng.gen_range(-0.1..0.1)).collect(),
+        &[10, width],
+    );
+
+    g.bench_function("matmul_bt_effnet_backbone_32x2270x2270_scalar", |b| {
+        b.iter(|| {
+            blockfed_tensor::matmul::reference::matmul_bt(black_box(&x), black_box(&w_backbone))
+        })
+    });
+    g.bench_function("matmul_bt_effnet_backbone_32x2270x2270_parallel", |b| {
+        b.iter(|| blockfed_tensor::matmul_bt(black_box(&x), black_box(&w_backbone)))
+    });
+    g.bench_function("matmul_bt_effnet_head_32x2270x10_scalar", |b| {
+        b.iter(|| blockfed_tensor::matmul::reference::matmul_bt(black_box(&x), black_box(&w_head)))
+    });
+    g.bench_function("matmul_bt_effnet_head_32x2270x10_parallel", |b| {
+        b.iter(|| blockfed_tensor::matmul_bt(black_box(&x), black_box(&w_head)))
+    });
+
+    // PoW nonce throughput: same 20 000-attempt scan, never sealing
+    // (difficulty u128::MAX), so the numbers are pure hashing cost.
+    let header = blockfed_chain::Header {
+        parent: sha256(b"bench-parent"),
+        number: 1,
+        timestamp_ns: 1,
+        miner: Default::default(),
+        difficulty: u128::MAX,
+        nonce: 0,
+        tx_root: sha256(b"bench-txs"),
+        state_root: sha256(b"bench-state"),
+        gas_used: 0,
+        gas_limit: 1_000_000,
+    };
+    const ATTEMPTS: u64 = 20_000;
+    g.bench_function("pow_20k_nonces_no_midstate", |b| {
+        b.iter(|| pow::mine_reference(&mut header.clone(), 0, ATTEMPTS))
+    });
+    g.bench_function("pow_20k_nonces_midstate", |b| {
+        b.iter(|| pow::mine(&mut header.clone(), 0, ATTEMPTS))
+    });
+    g.bench_function("pow_20k_nonces_midstate_parallel", |b| {
+        b.iter(|| pow::mine_parallel(&mut header.clone(), 0, ATTEMPTS))
+    });
+
+    // FedAvg over SimpleNN-sized updates: inline scalar loop vs the chunked
+    // parallel kernel.
+    let updates: Vec<ModelUpdate> = (0..8)
+        .map(|i| {
+            let params: Vec<f32> = (0..61_890).map(|_| rng.gen_range(-0.5..0.5)).collect();
+            ModelUpdate::new(ClientId(i), 1, params, 100 + i)
+        })
+        .collect();
+    let refs: Vec<&ModelUpdate> = updates.iter().collect();
+    g.bench_function("fedavg_62k_x8_scalar", |b| {
+        b.iter(|| {
+            let dim = refs[0].params.len();
+            let total: f64 = refs.iter().map(|u| u.sample_count as f64).sum();
+            let mut out = vec![0.0f64; dim];
+            for u in black_box(&refs) {
+                let w = u.sample_count as f64 / total;
+                for (o, &p) in out.iter_mut().zip(&u.params) {
+                    *o += w * f64::from(p);
+                }
+            }
+            out.into_iter().map(|v| v as f32).collect::<Vec<f32>>()
+        })
+    });
+    g.bench_function("fedavg_62k_x8_parallel", |b| {
+        b.iter(|| fed_avg(black_box(&refs)).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_crypto,
+    bench_chain,
+    bench_vm,
+    bench_ml,
+    bench_net,
+    bench_scaling
+);
 criterion_main!(benches);

@@ -44,7 +44,9 @@ fn bench_paper_artifacts(c: &mut Criterion) {
     g.bench_function("chainperf_3_and_6_peers", |b| {
         b.iter(|| run_chainperf(&[3, 6], &[253_952], 2, 7))
     });
-    g.bench_function("contention_sweep", |b| b.iter(|| run_contention(&data, &[0.0, 0.5])));
+    g.bench_function("contention_sweep", |b| {
+        b.iter(|| run_contention(&data, &[0.0, 0.5]))
+    });
     g.finish();
 }
 

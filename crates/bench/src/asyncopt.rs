@@ -89,7 +89,11 @@ pub fn run_asyncopt(data: &PreparedData) -> AsyncOptOutput {
 
     // --- sub-study 1: wait-for-k on the full stack -----------------------
     let mut waitk_rows = Vec::new();
-    for policy in [WaitPolicy::All, WaitPolicy::FirstK(2), WaitPolicy::FirstK(1)] {
+    for policy in [
+        WaitPolicy::All,
+        WaitPolicy::FirstK(2),
+        WaitPolicy::FirstK(1),
+    ] {
         let run = decentralized_run_with_computes(data, sel, policy, Some(straggler_profiles()));
         let final_accuracy = (0..3).map(|p| run.final_accuracy(p)).sum::<f64>() / 3.0;
         let age = run.age_of_block();
@@ -111,7 +115,14 @@ pub fn run_asyncopt(data: &PreparedData) -> AsyncOptOutput {
     }
     let mut waitk_table = Table::new(
         "Async optimum (1/3) — wait-for-k under a straggler: freshness vs accuracy",
-        &["Policy", "Final acc", "Mean wait (s)", "Age mean (s)", "Age max (s)", "Updates/agg"],
+        &[
+            "Policy",
+            "Final acc",
+            "Mean wait (s)",
+            "Age mean (s)",
+            "Age max (s)",
+            "Updates/agg",
+        ],
     );
     for r in &waitk_rows {
         waitk_table.row_owned(vec![
@@ -204,7 +215,14 @@ pub fn run_asyncopt(data: &PreparedData) -> AsyncOptOutput {
         ]);
     }
 
-    AsyncOptOutput { waitk_table, alpha_table, bestk_table, waitk_rows, alpha_rows, bestk_rows }
+    AsyncOptOutput {
+        waitk_table,
+        alpha_table,
+        bestk_table,
+        waitk_rows,
+        alpha_rows,
+        bestk_rows,
+    }
 }
 
 #[cfg(test)]

@@ -44,7 +44,11 @@ fn main() {
         i += 1;
     }
     let id = id.unwrap_or_else(|| "all".to_owned());
-    let mut profile = if full { Profile::full() } else { Profile::quick() };
+    let mut profile = if full {
+        Profile::full()
+    } else {
+        Profile::quick()
+    };
     if let Some(s) = seed {
         profile = profile.with_seed(s);
     }
@@ -53,8 +57,18 @@ fn main() {
     let results_dir = "results";
     let needs_data = matches!(
         id.as_str(),
-        "table1" | "fig3" | "table2" | "table3" | "table4" | "fig4" | "tradeoff" | "contention"
-            | "poisoning" | "robustness" | "asyncopt" | "all"
+        "table1"
+            | "fig3"
+            | "table2"
+            | "table3"
+            | "table4"
+            | "fig4"
+            | "tradeoff"
+            | "contention"
+            | "poisoning"
+            | "robustness"
+            | "asyncopt"
+            | "all"
     );
     let data = if needs_data {
         println!("preparing data (generate, partition, pretrain backbone)…");

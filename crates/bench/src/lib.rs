@@ -15,9 +15,7 @@ pub use sweep::{run_tradeoff_sweep, SweepOutput};
 
 use blockfed_core::{ComputeProfile, Decentralized, DecentralizedConfig, DecentralizedRun};
 use blockfed_data::{partition_dataset, Dataset, Partition, SynthCifar, SynthCifarConfig};
-use blockfed_fl::{
-    ClientId, Strategy, VanillaFl, VanillaFlConfig, VanillaRun, WaitPolicy,
-};
+use blockfed_fl::{ClientId, Strategy, VanillaFl, VanillaFlConfig, VanillaRun, WaitPolicy};
 use blockfed_net::LinkSpec;
 use blockfed_nn::{EffNetLite, EffNetLiteConfig, ModelKind, Sequential, SimpleNnConfig};
 use blockfed_report::{fmt_acc, LinePlot, Table};
@@ -77,7 +75,11 @@ impl Profile {
 
     /// The paper-scale profile: the full 5.3 M-parameter (21.2 MB) backbone.
     pub fn full() -> Self {
-        Profile { name: "full", effnet: EffNetLiteConfig::paper(), ..Profile::quick() }
+        Profile {
+            name: "full",
+            effnet: EffNetLiteConfig::paper(),
+            ..Profile::quick()
+        }
     }
 
     /// A miniature profile for tests and criterion benches.
@@ -167,7 +169,9 @@ pub fn prepare(profile: Profile) -> PreparedData {
     let train_shards = partition_dataset(
         &train,
         3,
-        Partition::DirichletLabelSkew { alpha: profile.alpha },
+        Partition::DirichletLabelSkew {
+            alpha: profile.alpha,
+        },
         &mut part_rng,
     );
 
@@ -178,9 +182,15 @@ pub fn prepare(profile: Profile) -> PreparedData {
     let mut bb_rng = hub.stream("backbone");
     let mut effnet = EffNetLite::pretrained(profile.effnet, &pretext, &mut bb_rng);
 
-    let head_shards = train_shards.iter().map(|s| effnet.extract_features(s)).collect();
+    let head_shards = train_shards
+        .iter()
+        .map(|s| effnet.extract_features(s))
+        .collect();
     let head_global_test = effnet.extract_features(&global_test);
-    let head_peer_tests = peer_tests.iter().map(|s| effnet.extract_features(s)).collect();
+    let head_peer_tests = peer_tests
+        .iter()
+        .map(|s| effnet.extract_features(s))
+        .collect();
 
     PreparedData {
         profile,
@@ -271,7 +281,11 @@ pub fn vanilla_run(data: &PreparedData, sel: ModelSel, strategy: Strategy) -> Va
     };
     // All clients evaluate the distributed global model on the shared test
     // data, as in Table I (identical per-client rows).
-    let tests = vec![data.test(sel).clone(), data.test(sel).clone(), data.test(sel).clone()];
+    let tests = vec![
+        data.test(sel).clone(),
+        data.test(sel).clone(),
+        data.test(sel).clone(),
+    ];
     let driver = VanillaFl::new(config, data.shards(sel), &tests, data.test(sel));
     let mut factory = data.model_factory(sel);
     let mut rng = StdRng::seed_from_u64(p.seed ^ 0x5A5A);
@@ -293,11 +307,23 @@ pub fn decentralized_run(
 /// identical peers every model arrives in the same block anyway.
 pub fn straggler_profiles() -> Vec<ComputeProfile> {
     vec![
-        ComputeProfile { hashrate: 80_000.0, train_rate: 1_100.0, contention: 0.35 },
-        ComputeProfile { hashrate: 80_000.0, train_rate: 700.0, contention: 0.35 },
+        ComputeProfile {
+            hashrate: 80_000.0,
+            train_rate: 1_100.0,
+            contention: 0.35,
+        },
+        ComputeProfile {
+            hashrate: 80_000.0,
+            train_rate: 700.0,
+            contention: 0.35,
+        },
         // The straggler: slower than a block interval, so faster peers see its
         // model one or two blocks later than their own.
-        ComputeProfile { hashrate: 80_000.0, train_rate: 100.0, contention: 0.35 },
+        ComputeProfile {
+            hashrate: 80_000.0,
+            train_rate: 100.0,
+            contention: 0.35,
+        },
     ]
 }
 
@@ -370,8 +396,11 @@ pub fn run_table1(data: &PreparedData) -> Table1Output {
     let mut runs = Vec::new();
 
     for sel in [ModelSel::Simple, ModelSel::EffNet] {
-        let mut plot =
-            LinePlot::new(format!("Figure 3 ({}) — accuracy vs round", sel.kind()), 60, 14);
+        let mut plot = LinePlot::new(
+            format!("Figure 3 ({}) — accuracy vs round", sel.kind()),
+            60,
+            14,
+        );
         for strategy in [Strategy::Consider, Strategy::NotConsider] {
             let run = vanilla_run(data, sel, strategy);
             for client in 0..3 {
@@ -391,7 +420,11 @@ pub fn run_table1(data: &PreparedData) -> Table1Output {
         }
         figures.push(plot);
     }
-    Table1Output { table, figures, runs }
+    Table1Output {
+        table,
+        figures,
+        runs,
+    }
 }
 
 /// Output of the Tables II–IV / Figure 4 regeneration.
@@ -476,7 +509,11 @@ pub fn run_tables234(data: &PreparedData) -> Tables234Output {
         }
         tables.push(table);
     }
-    Tables234Output { tables, figures, runs }
+    Tables234Output {
+        tables,
+        figures,
+        runs,
+    }
 }
 
 fn full_set_fallback(record: &blockfed_core::PeerRoundRecord, label: &str) -> Option<f64> {
@@ -522,13 +559,13 @@ pub fn run_tradeoff(data: &PreparedData) -> TradeoffOutput {
     let mut rows = Vec::new();
     for sel in [ModelSel::Simple, ModelSel::EffNet] {
         let mut baseline_acc = None;
-        for policy in [WaitPolicy::All, WaitPolicy::FirstK(2), WaitPolicy::FirstK(1)] {
-            let run = decentralized_run_with_computes(
-                data,
-                sel,
-                policy,
-                Some(straggler_profiles()),
-            );
+        for policy in [
+            WaitPolicy::All,
+            WaitPolicy::FirstK(2),
+            WaitPolicy::FirstK(1),
+        ] {
+            let run =
+                decentralized_run_with_computes(data, sel, policy, Some(straggler_profiles()));
             let final_accuracy = (0..3).map(|p| run.final_accuracy(p)).sum::<f64>() / 3.0;
             let baseline = *baseline_acc.get_or_insert(final_accuracy);
             rows.push(TradeoffRow {
@@ -543,7 +580,14 @@ pub fn run_tradeoff(data: &PreparedData) -> TradeoffOutput {
     }
     let mut table = Table::new(
         "Trade-off — wait or not to wait: accuracy vs aggregation latency",
-        &["Model", "Policy", "Final acc", "Δacc (pp)", "Mean wait (s)", "Makespan (s)"],
+        &[
+            "Model",
+            "Policy",
+            "Final acc",
+            "Δacc (pp)",
+            "Mean wait (s)",
+            "Makespan (s)",
+        ],
     );
     for r in &rows {
         table.row_owned(vec![
@@ -686,8 +730,7 @@ pub fn run_chainperf_with_gas_limit(
                 // Real chains cap block size; 16 txs/block keeps capacity (not
                 // single-block quantization) the binding constraint.
                 let txs = mempool.select(&state, gas_limit, 16);
-                let block =
-                    chain.build_candidate(addrs[blocks % n], txs, now_ns, &mut runtime);
+                let block = chain.build_candidate(addrs[blocks % n], txs, now_ns, &mut runtime);
                 gas_total += block.header.gas_used;
                 chain.import(block, &mut runtime).expect("self-built block");
                 let state = chain.state().clone();
@@ -712,7 +755,14 @@ pub fn run_chainperf_with_gas_limit(
 
     let mut table = Table::new(
         "Chain performance — participants × payload sweep (§II-A2 shapes)",
-        &["Peers", "Payload", "TPS", "Per-peer TPS", "Block interval (s)", "Gas/block"],
+        &[
+            "Peers",
+            "Payload",
+            "TPS",
+            "Per-peer TPS",
+            "Block interval (s)",
+            "Gas/block",
+        ],
     );
     for r in &rows {
         table.row_owned(vec![
@@ -764,7 +814,10 @@ pub fn run_contention(data: &PreparedData, coefficients: &[f64]) -> ContentionOu
             strategy: Strategy::Consider,
             payload_bytes: data.payload_bytes(ModelSel::Simple),
             difficulty: 3_000_000,
-            compute: ComputeProfile { contention: c, ..ComputeProfile::paper_vm() },
+            compute: ComputeProfile {
+                contention: c,
+                ..ComputeProfile::paper_vm()
+            },
             per_peer_compute: None,
             fitness_threshold: None,
             norm_z_threshold: None,
@@ -793,7 +846,12 @@ pub fn run_contention(data: &PreparedData, coefficients: &[f64]) -> ContentionOu
     }
     let mut table = Table::new(
         "Contention — mining vs training resource exhaustion",
-        &["Contention", "Block interval (s)", "Makespan (s)", "Mean wait (s)"],
+        &[
+            "Contention",
+            "Block interval (s)",
+            "Makespan (s)",
+            "Mean wait (s)",
+        ],
     );
     for r in &rows {
         table.row_owned(vec![
@@ -845,9 +903,18 @@ mod tests {
 
     #[test]
     fn combo_labels_match_paper() {
-        assert_eq!(paper_combo_labels(0), vec!["A", "A,B", "A,C", "B,C", "A,B,C"]);
-        assert_eq!(paper_combo_labels(1), vec!["B", "B,A", "B,C", "A,C", "A,B,C"]);
-        assert_eq!(paper_combo_labels(2), vec!["C", "C,A", "C,B", "A,B", "A,B,C"]);
+        assert_eq!(
+            paper_combo_labels(0),
+            vec!["A", "A,B", "A,C", "B,C", "A,B,C"]
+        );
+        assert_eq!(
+            paper_combo_labels(1),
+            vec!["B", "B,A", "B,C", "A,C", "A,B,C"]
+        );
+        assert_eq!(
+            paper_combo_labels(2),
+            vec!["C", "C,A", "C,B", "A,B", "A,B,C"]
+        );
     }
 
     #[test]

@@ -74,7 +74,14 @@ pub fn run_poisoning(data: &PreparedData) -> PoisoningOutput {
     }
     let mut table = Table::new(
         "Poisoning — attacks on the fully coupled system (peer A compromised)",
-        &["Attack", "Defended", "Honest acc", "Detected rounds", "Absorbed rounds", "Evidence"],
+        &[
+            "Attack",
+            "Defended",
+            "Honest acc",
+            "Detected rounds",
+            "Absorbed rounds",
+            "Evidence",
+        ],
     );
     for r in &rows {
         table.row_owned(vec![
@@ -83,7 +90,12 @@ pub fn run_poisoning(data: &PreparedData) -> PoisoningOutput {
             fmt_acc(r.honest_accuracy),
             r.detected_rounds.to_string(),
             r.absorbed_rounds.to_string(),
-            if r.evidence_ok { "signed+anchored" } else { "MISSING" }.to_string(),
+            if r.evidence_ok {
+                "signed+anchored"
+            } else {
+                "MISSING"
+            }
+            .to_string(),
         ]);
     }
     PoisoningOutput { table, rows }
@@ -119,10 +131,12 @@ fn poisoning_arm(data: &PreparedData, attack: Attack, defended: bool) -> Poisoni
     // Non-repudiation: every poisoned submission must still be provably A's.
     // The attack mutated the params before signing, so the evidence chain
     // (signature → tx → merkle root → PoW block) pins A to the artefact.
-    let attacker_audits: Vec<_> =
-        run.audits.iter().filter(|a| a.client == ClientId(0)).collect();
-    let evidence_ok =
-        !attacker_audits.is_empty() && attacker_audits.iter().all(|a| a.verified);
+    let attacker_audits: Vec<_> = run
+        .audits
+        .iter()
+        .filter(|a| a.client == ClientId(0))
+        .collect();
+    let evidence_ok = !attacker_audits.is_empty() && attacker_audits.iter().all(|a| a.verified);
 
     PoisoningRow {
         attack,
@@ -184,8 +198,12 @@ pub fn run_robustness(data: &PreparedData) -> RobustnessOutput {
         }
         all
     };
-    let shards =
-        partition_dataset(&merged, 6, Partition::DirichletLabelSkew { alpha: p.alpha }, &mut part_rng);
+    let shards = partition_dataset(
+        &merged,
+        6,
+        Partition::DirichletLabelSkew { alpha: p.alpha },
+        &mut part_rng,
+    );
     let test = data.test(ModelSel::Simple);
     let batcher = Batcher::new(p.batch_size);
     let rounds = p.rounds.min(5);
@@ -234,7 +252,12 @@ pub fn run_robustness(data: &PreparedData) -> RobustnessOutput {
             }
             global.set_params_flat(&global_params);
             let final_accuracy = global.evaluate(test).accuracy;
-            rows.push(RobustnessRow { rule, attack: attack.clone(), final_accuracy, diverged });
+            rows.push(RobustnessRow {
+                rule,
+                attack: attack.clone(),
+                final_accuracy,
+                diverged,
+            });
         }
     }
 
@@ -245,9 +268,15 @@ pub fn run_robustness(data: &PreparedData) -> RobustnessOutput {
     for r in &rows {
         table.row_owned(vec![
             r.rule.to_string(),
-            r.attack.as_ref().map_or("none (clean)".to_string(), ToString::to_string),
+            r.attack
+                .as_ref()
+                .map_or("none (clean)".to_string(), ToString::to_string),
             fmt_acc(r.final_accuracy),
-            if r.diverged { "COLLAPSED".to_string() } else { "-".to_string() },
+            if r.diverged {
+                "COLLAPSED".to_string()
+            } else {
+                "-".to_string()
+            },
         ]);
     }
     RobustnessOutput { table, rows }
@@ -265,7 +294,11 @@ mod tests {
         // 5 attacks × {undefended, defended}.
         assert_eq!(out.rows.len(), 10);
         for r in &out.rows {
-            assert!(r.evidence_ok, "evidence missing for {} defended={}", r.attack, r.defended);
+            assert!(
+                r.evidence_ok,
+                "evidence missing for {} defended={}",
+                r.attack, r.defended
+            );
             assert!((0.0..=1.0).contains(&r.honest_accuracy));
         }
     }

@@ -78,8 +78,7 @@ pub fn run_retarget(seed: u64) -> RetargetOutput {
         let calm = mean(40..100);
         let join = mean(140..200);
         let leave = mean(240..300);
-        let shock_error =
-            ((join - target_s).abs() + (leave - target_s).abs()) / (2.0 * target_s);
+        let shock_error = ((join - target_s).abs() + (leave - target_s).abs()) / (2.0 * target_s);
         rows.push(RetargetRow {
             rule,
             calm_cadence_secs: calm,
@@ -91,7 +90,13 @@ pub fn run_retarget(seed: u64) -> RetargetOutput {
 
     let mut table = Table::new(
         "Difficulty retarget — cadence through a miner-population shock (target 13 s)",
-        &["Rule", "Calm (s)", "After join (s)", "After leave (s)", "Shock error"],
+        &[
+            "Rule",
+            "Calm (s)",
+            "After join (s)",
+            "After leave (s)",
+            "Shock error",
+        ],
     );
     for r in &rows {
         table.row_owned(vec![

@@ -144,7 +144,10 @@ mod tests {
         let txs = vec![tx];
         let mut h = header();
         h.tx_root = Block::compute_tx_root(&txs);
-        let block = Block { header: h, transactions: txs };
+        let block = Block {
+            header: h,
+            transactions: txs,
+        };
         assert!(block.tx_root_valid());
         assert_eq!(block.number(), 1);
 
@@ -164,7 +167,10 @@ mod tests {
         let b = Transaction::transfer(H160::zero(), H160::zero(), 0, 1).with_payload_bytes(250);
         let mut h = header();
         h.tx_root = Block::compute_tx_root(&[a.clone(), b.clone()]);
-        let block = Block { header: h, transactions: vec![a, b] };
+        let block = Block {
+            header: h,
+            transactions: vec![a, b],
+        };
         assert_eq!(block.total_payload_bytes(), 350);
     }
 }

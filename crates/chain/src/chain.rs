@@ -70,7 +70,10 @@ impl std::fmt::Display for ImportError {
             ImportError::BadTxRoot => write!(f, "transaction root mismatch"),
             ImportError::BadStateRoot { .. } => write!(f, "state root mismatch"),
             ImportError::BadGasUsed { declared, computed } => {
-                write!(f, "gas used mismatch: declared {declared}, computed {computed}")
+                write!(
+                    f,
+                    "gas used mismatch: declared {declared}, computed {computed}"
+                )
             }
         }
     }
@@ -155,12 +158,19 @@ impl Blockchain {
         let mut out = Vec::with_capacity(max);
         let mut cursor = *from;
         while out.len() < max {
-            let Some(block) = self.blocks.get(&cursor) else { break };
+            let Some(block) = self.blocks.get(&cursor) else {
+                break;
+            };
             if cursor == self.genesis {
                 break;
             }
             let parent = &self.blocks[&block.header.parent];
-            out.push(block.header.timestamp_ns.saturating_sub(parent.header.timestamp_ns));
+            out.push(
+                block
+                    .header
+                    .timestamp_ns
+                    .saturating_sub(parent.header.timestamp_ns),
+            );
             cursor = block.header.parent;
         }
         out
@@ -308,9 +318,13 @@ impl Blockchain {
         let parent_hash = block.header.parent;
         self.blocks.insert(hash, block);
 
-        // Fork choice: heaviest total difficulty; ties keep the current head.
+        // Fork choice: heaviest total difficulty. Equal-weight forks are
+        // broken by the smaller block hash — a deterministic rule, so any two
+        // replicas that have seen the same block set agree on the head
+        // regardless of arrival order (first-seen tie-keeping would let
+        // replicas diverge forever on a tied fork).
         let head_td = self.total_difficulty[&self.head];
-        if td > head_td {
+        if td > head_td || (td == head_td && hash < self.head) {
             let old_head = self.head;
             self.head = hash;
             if parent_hash == old_head {
@@ -363,7 +377,10 @@ impl Blockchain {
             gas_used: result.gas_used,
             gas_limit: parent.header.gas_limit,
         };
-        Block { header, transactions: txs }
+        Block {
+            header,
+            transactions: txs,
+        }
     }
 }
 
@@ -381,7 +398,7 @@ impl std::fmt::Debug for Blockchain {
 mod tests {
     use super::*;
     use crate::runtime::NullRuntime;
-    use blockfed_crypto::{H160, KeyPair};
+    use blockfed_crypto::{KeyPair, H160};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
@@ -431,7 +448,10 @@ mod tests {
         let mut chain = low_difficulty_chain(&[k.address()]);
         let block = sealed_block(&chain, k.address(), vec![], 1_000);
         chain.import(block.clone(), &mut NullRuntime).unwrap();
-        assert_eq!(chain.import(block, &mut NullRuntime), Ok(ImportOutcome::AlreadyKnown));
+        assert_eq!(
+            chain.import(block, &mut NullRuntime),
+            Ok(ImportOutcome::AlreadyKnown)
+        );
     }
 
     #[test]
@@ -454,7 +474,10 @@ mod tests {
         let mut chain = Blockchain::new(&spec);
         // Candidate without real mining: astronomically unlikely to seal.
         let block = chain.build_candidate(k.address(), vec![], 1_000, &mut NullRuntime);
-        assert_eq!(chain.import(block, &mut NullRuntime), Err(ImportError::BadSeal));
+        assert_eq!(
+            chain.import(block, &mut NullRuntime),
+            Err(ImportError::BadSeal)
+        );
     }
 
     #[test]
@@ -463,7 +486,10 @@ mod tests {
         let spec = GenesisSpec::with_accounts(&[k.address()], 1_000).with_difficulty(u128::MAX / 2);
         let mut chain = Blockchain::with_seal_policy(&spec, SealPolicy::Simulated);
         let block = chain.build_candidate(k.address(), vec![], 1_000, &mut NullRuntime);
-        assert_eq!(chain.import(block, &mut NullRuntime), Ok(ImportOutcome::Extended));
+        assert_eq!(
+            chain.import(block, &mut NullRuntime),
+            Ok(ImportOutcome::Extended)
+        );
     }
 
     #[test]
@@ -487,7 +513,10 @@ mod tests {
         let mut block = sealed_block(&chain, k.address(), vec![tx], 1_000);
         block.transactions.clear();
         pow::mine(&mut block.header, 0, 10_000_000).unwrap();
-        assert_eq!(chain.import(block, &mut NullRuntime), Err(ImportError::BadTxRoot));
+        assert_eq!(
+            chain.import(block, &mut NullRuntime),
+            Err(ImportError::BadTxRoot)
+        );
     }
 
     #[test]
@@ -499,13 +528,19 @@ mod tests {
         pow::mine(&mut wrong_number.header, 0, 10_000_000).unwrap();
         assert!(matches!(
             chain.import(wrong_number, &mut NullRuntime),
-            Err(ImportError::BadNumber { expected: 1, got: 7 })
+            Err(ImportError::BadNumber {
+                expected: 1,
+                got: 7
+            })
         ));
 
         let mut stale_ts = sealed_block(&chain, k.address(), vec![], 1_000);
         stale_ts.header.timestamp_ns = 0; // genesis is 0; must be strictly greater
         pow::mine(&mut stale_ts.header, 0, 10_000_000).unwrap();
-        assert_eq!(chain.import(stale_ts, &mut NullRuntime), Err(ImportError::BadTimestamp));
+        assert_eq!(
+            chain.import(stale_ts, &mut NullRuntime),
+            Err(ImportError::BadTimestamp)
+        );
     }
 
     #[test]
@@ -538,7 +573,10 @@ mod tests {
         };
         pow::mine(&mut block_b.header, 0, 10_000_000).unwrap();
         let b_hash = block_b.hash();
-        assert_eq!(chain.import(block_b, &mut NullRuntime), Ok(ImportOutcome::SideChain));
+        assert_eq!(
+            chain.import(block_b, &mut NullRuntime),
+            Ok(ImportOutcome::SideChain)
+        );
         assert_eq!(chain.head(), a_hash);
 
         // Extend B: the B-branch becomes heavier and triggers a reorg.
@@ -613,7 +651,10 @@ mod tests {
     fn retarget_rule_is_homestead_by_default_and_switchable() {
         let k = key(31);
         let chain = low_difficulty_chain(&[k.address()]);
-        assert_eq!(chain.retarget_rule(), crate::retarget::RetargetRule::Homestead);
+        assert_eq!(
+            chain.retarget_rule(),
+            crate::retarget::RetargetRule::Homestead
+        );
         let spec = GenesisSpec::with_accounts(&[k.address()], 1_000_000_000).with_difficulty(16);
         let chain = Blockchain::new(&spec)
             .with_retarget_rule(crate::retarget::RetargetRule::MovingAverage { window: 4 });
@@ -643,9 +684,15 @@ mod tests {
         assert_eq!(difficulties[0], 100_000);
         assert_eq!(difficulties[1], 100_000);
         assert_eq!(difficulties[2], 100_000);
-        assert!(difficulties[3] > 150_000, "no epoch retarget: {difficulties:?}");
+        assert!(
+            difficulties[3] > 150_000,
+            "no epoch retarget: {difficulties:?}"
+        );
         assert_eq!(difficulties[4], difficulties[3]);
-        assert!(difficulties[7] > difficulties[3], "second epoch flat: {difficulties:?}");
+        assert!(
+            difficulties[7] > difficulties[3],
+            "second epoch flat: {difficulties:?}"
+        );
     }
 
     #[test]

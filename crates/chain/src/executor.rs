@@ -60,7 +60,10 @@ pub fn execute_tx(
         return invalid("intrinsic gas exceeds limit");
     }
     // Affordability: worst-case gas plus transferred value.
-    let max_cost = tx.gas_limit.saturating_mul(tx.gas_price).saturating_add(tx.value);
+    let max_cost = tx
+        .gas_limit
+        .saturating_mul(tx.gas_price)
+        .saturating_add(tx.value);
     if state.balance(&tx.from) < max_cost {
         return invalid("unaffordable");
     }
@@ -89,9 +92,15 @@ pub fn execute_tx(
             let code = state.code(to);
             // Snapshot covers the value transfer and all contract effects but
             // not the nonce bump: a reverted call still burns the nonce.
-            let snapshot = if code.is_empty() { None } else { Some(state.clone()) };
+            let snapshot = if code.is_empty() {
+                None
+            } else {
+                Some(state.clone())
+            };
             if tx.value > 0 {
-                state.transfer(tx.from, *to, tx.value).expect("affordability pre-checked");
+                state
+                    .transfer(tx.from, *to, tx.value)
+                    .expect("affordability pre-checked");
             }
             if !code.is_empty() {
                 let ctx = CallContext {
@@ -117,10 +126,18 @@ pub fn execute_tx(
 
     // Fee: gas_used * price moves from sender to miner.
     let fee = gas_used.saturating_mul(tx.gas_price);
-    state.debit(tx.from, fee).expect("affordability pre-checked");
+    state
+        .debit(tx.from, fee)
+        .expect("affordability pre-checked");
     state.credit(env.miner, fee);
 
-    Receipt { tx_hash, status, gas_used, output, logs }
+    Receipt {
+        tx_hash,
+        status,
+        gas_used,
+        output,
+        logs,
+    }
 }
 
 /// Executes a transaction list on a copy of `parent_state`.
@@ -152,7 +169,11 @@ pub fn execute_block_txs(
         gas_used += receipt.gas_used;
         receipts.push(receipt);
     }
-    ExecutionResult { state, receipts, gas_used }
+    ExecutionResult {
+        state,
+        receipts,
+        gas_used,
+    }
 }
 
 #[cfg(test)]
@@ -247,7 +268,12 @@ mod tests {
 
     struct RevertingRuntime;
     impl ContractRuntime for RevertingRuntime {
-        fn execute(&mut self, _c: &CallContext, _code: &[u8], state: &mut State) -> crate::runtime::ExecOutcome {
+        fn execute(
+            &mut self,
+            _c: &CallContext,
+            _code: &[u8],
+            state: &mut State,
+        ) -> crate::runtime::ExecOutcome {
             // Scribble on state, then revert.
             state.credit(H160::zero(), 999_999);
             crate::runtime::ExecOutcome::reverted(5_000)
@@ -270,13 +296,20 @@ mod tests {
         let call = Transaction::call(caller.address(), contract, vec![], 0).signed(&caller);
         let r = execute_tx(&mut state, &call, &env, &mut RevertingRuntime);
         assert_eq!(r.status, ExecStatus::Reverted);
-        assert_eq!(state.balance(&H160::zero()), 0, "scribbles must be rolled back");
+        assert_eq!(
+            state.balance(&H160::zero()),
+            0,
+            "scribbles must be rolled back"
+        );
         assert_eq!(r.gas_used, TX_BASE_GAS + 5_000);
-        assert_eq!(state.nonce(&caller.address()), 1, "nonce burned despite revert");
+        assert_eq!(
+            state.nonce(&caller.address()),
+            1,
+            "nonce burned despite revert"
+        );
         // Miner collected the deploy fee (base + 1 nonzero byte + create) plus
         // the reverted call's fee (base + 5 000 execution gas).
-        let deploy_fee =
-            TX_BASE_GAS + crate::gas::DATA_NONZERO_GAS + crate::gas::CREATE_GAS;
+        let deploy_fee = TX_BASE_GAS + crate::gas::DATA_NONZERO_GAS + crate::gas::CREATE_GAS;
         assert_eq!(state.balance(&env.miner), deploy_fee + TX_BASE_GAS + 5_000);
     }
 
@@ -288,7 +321,10 @@ mod tests {
         let txs: Vec<Transaction> = (0..5)
             .map(|n| Transaction::transfer(k.address(), k.address(), 1, n).signed(&k))
             .collect();
-        let env = BlockEnv { gas_limit: TX_BASE_GAS * 2, ..env() };
+        let env = BlockEnv {
+            gas_limit: TX_BASE_GAS * 2,
+            ..env()
+        };
         let result = execute_block_txs(&state, &txs, &env, &mut NullRuntime);
         let ok = result.receipts.iter().filter(|r| r.is_success()).count();
         assert_eq!(ok, 2, "only two transfers fit the block");

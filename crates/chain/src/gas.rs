@@ -38,7 +38,11 @@ pub const DEFAULT_BLOCK_GAS_LIMIT: u64 = 200_000_000;
 pub fn intrinsic_gas(tx: &Transaction) -> u64 {
     let mut gas = TX_BASE_GAS;
     for &b in &tx.data {
-        gas += if b == 0 { DATA_ZERO_GAS } else { DATA_NONZERO_GAS };
+        gas += if b == 0 {
+            DATA_ZERO_GAS
+        } else {
+            DATA_NONZERO_GAS
+        };
     }
     gas += tx.payload_bytes.saturating_mul(PAYLOAD_BYTE_GAS);
     if tx.to.is_none() {

@@ -79,7 +79,13 @@ impl GenesisSpec {
             gas_used: 0,
             gas_limit: self.gas_limit,
         };
-        (Block { header, transactions: Vec::new() }, state)
+        (
+            Block {
+                header,
+                transactions: Vec::new(),
+            },
+            state,
+        )
     }
 }
 

@@ -105,7 +105,10 @@ impl Mempool {
         }
         let current = state.nonce(&tx.from);
         if tx.nonce < current {
-            return Err(MempoolError::StaleNonce { current, got: tx.nonce });
+            return Err(MempoolError::StaleNonce {
+                current,
+                got: tx.nonce,
+            });
         }
         let slot = self.by_sender.entry(tx.from).or_default();
         if let Some(existing) = slot.get(&tx.nonce) {
@@ -125,8 +128,11 @@ impl Mempool {
     /// [`Mempool::prune`] runs after the block commits.
     pub fn select(&self, state: &State, gas_budget: u64, max_txs: usize) -> Vec<Transaction> {
         // Cursor per sender: next expected nonce.
-        let mut cursors: BTreeMap<H160, u64> =
-            self.by_sender.keys().map(|a| (*a, state.nonce(a))).collect();
+        let mut cursors: BTreeMap<H160, u64> = self
+            .by_sender
+            .keys()
+            .map(|a| (*a, state.nonce(a)))
+            .collect();
         let mut chosen = Vec::new();
         let mut gas_left = gas_budget;
         while chosen.len() < max_txs {
@@ -227,12 +233,16 @@ mod tests {
         let state = funded(&[&a, &b]);
         let mut pool = Mempool::new();
         pool.insert(
-            Transaction::transfer(a.address(), a.address(), 1, 0).with_gas_price(1).signed(&a),
+            Transaction::transfer(a.address(), a.address(), 1, 0)
+                .with_gas_price(1)
+                .signed(&a),
             &state,
         )
         .unwrap();
         pool.insert(
-            Transaction::transfer(b.address(), b.address(), 1, 0).with_gas_price(5).signed(&b),
+            Transaction::transfer(b.address(), b.address(), 1, 0)
+                .with_gas_price(5)
+                .signed(&b),
             &state,
         )
         .unwrap();
@@ -247,7 +257,10 @@ mod tests {
         state.consume_nonce(k.address(), 0).unwrap();
         let mut pool = Mempool::new();
         let unsigned = Transaction::transfer(k.address(), k.address(), 1, 1);
-        assert_eq!(pool.insert(unsigned, &state), Err(MempoolError::BadSignature));
+        assert_eq!(
+            pool.insert(unsigned, &state),
+            Err(MempoolError::BadSignature)
+        );
         let stale = Transaction::transfer(k.address(), k.address(), 1, 0).signed(&k);
         assert_eq!(
             pool.insert(stale, &state),
@@ -260,13 +273,20 @@ mod tests {
         let k = key(5);
         let state = funded(&[&k]);
         let mut pool = Mempool::new();
-        let tx1 = Transaction::transfer(k.address(), k.address(), 1, 0).with_gas_price(2).signed(&k);
+        let tx1 = Transaction::transfer(k.address(), k.address(), 1, 0)
+            .with_gas_price(2)
+            .signed(&k);
         pool.insert(tx1, &state).unwrap();
-        let same_price =
-            Transaction::transfer(k.address(), k.address(), 2, 0).with_gas_price(2).signed(&k);
-        assert_eq!(pool.insert(same_price, &state), Err(MempoolError::Duplicate));
-        let bumped =
-            Transaction::transfer(k.address(), k.address(), 2, 0).with_gas_price(3).signed(&k);
+        let same_price = Transaction::transfer(k.address(), k.address(), 2, 0)
+            .with_gas_price(2)
+            .signed(&k);
+        assert_eq!(
+            pool.insert(same_price, &state),
+            Err(MempoolError::Duplicate)
+        );
+        let bumped = Transaction::transfer(k.address(), k.address(), 2, 0)
+            .with_gas_price(3)
+            .signed(&k);
         pool.insert(bumped.clone(), &state).unwrap();
         assert_eq!(pool.len(), 1);
         let picked = pool.select(&state, u64::MAX, 10);

@@ -7,6 +7,7 @@
 //! delays from the memoryless distribution `Exp(hashrate / difficulty)` —
 //! statistically equivalent and fast.
 
+use blockfed_crypto::sha256::{Midstate, Sha256};
 use blockfed_crypto::{H256, U256};
 use blockfed_sim::{Exponential, SimDuration};
 use rand::Rng;
@@ -49,9 +50,81 @@ pub fn hash_meets(hash: H256, difficulty: u128) -> bool {
     hash.meets_target(&target_for(difficulty))
 }
 
-/// Searches nonces from `start` until the header seals, up to `max_attempts`.
-/// Returns the winning nonce, leaving it installed in the header.
-pub fn mine(header: &mut Header, start: u64, max_attempts: u64) -> Option<u64> {
+/// Precomputed state for the nonce-search hot path.
+///
+/// A header's proof-of-work preimage is 172 bytes of which only the 8-byte
+/// nonce varies between attempts. The context compresses the first 64-byte
+/// block of the fixed prefix **once** (the SHA-256 midstate) and lays the
+/// remaining 108 bytes out in a stack buffer, so each attempt patches 8 bytes
+/// and runs 2 compression calls instead of 3 — a 1.5× reduction in hashing
+/// work per nonce — with a bit-identical digest.
+#[derive(Clone, Debug)]
+pub struct MiningContext {
+    midstate: Midstate,
+    /// Remaining preimage after the first block: 20 fixed prefix bytes, the
+    /// 8 nonce bytes, then the 80-byte fixed suffix.
+    tail: [u8; Self::TAIL_LEN],
+    target: U256,
+}
+
+impl MiningContext {
+    const PREFIX_LEN: usize = 32 + 8 + 8 + 20 + 16; // parent..difficulty = 84
+    const NONCE_AT: usize = Self::PREFIX_LEN - 64; // 20 bytes into the tail
+    const TAIL_LEN: usize = Self::NONCE_AT + 8 + 80; // 108
+
+    /// Prepares the midstate and tail for `header` (its current nonce is
+    /// irrelevant).
+    pub fn new(header: &Header) -> Self {
+        let mut preimage = [0u8; 64 + Self::TAIL_LEN];
+        let mut at = 0usize;
+        fn put(buf: &mut [u8], at: &mut usize, bytes: &[u8]) {
+            buf[*at..*at + bytes.len()].copy_from_slice(bytes);
+            *at += bytes.len();
+        }
+        put(&mut preimage, &mut at, header.parent.as_bytes());
+        put(&mut preimage, &mut at, &header.number.to_le_bytes());
+        put(&mut preimage, &mut at, &header.timestamp_ns.to_le_bytes());
+        put(&mut preimage, &mut at, header.miner.as_bytes());
+        put(&mut preimage, &mut at, &header.difficulty.to_le_bytes());
+        debug_assert_eq!(at, Self::PREFIX_LEN);
+        put(&mut preimage, &mut at, &[0u8; 8]); // nonce placeholder
+        put(&mut preimage, &mut at, header.tx_root.as_bytes());
+        put(&mut preimage, &mut at, header.state_root.as_bytes());
+        put(&mut preimage, &mut at, &header.gas_used.to_le_bytes());
+        put(&mut preimage, &mut at, &header.gas_limit.to_le_bytes());
+        debug_assert_eq!(at, preimage.len());
+
+        let mut h = Sha256::new();
+        h.update(&preimage[..64]);
+        let midstate = h.midstate().expect("64 bytes is a block boundary");
+        let mut tail = [0u8; Self::TAIL_LEN];
+        tail.copy_from_slice(&preimage[64..]);
+        MiningContext {
+            midstate,
+            tail,
+            target: target_for(header.difficulty),
+        }
+    }
+
+    /// The header hash for `nonce`; bit-identical to [`Header::hash`] with
+    /// the nonce installed.
+    pub fn hash_with_nonce(&self, nonce: u64) -> H256 {
+        let mut tail = self.tail;
+        tail[Self::NONCE_AT..Self::NONCE_AT + 8].copy_from_slice(&nonce.to_le_bytes());
+        let mut h = Sha256::from_midstate(self.midstate);
+        h.update(&tail);
+        h.finalize()
+    }
+
+    /// Whether `nonce` seals the header.
+    pub fn seals(&self, nonce: u64) -> bool {
+        self.hash_with_nonce(nonce).meets_target(&self.target)
+    }
+}
+
+/// Scalar reference nonce search: full header re-hash per attempt. Retained
+/// as the ground truth for [`mine`] and [`mine_parallel`]; use those instead.
+pub fn mine_reference(header: &mut Header, start: u64, max_attempts: u64) -> Option<u64> {
     for i in 0..max_attempts {
         header.nonce = start.wrapping_add(i);
         if seal_valid(header) {
@@ -59,6 +132,44 @@ pub fn mine(header: &mut Header, start: u64, max_attempts: u64) -> Option<u64> {
         }
     }
     None
+}
+
+/// Searches nonces from `start` until the header seals, up to `max_attempts`.
+/// Returns the winning nonce, leaving it installed in the header.
+///
+/// Single-threaded but midstate-cached: ~1.5× the nonce throughput of
+/// [`mine_reference`] with the same result.
+pub fn mine(header: &mut Header, start: u64, max_attempts: u64) -> Option<u64> {
+    let ctx = MiningContext::new(header);
+    for i in 0..max_attempts {
+        let nonce = start.wrapping_add(i);
+        if ctx.seals(nonce) {
+            header.nonce = nonce;
+            return Some(nonce);
+        }
+    }
+    if max_attempts > 0 {
+        // Match the scalar reference: the last attempted nonce stays installed.
+        header.nonce = start.wrapping_add(max_attempts - 1);
+    }
+    None
+}
+
+/// Like [`mine`] but fans the search across the [`blockfed_compute`] worker
+/// pool in ascending nonce blocks. Deterministic: returns the same (lowest)
+/// winning nonce as the sequential scan at every thread count.
+pub fn mine_parallel(header: &mut Header, start: u64, max_attempts: u64) -> Option<u64> {
+    let ctx = MiningContext::new(header);
+    let found =
+        blockfed_compute::par_find_first(start, max_attempts, 4096, |nonce| ctx.seals(nonce));
+    match found {
+        Some(nonce) => header.nonce = nonce,
+        // Match mine/mine_reference: the last attempted nonce stays
+        // installed, so batched callers can resume from header.nonce + 1.
+        None if max_attempts > 0 => header.nonce = start.wrapping_add(max_attempts - 1),
+        None => {}
+    }
+    found
 }
 
 /// Ethereum-Homestead-flavoured difficulty retarget: move by `parent/2048`
@@ -150,6 +261,55 @@ mod tests {
     }
 
     #[test]
+    fn midstate_hash_matches_full_header_hash() {
+        let mut h = header(1000);
+        h.parent = blockfed_crypto::sha256::sha256(b"parent");
+        h.tx_root = blockfed_crypto::sha256::sha256(b"txs");
+        h.state_root = blockfed_crypto::sha256::sha256(b"state");
+        h.gas_used = 12345;
+        h.timestamp_ns = 987654321;
+        let ctx = MiningContext::new(&h);
+        for nonce in [0u64, 1, 42, u64::MAX, 0xDEAD_BEEF] {
+            h.nonce = nonce;
+            assert_eq!(ctx.hash_with_nonce(nonce), h.hash(), "nonce {nonce}");
+        }
+    }
+
+    #[test]
+    fn mine_matches_scalar_reference() {
+        for difficulty in [16u128, 64, 256] {
+            let mut a = header(difficulty);
+            let mut b = header(difficulty);
+            let via_ref = mine_reference(&mut a, 7, 1_000_000);
+            let via_mid = mine(&mut b, 7, 1_000_000);
+            assert_eq!(via_ref, via_mid, "difficulty {difficulty}");
+            assert_eq!(a.nonce, b.nonce);
+        }
+    }
+
+    #[test]
+    fn mine_parallel_matches_sequential_at_every_thread_count() {
+        for threads in [1usize, 2, 8] {
+            blockfed_compute::set_threads(threads);
+            let mut a = header(64);
+            let mut b = header(64);
+            let sequential = mine(&mut a, 0, 1_000_000);
+            let parallel = mine_parallel(&mut b, 0, 1_000_000);
+            assert_eq!(sequential, parallel, "threads {threads}");
+            assert_eq!(a.nonce, b.nonce);
+            assert!(seal_valid(&b));
+            // Budget exhaustion agrees too, including the resumable
+            // last-attempted nonce left in the header.
+            let mut c = header(u128::MAX);
+            let mut d = header(u128::MAX);
+            assert_eq!(mine_parallel(&mut c, 0, 10_000), None);
+            assert_eq!(mine(&mut d, 0, 10_000), None);
+            assert_eq!(c.nonce, d.nonce);
+        }
+        blockfed_compute::set_threads(0);
+    }
+
+    #[test]
     fn retarget_moves_toward_block_time() {
         let d = 1_000_000u128;
         let faster = next_difficulty(d, TARGET_BLOCK_TIME_NS / 2);
@@ -160,7 +320,10 @@ mod tests {
 
     #[test]
     fn retarget_clamps_at_minimum() {
-        assert_eq!(next_difficulty(MIN_DIFFICULTY, TARGET_BLOCK_TIME_NS * 10), MIN_DIFFICULTY);
+        assert_eq!(
+            next_difficulty(MIN_DIFFICULTY, TARGET_BLOCK_TIME_NS * 10),
+            MIN_DIFFICULTY
+        );
         assert!(next_difficulty(17, TARGET_BLOCK_TIME_NS * 10) >= MIN_DIFFICULTY);
     }
 

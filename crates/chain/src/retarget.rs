@@ -113,8 +113,14 @@ impl DifficultyController {
                 assert!(window > 0, "window must be positive");
             }
             RetargetRule::Pi { kp, ki } => {
-                assert!(kp.is_finite() && kp >= 0.0, "kp must be finite and non-negative");
-                assert!(ki.is_finite() && ki >= 0.0, "ki must be finite and non-negative");
+                assert!(
+                    kp.is_finite() && kp >= 0.0,
+                    "kp must be finite and non-negative"
+                );
+                assert!(
+                    ki.is_finite() && ki >= 0.0,
+                    "ki must be finite and non-negative"
+                );
             }
             RetargetRule::Homestead => {}
         }
@@ -219,8 +225,8 @@ impl RetargetRule {
                 let scaled = if target_ns == TARGET_BLOCK_TIME_NS {
                     newest
                 } else {
-                    ((u128::from(newest) * u128::from(TARGET_BLOCK_TIME_NS)
-                        / u128::from(target_ns)) as u64)
+                    ((u128::from(newest) * u128::from(TARGET_BLOCK_TIME_NS) / u128::from(target_ns))
+                        as u64)
                         .max(1)
                 };
                 next_difficulty(parent_difficulty, scaled)
@@ -231,8 +237,8 @@ impl RetargetRule {
                     parent_difficulty
                 } else {
                     let slice = &intervals_newest_first[..window.min(intervals_newest_first.len())];
-                    let mean = slice.iter().map(|&i| i.max(1) as f64).sum::<f64>()
-                        / slice.len() as f64;
+                    let mean =
+                        slice.iter().map(|&i| i.max(1) as f64).sum::<f64>() / slice.len() as f64;
                     let ratio =
                         (target_ns as f64 / mean).clamp(1.0 / MAX_STEP_FACTOR, MAX_STEP_FACTOR);
                     scale_difficulty(parent_difficulty, ratio)
@@ -307,8 +313,7 @@ mod tests {
 
     #[test]
     fn moving_average_scales_toward_target() {
-        let mut c =
-            DifficultyController::new(RetargetRule::MovingAverage { window: 4 }, 1_000_000);
+        let mut c = DifficultyController::new(RetargetRule::MovingAverage { window: 4 }, 1_000_000);
         // Blocks arriving 2x too fast → difficulty should rise ~2x.
         for _ in 0..4 {
             c.observe(TARGET_BLOCK_TIME_NS / 2);
@@ -323,8 +328,7 @@ mod tests {
 
     #[test]
     fn pi_reacts_to_persistent_error() {
-        let mut c =
-            DifficultyController::new(RetargetRule::Pi { kp: 0.4, ki: 0.1 }, 1_000_000);
+        let mut c = DifficultyController::new(RetargetRule::Pi { kp: 0.4, ki: 0.1 }, 1_000_000);
         for _ in 0..10 {
             c.observe(TARGET_BLOCK_TIME_NS / 4);
         }
@@ -333,8 +337,7 @@ mod tests {
 
     #[test]
     fn per_step_change_is_clamped() {
-        let mut c =
-            DifficultyController::new(RetargetRule::MovingAverage { window: 1 }, 1_000_000);
+        let mut c = DifficultyController::new(RetargetRule::MovingAverage { window: 1 }, 1_000_000);
         // An absurdly fast block cannot more than double difficulty in one step.
         let d = c.observe(1);
         assert!(d <= 2_000_000);
@@ -354,7 +357,10 @@ mod tests {
             for _ in 0..20 {
                 c.observe(TARGET_BLOCK_TIME_NS * 100);
             }
-            assert!(c.difficulty() >= MIN_DIFFICULTY, "{rule} went below minimum");
+            assert!(
+                c.difficulty() >= MIN_DIFFICULTY,
+                "{rule} went below minimum"
+            );
         }
     }
 
@@ -363,9 +369,10 @@ mod tests {
         // Start 10x too easy; each adaptive rule must restore ~13 s cadence.
         let hashrate = 100_000.0;
         let easy = (hashrate * TARGET_S / 10.0) as u128;
-        for rule in
-            [RetargetRule::MovingAverage { window: 8 }, RetargetRule::Pi { kp: 0.3, ki: 0.05 }]
-        {
+        for rule in [
+            RetargetRule::MovingAverage { window: 8 },
+            RetargetRule::Pi { kp: 0.3, ki: 0.05 },
+        ] {
             let mut c = DifficultyController::new(rule, easy);
             let mut rng = StdRng::seed_from_u64(11);
             let intervals = simulate_cadence(&mut c, |_| hashrate, 400, &mut rng);
@@ -416,8 +423,12 @@ mod tests {
         assert_eq!(c.target_ns(), TARGET_BLOCK_TIME_NS);
         assert_eq!(c.rule(), RetargetRule::MovingAverage { window: 3 });
         assert_eq!(RetargetRule::Homestead.to_string(), "homestead");
-        assert!(RetargetRule::MovingAverage { window: 3 }.to_string().contains("w=3"));
-        assert!(RetargetRule::Pi { kp: 0.3, ki: 0.05 }.to_string().contains("kp=0.3"));
+        assert!(RetargetRule::MovingAverage { window: 3 }
+            .to_string()
+            .contains("w=3"));
+        assert!(RetargetRule::Pi { kp: 0.3, ki: 0.05 }
+            .to_string()
+            .contains("kp=0.3"));
     }
 
     #[test]
@@ -453,7 +464,10 @@ mod tests {
             RetargetRule::MovingAverage { window: 4 },
             RetargetRule::Pi { kp: 0.3, ki: 0.05 },
         ] {
-            assert_eq!(rule.from_history(5_000, 1, &[], TARGET_BLOCK_TIME_NS), 5_000);
+            assert_eq!(
+                rule.from_history(5_000, 1, &[], TARGET_BLOCK_TIME_NS),
+                5_000
+            );
         }
     }
 
@@ -462,7 +476,10 @@ mod tests {
         let rule = RetargetRule::MovingAverage { window: 4 };
         let fast = [TARGET_BLOCK_TIME_NS / 2; 4];
         // Off-boundary blocks inherit the parent difficulty.
-        assert_eq!(rule.from_history(1_000_000, 5, &fast, TARGET_BLOCK_TIME_NS), 1_000_000);
+        assert_eq!(
+            rule.from_history(1_000_000, 5, &fast, TARGET_BLOCK_TIME_NS),
+            1_000_000
+        );
         // Boundary blocks rescale toward the target (2x fast → 2x difficulty).
         let at_boundary = rule.from_history(1_000_000, 8, &fast, TARGET_BLOCK_TIME_NS);
         assert!(at_boundary > 1_800_000, "got {at_boundary}");
@@ -474,7 +491,10 @@ mod tests {
         let fast = [TARGET_BLOCK_TIME_NS / 4; 8];
         let one = rule.from_history(1_000_000, 3, &fast[..1], TARGET_BLOCK_TIME_NS);
         let many = rule.from_history(1_000_000, 9, &fast, TARGET_BLOCK_TIME_NS);
-        assert!(many > one, "integral term must add pressure: {many} <= {one}");
+        assert!(
+            many > one,
+            "integral term must add pressure: {many} <= {one}"
+        );
         assert!(many <= 2_000_000, "per-step clamp violated");
     }
 
@@ -493,6 +513,12 @@ mod tests {
     #[test]
     #[should_panic(expected = "kp must be finite")]
     fn bad_gain_rejected() {
-        let _ = DifficultyController::new(RetargetRule::Pi { kp: f64::NAN, ki: 0.0 }, 100);
+        let _ = DifficultyController::new(
+            RetargetRule::Pi {
+                kp: f64::NAN,
+                ki: 0.0,
+            },
+            100,
+        );
     }
 }

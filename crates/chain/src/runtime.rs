@@ -42,12 +42,22 @@ pub struct ExecOutcome {
 impl ExecOutcome {
     /// A successful, empty outcome.
     pub fn ok() -> Self {
-        ExecOutcome { success: true, gas_used: 0, output: Vec::new(), logs: Vec::new() }
+        ExecOutcome {
+            success: true,
+            gas_used: 0,
+            output: Vec::new(),
+            logs: Vec::new(),
+        }
     }
 
     /// A reverted outcome consuming `gas_used`.
     pub fn reverted(gas_used: u64) -> Self {
-        ExecOutcome { success: false, gas_used, output: Vec::new(), logs: Vec::new() }
+        ExecOutcome {
+            success: false,
+            gas_used,
+            output: Vec::new(),
+            logs: Vec::new(),
+        }
     }
 }
 

@@ -170,7 +170,10 @@ impl State {
 
     /// The contract code at an address (empty if none).
     pub fn code(&self, addr: &H160) -> Vec<u8> {
-        self.accounts.get(addr).map(|a| a.code.clone()).unwrap_or_default()
+        self.accounts
+            .get(addr)
+            .map(|a| a.code.clone())
+            .unwrap_or_default()
     }
 
     /// Deterministic digest of the whole state (accounts and storage in
@@ -225,7 +228,10 @@ mod tests {
         assert_eq!(s.balance(&addr(1)), 70);
         assert_eq!(
             s.debit(addr(1), 71),
-            Err(StateError::InsufficientBalance { needed: 71, available: 70 })
+            Err(StateError::InsufficientBalance {
+                needed: 71,
+                available: 70
+            })
         );
         assert_eq!(s.balance(&addr(1)), 70, "failed debit must not mutate");
     }
@@ -247,7 +253,10 @@ mod tests {
         s.consume_nonce(addr(1), 1).unwrap();
         assert_eq!(
             s.consume_nonce(addr(1), 1),
-            Err(StateError::NonceMismatch { expected: 2, got: 1 })
+            Err(StateError::NonceMismatch {
+                expected: 2,
+                got: 1
+            })
         );
         assert_eq!(s.nonce(&addr(1)), 2);
     }

@@ -2,7 +2,7 @@
 //! contracts, and — in this system — carry federated model updates.
 
 use blockfed_crypto::sha256::Sha256;
-use blockfed_crypto::{H160, H256, KeyPair, PublicKey, Signature, SignatureError};
+use blockfed_crypto::{KeyPair, PublicKey, Signature, SignatureError, H160, H256};
 use serde::{Deserialize, Serialize};
 
 /// A transaction, optionally signed.
@@ -173,7 +173,8 @@ impl Transaction {
         if pk.address() != self.from {
             return Err(TxError::SenderMismatch);
         }
-        pk.verify(&self.signing_bytes(), sig).map_err(TxError::BadSignature)
+        pk.verify(&self.signing_bytes(), sig)
+            .map_err(TxError::BadSignature)
     }
 
     /// The transaction hash (covers the signature when present).
@@ -234,7 +235,10 @@ mod tests {
         let k = key(2);
         let mut tx = Transaction::transfer(k.address(), H160::zero(), 5, 0).signed(&k);
         tx.value = 500;
-        assert!(matches!(tx.verify_signature(), Err(TxError::BadSignature(_))));
+        assert!(matches!(
+            tx.verify_signature(),
+            Err(TxError::BadSignature(_))
+        ));
     }
 
     #[test]

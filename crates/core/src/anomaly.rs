@@ -54,11 +54,18 @@ pub fn detect_norm_outliers(updates: &[&ModelUpdate], z_threshold: f64) -> Vec<A
     let mut norms = Vec::with_capacity(updates.len());
     for (i, u) in updates.iter().enumerate() {
         if !u.is_finite() {
-            reports.push(AnomalyReport { index: i, reason: AnomalyReason::NonFinite });
+            reports.push(AnomalyReport {
+                index: i,
+                reason: AnomalyReason::NonFinite,
+            });
             norms.push(None);
         } else {
-            let norm: f64 =
-                u.params.iter().map(|&p| f64::from(p) * f64::from(p)).sum::<f64>().sqrt();
+            let norm: f64 = u
+                .params
+                .iter()
+                .map(|&p| f64::from(p) * f64::from(p))
+                .sum::<f64>()
+                .sqrt();
             norms.push(Some(norm));
         }
     }
@@ -76,7 +83,10 @@ pub fn detect_norm_outliers(updates: &[&ModelUpdate], z_threshold: f64) -> Vec<A
         if let Some(n) = norm {
             let z = (n - mean) / std;
             if z.abs() > z_threshold {
-                reports.push(AnomalyReport { index: i, reason: AnomalyReason::NormOutlier { z } });
+                reports.push(AnomalyReport {
+                    index: i,
+                    reason: AnomalyReason::NormOutlier { z },
+                });
             }
         }
     }
@@ -94,14 +104,20 @@ pub fn detect_unfit(
     let mut reports = Vec::new();
     for (i, u) in updates.iter().enumerate() {
         if !u.is_finite() {
-            reports.push(AnomalyReport { index: i, reason: AnomalyReason::NonFinite });
+            reports.push(AnomalyReport {
+                index: i,
+                reason: AnomalyReason::NonFinite,
+            });
             continue;
         }
         let accuracy = evaluate(u);
         if accuracy < threshold {
             reports.push(AnomalyReport {
                 index: i,
-                reason: AnomalyReason::BelowFitness { accuracy, threshold },
+                reason: AnomalyReason::BelowFitness {
+                    accuracy,
+                    threshold,
+                },
             });
         }
     }
@@ -124,7 +140,10 @@ pub fn detect_degenerate(
     let mut reports = Vec::new();
     for (i, u) in updates.iter().enumerate() {
         if !u.is_finite() {
-            reports.push(AnomalyReport { index: i, reason: AnomalyReason::NonFinite });
+            reports.push(AnomalyReport {
+                index: i,
+                reason: AnomalyReason::NonFinite,
+            });
             continue;
         }
         let cm = confusion(u);
@@ -132,7 +151,9 @@ pub fn detect_degenerate(
         if cm.total() > 1 && predicted < min_classes {
             reports.push(AnomalyReport {
                 index: i,
-                reason: AnomalyReason::Degenerate { predicted_classes: predicted },
+                reason: AnomalyReason::Degenerate {
+                    predicted_classes: predicted,
+                },
             });
         }
     }
@@ -234,14 +255,18 @@ mod tests {
         });
         assert_eq!(reports.len(), 1);
         assert_eq!(reports[0].index, 0);
-        assert_eq!(reports[0].reason, AnomalyReason::Degenerate { predicted_classes: 1 });
+        assert_eq!(
+            reports[0].reason,
+            AnomalyReason::Degenerate {
+                predicted_classes: 1
+            }
+        );
     }
 
     #[test]
     fn degenerate_detector_flags_non_finite_without_scoring() {
         let bad = upd(0, vec![f32::NAN]);
-        let reports =
-            detect_degenerate(&[&bad], 2, |_| panic!("must not evaluate non-finite"));
+        let reports = detect_degenerate(&[&bad], 2, |_| panic!("must not evaluate non-finite"));
         assert_eq!(reports[0].reason, AnomalyReason::NonFinite);
     }
 

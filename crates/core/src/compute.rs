@@ -26,12 +26,20 @@ impl ComputeProfile {
     /// A profile shaped like the paper's testbed: one i7-8700 core pair per VM,
     /// with visible contention between Geth mining and PyTorch training.
     pub fn paper_vm() -> Self {
-        ComputeProfile { hashrate: 80_000.0, train_rate: 900.0, contention: 0.35 }
+        ComputeProfile {
+            hashrate: 80_000.0,
+            train_rate: 900.0,
+            contention: 0.35,
+        }
     }
 
     /// A contention-free profile (the ablation baseline).
     pub fn isolated(hashrate: f64, train_rate: f64) -> Self {
-        ComputeProfile { hashrate, train_rate, contention: 0.0 }
+        ComputeProfile {
+            hashrate,
+            train_rate,
+            contention: 0.0,
+        }
     }
 
     /// Validates the profile.
@@ -40,10 +48,10 @@ impl ComputeProfile {
     ///
     /// Describes the first violated constraint.
     pub fn validate(&self) -> Result<(), String> {
-        if !(self.hashrate > 0.0) || !self.hashrate.is_finite() {
+        if self.hashrate.is_nan() || self.hashrate <= 0.0 || !self.hashrate.is_finite() {
             return Err("hashrate must be positive".into());
         }
-        if !(self.train_rate > 0.0) || !self.train_rate.is_finite() {
+        if self.train_rate.is_nan() || self.train_rate <= 0.0 || !self.train_rate.is_finite() {
             return Err("train_rate must be positive".into());
         }
         if !(0.0..1.0).contains(&self.contention) {
@@ -86,7 +94,11 @@ mod tests {
 
     #[test]
     fn contention_reduces_hashrate_only_while_training() {
-        let p = ComputeProfile { hashrate: 1000.0, train_rate: 100.0, contention: 0.4 };
+        let p = ComputeProfile {
+            hashrate: 1000.0,
+            train_rate: 100.0,
+            contention: 0.4,
+        };
         assert_eq!(p.effective_hashrate(false), 1000.0);
         assert_eq!(p.effective_hashrate(true), 600.0);
     }
@@ -102,7 +114,11 @@ mod tests {
 
     #[test]
     fn mining_inflates_training_time() {
-        let p = ComputeProfile { hashrate: 1000.0, train_rate: 100.0, contention: 0.5 };
+        let p = ComputeProfile {
+            hashrate: 1000.0,
+            train_rate: 100.0,
+            contention: 0.5,
+        };
         let quiet = p.training_time(100, 1, false);
         let contended = p.training_time(100, 1, true);
         assert_eq!(contended.as_secs_f64(), 2.0 * quiet.as_secs_f64());
@@ -112,20 +128,26 @@ mod tests {
     fn isolated_profile_has_no_interference() {
         let p = ComputeProfile::isolated(500.0, 50.0);
         assert_eq!(p.effective_hashrate(true), 500.0);
-        assert_eq!(
-            p.training_time(10, 1, true),
-            p.training_time(10, 1, false)
-        );
+        assert_eq!(p.training_time(10, 1, true), p.training_time(10, 1, false));
     }
 
     #[test]
     fn validation() {
         assert!(ComputeProfile::paper_vm().validate().is_ok());
-        let bad = ComputeProfile { hashrate: 0.0, ..ComputeProfile::paper_vm() };
+        let bad = ComputeProfile {
+            hashrate: 0.0,
+            ..ComputeProfile::paper_vm()
+        };
         assert!(bad.validate().is_err());
-        let bad = ComputeProfile { contention: 1.0, ..ComputeProfile::paper_vm() };
+        let bad = ComputeProfile {
+            contention: 1.0,
+            ..ComputeProfile::paper_vm()
+        };
         assert!(bad.validate().is_err());
-        let bad = ComputeProfile { train_rate: f64::NAN, ..ComputeProfile::paper_vm() };
+        let bad = ComputeProfile {
+            train_rate: f64::NAN,
+            ..ComputeProfile::paper_vm()
+        };
         assert!(bad.validate().is_err());
     }
 }

@@ -3,7 +3,7 @@
 
 use blockfed_chain::{Blockchain, Transaction};
 use blockfed_crypto::sha256::sha256;
-use blockfed_crypto::{H160, H256, KeyPair};
+use blockfed_crypto::{KeyPair, H160, H256};
 use blockfed_fl::ModelUpdate;
 use blockfed_nn::serialize::encode_params;
 use blockfed_vm::RegistryCall;
@@ -38,7 +38,13 @@ pub fn submit_model_tx(
 
 /// Builds the signed `register` transaction.
 pub fn register_tx(registry: H160, key: &KeyPair, nonce: u64) -> Transaction {
-    Transaction::call(key.address(), registry, RegistryCall::Register.encode(), nonce).signed(key)
+    Transaction::call(
+        key.address(),
+        registry,
+        RegistryCall::Register.encode(),
+        nonce,
+    )
+    .signed(key)
 }
 
 /// Builds the signed `record_aggregate` transaction.
@@ -50,7 +56,11 @@ pub fn record_aggregate_tx(
     key: &KeyPair,
     nonce: u64,
 ) -> Transaction {
-    let call = RegistryCall::RecordAggregate { round, combo_mask, agg_hash };
+    let call = RegistryCall::RecordAggregate {
+        round,
+        combo_mask,
+        agg_hash,
+    };
     Transaction::call(key.address(), registry, call.encode(), nonce).signed(key)
 }
 

@@ -32,11 +32,10 @@ pub use anomaly::{
 };
 pub use compute::ComputeProfile;
 pub use coupling::{
-    confirmed_submissions, model_fingerprint, record_aggregate_tx, register_tx,
-    submit_model_tx, ConfirmedSubmission,
+    confirmed_submissions, model_fingerprint, record_aggregate_tx, register_tx, submit_model_tx,
+    ConfirmedSubmission,
 };
 pub use nonrepudiation::{collect_evidence, verify_evidence, AuditError, Evidence};
 pub use orchestrator::{
-    AuditRecord, ChainStats, Decentralized, DecentralizedConfig, DecentralizedRun,
-    PeerRoundRecord,
+    AuditRecord, ChainStats, Decentralized, DecentralizedConfig, DecentralizedRun, PeerRoundRecord,
 };

@@ -7,7 +7,7 @@
 //! fingerprint. This module assembles and verifies that evidence.
 
 use blockfed_chain::{Block, Blockchain};
-use blockfed_crypto::{H160, H256, MerkleProof, MerkleTree};
+use blockfed_crypto::{MerkleProof, MerkleTree, H160, H256};
 use blockfed_fl::ModelUpdate;
 
 use crate::coupling::{confirmed_submissions, model_fingerprint};
@@ -89,7 +89,9 @@ pub fn collect_evidence(
         .into_iter()
         .find(|s| s.sender == author && s.model_hash == fingerprint)
         .ok_or(AuditError::NotOnChain)?;
-    let block = chain.block(&submission.block_hash).ok_or(AuditError::UnknownBlock)?;
+    let block = chain
+        .block(&submission.block_hash)
+        .ok_or(AuditError::UnknownBlock)?;
     let (_, inclusion) =
         tx_merkle_proof(block, &submission.tx_hash).ok_or(AuditError::TxNotInBlock)?;
     Ok(Evidence {
@@ -116,17 +118,23 @@ pub fn verify_evidence(
     if model_fingerprint(update) != evidence.model_hash {
         return Err(AuditError::FingerprintMismatch);
     }
-    let block = chain.block(&evidence.block_hash).ok_or(AuditError::UnknownBlock)?;
+    let block = chain
+        .block(&evidence.block_hash)
+        .ok_or(AuditError::UnknownBlock)?;
     let tx = block
         .transactions
         .iter()
         .find(|t| t.hash() == evidence.tx_hash)
         .ok_or(AuditError::TxNotInBlock)?;
-    tx.verify_signature().map_err(|_| AuditError::BadSignature)?;
+    tx.verify_signature()
+        .map_err(|_| AuditError::BadSignature)?;
     if tx.from != evidence.author {
         return Err(AuditError::AuthorMismatch);
     }
-    if !evidence.inclusion.verify(&evidence.tx_hash, &block.header.tx_root) {
+    if !evidence
+        .inclusion
+        .verify(&evidence.tx_hash, &block.header.tx_root)
+    {
         return Err(AuditError::BadInclusionProof);
     }
     Ok(())
@@ -151,8 +159,9 @@ mod tests {
     }
 
     fn fixture() -> Fixture {
-        let keys: Vec<KeyPair> =
-            (1..=2).map(|s| KeyPair::generate(&mut StdRng::seed_from_u64(s))).collect();
+        let keys: Vec<KeyPair> = (1..=2)
+            .map(|s| KeyPair::generate(&mut StdRng::seed_from_u64(s)))
+            .collect();
         let addrs: Vec<H160> = keys.iter().map(KeyPair::address).collect();
         let mut reg_bytes = [0u8; 20];
         reg_bytes[0] = 0xEE;
@@ -171,7 +180,12 @@ mod tests {
         ];
         let block = chain.build_candidate(addrs[0], txs, 1_000, &mut runtime);
         chain.import(block, &mut runtime).unwrap();
-        Fixture { chain, registry, keys, update }
+        Fixture {
+            chain,
+            registry,
+            keys,
+            update,
+        }
     }
 
     #[test]

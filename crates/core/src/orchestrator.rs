@@ -26,10 +26,11 @@
 use std::collections::HashMap;
 
 use blockfed_chain::{Blockchain, GenesisSpec, Mempool, SealPolicy, Transaction};
-use blockfed_crypto::{H160, H256, KeyPair};
+use blockfed_crypto::{KeyPair, H160, H256};
 use blockfed_data::{Batcher, Dataset};
 use blockfed_fl::{
-    aggregate, Adversary, ClientId, Combination, ModelUpdate, Strategy, WaitPolicy,
+    aggregate_with, Adversary, CandidateEvaluator, ClientId, Combination, ModelUpdate, Strategy,
+    WaitPolicy,
 };
 use blockfed_net::{LinkSpec, Network, NodeId, Topology};
 use blockfed_nn::{Sequential, Sgd};
@@ -38,9 +39,7 @@ use blockfed_vm::{BlockfedRuntime, NativeContract, NATIVE_REGISTRY_CODE};
 use rand::Rng;
 
 use crate::compute::ComputeProfile;
-use crate::coupling::{
-    confirmed_submissions, record_aggregate_tx, register_tx, submit_model_tx,
-};
+use crate::coupling::{confirmed_submissions, record_aggregate_tx, register_tx, submit_model_tx};
 
 /// Configuration of a decentralized run.
 #[derive(Debug, Clone)]
@@ -162,7 +161,10 @@ pub struct PeerRoundRecord {
 impl PeerRoundRecord {
     /// Looks up a combination's accuracy by its label.
     pub fn accuracy_of(&self, label: &str) -> Option<f64> {
-        self.combos.iter().find(|(l, _)| l == label).map(|(_, a)| *a)
+        self.combos
+            .iter()
+            .find(|(l, _)| l == label)
+            .map(|(_, a)| *a)
     }
 }
 
@@ -235,7 +237,10 @@ impl DecentralizedRun {
 
     /// Final-round chosen accuracy of a peer.
     pub fn final_accuracy(&self, peer: usize) -> f64 {
-        self.peer_records[peer].last().map(|r| r.chosen_accuracy).unwrap_or(0.0)
+        self.peer_records[peer]
+            .last()
+            .map(|r| r.chosen_accuracy)
+            .unwrap_or(0.0)
     }
 
     /// Age-of-block statistics pooled across all peers and rounds (exact
@@ -268,6 +273,26 @@ impl DecentralizedRun {
             }
         }
         out
+    }
+}
+
+/// Scores candidate aggregates on a test set using one scratch model per
+/// compute worker, so a round's combination search (the paper's "consider"
+/// loop, exponential in peer count) runs across cores. Every evaluation
+/// resets its scratch's parameters first, so scores are identical at any
+/// pool size.
+struct PoolScorer<'a> {
+    pool: &'a mut [Sequential],
+    test: &'a Dataset,
+}
+
+impl CandidateEvaluator for PoolScorer<'_> {
+    fn score_batch(&mut self, candidates: &[&[f32]]) -> Vec<f64> {
+        let test = self.test;
+        blockfed_compute::par_map_with(self.pool, candidates, |model, params| {
+            model.set_params_flat(params);
+            model.evaluate(test).accuracy
+        })
     }
 }
 
@@ -320,16 +345,28 @@ impl<'a> Decentralized<'a> {
         peer_tests: &'a [Dataset],
     ) -> Self {
         assert!(train_shards.len() >= 2, "need at least two peers");
-        assert_eq!(train_shards.len(), peer_tests.len(), "shard/test count mismatch");
+        assert_eq!(
+            train_shards.len(),
+            peer_tests.len(),
+            "shard/test count mismatch"
+        );
         config.compute.validate().expect("invalid compute profile");
         if let Some(profiles) = &config.per_peer_compute {
-            assert_eq!(profiles.len(), train_shards.len(), "per-peer compute count mismatch");
+            assert_eq!(
+                profiles.len(),
+                train_shards.len(),
+                "per-peer compute count mismatch"
+            );
             for p in profiles {
                 p.validate().expect("invalid per-peer compute profile");
             }
         }
         assert!(config.rounds > 0, "need at least one round");
-        Decentralized { config, train_shards, peer_tests }
+        Decentralized {
+            config,
+            train_shards,
+            peer_tests,
+        }
     }
 
     /// The compute profile of one peer.
@@ -376,11 +413,23 @@ impl<'a> Decentralized<'a> {
         let spec = GenesisSpec::with_accounts(&addrs, u64::MAX / 4)
             .with_difficulty(cfg.difficulty)
             .with_code(registry, NATIVE_REGISTRY_CODE.to_vec());
-        let addr_to_client: HashMap<H160, ClientId> =
-            addrs.iter().enumerate().map(|(i, a)| (*a, ClientId(i))).collect();
+        let addr_to_client: HashMap<H160, ClientId> = addrs
+            .iter()
+            .enumerate()
+            .map(|(i, a)| (*a, ClientId(i)))
+            .collect();
 
         let init_params = make_model().params_flat();
-        let mut scratch = make_model();
+        // One scratch model per compute worker (capped — beyond 8 the
+        // combination batches are too small to split further). Extra
+        // scratches are parameter-level duplicates, so the `make_model` RNG
+        // stream — and with it every result — is independent of the worker
+        // count.
+        let mut scratch_pool = vec![make_model()];
+        while scratch_pool.len() < blockfed_compute::num_threads().min(8) {
+            let dup = scratch_pool[0].duplicate();
+            scratch_pool.push(dup);
+        }
         let mut peers: Vec<PeerState> = (0..n)
             .map(|i| {
                 let mut runtime = BlockfedRuntime::new();
@@ -437,7 +486,9 @@ impl<'a> Decentralized<'a> {
 
         // Initial training for every peer.
         for (i, shard) in self.train_shards.iter().enumerate() {
-            let base = self.compute_for(i).training_time(shard.len(), cfg.local_epochs, true);
+            let base = self
+                .compute_for(i)
+                .training_time(shard.len(), cfg.local_epochs, true);
             let jitter = base.mul_f64(train_time_rng.gen_range(0.0..0.05));
             sched.schedule_after(base + jitter, Event::TrainDone { peer: i });
         }
@@ -453,7 +504,10 @@ impl<'a> Decentralized<'a> {
 
         while let Some((now, event)) = sched.next() {
             events_processed += 1;
-            assert!(events_processed < event_cap, "event cap exceeded; livelock?");
+            assert!(
+                events_processed < event_cap,
+                "event cap exceeded; livelock?"
+            );
             if peers.iter().all(|p| p.done(cfg.rounds)) {
                 finished_at = finished_at.max(now);
                 break;
@@ -465,7 +519,8 @@ impl<'a> Decentralized<'a> {
                     let mut model = make_model();
                     model.set_params_flat(&peers[peer].global_params);
                     let mut opt = Sgd::new(cfg.lr, cfg.momentum);
-                    let mut rng = hub.indexed_stream("train", (peer as u64) << 32 | u64::from(round));
+                    let mut rng =
+                        hub.indexed_stream("train", (peer as u64) << 32 | u64::from(round));
                     model.train_epochs(
                         &self.train_shards[peer],
                         cfg.local_epochs,
@@ -518,12 +573,30 @@ impl<'a> Decentralized<'a> {
                     for (node, delay) in
                         network.flood(NodeId(peer), cfg.payload_bytes, &mut net_rng)
                     {
-                        sched.schedule_after(delay, Event::DeliverTx { to: node.0, idx: tx_idx });
+                        sched.schedule_after(
+                            delay,
+                            Event::DeliverTx {
+                                to: node.0,
+                                idx: tx_idx,
+                            },
+                        );
                     }
                     self.try_aggregate(
-                        peer, now, registry, &mut peers, &mut scratch, &addr_to_client, &publish_time, &hub,
-                        &mut trace, &mut sched, &network, &mut net_rng, &mut tx_log,
-                        &mut tx_update, &mut train_time_rng,
+                        peer,
+                        now,
+                        registry,
+                        &mut peers,
+                        &mut scratch_pool,
+                        &addr_to_client,
+                        &publish_time,
+                        &hub,
+                        &mut trace,
+                        &mut sched,
+                        &network,
+                        &mut net_rng,
+                        &mut tx_log,
+                        &mut tx_update,
+                        &mut train_time_rng,
                     );
                 }
                 Event::DeliverTx { to, idx } => {
@@ -536,9 +609,21 @@ impl<'a> Decentralized<'a> {
                     let state_now = peers[to].chain.state().clone();
                     let _ = peers[to].mempool.insert(tx, &state_now);
                     self.try_aggregate(
-                        to, now, registry, &mut peers, &mut scratch, &addr_to_client, &publish_time, &hub,
-                        &mut trace, &mut sched, &network, &mut net_rng, &mut tx_log,
-                        &mut tx_update, &mut train_time_rng,
+                        to,
+                        now,
+                        registry,
+                        &mut peers,
+                        &mut scratch_pool,
+                        &addr_to_client,
+                        &publish_time,
+                        &hub,
+                        &mut trace,
+                        &mut sched,
+                        &network,
+                        &mut net_rng,
+                        &mut tx_log,
+                        &mut tx_update,
+                        &mut train_time_rng,
                     );
                 }
                 Event::SealBlock => {
@@ -566,12 +651,9 @@ impl<'a> Decentralized<'a> {
                     let txs = peers[winner].mempool.select(&state_now, gas_limit, 64);
                     let (block, ok) = {
                         let p = &mut peers[winner];
-                        let block = p.chain.build_candidate(
-                            p.key.address(),
-                            txs,
-                            ts,
-                            &mut p.runtime,
-                        );
+                        let block =
+                            p.chain
+                                .build_candidate(p.key.address(), txs, ts, &mut p.runtime);
                         let ok = p.chain.import(block.clone(), &mut p.runtime).is_ok();
                         (block, ok)
                     };
@@ -595,13 +677,28 @@ impl<'a> Decentralized<'a> {
                         {
                             sched.schedule_after(
                                 delay,
-                                Event::DeliverBlock { to: node.0, idx: block_idx },
+                                Event::DeliverBlock {
+                                    to: node.0,
+                                    idx: block_idx,
+                                },
                             );
                         }
                         self.try_aggregate(
-                            winner, now, registry, &mut peers, &mut scratch, &addr_to_client,
-                            &publish_time, &hub, &mut trace, &mut sched, &network, &mut net_rng, &mut tx_log,
-                            &mut tx_update, &mut train_time_rng,
+                            winner,
+                            now,
+                            registry,
+                            &mut peers,
+                            &mut scratch_pool,
+                            &addr_to_client,
+                            &publish_time,
+                            &hub,
+                            &mut trace,
+                            &mut sched,
+                            &network,
+                            &mut net_rng,
+                            &mut tx_log,
+                            &mut tx_update,
+                            &mut train_time_rng,
                         );
                     }
                     let delay = self.sample_race_delay(&peers, &mut mine_rng);
@@ -610,9 +707,21 @@ impl<'a> Decentralized<'a> {
                 Event::DeliverBlock { to, idx } => {
                     self.import_with_orphans(to, idx, &mut peers, &block_log);
                     self.try_aggregate(
-                        to, now, registry, &mut peers, &mut scratch, &addr_to_client, &publish_time, &hub,
-                        &mut trace, &mut sched, &network, &mut net_rng, &mut tx_log,
-                        &mut tx_update, &mut train_time_rng,
+                        to,
+                        now,
+                        registry,
+                        &mut peers,
+                        &mut scratch_pool,
+                        &addr_to_client,
+                        &publish_time,
+                        &hub,
+                        &mut trace,
+                        &mut sched,
+                        &network,
+                        &mut net_rng,
+                        &mut tx_log,
+                        &mut tx_update,
+                        &mut train_time_rng,
                     );
                 }
             }
@@ -634,7 +743,11 @@ impl<'a> Decentralized<'a> {
                             crate::nonrepudiation::verify_evidence(&peers[0].chain, &ev, u)
                         })
                         .is_ok();
-                AuditRecord { client: u.client, round: u.round, verified }
+                AuditRecord {
+                    client: u.client,
+                    round: u.round,
+                    verified,
+                }
             })
             .collect();
         DecentralizedRun {
@@ -693,7 +806,7 @@ impl<'a> Decentralized<'a> {
         now: SimTime,
         registry: H160,
         peers: &mut [PeerState],
-        scratch: &mut Sequential,
+        scratch_pool: &mut [Sequential],
         addr_to_client: &HashMap<H160, ClientId>,
         publish_time: &HashMap<H256, SimTime>,
         hub: &RngHub,
@@ -780,6 +893,7 @@ impl<'a> Decentralized<'a> {
             Some(min) => {
                 let test = &self.peer_tests[peer];
                 let refs: Vec<&ModelUpdate> = screened.iter().collect();
+                let scratch = &mut scratch_pool[0];
                 let flagged: std::collections::HashSet<usize> =
                     crate::anomaly::detect_degenerate(&refs, min, |u| {
                         scratch.set_params_flat(&u.params);
@@ -821,13 +935,14 @@ impl<'a> Decentralized<'a> {
             None => screened,
             Some(th) => {
                 let test = &self.peer_tests[peer];
-                let mut scored: Vec<(f64, ModelUpdate)> = screened
-                    .into_iter()
-                    .map(|u| {
-                        scratch.set_params_flat(&u.params);
-                        (scratch.evaluate(test).accuracy, u)
-                    })
-                    .collect();
+                // Standalone fitness scores are independent per model: fan
+                // them across the scratch pool.
+                let accs =
+                    blockfed_compute::par_map_with(&mut scratch_pool[..], &screened, |model, u| {
+                        model.set_params_flat(&u.params);
+                        model.evaluate(test).accuracy
+                    });
+                let mut scored: Vec<(f64, ModelUpdate)> = accs.into_iter().zip(screened).collect();
                 let passing: Vec<ModelUpdate> = scored
                     .iter()
                     .filter(|(a, _)| *a >= th)
@@ -859,21 +974,20 @@ impl<'a> Decentralized<'a> {
         let refs: Vec<&ModelUpdate> = usable.iter().collect();
         let test = &self.peer_tests[peer];
         let mut agg_rng = hub.indexed_stream("aggregate", (peer as u64) << 32 | u64::from(round));
-        let outcome = aggregate(
-            cfg.strategy,
-            &refs,
-            |params| {
-                scratch.set_params_flat(params);
-                scratch.evaluate(test).accuracy
-            },
-            &mut agg_rng,
-        )
-        .expect("non-empty usable updates");
+        let mut scorer = PoolScorer {
+            pool: scratch_pool,
+            test,
+        };
+        let outcome = aggregate_with(cfg.strategy, &refs, &mut scorer, &mut agg_rng)
+            .expect("non-empty usable updates");
 
         let me = ClientId(peer);
         let label = |c: &Combination| c.label(Some(me));
-        let combos: Vec<(String, f64)> =
-            outcome.candidates.iter().map(|(c, a)| (label(c), *a)).collect();
+        let combos: Vec<(String, f64)> = outcome
+            .candidates
+            .iter()
+            .map(|(c, a)| (label(c), *a))
+            .collect();
         let chosen_label = label(&outcome.combination);
 
         // Record the aggregate on chain (mask over client indices).
@@ -881,9 +995,9 @@ impl<'a> Decentralized<'a> {
         for member in outcome.combination.members() {
             mask |= 1 << member.0;
         }
-        let agg_hash = blockfed_crypto::sha256::sha256(
-            &blockfed_nn::serialize::encode_params(&outcome.params),
-        );
+        let agg_hash = blockfed_crypto::sha256::sha256(&blockfed_nn::serialize::encode_params(
+            &outcome.params,
+        ));
         let tx = record_aggregate_tx(
             round,
             mask,
@@ -938,16 +1052,22 @@ impl<'a> Decentralized<'a> {
         // Map confirmed senders for the trace (audit-friendly).
         for s in &confirmed {
             if let Some(c) = addr_to_client.get(&s.sender) {
-                trace.record(now, "round.input", format!("peer={peer} from={c} round={round}"));
+                trace.record(
+                    now,
+                    "round.input",
+                    format!("peer={peer} from={c} round={round}"),
+                );
             }
         }
 
         if round < cfg.rounds {
             peers[peer].current_round = round + 1;
             peers[peer].training = true;
-            let base = self
-                .compute_for(peer)
-                .training_time(self.train_shards[peer].len(), cfg.local_epochs, true);
+            let base = self.compute_for(peer).training_time(
+                self.train_shards[peer].len(),
+                cfg.local_epochs,
+                true,
+            );
             let jitter = base.mul_f64(train_time_rng.gen_range(0.0..0.05));
             sched.schedule_after(base + jitter, Event::TrainDone { peer });
         }
@@ -1001,9 +1121,16 @@ mod tests {
         let gen = SynthCifar::new(SynthCifarConfig::tiny());
         let (train, test) = gen.generate(2);
         let mut rng = StdRng::seed_from_u64(3);
-        let shards =
-            partition_dataset(&train, 3, Partition::DirichletLabelSkew { alpha: 0.7 }, &mut rng);
-        Fixture { shards, tests: vec![test.clone(), test.clone(), test] }
+        let shards = partition_dataset(
+            &train,
+            3,
+            Partition::DirichletLabelSkew { alpha: 0.7 },
+            &mut rng,
+        );
+        Fixture {
+            shards,
+            tests: vec![test.clone(), test.clone(), test],
+        }
     }
 
     fn quick_config(policy: WaitPolicy, seed: u64) -> DecentralizedConfig {
@@ -1017,7 +1144,11 @@ mod tests {
             strategy: Strategy::Consider,
             payload_bytes: 10_000,
             difficulty: 200_000, // fast blocks so tests stay quick
-            compute: ComputeProfile { hashrate: 100_000.0, train_rate: 500.0, contention: 0.3 },
+            compute: ComputeProfile {
+                hashrate: 100_000.0,
+                train_rate: 500.0,
+                contention: 0.3,
+            },
             per_peer_compute: None,
             fitness_threshold: None,
             norm_z_threshold: None,
@@ -1044,7 +1175,11 @@ mod tests {
     /// asynchronous policies genuinely aggregate before stragglers finish.
     fn straggler_config(policy: WaitPolicy, seed: u64) -> DecentralizedConfig {
         let mut cfg = quick_config(policy, seed);
-        cfg.compute = ComputeProfile { hashrate: 100_000.0, train_rate: 5.0, contention: 0.3 };
+        cfg.compute = ComputeProfile {
+            hashrate: 100_000.0,
+            train_rate: 5.0,
+            contention: 0.3,
+        };
         cfg.difficulty = 100_000;
         cfg
     }
@@ -1135,11 +1270,11 @@ mod tests {
     #[test]
     fn accuracy_improves_over_rounds() {
         let fx = fixture();
-        let mut cfg = quick_config(WaitPolicy::All, 10);
+        let mut cfg = quick_config(WaitPolicy::All, 11);
         cfg.rounds = 4;
         let driver = Decentralized::new(cfg, &fx.shards, &fx.tests);
         let nn = SimpleNnConfig::tiny(fx.tests[0].feature_dim(), fx.tests[0].num_classes());
-        let mut arch_rng = StdRng::seed_from_u64(10);
+        let mut arch_rng = StdRng::seed_from_u64(11);
         let out = driver.run(&mut || nn.build(&mut arch_rng));
         for peer in 0..3 {
             let first = out.peer_records[peer][0].chosen_accuracy;
@@ -1158,16 +1293,13 @@ mod tests {
         let driver = Decentralized::new(cfg, &fx.shards, &fx.tests);
         let nn = SimpleNnConfig::tiny(fx.tests[0].feature_dim(), fx.tests[0].num_classes());
         let mut arch_rng = StdRng::seed_from_u64(30);
-        let out = driver.run_with_hook(
-            &mut || nn.build(&mut arch_rng),
-            &mut |u| {
-                if u.client == blockfed_fl::ClientId(0) {
-                    for p in &mut u.params {
-                        *p = 25.0; // garbage weights: near-zero accuracy
-                    }
+        let out = driver.run_with_hook(&mut || nn.build(&mut arch_rng), &mut |u| {
+            if u.client == blockfed_fl::ClientId(0) {
+                for p in &mut u.params {
+                    *p = 25.0; // garbage weights: near-zero accuracy
                 }
-            },
-        );
+            }
+        });
         // Peers B and C must never include A's model in their chosen combo.
         for peer in 1..3 {
             for r in &out.peer_records[peer] {
@@ -1178,7 +1310,10 @@ mod tests {
                     r.chosen
                 );
                 // And the combination search never even evaluated A.
-                assert!(r.combos.iter().all(|(l, _)| !l.split(',').any(|c| c == "A")));
+                assert!(r
+                    .combos
+                    .iter()
+                    .all(|(l, _)| !l.split(',').any(|c| c == "A")));
             }
         }
     }
@@ -1223,18 +1358,24 @@ mod tests {
         // artefact, so the evidence chain still verifies against it.
         let fx = fixture();
         let mut cfg = quick_config(WaitPolicy::All, 44);
-        cfg.adversaries =
-            vec![Adversary::new(blockfed_fl::ClientId(1), blockfed_fl::Attack::NanInjection {
-                fraction: 1.0,
-            })];
+        cfg.adversaries = vec![Adversary::new(
+            blockfed_fl::ClientId(1),
+            blockfed_fl::Attack::NanInjection { fraction: 1.0 },
+        )];
         let driver = Decentralized::new(cfg, &fx.shards, &fx.tests);
         let nn = SimpleNnConfig::tiny(fx.tests[0].feature_dim(), fx.tests[0].num_classes());
         let mut arch_rng = StdRng::seed_from_u64(44);
         let out = driver.run(&mut || nn.build(&mut arch_rng));
-        let attacker_audits: Vec<_> =
-            out.audits.iter().filter(|a| a.client == blockfed_fl::ClientId(1)).collect();
+        let attacker_audits: Vec<_> = out
+            .audits
+            .iter()
+            .filter(|a| a.client == blockfed_fl::ClientId(1))
+            .collect();
         assert!(!attacker_audits.is_empty());
-        assert!(attacker_audits.iter().all(|a| a.verified), "{attacker_audits:?}");
+        assert!(
+            attacker_audits.iter().all(|a| a.verified),
+            "{attacker_audits:?}"
+        );
         // And the published log preserves the poisoned parameters.
         let poisoned = out
             .published_updates
@@ -1265,10 +1406,10 @@ mod tests {
         let fx = fixture();
         let mut cfg = quick_config(WaitPolicy::All, 40);
         cfg.norm_z_threshold = Some(1.2);
-        cfg.adversaries =
-            vec![Adversary::new(blockfed_fl::ClientId(0), blockfed_fl::Attack::Scale {
-                factor: 50.0,
-            })];
+        cfg.adversaries = vec![Adversary::new(
+            blockfed_fl::ClientId(0),
+            blockfed_fl::Attack::Scale { factor: 50.0 },
+        )];
         let driver = Decentralized::new(cfg, &fx.shards, &fx.tests);
         let nn = SimpleNnConfig::tiny(fx.tests[0].feature_dim(), fx.tests[0].num_classes());
         let mut arch_rng = StdRng::seed_from_u64(40);
@@ -1277,7 +1418,9 @@ mod tests {
         // Honest peers must have dropped A's boosted model as a norm outlier.
         let drops = out.drops();
         assert!(
-            drops.iter().any(|(peer, _, reason)| *peer != 0 && reason == "A:norm-outlier"),
+            drops
+                .iter()
+                .any(|(peer, _, reason)| *peer != 0 && reason == "A:norm-outlier"),
             "no norm-outlier drop of the attacker recorded: {drops:?}"
         );
         // And their chosen combinations never include A while under attack.
@@ -1296,10 +1439,10 @@ mod tests {
     fn nan_adversary_is_always_screened_without_gates() {
         let fx = fixture();
         let mut cfg = quick_config(WaitPolicy::All, 41);
-        cfg.adversaries =
-            vec![Adversary::new(blockfed_fl::ClientId(1), blockfed_fl::Attack::NanInjection {
-                fraction: 1.0,
-            })];
+        cfg.adversaries = vec![Adversary::new(
+            blockfed_fl::ClientId(1),
+            blockfed_fl::Attack::NanInjection { fraction: 1.0 },
+        )];
         let driver = Decentralized::new(cfg, &fx.shards, &fx.tests);
         let nn = SimpleNnConfig::tiny(fx.tests[0].feature_dim(), fx.tests[0].num_classes());
         let mut arch_rng = StdRng::seed_from_u64(41);
@@ -1308,7 +1451,11 @@ mod tests {
         for (peer, records) in out.peer_records.iter().enumerate() {
             assert_eq!(records.len(), 2, "peer {peer} incomplete");
             for r in records {
-                assert!(r.dropped.iter().any(|d| d == "B:malformed"), "{:?}", r.dropped);
+                assert!(
+                    r.dropped.iter().any(|d| d == "B:malformed"),
+                    "{:?}",
+                    r.dropped
+                );
                 assert_eq!(r.updates_used, 2);
             }
         }
@@ -1320,10 +1467,10 @@ mod tests {
         let fx = fixture();
         let mut cfg = quick_config(WaitPolicy::All, 45);
         cfg.degeneracy_min_classes = Some(2);
-        cfg.adversaries =
-            vec![Adversary::new(blockfed_fl::ClientId(0), blockfed_fl::Attack::Constant {
-                value: 0.0,
-            })];
+        cfg.adversaries = vec![Adversary::new(
+            blockfed_fl::ClientId(0),
+            blockfed_fl::Attack::Constant { value: 0.0 },
+        )];
         let driver = Decentralized::new(cfg, &fx.shards, &fx.tests);
         let nn = SimpleNnConfig::tiny(fx.tests[0].feature_dim(), fx.tests[0].num_classes());
         let mut arch_rng = StdRng::seed_from_u64(45);
@@ -1405,11 +1552,11 @@ mod tests {
         let fx = fixture();
         let mut cfg = quick_config(WaitPolicy::All, 43);
         cfg.rounds = 3;
-        cfg.adversaries = vec![Adversary::new(
-            blockfed_fl::ClientId(2),
-            blockfed_fl::Attack::Replay,
-        )
-        .starting_at(2)];
+        cfg.adversaries =
+            vec![
+                Adversary::new(blockfed_fl::ClientId(2), blockfed_fl::Attack::Replay)
+                    .starting_at(2),
+            ];
         let driver = Decentralized::new(cfg, &fx.shards, &fx.tests);
         let nn = SimpleNnConfig::tiny(fx.tests[0].feature_dim(), fx.tests[0].num_classes());
         let mut arch_rng = StdRng::seed_from_u64(43);

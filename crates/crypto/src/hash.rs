@@ -26,7 +26,10 @@ fn hex_val(c: u8) -> Option<u8> {
 fn hex_decode(s: &str, out: &mut [u8]) -> Result<(), ParseHashError> {
     let s = s.strip_prefix("0x").unwrap_or(s);
     if s.len() != out.len() * 2 {
-        return Err(ParseHashError::Length { expected: out.len() * 2, got: s.len() });
+        return Err(ParseHashError::Length {
+            expected: out.len() * 2,
+            got: s.len(),
+        });
     }
     let b = s.as_bytes();
     for i in 0..out.len() {
@@ -214,7 +217,10 @@ mod tests {
 
     #[test]
     fn rejects_bad_lengths_and_digits() {
-        assert!(matches!(H256::from_hex("ab"), Err(ParseHashError::Length { .. })));
+        assert!(matches!(
+            H256::from_hex("ab"),
+            Err(ParseHashError::Length { .. })
+        ));
         let bad = "zz".repeat(32);
         assert!(matches!(H256::from_hex(&bad), Err(ParseHashError::Digit)));
         assert!(H160::from_hex(&"00".repeat(20)).is_ok());

@@ -77,7 +77,9 @@ fn hash_to_scalar(parts: &[&[u8]]) -> U256 {
         h.update(p);
     }
     let digest = h.finalize();
-    U256::from_be_bytes(digest.to_bytes()).div_rem(group_order()).1
+    U256::from_be_bytes(digest.to_bytes())
+        .div_rem(group_order())
+        .1
 }
 
 impl KeyPair {
@@ -111,10 +113,16 @@ impl KeyPair {
     ///
     /// Panics if the scalar is zero or not below the group order.
     pub fn from_secret(secret: U256) -> Self {
-        assert!(!secret.is_zero() && secret < group_order(), "secret out of range");
+        assert!(
+            !secret.is_zero() && secret < group_order(),
+            "secret out of range"
+        );
         let point = generator().mul_scalar(secret);
         let (x, y) = split64(&point.to_bytes());
-        KeyPair { secret, public: PublicKey { x, y } }
+        KeyPair {
+            secret,
+            public: PublicKey { x, y },
+        }
     }
 
     /// The public half.
@@ -139,7 +147,11 @@ impl KeyPair {
         let (rx, ry) = split64(&r_point.to_bytes());
         let e = hash_to_scalar(&[&rx, &ry, &self.public.x, &self.public.y, message]);
         let s = k.add_mod(e.mul_mod(self.secret, n), n);
-        Signature { rx, ry, s: s.to_be_bytes() }
+        Signature {
+            rx,
+            ry,
+            s: s.to_be_bytes(),
+        }
     }
 }
 
@@ -249,7 +261,10 @@ mod tests {
         let kp1 = keypair(3);
         let kp2 = keypair(4);
         let sig = kp1.sign(b"msg");
-        assert_eq!(kp2.public().verify(b"msg", &sig), Err(SignatureError::VerificationFailed));
+        assert_eq!(
+            kp2.public().verify(b"msg", &sig),
+            Err(SignatureError::VerificationFailed)
+        );
     }
 
     #[test]
@@ -275,8 +290,14 @@ mod tests {
         assert_eq!(ok, Ok(kp.public()));
         let mut bad = kp.public().to_point_bytes();
         bad[0] ^= 0xFF;
-        assert_eq!(PublicKey::from_bytes(bad), Err(SignatureError::InvalidPublicKey));
-        assert_eq!(PublicKey::from_bytes([0u8; 64]), Err(SignatureError::InvalidPublicKey));
+        assert_eq!(
+            PublicKey::from_bytes(bad),
+            Err(SignatureError::InvalidPublicKey)
+        );
+        assert_eq!(
+            PublicKey::from_bytes([0u8; 64]),
+            Err(SignatureError::InvalidPublicKey)
+        );
     }
 
     #[test]
@@ -284,7 +305,10 @@ mod tests {
         let kp = keypair(9);
         let mut sig = kp.sign(b"m");
         sig.rx[1] ^= 1; // knock R off the curve
-        assert_eq!(kp.public().verify(b"m", &sig), Err(SignatureError::MalformedSignature));
+        assert_eq!(
+            kp.public().verify(b"m", &sig),
+            Err(SignatureError::MalformedSignature)
+        );
     }
 
     #[test]
@@ -292,7 +316,10 @@ mod tests {
         let kp = keypair(10);
         let mut sig = kp.sign(b"m");
         sig.s = [0xFF; 32]; // >= group order
-        assert_eq!(kp.public().verify(b"m", &sig), Err(SignatureError::MalformedSignature));
+        assert_eq!(
+            kp.public().verify(b"m", &sig),
+            Err(SignatureError::MalformedSignature)
+        );
     }
 
     #[test]
@@ -311,8 +338,14 @@ mod tests {
 
     #[test]
     fn error_display_is_informative() {
-        assert!(SignatureError::InvalidPublicKey.to_string().contains("public key"));
-        assert!(SignatureError::MalformedSignature.to_string().contains("malformed"));
-        assert!(SignatureError::VerificationFailed.to_string().contains("failed"));
+        assert!(SignatureError::InvalidPublicKey
+            .to_string()
+            .contains("public key"));
+        assert!(SignatureError::MalformedSignature
+            .to_string()
+            .contains("malformed"));
+        assert!(SignatureError::VerificationFailed
+            .to_string()
+            .contains("failed"));
     }
 }

@@ -48,7 +48,9 @@ impl MerkleTree {
     /// real tree.
     pub fn from_leaves(leaves: Vec<H256>) -> Self {
         if leaves.is_empty() {
-            return MerkleTree { levels: vec![vec![]] };
+            return MerkleTree {
+                levels: vec![vec![]],
+            };
         }
         let mut levels = vec![leaves];
         while levels.last().unwrap().len() > 1 {
@@ -66,7 +68,12 @@ impl MerkleTree {
 
     /// The root commitment (all-zero for an empty tree).
     pub fn root(&self) -> H256 {
-        self.levels.last().unwrap().first().copied().unwrap_or_else(H256::zero)
+        self.levels
+            .last()
+            .unwrap()
+            .first()
+            .copied()
+            .unwrap_or_else(H256::zero)
     }
 
     /// Number of leaves.
@@ -84,7 +91,10 @@ impl MerkleTree {
         for level in &self.levels[..self.levels.len() - 1] {
             let sibling_index = if i.is_multiple_of(2) { i + 1 } else { i - 1 };
             let sibling = *level.get(sibling_index).unwrap_or(&level[i]);
-            steps.push(ProofStep { sibling, sibling_on_left: i % 2 == 1 });
+            steps.push(ProofStep {
+                sibling,
+                sibling_on_left: i % 2 == 1,
+            });
             i /= 2;
         }
         Some(MerkleProof { steps })
@@ -127,7 +137,9 @@ mod tests {
     use crate::sha256::sha256;
 
     fn leaves(n: usize) -> Vec<H256> {
-        (0..n).map(|i| sha256(format!("leaf-{i}").as_bytes())).collect()
+        (0..n)
+            .map(|i| sha256(format!("leaf-{i}").as_bytes()))
+            .collect()
     }
 
     #[test]

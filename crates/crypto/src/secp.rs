@@ -113,7 +113,11 @@ struct Jacobian {
 }
 
 impl Jacobian {
-    const INFINITY: Jacobian = Jacobian { x: U256::ONE, y: U256::ONE, z: U256::ZERO };
+    const INFINITY: Jacobian = Jacobian {
+        x: U256::ONE,
+        y: U256::ONE,
+        z: U256::ZERO,
+    };
 
     fn is_infinity(&self) -> bool {
         self.z.is_zero()
@@ -133,7 +137,10 @@ impl Jacobian {
         let zinv = finv(self.z);
         let zinv2 = fsq(zinv);
         let zinv3 = fmul(zinv2, zinv);
-        Point::Affine { x: fmul(self.x, zinv2), y: fmul(self.y, zinv3) }
+        Point::Affine {
+            x: fmul(self.x, zinv2),
+            y: fmul(self.y, zinv3),
+        }
     }
 
     /// Point doubling (a = 0 curve).
@@ -147,7 +154,11 @@ impl Jacobian {
         let x3 = fsub(fsq(m), fadd(s, s));
         let y3 = fsub(fmul(m, fsub(s, x3)), fmul(U256::from_u64(8), fsq(y2)));
         let z3 = fmul(fadd(self.y, self.y), self.z);
-        Jacobian { x: x3, y: y3, z: z3 }
+        Jacobian {
+            x: x3,
+            y: y3,
+            z: z3,
+        }
     }
 
     fn add(self, other: Jacobian) -> Jacobian {
@@ -177,7 +188,11 @@ impl Jacobian {
         let x3 = fsub(fsub(fsq(r), h3), fadd(u1h2, u1h2));
         let y3 = fsub(fmul(r, fsub(u1h2, x3)), fmul(s1, h3));
         let z3 = fmul(fmul(self.z, other.z), h);
-        Jacobian { x: x3, y: y3, z: z3 }
+        Jacobian {
+            x: x3,
+            y: y3,
+            z: z3,
+        }
     }
 }
 
@@ -209,7 +224,9 @@ impl Point {
 
     /// Point addition.
     pub fn add(&self, other: &Point) -> Point {
-        Jacobian::from_affine(*self).add(Jacobian::from_affine(*other)).to_affine()
+        Jacobian::from_affine(*self)
+            .add(Jacobian::from_affine(*other))
+            .to_affine()
     }
 
     /// Point doubling.
@@ -266,7 +283,10 @@ impl Point {
         let mut yb = [0u8; 32];
         xb.copy_from_slice(&bytes[..32]);
         yb.copy_from_slice(&bytes[32..]);
-        let p = Point::Affine { x: U256::from_be_bytes(xb), y: U256::from_be_bytes(yb) };
+        let p = Point::Affine {
+            x: U256::from_be_bytes(xb),
+            y: U256::from_be_bytes(yb),
+        };
         p.is_on_curve().then_some(p)
     }
 }

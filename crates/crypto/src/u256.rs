@@ -138,6 +138,7 @@ impl U256 {
     }
 
     /// Addition reporting overflow.
+    #[allow(clippy::needless_range_loop)] // lockstep carry chain reads clearest indexed
     pub fn overflowing_add(self, rhs: U256) -> (U256, bool) {
         let mut out = [0u64; 4];
         let mut carry = false;
@@ -151,6 +152,7 @@ impl U256 {
     }
 
     /// Subtraction reporting borrow.
+    #[allow(clippy::needless_range_loop)] // lockstep borrow chain reads clearest indexed
     pub fn overflowing_sub(self, rhs: U256) -> (U256, bool) {
         let mut out = [0u64; 4];
         let mut borrow = false;
@@ -195,9 +197,7 @@ impl U256 {
         for i in 0..4 {
             let mut carry: u128 = 0;
             for j in 0..4 {
-                let cur = out[i + j] as u128
-                    + (self.0[i] as u128) * (rhs.0[j] as u128)
-                    + carry;
+                let cur = out[i + j] as u128 + (self.0[i] as u128) * (rhs.0[j] as u128) + carry;
                 out[i + j] = cur as u64;
                 carry = cur >> 64;
             }
@@ -214,6 +214,7 @@ impl U256 {
 
     /// Multiplication by a `u64`, returning the 320-bit result as
     /// `(low 256 bits, high limb)`.
+    #[allow(clippy::needless_range_loop)] // lockstep carry chain reads clearest indexed
     pub fn mul_u64_carry(self, rhs: u64) -> (U256, u64) {
         let mut out = [0u64; 4];
         let mut carry: u128 = 0;
@@ -333,7 +334,9 @@ impl U512 {
 
     /// Builds a 512-bit value as `hi * 2^256 + lo`.
     pub fn from_halves(hi: U256, lo: U256) -> Self {
-        U512([lo.0[0], lo.0[1], lo.0[2], lo.0[3], hi.0[0], hi.0[1], hi.0[2], hi.0[3]])
+        U512([
+            lo.0[0], lo.0[1], lo.0[2], lo.0[3], hi.0[0], hi.0[1], hi.0[2], hi.0[3],
+        ])
     }
 
     /// Splits into `(hi, lo)` halves.
@@ -372,6 +375,7 @@ impl U512 {
     /// # Panics
     ///
     /// Panics if `m` is zero.
+    #[allow(clippy::should_implement_trait)] // named like the math, not the operator
     pub fn rem(self, m: U256) -> U256 {
         assert!(!m.is_zero(), "division by zero");
         let n = self.bits();
@@ -463,6 +467,7 @@ impl Shl<u32> for U256 {
 
 impl Shr<u32> for U256 {
     type Output = U256;
+    #[allow(clippy::needless_range_loop)] // cross-limb carry reads clearest indexed
     fn shr(self, shift: u32) -> U256 {
         if shift >= 256 {
             return U256::ZERO;
@@ -485,21 +490,36 @@ impl Shr<u32> for U256 {
 impl BitAnd for U256 {
     type Output = U256;
     fn bitand(self, rhs: U256) -> U256 {
-        U256([self.0[0] & rhs.0[0], self.0[1] & rhs.0[1], self.0[2] & rhs.0[2], self.0[3] & rhs.0[3]])
+        U256([
+            self.0[0] & rhs.0[0],
+            self.0[1] & rhs.0[1],
+            self.0[2] & rhs.0[2],
+            self.0[3] & rhs.0[3],
+        ])
     }
 }
 
 impl BitOr for U256 {
     type Output = U256;
     fn bitor(self, rhs: U256) -> U256 {
-        U256([self.0[0] | rhs.0[0], self.0[1] | rhs.0[1], self.0[2] | rhs.0[2], self.0[3] | rhs.0[3]])
+        U256([
+            self.0[0] | rhs.0[0],
+            self.0[1] | rhs.0[1],
+            self.0[2] | rhs.0[2],
+            self.0[3] | rhs.0[3],
+        ])
     }
 }
 
 impl BitXor for U256 {
     type Output = U256;
     fn bitxor(self, rhs: U256) -> U256 {
-        U256([self.0[0] ^ rhs.0[0], self.0[1] ^ rhs.0[1], self.0[2] ^ rhs.0[2], self.0[3] ^ rhs.0[3]])
+        U256([
+            self.0[0] ^ rhs.0[0],
+            self.0[1] ^ rhs.0[1],
+            self.0[2] ^ rhs.0[2],
+            self.0[3] ^ rhs.0[3],
+        ])
     }
 }
 
@@ -692,7 +712,16 @@ mod tests {
         let a = m.wrapping_add(u(5));
         let wide = a.mul_wide(m);
         let (lo_sum, carry) = wide.split_halves().1.overflowing_add(u(7));
-        let mut limbs = [lo_sum.0[0], lo_sum.0[1], lo_sum.0[2], lo_sum.0[3], 0, 0, 0, 0];
+        let mut limbs = [
+            lo_sum.0[0],
+            lo_sum.0[1],
+            lo_sum.0[2],
+            lo_sum.0[3],
+            0,
+            0,
+            0,
+            0,
+        ];
         let (hi, _) = wide.split_halves();
         limbs[4] = hi.0[0].wrapping_add(u64::from(carry));
         limbs[5] = hi.0[1];
@@ -741,7 +770,10 @@ mod tests {
         // 2^64 = 18446744073709551616
         assert_eq!((U256::ONE << 64).to_string(), "18446744073709551616");
         // 10^19 boundary handling
-        assert_eq!(u(10_000_000_000_000_000_000).to_string(), "10000000000000000000");
+        assert_eq!(
+            u(10_000_000_000_000_000_000).to_string(),
+            "10000000000000000000"
+        );
     }
 
     #[test]

@@ -31,13 +31,21 @@ impl Dataset {
     /// the row count, or any label is out of range.
     pub fn new(features: Tensor, labels: Vec<usize>, num_classes: usize) -> Self {
         assert_eq!(features.ndim(), 2, "features must be 2-D [n, d]");
-        assert_eq!(features.shape()[0], labels.len(), "feature/label count mismatch");
+        assert_eq!(
+            features.shape()[0],
+            labels.len(),
+            "feature/label count mismatch"
+        );
         assert!(num_classes > 0, "num_classes must be positive");
         assert!(
             labels.iter().all(|&l| l < num_classes),
             "label out of range for {num_classes} classes"
         );
-        Dataset { features, labels, num_classes }
+        Dataset {
+            features,
+            labels,
+            num_classes,
+        }
     }
 
     /// Number of examples.
@@ -78,7 +86,11 @@ impl Dataset {
     pub fn subset(&self, indices: &[usize]) -> Dataset {
         let features = self.features.gather_rows(indices);
         let labels = indices.iter().map(|&i| self.labels[i]).collect();
-        Dataset { features, labels, num_classes: self.num_classes }
+        Dataset {
+            features,
+            labels,
+            num_classes: self.num_classes,
+        }
     }
 
     /// Splits into `(first n, rest)`.
@@ -108,7 +120,11 @@ impl Dataset {
     ///
     /// Panics if dimensionality or class count disagree.
     pub fn concat(&self, other: &Dataset) -> Dataset {
-        assert_eq!(self.feature_dim(), other.feature_dim(), "feature dim mismatch");
+        assert_eq!(
+            self.feature_dim(),
+            other.feature_dim(),
+            "feature dim mismatch"
+        );
         assert_eq!(self.num_classes, other.num_classes, "class count mismatch");
         let mut data = self.features.as_slice().to_vec();
         data.extend_from_slice(other.features.as_slice());

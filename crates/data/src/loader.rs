@@ -61,7 +61,10 @@ impl Batcher {
             .chunks(self.batch_size)
             .map(|chunk| {
                 let sub = dataset.subset(chunk);
-                Batch { labels: sub.labels().to_vec(), features: sub.features().clone() }
+                Batch {
+                    labels: sub.labels().to_vec(),
+                    features: sub.features().clone(),
+                }
             })
             .collect()
     }
@@ -91,7 +94,11 @@ mod tests {
         // Every original first-feature value appears exactly once.
         let mut firsts: Vec<f32> = batches
             .iter()
-            .flat_map(|b| (0..b.features.shape()[0]).map(|r| b.features.row(r)[0]).collect::<Vec<_>>())
+            .flat_map(|b| {
+                (0..b.features.shape()[0])
+                    .map(|r| b.features.row(r)[0])
+                    .collect::<Vec<_>>()
+            })
             .collect();
         firsts.sort_by(f32::total_cmp);
         let expected: Vec<f32> = (0..10).map(|i| (i * 2) as f32).collect();
@@ -105,7 +112,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(2);
         let e1 = batcher.epoch(&ds, &mut rng);
         let e2 = batcher.epoch(&ds, &mut rng);
-        assert_ne!(e1[0].labels, e2[0].labels, "epochs should shuffle differently");
+        assert_ne!(
+            e1[0].labels, e2[0].labels,
+            "epochs should shuffle differently"
+        );
     }
 
     #[test]

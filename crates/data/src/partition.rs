@@ -249,13 +249,19 @@ mod tests {
     fn dirichlet_low_alpha_skews_labels() {
         let ds = balanced_dataset(100, 5);
         let mut rng = StdRng::seed_from_u64(3);
-        let shards =
-            partition_dataset(&ds, 3, Partition::DirichletLabelSkew { alpha: 0.1 }, &mut rng);
+        let shards = partition_dataset(
+            &ds,
+            3,
+            Partition::DirichletLabelSkew { alpha: 0.1 },
+            &mut rng,
+        );
         let total: usize = shards.iter().map(Dataset::len).sum();
         assert_eq!(total, ds.len());
         // With alpha=0.1 at least one client should be missing (or nearly
         // missing) some class.
-        let skewed = shards.iter().any(|s| s.class_counts().iter().any(|&c| c < 10));
+        let skewed = shards
+            .iter()
+            .any(|s| s.class_counts().iter().any(|&c| c < 10));
         assert!(skewed, "expected visible label skew");
     }
 
@@ -263,8 +269,12 @@ mod tests {
     fn dirichlet_high_alpha_approaches_uniform() {
         let ds = balanced_dataset(200, 4);
         let mut rng = StdRng::seed_from_u64(4);
-        let shards =
-            partition_dataset(&ds, 2, Partition::DirichletLabelSkew { alpha: 100.0 }, &mut rng);
+        let shards = partition_dataset(
+            &ds,
+            2,
+            Partition::DirichletLabelSkew { alpha: 100.0 },
+            &mut rng,
+        );
         for s in &shards {
             for &c in &s.class_counts() {
                 assert!((70..=130).contains(&c), "count {c} far from uniform 100");
@@ -352,7 +362,10 @@ mod tests {
         for &shape in &[0.5f64, 1.0, 2.0, 5.0] {
             let n = 20_000;
             let mean: f64 = (0..n).map(|_| gamma(shape, &mut rng)).sum::<f64>() / n as f64;
-            assert!((mean - shape).abs() < shape * 0.1, "shape {shape}: mean {mean}");
+            assert!(
+                (mean - shape).abs() < shape * 0.1,
+                "shape {shape}: mean {mean}"
+            );
         }
     }
 }

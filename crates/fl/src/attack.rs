@@ -176,7 +176,11 @@ pub struct Adversary {
 impl Adversary {
     /// An adversary active from round 1.
     pub fn new(client: crate::ClientId, attack: Attack) -> Self {
-        Adversary { client, attack, from_round: 1 }
+        Adversary {
+            client,
+            attack,
+            from_round: 1,
+        }
     }
 
     /// Delays activation until `round` (builder style).
@@ -305,7 +309,11 @@ mod tests {
         assert_eq!(Attack::Scale { factor: 5.0 }.to_string(), "scale(x5)");
         assert_eq!(Attack::Constant { value: 0.0 }.to_string(), "constant(0)");
         assert_eq!(Attack::Replay.to_string(), "replay");
-        assert!(Attack::GaussianNoise { sigma: 0.1 }.to_string().contains("0.1"));
-        assert!(Attack::NanInjection { fraction: 0.5 }.to_string().contains("0.5"));
+        assert!(Attack::GaussianNoise { sigma: 0.1 }
+            .to_string()
+            .contains("0.1"));
+        assert!(Attack::NanInjection { fraction: 0.5 }
+            .to_string()
+            .contains("0.5"));
     }
 }

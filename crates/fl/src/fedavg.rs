@@ -59,7 +59,10 @@ pub fn fed_avg(updates: &[&ModelUpdate]) -> Result<Vec<f32>, AggregateError> {
     let mut total_weight = 0.0f64;
     for u in updates {
         if u.params.len() != dim {
-            return Err(AggregateError::ShapeMismatch { expected: dim, got: u.params.len() });
+            return Err(AggregateError::ShapeMismatch {
+                expected: dim,
+                got: u.params.len(),
+            });
         }
         if !u.is_finite() {
             return Err(AggregateError::NonFinite);
@@ -69,14 +72,33 @@ pub fn fed_avg(updates: &[&ModelUpdate]) -> Result<Vec<f32>, AggregateError> {
     if total_weight == 0.0 {
         return Err(AggregateError::ZeroWeight);
     }
+    let weights: Vec<f64> = updates
+        .iter()
+        .map(|u| u.sample_count as f64 / total_weight)
+        .collect();
+    Ok(weighted_mean(updates, &weights, dim))
+}
+
+/// The shared weighted-mean kernel: coordinates are independent, so the
+/// output splits into contiguous chunks across the compute pool. Each
+/// coordinate accumulates its updates in slice order regardless of chunking,
+/// so results are bit-identical at every thread count.
+fn weighted_mean(updates: &[&ModelUpdate], weights: &[f64], dim: usize) -> Vec<f32> {
     let mut out = vec![0.0f64; dim];
-    for u in updates {
-        let w = u.sample_count as f64 / total_weight;
-        for (o, &p) in out.iter_mut().zip(&u.params) {
-            *o += w * f64::from(p);
+    let kernel = |off: usize, chunk: &mut [f64]| {
+        for (u, &w) in updates.iter().zip(weights) {
+            let params = &u.params[off..off + chunk.len()];
+            for (o, &p) in chunk.iter_mut().zip(params) {
+                *o += w * f64::from(p);
+            }
         }
+    };
+    if blockfed_compute::worth_parallelizing(dim * updates.len()) {
+        blockfed_compute::par_chunks_mut(&mut out, 1, kernel);
+    } else if dim > 0 {
+        kernel(0, &mut out);
     }
-    Ok(out.into_iter().map(|v| v as f32).collect())
+    out.into_iter().map(|v| v as f32).collect()
 }
 
 /// Unweighted parameter mean (every client counts equally).
@@ -89,20 +111,18 @@ pub fn fed_avg_unweighted(updates: &[&ModelUpdate]) -> Result<Vec<f32>, Aggregat
     let dim = first.params.len();
     for u in updates {
         if u.params.len() != dim {
-            return Err(AggregateError::ShapeMismatch { expected: dim, got: u.params.len() });
+            return Err(AggregateError::ShapeMismatch {
+                expected: dim,
+                got: u.params.len(),
+            });
         }
         if !u.is_finite() {
             return Err(AggregateError::NonFinite);
         }
     }
     let n = updates.len() as f64;
-    let mut out = vec![0.0f64; dim];
-    for u in updates {
-        for (o, &p) in out.iter_mut().zip(&u.params) {
-            *o += f64::from(p) / n;
-        }
-    }
-    Ok(out.into_iter().map(|v| v as f32).collect())
+    let weights = vec![1.0 / n; updates.len()];
+    Ok(weighted_mean(updates, &weights, dim))
 }
 
 #[cfg(test)]
@@ -171,7 +191,10 @@ mod tests {
         let b = upd(1, vec![1.0, 2.0], 1);
         assert_eq!(
             fed_avg(&[&a, &b]),
-            Err(AggregateError::ShapeMismatch { expected: 1, got: 2 })
+            Err(AggregateError::ShapeMismatch {
+                expected: 1,
+                got: 2
+            })
         );
     }
 
@@ -193,7 +216,12 @@ mod tests {
     #[test]
     fn error_display() {
         assert!(AggregateError::Empty.to_string().contains("no updates"));
-        assert!(AggregateError::ShapeMismatch { expected: 3, got: 5 }.to_string().contains('5'));
+        assert!(AggregateError::ShapeMismatch {
+            expected: 3,
+            got: 5
+        }
+        .to_string()
+        .contains('5'));
         assert!(AggregateError::ZeroWeight.to_string().contains("zero"));
         assert!(AggregateError::NonFinite.to_string().contains("non-finite"));
     }

@@ -38,5 +38,5 @@ pub use robust::{RobustError, RobustRule};
 pub use round::{RoundRecord, VanillaFl, VanillaFlConfig, VanillaRun};
 pub use selector::{all_combinations, threshold_filter, Combination};
 pub use staleness::{AgeOfBlock, AsyncMerger, MergeError, StalenessDecay};
-pub use strategy::{aggregate, AggregationOutcome, Strategy};
+pub use strategy::{aggregate, aggregate_with, AggregationOutcome, CandidateEvaluator, Strategy};
 pub use update::{ClientId, ModelUpdate};

@@ -68,7 +68,10 @@ fn validate(updates: &[&ModelUpdate]) -> Result<usize, RobustError> {
     let dim = first.params.len();
     for u in updates {
         if u.params.len() != dim {
-            return Err(RobustError::ShapeMismatch { expected: dim, got: u.params.len() });
+            return Err(RobustError::ShapeMismatch {
+                expected: dim,
+                got: u.params.len(),
+            });
         }
         if !u.is_finite() {
             return Err(RobustError::NonFinite);
@@ -87,7 +90,11 @@ fn validate(updates: &[&ModelUpdate]) -> Result<usize, RobustError> {
 /// assert_eq!(l2_norm(&[3.0, 4.0]), 5.0);
 /// ```
 pub fn l2_norm(params: &[f32]) -> f64 {
-    params.iter().map(|&p| f64::from(p) * f64::from(p)).sum::<f64>().sqrt()
+    params
+        .iter()
+        .map(|&p| f64::from(p) * f64::from(p))
+        .sum::<f64>()
+        .sqrt()
 }
 
 /// Squared Euclidean distance between two equal-length parameter vectors.
@@ -121,15 +128,23 @@ pub fn krum_scores(updates: &[&ModelUpdate], f: usize) -> Result<Vec<f64>, Robus
         return Err(RobustError::TooFewUpdates { needed, got: n });
     }
     let closest = n - f - 2;
-    let mut scores = Vec::with_capacity(n);
-    for i in 0..n {
+    // Each update's score is an independent O(n·dim) computation, so the
+    // n scores fan out across the compute pool once there is enough work.
+    let dim = updates[0].params.len();
+    let score_of = |i: usize| -> f64 {
         let mut dists: Vec<f64> = (0..n)
             .filter(|&j| j != i)
             .map(|j| l2_distance_sq(&updates[i].params, &updates[j].params))
             .collect();
         dists.sort_by(|a, b| a.partial_cmp(b).expect("finite distances"));
-        scores.push(dists.iter().take(closest).sum());
-    }
+        dists.iter().take(closest).sum()
+    };
+    let scores = if blockfed_compute::worth_parallelizing(n * n * dim) {
+        let indices: Vec<usize> = (0..n).collect();
+        blockfed_compute::par_map(&indices, |&i| score_of(i))
+    } else {
+        (0..n).map(score_of).collect()
+    };
     Ok(scores)
 }
 
@@ -195,18 +210,31 @@ pub fn trimmed_mean(updates: &[&ModelUpdate], trim: usize) -> Result<Vec<f32>, R
     let dim = validate(updates)?;
     let n = updates.len();
     if n <= 2 * trim {
-        return Err(RobustError::TooFewUpdates { needed: 2 * trim + 1, got: n });
+        return Err(RobustError::TooFewUpdates {
+            needed: 2 * trim + 1,
+            got: n,
+        });
     }
     let kept = n - 2 * trim;
-    let mut out = Vec::with_capacity(dim);
-    let mut column = vec![0.0f32; n];
-    for c in 0..dim {
-        for (slot, u) in column.iter_mut().zip(updates) {
-            *slot = u.params[c];
+    // Coordinates are independent: chunk them across the pool, each worker
+    // with its own sort scratch.
+    let mut out = vec![0.0f32; dim];
+    let kernel = |off: usize, chunk: &mut [f32]| {
+        let mut column = vec![0.0f32; n];
+        for (li, slot_out) in chunk.iter_mut().enumerate() {
+            let c = off + li;
+            for (slot, u) in column.iter_mut().zip(updates) {
+                *slot = u.params[c];
+            }
+            column.sort_by(|a, b| a.partial_cmp(b).expect("finite parameters"));
+            let sum: f64 = column[trim..n - trim].iter().map(|&v| f64::from(v)).sum();
+            *slot_out = (sum / kept as f64) as f32;
         }
-        column.sort_by(|a, b| a.partial_cmp(b).expect("finite parameters"));
-        let sum: f64 = column[trim..n - trim].iter().map(|&v| f64::from(v)).sum();
-        out.push((sum / kept as f64) as f32);
+    };
+    if blockfed_compute::worth_parallelizing(dim * n) {
+        blockfed_compute::par_chunks_mut(&mut out, 1, kernel);
+    } else if dim > 0 {
+        kernel(0, &mut out);
     }
     Ok(out)
 }
@@ -220,19 +248,26 @@ pub fn trimmed_mean(updates: &[&ModelUpdate], trim: usize) -> Result<Vec<f32>, R
 pub fn coordinate_median(updates: &[&ModelUpdate]) -> Result<Vec<f32>, RobustError> {
     let dim = validate(updates)?;
     let n = updates.len();
-    let mut out = Vec::with_capacity(dim);
-    let mut column = vec![0.0f32; n];
-    for c in 0..dim {
-        for (slot, u) in column.iter_mut().zip(updates) {
-            *slot = u.params[c];
+    let mut out = vec![0.0f32; dim];
+    let kernel = |off: usize, chunk: &mut [f32]| {
+        let mut column = vec![0.0f32; n];
+        for (li, slot_out) in chunk.iter_mut().enumerate() {
+            let c = off + li;
+            for (slot, u) in column.iter_mut().zip(updates) {
+                *slot = u.params[c];
+            }
+            column.sort_by(|a, b| a.partial_cmp(b).expect("finite parameters"));
+            *slot_out = if n % 2 == 1 {
+                column[n / 2]
+            } else {
+                ((f64::from(column[n / 2 - 1]) + f64::from(column[n / 2])) / 2.0) as f32
+            };
         }
-        column.sort_by(|a, b| a.partial_cmp(b).expect("finite parameters"));
-        let median = if n % 2 == 1 {
-            column[n / 2]
-        } else {
-            ((f64::from(column[n / 2 - 1]) + f64::from(column[n / 2])) / 2.0) as f32
-        };
-        out.push(median);
+    };
+    if blockfed_compute::worth_parallelizing(dim * n) {
+        blockfed_compute::par_chunks_mut(&mut out, 1, kernel);
+    } else if dim > 0 {
+        kernel(0, &mut out);
     }
     Ok(out)
 }
@@ -258,7 +293,10 @@ pub fn clip_to_norm(params: &[f32], max_norm: f64) -> Result<Vec<f32>, RobustErr
         return Ok(params.to_vec());
     }
     let scale = max_norm / norm;
-    Ok(params.iter().map(|&p| (f64::from(p) * scale) as f32).collect())
+    Ok(params
+        .iter()
+        .map(|&p| (f64::from(p) * scale) as f32)
+        .collect())
 }
 
 /// Sample-weighted mean of norm-clipped updates: each update is clipped to
@@ -272,7 +310,9 @@ pub fn clipped_mean(updates: &[&ModelUpdate], max_norm: f64) -> Result<Vec<f32>,
     let dim = validate(updates)?;
     let total_weight: f64 = updates.iter().map(|u| u.sample_count as f64).sum();
     if total_weight == 0.0 {
-        return Err(RobustError::InvalidParameter("total sample weight is zero".into()));
+        return Err(RobustError::InvalidParameter(
+            "total sample weight is zero".into(),
+        ));
     }
     let mut out = vec![0.0f64; dim];
     for u in updates {
@@ -541,8 +581,14 @@ mod tests {
 
     #[test]
     fn clip_rejects_bad_inputs() {
-        assert!(matches!(clip_to_norm(&[1.0], 0.0), Err(RobustError::InvalidParameter(_))));
-        assert!(matches!(clip_to_norm(&[1.0], f64::NAN), Err(RobustError::InvalidParameter(_))));
+        assert!(matches!(
+            clip_to_norm(&[1.0], 0.0),
+            Err(RobustError::InvalidParameter(_))
+        ));
+        assert!(matches!(
+            clip_to_norm(&[1.0], f64::NAN),
+            Err(RobustError::InvalidParameter(_))
+        ));
         assert_eq!(clip_to_norm(&[f32::NAN], 1.0), Err(RobustError::NonFinite));
     }
 
@@ -593,10 +639,19 @@ mod tests {
     fn rule_display_labels() {
         assert_eq!(RobustRule::FedAvg.to_string(), "fedavg");
         assert_eq!(RobustRule::Krum { f: 1 }.to_string(), "krum(f=1)");
-        assert_eq!(RobustRule::MultiKrum { f: 1, m: 3 }.to_string(), "multi-krum(f=1,m=3)");
-        assert_eq!(RobustRule::TrimmedMean { trim: 1 }.to_string(), "trimmed-mean(k=1)");
+        assert_eq!(
+            RobustRule::MultiKrum { f: 1, m: 3 }.to_string(),
+            "multi-krum(f=1,m=3)"
+        );
+        assert_eq!(
+            RobustRule::TrimmedMean { trim: 1 }.to_string(),
+            "trimmed-mean(k=1)"
+        );
         assert_eq!(RobustRule::Median.to_string(), "median");
-        assert_eq!(RobustRule::ClippedMean { max_norm: 2.0 }.to_string(), "clipped-mean(c=2)");
+        assert_eq!(
+            RobustRule::ClippedMean { max_norm: 2.0 }.to_string(),
+            "clipped-mean(c=2)"
+        );
     }
 
     #[test]
@@ -606,7 +661,10 @@ mod tests {
         let b = upd(1, vec![1.0, 2.0]);
         assert_eq!(
             coordinate_median(&[&a, &b]),
-            Err(RobustError::ShapeMismatch { expected: 1, got: 2 })
+            Err(RobustError::ShapeMismatch {
+                expected: 1,
+                got: 2
+            })
         );
         let nan = upd(0, vec![f32::NAN]);
         assert_eq!(coordinate_median(&[&nan]), Err(RobustError::NonFinite));
@@ -615,9 +673,18 @@ mod tests {
     #[test]
     fn error_display_is_informative() {
         assert!(RobustError::Empty.to_string().contains("no updates"));
-        assert!(RobustError::TooFewUpdates { needed: 5, got: 4 }.to_string().contains('5'));
-        assert!(RobustError::InvalidParameter("x".into()).to_string().contains('x'));
-        assert!(RobustError::ShapeMismatch { expected: 1, got: 2 }.to_string().contains('2'));
+        assert!(RobustError::TooFewUpdates { needed: 5, got: 4 }
+            .to_string()
+            .contains('5'));
+        assert!(RobustError::InvalidParameter("x".into())
+            .to_string()
+            .contains('x'));
+        assert!(RobustError::ShapeMismatch {
+            expected: 1,
+            got: 2
+        }
+        .to_string()
+        .contains('2'));
         assert!(RobustError::NonFinite.to_string().contains("non-finite"));
     }
 }

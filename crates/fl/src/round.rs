@@ -107,8 +107,17 @@ impl<'a> VanillaFl<'a> {
         selection_test: &'a Dataset,
     ) -> Self {
         assert!(!train_shards.is_empty(), "need at least one client");
-        assert_eq!(train_shards.len(), client_tests.len(), "shard/test count mismatch");
-        VanillaFl { config, train_shards, client_tests, selection_test }
+        assert_eq!(
+            train_shards.len(),
+            client_tests.len(),
+            "shard/test count mismatch"
+        );
+        VanillaFl {
+            config,
+            train_shards,
+            client_tests,
+            selection_test,
+        }
     }
 
     /// The configuration.
@@ -191,7 +200,10 @@ impl<'a> VanillaFl<'a> {
             });
         }
 
-        VanillaRun { records, final_params: global_params }
+        VanillaRun {
+            records,
+            final_params: global_params,
+        }
     }
 }
 
@@ -213,14 +225,29 @@ mod tests {
         let gen = SynthCifar::new(SynthCifarConfig::tiny());
         let (train, test) = gen.generate(1);
         let mut rng = StdRng::seed_from_u64(5);
-        let shards =
-            partition_dataset(&train, 3, Partition::DirichletLabelSkew { alpha: 0.7 }, &mut rng);
+        let shards = partition_dataset(
+            &train,
+            3,
+            Partition::DirichletLabelSkew { alpha: 0.7 },
+            &mut rng,
+        );
         let tests = vec![test.clone(), test.clone(), test.clone()];
-        Fixture { shards, tests, selection: test }
+        Fixture {
+            shards,
+            tests,
+            selection: test,
+        }
     }
 
     fn quick_config(strategy: Strategy) -> VanillaFlConfig {
-        VanillaFlConfig { rounds: 3, local_epochs: 2, batch_size: 16, lr: 0.1, momentum: 0.9, strategy }
+        VanillaFlConfig {
+            rounds: 3,
+            local_epochs: 2,
+            batch_size: 16,
+            lr: 0.1,
+            momentum: 0.9,
+            strategy,
+        }
     }
 
     fn run(strategy: Strategy, seed: u64) -> VanillaRun {
@@ -282,7 +309,10 @@ mod tests {
         let out = run(Strategy::NotConsider, 5);
         let series = out.client_series(ClientId(1));
         assert_eq!(series.len(), 3);
-        assert_eq!(series.last().copied().unwrap(), out.final_accuracy(ClientId(1)));
+        assert_eq!(
+            series.last().copied().unwrap(),
+            out.final_accuracy(ClientId(1))
+        );
         // Unknown client yields zeros.
         assert_eq!(out.client_series(ClientId(9)), vec![0.0, 0.0, 0.0]);
     }

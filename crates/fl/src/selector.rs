@@ -50,7 +50,10 @@ impl Combination {
                 ids.insert(0, me);
             }
         }
-        ids.iter().map(ToString::to_string).collect::<Vec<_>>().join(",")
+        ids.iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join(",")
     }
 }
 
@@ -73,11 +76,16 @@ impl std::fmt::Display for Combination {
 /// ```
 pub fn all_combinations(clients: &[ClientId]) -> Vec<Combination> {
     let n = clients.len();
-    assert!(n <= 20, "combination enumeration beyond 20 clients is intractable");
+    assert!(
+        n <= 20,
+        "combination enumeration beyond 20 clients is intractable"
+    );
     let mut out = Vec::with_capacity((1usize << n).saturating_sub(1));
     for mask in 1u32..(1u32 << n) {
-        let members: Vec<ClientId> =
-            (0..n).filter(|i| mask & (1 << i) != 0).map(|i| clients[i]).collect();
+        let members: Vec<ClientId> = (0..n)
+            .filter(|i| mask & (1 << i) != 0)
+            .map(|i| clients[i])
+            .collect();
         out.push(Combination::new(members));
     }
     out.sort_by(|a, b| (a.len(), a.members()).cmp(&(b.len(), b.members())));
@@ -156,8 +164,7 @@ mod tests {
         let c = ModelUpdate::new(ClientId(2), 0, vec![3.0], 1);
         let all = [&a, &b, &c];
         // Fitness = first parameter value.
-        let (kept, rejected) =
-            threshold_filter(&all, 2.0, |u| f64::from(u.params[0]));
+        let (kept, rejected) = threshold_filter(&all, 2.0, |u| f64::from(u.params[0]));
         assert_eq!(kept.len(), 2);
         assert_eq!(rejected.len(), 1);
         assert_eq!(rejected[0].client, ClientId(0));

@@ -114,7 +114,10 @@ impl std::fmt::Display for MergeError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             MergeError::ShapeMismatch { expected, got } => {
-                write!(f, "update has {got} parameters, global model has {expected}")
+                write!(
+                    f,
+                    "update has {got} parameters, global model has {expected}"
+                )
             }
             MergeError::NonFinite => write!(f, "update contains non-finite parameters"),
         }
@@ -129,7 +132,12 @@ impl AsyncMerger {
     /// `alpha` is the base mixing rate in `[0, 1]` (FedAsync's α); it is
     /// clamped into that range.
     pub fn new(initial_global: Vec<f32>, alpha: f64, decay: StalenessDecay) -> Self {
-        AsyncMerger { global: initial_global, alpha: alpha.clamp(0.0, 1.0), decay, merges: 0 }
+        AsyncMerger {
+            global: initial_global,
+            alpha: alpha.clamp(0.0, 1.0),
+            decay,
+            merges: 0,
+        }
     }
 
     /// The current global model.
@@ -251,7 +259,13 @@ impl AgeOfBlock {
 
 impl std::fmt::Display for AgeOfBlock {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "age-of-block mean {:.3}s max {:.3}s over {}", self.mean(), self.max, self.count)
+        write!(
+            f,
+            "age-of-block mean {:.3}s max {:.3}s over {}",
+            self.mean(),
+            self.max,
+            self.count
+        )
     }
 }
 
@@ -353,7 +367,10 @@ mod tests {
         let mut m = AsyncMerger::new(vec![1.0, 2.0], 0.5, StalenessDecay::Constant);
         assert_eq!(
             m.merge(&[1.0], 0),
-            Err(MergeError::ShapeMismatch { expected: 2, got: 1 })
+            Err(MergeError::ShapeMismatch {
+                expected: 2,
+                got: 1
+            })
         );
         assert_eq!(m.merge(&[f32::NAN, 0.0], 0), Err(MergeError::NonFinite));
         assert_eq!(m.global(), &[1.0, 2.0]);
@@ -427,14 +444,25 @@ mod tests {
         a.record(1.5);
         assert!(a.to_string().contains("age-of-block"));
         assert_eq!(StalenessDecay::Constant.to_string(), "constant");
-        assert!(StalenessDecay::Polynomial { a: 0.5 }.to_string().contains("0.5"));
-        assert!(StalenessDecay::Exponential { lambda: 0.2 }.to_string().contains("0.2"));
-        assert!(StalenessDecay::Cutoff { max_staleness: 2 }.to_string().contains('2'));
+        assert!(StalenessDecay::Polynomial { a: 0.5 }
+            .to_string()
+            .contains("0.5"));
+        assert!(StalenessDecay::Exponential { lambda: 0.2 }
+            .to_string()
+            .contains("0.2"));
+        assert!(StalenessDecay::Cutoff { max_staleness: 2 }
+            .to_string()
+            .contains('2'));
     }
 
     #[test]
     fn merge_error_display() {
-        assert!(MergeError::ShapeMismatch { expected: 2, got: 1 }.to_string().contains('2'));
+        assert!(MergeError::ShapeMismatch {
+            expected: 2,
+            got: 1
+        }
+        .to_string()
+        .contains('2'));
         assert!(MergeError::NonFinite.to_string().contains("non-finite"));
     }
 }

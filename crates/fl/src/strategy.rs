@@ -49,6 +49,24 @@ pub struct AggregationOutcome {
     pub candidates: Vec<(Combination, f64)>,
 }
 
+/// Scores batches of candidate parameter vectors (higher is better;
+/// typically test-set accuracy).
+///
+/// Receiving whole batches lets evaluators score candidates concurrently —
+/// the decentralized orchestrator fans a round's combination search across
+/// the compute pool through this trait. Any `FnMut(&[f32]) -> f64` closure is
+/// an evaluator (scoring serially), so closure-based call sites keep working.
+pub trait CandidateEvaluator {
+    /// Returns one score per candidate, in order.
+    fn score_batch(&mut self, candidates: &[&[f32]]) -> Vec<f64>;
+}
+
+impl<F: FnMut(&[f32]) -> f64> CandidateEvaluator for F {
+    fn score_batch(&mut self, candidates: &[&[f32]]) -> Vec<f64> {
+        candidates.iter().map(|c| self(c)).collect()
+    }
+}
+
 /// Aggregates `updates` under `strategy`, scoring candidates with `evaluate`
 /// (higher is better; typically test-set accuracy).
 ///
@@ -61,12 +79,28 @@ pub fn aggregate<R: Rng + ?Sized>(
     mut evaluate: impl FnMut(&[f32]) -> f64,
     rng: &mut R,
 ) -> Result<AggregationOutcome, AggregateError> {
+    aggregate_with(strategy, updates, &mut evaluate, rng)
+}
+
+/// [`aggregate`] with an explicit [`CandidateEvaluator`], allowing candidate
+/// scoring to run in parallel. Candidate *construction* (the per-combination
+/// FedAvg) always fans out across the compute pool.
+///
+/// # Errors
+///
+/// Returns [`AggregateError`] if the updates cannot be aggregated at all.
+pub fn aggregate_with<E: CandidateEvaluator + ?Sized, R: Rng + ?Sized>(
+    strategy: Strategy,
+    updates: &[&ModelUpdate],
+    evaluator: &mut E,
+    rng: &mut R,
+) -> Result<AggregationOutcome, AggregateError> {
     match strategy {
         Strategy::NotConsider => {
             let params = fed_avg(updates)?;
             let members: Vec<ClientId> = updates.iter().map(|u| u.client).collect();
             let combination = Combination::new(members);
-            let score = evaluate(&params);
+            let score = evaluator.score_batch(&[&params])[0];
             Ok(AggregationOutcome {
                 params,
                 combination: combination.clone(),
@@ -84,17 +118,36 @@ pub fn aggregate<R: Rng + ?Sized>(
                 c.dedup();
                 c
             };
-            let mut candidates = Vec::new();
-            for combo in all_combinations(&clients) {
+            // Build every candidate aggregate in parallel once there is
+            // enough work: each combination's FedAvg is independent.
+            let combos: Vec<Combination> = all_combinations(&clients);
+            let average_of = |combo: &Combination| {
                 let member_updates: Vec<&ModelUpdate> = updates
                     .iter()
                     .copied()
                     .filter(|u| combo.contains(u.client))
                     .collect();
-                let params = fed_avg(&member_updates)?;
-                let score = evaluate(&params);
-                candidates.push((combo, score, params));
+                fed_avg(&member_updates)
+            };
+            let dim = updates[0].params.len();
+            let averaged: Vec<Result<Vec<f32>, AggregateError>> =
+                if blockfed_compute::worth_parallelizing(combos.len() * dim) {
+                    blockfed_compute::par_map(&combos, average_of)
+                } else {
+                    combos.iter().map(average_of).collect()
+                };
+            let mut params_list = Vec::with_capacity(combos.len());
+            for result in averaged {
+                params_list.push(result?);
             }
+            let refs: Vec<&[f32]> = params_list.iter().map(Vec::as_slice).collect();
+            let scores = evaluator.score_batch(&refs);
+            let candidates: Vec<(Combination, f64, Vec<f32>)> = combos
+                .into_iter()
+                .zip(scores)
+                .zip(params_list)
+                .map(|((combo, score), params)| (combo, score, params))
+                .collect();
             // Highest score wins; ties broken uniformly at random.
             let best_score = candidates
                 .iter()
@@ -122,21 +175,27 @@ pub fn aggregate<R: Rng + ?Sized>(
             // Rank models by standalone score; ties broken uniformly at
             // random among equal scores via a random jitter key drawn per
             // update (deterministic given the rng).
+            let standalone: Vec<&[f32]> = updates.iter().map(|u| u.params.as_slice()).collect();
+            let scores = evaluator.score_batch(&standalone);
             let mut ranked: Vec<(f64, f64, &ModelUpdate)> = updates
                 .iter()
-                .map(|&u| (evaluate(&u.params), rng.gen::<f64>(), u))
+                .zip(scores)
+                .map(|(&u, s)| (s, rng.gen::<f64>(), u))
                 .collect();
             ranked.sort_by(|a, b| {
                 b.0.partial_cmp(&a.0)
                     .expect("finite standalone scores")
                     .then(b.1.partial_cmp(&a.1).expect("finite jitter"))
             });
-            let selected: Vec<&ModelUpdate> =
-                ranked.iter().take(k.min(ranked.len())).map(|(_, _, u)| *u).collect();
+            let selected: Vec<&ModelUpdate> = ranked
+                .iter()
+                .take(k.min(ranked.len()))
+                .map(|(_, _, u)| *u)
+                .collect();
             let params = fed_avg(&selected)?;
             let members: Vec<ClientId> = selected.iter().map(|u| u.client).collect();
             let combination = Combination::new(members);
-            let score = evaluate(&params);
+            let score = evaluator.score_batch(&[&params])[0];
             Ok(AggregationOutcome {
                 params,
                 combination: combination.clone(),
@@ -165,8 +224,13 @@ mod tests {
     fn not_consider_averages_everything() {
         let a = upd(0, vec![0.0]);
         let b = upd(1, vec![2.0]);
-        let out =
-            aggregate(Strategy::NotConsider, &[&a, &b], |p| f64::from(p[0]), &mut rng()).unwrap();
+        let out = aggregate(
+            Strategy::NotConsider,
+            &[&a, &b],
+            |p| f64::from(p[0]),
+            &mut rng(),
+        )
+        .unwrap();
         assert_eq!(out.params, vec![1.0]);
         assert_eq!(out.combination.len(), 2);
         assert_eq!(out.candidates.len(), 1);
@@ -177,8 +241,13 @@ mod tests {
         let a = upd(0, vec![0.0]);
         let b = upd(1, vec![2.0]);
         let c = upd(2, vec![4.0]);
-        let out =
-            aggregate(Strategy::Consider, &[&a, &b, &c], |p| f64::from(p[0]), &mut rng()).unwrap();
+        let out = aggregate(
+            Strategy::Consider,
+            &[&a, &b, &c],
+            |p| f64::from(p[0]),
+            &mut rng(),
+        )
+        .unwrap();
         assert_eq!(out.candidates.len(), 7);
         // Highest mean is the singleton {C} with 4.0.
         assert_eq!(out.params, vec![4.0]);
@@ -257,8 +326,13 @@ mod tests {
     fn best_k_oversized_k_uses_everything() {
         let a = upd(0, vec![0.0]);
         let b = upd(1, vec![2.0]);
-        let out =
-            aggregate(Strategy::BestK(10), &[&a, &b], |p| f64::from(p[0]), &mut rng()).unwrap();
+        let out = aggregate(
+            Strategy::BestK(10),
+            &[&a, &b],
+            |p| f64::from(p[0]),
+            &mut rng(),
+        )
+        .unwrap();
         assert_eq!(out.params, vec![1.0]);
         assert_eq!(out.combination.len(), 2);
     }
@@ -267,8 +341,13 @@ mod tests {
     fn best_one_is_the_single_best_model() {
         let a = upd(0, vec![1.0]);
         let b = upd(1, vec![9.0]);
-        let out =
-            aggregate(Strategy::BestK(1), &[&a, &b], |p| f64::from(p[0]), &mut rng()).unwrap();
+        let out = aggregate(
+            Strategy::BestK(1),
+            &[&a, &b],
+            |p| f64::from(p[0]),
+            &mut rng(),
+        )
+        .unwrap();
         assert_eq!(out.params, vec![9.0]);
         assert_eq!(out.combination.members(), &[ClientId(1)]);
     }

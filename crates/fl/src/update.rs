@@ -50,7 +50,13 @@ impl ModelUpdate {
     /// Creates an update; `payload_bytes` defaults to the raw parameter bytes.
     pub fn new(client: ClientId, round: u32, params: Vec<f32>, sample_count: usize) -> Self {
         let payload_bytes = (params.len() as u64) * 4;
-        ModelUpdate { client, round, params, sample_count, payload_bytes }
+        ModelUpdate {
+            client,
+            round,
+            params,
+            sample_count,
+            payload_bytes,
+        }
     }
 
     /// Overrides the on-chain payload size (builder style).

@@ -25,7 +25,9 @@ pub struct GossipTracker<Id: Eq + Hash> {
 
 impl<Id: Eq + Hash> Default for GossipTracker<Id> {
     fn default() -> Self {
-        GossipTracker { seen: HashMap::new() }
+        GossipTracker {
+            seen: HashMap::new(),
+        }
     }
 }
 

@@ -51,7 +51,10 @@ impl LinkSpec {
     /// Panics if the rate is outside `[0, 1]`.
     #[must_use]
     pub fn with_loss(mut self, rate: f64) -> Self {
-        assert!((0.0..=1.0).contains(&rate), "loss rate must be a probability");
+        assert!(
+            (0.0..=1.0).contains(&rate),
+            "loss rate must be a probability"
+        );
         self.loss_rate = rate;
         self
     }

@@ -46,7 +46,13 @@ impl Network {
     /// Panics if `n` is zero.
     pub fn new(n: usize, topology: Topology, default_link: LinkSpec) -> Self {
         assert!(n > 0, "network needs at least one node");
-        Network { n, topology, default_link, overrides: HashMap::new(), cut: HashSet::new() }
+        Network {
+            n,
+            topology,
+            default_link,
+            overrides: HashMap::new(),
+            cut: HashSet::new(),
+        }
     }
 
     /// Number of nodes.
@@ -76,7 +82,10 @@ impl Network {
 
     /// The effective link profile between two nodes.
     pub fn link(&self, a: NodeId, b: NodeId) -> LinkSpec {
-        self.overrides.get(&unordered(a, b)).copied().unwrap_or(self.default_link)
+        self.overrides
+            .get(&unordered(a, b))
+            .copied()
+            .unwrap_or(self.default_link)
     }
 
     /// Severs the link between two nodes (fault injection).
@@ -105,9 +114,7 @@ impl Network {
 
     /// Whether two nodes can currently exchange messages directly.
     pub fn connected(&self, a: NodeId, b: NodeId) -> bool {
-        a != b
-            && self.topology.adjacent(a, b, self.n)
-            && !self.cut.contains(&unordered(a, b))
+        a != b && self.topology.adjacent(a, b, self.n) && !self.cut.contains(&unordered(a, b))
     }
 
     /// Samples the delay of a direct message, or `None` if not adjacent,

@@ -110,7 +110,10 @@ mod tests {
     #[test]
     fn star_routes_through_hub() {
         let t = Topology::Star { hub: NodeId(0) };
-        assert_eq!(t.neighbors(NodeId(0), 4), vec![NodeId(1), NodeId(2), NodeId(3)]);
+        assert_eq!(
+            t.neighbors(NodeId(0), 4),
+            vec![NodeId(1), NodeId(2), NodeId(3)]
+        );
         assert_eq!(t.neighbors(NodeId(2), 4), vec![NodeId(0)]);
         assert!(!t.adjacent(NodeId(1), NodeId(2), 4));
     }

@@ -36,6 +36,13 @@ pub trait Layer: Send {
     /// A short layer name for debugging.
     fn name(&self) -> &'static str;
 
+    /// Clones the layer (parameters included) behind a fresh box — what
+    /// [`Sequential::duplicate`] uses to stamp out per-worker scratch models
+    /// for parallel combination evaluation.
+    ///
+    /// [`Sequential::duplicate`]: crate::Sequential::duplicate
+    fn box_clone(&self) -> Box<dyn Layer>;
+
     /// Number of trainable scalars.
     fn param_count(&self) -> usize {
         let mut n = 0;
@@ -45,6 +52,7 @@ pub trait Layer: Send {
 }
 
 /// A fully connected layer `y = x·Wᵀ + b` with weights stored `[out, in]`.
+#[derive(Clone)]
 pub struct Linear {
     weight: Tensor,
     bias: Tensor,
@@ -56,8 +64,12 @@ pub struct Linear {
 impl Linear {
     /// Creates a layer with Xavier-uniform weights.
     pub fn new<R: Rng + ?Sized>(rng: &mut R, in_dim: usize, out_dim: usize) -> Self {
-        assert!(in_dim > 0 && out_dim > 0, "layer dimensions must be positive");
-        let weight = blockfed_tensor::init::xavier_uniform(rng, &[out_dim, in_dim], in_dim, out_dim);
+        assert!(
+            in_dim > 0 && out_dim > 0,
+            "layer dimensions must be positive"
+        );
+        let weight =
+            blockfed_tensor::init::xavier_uniform(rng, &[out_dim, in_dim], in_dim, out_dim);
         Linear {
             weight,
             bias: Tensor::zeros(&[out_dim]),
@@ -77,7 +89,13 @@ impl Linear {
         assert_eq!(bias.numel(), weight.shape()[0], "bias length mismatch");
         let gw = Tensor::zeros(weight.shape());
         let gb = Tensor::zeros(&[bias.numel()]);
-        Linear { weight, bias, grad_weight: gw, grad_bias: gb, cached_input: None }
+        Linear {
+            weight,
+            bias,
+            grad_weight: gw,
+            grad_bias: gb,
+            cached_input: None,
+        }
     }
 
     /// Input dimensionality.
@@ -142,13 +160,17 @@ impl Layer for Linear {
         self.grad_bias.map_inplace(|_| 0.0);
     }
 
+    fn box_clone(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+
     fn name(&self) -> &'static str {
         "linear"
     }
 }
 
 /// Elementwise ReLU.
-#[derive(Default)]
+#[derive(Clone, Default)]
 pub struct Relu {
     cached_input: Option<Tensor>,
 }
@@ -181,13 +203,17 @@ impl Layer for Relu {
     fn visit_grads(&self, _f: &mut dyn FnMut(&Tensor)) {}
     fn zero_grads(&mut self) {}
 
+    fn box_clone(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+
     fn name(&self) -> &'static str {
         "relu"
     }
 }
 
 /// Elementwise tanh.
-#[derive(Default)]
+#[derive(Clone, Default)]
 pub struct Tanh {
     cached_output: Option<Tensor>,
 }
@@ -195,7 +221,9 @@ pub struct Tanh {
 impl Tanh {
     /// Creates a tanh layer.
     pub fn new() -> Self {
-        Tanh { cached_output: None }
+        Tanh {
+            cached_output: None,
+        }
     }
 }
 
@@ -221,6 +249,10 @@ impl Layer for Tanh {
     fn visit_grads(&self, _f: &mut dyn FnMut(&Tensor)) {}
     fn zero_grads(&mut self) {}
 
+    fn box_clone(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+
     fn name(&self) -> &'static str {
         "tanh"
     }
@@ -231,6 +263,14 @@ impl Layer for Tanh {
 /// backward pass still propagates input gradients without accumulating any.
 pub struct Frozen<L: Layer> {
     inner: L,
+}
+
+impl<L: Layer + Clone> Clone for Frozen<L> {
+    fn clone(&self) -> Self {
+        Frozen {
+            inner: self.inner.clone(),
+        }
+    }
 }
 
 impl<L: Layer> Frozen<L> {
@@ -250,7 +290,7 @@ impl<L: Layer> Frozen<L> {
     }
 }
 
-impl<L: Layer> Layer for Frozen<L> {
+impl<L: Layer + Clone + 'static> Layer for Frozen<L> {
     fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
         self.inner.forward(input, train)
     }
@@ -266,6 +306,10 @@ impl<L: Layer> Layer for Frozen<L> {
     fn visit_grads(&self, _f: &mut dyn FnMut(&Tensor)) {}
     fn zero_grads(&mut self) {
         self.inner.zero_grads();
+    }
+
+    fn box_clone(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
     }
 
     fn name(&self) -> &'static str {
@@ -316,7 +360,10 @@ mod tests {
         let mut bumped = Linear::from_parts(w, layer.bias().clone());
         let y2 = bumped.forward(&x, false);
         let numeric = (y2.sum() - y.sum()) / eps;
-        assert!((gw - numeric).abs() < 1e-2, "analytic {gw} vs numeric {numeric}");
+        assert!(
+            (gw - numeric).abs() < 1e-2,
+            "analytic {gw} vs numeric {numeric}"
+        );
 
         // dL/dx for loss=sum: each row of dx equals column sums of W.
         let mut expected_dx0 = 0.0;
@@ -378,7 +425,11 @@ mod tests {
         let y = frozen.forward(&x, true);
         let dx = frozen.backward(&Tensor::ones(y.shape()));
         assert_eq!(dx.shape(), &[2, 4]);
-        assert_eq!(frozen.inner().weight(), &inner_weight, "weights must not move");
+        assert_eq!(
+            frozen.inner().weight(),
+            &inner_weight,
+            "weights must not move"
+        );
         // No grads escape.
         frozen.visit_grads(&mut |_| panic!("frozen layer exposed a gradient"));
     }

@@ -36,7 +36,10 @@ impl ConfusionMatrix {
     /// Panics if `classes` is zero.
     pub fn new(classes: usize) -> Self {
         assert!(classes > 0, "need at least one class");
-        ConfusionMatrix { classes, counts: vec![0; classes * classes] }
+        ConfusionMatrix {
+            classes,
+            counts: vec![0; classes * classes],
+        }
     }
 
     /// Builds a matrix from parallel label/prediction slices.
@@ -46,7 +49,11 @@ impl ConfusionMatrix {
     /// Panics if the slices disagree in length or contain out-of-range
     /// classes.
     pub fn from_predictions(classes: usize, truth: &[usize], predicted: &[usize]) -> Self {
-        assert_eq!(truth.len(), predicted.len(), "label/prediction length mismatch");
+        assert_eq!(
+            truth.len(),
+            predicted.len(),
+            "label/prediction length mismatch"
+        );
         let mut cm = ConfusionMatrix::new(classes);
         for (&t, &p) in truth.iter().zip(predicted) {
             cm.record(t, p);
@@ -66,7 +73,10 @@ impl ConfusionMatrix {
     /// Panics if either class is out of range.
     pub fn record(&mut self, truth: usize, predicted: usize) {
         assert!(truth < self.classes, "true class {truth} out of range");
-        assert!(predicted < self.classes, "predicted class {predicted} out of range");
+        assert!(
+            predicted < self.classes,
+            "predicted class {predicted} out of range"
+        );
         self.counts[truth * self.classes + predicted] += 1;
     }
 
@@ -151,7 +161,13 @@ impl ConfusionMatrix {
 
 impl std::fmt::Display for ConfusionMatrix {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        writeln!(f, "true\\pred {}", (0..self.classes).map(|c| format!("{c:>6}")).collect::<String>())?;
+        writeln!(
+            f,
+            "true\\pred {}",
+            (0..self.classes)
+                .map(|c| format!("{c:>6}"))
+                .collect::<String>()
+        )?;
         for t in 0..self.classes {
             write!(f, "{t:>9} ")?;
             for p in 0..self.classes {
@@ -222,7 +238,10 @@ mod tests {
         assert_eq!(cm.precision(0), None);
         assert_eq!(cm.f1(0), None);
         assert_eq!(cm.macro_f1(), 0.0);
-        assert!(!cm.is_degenerate(), "a single-or-zero-example matrix is not judged");
+        assert!(
+            !cm.is_degenerate(),
+            "a single-or-zero-example matrix is not judged"
+        );
     }
 
     #[test]

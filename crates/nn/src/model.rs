@@ -57,6 +57,16 @@ impl Sequential {
         self.layers.len()
     }
 
+    /// Deep-copies the model (architecture and parameters) into a fresh
+    /// instance. Duplicates serve as per-worker scratch models when the
+    /// orchestrator evaluates model combinations in parallel — cheaper and
+    /// RNG-neutral compared to rebuilding from an architecture config.
+    pub fn duplicate(&self) -> Sequential {
+        Sequential {
+            layers: self.layers.iter().map(|l| l.box_clone()).collect(),
+        }
+    }
+
     /// Runs the forward pass. `train = true` caches activations for backward.
     pub fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
         let mut x = input.clone();
@@ -122,7 +132,11 @@ impl Sequential {
     ///
     /// Panics if the length does not match the parameter count.
     pub fn set_params_flat(&mut self, flat: &[f32]) {
-        assert_eq!(flat.len(), self.param_count(), "flat parameter length mismatch");
+        assert_eq!(
+            flat.len(),
+            self.param_count(),
+            "flat parameter length mismatch"
+        );
         let mut offset = 0usize;
         self.visit_params_mut(&mut |p| {
             let n = p.numel();
@@ -158,7 +172,11 @@ impl Sequential {
                 total += self.train_batch(&batch.features, &batch.labels, opt);
                 batches += 1;
             }
-            losses.push(if batches > 0 { total / batches as f32 } else { 0.0 });
+            losses.push(if batches > 0 {
+                total / batches as f32
+            } else {
+                0.0
+            });
         }
         losses
     }
@@ -166,7 +184,11 @@ impl Sequential {
     /// Evaluates accuracy and loss on a dataset (inference mode).
     pub fn evaluate(&mut self, dataset: &Dataset) -> EvalResult {
         if dataset.is_empty() {
-            return EvalResult { accuracy: 0.0, loss: 0.0, examples: 0 };
+            return EvalResult {
+                accuracy: 0.0,
+                loss: 0.0,
+                examples: 0,
+            };
         }
         let logits = self.forward(dataset.features(), false);
         let out = cross_entropy(&logits, dataset.labels());
@@ -243,7 +265,11 @@ mod tests {
         let mut opt = Sgd::new(0.1, 0.9);
         let mut rng = StdRng::seed_from_u64(1);
         let losses = model.train_epochs(&ds, 20, &Batcher::new(8), &mut opt, &mut rng);
-        assert!(losses.last().unwrap() < &0.05, "final loss {:?}", losses.last());
+        assert!(
+            losses.last().unwrap() < &0.05,
+            "final loss {:?}",
+            losses.last()
+        );
         let eval = model.evaluate(&ds);
         assert_eq!(eval.accuracy, 1.0);
         assert_eq!(eval.examples, 40);

@@ -45,7 +45,10 @@ impl fmt::Display for DecodeError {
             DecodeError::BadMagic => write!(f, "magic bytes mismatch"),
             DecodeError::BadVersion { found } => write!(f, "unsupported version {found}"),
             DecodeError::LengthMismatch { declared, present } => {
-                write!(f, "declared {declared} elements but payload holds {present}")
+                write!(
+                    f,
+                    "declared {declared} elements but payload holds {present}"
+                )
             }
             DecodeError::NonFinite { index } => {
                 write!(f, "non-finite parameter at index {index}")
@@ -162,28 +165,43 @@ mod tests {
     fn rejects_bad_version() {
         let mut b = encode_params(&[1.0]);
         b[4] = 99;
-        assert_eq!(decode_params(&b), Err(DecodeError::BadVersion { found: 99 }));
+        assert_eq!(
+            decode_params(&b),
+            Err(DecodeError::BadVersion { found: 99 })
+        );
     }
 
     #[test]
     fn rejects_truncated_payload() {
         let mut b = encode_params(&[1.0, 2.0]);
         b.truncate(b.len() - 4);
-        assert!(matches!(decode_params(&b), Err(DecodeError::LengthMismatch { declared: 2, present: 1 })));
+        assert!(matches!(
+            decode_params(&b),
+            Err(DecodeError::LengthMismatch {
+                declared: 2,
+                present: 1
+            })
+        ));
     }
 
     #[test]
     fn rejects_extra_payload() {
         let mut b = encode_params(&[1.0]);
         b.extend_from_slice(&[0, 0, 128, 63]);
-        assert!(matches!(decode_params(&b), Err(DecodeError::LengthMismatch { .. })));
+        assert!(matches!(
+            decode_params(&b),
+            Err(DecodeError::LengthMismatch { .. })
+        ));
     }
 
     #[test]
     fn rejects_ragged_payload() {
         let mut b = encode_params(&[1.0]);
         b.push(0);
-        assert!(matches!(decode_params(&b), Err(DecodeError::LengthMismatch { .. })));
+        assert!(matches!(
+            decode_params(&b),
+            Err(DecodeError::LengthMismatch { .. })
+        ));
     }
 
     #[test]
@@ -196,11 +214,18 @@ mod tests {
 
     #[test]
     fn error_display_is_informative() {
-        let e = DecodeError::LengthMismatch { declared: 5, present: 2 };
+        let e = DecodeError::LengthMismatch {
+            declared: 5,
+            present: 2,
+        };
         assert!(e.to_string().contains('5'));
         assert!(DecodeError::TooShort.to_string().contains("header"));
         assert!(DecodeError::BadMagic.to_string().contains("magic"));
-        assert!(DecodeError::BadVersion { found: 7 }.to_string().contains('7'));
-        assert!(DecodeError::NonFinite { index: 3 }.to_string().contains('3'));
+        assert!(DecodeError::BadVersion { found: 7 }
+            .to_string()
+            .contains('7'));
+        assert!(DecodeError::NonFinite { index: 3 }
+            .to_string()
+            .contains('3'));
     }
 }

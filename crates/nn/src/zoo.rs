@@ -52,12 +52,22 @@ impl SimpleNnConfig {
     /// The paper-scale configuration: ≈62 K parameters (≈248 KB of f32s) on a
     /// 64-dimensional input.
     pub fn paper() -> Self {
-        SimpleNnConfig { input_dim: 64, hidden1: 310, hidden2: 130, num_classes: 10 }
+        SimpleNnConfig {
+            input_dim: 64,
+            hidden1: 310,
+            hidden2: 130,
+            num_classes: 10,
+        }
     }
 
     /// A reduced configuration for fast tests.
     pub fn tiny(input_dim: usize, num_classes: usize) -> Self {
-        SimpleNnConfig { input_dim, hidden1: 16, hidden2: 8, num_classes }
+        SimpleNnConfig {
+            input_dim,
+            hidden1: 16,
+            hidden2: 8,
+            num_classes,
+        }
     }
 
     /// Exact trainable parameter count of the architecture.
@@ -139,7 +149,13 @@ impl EffNetLiteConfig {
 
     /// A reduced configuration for unit tests.
     pub fn tiny(input_dim: usize, num_classes: usize) -> Self {
-        EffNetLiteConfig { input_dim, width: 24, num_classes, pretrain_epochs: 2, pretrain_lr: 0.05 }
+        EffNetLiteConfig {
+            input_dim,
+            width: 24,
+            num_classes,
+            pretrain_epochs: 2,
+            pretrain_lr: 0.05,
+        }
     }
 
     /// Total parameter count including the frozen backbone.
@@ -183,7 +199,11 @@ impl EffNetLite {
         pretext: &Dataset,
         rng: &mut R,
     ) -> Self {
-        assert_eq!(pretext.feature_dim(), config.input_dim, "pretext dim mismatch");
+        assert_eq!(
+            pretext.feature_dim(),
+            config.input_dim,
+            "pretext dim mismatch"
+        );
         // Build backbone + auxiliary head, train jointly, then freeze backbone.
         let mut full = Sequential::new();
         full.push(Linear::new(rng, config.input_dim, config.width));
@@ -257,7 +277,11 @@ mod tests {
     fn simple_nn_paper_parameter_budget() {
         let cfg = SimpleNnConfig::paper();
         // "only 62K parameters and approximately 248KB in size"
-        assert!((60_000..=64_000).contains(&cfg.param_count()), "{}", cfg.param_count());
+        assert!(
+            (60_000..=64_000).contains(&cfg.param_count()),
+            "{}",
+            cfg.param_count()
+        );
         let kb = cfg.payload_bytes() as f64 / 1024.0;
         assert!((235.0..=255.0).contains(&kb), "{kb} KB");
         let mut rng = StdRng::seed_from_u64(0);

@@ -33,7 +33,12 @@ impl LinePlot {
     /// Panics if either dimension is below 2.
     pub fn new(title: impl Into<String>, width: usize, height: usize) -> Self {
         assert!(width >= 2 && height >= 2, "plot must be at least 2x2");
-        LinePlot { title: title.into(), width, height, series: Vec::new() }
+        LinePlot {
+            title: title.into(),
+            width,
+            height,
+            series: Vec::new(),
+        }
     }
 
     /// Adds a named series.
@@ -61,7 +66,11 @@ impl fmt::Display for LinePlot {
         }
         let lo = all.iter().copied().fold(f64::INFINITY, f64::min);
         let hi = all.iter().copied().fold(f64::NEG_INFINITY, f64::max);
-        let span = if (hi - lo).abs() < 1e-12 { 1.0 } else { hi - lo };
+        let span = if (hi - lo).abs() < 1e-12 {
+            1.0
+        } else {
+            hi - lo
+        };
         let max_len = self.series.iter().map(|(_, v)| v.len()).max().unwrap_or(0);
         let mut grid = vec![vec![' '; self.width]; self.height];
         for (si, (_, values)) in self.series.iter().enumerate() {
@@ -92,7 +101,13 @@ impl fmt::Display for LinePlot {
         }
         writeln!(f, "{}+{}", " ".repeat(9), "-".repeat(self.width))?;
         for (si, (name, _)) in self.series.iter().enumerate() {
-            writeln!(f, "{} {} = {}", " ".repeat(9), MARKS[si % MARKS.len()], name)?;
+            writeln!(
+                f,
+                "{} {} = {}",
+                " ".repeat(9),
+                MARKS[si % MARKS.len()],
+                name
+            )?;
         }
         Ok(())
     }

@@ -39,7 +39,13 @@ pub fn summarize(values: &[f64]) -> Option<Stats> {
     let var = clean.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n as f64;
     let min = clean.iter().copied().fold(f64::INFINITY, f64::min);
     let max = clean.iter().copied().fold(f64::NEG_INFINITY, f64::max);
-    Some(Stats { n, mean, std: var.sqrt(), min, max })
+    Some(Stats {
+        n,
+        mean,
+        std: var.sqrt(),
+        min,
+        max,
+    })
 }
 
 /// The relative change `(b - a) / a`, in percent.

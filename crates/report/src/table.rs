@@ -45,7 +45,8 @@ impl Table {
     /// Panics if the cell count differs from the column count.
     pub fn row(&mut self, cells: &[&str]) {
         assert_eq!(cells.len(), self.columns.len(), "cell count mismatch");
-        self.rows.push(cells.iter().map(|s| (*s).to_owned()).collect());
+        self.rows
+            .push(cells.iter().map(|s| (*s).to_owned()).collect());
     }
 
     /// Appends a row of owned strings.
@@ -84,7 +85,12 @@ impl Table {
         };
         let mut out = String::new();
         out.push_str(
-            &self.columns.iter().map(|c| escape(c)).collect::<Vec<_>>().join(","),
+            &self
+                .columns
+                .iter()
+                .map(|c| escape(c))
+                .collect::<Vec<_>>()
+                .join(","),
         );
         out.push('\n');
         for row in &self.rows {

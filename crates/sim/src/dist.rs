@@ -32,7 +32,10 @@ impl Exponential {
     ///
     /// Panics if `rate` is not strictly positive and finite.
     pub fn new(rate: f64) -> Self {
-        assert!(rate > 0.0 && rate.is_finite(), "rate must be positive and finite");
+        assert!(
+            rate > 0.0 && rate.is_finite(),
+            "rate must be positive and finite"
+        );
         Exponential { rate }
     }
 
@@ -92,7 +95,10 @@ impl UniformJitter {
 
     /// A constant (jitter-free) delay.
     pub fn constant(base: SimDuration) -> Self {
-        UniformJitter { base, spread: SimDuration::ZERO }
+        UniformJitter {
+            base,
+            spread: SimDuration::ZERO,
+        }
     }
 
     /// The fixed part of the delay.

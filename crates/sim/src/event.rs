@@ -60,7 +60,10 @@ pub struct EventQueue<E> {
 impl<E> EventQueue<E> {
     /// Creates an empty queue.
     pub fn new() -> Self {
-        EventQueue { heap: BinaryHeap::new(), seq: 0 }
+        EventQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+        }
     }
 
     /// Schedules `event` at absolute instant `time`.
@@ -136,7 +139,11 @@ impl<E> Default for Scheduler<E> {
 impl<E> Scheduler<E> {
     /// Creates a scheduler whose clock starts at [`SimTime::ZERO`].
     pub fn new() -> Self {
-        Scheduler { queue: EventQueue::new(), now: SimTime::ZERO, processed: 0 }
+        Scheduler {
+            queue: EventQueue::new(),
+            now: SimTime::ZERO,
+            processed: 0,
+        }
     }
 
     /// The current virtual time.
@@ -155,7 +162,11 @@ impl<E> Scheduler<E> {
     ///
     /// Panics if `at` is earlier than the current time.
     pub fn schedule_at(&mut self, at: SimTime, event: E) {
-        assert!(at >= self.now, "cannot schedule into the past: {at} < {}", self.now);
+        assert!(
+            at >= self.now,
+            "cannot schedule into the past: {at} < {}",
+            self.now
+        );
         self.queue.push(at, event);
     }
 

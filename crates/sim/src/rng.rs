@@ -85,7 +85,9 @@ impl RngHub {
 
     /// Derives a child hub, e.g. one hub per experiment repetition.
     pub fn child(&self, name: &str) -> RngHub {
-        RngHub { master: splitmix64(self.master ^ fnv1a(name.as_bytes())) }
+        RngHub {
+            master: splitmix64(self.master ^ fnv1a(name.as_bytes())),
+        }
     }
 }
 
@@ -97,8 +99,16 @@ mod tests {
     #[test]
     fn same_name_same_stream() {
         let hub = RngHub::new(123);
-        let a: Vec<u64> = hub.stream("x").sample_iter(rand::distributions::Standard).take(8).collect();
-        let b: Vec<u64> = hub.stream("x").sample_iter(rand::distributions::Standard).take(8).collect();
+        let a: Vec<u64> = hub
+            .stream("x")
+            .sample_iter(rand::distributions::Standard)
+            .take(8)
+            .collect();
+        let b: Vec<u64> = hub
+            .stream("x")
+            .sample_iter(rand::distributions::Standard)
+            .take(8)
+            .collect();
         assert_eq!(a, b);
     }
 

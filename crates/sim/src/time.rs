@@ -128,7 +128,7 @@ impl SimDuration {
     /// Creates a duration from fractional seconds, saturating at the
     /// representable range and treating NaN/negative input as zero.
     pub fn from_secs_f64(secs: f64) -> Self {
-        if !(secs > 0.0) {
+        if secs.is_nan() || secs <= 0.0 {
             return SimDuration::ZERO;
         }
         let nanos = secs * 1e9;
@@ -303,7 +303,10 @@ mod tests {
         assert_eq!(SimDuration::from_secs_f64(-1.0), SimDuration::ZERO);
         assert_eq!(SimDuration::from_secs_f64(f64::NAN), SimDuration::ZERO);
         assert_eq!(SimDuration::from_secs_f64(1e30), SimDuration::MAX);
-        assert_eq!(SimDuration::from_secs_f64(0.5), SimDuration::from_millis(500));
+        assert_eq!(
+            SimDuration::from_secs_f64(0.5),
+            SimDuration::from_millis(500)
+        );
     }
 
     #[test]
@@ -329,8 +332,12 @@ mod tests {
 
     #[test]
     fn checked_add_detects_overflow() {
-        assert!(SimTime::MAX.checked_add(SimDuration::from_nanos(1)).is_none());
-        assert!(SimDuration::MAX.checked_add(SimDuration::from_nanos(1)).is_none());
+        assert!(SimTime::MAX
+            .checked_add(SimDuration::from_nanos(1))
+            .is_none());
+        assert!(SimDuration::MAX
+            .checked_add(SimDuration::from_nanos(1))
+            .is_none());
         assert_eq!(
             SimTime::ZERO.checked_add(SimDuration::from_secs(3)),
             Some(SimTime::from_secs(3))

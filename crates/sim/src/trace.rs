@@ -46,7 +46,11 @@ impl Trace {
 
     /// Appends an entry.
     pub fn record(&mut self, time: SimTime, label: impl Into<String>, detail: impl Into<String>) {
-        self.entries.push(TraceEntry { time, label: label.into(), detail: detail.into() });
+        self.entries.push(TraceEntry {
+            time,
+            label: label.into(),
+            detail: detail.into(),
+        });
     }
 
     /// All entries, in recording order.

@@ -35,7 +35,10 @@ impl Conv2dSpec {
             "kernel {} larger than padded input {eff_h}x{eff_w}",
             self.kernel
         );
-        ((eff_h - self.kernel) / self.stride + 1, (eff_w - self.kernel) / self.stride + 1)
+        (
+            (eff_h - self.kernel) / self.stride + 1,
+            (eff_w - self.kernel) / self.stride + 1,
+        )
     }
 }
 
@@ -47,35 +50,46 @@ impl Conv2dSpec {
 /// Panics if the input is not 4-D or the channel count disagrees with `spec`.
 pub fn im2col(input: &Tensor, spec: &Conv2dSpec) -> Tensor {
     assert_eq!(input.ndim(), 4, "im2col requires NCHW input");
-    let (n, c, h, w) =
-        (input.shape()[0], input.shape()[1], input.shape()[2], input.shape()[3]);
+    let (n, c, h, w) = (
+        input.shape()[0],
+        input.shape()[1],
+        input.shape()[2],
+        input.shape()[3],
+    );
     assert_eq!(c, spec.in_channels, "channel mismatch");
     let (oh, ow) = spec.output_size(h, w);
     let k = spec.kernel;
     let cols = c * k * k;
     let mut out = vec![0.0f32; n * oh * ow * cols];
     let iv = input.as_slice();
-    let mut row = 0usize;
-    for img in 0..n {
-        for oy in 0..oh {
-            for ox in 0..ow {
-                let base = row * cols;
-                for ch in 0..c {
-                    for ky in 0..k {
-                        let iy = (oy * spec.stride + ky) as isize - spec.padding as isize;
-                        for kx in 0..k {
-                            let ix = (ox * spec.stride + kx) as isize - spec.padding as isize;
-                            let dst = base + ch * k * k + ky * k + kx;
-                            if iy >= 0 && iy < h as isize && ix >= 0 && ix < w as isize {
-                                let src = ((img * c + ch) * h + iy as usize) * w + ix as usize;
-                                out[dst] = iv[src];
-                            }
+    // Every output row is an independent patch copy, so rows parallelize
+    // freely: chunk the row range across workers, identical at any count.
+    let fill_rows = |row0: usize, rows: &mut [f32]| {
+        let first_row = row0 / cols;
+        for (li, patch) in rows.chunks_exact_mut(cols).enumerate() {
+            let row = first_row + li;
+            let img = row / (oh * ow);
+            let oy = (row / ow) % oh;
+            let ox = row % ow;
+            for ch in 0..c {
+                for ky in 0..k {
+                    let iy = (oy * spec.stride + ky) as isize - spec.padding as isize;
+                    for kx in 0..k {
+                        let ix = (ox * spec.stride + kx) as isize - spec.padding as isize;
+                        let dst = ch * k * k + ky * k + kx;
+                        if iy >= 0 && iy < h as isize && ix >= 0 && ix < w as isize {
+                            let src = ((img * c + ch) * h + iy as usize) * w + ix as usize;
+                            patch[dst] = iv[src];
                         }
                     }
                 }
-                row += 1;
             }
         }
+    };
+    if cols > 0 && blockfed_compute::worth_parallelizing(out.len()) {
+        blockfed_compute::par_chunks_mut(&mut out, cols, fill_rows);
+    } else if cols > 0 {
+        fill_rows(0, &mut out);
     }
     Tensor::from_vec(out, &[n * oh * ow, cols])
 }
@@ -94,24 +108,40 @@ pub fn conv2d_forward(
 ) -> Tensor {
     let (n, h, w) = (input.shape()[0], input.shape()[2], input.shape()[3]);
     let (oh, ow) = spec.output_size(h, w);
-    assert_eq!(weights.shape(), &[spec.out_channels, spec.in_channels * spec.kernel * spec.kernel]);
+    assert_eq!(
+        weights.shape(),
+        &[
+            spec.out_channels,
+            spec.in_channels * spec.kernel * spec.kernel
+        ]
+    );
     assert_eq!(bias.numel(), spec.out_channels, "bias length mismatch");
     let cols = im2col(input, spec); // [n*oh*ow, c*k*k]
     let prod = matmul_bt(&cols, weights); // [n*oh*ow, out_channels]
     let biased = prod.add_row_broadcast(bias);
-    // Rearrange [n*oh*ow, oc] -> [n, oc, oh, ow]
+    // Rearrange [n*oh*ow, oc] -> [n, oc, oh, ow]; each (img, channel) plane
+    // is an independent gather, so planes parallelize across workers.
     let oc = spec.out_channels;
     let mut out = vec![0.0f32; n * oc * oh * ow];
     let bv = biased.as_slice();
-    for img in 0..n {
-        for oy in 0..oh {
-            for ox in 0..ow {
-                let row = (img * oh + oy) * ow + ox;
-                for ch in 0..oc {
-                    out[((img * oc + ch) * oh + oy) * ow + ox] = bv[row * oc + ch];
+    let plane = oh * ow;
+    let gather = |plane0: usize, planes: &mut [f32]| {
+        let first = plane0 / plane;
+        for (li, dst) in planes.chunks_exact_mut(plane).enumerate() {
+            let img = (first + li) / oc;
+            let ch = (first + li) % oc;
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let row = (img * oh + oy) * ow + ox;
+                    dst[oy * ow + ox] = bv[row * oc + ch];
                 }
             }
         }
+    };
+    if plane > 0 && blockfed_compute::worth_parallelizing(out.len()) {
+        blockfed_compute::par_chunks_mut(&mut out, plane, gather);
+    } else if plane > 0 {
+        gather(0, &mut out);
     }
     Tensor::from_vec(out, &[n, oc, oh, ow])
 }
@@ -123,17 +153,26 @@ pub fn conv2d_forward(
 /// Panics if the input is not 4-D.
 pub fn global_avg_pool(input: &Tensor) -> Tensor {
     assert_eq!(input.ndim(), 4, "global_avg_pool requires NCHW input");
-    let (n, c, h, w) =
-        (input.shape()[0], input.shape()[1], input.shape()[2], input.shape()[3]);
+    let (n, c, h, w) = (
+        input.shape()[0],
+        input.shape()[1],
+        input.shape()[2],
+        input.shape()[3],
+    );
     let hw = (h * w) as f32;
     let iv = input.as_slice();
     let mut out = vec![0.0f32; n * c];
-    for img in 0..n {
-        for ch in 0..c {
-            let base = (img * c + ch) * h * w;
+    let pool = |off: usize, slots: &mut [f32]| {
+        for (li, slot) in slots.iter_mut().enumerate() {
+            let base = (off + li) * h * w;
             let s: f32 = iv[base..base + h * w].iter().sum();
-            out[img * c + ch] = s / hw;
+            *slot = s / hw;
         }
+    };
+    if blockfed_compute::worth_parallelizing(n * c * h * w) && !out.is_empty() {
+        blockfed_compute::par_chunks_mut(&mut out, 1, pool);
+    } else if !out.is_empty() {
+        pool(0, &mut out);
     }
     Tensor::from_vec(out, &[n, c])
 }
@@ -144,16 +183,34 @@ mod tests {
 
     #[test]
     fn output_size_math() {
-        let spec = Conv2dSpec { in_channels: 1, out_channels: 1, kernel: 3, stride: 1, padding: 1 };
+        let spec = Conv2dSpec {
+            in_channels: 1,
+            out_channels: 1,
+            kernel: 3,
+            stride: 1,
+            padding: 1,
+        };
         assert_eq!(spec.output_size(8, 8), (8, 8));
-        let spec2 = Conv2dSpec { in_channels: 1, out_channels: 1, kernel: 3, stride: 2, padding: 0 };
+        let spec2 = Conv2dSpec {
+            in_channels: 1,
+            out_channels: 1,
+            kernel: 3,
+            stride: 2,
+            padding: 0,
+        };
         assert_eq!(spec2.output_size(7, 7), (3, 3));
     }
 
     #[test]
     #[should_panic(expected = "larger than padded input")]
     fn kernel_too_big_panics() {
-        let spec = Conv2dSpec { in_channels: 1, out_channels: 1, kernel: 5, stride: 1, padding: 0 };
+        let spec = Conv2dSpec {
+            in_channels: 1,
+            out_channels: 1,
+            kernel: 5,
+            stride: 1,
+            padding: 0,
+        };
         let _ = spec.output_size(3, 3);
     }
 
@@ -161,7 +218,13 @@ mod tests {
     fn im2col_identity_kernel_layout() {
         // 1 image, 1 channel, 3x3 input, 2x2 kernel, stride 1, no padding.
         let input = Tensor::from_vec((1..=9).map(|x| x as f32).collect(), &[1, 1, 3, 3]);
-        let spec = Conv2dSpec { in_channels: 1, out_channels: 1, kernel: 2, stride: 1, padding: 0 };
+        let spec = Conv2dSpec {
+            in_channels: 1,
+            out_channels: 1,
+            kernel: 2,
+            stride: 1,
+            padding: 0,
+        };
         let cols = im2col(&input, &spec);
         assert_eq!(cols.shape(), &[4, 4]);
         // First patch is the top-left 2x2 block.
@@ -172,7 +235,13 @@ mod tests {
     #[test]
     fn conv_with_averaging_kernel() {
         let input = Tensor::from_vec((1..=9).map(|x| x as f32).collect(), &[1, 1, 3, 3]);
-        let spec = Conv2dSpec { in_channels: 1, out_channels: 1, kernel: 2, stride: 1, padding: 0 };
+        let spec = Conv2dSpec {
+            in_channels: 1,
+            out_channels: 1,
+            kernel: 2,
+            stride: 1,
+            padding: 0,
+        };
         let weights = Tensor::full(&[1, 4], 0.25);
         let bias = Tensor::zeros(&[1]);
         let out = conv2d_forward(&input, &weights, &bias, &spec);
@@ -183,7 +252,13 @@ mod tests {
     #[test]
     fn conv_bias_is_added_per_channel() {
         let input = Tensor::zeros(&[1, 1, 2, 2]);
-        let spec = Conv2dSpec { in_channels: 1, out_channels: 3, kernel: 1, stride: 1, padding: 0 };
+        let spec = Conv2dSpec {
+            in_channels: 1,
+            out_channels: 3,
+            kernel: 1,
+            stride: 1,
+            padding: 0,
+        };
         let weights = Tensor::zeros(&[3, 1]);
         let bias = Tensor::from_vec(vec![1.0, 2.0, 3.0], &[3]);
         let out = conv2d_forward(&input, &weights, &bias, &spec);
@@ -196,7 +271,13 @@ mod tests {
     #[test]
     fn padding_adds_zeros() {
         let input = Tensor::ones(&[1, 1, 2, 2]);
-        let spec = Conv2dSpec { in_channels: 1, out_channels: 1, kernel: 3, stride: 1, padding: 1 };
+        let spec = Conv2dSpec {
+            in_channels: 1,
+            out_channels: 1,
+            kernel: 3,
+            stride: 1,
+            padding: 1,
+        };
         let weights = Tensor::ones(&[1, 9]);
         let bias = Tensor::zeros(&[1]);
         let out = conv2d_forward(&input, &weights, &bias, &spec);
@@ -207,7 +288,10 @@ mod tests {
 
     #[test]
     fn global_avg_pool_means() {
-        let input = Tensor::from_vec(vec![1.0, 3.0, 5.0, 7.0, 10.0, 20.0, 30.0, 40.0], &[1, 2, 2, 2]);
+        let input = Tensor::from_vec(
+            vec![1.0, 3.0, 5.0, 7.0, 10.0, 20.0, 30.0, 40.0],
+            &[1, 2, 2, 2],
+        );
         let out = global_avg_pool(&input);
         assert_eq!(out.shape(), &[1, 2]);
         assert_eq!(out.as_slice(), &[4.0, 25.0]);
@@ -218,7 +302,13 @@ mod tests {
         let mut data = vec![0.0f32; 2 * 2 * 2];
         data[4..].copy_from_slice(&[1.0, 1.0, 1.0, 1.0]);
         let input = Tensor::from_vec(data, &[2, 1, 2, 2]);
-        let spec = Conv2dSpec { in_channels: 1, out_channels: 1, kernel: 2, stride: 1, padding: 0 };
+        let spec = Conv2dSpec {
+            in_channels: 1,
+            out_channels: 1,
+            kernel: 2,
+            stride: 1,
+            padding: 0,
+        };
         let weights = Tensor::ones(&[1, 4]);
         let bias = Tensor::zeros(&[1]);
         let out = conv2d_forward(&input, &weights, &bias, &spec);

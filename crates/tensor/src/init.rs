@@ -73,7 +73,10 @@ mod tests {
         let wide = xavier_uniform(&mut rng, &[1000], 10_000, 10_000);
         let narrow = xavier_uniform(&mut rng, &[1000], 4, 4);
         let max_wide = wide.as_slice().iter().fold(0.0f32, |m, &v| m.max(v.abs()));
-        let max_narrow = narrow.as_slice().iter().fold(0.0f32, |m, &v| m.max(v.abs()));
+        let max_narrow = narrow
+            .as_slice()
+            .iter()
+            .fold(0.0f32, |m, &v| m.max(v.abs()));
         assert!(max_wide < max_narrow);
     }
 
@@ -82,10 +85,17 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(3);
         let t = he_normal(&mut rng, &[20_000], 50);
         let mean = t.mean();
-        let var = t.as_slice().iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>()
+        let var = t
+            .as_slice()
+            .iter()
+            .map(|&v| (v - mean) * (v - mean))
+            .sum::<f32>()
             / t.numel() as f32;
         let expected = 2.0 / 50.0;
-        assert!((var - expected).abs() < expected * 0.2, "var {var} vs {expected}");
+        assert!(
+            (var - expected).abs() < expected * 0.2,
+            "var {var} vs {expected}"
+        );
     }
 
     #[test]
@@ -94,7 +104,11 @@ mod tests {
         let n = 50_000;
         let samples: Vec<f32> = (0..n).map(|_| gaussian(&mut rng)).collect();
         let mean: f32 = samples.iter().sum::<f32>() / n as f32;
-        let var: f32 = samples.iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / n as f32;
+        let var: f32 = samples
+            .iter()
+            .map(|&v| (v - mean) * (v - mean))
+            .sum::<f32>()
+            / n as f32;
         assert!(mean.abs() < 0.03, "mean {mean}");
         assert!((var - 1.0).abs() < 0.05, "var {var}");
     }

@@ -21,24 +21,35 @@ pub fn softmax_rows(logits: &Tensor) -> Tensor {
     assert_eq!(logits.ndim(), 2, "softmax_rows requires a 2-D tensor");
     let (rows, cols) = (logits.shape()[0], logits.shape()[1]);
     let mut out = logits.clone();
-    for r in 0..rows {
-        let row = out.row_mut(r);
-        let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
-        let mut denom = 0.0f32;
-        for v in row.iter_mut() {
-            *v = (*v - max).exp();
-            denom += *v;
-        }
-        if denom > 0.0 {
+    if rows == 0 || cols == 0 {
+        return out;
+    }
+    // Rows are independent, so the normalization parallelizes row-chunked
+    // with results identical at any worker count.
+    let kernel = |_off: usize, chunk: &mut [f32]| {
+        for row in chunk.chunks_exact_mut(cols) {
+            let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            let mut denom = 0.0f32;
             for v in row.iter_mut() {
-                *v /= denom;
+                *v = (*v - max).exp();
+                denom += *v;
             }
-        } else {
-            let uniform = 1.0 / cols as f32;
-            for v in row.iter_mut() {
-                *v = uniform;
+            if denom > 0.0 {
+                for v in row.iter_mut() {
+                    *v /= denom;
+                }
+            } else {
+                let uniform = 1.0 / cols as f32;
+                for v in row.iter_mut() {
+                    *v = uniform;
+                }
             }
         }
+    };
+    if blockfed_compute::worth_parallelizing(rows * cols) {
+        blockfed_compute::par_chunks_mut(out.as_mut_slice(), cols, kernel);
+    } else {
+        kernel(0, out.as_mut_slice());
     }
     out
 }
@@ -50,14 +61,42 @@ pub fn softmax_rows(logits: &Tensor) -> Tensor {
 /// Panics if the tensor is not 2-D.
 pub fn log_softmax_rows(logits: &Tensor) -> Tensor {
     assert_eq!(logits.ndim(), 2, "log_softmax_rows requires a 2-D tensor");
-    let rows = logits.shape()[0];
+    let (rows, cols) = (logits.shape()[0], logits.shape()[1]);
     let mut out = logits.clone();
-    for r in 0..rows {
-        let row = out.row_mut(r);
-        let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
-        let log_denom = row.iter().map(|&v| (v - max).exp()).sum::<f32>().ln() + max;
-        for v in row.iter_mut() {
-            *v -= log_denom;
+    if rows == 0 || cols == 0 {
+        return out;
+    }
+    let kernel = |_off: usize, chunk: &mut [f32]| {
+        for row in chunk.chunks_exact_mut(cols) {
+            let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            let log_denom = row.iter().map(|&v| (v - max).exp()).sum::<f32>().ln() + max;
+            for v in row.iter_mut() {
+                *v -= log_denom;
+            }
+        }
+    };
+    if blockfed_compute::worth_parallelizing(rows * cols) {
+        blockfed_compute::par_chunks_mut(out.as_mut_slice(), cols, kernel);
+    } else {
+        kernel(0, out.as_mut_slice());
+    }
+    out
+}
+
+/// Applies a pure elementwise function in parallel chunks (each element's
+/// value depends only on the corresponding inputs, so any chunking yields
+/// identical results).
+fn elementwise(src: &[f32], f: impl Fn(f32) -> f32 + Sync) -> Vec<f32> {
+    let mut out = src.to_vec();
+    if blockfed_compute::worth_parallelizing(out.len()) {
+        blockfed_compute::par_chunks_mut(&mut out, 1, |_off, chunk| {
+            for v in chunk {
+                *v = f(*v);
+            }
+        });
+    } else {
+        for v in &mut out {
+            *v = f(*v);
         }
     }
     out
@@ -65,7 +104,7 @@ pub fn log_softmax_rows(logits: &Tensor) -> Tensor {
 
 /// Rectified linear unit, elementwise.
 pub fn relu(x: &Tensor) -> Tensor {
-    x.map(|v| v.max(0.0))
+    Tensor::from_vec(elementwise(x.as_slice(), |v| v.max(0.0)), x.shape())
 }
 
 /// Gradient mask of ReLU: passes `grad` where the forward input was positive.
@@ -74,7 +113,20 @@ pub fn relu(x: &Tensor) -> Tensor {
 ///
 /// Panics if the shapes differ.
 pub fn relu_backward(grad: &Tensor, input: &Tensor) -> Tensor {
-    grad.zip_map(input, |g, x| if x > 0.0 { g } else { 0.0 })
+    assert_eq!(grad.shape(), input.shape(), "shape mismatch");
+    let iv = input.as_slice();
+    let mut out = grad.as_slice().to_vec();
+    let kernel = |off: usize, chunk: &mut [f32]| {
+        for (li, g) in chunk.iter_mut().enumerate() {
+            *g = if iv[off + li] > 0.0 { *g } else { 0.0 };
+        }
+    };
+    if blockfed_compute::worth_parallelizing(out.len()) {
+        blockfed_compute::par_chunks_mut(&mut out, 1, kernel);
+    } else if !out.is_empty() {
+        kernel(0, &mut out);
+    }
+    Tensor::from_vec(out, grad.shape())
 }
 
 /// Clamps every element into `[lo, hi]`.
@@ -84,7 +136,7 @@ pub fn relu_backward(grad: &Tensor, input: &Tensor) -> Tensor {
 /// Panics if `lo > hi`.
 pub fn clip(x: &Tensor, lo: f32, hi: f32) -> Tensor {
     assert!(lo <= hi, "clip bounds inverted");
-    x.map(|v| v.clamp(lo, hi))
+    Tensor::from_vec(elementwise(x.as_slice(), |v| v.clamp(lo, hi)), x.shape())
 }
 
 /// Fraction of rows of `predictions` (2-D logits or probabilities) whose argmax

@@ -24,12 +24,18 @@ pub struct Tensor {
 impl Tensor {
     /// Creates a tensor of zeros with the given shape.
     pub fn zeros(shape: &[usize]) -> Self {
-        Tensor { data: vec![0.0; shape.iter().product()], shape: shape.to_vec() }
+        Tensor {
+            data: vec![0.0; shape.iter().product()],
+            shape: shape.to_vec(),
+        }
     }
 
     /// Creates a tensor filled with `value`.
     pub fn full(shape: &[usize], value: f32) -> Self {
-        Tensor { data: vec![value; shape.iter().product()], shape: shape.to_vec() }
+        Tensor {
+            data: vec![value; shape.iter().product()],
+            shape: shape.to_vec(),
+        }
     }
 
     /// Creates a tensor of ones.
@@ -44,8 +50,17 @@ impl Tensor {
     /// Panics if `data.len()` does not equal the product of `shape`.
     pub fn from_vec(data: Vec<f32>, shape: &[usize]) -> Self {
         let expected: usize = shape.iter().product();
-        assert_eq!(data.len(), expected, "data length {} != shape volume {}", data.len(), expected);
-        Tensor { data, shape: shape.to_vec() }
+        assert_eq!(
+            data.len(),
+            expected,
+            "data length {} != shape volume {}",
+            data.len(),
+            expected
+        );
+        Tensor {
+            data,
+            shape: shape.to_vec(),
+        }
     }
 
     /// The shape.
@@ -87,7 +102,10 @@ impl Tensor {
         assert_eq!(idx.len(), self.shape.len(), "index rank mismatch");
         let mut flat = 0;
         for (i, (&ix, &dim)) in idx.iter().zip(&self.shape).enumerate() {
-            assert!(ix < dim, "index {ix} out of bounds for dim {i} of size {dim}");
+            assert!(
+                ix < dim,
+                "index {ix} out of bounds for dim {i} of size {dim}"
+            );
             flat = flat * dim + ix;
         }
         flat
@@ -120,7 +138,10 @@ impl Tensor {
     pub fn reshape(&self, shape: &[usize]) -> Tensor {
         let expected: usize = shape.iter().product();
         assert_eq!(self.data.len(), expected, "reshape volume mismatch");
-        Tensor { data: self.data.clone(), shape: shape.to_vec() }
+        Tensor {
+            data: self.data.clone(),
+            shape: shape.to_vec(),
+        }
     }
 
     /// A view of row `r` of a 2-D tensor.
@@ -164,7 +185,10 @@ impl Tensor {
 
     /// Applies `f` elementwise, returning a new tensor.
     pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
-        Tensor { data: self.data.iter().map(|&x| f(x)).collect(), shape: self.shape.clone() }
+        Tensor {
+            data: self.data.iter().map(|&x| f(x)).collect(),
+            shape: self.shape.clone(),
+        }
     }
 
     /// Applies `f` elementwise in place.
@@ -182,7 +206,12 @@ impl Tensor {
     pub fn zip_map(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32) -> Tensor {
         assert_eq!(self.shape, other.shape, "shape mismatch");
         Tensor {
-            data: self.data.iter().zip(&other.data).map(|(&a, &b)| f(a, b)).collect(),
+            data: self
+                .data
+                .iter()
+                .zip(&other.data)
+                .map(|(&a, &b)| f(a, b))
+                .collect(),
             shape: self.shape.clone(),
         }
     }
@@ -261,8 +290,9 @@ impl Tensor {
         let (rows, cols) = (self.shape[0], self.shape[1]);
         let mut out = vec![0.0f32; cols];
         for r in 0..rows {
-            for c in 0..cols {
-                out[c] += self.data[r * cols + c];
+            let row = &self.data[r * cols..(r + 1) * cols];
+            for (o, &v) in out.iter_mut().zip(row) {
+                *o += v;
             }
         }
         Tensor::from_vec(out, &[cols])

@@ -140,7 +140,9 @@ pub fn assemble(source: &str) -> Result<Vec<u8>, AsmError> {
                 break;
             }
             if labels.insert(candidate.to_owned(), offset).is_some() {
-                return Err(AsmError::DuplicateLabel { label: candidate.to_owned() });
+                return Err(AsmError::DuplicateLabel {
+                    label: candidate.to_owned(),
+                });
             }
             rest = after[1..].trim();
         }
@@ -170,8 +172,7 @@ pub fn assemble(source: &str) -> Result<Vec<u8>, AsmError> {
                 } else if let Some(hex) = tok.strip_prefix("0x") {
                     Operand::Value(U256::from_hex(hex).ok_or(AsmError::BadOperand { line })?)
                 } else {
-                    let v: u128 =
-                        tok.parse().map_err(|_| AsmError::BadOperand { line })?;
+                    let v: u128 = tok.parse().map_err(|_| AsmError::BadOperand { line })?;
                     Operand::Value(U256::from_u128(v))
                 }
             }
@@ -277,7 +278,11 @@ mod tests {
         let e = assemble("BOGUS").unwrap_err();
         assert!(e.to_string().contains("BOGUS"));
         assert!(AsmError::BadOperand { line: 3 }.to_string().contains('3'));
-        assert!(AsmError::UndefinedLabel { label: "x".into() }.to_string().contains('x'));
-        assert!(AsmError::DuplicateLabel { label: "y".into() }.to_string().contains('y'));
+        assert!(AsmError::UndefinedLabel { label: "x".into() }
+            .to_string()
+            .contains('x'));
+        assert!(AsmError::DuplicateLabel { label: "y".into() }
+            .to_string()
+            .contains('y'));
     }
 }

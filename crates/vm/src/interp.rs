@@ -55,8 +55,17 @@ pub fn run(ctx: &CallContext, code: &[u8], state: &mut State) -> ExecOutcome {
     macro_rules! fault {
         ($f:expr) => {{
             let f: Fault = $f;
-            let gas = if f == Fault::OutOfGas { ctx.gas_budget } else { gas_used };
-            return ExecOutcome { success: false, gas_used: gas, output: Vec::new(), logs: Vec::new() };
+            let gas = if f == Fault::OutOfGas {
+                ctx.gas_budget
+            } else {
+                gas_used
+            };
+            return ExecOutcome {
+                success: false,
+                gas_used: gas,
+                output: Vec::new(),
+                logs: Vec::new(),
+            };
         }};
     }
 
@@ -81,7 +90,12 @@ pub fn run(ctx: &CallContext, code: &[u8], state: &mut State) -> ExecOutcome {
     loop {
         if pc >= code.len() {
             // Running off the end halts successfully, like STOP.
-            return ExecOutcome { success: true, gas_used, output: Vec::new(), logs };
+            return ExecOutcome {
+                success: true,
+                gas_used,
+                output: Vec::new(),
+                logs,
+            };
         }
         let op = match Opcode::from_byte(code[pc]) {
             Some(op) => op,
@@ -90,9 +104,10 @@ pub fn run(ctx: &CallContext, code: &[u8], state: &mut State) -> ExecOutcome {
         let mut cost = op.base_gas();
         // Look ahead for the SSTORE surcharge before charging.
         if op == Opcode::SStore {
-            if let (Some(key), Some(_value)) =
-                (stack.len().checked_sub(1).map(|i| stack[i]), stack.len().checked_sub(2).map(|i| stack[i]))
-            {
+            if let (Some(key), Some(_value)) = (
+                stack.len().checked_sub(1).map(|i| stack[i]),
+                stack.len().checked_sub(2).map(|i| stack[i]),
+            ) {
                 let slot = H256::from_bytes(key.to_be_bytes());
                 if state.storage_get(&ctx.contract, &slot).is_zero() {
                     cost += SSTORE_INIT_SURCHARGE;
@@ -106,7 +121,12 @@ pub fn run(ctx: &CallContext, code: &[u8], state: &mut State) -> ExecOutcome {
 
         match op {
             Opcode::Stop => {
-                return ExecOutcome { success: true, gas_used, output: Vec::new(), logs };
+                return ExecOutcome {
+                    success: true,
+                    gas_used,
+                    output: Vec::new(),
+                    logs,
+                };
             }
             Opcode::Add => {
                 let b = pop!();
@@ -126,12 +146,20 @@ pub fn run(ctx: &CallContext, code: &[u8], state: &mut State) -> ExecOutcome {
             Opcode::Div => {
                 let b = pop!();
                 let a = pop!();
-                push!(if b.is_zero() { U256::ZERO } else { a.div_rem(b).0 });
+                push!(if b.is_zero() {
+                    U256::ZERO
+                } else {
+                    a.div_rem(b).0
+                });
             }
             Opcode::Mod => {
                 let b = pop!();
                 let a = pop!();
-                push!(if b.is_zero() { U256::ZERO } else { a.div_rem(b).1 });
+                push!(if b.is_zero() {
+                    U256::ZERO
+                } else {
+                    a.div_rem(b).1
+                });
             }
             Opcode::Lt => {
                 let b = pop!();
@@ -295,7 +323,12 @@ pub fn run(ctx: &CallContext, code: &[u8], state: &mut State) -> ExecOutcome {
                     let w = stack.pop().expect("length checked");
                     output.extend_from_slice(&w.to_be_bytes());
                 }
-                return ExecOutcome { success: true, gas_used, output, logs };
+                return ExecOutcome {
+                    success: true,
+                    gas_used,
+                    output,
+                    logs,
+                };
             }
             Opcode::Revert => fault!(Fault::Reverted),
         }
@@ -508,7 +541,10 @@ RETURN";
         let (out2, _) = exec("PUSH8 1\nPUSH8 0\nSSTORE\nPUSH8 2\nPUSH8 0\nSSTORE", vec![]);
         let first_write = out1.gas_used;
         let second_write = out2.gas_used - first_write;
-        assert!(first_write > second_write, "{first_write} vs {second_write}");
+        assert!(
+            first_write > second_write,
+            "{first_write} vs {second_write}"
+        );
     }
 
     #[test]
@@ -518,7 +554,10 @@ RETURN";
         assert_eq!(word(&out), U256::from_u64(4));
         let (out, _) = exec("PUSH8 10\nPUSH8 3\nSWAP1\nSUB\nPUSH8 1\nRETURN", vec![]);
         // stack: 10,3 -> swap: 3,10 -> sub: 3-10 wraps... a=3? pop order: b=10,a=3 => 3-10 wraps.
-        assert_eq!(word(&out), U256::from_u64(3).wrapping_sub(U256::from_u64(10)));
+        assert_eq!(
+            word(&out),
+            U256::from_u64(3).wrapping_sub(U256::from_u64(10))
+        );
     }
 
     #[test]

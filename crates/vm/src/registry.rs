@@ -100,7 +100,12 @@ impl RegistryCall {
         let mut out = Vec::new();
         match self {
             RegistryCall::Register => out.push(0),
-            RegistryCall::SubmitModel { round, model_hash, payload_bytes, sample_count } => {
+            RegistryCall::SubmitModel {
+                round,
+                model_hash,
+                payload_bytes,
+                sample_count,
+            } => {
                 out.push(1);
                 out.extend_from_slice(&round.to_le_bytes());
                 out.extend_from_slice(model_hash.as_bytes());
@@ -116,7 +121,11 @@ impl RegistryCall {
                 out.extend_from_slice(&round.to_le_bytes());
                 out.extend_from_slice(&index.to_le_bytes());
             }
-            RegistryCall::RecordAggregate { round, combo_mask, agg_hash } => {
+            RegistryCall::RecordAggregate {
+                round,
+                combo_mask,
+                agg_hash,
+            } => {
                 out.push(4);
                 out.extend_from_slice(&round.to_le_bytes());
                 out.extend_from_slice(&combo_mask.to_le_bytes());
@@ -262,7 +271,12 @@ pub fn execute_registry(ctx: &CallContext, state: &mut State) -> ExecOutcome {
             set_u64(state, me, count_key, index + 1);
             // member index is stored +1 so zero means "absent".
             set_u64(state, me, member_key, index + 1);
-            set_addr(state, me, slot(&[b"participant", &index.to_le_bytes()]), ctx.caller);
+            set_addr(
+                state,
+                me,
+                slot(&[b"participant", &index.to_le_bytes()]),
+                ctx.caller,
+            );
             let log = LogEntry {
                 address: me,
                 topic: topic_registered(),
@@ -270,7 +284,12 @@ pub fn execute_registry(ctx: &CallContext, state: &mut State) -> ExecOutcome {
             };
             ok(index.to_le_bytes().to_vec(), vec![log])
         }
-        RegistryCall::SubmitModel { round, model_hash, payload_bytes, sample_count } => {
+        RegistryCall::SubmitModel {
+            round,
+            model_hash,
+            payload_bytes,
+            sample_count,
+        } => {
             let member_key = slot(&[b"member", ctx.caller.as_bytes()]);
             if state.storage_get(&me, &member_key).is_zero() {
                 return revert(); // not registered
@@ -283,7 +302,12 @@ pub fn execute_registry(ctx: &CallContext, state: &mut State) -> ExecOutcome {
             let index = get_u64(state, &me, &count_key);
             set_u64(state, me, count_key, index + 1);
             set_u64(state, me, dup_key, 1);
-            let base = [b"sub".as_slice(), &round.to_le_bytes(), &index.to_le_bytes()].concat();
+            let base = [
+                b"sub".as_slice(),
+                &round.to_le_bytes(),
+                &index.to_le_bytes(),
+            ]
+            .concat();
             set_addr(state, me, slot(&[&base, b".sender"]), ctx.caller);
             state.storage_set(me, slot(&[&base, b".hash"]), model_hash);
             set_u64(state, me, slot(&[&base, b".payload"]), payload_bytes);
@@ -291,7 +315,11 @@ pub fn execute_registry(ctx: &CallContext, state: &mut State) -> ExecOutcome {
             let mut data = ctx.caller.as_bytes().to_vec();
             data.extend_from_slice(&round.to_le_bytes());
             data.extend_from_slice(model_hash.as_bytes());
-            let log = LogEntry { address: me, topic: topic_model_submitted(), data };
+            let log = LogEntry {
+                address: me,
+                topic: topic_model_submitted(),
+                data,
+            };
             ok(index.to_le_bytes().to_vec(), vec![log])
         }
         RegistryCall::RoundCount { round } => {
@@ -303,7 +331,12 @@ pub fn execute_registry(ctx: &CallContext, state: &mut State) -> ExecOutcome {
             if index >= count {
                 return revert();
             }
-            let base = [b"sub".as_slice(), &round.to_le_bytes(), &index.to_le_bytes()].concat();
+            let base = [
+                b"sub".as_slice(),
+                &round.to_le_bytes(),
+                &index.to_le_bytes(),
+            ]
+            .concat();
             let sender = get_addr(state, &me, &slot(&[&base, b".sender"]));
             let hash = state.storage_get(&me, &slot(&[&base, b".hash"]));
             let payload = get_u64(state, &me, &slot(&[&base, b".payload"]));
@@ -314,18 +347,31 @@ pub fn execute_registry(ctx: &CallContext, state: &mut State) -> ExecOutcome {
             out.extend_from_slice(&samples.to_le_bytes());
             ok(out, vec![])
         }
-        RegistryCall::RecordAggregate { round, combo_mask, agg_hash } => {
+        RegistryCall::RecordAggregate {
+            round,
+            combo_mask,
+            agg_hash,
+        } => {
             let member_key = slot(&[b"member", ctx.caller.as_bytes()]);
             if state.storage_get(&me, &member_key).is_zero() {
                 return revert();
             }
-            let base = [b"agg".as_slice(), &round.to_le_bytes(), ctx.caller.as_bytes()].concat();
+            let base = [
+                b"agg".as_slice(),
+                &round.to_le_bytes(),
+                ctx.caller.as_bytes(),
+            ]
+            .concat();
             state.storage_set(me, slot(&[&base, b".hash"]), agg_hash);
             set_u64(state, me, slot(&[&base, b".mask"]), u64::from(combo_mask));
             let mut data = ctx.caller.as_bytes().to_vec();
             data.extend_from_slice(&round.to_le_bytes());
             data.extend_from_slice(&combo_mask.to_le_bytes());
-            let log = LogEntry { address: me, topic: topic_aggregate_recorded(), data };
+            let log = LogEntry {
+                address: me,
+                topic: topic_aggregate_recorded(),
+                data,
+            };
             ok(Vec::new(), vec![log])
         }
         RegistryCall::ParticipantCount => {
@@ -333,7 +379,12 @@ pub fn execute_registry(ctx: &CallContext, state: &mut State) -> ExecOutcome {
             ok(count.to_le_bytes().to_vec(), vec![])
         }
         RegistryCall::GetAggregate { round, aggregator } => {
-            let base = [b"agg".as_slice(), &round.to_le_bytes(), aggregator.as_bytes()].concat();
+            let base = [
+                b"agg".as_slice(),
+                &round.to_le_bytes(),
+                aggregator.as_bytes(),
+            ]
+            .concat();
             let hash = state.storage_get(&me, &slot(&[&base, b".hash"]));
             if hash.is_zero() {
                 return revert();
@@ -357,7 +408,12 @@ pub fn parse_submission(output: &[u8]) -> Option<(H160, H256, u64, u64)> {
     hash.copy_from_slice(&output[20..52]);
     let payload = u64::from_le_bytes(output[52..60].try_into().ok()?);
     let samples = u64::from_le_bytes(output[60..68].try_into().ok()?);
-    Some((H160::from_bytes(addr), H256::from_bytes(hash), payload, samples))
+    Some((
+        H160::from_bytes(addr),
+        H256::from_bytes(hash),
+        payload,
+        samples,
+    ))
 }
 
 /// Parses a little-endian u64 returned by count-style methods.
@@ -403,9 +459,16 @@ mod tests {
             },
             RegistryCall::RoundCount { round: 9 },
             RegistryCall::GetSubmission { round: 2, index: 1 },
-            RegistryCall::RecordAggregate { round: 1, combo_mask: 0b101, agg_hash: sha256(b"a") },
+            RegistryCall::RecordAggregate {
+                round: 1,
+                combo_mask: 0b101,
+                agg_hash: sha256(b"a"),
+            },
             RegistryCall::ParticipantCount,
-            RegistryCall::GetAggregate { round: 4, aggregator: addr(7) },
+            RegistryCall::GetAggregate {
+                round: 4,
+                aggregator: addr(7),
+            },
         ];
         for c in calls {
             assert_eq!(RegistryCall::decode(&c.encode()), Some(c));
@@ -492,8 +555,11 @@ mod tests {
         let count = call(&mut state, addr(9), RegistryCall::RoundCount { round: 7 });
         assert_eq!(parse_u64(&count.output), Some(3));
         for i in 0..3u64 {
-            let out =
-                call(&mut state, addr(9), RegistryCall::GetSubmission { round: 7, index: i });
+            let out = call(
+                &mut state,
+                addr(9),
+                RegistryCall::GetSubmission { round: 7, index: i },
+            );
             assert!(out.success);
             let (sender, hash, payload, samples) = parse_submission(&out.output).unwrap();
             assert_eq!(sender, addr(i as u8 + 1));
@@ -502,8 +568,14 @@ mod tests {
             assert_eq!(samples, i + 1);
         }
         // Out of range reverts.
-        assert!(!call(&mut state, addr(9), RegistryCall::GetSubmission { round: 7, index: 3 })
-            .success);
+        assert!(
+            !call(
+                &mut state,
+                addr(9),
+                RegistryCall::GetSubmission { round: 7, index: 3 }
+            )
+            .success
+        );
     }
 
     #[test]
@@ -519,25 +591,42 @@ mod tests {
         let got = call(
             &mut state,
             addr(9),
-            RegistryCall::GetAggregate { round: 2, aggregator: addr(1) },
+            RegistryCall::GetAggregate {
+                round: 2,
+                aggregator: addr(1),
+            },
         );
         assert!(got.success);
         assert_eq!(&got.output[..32], sha256(b"agg").as_bytes());
-        assert_eq!(u32::from_le_bytes(got.output[32..36].try_into().unwrap()), 0b011);
+        assert_eq!(
+            u32::from_le_bytes(got.output[32..36].try_into().unwrap()),
+            0b011
+        );
         // Missing aggregate reverts.
-        assert!(!call(
-            &mut state,
-            addr(9),
-            RegistryCall::GetAggregate { round: 3, aggregator: addr(1) }
-        )
-        .success);
+        assert!(
+            !call(
+                &mut state,
+                addr(9),
+                RegistryCall::GetAggregate {
+                    round: 3,
+                    aggregator: addr(1)
+                }
+            )
+            .success
+        );
         // Unregistered recorder reverts.
-        assert!(!call(
-            &mut state,
-            addr(5),
-            RegistryCall::RecordAggregate { round: 2, combo_mask: 1, agg_hash: sha256(b"x") }
-        )
-        .success);
+        assert!(
+            !call(
+                &mut state,
+                addr(5),
+                RegistryCall::RecordAggregate {
+                    round: 2,
+                    combo_mask: 1,
+                    agg_hash: sha256(b"x")
+                }
+            )
+            .success
+        );
     }
 
     #[test]

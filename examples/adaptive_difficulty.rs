@@ -22,11 +22,22 @@ fn main() {
 
     // Blocks 0–99: three peers. 100–199: twelve peers (others join the
     // collaboration). 200–299: back to three.
-    let schedule = move |b: usize| if (100..200).contains(&b) { 4.0 * base } else { base };
+    let schedule = move |b: usize| {
+        if (100..200).contains(&b) {
+            4.0 * base
+        } else {
+            base
+        }
+    };
 
     let mut table = Table::new(
         format!("Block cadence through a miner-population shock (target {target_s:.0} s)"),
-        &["Rule", "3 peers (s)", "12 peers join (s)", "9 peers leave (s)"],
+        &[
+            "Rule",
+            "3 peers (s)",
+            "12 peers join (s)",
+            "9 peers leave (s)",
+        ],
     );
     for rule in [
         RetargetRule::Homestead,

@@ -20,17 +20,30 @@ fn main() {
     let gen = SynthCifar::new(SynthCifarConfig::default());
     let (train, test) = gen.generate(13);
     let mut rng = StdRng::seed_from_u64(13);
-    let shards =
-        partition_dataset(&train, 3, Partition::DirichletLabelSkew { alpha: 0.8 }, &mut rng);
+    let shards = partition_dataset(
+        &train,
+        3,
+        Partition::DirichletLabelSkew { alpha: 0.8 },
+        &mut rng,
+    );
     let tests = vec![test.clone(), test.clone(), test];
     let nn = SimpleNnConfig::paper();
 
     let mut table = Table::new(
         "Wait or not to wait — SimpleNN, 3 peers, 5 rounds",
-        &["Policy", "Mean final accuracy", "Mean wait (s)", "Makespan (s)"],
+        &[
+            "Policy",
+            "Mean final accuracy",
+            "Mean wait (s)",
+            "Makespan (s)",
+        ],
     );
     let mut baseline: Option<f64> = None;
-    for policy in [WaitPolicy::All, WaitPolicy::FirstK(2), WaitPolicy::FirstK(1)] {
+    for policy in [
+        WaitPolicy::All,
+        WaitPolicy::FirstK(2),
+        WaitPolicy::FirstK(1),
+    ] {
         let config = DecentralizedConfig {
             rounds: 5,
             wait_policy: policy,

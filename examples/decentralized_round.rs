@@ -19,8 +19,12 @@ fn main() {
     let gen = SynthCifar::new(SynthCifarConfig::default());
     let (train, test) = gen.generate(11);
     let mut rng = StdRng::seed_from_u64(11);
-    let shards =
-        partition_dataset(&train, 3, Partition::DirichletLabelSkew { alpha: 0.8 }, &mut rng);
+    let shards = partition_dataset(
+        &train,
+        3,
+        Partition::DirichletLabelSkew { alpha: 0.8 },
+        &mut rng,
+    );
     let tests = vec![test.clone(), test.clone(), test];
 
     let nn = SimpleNnConfig::paper();
@@ -46,7 +50,13 @@ fn main() {
     for (peer, records) in run.peer_records.iter().enumerate() {
         let mut table = Table::new(
             format!("Peer {} — per-round aggregation choices", ClientId(peer)),
-            &["Round", "Chosen combo", "Accuracy", "Wait (s)", "Models used"],
+            &[
+                "Round",
+                "Chosen combo",
+                "Accuracy",
+                "Wait (s)",
+                "Models used",
+            ],
         );
         for r in records {
             table.row_owned(vec![
@@ -66,8 +76,14 @@ fn main() {
         println!("  mean block time  : {:.2}s", interval.as_secs_f64());
     }
     println!("  transactions     : {}", run.chain.total_txs);
-    println!("  model payloads   : {:.1} MB", run.chain.total_payload_bytes as f64 / 1e6);
-    println!("  finished (virtual): {:.1}s", run.finished_at.as_secs_f64());
+    println!(
+        "  model payloads   : {:.1} MB",
+        run.chain.total_payload_bytes as f64 / 1e6
+    );
+    println!(
+        "  finished (virtual): {:.1}s",
+        run.finished_at.as_secs_f64()
+    );
     println!("\ntrace excerpt:");
     for entry in run.trace.entries().iter().take(8) {
         println!("  {} {} {}", entry.time, entry.label, entry.detail);

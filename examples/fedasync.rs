@@ -18,17 +18,30 @@ fn main() {
     let gen = SynthCifar::new(SynthCifarConfig::tiny());
     let (train, test) = gen.generate(5);
     let mut rng = StdRng::seed_from_u64(5);
-    let shards =
-        partition_dataset(&train, 3, Partition::DirichletLabelSkew { alpha: 0.7 }, &mut rng);
+    let shards = partition_dataset(
+        &train,
+        3,
+        Partition::DirichletLabelSkew { alpha: 0.7 },
+        &mut rng,
+    );
 
     // Client A trains 8x faster than the straggler C — exactly the regime
     // where synchronous FL wastes time and naive asynchrony risks staleness.
     let speeds = vec![8.0, 4.0, 1.0];
-    println!("client speeds: A={}, B={}, C={} (relative)\n", speeds[0], speeds[1], speeds[2]);
+    println!(
+        "client speeds: A={}, B={}, C={} (relative)\n",
+        speeds[0], speeds[1], speeds[2]
+    );
 
     let mut table = Table::new(
         "FedAsync on SynthCifar — mixing rate α × staleness decay",
-        &["Alpha", "Decay", "Final acc", "Mean staleness", "Merges A/B/C"],
+        &[
+            "Alpha",
+            "Decay",
+            "Final acc",
+            "Mean staleness",
+            "Merges A/B/C",
+        ],
     );
     for &alpha in &[0.3, 0.6, 0.9] {
         for decay in [

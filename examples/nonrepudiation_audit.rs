@@ -32,8 +32,12 @@ fn decentralized_attack_and_audit() {
     let gen = SynthCifar::new(SynthCifarConfig::tiny());
     let (train, test) = gen.generate(2);
     let mut rng = StdRng::seed_from_u64(3);
-    let shards =
-        partition_dataset(&train, 3, Partition::DirichletLabelSkew { alpha: 0.7 }, &mut rng);
+    let shards = partition_dataset(
+        &train,
+        3,
+        Partition::DirichletLabelSkew { alpha: 0.7 },
+        &mut rng,
+    );
     let tests = vec![test.clone(), test.clone(), test];
 
     let config = DecentralizedConfig {
@@ -63,7 +67,11 @@ fn decentralized_attack_and_audit() {
             "  {} round {}: {}",
             a.client,
             a.round,
-            if a.verified { "signed + merkle-anchored + PoW-buried ✓" } else { "UNVERIFIED ✗" }
+            if a.verified {
+                "signed + merkle-anchored + PoW-buried ✓"
+            } else {
+                "UNVERIFIED ✗"
+            }
         );
     }
     let poisoned = run
@@ -107,8 +115,11 @@ fn manual_evidence_demo() {
     chain.import(block, &mut runtime).expect("valid block");
 
     let evidence = collect_evidence(&chain, registry, addrs[0], &update).expect("on chain");
-    println!("evidence collected: tx {}…, block {}…", &evidence.tx_hash.to_string()[..10],
-        &evidence.block_hash.to_string()[..10]);
+    println!(
+        "evidence collected: tx {}…, block {}…",
+        &evidence.tx_hash.to_string()[..10],
+        &evidence.block_hash.to_string()[..10]
+    );
     verify_evidence(&chain, &evidence, &update).expect("verifies");
     println!("verification: OK — the author cannot deny publishing this model");
 
@@ -119,7 +130,10 @@ fn manual_evidence_demo() {
         verify_evidence(&chain, &evidence, &tampered),
         Err(AuditError::FingerprintMismatch)
     );
-    println!("denial (altered params):    rejected — {}", AuditError::FingerprintMismatch);
+    println!(
+        "denial (altered params):    rejected — {}",
+        AuditError::FingerprintMismatch
+    );
 
     // Framing attempt: pin the model on the bystander.
     assert_eq!(
@@ -128,6 +142,12 @@ fn manual_evidence_demo() {
     );
     let mut framed = evidence.clone();
     framed.author = addrs[1];
-    assert_eq!(verify_evidence(&chain, &framed, &update), Err(AuditError::AuthorMismatch));
-    println!("framing (swapped author):   rejected — {}", AuditError::AuthorMismatch);
+    assert_eq!(
+        verify_evidence(&chain, &framed, &update),
+        Err(AuditError::AuthorMismatch)
+    );
+    println!(
+        "framing (swapped author):   rejected — {}",
+        AuditError::AuthorMismatch
+    );
 }

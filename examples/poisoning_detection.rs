@@ -23,8 +23,12 @@ fn main() {
     let gen = SynthCifar::new(SynthCifarConfig::default());
     let (train, test) = gen.generate(5);
     let mut rng = StdRng::seed_from_u64(5);
-    let shards =
-        partition_dataset(&train, 3, Partition::DirichletLabelSkew { alpha: 0.8 }, &mut rng);
+    let shards = partition_dataset(
+        &train,
+        3,
+        Partition::DirichletLabelSkew { alpha: 0.8 },
+        &mut rng,
+    );
     let tests = vec![test.clone(), test.clone(), test.clone()];
     let nn = SimpleNnConfig::paper();
 
@@ -58,7 +62,11 @@ fn main() {
             r.round,
             r.chosen,
             r.score,
-            if r.chosen.contains(ClientId(0)) { "INCLUDED ⚠" } else { "excluded ✓" }
+            if r.chosen.contains(ClientId(0)) {
+                "INCLUDED ⚠"
+            } else {
+                "excluded ✓"
+            }
         );
     }
 
@@ -74,8 +82,9 @@ fn main() {
     }
 
     // --- 3. on-chain evidence: the author cannot deny it ------------------
-    let keys: Vec<KeyPair> =
-        (1..=3).map(|s| KeyPair::generate(&mut StdRng::seed_from_u64(s))).collect();
+    let keys: Vec<KeyPair> = (1..=3)
+        .map(|s| KeyPair::generate(&mut StdRng::seed_from_u64(s)))
+        .collect();
     let addrs: Vec<H160> = keys.iter().map(KeyPair::address).collect();
     let registry = H160::from_bytes([0xEE; 20]);
     let spec = GenesisSpec::with_accounts(&addrs, u64::MAX / 4)

@@ -18,8 +18,12 @@ fn main() {
     let gen = SynthCifar::new(SynthCifarConfig::default());
     let (train, test) = gen.generate(7);
     let mut rng = StdRng::seed_from_u64(7);
-    let shards =
-        partition_dataset(&train, 3, Partition::DirichletLabelSkew { alpha: 0.8 }, &mut rng);
+    let shards = partition_dataset(
+        &train,
+        3,
+        Partition::DirichletLabelSkew { alpha: 0.8 },
+        &mut rng,
+    );
     for (i, s) in shards.iter().enumerate() {
         println!(
             "client {}: {} examples, class counts {:?}",
@@ -41,10 +45,20 @@ fn main() {
     let tests = vec![test.clone(), test.clone(), test.clone()];
     let mut table = Table::new(
         "Vanilla FL on SynthCifar — final accuracy",
-        &["Strategy", "Round 1", "Final", "Chosen combination (final round)"],
+        &[
+            "Strategy",
+            "Round 1",
+            "Final",
+            "Chosen combination (final round)",
+        ],
     );
     for strategy in [Strategy::Consider, Strategy::NotConsider] {
-        let config = VanillaFlConfig { rounds: 5, local_epochs: 5, strategy, ..Default::default() };
+        let config = VanillaFlConfig {
+            rounds: 5,
+            local_epochs: 5,
+            strategy,
+            ..Default::default()
+        };
         let driver = VanillaFl::new(config, &shards, &tests, &test);
         let mut arch_rng = StdRng::seed_from_u64(1);
         let mut run_rng = StdRng::seed_from_u64(2);

@@ -18,7 +18,10 @@ fn main() {
     // Five honest clients near a shared optimum; scattered by local data noise.
     let optimum: Vec<f32> = (0..dim).map(|_| rng.gen_range(-0.5..0.5)).collect();
     let honest = |rng: &mut StdRng| -> Vec<f32> {
-        optimum.iter().map(|&w| w + rng.gen_range(-0.05..0.05)).collect()
+        optimum
+            .iter()
+            .map(|&w| w + rng.gen_range(-0.05..0.05))
+            .collect()
     };
     let make_cohort = |attack: Option<&Attack>, rng: &mut StdRng| -> Vec<ModelUpdate> {
         let mut updates: Vec<ModelUpdate> = (0..5)
@@ -38,13 +41,18 @@ fn main() {
         RobustRule::MultiKrum { f: 1, m: 3 },
         RobustRule::TrimmedMean { trim: 1 },
         RobustRule::Median,
-        RobustRule::ClippedMean { max_norm: (l2_norm(&optimum) * 10.0).round() / 10.0 },
+        RobustRule::ClippedMean {
+            max_norm: (l2_norm(&optimum) * 10.0).round() / 10.0,
+        },
     ];
     let attacks: Vec<(String, Option<Attack>)> = vec![
         ("none (clean)".into(), None),
         ("scale x100".into(), Some(Attack::Scale { factor: 100.0 })),
         ("sign flip".into(), Some(Attack::SignFlip { scale: 1.0 })),
-        ("free-rider zeros".into(), Some(Attack::Constant { value: 0.0 })),
+        (
+            "free-rider zeros".into(),
+            Some(Attack::Constant { value: 0.0 }),
+        ),
     ];
 
     // Score each rule by how far its aggregate lands from the honest optimum.

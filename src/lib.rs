@@ -16,6 +16,7 @@
 //!
 //! | module | crate | role |
 //! |---|---|---|
+//! | [`compute`] | `blockfed-compute` | scoped-thread parallel compute layer (`BLOCKFED_THREADS`) |
 //! | [`sim`] | `blockfed-sim` | deterministic discrete-event kernel |
 //! | [`crypto`] | `blockfed-crypto` | SHA-256, secp256k1 Schnorr, merkle trees |
 //! | [`chain`] | `blockfed-chain` | PoW blockchain (blocks, gas, mempool, forks) |
@@ -54,6 +55,7 @@
 #![warn(missing_docs)]
 
 pub use blockfed_chain as chain;
+pub use blockfed_compute as compute;
 pub use blockfed_core as core;
 pub use blockfed_crypto as crypto;
 pub use blockfed_data as data;

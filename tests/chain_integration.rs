@@ -8,7 +8,9 @@ use blockfed::core::{
 };
 use blockfed::crypto::{KeyPair, H160};
 use blockfed::fl::{ClientId, ModelUpdate};
-use blockfed::vm::{parse_u64, BlockfedRuntime, NativeContract, RegistryCall, NATIVE_REGISTRY_CODE};
+use blockfed::vm::{
+    parse_u64, BlockfedRuntime, NativeContract, RegistryCall, NATIVE_REGISTRY_CODE,
+};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -20,8 +22,9 @@ struct World {
 }
 
 fn world(peers: usize, difficulty: u128) -> World {
-    let keys: Vec<KeyPair> =
-        (0..peers).map(|s| KeyPair::generate(&mut StdRng::seed_from_u64(s as u64 + 1))).collect();
+    let keys: Vec<KeyPair> = (0..peers)
+        .map(|s| KeyPair::generate(&mut StdRng::seed_from_u64(s as u64 + 1)))
+        .collect();
     let addrs: Vec<H160> = keys.iter().map(KeyPair::address).collect();
     let registry = H160::from_bytes([0xEE; 20]);
     let spec = GenesisSpec::with_accounts(&addrs, u64::MAX / 4)
@@ -29,14 +32,20 @@ fn world(peers: usize, difficulty: u128) -> World {
         .with_code(registry, NATIVE_REGISTRY_CODE.to_vec());
     let mut runtime = BlockfedRuntime::new();
     runtime.register_native(registry, NativeContract::FlRegistry);
-    World { chain: Blockchain::with_seal_policy(&spec, SealPolicy::Simulated), runtime, keys, registry }
+    World {
+        chain: Blockchain::with_seal_policy(&spec, SealPolicy::Simulated),
+        runtime,
+        keys,
+        registry,
+    }
 }
 
 #[test]
 fn mempool_to_block_pipeline_with_real_pow() {
     // Full seal checking at low difficulty: mine a real nonce.
-    let keys: Vec<KeyPair> =
-        (0..2).map(|s| KeyPair::generate(&mut StdRng::seed_from_u64(s + 50))).collect();
+    let keys: Vec<KeyPair> = (0..2)
+        .map(|s| KeyPair::generate(&mut StdRng::seed_from_u64(s + 50)))
+        .collect();
     let addrs: Vec<H160> = keys.iter().map(KeyPair::address).collect();
     let registry = H160::from_bytes([0xEE; 20]);
     let spec = GenesisSpec::with_accounts(&addrs, u64::MAX / 4)
@@ -81,8 +90,13 @@ fn reorg_preserves_registry_consistency() {
     let genesis = w.chain.head();
 
     // Fork A: both register (one block).
-    let txs_a = vec![register_tx(w.registry, &w.keys[0], 0), register_tx(w.registry, &w.keys[1], 0)];
-    let block_a = w.chain.build_candidate(addrs[0], txs_a, 1_000, &mut w.runtime);
+    let txs_a = vec![
+        register_tx(w.registry, &w.keys[0], 0),
+        register_tx(w.registry, &w.keys[1], 0),
+    ];
+    let block_a = w
+        .chain
+        .build_candidate(addrs[0], txs_a, 1_000, &mut w.runtime);
     w.chain.import(block_a, &mut w.runtime).unwrap();
     let head_a = w.chain.head();
 
@@ -108,7 +122,10 @@ fn reorg_preserves_registry_consistency() {
         gas_used: exec.gas_used,
         gas_limit: env.gas_limit,
     };
-    let block_b1 = blockfed::chain::Block { header, transactions: txs_b };
+    let block_b1 = blockfed::chain::Block {
+        header,
+        transactions: txs_b,
+    };
     let b1_hash = block_b1.hash();
     w.chain.import(block_b1, &mut w.runtime).unwrap();
     assert_eq!(w.chain.head(), head_a, "equal TD keeps fork A");
@@ -127,9 +144,15 @@ fn reorg_preserves_registry_consistency() {
         gas_used: 0,
         gas_limit: env.gas_limit,
     };
-    let block_b2 = blockfed::chain::Block { header: header2, transactions: vec![] };
+    let block_b2 = blockfed::chain::Block {
+        header: header2,
+        transactions: vec![],
+    };
     let outcome = w.chain.import(block_b2, &mut w.runtime).unwrap();
-    assert!(matches!(outcome, blockfed::chain::ImportOutcome::Reorged { .. }));
+    assert!(matches!(
+        outcome,
+        blockfed::chain::ImportOutcome::Reorged { .. }
+    ));
 
     // On the new canonical chain only peer 1 is registered.
     let ctx = blockfed::chain::CallContext {
@@ -142,7 +165,11 @@ fn reorg_preserves_registry_consistency() {
     };
     let mut state = w.chain.state().clone();
     let out = blockfed::vm::registry::execute_registry(&ctx, &mut state);
-    assert_eq!(parse_u64(&out.output), Some(1), "fork A's registration must be gone");
+    assert_eq!(
+        parse_u64(&out.output),
+        Some(1),
+        "fork A's registration must be gone"
+    );
 }
 
 #[test]
@@ -155,7 +182,9 @@ fn evidence_survives_only_on_the_chain_that_contains_it() {
         register_tx(w.registry, &w.keys[0], 0),
         submit_model_tx(&update, w.registry, &w.keys[0], 1),
     ];
-    let block = w.chain.build_candidate(addrs[0], txs, 1_000, &mut w.runtime);
+    let block = w
+        .chain
+        .build_candidate(addrs[0], txs, 1_000, &mut w.runtime);
     w.chain.import(block, &mut w.runtime).unwrap();
 
     let evidence = collect_evidence(&w.chain, w.registry, addrs[0], &update).unwrap();
@@ -180,8 +209,15 @@ fn double_round_submission_rejected_on_chain() {
     let block = w.chain.build_candidate(addr, txs, 1_000, &mut w.runtime);
     w.chain.import(block, &mut w.runtime).unwrap();
     let confirmed = confirmed_submissions(&w.chain, w.registry, 1);
-    assert_eq!(confirmed.len(), 1, "duplicate round submission must not confirm");
-    assert_eq!(confirmed[0].model_hash, blockfed::core::model_fingerprint(&u1));
+    assert_eq!(
+        confirmed.len(),
+        1,
+        "duplicate round submission must not confirm"
+    );
+    assert_eq!(
+        confirmed[0].model_hash,
+        blockfed::core::model_fingerprint(&u1)
+    );
 }
 
 #[test]
@@ -189,20 +225,20 @@ fn forged_transactions_never_enter_blocks_effectively() {
     let mut w = world(2, 16);
     let addr0 = w.keys[0].address();
     // Peer 1 crafts a tx claiming to be peer 0 but signs with its own key.
-    let mut forged = Transaction::call(
-        addr0,
-        w.registry,
-        RegistryCall::Register.encode(),
-        0,
-    );
+    let mut forged = Transaction::call(addr0, w.registry, RegistryCall::Register.encode(), 0);
     forged = forged.signed(&w.keys[1]); // signed() overwrites from → not forged
     forged.from = addr0; // force the forgery
     let mut pool = Mempool::new();
     let state = w.chain.state().clone();
-    assert!(pool.insert(forged.clone(), &state).is_err(), "mempool rejects forgery");
+    assert!(
+        pool.insert(forged.clone(), &state).is_err(),
+        "mempool rejects forgery"
+    );
 
     // Even if a malicious miner includes it, execution marks it invalid.
-    let block = w.chain.build_candidate(addr0, vec![forged], 1_000, &mut w.runtime);
+    let block = w
+        .chain
+        .build_candidate(addr0, vec![forged], 1_000, &mut w.runtime);
     w.chain.import(block, &mut w.runtime).unwrap();
     let receipts = w.chain.receipts(&w.chain.head()).unwrap();
     assert_eq!(receipts[0].status, blockfed::chain::ExecStatus::Invalid);

@@ -41,14 +41,16 @@ fn threaded_miners_converge_on_one_canonical_chain() {
     const PEERS: usize = 3;
     const BLOCKS_PER_PEER: u64 = 5;
 
-    let keys: Vec<KeyPair> =
-        (0..PEERS).map(|i| KeyPair::generate(&mut StdRng::seed_from_u64(i as u64))).collect();
+    let keys: Vec<KeyPair> = (0..PEERS)
+        .map(|i| KeyPair::generate(&mut StdRng::seed_from_u64(i as u64)))
+        .collect();
     let addrs: Vec<_> = keys.iter().map(KeyPair::address).collect();
     let spec = GenesisSpec::with_accounts(&addrs, 1_000_000_000).with_difficulty(1);
 
     // Full-mesh broadcast channels.
-    let (senders, receivers): (Vec<_>, Vec<_>) =
-        (0..PEERS).map(|_| channel::unbounded::<blockfed::chain::Block>()).unzip();
+    let (senders, receivers): (Vec<_>, Vec<_>) = (0..PEERS)
+        .map(|_| channel::unbounded::<blockfed::chain::Block>())
+        .unzip();
 
     // A shared, lock-protected log of every block ever sealed (exercises
     // parking_lot::Mutex under contention).
@@ -58,8 +60,12 @@ fn threaded_miners_converge_on_one_canonical_chain() {
         .map(|me| {
             let spec = spec.clone();
             let my_addr = addrs[me];
-            let peers_tx: Vec<_> =
-                senders.iter().enumerate().filter(|(i, _)| *i != me).map(|(_, s)| s.clone()).collect();
+            let peers_tx: Vec<_> = senders
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| *i != me)
+                .map(|(_, s)| s.clone())
+                .collect();
             let my_rx = receivers[me].clone();
             let log = Arc::clone(&sealed_log);
             std::thread::spawn(move || {
@@ -68,9 +74,10 @@ fn threaded_miners_converge_on_one_canonical_chain() {
                 for round in 0..BLOCKS_PER_PEER {
                     // Drain incoming blocks (with orphan retry for ordering).
                     while let Ok(block) = my_rx.try_recv() {
-                        match chain.import(block.clone(), &mut NullRuntime) {
-                            Err(ImportError::UnknownParent(_)) => orphans.push(block),
-                            _ => {}
+                        if let Err(ImportError::UnknownParent(_)) =
+                            chain.import(block.clone(), &mut NullRuntime)
+                        {
+                            orphans.push(block);
                         }
                     }
                     let mut retry = std::mem::take(&mut orphans);
@@ -94,29 +101,33 @@ fn threaded_miners_converge_on_one_canonical_chain() {
                         + 1_000 * (me as u64 + 1)
                         + round * 17;
                     let block = chain.build_candidate(my_addr, vec![], ts, &mut NullRuntime);
-                    chain.import(block.clone(), &mut NullRuntime).expect("own block imports");
+                    chain
+                        .import(block.clone(), &mut NullRuntime)
+                        .expect("own block imports");
                     log.lock().push(block.hash());
                     for tx in &peers_tx {
                         let _ = tx.send(block.clone());
                     }
                 }
-                // Final drain until quiescent.
-                for _ in 0..100 {
-                    match my_rx.recv_timeout(std::time::Duration::from_millis(50)) {
-                        Ok(block) => match chain.import(block.clone(), &mut NullRuntime) {
-                            Err(ImportError::UnknownParent(_)) => orphans.push(block),
-                            _ => {
-                                let mut retry = std::mem::take(&mut orphans);
-                                retry.retain(|b| {
-                                    matches!(
-                                        chain.import(b.clone(), &mut NullRuntime),
-                                        Err(ImportError::UnknownParent(_))
-                                    )
-                                });
-                                orphans = retry;
-                            }
-                        },
-                        Err(_) => break,
+                // Final drain: we are done sending, so release our senders and
+                // keep importing until every other peer has finished too (the
+                // channel disconnects once all senders are dropped). Breaking
+                // on a short timeout instead would race slow peers and
+                // occasionally miss their last blocks.
+                drop(peers_tx);
+                while let Ok(block) = my_rx.recv_timeout(std::time::Duration::from_secs(10)) {
+                    match chain.import(block.clone(), &mut NullRuntime) {
+                        Err(ImportError::UnknownParent(_)) => orphans.push(block),
+                        _ => {
+                            let mut retry = std::mem::take(&mut orphans);
+                            retry.retain(|b| {
+                                matches!(
+                                    chain.import(b.clone(), &mut NullRuntime),
+                                    Err(ImportError::UnknownParent(_))
+                                )
+                            });
+                            orphans = retry;
+                        }
                     }
                 }
                 chain
@@ -127,7 +138,10 @@ fn threaded_miners_converge_on_one_canonical_chain() {
     // Drop our copies of the senders so the final drains can terminate.
     drop(senders);
 
-    let chains: Vec<Blockchain> = handles.into_iter().map(|h| h.join().expect("no panics")).collect();
+    let chains: Vec<Blockchain> = handles
+        .into_iter()
+        .map(|h| h.join().expect("no panics"))
+        .collect();
 
     // Every peer sealed its blocks and logged them.
     assert_eq!(sealed_log.lock().len(), PEERS * BLOCKS_PER_PEER as usize);
@@ -143,5 +157,9 @@ fn threaded_miners_converge_on_one_canonical_chain() {
     for c in &chains[1..] {
         assert_eq!(c.canonical_chain(), canon0);
     }
-    assert!(canon0.len() > BLOCKS_PER_PEER as usize, "chain too short: {}", canon0.len());
+    assert!(
+        canon0.len() > BLOCKS_PER_PEER as usize,
+        "chain too short: {}",
+        canon0.len()
+    );
 }

@@ -13,8 +13,12 @@ fn tiny_world(seed: u64) -> (Vec<Dataset>, Dataset) {
     let gen = SynthCifar::new(SynthCifarConfig::tiny());
     let (train, test) = gen.generate(seed);
     let mut rng = StdRng::seed_from_u64(seed);
-    let shards =
-        partition_dataset(&train, 3, Partition::DirichletLabelSkew { alpha: 0.8 }, &mut rng);
+    let shards = partition_dataset(
+        &train,
+        3,
+        Partition::DirichletLabelSkew { alpha: 0.8 },
+        &mut rng,
+    );
     (shards, test)
 }
 
@@ -45,7 +49,11 @@ fn vanilla_and_decentralized_agree_on_learnability() {
         batch_size: 16,
         lr: 0.1,
         difficulty: 200_000,
-        compute: ComputeProfile { hashrate: 100_000.0, train_rate: 500.0, contention: 0.2 },
+        compute: ComputeProfile {
+            hashrate: 100_000.0,
+            train_rate: 500.0,
+            contention: 0.2,
+        },
         link: LinkSpec::lan(),
         payload_bytes: 10_000,
         seed: 4,
@@ -59,7 +67,10 @@ fn vanilla_and_decentralized_agree_on_learnability() {
     let v_final = vanilla.final_accuracy(ClientId(0));
     let d_final = decentralized.final_accuracy(0);
     assert!(v_final > chance * 1.5, "vanilla failed to learn: {v_final}");
-    assert!(d_final > chance * 1.5, "decentralized failed to learn: {d_final}");
+    assert!(
+        d_final > chance * 1.5,
+        "decentralized failed to learn: {d_final}"
+    );
     // The paper's headline similarity: both settings land in the same regime.
     assert!(
         (v_final - d_final).abs() < 0.35,
@@ -74,7 +85,12 @@ fn consider_never_loses_to_not_consider_on_selection_set() {
     let nn = SimpleNnConfig::tiny(test.feature_dim(), test.num_classes());
     let mut scores = Vec::new();
     for strategy in [Strategy::Consider, Strategy::NotConsider] {
-        let config = VanillaFlConfig { rounds: 3, local_epochs: 2, strategy, ..Default::default() };
+        let config = VanillaFlConfig {
+            rounds: 3,
+            local_epochs: 2,
+            strategy,
+            ..Default::default()
+        };
         let driver = VanillaFl::new(config, &shards, &tests, &test);
         let mut arch = StdRng::seed_from_u64(6);
         let mut rng = StdRng::seed_from_u64(7);
@@ -111,7 +127,11 @@ fn transfer_learning_pipeline_runs_decentralized() {
         local_epochs: 2,
         batch_size: 16,
         difficulty: 200_000,
-        compute: ComputeProfile { hashrate: 100_000.0, train_rate: 500.0, contention: 0.2 },
+        compute: ComputeProfile {
+            hashrate: 100_000.0,
+            train_rate: 500.0,
+            contention: 0.2,
+        },
         payload_bytes: cfg.payload_bytes(),
         seed: 11,
         ..Default::default()
@@ -120,7 +140,11 @@ fn transfer_learning_pipeline_runs_decentralized() {
     let mut head_rng = StdRng::seed_from_u64(12);
     let run = driver.run(&mut || {
         let mut m = blockfed::nn::Sequential::new();
-        m.push(blockfed::nn::Linear::new(&mut head_rng, cfg.width, cfg.num_classes));
+        m.push(blockfed::nn::Linear::new(
+            &mut head_rng,
+            cfg.width,
+            cfg.num_classes,
+        ));
         m
     });
     assert_eq!(run.peer_records.len(), 3);
@@ -145,7 +169,11 @@ fn async_policies_form_a_latency_ladder() {
             wait_policy: policy,
             difficulty: 100_000,
             // Slow, uneven training makes waiting visible.
-            compute: ComputeProfile { hashrate: 100_000.0, train_rate: 5.0, contention: 0.2 },
+            compute: ComputeProfile {
+                hashrate: 100_000.0,
+                train_rate: 5.0,
+                contention: 0.2,
+            },
             payload_bytes: 10_000,
             seed: 21,
             ..Default::default()

@@ -13,8 +13,12 @@ fn tiny_world(seed: u64) -> (Vec<Dataset>, Vec<Dataset>) {
     let gen = SynthCifar::new(SynthCifarConfig::tiny());
     let (train, test) = gen.generate(seed);
     let mut rng = StdRng::seed_from_u64(seed);
-    let shards =
-        partition_dataset(&train, 3, Partition::DirichletLabelSkew { alpha: 0.7 }, &mut rng);
+    let shards = partition_dataset(
+        &train,
+        3,
+        Partition::DirichletLabelSkew { alpha: 0.7 },
+        &mut rng,
+    );
     (shards, vec![test.clone(), test.clone(), test])
 }
 
@@ -30,7 +34,12 @@ fn config(seed: u64) -> DecentralizedConfig {
     }
 }
 
-fn run(cfg: DecentralizedConfig, shards: &[Dataset], tests: &[Dataset], seed: u64) -> blockfed::core::DecentralizedRun {
+fn run(
+    cfg: DecentralizedConfig,
+    shards: &[Dataset],
+    tests: &[Dataset],
+    seed: u64,
+) -> blockfed::core::DecentralizedRun {
     let driver = Decentralized::new(cfg, shards, tests);
     let nn = SimpleNnConfig::tiny(tests[0].feature_dim(), tests[0].num_classes());
     let mut arch_rng = StdRng::seed_from_u64(seed);
@@ -57,7 +66,10 @@ fn two_simultaneous_adversaries_with_defences() {
         .into_iter()
         .filter(|(peer, _, _)| *peer == 2)
         .collect();
-    assert!(!honest_drops.is_empty(), "honest peer never screened anything");
+    assert!(
+        !honest_drops.is_empty(),
+        "honest peer never screened anything"
+    );
 }
 
 #[test]
@@ -65,15 +77,21 @@ fn nan_flood_under_async_wait_two_still_completes() {
     let (shards, tests) = tiny_world(22);
     let mut cfg = config(22);
     cfg.wait_policy = WaitPolicy::FirstK(2);
-    cfg.adversaries =
-        vec![Adversary::new(ClientId(1), Attack::NanInjection { fraction: 1.0 })];
+    cfg.adversaries = vec![Adversary::new(
+        ClientId(1),
+        Attack::NanInjection { fraction: 1.0 },
+    )];
     let out = run(cfg, &shards, &tests, 22);
     for (peer, records) in out.peer_records.iter().enumerate() {
         assert_eq!(records.len(), 2, "peer {peer} stalled under NaN flood");
         for r in records {
             // The malformed model can never be aggregated.
             assert!(r.updates_used >= 1);
-            assert!(!r.chosen.split(',').any(|c| c == "B"), "NaN model chosen: {}", r.chosen);
+            assert!(
+                !r.chosen.split(',').any(|c| c == "B"),
+                "NaN model chosen: {}",
+                r.chosen
+            );
         }
     }
 }
@@ -144,17 +162,31 @@ fn heterogeneous_compute_with_attacker_keeps_latency_ladder() {
     use blockfed::core::ComputeProfile;
     let (shards, tests) = tiny_world(26);
     let stragglers = vec![
-        ComputeProfile { hashrate: 100_000.0, train_rate: 500.0, contention: 0.3 },
-        ComputeProfile { hashrate: 100_000.0, train_rate: 500.0, contention: 0.3 },
-        ComputeProfile { hashrate: 100_000.0, train_rate: 5.0, contention: 0.3 },
+        ComputeProfile {
+            hashrate: 100_000.0,
+            train_rate: 500.0,
+            contention: 0.3,
+        },
+        ComputeProfile {
+            hashrate: 100_000.0,
+            train_rate: 500.0,
+            contention: 0.3,
+        },
+        ComputeProfile {
+            hashrate: 100_000.0,
+            train_rate: 5.0,
+            contention: 0.3,
+        },
     ];
     let mut waits = Vec::new();
     for policy in [WaitPolicy::All, WaitPolicy::FirstK(2)] {
         let mut cfg = config(26);
         cfg.wait_policy = policy;
         cfg.per_peer_compute = Some(stragglers.clone());
-        cfg.adversaries =
-            vec![Adversary::new(ClientId(0), Attack::GaussianNoise { sigma: 0.1 })];
+        cfg.adversaries = vec![Adversary::new(
+            ClientId(0),
+            Attack::GaussianNoise { sigma: 0.1 },
+        )];
         let out = run(cfg, &shards, &tests, 26);
         waits.push(out.mean_wait());
     }

@@ -6,7 +6,7 @@ use blockfed::fl::robust::{
     clip_to_norm, coordinate_median, krum, l2_norm, multi_krum, trimmed_mean,
 };
 use blockfed::fl::{
-    fed_avg, fed_avg_unweighted, Attack, AsyncMerger, ClientId, ModelUpdate, StalenessDecay,
+    fed_avg, fed_avg_unweighted, AsyncMerger, Attack, ClientId, ModelUpdate, StalenessDecay,
     WaitPolicy,
 };
 use blockfed::nn::serialize::{decode_params, encode_params};

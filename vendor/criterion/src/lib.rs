@@ -1,0 +1,223 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! Implements the slice of the criterion API the workspace's benches use
+//! (`criterion_group!`/`criterion_main!`, benchmark groups, `Bencher::iter`,
+//! `iter_batched`, `black_box`) with a simple wall-clock measurer: per
+//! benchmark it warms up briefly, then runs timed batches and reports the
+//! mean, minimum, and maximum time per iteration on stdout.
+//!
+//! Two environment knobs tune total runtime:
+//! * `BENCH_WARMUP_MS` — warm-up budget per benchmark (default 100).
+//! * `BENCH_MEASURE_MS` — measurement budget per benchmark (default 400).
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+fn env_ms(name: &str, default: u64) -> Duration {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .map(Duration::from_millis)
+        .unwrap_or(Duration::from_millis(default))
+}
+
+/// How `iter_batched` amortizes setup cost. The shim measures per-invocation
+/// either way; the variants exist for API compatibility.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per batch.
+    PerIteration,
+}
+
+/// The timing context handed to each benchmark closure.
+pub struct Bencher {
+    samples_ns: Vec<f64>,
+    warmup: Duration,
+    measure: Duration,
+}
+
+impl Bencher {
+    /// Times repeated calls of `routine`.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm-up: run until the budget elapses, tracking cost per call.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.warmup {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters.max(1) as f64;
+        // Pick a batch size so each timed sample is ≥ ~1 ms of work.
+        let batch = ((1e-3 / per_iter.max(1e-9)).ceil() as u64).max(1);
+        let measure_start = Instant::now();
+        while measure_start.elapsed() < self.measure || self.samples_ns.is_empty() {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            self.samples_ns
+                .push(t0.elapsed().as_nanos() as f64 / batch as f64);
+        }
+    }
+
+    /// Times `routine` over fresh inputs produced by `setup` (setup excluded
+    /// from timing).
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        let warm_start = Instant::now();
+        while warm_start.elapsed() < self.warmup {
+            let input = setup();
+            black_box(routine(input));
+        }
+        let measure_start = Instant::now();
+        while measure_start.elapsed() < self.measure || self.samples_ns.is_empty() {
+            let input = setup();
+            let t0 = Instant::now();
+            black_box(routine(input));
+            self.samples_ns.push(t0.elapsed().as_nanos() as f64);
+        }
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Compatibility no-op (the shim sizes samples by time budget).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark and prints its timing line.
+    pub fn bench_function<I: AsRef<str>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: I,
+        mut f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.as_ref());
+        if let Some(filter) = &self.criterion.filter {
+            if !full.contains(filter.as_str()) {
+                return self;
+            }
+        }
+        let mut bencher = Bencher {
+            samples_ns: Vec::new(),
+            warmup: self.criterion.warmup,
+            measure: self.criterion.measure,
+        };
+        f(&mut bencher);
+        if bencher.samples_ns.is_empty() {
+            println!("{full:<44} (no samples)");
+            return self;
+        }
+        let n = bencher.samples_ns.len() as f64;
+        let mean = bencher.samples_ns.iter().sum::<f64>() / n;
+        let min = bencher
+            .samples_ns
+            .iter()
+            .copied()
+            .fold(f64::INFINITY, f64::min);
+        let max = bencher.samples_ns.iter().copied().fold(0.0f64, f64::max);
+        println!(
+            "{full:<44} time: [{} {} {}]",
+            fmt_ns(min),
+            fmt_ns(mean),
+            fmt_ns(max)
+        );
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(&mut self) {}
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    filter: Option<String>,
+    warmup: Duration,
+    measure: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // First free-standing CLI arg (as passed by `cargo bench -- <filter>`)
+        // filters benchmarks by substring, like real criterion.
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        Criterion {
+            filter,
+            warmup: env_ms("BENCH_WARMUP_MS", 100),
+            measure: env_ms("BENCH_MEASURE_MS", 400),
+        }
+    }
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            criterion: self,
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<I: AsRef<str>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: I,
+        f: F,
+    ) -> &mut Self {
+        self.benchmark_group("").bench_function(id, f);
+        self
+    }
+}
+
+/// Declares a benchmark group runner, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench entry point, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo test` may execute bench binaries with --test; criterion
+            // proper skips measurement there and so do we.
+            if std::env::args().any(|a| a == "--test") {
+                return;
+            }
+            $( $group(); )+
+        }
+    };
+}

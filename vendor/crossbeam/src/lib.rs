@@ -1,0 +1,220 @@
+//! Offline shim for `crossbeam`, providing the `channel` module subset the
+//! concurrency tests use: an unbounded MPMC channel with cloneable senders
+//! *and* receivers, built on a mutex-guarded queue and condition variable.
+
+#![forbid(unsafe_code)]
+
+pub mod channel {
+    //! Multi-producer multi-consumer channels.
+
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Condvar, Mutex};
+    use std::time::{Duration, Instant};
+
+    struct Shared<T> {
+        queue: Mutex<Inner<T>>,
+        available: Condvar,
+    }
+
+    struct Inner<T> {
+        items: VecDeque<T>,
+        senders: usize,
+    }
+
+    /// Creates an unbounded MPMC channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(Inner {
+                items: VecDeque::new(),
+                senders: 1,
+            }),
+            available: Condvar::new(),
+        });
+        (
+            Sender {
+                shared: Arc::clone(&shared),
+            },
+            Receiver { shared },
+        )
+    }
+
+    /// Error returned when every receiver is gone.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    /// Error returned by [`Receiver::try_recv`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// No message is currently queued.
+        Empty,
+        /// All senders are gone and the queue is drained.
+        Disconnected,
+    }
+
+    /// Error returned by [`Receiver::recv_timeout`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// The deadline elapsed with no message.
+        Timeout,
+        /// All senders are gone and the queue is drained.
+        Disconnected,
+    }
+
+    /// The sending half; cloneable.
+    pub struct Sender<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.shared.queue.lock().expect("channel lock").senders += 1;
+            Sender {
+                shared: Arc::clone(&self.shared),
+            }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut inner = self.shared.queue.lock().expect("channel lock");
+            inner.senders -= 1;
+            if inner.senders == 0 {
+                drop(inner);
+                self.shared.available.notify_all();
+            }
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Enqueues `value`; never blocks.
+        ///
+        /// # Errors
+        ///
+        /// Unbounded sends only fail if the allocator does, so this always
+        /// returns `Ok`; the `Result` mirrors crossbeam's signature.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            self.shared
+                .queue
+                .lock()
+                .expect("channel lock")
+                .items
+                .push_back(value);
+            self.shared.available.notify_one();
+            Ok(())
+        }
+    }
+
+    /// The receiving half; cloneable (MPMC).
+    pub struct Receiver<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            Receiver {
+                shared: Arc::clone(&self.shared),
+            }
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Dequeues a message if one is ready.
+        ///
+        /// # Errors
+        ///
+        /// [`TryRecvError::Empty`] when the queue is empty but senders remain;
+        /// [`TryRecvError::Disconnected`] once drained with no senders left.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let mut inner = self.shared.queue.lock().expect("channel lock");
+            match inner.items.pop_front() {
+                Some(v) => Ok(v),
+                None if inner.senders == 0 => Err(TryRecvError::Disconnected),
+                None => Err(TryRecvError::Empty),
+            }
+        }
+
+        /// Blocks for a message until `timeout` elapses.
+        ///
+        /// # Errors
+        ///
+        /// [`RecvTimeoutError::Timeout`] on deadline,
+        /// [`RecvTimeoutError::Disconnected`] once drained with no senders.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            let deadline = Instant::now() + timeout;
+            let mut inner = self.shared.queue.lock().expect("channel lock");
+            loop {
+                if let Some(v) = inner.items.pop_front() {
+                    return Ok(v);
+                }
+                if inner.senders == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                let now = Instant::now();
+                if now >= deadline {
+                    return Err(RecvTimeoutError::Timeout);
+                }
+                let (guard, result) = self
+                    .shared
+                    .available
+                    .wait_timeout(inner, deadline - now)
+                    .expect("channel lock");
+                inner = guard;
+                if result.timed_out() && inner.items.is_empty() {
+                    return if inner.senders == 0 {
+                        Err(RecvTimeoutError::Disconnected)
+                    } else {
+                        Err(RecvTimeoutError::Timeout)
+                    };
+                }
+            }
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn send_and_receive_across_threads() {
+            let (tx, rx) = unbounded::<u32>();
+            let tx2 = tx.clone();
+            let rx2 = rx.clone();
+            let h = std::thread::spawn(move || {
+                tx2.send(1).unwrap();
+                tx2.send(2).unwrap();
+            });
+            h.join().unwrap();
+            tx.send(3).unwrap();
+            let mut got = vec![
+                rx.recv_timeout(Duration::from_secs(1)).unwrap(),
+                rx2.recv_timeout(Duration::from_secs(1)).unwrap(),
+                rx.try_recv().unwrap(),
+            ];
+            got.sort_unstable();
+            assert_eq!(got, vec![1, 2, 3]);
+            assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+        }
+
+        #[test]
+        fn disconnect_reported_after_drain() {
+            let (tx, rx) = unbounded::<u32>();
+            tx.send(7).unwrap();
+            drop(tx);
+            assert_eq!(rx.try_recv(), Ok(7));
+            assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+            assert_eq!(
+                rx.recv_timeout(Duration::from_millis(10)),
+                Err(RecvTimeoutError::Disconnected)
+            );
+        }
+
+        #[test]
+        fn timeout_when_no_message() {
+            let (_tx, rx) = unbounded::<u32>();
+            assert_eq!(
+                rx.recv_timeout(Duration::from_millis(20)),
+                Err(RecvTimeoutError::Timeout)
+            );
+        }
+    }
+}

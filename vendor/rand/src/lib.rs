@@ -1,0 +1,509 @@
+//! Offline, API-compatible subset of the `rand` crate (0.8 surface).
+//!
+//! This workspace builds in environments without network access, so the small
+//! slice of `rand` the codebase uses is vendored here: [`Rng`]/[`RngCore`],
+//! [`SeedableRng`], [`rngs::StdRng`], [`rngs::mock::StepRng`], and the
+//! [`distributions::Standard`] distribution. The generator behind `StdRng` is
+//! xoshiro256** seeded via SplitMix64 — deterministic, fast, and of more than
+//! sufficient statistical quality for the simulation workloads here. It does
+//! **not** reproduce the upstream `StdRng` (ChaCha12) byte stream; all
+//! in-repo determinism tests derive expectations from this generator.
+
+#![forbid(unsafe_code)]
+
+/// The core of a random number generator: raw integer output.
+pub trait RngCore {
+    /// Returns the next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let bytes = self.next_u64().to_le_bytes();
+            rem.copy_from_slice(&bytes[..rem.len()]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for Box<R> {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+/// User-facing random value generation, blanket-implemented for every
+/// [`RngCore`].
+pub trait Rng: RngCore {
+    /// Returns a random value of a [`Standard`]-distributed type.
+    ///
+    /// [`Standard`]: distributions::Standard
+    fn gen<T>(&mut self) -> T
+    where
+        distributions::Standard: distributions::Distribution<T>,
+    {
+        use distributions::Distribution;
+        distributions::Standard.sample(self)
+    }
+
+    /// Returns a random value in `range` (half-open or inclusive).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: distributions::uniform::SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 <= p <= 1.0`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool requires p in [0, 1]");
+        self.gen::<f64>() < p
+    }
+
+    /// Fills `dest` with random data.
+    fn fill(&mut self, dest: &mut [u8]) {
+        self.fill_bytes(dest)
+    }
+
+    /// Samples `distr` once.
+    fn sample<T, D: distributions::Distribution<T>>(&mut self, distr: D) -> T {
+        distr.sample(self)
+    }
+
+    /// Converts the generator into an iterator of samples from `distr`.
+    fn sample_iter<T, D: distributions::Distribution<T>>(
+        self,
+        distr: D,
+    ) -> distributions::DistIter<D, Self, T>
+    where
+        Self: Sized,
+    {
+        distributions::DistIter {
+            distr,
+            rng: self,
+            _phantom: core::marker::PhantomData,
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// A generator constructible from a fixed-size seed.
+pub trait SeedableRng: Sized {
+    /// The seed type.
+    type Seed: Sized + Default + AsMut<[u8]>;
+
+    /// Builds the generator from a full seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Builds the generator by expanding a `u64` through SplitMix64.
+    fn seed_from_u64(mut state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(8) {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            let bytes = z.to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+pub mod rngs {
+    //! Concrete generators.
+
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard deterministic generator (xoshiro256**).
+    #[derive(Clone, Debug, PartialEq, Eq)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl StdRng {
+        #[inline]
+        fn step(&mut self) -> u64 {
+            let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u32(&mut self) -> u32 {
+            (self.step() >> 32) as u32
+        }
+        fn next_u64(&mut self) -> u64 {
+            self.step()
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        type Seed = [u8; 32];
+
+        fn from_seed(seed: Self::Seed) -> Self {
+            let mut s = [0u64; 4];
+            for (i, chunk) in seed.chunks_exact(8).enumerate() {
+                s[i] = u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
+            }
+            // An all-zero state is a fixed point of xoshiro; nudge it.
+            if s == [0, 0, 0, 0] {
+                s = [
+                    0x9E37_79B9_7F4A_7C15,
+                    0xBF58_476D_1CE4_E5B9,
+                    0x94D0_49BB_1331_11EB,
+                    1,
+                ];
+            }
+            StdRng { s }
+        }
+    }
+
+    pub mod mock {
+        //! Deterministic mock generators for tests.
+
+        use crate::RngCore;
+
+        /// A generator yielding an arithmetic progression of `u64`s.
+        #[derive(Clone, Debug, PartialEq, Eq)]
+        pub struct StepRng {
+            value: u64,
+            increment: u64,
+        }
+
+        impl StepRng {
+            /// Starts at `value`, advancing by `increment` per call.
+            pub fn new(value: u64, increment: u64) -> Self {
+                StepRng { value, increment }
+            }
+        }
+
+        impl RngCore for StepRng {
+            fn next_u32(&mut self) -> u32 {
+                (self.next_u64() >> 32) as u32
+            }
+            fn next_u64(&mut self) -> u64 {
+                let out = self.value;
+                self.value = self.value.wrapping_add(self.increment);
+                out
+            }
+        }
+    }
+}
+
+pub mod distributions {
+    //! Distributions over random values.
+
+    use super::{Rng, RngCore};
+
+    /// A distribution over values of type `T`.
+    pub trait Distribution<T> {
+        /// Draws one value.
+        fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T;
+    }
+
+    /// The "natural" distribution of a type: uniform over all values for
+    /// integers, uniform in `[0, 1)` for floats.
+    #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+    pub struct Standard;
+
+    /// Iterator over repeated samples, returned by [`Rng::sample_iter`].
+    ///
+    /// [`Rng::sample_iter`]: crate::Rng::sample_iter
+    #[derive(Debug)]
+    pub struct DistIter<D, R, T> {
+        pub(crate) distr: D,
+        pub(crate) rng: R,
+        pub(crate) _phantom: core::marker::PhantomData<T>,
+    }
+
+    impl<D: Distribution<T>, R: RngCore, T> Iterator for DistIter<D, R, T> {
+        type Item = T;
+        fn next(&mut self) -> Option<T> {
+            Some(self.distr.sample(&mut self.rng))
+        }
+    }
+
+    macro_rules! standard_int {
+        ($($t:ty => $via:ident),* $(,)?) => {$(
+            impl Distribution<$t> for Standard {
+                fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> $t {
+                    rng.$via() as $t
+                }
+            }
+        )*};
+    }
+    standard_int!(
+        u8 => next_u32, u16 => next_u32, u32 => next_u32, u64 => next_u64,
+        usize => next_u64, i8 => next_u32, i16 => next_u32, i32 => next_u32,
+        i64 => next_u64, isize => next_u64,
+    );
+
+    impl Distribution<u128> for Standard {
+        fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u128 {
+            (u128::from(rng.next_u64()) << 64) | u128::from(rng.next_u64())
+        }
+    }
+
+    impl Distribution<i128> for Standard {
+        fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> i128 {
+            let wide: u128 = Distribution::<u128>::sample(&Standard, rng);
+            wide as i128
+        }
+    }
+
+    impl Distribution<bool> for Standard {
+        fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> bool {
+            rng.next_u32() & 1 == 1
+        }
+    }
+
+    impl Distribution<f32> for Standard {
+        fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f32 {
+            // 24 high bits -> uniform in [0, 1).
+            (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+        }
+    }
+
+    impl Distribution<f64> for Standard {
+        fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+            // 53 high bits -> uniform in [0, 1).
+            (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+
+    pub mod uniform {
+        //! Uniform sampling over ranges.
+
+        use core::ops::{Range, RangeInclusive};
+
+        use crate::distributions::{Distribution, Standard};
+        use crate::Rng;
+
+        /// A type that can be sampled uniformly from a range.
+        pub trait SampleUniform: Sized {
+            /// Draws uniformly from `[low, high)`.
+            fn sample_half_open<R: Rng + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self;
+            /// Draws uniformly from `[low, high]`.
+            fn sample_inclusive<R: Rng + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self;
+        }
+
+        /// A range usable with [`Rng::gen_range`].
+        ///
+        /// [`Rng::gen_range`]: crate::Rng::gen_range
+        pub trait SampleRange<T> {
+            /// Draws one value from the range.
+            fn sample_single<R: Rng + ?Sized>(self, rng: &mut R) -> T;
+        }
+
+        impl<T: SampleUniform + PartialOrd + Copy> SampleRange<T> for Range<T> {
+            fn sample_single<R: Rng + ?Sized>(self, rng: &mut R) -> T {
+                assert!(self.start < self.end, "cannot sample empty range");
+                T::sample_half_open(self.start, self.end, rng)
+            }
+        }
+
+        impl<T: SampleUniform + PartialOrd + Copy> SampleRange<T> for RangeInclusive<T> {
+            fn sample_single<R: Rng + ?Sized>(self, rng: &mut R) -> T {
+                let (lo, hi) = self.into_inner();
+                assert!(lo <= hi, "cannot sample empty range");
+                T::sample_inclusive(lo, hi, rng)
+            }
+        }
+
+        macro_rules! uniform_int {
+            ($($t:ty as $wide:ty),* $(,)?) => {$(
+                impl SampleUniform for $t {
+                    fn sample_half_open<R: Rng + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self {
+                        let span = (high as $wide).wrapping_sub(low as $wide);
+                        let draw: $wide = Standard.sample(rng);
+                        low.wrapping_add((draw % span) as $t)
+                    }
+                    fn sample_inclusive<R: Rng + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self {
+                        let span = (high as $wide).wrapping_sub(low as $wide).wrapping_add(1);
+                        let draw: $wide = Standard.sample(rng);
+                        if span == 0 {
+                            // Full domain.
+                            return draw as $t;
+                        }
+                        low.wrapping_add((draw % span) as $t)
+                    }
+                }
+            )*};
+        }
+        uniform_int!(
+            u8 as u64,
+            u16 as u64,
+            u32 as u64,
+            u64 as u64,
+            usize as u64,
+            i8 as u64,
+            i16 as u64,
+            i32 as u64,
+            i64 as u64,
+            isize as u64,
+            u128 as u128,
+            i128 as u128,
+        );
+
+        impl SampleUniform for f32 {
+            fn sample_half_open<R: Rng + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self {
+                let u: f32 = Standard.sample(rng);
+                let v = low + u * (high - low);
+                if v >= high {
+                    high - (high - low) * f32::EPSILON
+                } else {
+                    v
+                }
+            }
+            fn sample_inclusive<R: Rng + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self {
+                let u: f32 = Standard.sample(rng);
+                low + u * (high - low)
+            }
+        }
+
+        impl SampleUniform for f64 {
+            fn sample_half_open<R: Rng + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self {
+                let u: f64 = Standard.sample(rng);
+                let v = low + u * (high - low);
+                if v >= high {
+                    high - (high - low) * f64::EPSILON
+                } else {
+                    v
+                }
+            }
+            fn sample_inclusive<R: Rng + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self {
+                let u: f64 = Standard.sample(rng);
+                low + u * (high - low)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::mock::StepRng;
+    use super::rngs::StdRng;
+    use super::{Rng, RngCore, SeedableRng};
+
+    #[test]
+    fn std_rng_is_deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(1);
+        let mut c = StdRng::seed_from_u64(2);
+        let xs: Vec<u64> = (0..16).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..16).map(|_| b.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs[0], c.next_u64());
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let x: usize = rng.gen_range(3..17);
+            assert!((3..17).contains(&x));
+            let y: f64 = rng.gen_range(-1.0..1.0);
+            assert!((-1.0..1.0).contains(&y));
+            let z: u64 = rng.gen_range(0..=5);
+            assert!(z <= 5);
+            let w: f32 = rng.gen_range(f32::EPSILON..1.0);
+            assert!((f32::EPSILON..1.0).contains(&w));
+        }
+    }
+
+    #[test]
+    fn float_unit_interval() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut sum = 0.0f64;
+        let n = 100_000;
+        for _ in 0..n {
+            let u: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&u));
+            sum += u;
+        }
+        let mean = sum / f64::from(n);
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn fill_bytes_covers_partial_chunks() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut buf = [0u8; 13];
+        rng.fill(&mut buf);
+        assert!(buf.iter().any(|&b| b != 0));
+    }
+
+    #[test]
+    fn step_rng_steps() {
+        let mut rng = StepRng::new(10, 5);
+        assert_eq!(rng.next_u64(), 10);
+        assert_eq!(rng.next_u64(), 15);
+    }
+
+    #[test]
+    fn sample_iter_consumes_rng() {
+        use crate::distributions::Standard;
+        let xs: Vec<u64> = StdRng::seed_from_u64(9)
+            .sample_iter(Standard)
+            .take(4)
+            .collect();
+        let ys: Vec<u64> = StdRng::seed_from_u64(9)
+            .sample_iter(Standard)
+            .take(4)
+            .collect();
+        assert_eq!(xs, ys);
+        assert_eq!(xs.len(), 4);
+    }
+
+    #[test]
+    fn works_through_mut_references() {
+        fn takes_generic<R: Rng + ?Sized>(rng: &mut R) -> u64 {
+            rng.next_u64()
+        }
+        let mut rng = StdRng::seed_from_u64(1);
+        let _ = takes_generic(&mut rng);
+        let r: &mut dyn RngCore = &mut rng;
+        let _ = r.next_u64();
+    }
+}

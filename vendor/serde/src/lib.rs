@@ -1,0 +1,24 @@
+//! Offline shim for the `serde` facade.
+//!
+//! The workspace builds without network access and never serializes through
+//! serde at runtime — wire formats are hand-rolled (`blockfed_nn::serialize`,
+//! the report CSV writers). The seed code still tags types with
+//! `#[derive(Serialize, Deserialize)]` so a future swap to the real `serde`
+//! is a one-line Cargo change; here the traits are markers with blanket
+//! implementations and the derives expand to nothing.
+
+#![forbid(unsafe_code)]
+
+/// Marker stand-in for `serde::Serialize`; blanket-implemented for all types.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`; blanket-implemented for all types.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+/// Marker stand-in for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned {}
+impl<T: ?Sized> DeserializeOwned for T {}
+
+pub use serde_derive::{Deserialize, Serialize};

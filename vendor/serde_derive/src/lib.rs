@@ -1,0 +1,19 @@
+//! No-op derive macros backing the offline `serde` shim.
+//!
+//! The shim's `Serialize`/`Deserialize` traits carry blanket implementations,
+//! so the derives only need to exist for `#[derive(Serialize, Deserialize)]`
+//! attributes to parse; they expand to nothing.
+
+use proc_macro::TokenStream;
+
+/// Expands to nothing; `serde::Serialize` is blanket-implemented.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Expands to nothing; `serde::Deserialize` is blanket-implemented.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
