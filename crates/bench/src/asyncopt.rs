@@ -3,7 +3,8 @@
 //! asynchronous communication is another intriguing question we aim to
 //! explore for optimal values".
 //!
-//! Three sub-studies:
+//! Three sub-studies (the on-chain arms are declarative
+//! `blockfed-scenario` specs lowered via [`crate::decentralized_scenario`]):
 //!
 //! 1. **Wait-for-k on chain** (heterogeneous compute, one straggler) — the
 //!    fully coupled system at `k ∈ {all, 2, 1}`: per-round aggregation wait,

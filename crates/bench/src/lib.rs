@@ -13,12 +13,13 @@ pub use poisoning::{run_poisoning, run_robustness, PoisoningOutput, RobustnessOu
 pub use retarget_study::{run_retarget, RetargetOutput};
 pub use sweep::{run_tradeoff_sweep, SweepOutput};
 
-use blockfed_core::{ComputeProfile, Decentralized, DecentralizedConfig, DecentralizedRun};
+use blockfed_core::{ComputeProfile, DecentralizedConfig, DecentralizedRun};
 use blockfed_data::{partition_dataset, Dataset, Partition, SynthCifar, SynthCifarConfig};
 use blockfed_fl::{ClientId, Strategy, VanillaFl, VanillaFlConfig, VanillaRun, WaitPolicy};
 use blockfed_net::LinkSpec;
 use blockfed_nn::{EffNetLite, EffNetLiteConfig, ModelKind, Sequential, SimpleNnConfig};
 use blockfed_report::{fmt_acc, LinePlot, Table};
+use blockfed_scenario::ScenarioSpec;
 use blockfed_sim::RngHub;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -327,48 +328,54 @@ pub fn straggler_profiles() -> Vec<ComputeProfile> {
     ]
 }
 
-/// The decentralized configuration every experiment starts from: paper
-/// protocol (10 rounds × 5 epochs), ~13 s blocks, LAN links. Experiments
-/// override what they study (adversaries, gates, computes).
+/// The declarative scenario every decentralized experiment starts from: the
+/// paper's protocol (10 rounds × 5 epochs), ~13 s blocks, LAN links, three
+/// peers. Experiments refine the spec (adversaries, gates, computes) before
+/// lowering it; the ad-hoc config assembly this harness used to do now lives
+/// in `blockfed-scenario`.
+pub fn decentralized_scenario(
+    data: &PreparedData,
+    sel: ModelSel,
+    wait_policy: WaitPolicy,
+    per_peer_compute: Option<Vec<ComputeProfile>>,
+) -> ScenarioSpec {
+    let p = &data.profile;
+    ScenarioSpec::new("paper-decentralized", 3)
+        .rounds(p.rounds)
+        .local_epochs(p.local_epochs)
+        .batch_size(p.batch_size)
+        .lr(data.lr(sel))
+        .momentum(p.momentum)
+        .wait(wait_policy)
+        .strategy(Strategy::Consider)
+        .payload_bytes(data.payload_bytes(sel))
+        .difficulty(3_000_000)
+        .computes(per_peer_compute.unwrap_or_else(|| vec![ComputeProfile::paper_vm(); 3]))
+        .link(LinkSpec::lan())
+        .seed(p.seed)
+}
+
+/// The lowered orchestrator configuration of [`decentralized_scenario`].
 pub fn decentralized_config(
     data: &PreparedData,
     sel: ModelSel,
     wait_policy: WaitPolicy,
     per_peer_compute: Option<Vec<ComputeProfile>>,
 ) -> DecentralizedConfig {
-    let p = &data.profile;
-    DecentralizedConfig {
-        rounds: p.rounds,
-        local_epochs: p.local_epochs,
-        batch_size: p.batch_size,
-        lr: data.lr(sel),
-        momentum: p.momentum,
-        wait_policy,
-        strategy: Strategy::Consider,
-        payload_bytes: data.payload_bytes(sel),
-        difficulty: 3_000_000,
-        compute: ComputeProfile::paper_vm(),
-        per_peer_compute,
-        fitness_threshold: None,
-        norm_z_threshold: None,
-        degeneracy_min_classes: None,
-        adversaries: Vec::new(),
-        link: LinkSpec::lan(),
-        seed: p.seed,
-    }
+    decentralized_scenario(data, sel, wait_policy, per_peer_compute).decentralized_config()
 }
 
-/// [`decentralized_run`] with optional per-peer compute profiles.
+/// [`decentralized_run`] with optional per-peer compute profiles, executed
+/// through the scenario engine against the prepared paper datasets.
 pub fn decentralized_run_with_computes(
     data: &PreparedData,
     sel: ModelSel,
     wait_policy: WaitPolicy,
     per_peer_compute: Option<Vec<ComputeProfile>>,
 ) -> DecentralizedRun {
-    let config = decentralized_config(data, sel, wait_policy, per_peer_compute);
-    let driver = Decentralized::new(config, data.shards(sel), data.peer_tests(sel));
+    let spec = decentralized_scenario(data, sel, wait_policy, per_peer_compute);
     let mut factory = data.model_factory(sel);
-    driver.run(&mut *factory)
+    spec.run_with(data.shards(sel), data.peer_tests(sel), &mut *factory)
 }
 
 /// Output of the Table I / Figure 3 regeneration.
@@ -804,35 +811,19 @@ pub fn run_contention(data: &PreparedData, coefficients: &[f64]) -> ContentionOu
     let p = &data.profile;
     let mut rows = Vec::new();
     for &c in coefficients {
-        let config = DecentralizedConfig {
-            rounds: p.rounds.min(3),
-            local_epochs: p.local_epochs,
-            batch_size: p.batch_size,
-            lr: data.lr(ModelSel::Simple),
-            momentum: p.momentum,
-            wait_policy: WaitPolicy::All,
-            strategy: Strategy::Consider,
-            payload_bytes: data.payload_bytes(ModelSel::Simple),
-            difficulty: 3_000_000,
-            compute: ComputeProfile {
+        let spec = decentralized_scenario(data, ModelSel::Simple, WaitPolicy::All, None)
+            .named(format!("contention-{c:.2}"))
+            .rounds(p.rounds.min(3))
+            .uniform_compute(ComputeProfile {
                 contention: c,
                 ..ComputeProfile::paper_vm()
-            },
-            per_peer_compute: None,
-            fitness_threshold: None,
-            norm_z_threshold: None,
-            degeneracy_min_classes: None,
-            adversaries: Vec::new(),
-            link: LinkSpec::lan(),
-            seed: p.seed,
-        };
-        let driver = Decentralized::new(
-            config,
+            });
+        let mut factory = data.model_factory(ModelSel::Simple);
+        let run = spec.run_with(
             data.shards(ModelSel::Simple),
             data.peer_tests(ModelSel::Simple),
+            &mut *factory,
         );
-        let mut factory = data.model_factory(ModelSel::Simple);
-        let run = driver.run(&mut *factory);
         rows.push(ContentionRow {
             contention: c,
             block_interval_secs: run

@@ -22,7 +22,7 @@ use blockfed_nn::Sgd;
 use blockfed_report::{fmt_acc, Table};
 use blockfed_sim::RngHub;
 
-use crate::{decentralized_config, ModelSel, PreparedData};
+use crate::{decentralized_scenario, ModelSel, PreparedData};
 
 /// The attack suite swept by both sub-studies.
 pub fn attack_suite() -> Vec<Attack> {
@@ -103,17 +103,21 @@ pub fn run_poisoning(data: &PreparedData) -> PoisoningOutput {
 
 fn poisoning_arm(data: &PreparedData, attack: Attack, defended: bool) -> PoisoningRow {
     let sel = ModelSel::Simple;
-    let mut config = decentralized_config(data, sel, WaitPolicy::All, None);
-    config.adversaries = vec![Adversary::new(ClientId(0), attack.clone())];
+    let mut spec = decentralized_scenario(data, sel, WaitPolicy::All, None)
+        .named(format!(
+            "poisoning-{attack}-{}",
+            if defended { "defended" } else { "open" }
+        ))
+        .adversary(Adversary::new(ClientId(0), attack.clone()));
     if defended {
         // Slightly above chance on the peer's own test data; and a loose
         // cohort-norm gate. Both mirror §III's "ignored" semantics.
-        config.fitness_threshold = Some(1.2 / data.profile.synth.num_classes as f64);
-        config.norm_z_threshold = Some(1.2);
+        spec = spec
+            .fitness_threshold(1.2 / data.profile.synth.num_classes as f64)
+            .norm_z_threshold(1.2);
     }
-    let driver = blockfed_core::Decentralized::new(config, data.shards(sel), data.peer_tests(sel));
     let mut factory = data.model_factory(sel);
-    let run = driver.run(&mut *factory);
+    let run = spec.run_with(data.shards(sel), data.peer_tests(sel), &mut *factory);
 
     let honest_accuracy = (1..3).map(|p| run.final_accuracy(p)).sum::<f64>() / 2.0;
     let mut detected = std::collections::BTreeSet::new();

@@ -1,5 +1,10 @@
 //! Seed-sweep ablation of the trade-off result.
 //!
+//! Every decentralized arm of the sweep runs through the `blockfed-scenario`
+//! engine (see [`crate::decentralized_scenario`]): the per-seed trade-off is
+//! a declarative spec lowered and executed per arm, so the ablation's shape
+//! is exactly a scenario matrix varied along the seed axis.
+//!
 //! DESIGN.md's determinism note: every run is bit-for-bit reproducible from
 //! one seed, so the cheap robustness check is to re-run the headline
 //! trade-off across seeds and report mean ± std. If the "async loses only a

@@ -1,0 +1,249 @@
+//! Timed fault and churn injection for the decentralized orchestrator.
+//!
+//! The paper measures a fixed, healthy 3-peer network; its future-work section
+//! asks what happens under "an arbitrary number of local updates on each peer
+//! in asynchronous communication". The fault timeline answers the operational
+//! half of that question: a run can now include network partitions, peers
+//! leaving and joining mid-run, and hash-rate shocks — the regimes analysed by
+//! Kim et al. (BlockFL) and Ren & Yan for consortium-chain FL.
+//!
+//! A [`TimedFault`] fires at a virtual instant inside the discrete-event run;
+//! the orchestrator applies it atomically between events:
+//!
+//! * [`Fault::Partition`] severs every link between two peer groups through
+//!   `blockfed-net`. Deliveries already in flight whose relay path crosses the
+//!   cut are dropped at their arrival time (see
+//!   [`blockfed_net::Network::path_open`]).
+//! * [`Fault::HealAll`] restores every severed link.
+//! * [`Fault::PeerLeave`] deactivates a peer: it stops training, mining, and
+//!   receiving. Wait policies immediately re-evaluate against the reduced
+//!   active population so no `WaitPolicy::All` waiter deadlocks.
+//! * [`Fault::PeerJoin`] activates a peer that has been dormant since genesis:
+//!   it first syncs the chain (imports every block sealed so far), registers
+//!   on the registry, and only then starts training for the current round.
+//! * [`Fault::HashRateShock`] multiplies a peer's hash rate (a miner
+//!   upgrading, throttling, or being DoS'd).
+
+use blockfed_sim::SimDuration;
+
+/// One fault scheduled on the run's virtual clock.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimedFault {
+    /// When the fault fires (offset from the run's start).
+    pub at: SimDuration,
+    /// What happens.
+    pub fault: Fault,
+}
+
+impl TimedFault {
+    /// Creates a fault firing `at` seconds of virtual time into the run.
+    pub fn at_secs(secs: f64, fault: Fault) -> Self {
+        TimedFault {
+            at: SimDuration::from_secs_f64(secs),
+            fault,
+        }
+    }
+}
+
+/// The fault kinds the orchestrator can inject mid-run.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Fault {
+    /// Severs every link between the two peer groups (indices into the run's
+    /// peer list). Groups need not cover all peers; links within a group and
+    /// among unlisted peers stay up.
+    Partition {
+        /// One side of the cut.
+        left: Vec<usize>,
+        /// The other side.
+        right: Vec<usize>,
+    },
+    /// Restores every severed link.
+    HealAll,
+    /// The peer leaves the network permanently (crash-stop).
+    PeerLeave {
+        /// The departing peer.
+        peer: usize,
+    },
+    /// A peer dormant since genesis joins: syncs the chain, registers, then
+    /// participates from the round the network is currently in.
+    PeerJoin {
+        /// The joining peer.
+        peer: usize,
+    },
+    /// Multiplies the peer's hash rate by `factor` for the rest of the run
+    /// (compounding with earlier shocks).
+    HashRateShock {
+        /// The affected peer.
+        peer: usize,
+        /// Multiplier, must be positive and finite.
+        factor: f64,
+    },
+}
+
+impl Fault {
+    /// Every peer index the fault references.
+    pub fn peers(&self) -> Vec<usize> {
+        match self {
+            Fault::Partition { left, right } => left.iter().chain(right.iter()).copied().collect(),
+            Fault::HealAll => Vec::new(),
+            Fault::PeerLeave { peer } | Fault::PeerJoin { peer } => vec![*peer],
+            Fault::HashRateShock { peer, .. } => vec![*peer],
+        }
+    }
+
+    /// Validates the fault against a peer count.
+    ///
+    /// # Errors
+    ///
+    /// Describes the first violated constraint.
+    pub fn validate(&self, n: usize) -> Result<(), String> {
+        for p in self.peers() {
+            if p >= n {
+                return Err(format!(
+                    "fault references peer {p}, but only {n} peers exist"
+                ));
+            }
+        }
+        match self {
+            Fault::Partition { left, right } => {
+                if left.is_empty() || right.is_empty() {
+                    return Err("partition needs peers on both sides".into());
+                }
+                if left.iter().any(|p| right.contains(p)) {
+                    return Err("partition sides must be disjoint".into());
+                }
+                Ok(())
+            }
+            Fault::HashRateShock { factor, .. } => {
+                if !factor.is_finite() || *factor <= 0.0 {
+                    return Err("hash-rate shock factor must be positive and finite".into());
+                }
+                Ok(())
+            }
+            _ => Ok(()),
+        }
+    }
+}
+
+impl std::fmt::Display for Fault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Fault::Partition { left, right } => {
+                write!(f, "partition {left:?} | {right:?}")
+            }
+            Fault::HealAll => write!(f, "heal-all"),
+            Fault::PeerLeave { peer } => write!(f, "leave peer={peer}"),
+            Fault::PeerJoin { peer } => write!(f, "join peer={peer}"),
+            Fault::HashRateShock { peer, factor } => {
+                write!(f, "hash-shock peer={peer} x{factor}")
+            }
+        }
+    }
+}
+
+/// Validates a whole timeline against a peer count: every fault must be
+/// individually valid, and a peer may join at most once and never act (leave,
+/// shock, partition membership) before its join instant.
+///
+/// # Errors
+///
+/// Describes the first violated constraint.
+pub fn validate_timeline(faults: &[TimedFault], n: usize) -> Result<(), String> {
+    for tf in faults {
+        tf.fault.validate(n)?;
+    }
+    for (i, tf) in faults.iter().enumerate() {
+        if let Fault::PeerJoin { peer } = tf.fault {
+            if faults
+                .iter()
+                .enumerate()
+                .any(|(j, other)| j != i && other.fault == Fault::PeerJoin { peer })
+            {
+                return Err(format!("peer {peer} joins more than once"));
+            }
+            if faults.iter().any(|other| {
+                other.at < tf.at
+                    && !matches!(other.fault, Fault::PeerJoin { .. })
+                    && other.fault.peers().contains(&peer)
+            }) {
+                return Err(format!("peer {peer} is referenced before its join"));
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validation_catches_out_of_range_and_degenerate_faults() {
+        assert!(Fault::PeerLeave { peer: 3 }.validate(3).is_err());
+        assert!(Fault::PeerLeave { peer: 2 }.validate(3).is_ok());
+        assert!(Fault::Partition {
+            left: vec![0],
+            right: vec![]
+        }
+        .validate(3)
+        .is_err());
+        assert!(Fault::Partition {
+            left: vec![0, 1],
+            right: vec![1, 2]
+        }
+        .validate(3)
+        .is_err());
+        assert!(Fault::HashRateShock {
+            peer: 0,
+            factor: 0.0
+        }
+        .validate(3)
+        .is_err());
+        assert!(Fault::HashRateShock {
+            peer: 0,
+            factor: 2.0
+        }
+        .validate(3)
+        .is_ok());
+    }
+
+    #[test]
+    fn timeline_rejects_double_join_and_premature_references() {
+        let double = vec![
+            TimedFault::at_secs(1.0, Fault::PeerJoin { peer: 1 }),
+            TimedFault::at_secs(2.0, Fault::PeerJoin { peer: 1 }),
+        ];
+        assert!(validate_timeline(&double, 3).is_err());
+
+        let premature = vec![
+            TimedFault::at_secs(1.0, Fault::PeerLeave { peer: 1 }),
+            TimedFault::at_secs(2.0, Fault::PeerJoin { peer: 1 }),
+        ];
+        assert!(validate_timeline(&premature, 3).is_err());
+
+        let fine = vec![
+            TimedFault::at_secs(1.0, Fault::PeerJoin { peer: 2 }),
+            TimedFault::at_secs(5.0, Fault::PeerLeave { peer: 2 }),
+            TimedFault::at_secs(
+                3.0,
+                Fault::Partition {
+                    left: vec![0],
+                    right: vec![1],
+                },
+            ),
+        ];
+        assert!(validate_timeline(&fine, 3).is_ok());
+    }
+
+    #[test]
+    fn fault_display_is_informative() {
+        assert_eq!(Fault::HealAll.to_string(), "heal-all");
+        assert_eq!(Fault::PeerJoin { peer: 4 }.to_string(), "join peer=4");
+        assert!(Fault::Partition {
+            left: vec![0],
+            right: vec![1]
+        }
+        .to_string()
+        .contains("partition"));
+    }
+}

@@ -24,6 +24,7 @@
 pub mod anomaly;
 pub mod compute;
 pub mod coupling;
+pub mod faults;
 pub mod nonrepudiation;
 pub mod orchestrator;
 
@@ -35,6 +36,7 @@ pub use coupling::{
     confirmed_submissions, model_fingerprint, record_aggregate_tx, register_tx, submit_model_tx,
     ConfirmedSubmission,
 };
+pub use faults::{validate_timeline, Fault, TimedFault};
 pub use nonrepudiation::{collect_evidence, verify_evidence, AuditError, Evidence};
 pub use orchestrator::{
     AuditRecord, ChainStats, Decentralized, DecentralizedConfig, DecentralizedRun, PeerRoundRecord,

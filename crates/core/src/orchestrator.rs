@@ -29,8 +29,8 @@ use blockfed_chain::{Blockchain, GenesisSpec, Mempool, SealPolicy, Transaction};
 use blockfed_crypto::{KeyPair, H160, H256};
 use blockfed_data::{Batcher, Dataset};
 use blockfed_fl::{
-    aggregate_with, Adversary, CandidateEvaluator, ClientId, Combination, ModelUpdate, Strategy,
-    WaitPolicy,
+    aggregate_with, Adversary, CandidateEvaluator, ClientId, Combination, ModelUpdate,
+    StalenessDecay, Strategy, WaitPolicy,
 };
 use blockfed_net::{LinkSpec, Network, NodeId, Topology};
 use blockfed_nn::{Sequential, Sgd};
@@ -40,6 +40,7 @@ use rand::Rng;
 
 use crate::compute::ComputeProfile;
 use crate::coupling::{confirmed_submissions, record_aggregate_tx, register_tx, submit_model_tx};
+use crate::faults::{validate_timeline, Fault, TimedFault};
 
 /// Configuration of a decentralized run.
 #[derive(Debug, Clone)]
@@ -99,6 +100,17 @@ pub struct DecentralizedConfig {
     pub adversaries: Vec<Adversary>,
     /// Link profile between peers.
     pub link: LinkSpec,
+    /// Network topology between peers (the paper's testbed is a full mesh).
+    pub topology: Topology,
+    /// Optional staleness-aware re-weighting of aggregated updates: an
+    /// update's FedAvg weight is scaled by `decay.factor(s)` where `s` is how
+    /// many blocks its submission is buried under at aggregation time (the
+    /// age-of-block staleness). `None` keeps the paper's uniform weighting.
+    pub staleness_decay: Option<StalenessDecay>,
+    /// Timed fault and churn events injected into the run (partitions, peer
+    /// join/leave, hash-rate shocks). A peer with a [`Fault::PeerJoin`] entry
+    /// is dormant from genesis until its join fires.
+    pub faults: Vec<TimedFault>,
     /// Master seed.
     pub seed: u64,
 }
@@ -122,6 +134,9 @@ impl Default for DecentralizedConfig {
             degeneracy_min_classes: None,
             adversaries: Vec::new(),
             link: LinkSpec::lan(),
+            topology: Topology::FullMesh,
+            staleness_decay: None,
+            faults: Vec::new(),
             seed: 42,
         }
     }
@@ -215,6 +230,11 @@ pub struct DecentralizedRun {
     /// canonical chain. Updates a wait-`k` policy left unconfirmed at the end
     /// of the final round audit as `verified: false`.
     pub audits: Vec<AuditRecord>,
+    /// Total blocks sealed anywhere during the run (canonical or not).
+    pub blocks_sealed: usize,
+    /// Total bytes crossing links during gossip floods (each message counted
+    /// once per relay edge it traverses).
+    pub gossip_bytes: u64,
 }
 
 impl DecentralizedRun {
@@ -260,6 +280,17 @@ impl DecentralizedRun {
         age
     }
 
+    /// Fraction of sealed blocks that did not make peer 0's canonical chain —
+    /// the fork (orphan) rate of the run. Zero when every sealed block landed
+    /// on the winning chain.
+    pub fn fork_rate(&self) -> f64 {
+        if self.blocks_sealed == 0 {
+            0.0
+        } else {
+            1.0 - (self.chain.blocks.min(self.blocks_sealed) as f64 / self.blocks_sealed as f64)
+        }
+    }
+
     /// Every drop (client excluded from an aggregation) across the run, as
     /// `(peer, round, reason)` tuples — the detection log the non-repudiation
     /// audit then acts on.
@@ -299,9 +330,10 @@ impl CandidateEvaluator for PoolScorer<'_> {
 #[derive(Debug)]
 enum Event {
     TrainDone { peer: usize },
-    DeliverTx { to: usize, idx: usize },
-    DeliverBlock { to: usize, idx: usize },
+    DeliverTx { to: usize, idx: usize, route: usize },
+    DeliverBlock { to: usize, idx: usize, route: usize },
     SealBlock,
+    Fault { idx: usize },
 }
 
 struct PeerState {
@@ -317,12 +349,75 @@ struct PeerState {
     train_done_at: Option<SimTime>,
     global_params: Vec<f32>,
     records: Vec<PeerRoundRecord>,
+    /// Indices into the run's tx log of every transaction this peer authored.
+    /// Re-inserted into the local mempool after each import so a reorg that
+    /// unwinds a fork cannot silently discard them (the peer re-broadcasts
+    /// its pending transactions, as real clients do).
+    my_txs: Vec<usize>,
+    /// Whether the peer currently participates (false before a `PeerJoin`
+    /// fires or after a `PeerLeave`).
+    active: bool,
+    /// First round this peer participates in (1 unless it joined mid-run).
+    first_round: u32,
+    /// Cumulative hash-rate multiplier from `HashRateShock` faults.
+    hash_scale: f64,
 }
 
 impl PeerState {
     fn done(&self, total_rounds: u32) -> bool {
-        self.records.len() as u32 >= total_rounds
+        self.first_round > total_rounds
+            || self.records.len() as u32 >= total_rounds + 1 - self.first_round
     }
+}
+
+/// Schedules one flood's deliveries to currently active peers, records each
+/// delivery's relay path (so a partition injected while the message is in
+/// flight can drop it at arrival time), and accounts the gossip traffic:
+/// `bytes` × the number of distinct relay edges the flood used.
+#[allow(clippy::too_many_arguments)]
+fn schedule_flood(
+    network: &Network,
+    origin: usize,
+    bytes: u64,
+    peers: &[PeerState],
+    rng: &mut impl Rng,
+    sched: &mut Scheduler<Event>,
+    route_log: &mut Vec<Vec<(NodeId, NodeId)>>,
+    gossip_bytes: &mut u64,
+    mk: impl Fn(usize, usize) -> Event,
+) {
+    // Crash-stopped and dormant peers neither receive nor relay: route over
+    // the active subgraph.
+    let avoid: std::collections::HashSet<NodeId> = peers
+        .iter()
+        .enumerate()
+        .filter(|(_, p)| !p.active)
+        .map(|(i, _)| NodeId(i))
+        .collect();
+    let mut edges: std::collections::HashSet<(NodeId, NodeId)> = std::collections::HashSet::new();
+    for d in network.flood_routes_avoiding(NodeId(origin), bytes, rng, &avoid) {
+        edges.extend(d.path.iter().copied());
+        let route = route_log.len();
+        route_log.push(d.path);
+        sched.schedule_after(d.delay, mk(d.node.0, route));
+    }
+    *gossip_bytes += bytes * edges.len() as u64;
+}
+
+/// Whether every *relay* node on a recorded route is still alive: relay nodes
+/// are exactly the path's interior nodes (they touch two edges; the origin
+/// and the receiver touch one). A delivery whose relay crash-stopped while
+/// the message was in flight is lost, mirroring the partition semantics of
+/// [`Network::path_open`].
+fn relays_alive(path: &[(NodeId, NodeId)], peers: &[PeerState]) -> bool {
+    let mut touched: HashMap<usize, u32> = HashMap::new();
+    for &(a, b) in path {
+        *touched.entry(a.0).or_insert(0) += 1;
+        *touched.entry(b.0).or_insert(0) += 1;
+    }
+    touched
+        .into_iter()
+        .all(|(node, count)| count < 2 || peers[node].active)
 }
 
 /// The decentralized experiment driver.
@@ -345,11 +440,16 @@ impl<'a> Decentralized<'a> {
         peer_tests: &'a [Dataset],
     ) -> Self {
         assert!(train_shards.len() >= 2, "need at least two peers");
+        assert!(
+            train_shards.len() <= 32,
+            "combination masks are 32-bit: at most 32 peers"
+        );
         assert_eq!(
             train_shards.len(),
             peer_tests.len(),
             "shard/test count mismatch"
         );
+        validate_timeline(&config.faults, train_shards.len()).expect("invalid fault timeline");
         config.compute.validate().expect("invalid compute profile");
         if let Some(profiles) = &config.per_peer_compute {
             assert_eq!(
@@ -430,6 +530,15 @@ impl<'a> Decentralized<'a> {
             let dup = scratch_pool[0].duplicate();
             scratch_pool.push(dup);
         }
+        // Peers with a scheduled join are dormant until their fault fires.
+        let joiners: std::collections::HashSet<usize> = cfg
+            .faults
+            .iter()
+            .filter_map(|tf| match tf.fault {
+                Fault::PeerJoin { peer } => Some(peer),
+                _ => None,
+            })
+            .collect();
         let mut peers: Vec<PeerState> = (0..n)
             .map(|i| {
                 let mut runtime = BlockfedRuntime::new();
@@ -447,12 +556,16 @@ impl<'a> Decentralized<'a> {
                     train_done_at: None,
                     global_params: init_params.clone(),
                     records: Vec::new(),
+                    my_txs: Vec::new(),
+                    active: !joiners.contains(&i),
+                    first_round: 1,
+                    hash_scale: 1.0,
                 }
             })
             .collect();
 
         // --- network & schedule ------------------------------------------
-        let network = Network::new(n, Topology::FullMesh, cfg.link);
+        let mut network = Network::new(n, cfg.topology.clone(), cfg.link);
         let mut sched: Scheduler<Event> = Scheduler::new();
         let mut net_rng = hub.stream("net");
         let mut mine_rng = hub.stream("mining");
@@ -463,6 +576,18 @@ impl<'a> Decentralized<'a> {
         let mut update_log: Vec<ModelUpdate> = Vec::new(); // aligned with tx_log where applicable
         let mut tx_update: Vec<Option<usize>> = Vec::new();
         let mut block_log: Vec<blockfed_chain::Block> = Vec::new();
+        let mut block_miner: Vec<usize> = Vec::new(); // aligned with block_log
+                                                      // Relay path of every scheduled delivery (for in-flight cut checks).
+        let mut route_log: Vec<Vec<(NodeId, NodeId)>> = Vec::new();
+        let mut gossip_bytes: u64 = 0;
+        // Submit-tx index by model fingerprint, for on-demand payload fetches
+        // when a block confirms a submission whose artifact a peer never
+        // received (partitioned mid-flood, or joined after the flood).
+        let mut fp_to_tx: HashMap<H256, usize> = HashMap::new();
+        // (peer, artifact) payload fetches currently in flight, so repeated
+        // block deliveries don't schedule (and double-count) duplicates.
+        let mut fetch_pending: std::collections::HashSet<(usize, H256)> =
+            std::collections::HashSet::new();
 
         // Publication times (for the age-of-block metric) and each peer's
         // previously published parameters (for the replay attack).
@@ -470,27 +595,48 @@ impl<'a> Decentralized<'a> {
         let mut last_published: Vec<Option<Vec<f32>>> = vec![None; n];
         let mut attack_rng = hub.stream("attack");
 
-        // Registration txs at t = 0.
+        // Registration txs at t = 0 (dormant joiners register when they join).
         for i in 0..n {
+            if !peers[i].active {
+                continue;
+            }
             let tx = register_tx(registry, &keys[i], 0);
             peers[i].next_nonce = 1;
             let idx = tx_log.len();
             tx_log.push(tx.clone());
             tx_update.push(None);
+            peers[i].my_txs.push(idx);
             let state_now = peers[i].chain.state().clone();
             let _ = peers[i].mempool.insert(tx, &state_now);
-            for (node, delay) in network.flood(NodeId(i), 512, &mut net_rng) {
-                sched.schedule_after(delay, Event::DeliverTx { to: node.0, idx });
-            }
+            schedule_flood(
+                &network,
+                i,
+                512,
+                &peers,
+                &mut net_rng,
+                &mut sched,
+                &mut route_log,
+                &mut gossip_bytes,
+                |to, route| Event::DeliverTx { to, idx, route },
+            );
         }
 
-        // Initial training for every peer.
+        // Initial training for every active peer.
         for (i, shard) in self.train_shards.iter().enumerate() {
+            if !peers[i].active {
+                continue;
+            }
             let base = self
                 .compute_for(i)
                 .training_time(shard.len(), cfg.local_epochs, true);
             let jitter = base.mul_f64(train_time_rng.gen_range(0.0..0.05));
             sched.schedule_after(base + jitter, Event::TrainDone { peer: i });
+        }
+
+        // Fault timeline.
+        let mut pending_faults = cfg.faults.len();
+        for (idx, tf) in cfg.faults.iter().enumerate() {
+            sched.schedule_after(tf.at, Event::Fault { idx });
         }
 
         // First mining race.
@@ -502,17 +648,23 @@ impl<'a> Decentralized<'a> {
         let event_cap: u64 = 2_000_000;
         let mut finished_at = SimTime::ZERO;
 
+        // The run is over once every *active* peer finished its rounds and no
+        // scheduled fault (e.g. a late join) can still change the population.
+        let settled = |peers: &[PeerState], pending_faults: usize| {
+            pending_faults == 0 && peers.iter().all(|p| !p.active || p.done(cfg.rounds))
+        };
         while let Some((now, event)) = sched.next() {
             events_processed += 1;
             assert!(
                 events_processed < event_cap,
                 "event cap exceeded; livelock?"
             );
-            if peers.iter().all(|p| p.done(cfg.rounds)) {
+            if settled(&peers, pending_faults) {
                 finished_at = finished_at.max(now);
                 break;
             }
             match event {
+                Event::TrainDone { peer } if !peers[peer].active => {}
                 Event::TrainDone { peer } => {
                     let round = peers[peer].current_round;
                     // Train eagerly at the event (virtual time already paid).
@@ -563,6 +715,8 @@ impl<'a> Decentralized<'a> {
                     let upd_idx = update_log.len();
                     update_log.push(update.clone());
                     tx_update.push(Some(upd_idx));
+                    fp_to_tx.insert(fingerprint, tx_idx);
+                    peers[peer].my_txs.push(tx_idx);
 
                     peers[peer].model_store.insert(fingerprint, update);
                     let state_now = peers[peer].chain.state().clone();
@@ -570,17 +724,21 @@ impl<'a> Decentralized<'a> {
                     peers[peer].training = false;
                     peers[peer].train_done_at = Some(now);
 
-                    for (node, delay) in
-                        network.flood(NodeId(peer), cfg.payload_bytes, &mut net_rng)
-                    {
-                        sched.schedule_after(
-                            delay,
-                            Event::DeliverTx {
-                                to: node.0,
-                                idx: tx_idx,
-                            },
-                        );
-                    }
+                    schedule_flood(
+                        &network,
+                        peer,
+                        cfg.payload_bytes,
+                        &peers,
+                        &mut net_rng,
+                        &mut sched,
+                        &mut route_log,
+                        &mut gossip_bytes,
+                        |to, route| Event::DeliverTx {
+                            to,
+                            idx: tx_idx,
+                            route,
+                        },
+                    );
                     self.try_aggregate(
                         peer,
                         now,
@@ -596,10 +754,27 @@ impl<'a> Decentralized<'a> {
                         &mut net_rng,
                         &mut tx_log,
                         &mut tx_update,
+                        &mut route_log,
+                        &mut gossip_bytes,
                         &mut train_time_rng,
                     );
                 }
-                Event::DeliverTx { to, idx } => {
+                Event::DeliverTx { to, idx, route } => {
+                    // Whatever happens to this delivery, it is no longer in
+                    // flight: a later block delivery may retry the fetch.
+                    if let Some(u) = tx_update[idx] {
+                        let fp = crate::coupling::model_fingerprint(&update_log[u]);
+                        fetch_pending.remove(&(to, fp));
+                    }
+                    if !peers[to].active {
+                        continue;
+                    }
+                    if !network.path_open(&route_log[route])
+                        || !relays_alive(&route_log[route], &peers)
+                    {
+                        trace.record(now, "net.dropped", format!("tx to={to} idx={idx}"));
+                        continue;
+                    }
                     let tx = tx_log[idx].clone();
                     if let Some(u) = tx_update[idx] {
                         let update = update_log[u].clone();
@@ -623,21 +798,39 @@ impl<'a> Decentralized<'a> {
                         &mut net_rng,
                         &mut tx_log,
                         &mut tx_update,
+                        &mut route_log,
+                        &mut gossip_bytes,
                         &mut train_time_rng,
                     );
                 }
                 Event::SealBlock => {
-                    // Pick the race winner ∝ current effective hash rates.
+                    // Pick the race winner ∝ current effective hash rates of
+                    // the *active* miners (scaled by any hash-rate shocks).
                     let weights: Vec<f64> = peers
                         .iter()
                         .enumerate()
-                        .map(|(i, p)| self.compute_for(i).effective_hashrate(p.training))
+                        .map(|(i, p)| {
+                            if p.active {
+                                self.compute_for(i).effective_hashrate(p.training) * p.hash_scale
+                            } else {
+                                0.0
+                            }
+                        })
                         .collect();
                     let total: f64 = weights.iter().sum();
+                    if total <= 0.0 {
+                        // No live miner; idle until churn revives the chain.
+                        sched.schedule_after(SimDuration::from_secs_f64(1.0), Event::SealBlock);
+                        continue;
+                    }
                     let mut draw = mine_rng.gen_range(0.0..total);
-                    let mut winner = 0usize;
+                    // Float fallback: the first live miner wins a degenerate draw.
+                    let mut winner = weights
+                        .iter()
+                        .position(|w| *w > 0.0)
+                        .expect("total > 0 implies a live miner");
                     for (i, w) in weights.iter().enumerate() {
-                        if draw < *w {
+                        if *w > 0.0 && draw < *w {
                             winner = i;
                             break;
                         }
@@ -672,17 +865,22 @@ impl<'a> Decentralized<'a> {
                         let block_idx = block_log.len();
                         let block_bytes = 1024 + 256 * block.transactions.len() as u64;
                         block_log.push(block);
-                        for (node, delay) in
-                            network.flood(NodeId(winner), block_bytes, &mut net_rng)
-                        {
-                            sched.schedule_after(
-                                delay,
-                                Event::DeliverBlock {
-                                    to: node.0,
-                                    idx: block_idx,
-                                },
-                            );
-                        }
+                        block_miner.push(winner);
+                        schedule_flood(
+                            &network,
+                            winner,
+                            block_bytes,
+                            &peers,
+                            &mut net_rng,
+                            &mut sched,
+                            &mut route_log,
+                            &mut gossip_bytes,
+                            |to, route| Event::DeliverBlock {
+                                to,
+                                idx: block_idx,
+                                route,
+                            },
+                        );
                         self.try_aggregate(
                             winner,
                             now,
@@ -698,14 +896,81 @@ impl<'a> Decentralized<'a> {
                             &mut net_rng,
                             &mut tx_log,
                             &mut tx_update,
+                            &mut route_log,
+                            &mut gossip_bytes,
                             &mut train_time_rng,
                         );
                     }
                     let delay = self.sample_race_delay(&peers, &mut mine_rng);
                     sched.schedule_after(delay, Event::SealBlock);
                 }
-                Event::DeliverBlock { to, idx } => {
-                    self.import_with_orphans(to, idx, &mut peers, &block_log);
+                Event::DeliverBlock { to, idx, route } => {
+                    if !peers[to].active {
+                        continue;
+                    }
+                    if !network.path_open(&route_log[route])
+                        || !relays_alive(&route_log[route], &peers)
+                    {
+                        trace.record(now, "net.dropped", format!("block to={to} idx={idx}"));
+                        continue;
+                    }
+                    self.import_with_orphans(to, idx, &mut peers, &block_log, &tx_log);
+                    // On-demand payload recovery: the chain may confirm a
+                    // submission whose artifact this peer never received (the
+                    // gossip crossed a partition, or the peer joined late).
+                    // Fetch it from the block's miner over the shortest
+                    // currently-open relay path; if the miner is unreachable,
+                    // the next delivered block retries. One fetch per
+                    // (peer, artifact) is kept in flight at a time.
+                    let round_now = peers[to].current_round;
+                    let miner = block_miner[idx];
+                    for s in confirmed_submissions(&peers[to].chain, registry, round_now) {
+                        if peers[to].model_store.contains_key(&s.model_hash)
+                            || fetch_pending.contains(&(to, s.model_hash))
+                        {
+                            continue;
+                        }
+                        let Some(&tx_idx) = fp_to_tx.get(&s.model_hash) else {
+                            continue;
+                        };
+                        if miner == to {
+                            continue;
+                        }
+                        let avoid: std::collections::HashSet<NodeId> = peers
+                            .iter()
+                            .enumerate()
+                            .filter(|(_, p)| !p.active)
+                            .map(|(i, _)| NodeId(i))
+                            .collect();
+                        if let Some(d) = network
+                            .flood_routes_avoiding(
+                                NodeId(miner),
+                                s.payload_bytes,
+                                &mut net_rng,
+                                &avoid,
+                            )
+                            .into_iter()
+                            .find(|d| d.node.0 == to)
+                        {
+                            fetch_pending.insert((to, s.model_hash));
+                            let fetch_route = route_log.len();
+                            gossip_bytes += s.payload_bytes * d.path.len() as u64;
+                            route_log.push(d.path);
+                            trace.record(
+                                now,
+                                "net.payload-fetch",
+                                format!("to={to} from={miner} round={round_now}"),
+                            );
+                            sched.schedule_after(
+                                d.delay,
+                                Event::DeliverTx {
+                                    to,
+                                    idx: tx_idx,
+                                    route: fetch_route,
+                                },
+                            );
+                        }
+                    }
                     self.try_aggregate(
                         to,
                         now,
@@ -721,12 +986,144 @@ impl<'a> Decentralized<'a> {
                         &mut net_rng,
                         &mut tx_log,
                         &mut tx_update,
+                        &mut route_log,
+                        &mut gossip_bytes,
                         &mut train_time_rng,
                     );
                 }
+                Event::Fault { idx } => {
+                    pending_faults -= 1;
+                    let fault = cfg.faults[idx].fault.clone();
+                    trace.record(now, "fault.fired", fault.to_string());
+                    match fault {
+                        Fault::Partition { left, right } => {
+                            let l: Vec<NodeId> = left.iter().map(|&p| NodeId(p)).collect();
+                            let r: Vec<NodeId> = right.iter().map(|&p| NodeId(p)).collect();
+                            network.partition_halves(&l, &r);
+                            trace.record(
+                                now,
+                                "fault.partition",
+                                format!("left={left:?} right={right:?}"),
+                            );
+                        }
+                        Fault::HealAll => {
+                            network.heal_all();
+                            trace.record(now, "fault.heal", String::new());
+                        }
+                        Fault::PeerLeave { peer } => {
+                            peers[peer].active = false;
+                            trace.record(
+                                now,
+                                "churn.leave",
+                                format!("peer={peer} round={}", peers[peer].current_round),
+                            );
+                            // Wait policies now measure against a smaller
+                            // population: re-check every stalled waiter so no
+                            // `WaitPolicy::All` peer deadlocks on the departed.
+                            for p in 0..n {
+                                if peers[p].active {
+                                    self.try_aggregate(
+                                        p,
+                                        now,
+                                        registry,
+                                        &mut peers,
+                                        &mut scratch_pool,
+                                        &addr_to_client,
+                                        &publish_time,
+                                        &hub,
+                                        &mut trace,
+                                        &mut sched,
+                                        &network,
+                                        &mut net_rng,
+                                        &mut tx_log,
+                                        &mut tx_update,
+                                        &mut route_log,
+                                        &mut gossip_bytes,
+                                        &mut train_time_rng,
+                                    );
+                                }
+                            }
+                        }
+                        Fault::PeerJoin { peer } => {
+                            peers[peer].active = true;
+                            // 1. Sync: download every block sealed so far
+                            //    (out-of-order imports resolve via orphans).
+                            for b in 0..block_log.len() {
+                                self.import_with_orphans(peer, b, &mut peers, &block_log, &tx_log);
+                            }
+                            let synced_height = peers[peer].chain.head_block().number();
+                            // 2. Register on the FL registry.
+                            let tx = register_tx(registry, &keys[peer], 0);
+                            peers[peer].next_nonce = 1;
+                            let reg_idx = tx_log.len();
+                            tx_log.push(tx.clone());
+                            tx_update.push(None);
+                            peers[peer].my_txs.push(reg_idx);
+                            let state_now = peers[peer].chain.state().clone();
+                            let _ = peers[peer].mempool.insert(tx, &state_now);
+                            schedule_flood(
+                                &network,
+                                peer,
+                                512,
+                                &peers,
+                                &mut net_rng,
+                                &mut sched,
+                                &mut route_log,
+                                &mut gossip_bytes,
+                                |to, route| Event::DeliverTx {
+                                    to,
+                                    idx: reg_idx,
+                                    route,
+                                },
+                            );
+                            // 3. Enter the *earliest* round still in progress
+                            //    and only then start training. Entering any
+                            //    later round would starve a live `wait-all`
+                            //    laggard forever: the joiner inflates the
+                            //    population the laggard measures against but
+                            //    would never submit for the laggard's round.
+                            let join_round = peers
+                                .iter()
+                                .enumerate()
+                                .filter(|(i, p)| *i != peer && p.active)
+                                .map(|(_, p)| p.current_round)
+                                .min()
+                                .unwrap_or(1);
+                            peers[peer].first_round = join_round;
+                            peers[peer].current_round = join_round;
+                            peers[peer].training = true;
+                            peers[peer].train_done_at = None;
+                            trace.record(
+                                now,
+                                "churn.join",
+                                format!(
+                                    "peer={peer} round={join_round} synced_height={synced_height}"
+                                ),
+                            );
+                            let base = self.compute_for(peer).training_time(
+                                self.train_shards[peer].len(),
+                                cfg.local_epochs,
+                                true,
+                            );
+                            let jitter = base.mul_f64(train_time_rng.gen_range(0.0..0.05));
+                            sched.schedule_after(base + jitter, Event::TrainDone { peer });
+                        }
+                        Fault::HashRateShock { peer, factor } => {
+                            peers[peer].hash_scale *= factor;
+                            trace.record(
+                                now,
+                                "fault.hashshock",
+                                format!(
+                                    "peer={peer} factor={factor} scale={}",
+                                    peers[peer].hash_scale
+                                ),
+                            );
+                        }
+                    }
+                }
             }
             finished_at = now;
-            if peers.iter().all(|p| p.done(cfg.rounds)) {
+            if settled(&peers, pending_faults) {
                 break;
             }
         }
@@ -757,6 +1154,8 @@ impl<'a> Decentralized<'a> {
             finished_at,
             published_updates: update_log,
             audits,
+            blocks_sealed: block_log.len(),
+            gossip_bytes,
         }
     }
 
@@ -764,8 +1163,17 @@ impl<'a> Decentralized<'a> {
         let total: f64 = peers
             .iter()
             .enumerate()
-            .map(|(i, p)| self.compute_for(i).effective_hashrate(p.training))
+            .map(|(i, p)| {
+                if p.active {
+                    self.compute_for(i).effective_hashrate(p.training) * p.hash_scale
+                } else {
+                    0.0
+                }
+            })
             .sum();
+        if total <= 0.0 {
+            return SimDuration::from_secs_f64(1.0);
+        }
         blockfed_chain::pow::sample_mining_delay(self.config.difficulty, total, rng)
     }
 
@@ -775,28 +1183,52 @@ impl<'a> Decentralized<'a> {
         idx: usize,
         peers: &mut [PeerState],
         block_log: &[blockfed_chain::Block],
+        tx_log: &[Transaction],
     ) {
         let p = &mut peers[to];
         p.orphans.push(idx);
-        // Keep trying until no orphan imports (parents may arrive out of order).
+        // Keep trying until no orphan imports (parents may arrive out of
+        // order). A block whose parent was never delivered at all — its flood
+        // crossed a partition, or this peer was dormant — triggers an
+        // ancestor sync: the peer requests the missing block from whoever
+        // sent the descendant, modeled as a lookup in the global block log.
         loop {
             let mut imported_any = false;
             let mut remaining = Vec::new();
+            let mut missing: Vec<H256> = Vec::new();
             for &i in &p.orphans {
                 let block = block_log[i].clone();
                 match p.chain.import(block, &mut p.runtime) {
                     Ok(_) => imported_any = true,
-                    Err(blockfed_chain::ImportError::UnknownParent(_)) => remaining.push(i),
+                    Err(blockfed_chain::ImportError::UnknownParent(parent)) => {
+                        remaining.push(i);
+                        missing.push(parent);
+                    }
                     Err(_) => {} // permanently invalid; drop
                 }
             }
             p.orphans = remaining;
+            for parent in missing {
+                if let Some(j) = block_log.iter().position(|b| b.hash() == parent) {
+                    if !p.orphans.contains(&j) {
+                        p.orphans.push(j);
+                        imported_any = true; // new material: retry the loop
+                    }
+                }
+            }
             if !imported_any || p.orphans.is_empty() {
                 break;
             }
         }
         let state_now = p.chain.state().clone();
         p.mempool.prune(&state_now);
+        // Re-broadcast-to-self: a reorg may have unwound blocks carrying this
+        // peer's transactions after `prune` already dropped them from the
+        // pool. Re-insert every authored tx still ahead of the account nonce
+        // so it gets mined again (stale and duplicate inserts are rejected).
+        for &i in &p.my_txs {
+            let _ = p.mempool.insert(tx_log[i].clone(), &state_now);
+        }
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -816,12 +1248,22 @@ impl<'a> Decentralized<'a> {
         net_rng: &mut impl Rng,
         tx_log: &mut Vec<Transaction>,
         tx_update: &mut Vec<Option<usize>>,
+        route_log: &mut Vec<Vec<(NodeId, NodeId)>>,
+        gossip_bytes: &mut u64,
         train_time_rng: &mut impl Rng,
     ) {
         let cfg = &self.config;
-        let n = peers.len();
+        // Wait policies measure against the population that can still
+        // deliver: the currently active peers set the *bar*, while any
+        // confirmed usable submission counts toward it — including one a
+        // since-departed peer published before leaving (its signed model
+        // remains a valid contribution). So after churn, "wait-all" means
+        // "as many confirmed models as there are live peers", which keeps
+        // rounds live without discarding legitimate updates.
+        let n = peers.iter().filter(|p| p.active).count();
         let round = peers[peer].current_round;
-        if peers[peer].done(cfg.rounds)
+        if !peers[peer].active
+            || peers[peer].done(cfg.rounds)
             || peers[peer].training
             || peers[peer].train_done_at.is_none()
         {
@@ -969,6 +1411,36 @@ impl<'a> Decentralized<'a> {
             }
         };
 
+        // Staleness-aware re-weighting (the age-of-block view): scale each
+        // update's FedAvg weight by `decay.factor(s)` where `s` is how many
+        // blocks bury its submission on this peer's chain. Weights never drop
+        // below one sample so a cutoff decay cannot zero the aggregate.
+        let usable: Vec<ModelUpdate> = match cfg.staleness_decay {
+            None => usable,
+            Some(decay) => {
+                let head = peers[peer].chain.head_block().number();
+                let depth_of: HashMap<H256, u32> = confirmed
+                    .iter()
+                    .filter_map(|s| {
+                        peers[peer]
+                            .chain
+                            .block(&s.block_hash)
+                            .map(|b| (s.model_hash, head.saturating_sub(b.number()) as u32))
+                    })
+                    .collect();
+                usable
+                    .into_iter()
+                    .map(|mut u| {
+                        let fp = crate::coupling::model_fingerprint(&u);
+                        let s = depth_of.get(&fp).copied().unwrap_or(0);
+                        let f = decay.factor(s);
+                        u.sample_count = ((u.sample_count as f64) * f).round().max(1.0) as usize;
+                        u
+                    })
+                    .collect()
+            }
+        };
+
         // Aggregation under the configured strategy (the paper's "consider"
         // search by default), scored on the peer's own test data.
         let refs: Vec<&ModelUpdate> = usable.iter().collect();
@@ -1010,11 +1482,20 @@ impl<'a> Decentralized<'a> {
         let idx = tx_log.len();
         tx_log.push(tx.clone());
         tx_update.push(None);
+        peers[peer].my_txs.push(idx);
         let state_now = peers[peer].chain.state().clone();
         let _ = peers[peer].mempool.insert(tx, &state_now);
-        for (node, delay) in network.flood(NodeId(peer), 512, net_rng) {
-            sched.schedule_after(delay, Event::DeliverTx { to: node.0, idx });
-        }
+        schedule_flood(
+            network,
+            peer,
+            512,
+            peers,
+            net_rng,
+            sched,
+            route_log,
+            gossip_bytes,
+            |to, route| Event::DeliverTx { to, idx, route },
+        );
 
         let wait = now.saturating_since(peers[peer].train_done_at.expect("checked above"));
         trace.record(
@@ -1155,6 +1636,9 @@ mod tests {
             degeneracy_min_classes: None,
             adversaries: Vec::new(),
             link: LinkSpec::lan(),
+            topology: Topology::FullMesh,
+            staleness_decay: None,
+            faults: Vec::new(),
             seed,
         }
     }
@@ -1578,5 +2062,234 @@ mod tests {
             &fx.shards[..1],
             &fx.tests[..1],
         );
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid fault timeline")]
+    fn out_of_range_fault_rejected() {
+        let fx = fixture();
+        let mut cfg = quick_config(WaitPolicy::All, 1);
+        cfg.faults = vec![crate::faults::TimedFault::at_secs(
+            1.0,
+            crate::faults::Fault::PeerLeave { peer: 9 },
+        )];
+        let _ = Decentralized::new(cfg, &fx.shards, &fx.tests);
+    }
+
+    #[test]
+    fn peer_leaving_mid_round_does_not_deadlock_wait_all() {
+        // Slow training (≈10 s) so the leave at t=1 s fires mid-round, before
+        // the departing peer submits. The two survivors' WaitPolicy::All must
+        // re-measure against the reduced population and finish every round.
+        let fx = fixture();
+        let mut cfg = straggler_config(WaitPolicy::All, 50);
+        cfg.faults = vec![crate::faults::TimedFault::at_secs(
+            1.0,
+            crate::faults::Fault::PeerLeave { peer: 2 },
+        )];
+        let driver = Decentralized::new(cfg, &fx.shards, &fx.tests);
+        let nn = SimpleNnConfig::tiny(fx.tests[0].feature_dim(), fx.tests[0].num_classes());
+        let mut arch_rng = StdRng::seed_from_u64(50);
+        let out = driver.run(&mut || nn.build(&mut arch_rng));
+        assert_eq!(out.trace.count("churn.leave"), 1);
+        // Survivors complete every round aggregating the two live updates.
+        for peer in 0..2 {
+            assert_eq!(out.peer_records[peer].len(), 2, "peer {peer} incomplete");
+            for r in &out.peer_records[peer] {
+                assert_eq!(r.updates_used, 2, "peer {peer} round {}", r.round);
+            }
+        }
+        // The departed peer never aggregated.
+        assert!(out.peer_records[2].is_empty());
+    }
+
+    #[test]
+    fn joining_peer_syncs_chain_before_submitting() {
+        // Peer 2 is dormant until t=6 s; by then several blocks exist. On
+        // join it must import the chain (synced_height > 0), register, and
+        // participate in the round the network is currently in.
+        let fx = fixture();
+        let mut cfg = quick_config(WaitPolicy::All, 51);
+        cfg.rounds = 3;
+        cfg.faults = vec![crate::faults::TimedFault::at_secs(
+            6.0,
+            crate::faults::Fault::PeerJoin { peer: 2 },
+        )];
+        let driver = Decentralized::new(cfg, &fx.shards, &fx.tests);
+        let nn = SimpleNnConfig::tiny(fx.tests[0].feature_dim(), fx.tests[0].num_classes());
+        let mut arch_rng = StdRng::seed_from_u64(51);
+        let out = driver.run(&mut || nn.build(&mut arch_rng));
+        assert_eq!(out.trace.count("churn.join"), 1);
+        let join = out
+            .trace
+            .with_label("churn.join")
+            .next()
+            .expect("join traced")
+            .clone();
+        let synced: u64 = join
+            .detail
+            .split("synced_height=")
+            .nth(1)
+            .expect("synced_height recorded")
+            .parse()
+            .expect("numeric height");
+        assert!(synced > 0, "joiner synced no blocks: {}", join.detail);
+        // The joiner's first submission comes after the join.
+        let join_time = join.time;
+        let first_submit = out
+            .trace
+            .entries()
+            .iter()
+            .find(|e| e.label == "train.done" && e.detail.contains("peer=2"))
+            .expect("joiner trained");
+        assert!(first_submit.time > join_time);
+        // It participated and its published updates audit cleanly.
+        assert!(!out.peer_records[2].is_empty());
+        let joiner_audits: Vec<_> = out
+            .audits
+            .iter()
+            .filter(|a| a.client == ClientId(2))
+            .collect();
+        assert!(!joiner_audits.is_empty());
+        assert!(
+            joiner_audits.iter().all(|a| a.verified),
+            "{joiner_audits:?}"
+        );
+        // Everyone finishes: originals do 3 rounds, the joiner its share.
+        assert_eq!(out.peer_records[0].len(), 3);
+        assert_eq!(out.peer_records[1].len(), 3);
+    }
+
+    #[test]
+    fn partition_mid_flood_drops_deliveries_then_heals_and_recovers() {
+        // A 2 s-latency link keeps submissions in flight long enough for the
+        // partition at t=0.15 s to cut them mid-flood; the heal at t=6 s lets
+        // block gossip and on-demand payload fetches repair the round.
+        let fx = fixture();
+        let mut cfg = quick_config(WaitPolicy::All, 52);
+        // Blocks slower than the link latency, so gossip converges instead of
+        // fork-storming while every delivery is 2 s in flight.
+        cfg.difficulty = 1_000_000;
+        cfg.link = LinkSpec {
+            latency: blockfed_sim::UniformJitter::constant(SimDuration::from_millis(2_000)),
+            bandwidth: None,
+            loss_rate: 0.0,
+        };
+        cfg.faults = vec![
+            crate::faults::TimedFault::at_secs(
+                0.15,
+                crate::faults::Fault::Partition {
+                    left: vec![0],
+                    right: vec![1, 2],
+                },
+            ),
+            crate::faults::TimedFault::at_secs(6.0, crate::faults::Fault::HealAll),
+        ];
+        let driver = Decentralized::new(cfg, &fx.shards, &fx.tests);
+        let nn = SimpleNnConfig::tiny(fx.tests[0].feature_dim(), fx.tests[0].num_classes());
+        let mut arch_rng = StdRng::seed_from_u64(52);
+        let out = driver.run(&mut || nn.build(&mut arch_rng));
+        assert_eq!(out.trace.count("fault.partition"), 1);
+        assert_eq!(out.trace.count("fault.heal"), 1);
+        assert!(
+            out.trace.count("net.dropped") > 0,
+            "no in-flight delivery crossed the cut"
+        );
+        // Every peer still completes every round after the heal.
+        for (peer, records) in out.peer_records.iter().enumerate() {
+            assert_eq!(records.len(), 2, "peer {peer} incomplete");
+        }
+    }
+
+    #[test]
+    fn ring_topology_with_mid_run_leave_routes_around_the_dead_peer() {
+        // 4 peers on a ring; peer 1 crash-stops before submitting. Gossip
+        // must route the long way round (a dead peer relays nothing) and the
+        // three survivors' wait-all rounds must all complete.
+        let gen = SynthCifar::new(SynthCifarConfig::tiny());
+        let (train, test) = gen.generate(2);
+        let mut rng = StdRng::seed_from_u64(3);
+        let shards = partition_dataset(
+            &train,
+            4,
+            Partition::DirichletLabelSkew { alpha: 0.7 },
+            &mut rng,
+        );
+        let tests = vec![test.clone(), test.clone(), test.clone(), test];
+        let mut cfg = straggler_config(WaitPolicy::All, 60);
+        cfg.topology = Topology::Ring;
+        cfg.faults = vec![crate::faults::TimedFault::at_secs(
+            1.0,
+            crate::faults::Fault::PeerLeave { peer: 1 },
+        )];
+        let driver = Decentralized::new(cfg, &shards, &tests);
+        let nn = SimpleNnConfig::tiny(tests[0].feature_dim(), tests[0].num_classes());
+        let mut arch_rng = StdRng::seed_from_u64(60);
+        let out = driver.run(&mut || nn.build(&mut arch_rng));
+        for peer in [0usize, 2, 3] {
+            assert_eq!(out.peer_records[peer].len(), 2, "peer {peer} incomplete");
+            for r in &out.peer_records[peer] {
+                assert_eq!(r.updates_used, 3, "peer {peer} round {}", r.round);
+            }
+        }
+        assert!(out.peer_records[1].is_empty());
+    }
+
+    #[test]
+    fn hash_rate_shock_shifts_mining_share() {
+        // A 50× hash-rate shock to peer 0 makes it win nearly every block.
+        let fx = fixture();
+        let mut cfg = quick_config(WaitPolicy::All, 53);
+        cfg.faults = vec![crate::faults::TimedFault::at_secs(
+            0.0,
+            crate::faults::Fault::HashRateShock {
+                peer: 0,
+                factor: 50.0,
+            },
+        )];
+        let driver = Decentralized::new(cfg, &fx.shards, &fx.tests);
+        let nn = SimpleNnConfig::tiny(fx.tests[0].feature_dim(), fx.tests[0].num_classes());
+        let mut arch_rng = StdRng::seed_from_u64(53);
+        let out = driver.run(&mut || nn.build(&mut arch_rng));
+        assert_eq!(out.trace.count("fault.hashshock"), 1);
+        let sealed: Vec<String> = out
+            .trace
+            .with_label("block.sealed")
+            .map(|e| e.detail.clone())
+            .collect();
+        let by_zero = sealed.iter().filter(|d| d.contains("miner=0")).count();
+        assert!(
+            by_zero * 2 > sealed.len(),
+            "shocked miner won only {by_zero}/{} blocks",
+            sealed.len()
+        );
+    }
+
+    #[test]
+    fn staleness_decay_preserves_completion_and_determinism() {
+        let fx = fixture();
+        let mut cfg = quick_config(WaitPolicy::All, 54);
+        cfg.staleness_decay = Some(blockfed_fl::StalenessDecay::Polynomial { a: 1.0 });
+        let run_once = || {
+            let driver = Decentralized::new(cfg.clone(), &fx.shards, &fx.tests);
+            let nn = SimpleNnConfig::tiny(fx.tests[0].feature_dim(), fx.tests[0].num_classes());
+            let mut arch_rng = StdRng::seed_from_u64(54);
+            driver.run(&mut || nn.build(&mut arch_rng))
+        };
+        let a = run_once();
+        let b = run_once();
+        assert_eq!(a.peer_records, b.peer_records);
+        for records in &a.peer_records {
+            assert_eq!(records.len(), 2);
+        }
+    }
+
+    #[test]
+    fn gossip_and_fork_metrics_are_recorded() {
+        let out = run(WaitPolicy::All, 55);
+        assert!(out.blocks_sealed >= out.chain.blocks);
+        assert!(out.gossip_bytes > 0);
+        let f = out.fork_rate();
+        assert!((0.0..=1.0).contains(&f), "fork rate {f}");
     }
 }

@@ -27,5 +27,5 @@ pub mod topology;
 
 pub use gossip::GossipTracker;
 pub use link::LinkSpec;
-pub use net::Network;
+pub use net::{FloodDelivery, Network};
 pub use topology::{NodeId, Topology};

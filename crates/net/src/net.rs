@@ -8,6 +8,25 @@ use rand::Rng;
 use crate::link::LinkSpec;
 use crate::topology::{NodeId, Topology};
 
+/// One delivery computed by [`Network::flood_routes`]: the receiving node,
+/// its arrival offset, and the relay path (the sequence of undirected edges
+/// the message crosses, origin-first).
+///
+/// The path is what makes *in-flight* partition semantics possible: a caller
+/// schedules the delivery for `origin_time + delay` and, when that moment
+/// arrives, asks [`Network::path_open`] whether every crossed edge still
+/// exists. A partition injected while the message is in flight closes an edge
+/// on the path and the delivery is dropped — not just future floods.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FloodDelivery {
+    /// The node reached.
+    pub node: NodeId,
+    /// Arrival offset from the flood's origin time.
+    pub delay: SimDuration,
+    /// Undirected edges crossed, in relay order from the origin.
+    pub path: Vec<(NodeId, NodeId)>,
+}
+
 /// A simulated network over `n` nodes.
 ///
 /// # Examples
@@ -141,12 +160,52 @@ impl Network {
         bytes: u64,
         rng: &mut R,
     ) -> HashMap<NodeId, SimDuration> {
+        self.flood_routes(origin, bytes, rng)
+            .into_iter()
+            .map(|d| (d.node, d.delay))
+            .collect()
+    }
+
+    /// Like [`Network::flood`] but also returns each delivery's relay path, so
+    /// callers holding deliveries in flight can re-check [`Network::path_open`]
+    /// at arrival time and drop messages whose route a later partition cut.
+    ///
+    /// Consumes the RNG identically to [`Network::flood`] (which is
+    /// implemented on top of it), so switching between the two never perturbs
+    /// a deterministic simulation. Deliveries are returned sorted by node id.
+    pub fn flood_routes<R: Rng + ?Sized>(
+        &self,
+        origin: NodeId,
+        bytes: u64,
+        rng: &mut R,
+    ) -> Vec<FloodDelivery> {
+        self.flood_routes_avoiding(origin, bytes, rng, &HashSet::new())
+    }
+
+    /// [`Network::flood_routes`] over the subgraph that excludes `avoid`
+    /// nodes: excluded nodes neither receive nor *relay* — the gossip routing
+    /// a caller needs once peers can crash-stop mid-run (a dead peer must not
+    /// forward traffic on a ring or star).
+    ///
+    /// Edge delays are pre-sampled over the full topology regardless of
+    /// `avoid`, so RNG consumption is identical to [`Network::flood_routes`]
+    /// and switching between the two never perturbs a deterministic
+    /// simulation.
+    pub fn flood_routes_avoiding<R: Rng + ?Sized>(
+        &self,
+        origin: NodeId,
+        bytes: u64,
+        rng: &mut R,
+        avoid: &HashSet<NodeId>,
+    ) -> Vec<FloodDelivery> {
         assert!(origin.0 < self.n, "origin out of range");
         // Dijkstra with sampled edge weights: deterministic given the RNG.
         let mut dist: HashMap<NodeId, SimDuration> = HashMap::new();
         dist.insert(origin, SimDuration::ZERO);
+        let mut prev: HashMap<NodeId, NodeId> = HashMap::new();
         let mut visited: HashSet<NodeId> = HashSet::new();
-        // Pre-sample each usable edge once (symmetric delay per message relay).
+        // Pre-sample each usable edge once (symmetric delay per message
+        // relay), over the full topology so RNG draws are avoid-independent.
         let mut edge_delay: HashMap<(NodeId, NodeId), Option<SimDuration>> = HashMap::new();
         for a in self.nodes() {
             for b in self.topology.neighbors(a, self.n) {
@@ -167,8 +226,11 @@ impl Network {
                 None => break,
             };
             visited.insert(node);
+            if node != origin && avoid.contains(&node) {
+                continue; // reachable but excluded: receives nothing, relays nothing
+            }
             for nb in self.topology.neighbors(node, self.n) {
-                if visited.contains(&nb) {
+                if visited.contains(&nb) || avoid.contains(&nb) {
                     continue;
                 }
                 if let Some(Some(d)) = edge_delay.get(&unordered(node, nb)) {
@@ -176,12 +238,36 @@ impl Network {
                     let best = dist.entry(nb).or_insert(SimDuration::MAX);
                     if candidate < *best {
                         *best = candidate;
+                        prev.insert(nb, node);
                     }
                 }
             }
         }
-        dist.remove(&origin);
-        dist
+        let mut out: Vec<FloodDelivery> = dist
+            .into_iter()
+            .filter(|(node, _)| *node != origin)
+            .map(|(node, delay)| {
+                // Walk predecessors back to the origin to recover the path.
+                let mut path = Vec::new();
+                let mut at = node;
+                while at != origin {
+                    let p = prev[&at];
+                    path.push(unordered(p, at));
+                    at = p;
+                }
+                path.reverse();
+                FloodDelivery { node, delay, path }
+            })
+            .collect();
+        out.sort_by_key(|d| d.node);
+        out
+    }
+
+    /// Whether every edge on a relay path is currently usable (adjacent under
+    /// the topology and not severed by a partition). An in-flight delivery
+    /// whose path fails this check at arrival time crossed a cut and is lost.
+    pub fn path_open(&self, path: &[(NodeId, NodeId)]) -> bool {
+        path.iter().all(|&(a, b)| self.connected(a, b))
     }
 }
 
@@ -293,6 +379,90 @@ mod tests {
     #[should_panic(expected = "at least one node")]
     fn empty_network_rejected() {
         let _ = Network::new(0, Topology::FullMesh, LinkSpec::lan());
+    }
+
+    #[test]
+    fn avoided_nodes_neither_receive_nor_relay() {
+        // Ring 0-1-2-3-4: avoiding node 1 forces traffic the long way round,
+        // and node 1 itself gets nothing.
+        let net = Network::new(5, Topology::Ring, LinkSpec::instant());
+        let avoid: HashSet<NodeId> = [NodeId(1)].into_iter().collect();
+        let routes = net.flood_routes_avoiding(NodeId(0), 0, &mut rng(), &avoid);
+        let nodes: Vec<usize> = routes.iter().map(|d| d.node.0).collect();
+        assert_eq!(nodes, vec![2, 3, 4]);
+        for d in &routes {
+            assert!(
+                !d.path
+                    .iter()
+                    .any(|&(a, b)| a == NodeId(1) || b == NodeId(1)),
+                "delivery to {} relayed through the avoided node: {:?}",
+                d.node,
+                d.path
+            );
+        }
+        // RNG consumption matches the unrestricted flood.
+        let a = net.flood_routes_avoiding(NodeId(0), 0, &mut RngHub::new(5).stream("r"), &avoid);
+        let b = net.flood_routes(NodeId(0), 0, &mut RngHub::new(5).stream("r"));
+        assert_eq!(a.len() + 1, b.len());
+    }
+
+    #[test]
+    fn flood_routes_match_flood_and_record_paths() {
+        let net = Network::new(5, Topology::Ring, LinkSpec::lan());
+        let routes = net.flood_routes(NodeId(0), 500, &mut RngHub::new(4).stream("f"));
+        let plain = net.flood(NodeId(0), 500, &mut RngHub::new(4).stream("f"));
+        assert_eq!(routes.len(), plain.len());
+        for d in &routes {
+            // Same RNG stream ⇒ identical delays through either API.
+            assert_eq!(plain[&d.node], d.delay);
+            // Path starts at the origin and ends at the receiver.
+            assert!(!d.path.is_empty());
+            let first = d.path[0];
+            assert!(first.0 == NodeId(0) || first.1 == NodeId(0));
+            let last = d.path[d.path.len() - 1];
+            assert!(last.0 == d.node || last.1 == d.node);
+        }
+    }
+
+    #[test]
+    fn partition_mid_flood_drops_in_flight_deliveries_crossing_the_cut() {
+        // Regression: a partition injected *after* a flood was scheduled but
+        // *before* its deliveries arrive must drop the deliveries that cross
+        // the cut. The caller-side protocol is: keep the delivery's path, and
+        // at arrival time drop it unless `path_open` still holds.
+        let mut net = Network::new(4, Topology::Ring, LinkSpec::lan());
+        let routes = net.flood_routes(NodeId(0), 1_000, &mut rng());
+        assert_eq!(routes.len(), 3, "ring fully reachable before the cut");
+        // All paths open while the network is intact.
+        assert!(routes.iter().all(|d| net.path_open(&d.path)));
+
+        // Mid-flight, the 0–1 edge is severed.
+        net.partition(NodeId(0), NodeId(1));
+        let crossing: Vec<&FloodDelivery> = routes
+            .iter()
+            .filter(|d| d.path.contains(&(NodeId(0), NodeId(1))))
+            .collect();
+        assert!(
+            !crossing.is_empty(),
+            "at least node 1 must have routed over the cut edge"
+        );
+        for d in &crossing {
+            assert!(
+                !net.path_open(&d.path),
+                "delivery to {} crossed the cut but path stayed open",
+                d.node
+            );
+        }
+        // Deliveries routed the other way around the ring are unaffected.
+        let spared: Vec<&FloodDelivery> = routes
+            .iter()
+            .filter(|d| !d.path.contains(&(NodeId(0), NodeId(1))))
+            .collect();
+        assert!(!spared.is_empty());
+        assert!(spared.iter().all(|d| net.path_open(&d.path)));
+        // Healing restores the in-flight path.
+        net.heal_all();
+        assert!(routes.iter().all(|d| net.path_open(&d.path)));
     }
 
     #[test]

@@ -1,0 +1,210 @@
+//! Scenario matrices: the cartesian expansion of a base spec along axes.
+//!
+//! The paper's tables are exactly such matrices (policy × model, attack ×
+//! defence); the matrix type makes the pattern declarative and lets the
+//! runner execute every cell in parallel.
+
+use blockfed_fl::{Strategy, WaitPolicy};
+
+use crate::spec::ScenarioSpec;
+
+/// A base scenario plus variation axes. Empty axes keep the base value, so a
+/// matrix with no axes has exactly one cell (the base itself).
+///
+/// # Examples
+///
+/// ```
+/// use blockfed_scenario::{ScenarioMatrix, ScenarioSpec};
+/// use blockfed_fl::WaitPolicy;
+///
+/// let matrix = ScenarioMatrix::new(ScenarioSpec::new("demo", 3))
+///     .vary_peers(&[3, 5])
+///     .vary_wait(&[WaitPolicy::All, WaitPolicy::FirstK(2)]);
+/// assert_eq!(matrix.cells().len(), 4);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ScenarioMatrix {
+    /// The base spec every cell derives from.
+    pub base: ScenarioSpec,
+    peer_counts: Vec<usize>,
+    wait_policies: Vec<WaitPolicy>,
+    strategies: Vec<Strategy>,
+    seeds: Vec<u64>,
+}
+
+impl ScenarioMatrix {
+    /// Wraps a base spec with no variation axes.
+    pub fn new(base: ScenarioSpec) -> Self {
+        ScenarioMatrix {
+            base,
+            peer_counts: Vec::new(),
+            wait_policies: Vec::new(),
+            strategies: Vec::new(),
+            seeds: Vec::new(),
+        }
+    }
+
+    /// Varies the peer count. Compute profiles are cycled from the base's;
+    /// timeline events referencing peers outside the new count are dropped.
+    #[must_use]
+    pub fn vary_peers(mut self, counts: &[usize]) -> Self {
+        self.peer_counts = counts.to_vec();
+        self
+    }
+
+    /// Varies the wait policy.
+    #[must_use]
+    pub fn vary_wait(mut self, policies: &[WaitPolicy]) -> Self {
+        self.wait_policies = policies.to_vec();
+        self
+    }
+
+    /// Varies the aggregation strategy.
+    #[must_use]
+    pub fn vary_strategy(mut self, strategies: &[Strategy]) -> Self {
+        self.strategies = strategies.to_vec();
+        self
+    }
+
+    /// Varies the master seed.
+    #[must_use]
+    pub fn vary_seed(mut self, seeds: &[u64]) -> Self {
+        self.seeds = seeds.to_vec();
+        self
+    }
+
+    /// The number of cells the matrix expands to (the product of the axis
+    /// lengths; an empty axis keeps the base value and counts as one).
+    pub fn len(&self) -> usize {
+        [
+            self.peer_counts.len(),
+            self.wait_policies.len(),
+            self.strategies.len(),
+            self.seeds.len(),
+        ]
+        .iter()
+        .map(|&l| l.max(1))
+        .product()
+    }
+
+    /// Whether the matrix has no cells (never: an axis-free matrix is the base).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Expands the cartesian product into concrete cell specs, named
+    /// `base/n=…/policy/strategy/seed=…` (only varied axes appear).
+    pub fn cells(&self) -> Vec<ScenarioSpec> {
+        fn axis<T: Copy>(values: &[T]) -> Vec<Option<T>> {
+            if values.is_empty() {
+                vec![None]
+            } else {
+                values.iter().copied().map(Some).collect()
+            }
+        }
+        let peer_axis = axis(&self.peer_counts);
+        let wait_axis = axis(&self.wait_policies);
+        let strat_axis = axis(&self.strategies);
+        let seed_axis = axis(&self.seeds);
+
+        let mut out = Vec::new();
+        for &n in &peer_axis {
+            for &w in &wait_axis {
+                for &s in &strat_axis {
+                    for &seed in &seed_axis {
+                        let mut cell = self.base.clone();
+                        let mut name = self.base.name.clone();
+                        if let Some(n) = n {
+                            cell = resize_peers(cell, n);
+                            name.push_str(&format!("/n={n}"));
+                        }
+                        if let Some(w) = w {
+                            cell.wait_policy = w;
+                            name.push_str(&format!("/{w}"));
+                        }
+                        if let Some(s) = s {
+                            cell.strategy = s;
+                            name.push_str(&format!("/{s}"));
+                        }
+                        if let Some(seed) = seed {
+                            cell.seed = seed;
+                            name.push_str(&format!("/seed={seed}"));
+                        }
+                        cell.name = name;
+                        out.push(cell);
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Rescales a spec to `n` peers: compute profiles cycle from the base's, and
+/// timeline entries or adversaries referencing peers beyond the new count are
+/// dropped (partitions are kept only if both sides survive the filter).
+fn resize_peers(mut spec: ScenarioSpec, n: usize) -> ScenarioSpec {
+    let base = spec.computes.clone();
+    spec.computes = (0..n).map(|i| base[i % base.len()]).collect();
+    spec.timeline.retain(|tf| match &tf.fault {
+        blockfed_core::Fault::Partition { left, right } => {
+            left.iter().all(|&p| p < n) && right.iter().all(|&p| p < n)
+        }
+        f => f.peers().iter().all(|&p| p < n),
+    });
+    spec.adversaries.retain(|a| a.client.0 < n);
+    spec
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn axis_free_matrix_is_the_base() {
+        let m = ScenarioMatrix::new(ScenarioSpec::new("solo", 3));
+        let cells = m.cells();
+        assert_eq!(cells.len(), 1);
+        assert_eq!(cells[0].name, "solo");
+    }
+
+    #[test]
+    fn cartesian_expansion_and_names() {
+        let m = ScenarioMatrix::new(ScenarioSpec::new("x", 3))
+            .vary_peers(&[3, 5])
+            .vary_wait(&[WaitPolicy::All, WaitPolicy::FirstK(2)])
+            .vary_seed(&[1, 2]);
+        let cells = m.cells();
+        assert_eq!(cells.len(), 8);
+        assert!(cells.iter().any(|c| c.name == "x/n=5/wait-2/seed=2"));
+        for c in &cells {
+            c.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn resizing_cycles_computes_and_filters_timeline() {
+        let mut base = ScenarioSpec::new("r", 3)
+            .leave_at(5.0, 2)
+            .partition_at(1.0, &[0], &[4])
+            .adversary(blockfed_fl::Adversary::new(
+                blockfed_fl::ClientId(2),
+                blockfed_fl::Attack::Replay,
+            ));
+        base.computes[1].train_rate = 123.0;
+        // Invalid for 3 peers (partition names peer 4), valid once resized up.
+        let m = ScenarioMatrix::new(base).vary_peers(&[2, 6]);
+        let cells = m.cells();
+        assert_eq!(cells.len(), 2);
+        // n=2: leave(2), partition(…4), and the adversary on peer 2 dropped.
+        assert!(cells[0].timeline.is_empty());
+        assert!(cells[0].adversaries.is_empty());
+        assert_eq!(cells[0].peers(), 2);
+        cells[0].validate().unwrap();
+        // n=6: everything kept; compute profiles cycle.
+        assert_eq!(cells[1].timeline.len(), 2);
+        assert_eq!(cells[1].adversaries.len(), 1);
+        assert_eq!(cells[1].computes[4].train_rate, 123.0);
+        cells[1].validate().unwrap();
+    }
+}

@@ -1,0 +1,272 @@
+//! Scenario results: per-cell metrics, a rendered table, and the
+//! machine-readable `BENCH_scenarios.json` feed for the perf trajectory.
+
+use std::io;
+use std::path::{Path, PathBuf};
+
+use blockfed_fl::{Strategy, WaitPolicy};
+use blockfed_report::Table;
+
+/// The folded result of one scenario cell.
+///
+/// Equality ignores [`CellReport::wall_clock_secs`] (host timing noise), so
+/// two runs of the same seed compare equal exactly when the *simulation* was
+/// bit-identical.
+#[derive(Debug, Clone)]
+pub struct CellReport {
+    /// The cell's name (base name plus axis suffixes).
+    pub name: String,
+    /// Peer count.
+    pub peers: usize,
+    /// Communication rounds requested.
+    pub rounds: u32,
+    /// Wait policy in force.
+    pub wait_policy: WaitPolicy,
+    /// The strategy actually used (after the Consider→BestK cutover).
+    pub strategy: Strategy,
+    /// Master seed.
+    pub seed: u64,
+    /// Mean final-round accuracy across peers that completed ≥ 1 round.
+    pub mean_final_accuracy: f64,
+    /// Mean per-round aggregation wait (virtual seconds).
+    pub mean_wait_secs: f64,
+    /// Virtual time when the run settled.
+    pub makespan_secs: f64,
+    /// Fraction of sealed blocks that did not make the canonical chain.
+    pub fork_rate: f64,
+    /// Total bytes crossing links during gossip floods.
+    pub gossip_bytes: u64,
+    /// Canonical blocks on peer 0's chain.
+    pub blocks: usize,
+    /// Total per-peer round records folded into the cell.
+    pub records: usize,
+    /// Host wall-clock the cell took (excluded from equality).
+    pub wall_clock_secs: f64,
+}
+
+impl PartialEq for CellReport {
+    fn eq(&self, other: &Self) -> bool {
+        self.name == other.name
+            && self.peers == other.peers
+            && self.rounds == other.rounds
+            && self.wait_policy == other.wait_policy
+            && self.strategy == other.strategy
+            && self.seed == other.seed
+            && self.mean_final_accuracy == other.mean_final_accuracy
+            && self.mean_wait_secs == other.mean_wait_secs
+            && self.makespan_secs == other.makespan_secs
+            && self.fork_rate == other.fork_rate
+            && self.gossip_bytes == other.gossip_bytes
+            && self.blocks == other.blocks
+            && self.records == other.records
+    }
+}
+
+/// The folded result of a whole scenario matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioReport {
+    /// The matrix (base spec) name.
+    pub name: String,
+    /// One report per cell, in matrix expansion order.
+    pub cells: Vec<CellReport>,
+}
+
+impl ScenarioReport {
+    /// Renders the per-cell metrics as an aligned table.
+    pub fn table(&self) -> Table {
+        let mut table = Table::new(
+            format!("Scenario matrix — {}", self.name),
+            &[
+                "Cell",
+                "Peers",
+                "Policy",
+                "Strategy",
+                "Final acc",
+                "Mean wait (s)",
+                "Makespan (s)",
+                "Fork rate",
+                "Gossip (MB)",
+                "Wall (s)",
+            ],
+        );
+        for c in &self.cells {
+            table.row_owned(vec![
+                c.name.clone(),
+                c.peers.to_string(),
+                c.wait_policy.to_string(),
+                c.strategy.to_string(),
+                format!("{:.4}", c.mean_final_accuracy),
+                format!("{:.2}", c.mean_wait_secs),
+                format!("{:.1}", c.makespan_secs),
+                format!("{:.3}", c.fork_rate),
+                format!("{:.2}", c.gossip_bytes as f64 / 1e6),
+                format!("{:.2}", c.wall_clock_secs),
+            ]);
+        }
+        table
+    }
+
+    /// Serializes the report as JSON (the `BENCH_scenarios.json` shape: one
+    /// object with a `scenario` name and a `cells` array of flat metrics).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"scenario\": {},\n", json_str(&self.name)));
+        out.push_str("  \"cells\": [\n");
+        for (i, c) in self.cells.iter().enumerate() {
+            out.push_str("    {");
+            out.push_str(&format!("\"name\": {}, ", json_str(&c.name)));
+            out.push_str(&format!("\"peers\": {}, ", c.peers));
+            out.push_str(&format!("\"rounds\": {}, ", c.rounds));
+            out.push_str(&format!(
+                "\"wait_policy\": {}, ",
+                json_str(&c.wait_policy.to_string())
+            ));
+            out.push_str(&format!(
+                "\"strategy\": {}, ",
+                json_str(&c.strategy.to_string())
+            ));
+            out.push_str(&format!("\"seed\": {}, ", c.seed));
+            out.push_str(&format!(
+                "\"mean_final_accuracy\": {}, ",
+                json_f64(c.mean_final_accuracy)
+            ));
+            out.push_str(&format!(
+                "\"mean_wait_secs\": {}, ",
+                json_f64(c.mean_wait_secs)
+            ));
+            out.push_str(&format!(
+                "\"makespan_secs\": {}, ",
+                json_f64(c.makespan_secs)
+            ));
+            out.push_str(&format!("\"fork_rate\": {}, ", json_f64(c.fork_rate)));
+            out.push_str(&format!("\"gossip_bytes\": {}, ", c.gossip_bytes));
+            out.push_str(&format!("\"blocks\": {}, ", c.blocks));
+            out.push_str(&format!("\"records\": {}, ", c.records));
+            out.push_str(&format!(
+                "\"wall_clock_secs\": {}",
+                json_f64(c.wall_clock_secs)
+            ));
+            out.push_str(if i + 1 < self.cells.len() {
+                "},\n"
+            } else {
+                "}\n"
+            });
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Writes [`ScenarioReport::to_json`] to `dir/BENCH_scenarios.json`,
+    /// creating the directory. Returns the path written.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn write_json(&self, dir: impl AsRef<Path>) -> io::Result<PathBuf> {
+        let dir = dir.as_ref();
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join("BENCH_scenarios.json");
+        std::fs::write(&path, self.to_json())?;
+        Ok(path)
+    }
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".into()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cell(name: &str) -> CellReport {
+        CellReport {
+            name: name.into(),
+            peers: 5,
+            rounds: 2,
+            wait_policy: WaitPolicy::FirstK(3),
+            strategy: Strategy::BestK(3),
+            seed: 7,
+            mean_final_accuracy: 0.5,
+            mean_wait_secs: 1.25,
+            makespan_secs: 100.0,
+            fork_rate: 0.1,
+            gossip_bytes: 1_000_000,
+            blocks: 12,
+            records: 10,
+            wall_clock_secs: 3.3,
+        }
+    }
+
+    #[test]
+    fn equality_ignores_wall_clock() {
+        let a = cell("a");
+        let mut b = cell("a");
+        b.wall_clock_secs = 99.0;
+        assert_eq!(a, b);
+        let mut c = cell("a");
+        c.blocks = 13;
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn json_shape_and_escaping() {
+        let report = ScenarioReport {
+            name: "demo \"quoted\"".into(),
+            cells: vec![cell("one"), cell("two")],
+        };
+        let json = report.to_json();
+        assert!(json.contains("\"scenario\": \"demo \\\"quoted\\\"\""));
+        assert!(json.contains("\"name\": \"one\""));
+        assert!(json.contains("\"mean_final_accuracy\": 0.5"));
+        assert!(json.contains("\"wall_clock_secs\": 3.3"));
+        // Two cells, comma-separated.
+        assert_eq!(json.matches("\"peers\": 5").count(), 2);
+    }
+
+    #[test]
+    fn table_renders_all_cells() {
+        let report = ScenarioReport {
+            name: "t".into(),
+            cells: vec![cell("one"), cell("two"), cell("three")],
+        };
+        let t = report.table();
+        assert_eq!(t.len(), 3);
+        assert!(t.to_string().contains("wait-3"));
+    }
+
+    #[test]
+    fn json_writes_to_disk() {
+        let dir = std::env::temp_dir().join(format!("blockfed-scn-{}", std::process::id()));
+        let report = ScenarioReport {
+            name: "disk".into(),
+            cells: vec![cell("c")],
+        };
+        let path = report.write_json(&dir).unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert!(content.contains("\"scenario\": \"disk\""));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,551 @@
+//! The declarative scenario model.
+//!
+//! A [`ScenarioSpec`] is a complete, self-contained description of one
+//! decentralized blockchain-FL run: how many peers, what compute each has,
+//! how they are wired, when they wait, how they aggregate, which adversaries
+//! are embedded, and a timeline of faults (partitions, churn, hash-rate
+//! shocks). Specs are plain data — build one with the fluent API, hand it to
+//! a [`crate::ScenarioRunner`], or lower it onto externally prepared data
+//! with [`ScenarioSpec::run_with`].
+
+use blockfed_core::{
+    ComputeProfile, Decentralized, DecentralizedConfig, DecentralizedRun, Fault, TimedFault,
+};
+use blockfed_data::{Dataset, Partition, SynthCifarConfig};
+use blockfed_fl::{Adversary, StalenessDecay, Strategy, WaitPolicy};
+use blockfed_net::{LinkSpec, Topology};
+use blockfed_nn::{Sequential, SimpleNnConfig};
+
+/// How a scenario synthesizes and partitions its federated data.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DataSpec {
+    /// The synthetic CIFAR-like generator configuration.
+    pub synth: SynthCifarConfig,
+    /// How the training pool is split across peers.
+    pub partition: Partition,
+}
+
+impl Default for DataSpec {
+    fn default() -> Self {
+        DataSpec {
+            synth: SynthCifarConfig::tiny(),
+            partition: Partition::DirichletLabelSkew { alpha: 0.8 },
+        }
+    }
+}
+
+/// A declarative description of one decentralized run.
+///
+/// # Examples
+///
+/// ```
+/// use blockfed_scenario::ScenarioSpec;
+/// use blockfed_fl::WaitPolicy;
+///
+/// let spec = ScenarioSpec::new("churny", 5)
+///     .rounds(2)
+///     .wait(WaitPolicy::FirstK(3))
+///     .partition_at(5.0, &[0, 1], &[2, 3, 4])
+///     .heal_at(20.0)
+///     .leave_at(30.0, 4);
+/// assert_eq!(spec.peers(), 5);
+/// spec.validate().unwrap();
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioSpec {
+    /// Display name (matrix cells derive theirs from it).
+    pub name: String,
+    /// Communication rounds.
+    pub rounds: u32,
+    /// Local epochs per round.
+    pub local_epochs: usize,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// SGD learning rate.
+    pub lr: f32,
+    /// SGD momentum.
+    pub momentum: f32,
+    /// Per-peer compute profiles; the length is the peer count.
+    pub computes: Vec<ComputeProfile>,
+    /// Network topology.
+    pub topology: Topology,
+    /// Link profile between peers.
+    pub link: LinkSpec,
+    /// When a peer stops waiting for more models.
+    pub wait_policy: WaitPolicy,
+    /// The requested aggregation strategy (see [`ScenarioSpec::resolved_strategy`]).
+    pub strategy: Strategy,
+    /// Above this peer count a requested `Strategy::Consider` is lowered to
+    /// `Strategy::BestK(best_k)`: the full combination search is exponential
+    /// in the peer count, best-k is linear.
+    pub consider_cutover: usize,
+    /// The `k` used when the cutover kicks in.
+    pub best_k: usize,
+    /// Optional staleness-aware re-weighting of aggregated updates.
+    pub staleness_decay: Option<StalenessDecay>,
+    /// Declared on-chain size of a model artifact.
+    pub payload_bytes: u64,
+    /// Proof-of-work difficulty.
+    pub difficulty: u128,
+    /// The paper's §III fitness gate (`None` disables).
+    pub fitness_threshold: Option<f64>,
+    /// Norm-outlier gate (`None` disables).
+    pub norm_z_threshold: Option<f64>,
+    /// Degeneracy gate (`None` disables).
+    pub degeneracy_min_classes: Option<usize>,
+    /// Compromised peers and their attacks.
+    pub adversaries: Vec<Adversary>,
+    /// The fault/churn timeline.
+    pub timeline: Vec<TimedFault>,
+    /// Data synthesis and partitioning.
+    pub data: DataSpec,
+    /// The model architecture every peer trains.
+    pub model: SimpleNnConfig,
+    /// Master seed: same seed ⇒ bit-identical report.
+    pub seed: u64,
+}
+
+impl ScenarioSpec {
+    /// A scenario over `peers` identical quick-profile peers with tiny
+    /// synthetic data: 3 rounds, wait-all, full combination search below the
+    /// cutover, fast (~1 s) blocks.
+    pub fn new(name: impl Into<String>, peers: usize) -> Self {
+        let data = DataSpec::default();
+        let model = SimpleNnConfig::tiny(data.synth.feature_dim, data.synth.num_classes);
+        ScenarioSpec {
+            name: name.into(),
+            rounds: 3,
+            local_epochs: 2,
+            batch_size: 16,
+            lr: 0.1,
+            momentum: 0.9,
+            computes: vec![
+                ComputeProfile {
+                    hashrate: 100_000.0,
+                    train_rate: 500.0,
+                    contention: 0.3,
+                };
+                peers
+            ],
+            topology: Topology::FullMesh,
+            link: LinkSpec::lan(),
+            wait_policy: WaitPolicy::All,
+            strategy: Strategy::Consider,
+            consider_cutover: 6,
+            best_k: 3,
+            staleness_decay: None,
+            payload_bytes: 10_000,
+            difficulty: 200_000,
+            fitness_threshold: None,
+            norm_z_threshold: None,
+            degeneracy_min_classes: None,
+            adversaries: Vec::new(),
+            timeline: Vec::new(),
+            data,
+            model,
+            seed: 42,
+        }
+    }
+
+    /// The peer count.
+    pub fn peers(&self) -> usize {
+        self.computes.len()
+    }
+
+    /// Sets the communication rounds.
+    #[must_use]
+    pub fn rounds(mut self, rounds: u32) -> Self {
+        self.rounds = rounds;
+        self
+    }
+
+    /// Sets the local epochs per round.
+    #[must_use]
+    pub fn local_epochs(mut self, epochs: usize) -> Self {
+        self.local_epochs = epochs;
+        self
+    }
+
+    /// Sets the mini-batch size.
+    #[must_use]
+    pub fn batch_size(mut self, batch: usize) -> Self {
+        self.batch_size = batch;
+        self
+    }
+
+    /// Sets the SGD learning rate.
+    #[must_use]
+    pub fn lr(mut self, lr: f32) -> Self {
+        self.lr = lr;
+        self
+    }
+
+    /// Sets the SGD momentum.
+    #[must_use]
+    pub fn momentum(mut self, momentum: f32) -> Self {
+        self.momentum = momentum;
+        self
+    }
+
+    /// Sets the wait policy.
+    #[must_use]
+    pub fn wait(mut self, policy: WaitPolicy) -> Self {
+        self.wait_policy = policy;
+        self
+    }
+
+    /// Sets the aggregation strategy.
+    #[must_use]
+    pub fn strategy(mut self, strategy: Strategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Sets the Consider→BestK cutover: above `peers` the exponential search
+    /// is replaced by `BestK(k)`.
+    #[must_use]
+    pub fn consider_cutover(mut self, peers: usize, k: usize) -> Self {
+        self.consider_cutover = peers;
+        self.best_k = k;
+        self
+    }
+
+    /// Sets the staleness decay.
+    #[must_use]
+    pub fn staleness(mut self, decay: StalenessDecay) -> Self {
+        self.staleness_decay = Some(decay);
+        self
+    }
+
+    /// Sets the declared artifact size.
+    #[must_use]
+    pub fn payload_bytes(mut self, bytes: u64) -> Self {
+        self.payload_bytes = bytes;
+        self
+    }
+
+    /// Sets the proof-of-work difficulty.
+    #[must_use]
+    pub fn difficulty(mut self, difficulty: u128) -> Self {
+        self.difficulty = difficulty;
+        self
+    }
+
+    /// Gives every peer the same compute profile.
+    #[must_use]
+    pub fn uniform_compute(mut self, profile: ComputeProfile) -> Self {
+        for c in &mut self.computes {
+            *c = profile;
+        }
+        self
+    }
+
+    /// Replaces the per-peer compute profiles (and thereby the peer count).
+    #[must_use]
+    pub fn computes(mut self, profiles: Vec<ComputeProfile>) -> Self {
+        self.computes = profiles;
+        self
+    }
+
+    /// Overrides one peer's compute profile.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `peer` is out of range.
+    #[must_use]
+    pub fn peer_compute(mut self, peer: usize, profile: ComputeProfile) -> Self {
+        self.computes[peer] = profile;
+        self
+    }
+
+    /// Sets the topology.
+    #[must_use]
+    pub fn topology(mut self, topology: Topology) -> Self {
+        self.topology = topology;
+        self
+    }
+
+    /// Sets the link profile.
+    #[must_use]
+    pub fn link(mut self, link: LinkSpec) -> Self {
+        self.link = link;
+        self
+    }
+
+    /// Enables the fitness gate.
+    #[must_use]
+    pub fn fitness_threshold(mut self, th: f64) -> Self {
+        self.fitness_threshold = Some(th);
+        self
+    }
+
+    /// Enables the norm-outlier gate.
+    #[must_use]
+    pub fn norm_z_threshold(mut self, z: f64) -> Self {
+        self.norm_z_threshold = Some(z);
+        self
+    }
+
+    /// Enables the degeneracy gate.
+    #[must_use]
+    pub fn degeneracy_min_classes(mut self, min: usize) -> Self {
+        self.degeneracy_min_classes = Some(min);
+        self
+    }
+
+    /// Adds an adversary.
+    #[must_use]
+    pub fn adversary(mut self, adv: Adversary) -> Self {
+        self.adversaries.push(adv);
+        self
+    }
+
+    /// Schedules a partition at `secs` of virtual time.
+    #[must_use]
+    pub fn partition_at(mut self, secs: f64, left: &[usize], right: &[usize]) -> Self {
+        self.timeline.push(TimedFault::at_secs(
+            secs,
+            Fault::Partition {
+                left: left.to_vec(),
+                right: right.to_vec(),
+            },
+        ));
+        self
+    }
+
+    /// Schedules a heal-all at `secs`.
+    #[must_use]
+    pub fn heal_at(mut self, secs: f64) -> Self {
+        self.timeline
+            .push(TimedFault::at_secs(secs, Fault::HealAll));
+        self
+    }
+
+    /// Schedules a peer departure at `secs`.
+    #[must_use]
+    pub fn leave_at(mut self, secs: f64, peer: usize) -> Self {
+        self.timeline
+            .push(TimedFault::at_secs(secs, Fault::PeerLeave { peer }));
+        self
+    }
+
+    /// Schedules a peer join at `secs` (the peer is dormant before).
+    #[must_use]
+    pub fn join_at(mut self, secs: f64, peer: usize) -> Self {
+        self.timeline
+            .push(TimedFault::at_secs(secs, Fault::PeerJoin { peer }));
+        self
+    }
+
+    /// Schedules a hash-rate shock at `secs`.
+    #[must_use]
+    pub fn hash_shock_at(mut self, secs: f64, peer: usize, factor: f64) -> Self {
+        self.timeline.push(TimedFault::at_secs(
+            secs,
+            Fault::HashRateShock { peer, factor },
+        ));
+        self
+    }
+
+    /// Replaces the data spec (the model is re-derived to match its shape).
+    #[must_use]
+    pub fn data(mut self, data: DataSpec) -> Self {
+        self.model = SimpleNnConfig::tiny(data.synth.feature_dim, data.synth.num_classes);
+        self.data = data;
+        self
+    }
+
+    /// Replaces the model architecture.
+    #[must_use]
+    pub fn model(mut self, model: SimpleNnConfig) -> Self {
+        self.model = model;
+        self
+    }
+
+    /// Sets the master seed.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Renames the spec.
+    #[must_use]
+    pub fn named(mut self, name: impl Into<String>) -> Self {
+        self.name = name.into();
+        self
+    }
+
+    /// The strategy the run will actually use: a requested `Consider` is
+    /// lowered to `BestK(best_k)` above the cutover peer count, keeping the
+    /// aggregation cost linear where the full search would be exponential.
+    pub fn resolved_strategy(&self) -> Strategy {
+        if self.strategy == Strategy::Consider && self.peers() > self.consider_cutover {
+            Strategy::BestK(self.best_k)
+        } else {
+            self.strategy
+        }
+    }
+
+    /// Checks the spec is runnable.
+    ///
+    /// # Errors
+    ///
+    /// Describes the first violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        let n = self.peers();
+        if n < 2 {
+            return Err("a scenario needs at least two peers".into());
+        }
+        if n > 32 {
+            return Err("combination masks are 32-bit: at most 32 peers".into());
+        }
+        if self.rounds == 0 {
+            return Err("a scenario needs at least one round".into());
+        }
+        if self.best_k == 0 {
+            return Err("best_k must be positive".into());
+        }
+        for c in &self.computes {
+            c.validate()?;
+        }
+        for a in &self.adversaries {
+            if a.client.0 >= n {
+                return Err(format!(
+                    "adversary references peer {}, but only {n} peers exist",
+                    a.client.0
+                ));
+            }
+        }
+        blockfed_core::validate_timeline(&self.timeline, n)?;
+        let pool = self.data.synth.test_per_class * self.data.synth.num_classes;
+        if pool / n == 0 {
+            return Err(format!(
+                "test pool of {pool} examples cannot cover {n} peers"
+            ));
+        }
+        Ok(())
+    }
+
+    /// Lowers the spec onto the orchestrator's configuration.
+    pub fn decentralized_config(&self) -> DecentralizedConfig {
+        let uniform = self.computes.windows(2).all(|w| w[0] == w[1]);
+        DecentralizedConfig {
+            rounds: self.rounds,
+            local_epochs: self.local_epochs,
+            batch_size: self.batch_size,
+            lr: self.lr,
+            momentum: self.momentum,
+            wait_policy: self.wait_policy,
+            strategy: self.resolved_strategy(),
+            payload_bytes: self.payload_bytes,
+            difficulty: self.difficulty,
+            compute: self.computes[0],
+            per_peer_compute: if uniform {
+                None
+            } else {
+                Some(self.computes.clone())
+            },
+            fitness_threshold: self.fitness_threshold,
+            norm_z_threshold: self.norm_z_threshold,
+            degeneracy_min_classes: self.degeneracy_min_classes,
+            adversaries: self.adversaries.clone(),
+            link: self.link,
+            topology: self.topology.clone(),
+            staleness_decay: self.staleness_decay,
+            faults: self.timeline.clone(),
+            seed: self.seed,
+        }
+    }
+
+    /// Runs the spec against externally prepared shards/tests and a model
+    /// factory — the lowering used by `blockfed-bench`, whose experiments
+    /// bring their own datasets and architectures (e.g. the EffNet head).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec is invalid or the shard count differs from the
+    /// spec's peer count.
+    pub fn run_with(
+        &self,
+        train_shards: &[Dataset],
+        peer_tests: &[Dataset],
+        make_model: &mut dyn FnMut() -> Sequential,
+    ) -> DecentralizedRun {
+        self.validate().expect("invalid scenario spec");
+        assert_eq!(
+            train_shards.len(),
+            self.peers(),
+            "shard count must match the spec's peer count"
+        );
+        let driver = Decentralized::new(self.decentralized_config(), train_shards, peer_tests);
+        driver.run(make_model)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_validate_and_lower() {
+        let spec = ScenarioSpec::new("base", 3);
+        spec.validate().unwrap();
+        let cfg = spec.decentralized_config();
+        assert_eq!(cfg.rounds, 3);
+        assert!(cfg.per_peer_compute.is_none(), "uniform peers stay scalar");
+        assert_eq!(cfg.strategy, Strategy::Consider);
+    }
+
+    #[test]
+    fn heterogeneous_computes_become_per_peer() {
+        let mut spec = ScenarioSpec::new("hetero", 3);
+        spec.computes[2].train_rate = 50.0;
+        let cfg = spec.decentralized_config();
+        assert_eq!(cfg.per_peer_compute.as_ref().map(Vec::len), Some(3));
+    }
+
+    #[test]
+    fn consider_cutover_lowers_to_best_k() {
+        let small = ScenarioSpec::new("s", 5).consider_cutover(6, 3);
+        assert_eq!(small.resolved_strategy(), Strategy::Consider);
+        let big = ScenarioSpec::new("b", 10).consider_cutover(6, 3);
+        assert_eq!(big.resolved_strategy(), Strategy::BestK(3));
+        // An explicit strategy is never overridden.
+        let explicit = ScenarioSpec::new("e", 10).strategy(Strategy::NotConsider);
+        assert_eq!(explicit.resolved_strategy(), Strategy::NotConsider);
+        assert_eq!(
+            big.decentralized_config().strategy,
+            Strategy::BestK(3),
+            "the lowering uses the resolved strategy"
+        );
+    }
+
+    #[test]
+    fn validation_catches_bad_specs() {
+        assert!(ScenarioSpec::new("one", 1).validate().is_err());
+        assert!(ScenarioSpec::new("many", 33).validate().is_err());
+        assert!(ScenarioSpec::new("r0", 3).rounds(0).validate().is_err());
+        let bad_fault = ScenarioSpec::new("f", 3).leave_at(1.0, 7);
+        assert!(bad_fault.validate().is_err());
+        let bad_adv = ScenarioSpec::new("a", 3).adversary(Adversary::new(
+            blockfed_fl::ClientId(5),
+            blockfed_fl::Attack::Replay,
+        ));
+        assert!(bad_adv.validate().is_err());
+        // 40 test examples cannot cover 33+ peers, but 20 is fine.
+        assert!(ScenarioSpec::new("wide", 20).validate().is_ok());
+    }
+
+    #[test]
+    fn timeline_builders_accumulate() {
+        let spec = ScenarioSpec::new("t", 5)
+            .partition_at(1.0, &[0, 1], &[2, 3])
+            .heal_at(2.0)
+            .join_at(3.0, 4)
+            .leave_at(4.0, 0)
+            .hash_shock_at(5.0, 1, 2.0);
+        assert_eq!(spec.timeline.len(), 5);
+        spec.validate().unwrap();
+    }
+}

@@ -1,0 +1,118 @@
+//! The scenario engine, end to end.
+//!
+//! ```text
+//! cargo run --release --example scenarios            # 10-peer churn demo
+//! cargo run --release --example scenarios -- --smoke # CI: tiny 5-peer churn+partition matrix
+//! cargo run --release --example scenarios -- --bestk # best-k vs consider wall-clock sweep
+//! ```
+//!
+//! Every mode prints the matrix table and writes the machine-readable
+//! `BENCH_scenarios.json` (per-cell wall-clock + accuracy) to the working
+//! directory, seeding the repo's perf trajectory.
+
+use blockfed::fl::{Strategy, WaitPolicy};
+use blockfed::scenario::{ScenarioMatrix, ScenarioRunner, ScenarioSpec};
+
+/// A small, fully featured churn scenario: heterogeneous compute, one
+/// mid-run partition + heal, a late join and an early leave.
+fn churn_spec(peers: usize) -> ScenarioSpec {
+    let mut spec = ScenarioSpec::new("churn", peers)
+        .rounds(2)
+        .consider_cutover(6, 3)
+        .partition_at(3.0, &[0], &[1, 2])
+        .heal_at(8.0)
+        .join_at(10.0, peers - 1)
+        .leave_at(14.0, 1);
+    for (i, c) in spec.computes.iter_mut().enumerate() {
+        c.train_rate = 700.0 - 40.0 * i as f64; // fast head, straggling tail
+    }
+    spec
+}
+
+fn smoke() {
+    println!("scenario smoke — 5-peer churn + partition matrix\n");
+    let matrix = ScenarioMatrix::new(churn_spec(5))
+        .vary_wait(&[WaitPolicy::All, WaitPolicy::FirstK(3)])
+        .vary_seed(&[1, 2]);
+    let runner = ScenarioRunner::new();
+    let report = runner.run_matrix(&matrix);
+    println!("{}", report.table());
+    assert_eq!(report.cells.len(), 4, "smoke matrix must expand to 4 cells");
+    for cell in &report.cells {
+        assert!(cell.records > 0, "cell {} never aggregated", cell.name);
+        assert!(
+            cell.mean_final_accuracy > 0.0,
+            "cell {} learned nothing",
+            cell.name
+        );
+    }
+    let path = report.write_json(".").expect("write BENCH_scenarios.json");
+    println!("wrote {}", path.display());
+    println!("scenario smoke OK");
+}
+
+fn bestk() {
+    println!("best-k vs consider — wall-clock of the aggregation search\n");
+    let runner = ScenarioRunner::new();
+
+    // The linear-cost path scales to peer counts where the exponential
+    // search is unthinkable: force each strategy explicitly (no cutover).
+    let bestk = ScenarioMatrix::new(
+        ScenarioSpec::new("bestk-sweep", 3)
+            .rounds(2)
+            .strategy(Strategy::BestK(3)),
+    )
+    .vary_peers(&[3, 5, 10, 15, 20]);
+    let bestk_report = runner.run_matrix(&bestk);
+    println!("{}", bestk_report.table());
+
+    // The exponential search is only run where it terminates in reasonable
+    // time; at N = 20 it would evaluate 2^20 − 1 combinations per peer
+    // per round.
+    let consider = ScenarioMatrix::new(
+        ScenarioSpec::new("consider-sweep", 3)
+            .rounds(2)
+            .strategy(Strategy::Consider)
+            .consider_cutover(32, 3), // explicitly disable the cutover
+    )
+    .vary_peers(&[3, 5, 10, 15]);
+    let consider_report = runner.run_matrix(&consider);
+    println!("{}", consider_report.table());
+
+    // Merge both sweeps into the JSON feed.
+    let mut merged = bestk_report.clone();
+    merged.name = "bestk-vs-consider".into();
+    merged.cells.extend(consider_report.cells);
+    let path = merged.write_json(".").expect("write BENCH_scenarios.json");
+    println!("wrote {}", path.display());
+}
+
+fn demo() {
+    println!("10-peer heterogeneous churn scenario — deterministic replay\n");
+    let spec = churn_spec(10).named("demo-10-peer-churn").seed(33);
+    let runner = ScenarioRunner::new();
+    let a = runner.run(&spec);
+    let b = runner.run(&spec);
+    assert_eq!(a, b, "same seed must replay bit-identically");
+    let report = blockfed::scenario::ScenarioReport {
+        name: spec.name.clone(),
+        cells: vec![a],
+    };
+    println!("{}", report.table());
+    let path = report.write_json(".").expect("write BENCH_scenarios.json");
+    println!("wrote {}", path.display());
+    println!("replayed bit-identically from seed {}", spec.seed);
+}
+
+fn main() {
+    let mode = std::env::args().nth(1).unwrap_or_default();
+    match mode.as_str() {
+        "--smoke" => smoke(),
+        "--bestk" => bestk(),
+        "" | "--demo" => demo(),
+        other => {
+            eprintln!("unknown mode {other}; use --smoke, --bestk, or --demo");
+            std::process::exit(2);
+        }
+    }
+}

@@ -27,6 +27,7 @@
 //! | [`data`] | `blockfed-data` | SynthCifar + federated partitioning |
 //! | [`fl`] | `blockfed-fl` | FedAvg, strategies (incl. best-k), robust rules, attacks, FedAsync |
 //! | [`core`] | `blockfed-core` | the fully coupled decentralized system |
+//! | [`scenario`] | `blockfed-scenario` | declarative N-peer scenarios: churn, partitions, parallel matrices |
 //! | [`report`] | `blockfed-report` | tables, CSV, terminal figures |
 //!
 //! # Quickstart
@@ -63,6 +64,7 @@ pub use blockfed_fl as fl;
 pub use blockfed_net as net;
 pub use blockfed_nn as nn;
 pub use blockfed_report as report;
+pub use blockfed_scenario as scenario;
 pub use blockfed_sim as sim;
 pub use blockfed_tensor as tensor;
 pub use blockfed_vm as vm;
