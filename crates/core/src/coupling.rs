@@ -1,12 +1,12 @@
 //! The blockchain⇄FL coupling: turning model updates into signed registry
 //! transactions and reading confirmed updates back off a peer's chain.
 
-use blockfed_chain::{Blockchain, Transaction};
+use blockfed_chain::{Blockchain, CallContext, Transaction};
 use blockfed_crypto::sha256::sha256;
 use blockfed_crypto::{KeyPair, H160, H256};
 use blockfed_fl::ModelUpdate;
 use blockfed_nn::serialize::encode_params;
-use blockfed_vm::RegistryCall;
+use blockfed_vm::{parse_aggregate, ComboMask, RegistryCall};
 
 /// Fingerprint of a model update: the hash of its serialized parameters.
 pub fn model_fingerprint(update: &ModelUpdate) -> H256 {
@@ -47,10 +47,12 @@ pub fn register_tx(registry: H160, key: &KeyPair, nonce: u64) -> Transaction {
     .signed(key)
 }
 
-/// Builds the signed `record_aggregate` transaction.
+/// Builds the signed `record_aggregate` transaction. The mask is the
+/// variable-width member bitset, so populations past 32 peers record their
+/// full combination on chain.
 pub fn record_aggregate_tx(
     round: u32,
-    combo_mask: u32,
+    combo_mask: ComboMask,
     agg_hash: H256,
     registry: H160,
     key: &KeyPair,
@@ -129,6 +131,94 @@ pub fn confirmed_submissions(
     out
 }
 
+/// An aggregate decision confirmed on a peer's canonical chain, read back
+/// through the registry's `get_aggregate` ABI — i.e. out of the contract's
+/// packed mask storage, not merely re-decoded from transaction calldata.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfirmedAggregate {
+    /// The peer that recorded the aggregate.
+    pub aggregator: H160,
+    /// Communication round.
+    pub round: u32,
+    /// The member bitset the aggregator committed to.
+    pub combo_mask: ComboMask,
+    /// Fingerprint of the aggregated model.
+    pub agg_hash: H256,
+    /// Hash of the carrying transaction.
+    pub tx_hash: H256,
+    /// Hash of the including block.
+    pub block_hash: H256,
+}
+
+/// Scans a peer's canonical chain for successfully executed
+/// `record_aggregate` calls to `registry` and reads each one back through
+/// the executed `get_aggregate` path against the chain's final state — so a
+/// returned entry proves the storage-packed mask decodes to the member set
+/// that was submitted. The registry lets an aggregator re-record a round
+/// (latest write wins in storage); a superseded transaction's readback no
+/// longer matches its calldata and is skipped, so every returned entry's
+/// mask is both what its transaction said and what storage still holds.
+pub fn confirmed_aggregates(chain: &Blockchain, registry: H160) -> Vec<ConfirmedAggregate> {
+    let mut out = Vec::new();
+    let mut state = chain.state().clone();
+    let head_number = chain.head_block().number();
+    for block_hash in chain.canonical_chain() {
+        let block = chain.block(&block_hash).expect("canonical block exists");
+        let receipts = chain.receipts(&block_hash);
+        for (i, tx) in block.transactions.iter().enumerate() {
+            if tx.to != Some(registry) {
+                continue;
+            }
+            let ok = receipts
+                .and_then(|rs| rs.get(i))
+                .map(blockfed_chain::Receipt::is_success)
+                .unwrap_or(false);
+            if !ok {
+                continue;
+            }
+            let Some(RegistryCall::RecordAggregate {
+                round,
+                combo_mask: submitted_mask,
+                agg_hash: submitted_hash,
+            }) = RegistryCall::decode(&tx.data)
+            else {
+                continue;
+            };
+            let read = RegistryCall::GetAggregate {
+                round,
+                aggregator: tx.from,
+            };
+            let ctx = CallContext {
+                caller: tx.from,
+                contract: registry,
+                calldata: read.encode(),
+                gas_budget: 1_000_000,
+                block_number: head_number,
+                timestamp_ns: 0,
+            };
+            let got = blockfed_vm::registry::execute_registry(&ctx, &mut state);
+            if !got.success {
+                continue;
+            }
+            let Some((agg_hash, combo_mask)) = parse_aggregate(&got.output) else {
+                continue;
+            };
+            if agg_hash != submitted_hash || combo_mask != submitted_mask {
+                continue; // superseded by a later re-record for this round
+            }
+            out.push(ConfirmedAggregate {
+                aggregator: tx.from,
+                round,
+                combo_mask,
+                agg_hash,
+                tx_hash: tx.hash(),
+                block_hash,
+            });
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -171,8 +261,55 @@ mod tests {
         assert_eq!(tx.nonce, 1);
         let reg = register_tx(registry_addr(), &k, 0);
         assert!(reg.verify_signature().is_ok());
-        let agg = record_aggregate_tx(3, 0b111, sha256(b"agg"), registry_addr(), &k, 2);
+        let agg = record_aggregate_tx(
+            3,
+            ComboMask::from_u32(0b111),
+            sha256(b"agg"),
+            registry_addr(),
+            &k,
+            2,
+        );
         assert!(agg.verify_signature().is_ok());
+    }
+
+    #[test]
+    fn wide_aggregates_confirm_through_storage_readback() {
+        // A mask spanning bit 40 — impossible under the old u32 ABI — must
+        // survive tx → block → contract storage → get_aggregate readback.
+        let k = key(5);
+        let registry = registry_addr();
+        let spec = GenesisSpec::with_accounts(&[k.address()], u64::MAX / 4)
+            .with_code(registry, blockfed_vm::NATIVE_REGISTRY_CODE.to_vec());
+        let mut chain = Blockchain::with_seal_policy(&spec, SealPolicy::Simulated);
+        let mut runtime = BlockfedRuntime::new();
+        runtime.register_native(registry, blockfed_vm::NativeContract::FlRegistry);
+
+        let mask = ComboMask::from_members([0, 2, 33, 40]);
+        let txs = vec![
+            register_tx(registry, &k, 0),
+            record_aggregate_tx(1, mask.clone(), sha256(b"agg"), registry, &k, 1),
+        ];
+        let block = chain.build_candidate(k.address(), txs, 1_000, &mut runtime);
+        chain.import(block, &mut runtime).unwrap();
+
+        let confirmed = confirmed_aggregates(&chain, registry);
+        assert_eq!(confirmed.len(), 1);
+        assert_eq!(confirmed[0].aggregator, k.address());
+        assert_eq!(confirmed[0].round, 1);
+        assert_eq!(confirmed[0].combo_mask, mask);
+        assert_eq!(confirmed[0].agg_hash, sha256(b"agg"));
+
+        // Re-record the same round with a different mask: storage now holds
+        // the new mask, so the superseded transaction must be skipped rather
+        // than misattributed the latest member set.
+        let second = ComboMask::from_members([1, 2]);
+        let tx = record_aggregate_tx(1, second.clone(), sha256(b"agg2"), registry, &k, 2);
+        let block = chain.build_candidate(k.address(), vec![tx], 2_000, &mut runtime);
+        chain.import(block, &mut runtime).unwrap();
+        let confirmed = confirmed_aggregates(&chain, registry);
+        assert_eq!(confirmed.len(), 1, "{confirmed:?}");
+        assert_eq!(confirmed[0].combo_mask, second);
+        assert_eq!(confirmed[0].agg_hash, sha256(b"agg2"));
     }
 
     #[test]

@@ -24,6 +24,7 @@
 pub mod anomaly;
 pub mod compute;
 pub mod coupling;
+pub mod error;
 pub mod faults;
 pub mod nonrepudiation;
 pub mod orchestrator;
@@ -31,13 +32,16 @@ pub mod orchestrator;
 pub use anomaly::{
     detect_degenerate, detect_norm_outliers, detect_unfit, AnomalyReason, AnomalyReport,
 };
+pub use blockfed_chain::RetargetRule;
 pub use compute::ComputeProfile;
 pub use coupling::{
-    confirmed_submissions, model_fingerprint, record_aggregate_tx, register_tx, submit_model_tx,
-    ConfirmedSubmission,
+    confirmed_aggregates, confirmed_submissions, model_fingerprint, record_aggregate_tx,
+    register_tx, submit_model_tx, ConfirmedAggregate, ConfirmedSubmission,
 };
+pub use error::ConfigError;
 pub use faults::{validate_timeline, Fault, TimedFault};
 pub use nonrepudiation::{collect_evidence, verify_evidence, AuditError, Evidence};
 pub use orchestrator::{
     AuditRecord, ChainStats, Decentralized, DecentralizedConfig, DecentralizedRun, PeerRoundRecord,
+    MAX_PEERS,
 };

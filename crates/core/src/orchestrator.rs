@@ -25,7 +25,9 @@
 
 use std::collections::HashMap;
 
-use blockfed_chain::{Blockchain, GenesisSpec, Mempool, SealPolicy, Transaction};
+use blockfed_chain::{
+    Blockchain, DifficultyController, GenesisSpec, Mempool, RetargetRule, SealPolicy, Transaction,
+};
 use blockfed_crypto::{KeyPair, H160, H256};
 use blockfed_data::{Batcher, Dataset};
 use blockfed_fl::{
@@ -35,12 +37,22 @@ use blockfed_fl::{
 use blockfed_net::{LinkSpec, Network, NodeId, Topology};
 use blockfed_nn::{Sequential, Sgd};
 use blockfed_sim::{RngHub, Scheduler, SimDuration, SimTime, Trace};
-use blockfed_vm::{BlockfedRuntime, NativeContract, NATIVE_REGISTRY_CODE};
+use blockfed_vm::{BlockfedRuntime, ComboMask, NativeContract, NATIVE_REGISTRY_CODE};
 use rand::Rng;
 
 use crate::compute::ComputeProfile;
-use crate::coupling::{confirmed_submissions, record_aggregate_tx, register_tx, submit_model_tx};
+use crate::coupling::{
+    confirmed_aggregates, confirmed_submissions, record_aggregate_tx, register_tx, submit_model_tx,
+    ConfirmedAggregate,
+};
+use crate::error::ConfigError;
 use crate::faults::{validate_timeline, Fault, TimedFault};
+
+/// The orchestrator's peer ceiling. Combination masks address up to 256
+/// participants ([`blockfed_vm::MAX_MASK_BITS`]); the run ceiling sits at
+/// half that so registry indices always stay well inside the mask domain
+/// even under heavy join churn.
+pub const MAX_PEERS: usize = 128;
 
 /// Configuration of a decentralized run.
 #[derive(Debug, Clone)]
@@ -111,6 +123,14 @@ pub struct DecentralizedConfig {
     /// join/leave, hash-rate shocks). A peer with a [`Fault::PeerJoin`] entry
     /// is dormant from genesis until its join fires.
     pub faults: Vec<TimedFault>,
+    /// How mining difficulty retargets as block intervals drift from the
+    /// cadence `difficulty` implies at genesis. The default
+    /// [`RetargetRule::Homestead`] takes the fixed ±1/2048 step per block —
+    /// effectively the legacy constant-difficulty behaviour — while the
+    /// adaptive rules ([`RetargetRule::Pi`], [`RetargetRule::MovingAverage`])
+    /// restore the configured cadence after hash-rate shocks instead of
+    /// letting them shift block production permanently.
+    pub retarget: RetargetRule,
     /// Master seed.
     pub seed: u64,
 }
@@ -137,6 +157,7 @@ impl Default for DecentralizedConfig {
             topology: Topology::FullMesh,
             staleness_decay: None,
             faults: Vec::new(),
+            retarget: RetargetRule::Homestead,
             seed: 42,
         }
     }
@@ -235,6 +256,11 @@ pub struct DecentralizedRun {
     /// Total bytes crossing links during gossip floods (each message counted
     /// once per relay edge it traverses).
     pub gossip_bytes: u64,
+    /// Every aggregate decision confirmed on peer 0's canonical chain, read
+    /// back through the registry's packed mask storage — the evidence that a
+    /// run's member sets (32-peer-plus ones included) survived the on-chain
+    /// round trip.
+    pub aggregates: Vec<ConfirmedAggregate>,
 }
 
 impl DecentralizedRun {
@@ -289,6 +315,16 @@ impl DecentralizedRun {
         } else {
             1.0 - (self.chain.blocks.min(self.blocks_sealed) as f64 / self.blocks_sealed as f64)
         }
+    }
+
+    /// Highest participant index set in any on-chain aggregate mask, or
+    /// `None` when nothing confirmed. A value ≥ 32 proves the run exercised
+    /// the variable-width (post-u32) mask path end to end.
+    pub fn max_mask_bit(&self) -> Option<usize> {
+        self.aggregates
+            .iter()
+            .filter_map(|a| a.combo_mask.max_bit())
+            .max()
     }
 
     /// Every drop (client excluded from an aggregation) across the run, as
@@ -432,41 +468,69 @@ impl<'a> Decentralized<'a> {
     ///
     /// # Panics
     ///
-    /// Panics if the shard and test counts disagree, fewer than two peers are
-    /// given, or the configuration is invalid.
+    /// Panics if [`Decentralized::try_new`] rejects the configuration; the
+    /// panic message is the [`ConfigError`]'s `Display` form.
     pub fn new(
         config: DecentralizedConfig,
         train_shards: &'a [Dataset],
         peer_tests: &'a [Dataset],
     ) -> Self {
-        assert!(train_shards.len() >= 2, "need at least two peers");
-        assert!(
-            train_shards.len() <= 32,
-            "combination masks are 32-bit: at most 32 peers"
-        );
-        assert_eq!(
-            train_shards.len(),
-            peer_tests.len(),
-            "shard/test count mismatch"
-        );
-        validate_timeline(&config.faults, train_shards.len()).expect("invalid fault timeline");
-        config.compute.validate().expect("invalid compute profile");
+        match Decentralized::try_new(config, train_shards, peer_tests) {
+            Ok(d) => d,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible construction: validates the configuration and data shape and
+    /// returns a typed [`ConfigError`] instead of panicking, so callers fed
+    /// from external input (the scenario engine, services) can reject
+    /// oversize or inconsistent runs gracefully.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated constraint.
+    pub fn try_new(
+        config: DecentralizedConfig,
+        train_shards: &'a [Dataset],
+        peer_tests: &'a [Dataset],
+    ) -> Result<Self, ConfigError> {
+        let n = train_shards.len();
+        if n < 2 {
+            return Err(ConfigError::TooFewPeers { got: n });
+        }
+        if n > MAX_PEERS {
+            return Err(ConfigError::TooManyPeers { got: n });
+        }
+        if n != peer_tests.len() {
+            return Err(ConfigError::ShardTestMismatch {
+                shards: n,
+                tests: peer_tests.len(),
+            });
+        }
+        validate_timeline(&config.faults, n).map_err(ConfigError::InvalidTimeline)?;
+        config
+            .compute
+            .validate()
+            .map_err(ConfigError::InvalidCompute)?;
         if let Some(profiles) = &config.per_peer_compute {
-            assert_eq!(
-                profiles.len(),
-                train_shards.len(),
-                "per-peer compute count mismatch"
-            );
+            if profiles.len() != n {
+                return Err(ConfigError::PerPeerComputeMismatch {
+                    profiles: profiles.len(),
+                    peers: n,
+                });
+            }
             for p in profiles {
-                p.validate().expect("invalid per-peer compute profile");
+                p.validate().map_err(ConfigError::InvalidCompute)?;
             }
         }
-        assert!(config.rounds > 0, "need at least one round");
-        Decentralized {
+        if config.rounds == 0 {
+            return Err(ConfigError::ZeroRounds);
+        }
+        Ok(Decentralized {
             config,
             train_shards,
             peer_tests,
-        }
+        })
     }
 
     /// The compute profile of one peer.
@@ -639,8 +703,26 @@ impl<'a> Decentralized<'a> {
             sched.schedule_after(tf.at, Event::Fault { idx });
         }
 
+        // Difficulty retargeting: the controller aims for the cadence the
+        // configured difficulty implies against the genesis hash rate, so at
+        // steady state every rule holds the configured block interval, and
+        // the adaptive rules pull cadence back there after hash-rate shocks.
+        let genesis_rate: f64 = (0..n)
+            .filter(|&i| peers[i].active)
+            .map(|i| self.compute_for(i).effective_hashrate(true))
+            .sum();
+        let implied_target_ns = if genesis_rate > 0.0 {
+            ((cfg.difficulty as f64 / genesis_rate) * 1e9).max(1.0) as u64
+        } else {
+            blockfed_chain::pow::TARGET_BLOCK_TIME_NS
+        };
+        let mut difficulty_ctl =
+            DifficultyController::with_target(cfg.retarget, cfg.difficulty, implied_target_ns);
+        let mut last_seal_at: Option<SimTime> = None;
+
         // First mining race.
-        let first_delay = self.sample_race_delay(&peers, &mut mine_rng);
+        let first_delay =
+            self.sample_race_delay(&peers, difficulty_ctl.difficulty(), &mut mine_rng);
         sched.schedule_after(first_delay, Event::SealBlock);
 
         // --- event loop ----------------------------------------------------
@@ -820,6 +902,10 @@ impl<'a> Decentralized<'a> {
                     let total: f64 = weights.iter().sum();
                     if total <= 0.0 {
                         // No live miner; idle until churn revives the chain.
+                        // Forget the previous seal time so the dead window
+                        // is not fed to the retarget controller as one huge
+                        // interval when mining resumes.
+                        last_seal_at = None;
                         sched.schedule_after(SimDuration::from_secs_f64(1.0), Event::SealBlock);
                         continue;
                     }
@@ -851,6 +937,11 @@ impl<'a> Decentralized<'a> {
                         (block, ok)
                     };
                     if ok {
+                        // Retarget on the observed inter-seal interval.
+                        if let Some(prev) = last_seal_at {
+                            difficulty_ctl.observe(now.saturating_since(prev).as_nanos().max(1));
+                        }
+                        last_seal_at = Some(now);
                         trace.record(
                             now,
                             "block.sealed",
@@ -901,7 +992,8 @@ impl<'a> Decentralized<'a> {
                             &mut train_time_rng,
                         );
                     }
-                    let delay = self.sample_race_delay(&peers, &mut mine_rng);
+                    let delay =
+                        self.sample_race_delay(&peers, difficulty_ctl.difficulty(), &mut mine_rng);
                     sched.schedule_after(delay, Event::SealBlock);
                 }
                 Event::DeliverBlock { to, idx, route } => {
@@ -1147,6 +1239,7 @@ impl<'a> Decentralized<'a> {
                 }
             })
             .collect();
+        let aggregates = confirmed_aggregates(&peers[0].chain, registry);
         DecentralizedRun {
             peer_records: peers.into_iter().map(|p| p.records).collect(),
             chain,
@@ -1156,10 +1249,16 @@ impl<'a> Decentralized<'a> {
             audits,
             blocks_sealed: block_log.len(),
             gossip_bytes,
+            aggregates,
         }
     }
 
-    fn sample_race_delay(&self, peers: &[PeerState], rng: &mut impl Rng) -> SimDuration {
+    fn sample_race_delay(
+        &self,
+        peers: &[PeerState],
+        difficulty: u128,
+        rng: &mut impl Rng,
+    ) -> SimDuration {
         let total: f64 = peers
             .iter()
             .enumerate()
@@ -1174,7 +1273,7 @@ impl<'a> Decentralized<'a> {
         if total <= 0.0 {
             return SimDuration::from_secs_f64(1.0);
         }
-        blockfed_chain::pow::sample_mining_delay(self.config.difficulty, total, rng)
+        blockfed_chain::pow::sample_mining_delay(difficulty, total, rng)
     }
 
     fn import_with_orphans(
@@ -1462,11 +1561,9 @@ impl<'a> Decentralized<'a> {
             .collect();
         let chosen_label = label(&outcome.combination);
 
-        // Record the aggregate on chain (mask over client indices).
-        let mut mask = 0u32;
-        for member in outcome.combination.members() {
-            mask |= 1 << member.0;
-        }
+        // Record the aggregate on chain: a variable-width mask over client
+        // indices, so members past index 31 are preserved verbatim.
+        let mask = ComboMask::from_members(outcome.combination.members().iter().map(|c| c.0));
         let agg_hash = blockfed_crypto::sha256::sha256(&blockfed_nn::serialize::encode_params(
             &outcome.params,
         ));
@@ -1639,6 +1736,7 @@ mod tests {
             topology: Topology::FullMesh,
             staleness_decay: None,
             faults: Vec::new(),
+            retarget: RetargetRule::Homestead,
             seed,
         }
     }
@@ -1733,6 +1831,46 @@ mod tests {
         assert!(out.chain.total_payload_bytes >= 40_000);
         assert!(out.trace.count("block.sealed") > 0);
         assert_eq!(out.trace.count("round.aggregated"), 6);
+    }
+
+    #[test]
+    fn aggregates_read_back_from_chain_storage() {
+        let out = run(WaitPolicy::All, 13);
+        // Round-1 decisions are mined while round 2 runs, so at least the
+        // first round's aggregates confirm on peer 0's chain and read back
+        // through the registry's packed mask storage.
+        assert!(
+            out.aggregates.len() >= 3,
+            "too few confirmed aggregates: {:?}",
+            out.aggregates
+        );
+        for a in &out.aggregates {
+            assert!(!a.combo_mask.is_empty());
+            for m in a.combo_mask.members() {
+                assert!(m < 3, "mask names a nonexistent peer: {}", a.combo_mask);
+            }
+            assert!((1..=2).contains(&a.round));
+        }
+        assert!(out.max_mask_bit().expect("aggregates exist") < 3);
+    }
+
+    #[test]
+    fn try_new_rejects_oversize_population_with_typed_error() {
+        let fx = fixture();
+        // 129 shards: graceful typed rejection, no panic.
+        let shards: Vec<Dataset> = (0..129).map(|_| fx.tests[0].clone()).collect();
+        let err = Decentralized::try_new(quick_config(WaitPolicy::All, 1), &shards, &shards)
+            .err()
+            .expect("must reject");
+        assert_eq!(err, crate::error::ConfigError::TooManyPeers { got: 129 });
+        // 48 is inside the new ceiling.
+        let forty_eight: Vec<Dataset> = (0..48).map(|_| fx.tests[0].clone()).collect();
+        assert!(Decentralized::try_new(
+            quick_config(WaitPolicy::All, 1),
+            &forty_eight,
+            &forty_eight
+        )
+        .is_ok());
     }
 
     #[test]

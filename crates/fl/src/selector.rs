@@ -80,13 +80,30 @@ pub fn all_combinations(clients: &[ClientId]) -> Vec<Combination> {
         n <= 20,
         "combination enumeration beyond 20 clients is intractable"
     );
-    let mut out = Vec::with_capacity((1usize << n).saturating_sub(1));
-    for mask in 1u32..(1u32 << n) {
-        let members: Vec<ClientId> = (0..n)
-            .filter(|i| mask & (1 << i) != 0)
-            .map(|i| clients[i])
-            .collect();
-        out.push(Combination::new(members));
+    if n == 0 {
+        return Vec::new();
+    }
+    // Enumerate k-subsets via an index vector (lexicographic successor),
+    // size by size — no machine-word bitmask caps the client count; the
+    // tractability assert above is the only bound.
+    let mut out = Vec::with_capacity((1usize << n) - 1);
+    let mut idx: Vec<usize> = Vec::with_capacity(n);
+    for k in 1..=n {
+        idx.clear();
+        idx.extend(0..k);
+        loop {
+            out.push(Combination::new(idx.iter().map(|&i| clients[i]).collect()));
+            // Advance to the next k-subset of 0..n in lexicographic order:
+            // bump the rightmost index that still has headroom and reset
+            // everything after it.
+            let Some(pos) = (0..k).rev().find(|&i| idx[i] < n - k + i) else {
+                break;
+            };
+            idx[pos] += 1;
+            for i in pos + 1..k {
+                idx[i] = idx[i - 1] + 1;
+            }
+        }
     }
     out.sort_by(|a, b| (a.len(), a.members()).cmp(&(b.len(), b.members())));
     out

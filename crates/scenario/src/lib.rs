@@ -47,7 +47,7 @@ pub mod report;
 pub mod runner;
 pub mod spec;
 
-pub use matrix::ScenarioMatrix;
+pub use matrix::{ScenarioMatrix, DEFAULT_PEER_AXIS};
 pub use report::{CellReport, ScenarioReport};
 pub use runner::ScenarioRunner;
 pub use spec::{DataSpec, ScenarioSpec};

@@ -8,6 +8,13 @@ use blockfed_fl::{Strategy, WaitPolicy};
 
 use crate::spec::ScenarioSpec;
 
+/// The default peer-count axis for scaling sweeps: small populations where
+/// the full combination search still terminates, the mid range around the
+/// Consider→BestK cutover, and a 48-peer point past the old 32-peer
+/// (u32 combo-mask) ceiling so every sweep exercises the variable-width
+/// mask path.
+pub const DEFAULT_PEER_AXIS: &[usize] = &[3, 5, 10, 15, 20, 48];
+
 /// A base scenario plus variation axes. Empty axes keep the base value, so a
 /// matrix with no axes has exactly one cell (the base itself).
 ///
@@ -50,6 +57,14 @@ impl ScenarioMatrix {
     pub fn vary_peers(mut self, counts: &[usize]) -> Self {
         self.peer_counts = counts.to_vec();
         self
+    }
+
+    /// Varies the peer count along [`DEFAULT_PEER_AXIS`]. The base spec's
+    /// data must cover the axis's largest population (see
+    /// [`crate::DataSpec::scaled_for`]).
+    #[must_use]
+    pub fn vary_peers_default(self) -> Self {
+        self.vary_peers(DEFAULT_PEER_AXIS)
     }
 
     /// Varies the wait policy.
@@ -159,6 +174,20 @@ fn resize_peers(mut spec: ScenarioSpec, n: usize) -> ScenarioSpec {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn default_peer_axis_crosses_the_u32_boundary_and_validates() {
+        assert!(
+            DEFAULT_PEER_AXIS.iter().any(|&n| n > 32),
+            "the default axis must exercise the >32-peer mask path"
+        );
+        let base = ScenarioSpec::new("scale", 3).data(crate::DataSpec::scaled_for(
+            *DEFAULT_PEER_AXIS.iter().max().unwrap(),
+        ));
+        for cell in ScenarioMatrix::new(base).vary_peers_default().cells() {
+            cell.validate().unwrap();
+        }
+    }
 
     #[test]
     fn axis_free_matrix_is_the_base() {

@@ -40,6 +40,10 @@ pub struct CellReport {
     pub blocks: usize,
     /// Total per-peer round records folded into the cell.
     pub records: usize,
+    /// Highest participant index set in any on-chain aggregate mask
+    /// (`None` when no aggregate confirmed). A value ≥ 32 certifies the cell
+    /// ran through the variable-width (post-u32) combination-mask path.
+    pub max_mask_bit: Option<u32>,
     /// Host wall-clock the cell took (excluded from equality).
     pub wall_clock_secs: f64,
 }
@@ -59,6 +63,7 @@ impl PartialEq for CellReport {
             && self.gossip_bytes == other.gossip_bytes
             && self.blocks == other.blocks
             && self.records == other.records
+            && self.max_mask_bit == other.max_mask_bit
     }
 }
 
@@ -143,6 +148,10 @@ impl ScenarioReport {
             out.push_str(&format!("\"blocks\": {}, ", c.blocks));
             out.push_str(&format!("\"records\": {}, ", c.records));
             out.push_str(&format!(
+                "\"max_mask_bit\": {}, ",
+                c.max_mask_bit.map_or("null".into(), |b| b.to_string())
+            ));
+            out.push_str(&format!(
                 "\"wall_clock_secs\": {}",
                 json_f64(c.wall_clock_secs)
             ));
@@ -216,6 +225,7 @@ mod tests {
             gossip_bytes: 1_000_000,
             blocks: 12,
             records: 10,
+            max_mask_bit: Some(4),
             wall_clock_secs: 3.3,
         }
     }
@@ -241,6 +251,7 @@ mod tests {
         assert!(json.contains("\"scenario\": \"demo \\\"quoted\\\"\""));
         assert!(json.contains("\"name\": \"one\""));
         assert!(json.contains("\"mean_final_accuracy\": 0.5"));
+        assert!(json.contains("\"max_mask_bit\": 4"));
         assert!(json.contains("\"wall_clock_secs\": 3.3"));
         // Two cells, comma-separated.
         assert_eq!(json.matches("\"peers\": 5").count(), 2);

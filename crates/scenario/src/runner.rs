@@ -54,6 +54,7 @@ impl ScenarioRunner {
                 / finished.len() as f64
         };
         let records = run.peer_records.iter().map(Vec::len).sum();
+        let max_mask_bit = run.max_mask_bit().map(|b| b as u32);
         CellReport {
             name: spec.name.clone(),
             peers: spec.peers(),
@@ -68,6 +69,7 @@ impl ScenarioRunner {
             gossip_bytes: run.gossip_bytes,
             blocks: run.chain.blocks,
             records,
+            max_mask_bit,
             wall_clock_secs: started.elapsed().as_secs_f64(),
         }
     }

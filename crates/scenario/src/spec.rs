@@ -9,7 +9,8 @@
 //! with [`ScenarioSpec::run_with`].
 
 use blockfed_core::{
-    ComputeProfile, Decentralized, DecentralizedConfig, DecentralizedRun, Fault, TimedFault,
+    ComputeProfile, ConfigError, Decentralized, DecentralizedConfig, DecentralizedRun, Fault,
+    RetargetRule, TimedFault, MAX_PEERS,
 };
 use blockfed_data::{Dataset, Partition, SynthCifarConfig};
 use blockfed_fl::{Adversary, StalenessDecay, Strategy, WaitPolicy};
@@ -30,6 +31,26 @@ impl Default for DataSpec {
         DataSpec {
             synth: SynthCifarConfig::tiny(),
             partition: Partition::DirichletLabelSkew { alpha: 0.8 },
+        }
+    }
+}
+
+impl DataSpec {
+    /// A tiny synthetic data spec scaled so `peers` training shards and
+    /// per-peer test splits each hold at least a handful of examples — the
+    /// default tiny pools starve past ~40 peers. IID partitioning keeps
+    /// every shard non-empty at large populations where Dirichlet skew can
+    /// zero one out.
+    pub fn scaled_for(peers: usize) -> Self {
+        let tiny = SynthCifarConfig::tiny();
+        let per_class = (5 * peers).div_ceil(tiny.num_classes).max(20);
+        DataSpec {
+            synth: SynthCifarConfig {
+                train_per_class: per_class,
+                test_per_class: per_class,
+                ..tiny
+            },
+            partition: Partition::Iid,
         }
     }
 }
@@ -87,6 +108,11 @@ pub struct ScenarioSpec {
     pub payload_bytes: u64,
     /// Proof-of-work difficulty.
     pub difficulty: u128,
+    /// How mining difficulty retargets when block cadence drifts from the
+    /// one `difficulty` implies (the default [`RetargetRule::Homestead`]
+    /// keeps the legacy near-constant behaviour; the adaptive rules recover
+    /// the cadence after hash-rate shocks).
+    pub retarget: RetargetRule,
     /// The paper's §III fitness gate (`None` disables).
     pub fitness_threshold: Option<f64>,
     /// Norm-outlier gate (`None` disables).
@@ -136,6 +162,7 @@ impl ScenarioSpec {
             staleness_decay: None,
             payload_bytes: 10_000,
             difficulty: 200_000,
+            retarget: RetargetRule::Homestead,
             fitness_threshold: None,
             norm_z_threshold: None,
             degeneracy_min_classes: None,
@@ -228,6 +255,13 @@ impl ScenarioSpec {
     #[must_use]
     pub fn difficulty(mut self, difficulty: u128) -> Self {
         self.difficulty = difficulty;
+        self
+    }
+
+    /// Sets the difficulty retarget rule.
+    #[must_use]
+    pub fn retarget(mut self, rule: RetargetRule) -> Self {
+        self.retarget = rule;
         self
     }
 
@@ -397,8 +431,10 @@ impl ScenarioSpec {
         if n < 2 {
             return Err("a scenario needs at least two peers".into());
         }
-        if n > 32 {
-            return Err("combination masks are 32-bit: at most 32 peers".into());
+        if n > MAX_PEERS {
+            // Mirror the orchestrator's typed rejection word for word, so a
+            // spec and Decentralized::try_new refuse identically.
+            return Err(ConfigError::TooManyPeers { got: n }.to_string());
         }
         if self.rounds == 0 {
             return Err("a scenario needs at least one round".into());
@@ -454,6 +490,7 @@ impl ScenarioSpec {
             topology: self.topology.clone(),
             staleness_decay: self.staleness_decay,
             faults: self.timeline.clone(),
+            retarget: self.retarget,
             seed: self.seed,
         }
     }
@@ -524,7 +561,21 @@ mod tests {
     #[test]
     fn validation_catches_bad_specs() {
         assert!(ScenarioSpec::new("one", 1).validate().is_err());
-        assert!(ScenarioSpec::new("many", 33).validate().is_err());
+        // 33 peers is no longer a mask-width violation — only the data pool
+        // has to cover the population now.
+        let thirty_three = ScenarioSpec::new("past-u32", 33).data(DataSpec::scaled_for(33));
+        thirty_three.validate().unwrap();
+        // Past the orchestrator ceiling the error mirrors ConfigError.
+        let too_many = ScenarioSpec::new("many", 129)
+            .data(DataSpec::scaled_for(129))
+            .validate()
+            .unwrap_err();
+        assert!(too_many.contains("at most 128 peers"), "{too_many}");
+        assert_eq!(
+            too_many,
+            blockfed_core::ConfigError::TooManyPeers { got: 129 }.to_string(),
+            "spec and orchestrator must reject with the same words"
+        );
         assert!(ScenarioSpec::new("r0", 3).rounds(0).validate().is_err());
         let bad_fault = ScenarioSpec::new("f", 3).leave_at(1.0, 7);
         assert!(bad_fault.validate().is_err());
@@ -533,8 +584,27 @@ mod tests {
             blockfed_fl::Attack::Replay,
         ));
         assert!(bad_adv.validate().is_err());
-        // 40 test examples cannot cover 33+ peers, but 20 is fine.
+        // 40 test examples cannot cover 48 peers; the scaled data spec can.
         assert!(ScenarioSpec::new("wide", 20).validate().is_ok());
+        assert!(ScenarioSpec::new("starved", 48).validate().is_err());
+        assert!(ScenarioSpec::new("fed", 48)
+            .data(DataSpec::scaled_for(48))
+            .validate()
+            .is_ok());
+    }
+
+    #[test]
+    fn retarget_rule_lowers_into_the_config() {
+        let spec = ScenarioSpec::new("pi", 3).retarget(RetargetRule::Pi { kp: 0.3, ki: 0.05 });
+        assert_eq!(
+            spec.decentralized_config().retarget,
+            RetargetRule::Pi { kp: 0.3, ki: 0.05 }
+        );
+        // The default stays on the legacy Homestead control arm.
+        assert_eq!(
+            ScenarioSpec::new("h", 3).decentralized_config().retarget,
+            RetargetRule::Homestead
+        );
     }
 
     #[test]

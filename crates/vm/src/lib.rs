@@ -43,10 +43,12 @@
 
 pub mod asm;
 pub mod interp;
+pub mod mask;
 pub mod opcode;
 pub mod registry;
 pub mod runtime;
 
+pub use mask::{ComboMask, MASK_STORAGE_WORDS, MAX_MASK_BITS, MAX_MASK_BYTES};
 pub use opcode::Opcode;
-pub use registry::{parse_submission, parse_u64, RegistryCall};
+pub use registry::{parse_aggregate, parse_submission, parse_u64, RegistryCall};
 pub use runtime::{BlockfedRuntime, NativeContract, NATIVE_REGISTRY_CODE};

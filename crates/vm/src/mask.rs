@@ -1,0 +1,354 @@
+//! Variable-width combination masks: which participants entered an aggregate.
+//!
+//! The registry originally stored the aggregated combination as a `u32`
+//! bitmask, hard-capping the whole stack at 32 peers. [`ComboMask`] lifts the
+//! ceiling to [`MAX_MASK_BITS`] participants: a little-endian byte-packed
+//! bitset (bit `i` of byte `i / 8` is participant `i`), length-prefixed on
+//! the wire and packed across 64-bit words in contract storage.
+//!
+//! The representation is **canonical**: trailing zero bytes are never stored,
+//! so two masks over the same member set are always byte-for-byte (and
+//! therefore `Eq`/`Hash`) identical, and the ABI encoding of a mask is
+//! unique. Masks whose members all sit below bit 32 round-trip losslessly
+//! through `u32` ([`ComboMask::to_u32`] / [`ComboMask::from_u32`]), the
+//! compatibility boundary with the legacy fixed-width encoding.
+
+/// Maximum number of participants a mask can address.
+pub const MAX_MASK_BITS: usize = 256;
+
+/// Maximum canonical byte length of a mask (`MAX_MASK_BITS / 8`).
+pub const MAX_MASK_BYTES: usize = MAX_MASK_BITS / 8;
+
+/// Number of 64-bit storage words a maximal mask packs into.
+pub const MASK_STORAGE_WORDS: usize = MAX_MASK_BYTES / 8;
+
+/// A set of participant indices, byte-packed little-endian.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default, PartialOrd, Ord)]
+pub struct ComboMask {
+    /// Canonical bytes: bit `i % 8` of `bytes[i / 8]` is participant `i`;
+    /// the last byte is never zero.
+    bytes: Vec<u8>,
+}
+
+impl ComboMask {
+    /// The empty mask.
+    pub fn empty() -> Self {
+        ComboMask::default()
+    }
+
+    /// Builds a mask over the given participant indices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is `>= MAX_MASK_BITS`.
+    pub fn from_members<I: IntoIterator<Item = usize>>(members: I) -> Self {
+        let mut mask = ComboMask::empty();
+        for m in members {
+            mask.set(m);
+        }
+        mask
+    }
+
+    /// Sets participant `bit`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bit >= MAX_MASK_BITS`.
+    pub fn set(&mut self, bit: usize) {
+        assert!(
+            bit < MAX_MASK_BITS,
+            "combination masks address at most {MAX_MASK_BITS} participants (got bit {bit})"
+        );
+        let byte = bit / 8;
+        if self.bytes.len() <= byte {
+            self.bytes.resize(byte + 1, 0);
+        }
+        self.bytes[byte] |= 1 << (bit % 8);
+    }
+
+    /// Whether participant `bit` is in the mask.
+    pub fn contains(&self, bit: usize) -> bool {
+        self.bytes
+            .get(bit / 8)
+            .is_some_and(|b| b & (1 << (bit % 8)) != 0)
+    }
+
+    /// The member indices, ascending.
+    pub fn members(&self) -> Vec<usize> {
+        let mut out = Vec::with_capacity(self.count_ones());
+        for (i, &b) in self.bytes.iter().enumerate() {
+            for bit in 0..8 {
+                if b & (1 << bit) != 0 {
+                    out.push(i * 8 + bit);
+                }
+            }
+        }
+        out
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> usize {
+        self.bytes.iter().map(|b| b.count_ones() as usize).sum()
+    }
+
+    /// Whether no participant is set.
+    pub fn is_empty(&self) -> bool {
+        self.bytes.is_empty()
+    }
+
+    /// Index of the highest set bit, or `None` for the empty mask.
+    pub fn max_bit(&self) -> Option<usize> {
+        let last = *self.bytes.last()?;
+        debug_assert!(last != 0, "canonical masks have no trailing zero byte");
+        Some((self.bytes.len() - 1) * 8 + (7 - last.leading_zeros() as usize))
+    }
+
+    /// Canonical byte length (`0..=MAX_MASK_BYTES`).
+    pub fn byte_len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// The canonical little-endian bytes.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// Builds a mask from little-endian bytes, trimming trailing zeros.
+    /// Returns `None` if more than `MAX_MASK_BYTES` bytes remain after
+    /// trimming (a mask addressing participants beyond the cap).
+    pub fn from_bytes(bytes: &[u8]) -> Option<Self> {
+        let trimmed = match bytes.iter().rposition(|&b| b != 0) {
+            Some(last) => &bytes[..=last],
+            None => &[],
+        };
+        if trimmed.len() > MAX_MASK_BYTES {
+            return None;
+        }
+        Some(ComboMask {
+            bytes: trimmed.to_vec(),
+        })
+    }
+
+    /// The legacy `u32` view of the mask.
+    pub fn from_u32(mask: u32) -> Self {
+        ComboMask::from_bytes(&mask.to_le_bytes()).expect("4 bytes fit")
+    }
+
+    /// The mask as a `u32`, if every member sits below bit 32 (the legacy
+    /// fixed-width boundary). `None` once any member index is ≥ 32.
+    pub fn to_u32(&self) -> Option<u32> {
+        if self.bytes.len() > 4 {
+            return None;
+        }
+        let mut le = [0u8; 4];
+        le[..self.bytes.len()].copy_from_slice(&self.bytes);
+        Some(u32::from_le_bytes(le))
+    }
+
+    /// Appends the wire form — `[len: u8][bytes…]` — to `out`.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        debug_assert!(self.bytes.len() <= MAX_MASK_BYTES);
+        out.push(self.bytes.len() as u8);
+        out.extend_from_slice(&self.bytes);
+    }
+
+    /// The wire form as a standalone vector.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(1 + self.bytes.len());
+        self.encode_into(&mut out);
+        out
+    }
+
+    /// Decodes a length-prefixed mask from the front of `data`, returning the
+    /// mask and the number of bytes consumed. `None` on a truncated buffer,
+    /// an oversize length, or a non-canonical (trailing-zero-padded) body.
+    pub fn decode_from(data: &[u8]) -> Option<(Self, usize)> {
+        let (&len, rest) = data.split_first()?;
+        let len = len as usize;
+        if len > MAX_MASK_BYTES || rest.len() < len {
+            return None;
+        }
+        let body = &rest[..len];
+        if body.last() == Some(&0) {
+            return None; // non-canonical encoding
+        }
+        let mask = ComboMask::from_bytes(body)?;
+        Some((mask, 1 + len))
+    }
+
+    /// Packs the mask into [`MASK_STORAGE_WORDS`] little-endian 64-bit words
+    /// (zero-padded) — the contract-storage form.
+    pub fn to_words(&self) -> [u64; MASK_STORAGE_WORDS] {
+        let mut words = [0u64; MASK_STORAGE_WORDS];
+        for (i, &b) in self.bytes.iter().enumerate() {
+            words[i / 8] |= u64::from(b) << ((i % 8) * 8);
+        }
+        words
+    }
+
+    /// Rebuilds a mask from its storage words and canonical byte length.
+    /// Returns `None` if `byte_len` exceeds [`MAX_MASK_BYTES`] or the words
+    /// carry set bits beyond `byte_len` (corrupt storage).
+    pub fn from_words(words: &[u64; MASK_STORAGE_WORDS], byte_len: usize) -> Option<Self> {
+        if byte_len > MAX_MASK_BYTES {
+            return None;
+        }
+        let mut bytes = Vec::with_capacity(byte_len);
+        for i in 0..MAX_MASK_BYTES {
+            let b = (words[i / 8] >> ((i % 8) * 8)) as u8;
+            if i < byte_len {
+                bytes.push(b);
+            } else if b != 0 {
+                return None; // bits beyond the recorded length
+            }
+        }
+        if byte_len > 0 && bytes[byte_len - 1] == 0 {
+            return None; // stored length was not canonical
+        }
+        Some(ComboMask { bytes })
+    }
+}
+
+impl std::fmt::Display for ComboMask {
+    /// Lowercase hex of the canonical little-endian bytes (`0x` for empty).
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "0x")?;
+        for b in &self.bytes {
+            write!(f, "{b:02x}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_mask_is_zero_bytes() {
+        let m = ComboMask::empty();
+        assert!(m.is_empty());
+        assert_eq!(m.byte_len(), 0);
+        assert_eq!(m.count_ones(), 0);
+        assert_eq!(m.max_bit(), None);
+        assert_eq!(m.members(), Vec::<usize>::new());
+        assert_eq!(m.encode(), vec![0u8]);
+        assert_eq!(m.to_u32(), Some(0));
+        assert_eq!(m.to_string(), "0x");
+    }
+
+    #[test]
+    fn set_contains_members_round_trip() {
+        let m = ComboMask::from_members([0, 7, 8, 31, 32, 33, 127]);
+        assert_eq!(m.members(), vec![0, 7, 8, 31, 32, 33, 127]);
+        assert_eq!(m.count_ones(), 7);
+        assert_eq!(m.max_bit(), Some(127));
+        assert_eq!(m.byte_len(), 16);
+        assert!(m.contains(31));
+        assert!(m.contains(127));
+        assert!(!m.contains(1));
+        assert!(!m.contains(255));
+    }
+
+    #[test]
+    fn representation_is_canonical() {
+        // Same member set built in different orders is byte-identical.
+        let a = ComboMask::from_members([40, 3]);
+        let b = ComboMask::from_members([3, 40]);
+        assert_eq!(a, b);
+        // Trailing zero bytes are trimmed on ingestion.
+        let c = ComboMask::from_bytes(&[0b1000, 0, 0, 0, 0, 0]).unwrap();
+        assert_eq!(c.byte_len(), 1);
+        assert_eq!(c, ComboMask::from_members([3]));
+    }
+
+    #[test]
+    fn u32_boundary_at_bit_32() {
+        // Bit 31 is the last index the legacy u32 view can express.
+        let legacy = ComboMask::from_members([0, 5, 31]);
+        assert_eq!(legacy.to_u32(), Some((1 << 0) | (1 << 5) | (1 << 31)));
+        assert_eq!(ComboMask::from_u32(legacy.to_u32().unwrap()), legacy);
+        // Bit 32 crosses the boundary: no u32 view exists.
+        let wide = ComboMask::from_members([0, 32]);
+        assert_eq!(wide.to_u32(), None);
+        assert_eq!(wide.byte_len(), 5);
+        // Every u32 round-trips.
+        for mask in [0u32, 1, 0b101, u32::MAX, 1 << 31] {
+            assert_eq!(ComboMask::from_u32(mask).to_u32(), Some(mask));
+        }
+    }
+
+    #[test]
+    fn wire_encoding_round_trips_and_rejects_junk() {
+        for members in [vec![], vec![0], vec![31], vec![32], vec![0, 64, 255]] {
+            let m = ComboMask::from_members(members);
+            let wire = m.encode();
+            let (back, used) = ComboMask::decode_from(&wire).unwrap();
+            assert_eq!(back, m);
+            assert_eq!(used, wire.len());
+            // Trailing payload is left for the caller.
+            let mut longer = wire.clone();
+            longer.extend_from_slice(&[0xAA, 0xBB]);
+            let (back2, used2) = ComboMask::decode_from(&longer).unwrap();
+            assert_eq!(back2, m);
+            assert_eq!(used2, wire.len());
+        }
+        // Truncated body.
+        assert!(ComboMask::decode_from(&[3, 1, 2]).is_none());
+        // Oversize length.
+        assert!(ComboMask::decode_from(&[33]).is_none());
+        // Non-canonical (zero-padded) body.
+        assert!(ComboMask::decode_from(&[2, 1, 0]).is_none());
+        // Empty buffer.
+        assert!(ComboMask::decode_from(&[]).is_none());
+    }
+
+    #[test]
+    fn storage_words_pack_and_unpack() {
+        let m = ComboMask::from_members([0, 9, 63, 64, 130, 255]);
+        let words = m.to_words();
+        assert_eq!(words[0], (1 << 0) | (1 << 9) | (1 << 63));
+        assert_eq!(words[1], 1 << 0);
+        assert_eq!(words[2], 1 << 2);
+        assert_eq!(words[3], 1 << 63);
+        assert_eq!(ComboMask::from_words(&words, m.byte_len()), Some(m));
+    }
+
+    #[test]
+    fn storage_unpack_rejects_corrupt_length() {
+        let m = ComboMask::from_members([40]);
+        let words = m.to_words();
+        // Length shorter than the highest set bit: bits beyond len → corrupt.
+        assert_eq!(ComboMask::from_words(&words, 2), None);
+        // Length longer than canonical: trailing zero byte → corrupt.
+        assert_eq!(ComboMask::from_words(&words, 7), None);
+        // Oversize length.
+        assert_eq!(ComboMask::from_words(&[0; MASK_STORAGE_WORDS], 33), None);
+        // Empty mask stores as length zero.
+        assert_eq!(
+            ComboMask::from_words(&[0; MASK_STORAGE_WORDS], 0),
+            Some(ComboMask::empty())
+        );
+    }
+
+    #[test]
+    fn from_bytes_rejects_oversize() {
+        assert!(ComboMask::from_bytes(&[1u8; 33]).is_none());
+        // 33 bytes of zeros trims to empty: fine.
+        assert!(ComboMask::from_bytes(&[0u8; 33]).is_some());
+        assert!(ComboMask::from_bytes(&[0xFF; 32]).is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "at most 256 participants")]
+    fn set_beyond_cap_panics() {
+        let mut m = ComboMask::empty();
+        m.set(256);
+    }
+
+    #[test]
+    fn display_is_le_hex() {
+        let m = ComboMask::from_members([0, 1, 8]);
+        assert_eq!(m.to_string(), "0x0301");
+    }
+}

@@ -16,16 +16,27 @@
 //! | 1 | `submit_model` | round u32, model_hash 32B, payload_bytes u64, sample_count u64 | submission index (u64 LE) |
 //! | 2 | `round_count` | round u32 | count (u64 LE) |
 //! | 3 | `get_submission` | round u32, index u64 | sender 20B ‖ model_hash 32B ‖ payload u64 ‖ samples u64 |
-//! | 4 | `record_aggregate` | round u32, combo_mask u32, agg_hash 32B | — |
+//! | 4 | `record_aggregate` | round u32, mask_len u8, mask bytes (LE bitset, ≤ 32B), agg_hash 32B | — |
 //! | 5 | `participant_count` | — | count (u64 LE) |
-//! | 6 | `get_aggregate` | round u32, aggregator 20B | agg_hash 32B ‖ combo_mask u32 |
+//! | 6 | `get_aggregate` | round u32, aggregator 20B | agg_hash 32B ‖ mask_len u8 ‖ mask bytes |
 //!
-//! Reverts on malformed calldata, double registration, submissions from
-//! unregistered accounts, and duplicate per-round submissions.
+//! The combination mask is a variable-width [`ComboMask`]: a length-prefixed
+//! little-endian bitset over participant indices (up to
+//! [`crate::mask::MAX_MASK_BITS`] participants). Storage packs it across
+//! 64-bit words (`.mask.len` plus `.mask.w0..w3`), and the
+//! `AggregateRecorded` event carries the full length-prefixed mask in its
+//! data, so log consumers hash and verify the complete member set rather
+//! than a 32-bit truncation.
+//!
+//! Reverts on malformed calldata (including non-canonical mask encodings),
+//! double registration, submissions from unregistered accounts, and
+//! duplicate per-round submissions.
 
 use blockfed_chain::{CallContext, ExecOutcome, LogEntry, State};
 use blockfed_crypto::sha256::{sha256, Sha256};
 use blockfed_crypto::{H160, H256};
+
+use crate::mask::{ComboMask, MASK_STORAGE_WORDS};
 
 /// Gas charged per registry operation (flat; the dominant cost is the
 /// transaction's payload gas, as configured in the paper).
@@ -36,9 +47,11 @@ pub fn topic_model_submitted() -> H256 {
     sha256(b"ModelSubmitted(round,sender,hash)")
 }
 
-/// Event topic for recorded aggregates.
+/// Event topic for recorded aggregates. The signature names the
+/// variable-width mask encoding, so consumers of the old fixed-width
+/// `u32` topic can never mistake a truncated mask for the full member set.
 pub fn topic_aggregate_recorded() -> H256 {
-    sha256(b"AggregateRecorded(round,sender,mask)")
+    sha256(b"AggregateRecorded(round,sender,mask_len,mask_bytes)")
 }
 
 /// Event topic for registrations.
@@ -78,8 +91,9 @@ pub enum RegistryCall {
     RecordAggregate {
         /// Communication round.
         round: u32,
-        /// Bitmask over participant indices included in the aggregation.
-        combo_mask: u32,
+        /// Variable-width bitset over participant indices included in the
+        /// aggregation.
+        combo_mask: ComboMask,
         /// Fingerprint of the aggregated model.
         agg_hash: H256,
     },
@@ -128,7 +142,7 @@ impl RegistryCall {
             } => {
                 out.push(4);
                 out.extend_from_slice(&round.to_le_bytes());
-                out.extend_from_slice(&combo_mask.to_le_bytes());
+                combo_mask.encode_into(&mut out);
                 out.extend_from_slice(agg_hash.as_bytes());
             }
             RegistryCall::ParticipantCount => out.push(5),
@@ -180,14 +194,20 @@ impl RegistryCall {
                 })
             }
             4 => {
-                if rest.len() != 4 + 4 + 32 {
+                if rest.len() < 4 + 1 + 32 {
+                    return None;
+                }
+                let round = u32::from_le_bytes(rest[0..4].try_into().ok()?);
+                let (combo_mask, used) = ComboMask::decode_from(&rest[4..])?;
+                let tail = &rest[4 + used..];
+                if tail.len() != 32 {
                     return None;
                 }
                 let mut hash = [0u8; 32];
-                hash.copy_from_slice(&rest[8..40]);
+                hash.copy_from_slice(tail);
                 Some(RegistryCall::RecordAggregate {
-                    round: u32::from_le_bytes(rest[0..4].try_into().ok()?),
-                    combo_mask: u32::from_le_bytes(rest[4..8].try_into().ok()?),
+                    round,
+                    combo_mask,
                     agg_hash: H256::from_bytes(hash),
                 })
             }
@@ -239,6 +259,38 @@ fn get_addr(state: &State, contract: &H160, key: &H256) -> H160 {
     let mut out = [0u8; 20];
     out.copy_from_slice(&v.as_bytes()[..20]);
     H160::from_bytes(out)
+}
+
+/// Packs a mask into storage under `base`: its canonical byte length in
+/// `.mask.len` and its bits across [`MASK_STORAGE_WORDS`] 64-bit words in
+/// `.mask.w{i}`. Every word is written (zeroed beyond the length) so a
+/// re-recorded, narrower aggregate can never resurrect stale wide bits.
+fn set_mask(state: &mut State, contract: H160, base: &[u8], mask: &ComboMask) {
+    set_u64(
+        state,
+        contract,
+        slot(&[base, b".mask.len"]),
+        mask.byte_len() as u64,
+    );
+    for (i, word) in mask.to_words().iter().enumerate() {
+        set_u64(
+            state,
+            contract,
+            slot(&[base, b".mask.w", &[i as u8]]),
+            *word,
+        );
+    }
+}
+
+/// Reads a mask back from storage under `base`. `None` if the stored length
+/// and words disagree (corrupt or never-written storage read as non-empty).
+fn get_mask(state: &State, contract: &H160, base: &[u8]) -> Option<ComboMask> {
+    let len = get_u64(state, contract, &slot(&[base, b".mask.len"])) as usize;
+    let mut words = [0u64; MASK_STORAGE_WORDS];
+    for (i, word) in words.iter_mut().enumerate() {
+        *word = get_u64(state, contract, &slot(&[base, b".mask.w", &[i as u8]]));
+    }
+    ComboMask::from_words(&words, len)
 }
 
 /// Executes a registry call. Used both directly (by the native runtime) and by
@@ -363,10 +415,10 @@ pub fn execute_registry(ctx: &CallContext, state: &mut State) -> ExecOutcome {
             ]
             .concat();
             state.storage_set(me, slot(&[&base, b".hash"]), agg_hash);
-            set_u64(state, me, slot(&[&base, b".mask"]), u64::from(combo_mask));
+            set_mask(state, me, &base, &combo_mask);
             let mut data = ctx.caller.as_bytes().to_vec();
             data.extend_from_slice(&round.to_le_bytes());
-            data.extend_from_slice(&combo_mask.to_le_bytes());
+            combo_mask.encode_into(&mut data);
             let log = LogEntry {
                 address: me,
                 topic: topic_aggregate_recorded(),
@@ -389,9 +441,11 @@ pub fn execute_registry(ctx: &CallContext, state: &mut State) -> ExecOutcome {
             if hash.is_zero() {
                 return revert();
             }
-            let mask = get_u64(state, &me, &slot(&[&base, b".mask"]));
+            let Some(mask) = get_mask(state, &me, &base) else {
+                return revert(); // corrupt mask storage
+            };
             let mut out = hash.as_bytes().to_vec();
-            out.extend_from_slice(&(mask as u32).to_le_bytes());
+            mask.encode_into(&mut out);
             ok(out, vec![])
         }
     }
@@ -419,6 +473,21 @@ pub fn parse_submission(output: &[u8]) -> Option<(H160, H256, u64, u64)> {
 /// Parses a little-endian u64 returned by count-style methods.
 pub fn parse_u64(output: &[u8]) -> Option<u64> {
     output.try_into().ok().map(u64::from_le_bytes)
+}
+
+/// Parses the output of a successful `GetAggregate` call:
+/// `agg_hash 32B ‖ mask_len u8 ‖ mask bytes`.
+pub fn parse_aggregate(output: &[u8]) -> Option<(H256, ComboMask)> {
+    if output.len() < 32 + 1 {
+        return None;
+    }
+    let mut hash = [0u8; 32];
+    hash.copy_from_slice(&output[..32]);
+    let (mask, used) = ComboMask::decode_from(&output[32..])?;
+    if 32 + used != output.len() {
+        return None;
+    }
+    Some((H256::from_bytes(hash), mask))
 }
 
 #[cfg(test)]
@@ -461,8 +530,13 @@ mod tests {
             RegistryCall::GetSubmission { round: 2, index: 1 },
             RegistryCall::RecordAggregate {
                 round: 1,
-                combo_mask: 0b101,
+                combo_mask: ComboMask::from_u32(0b101),
                 agg_hash: sha256(b"a"),
+            },
+            RegistryCall::RecordAggregate {
+                round: 1,
+                combo_mask: ComboMask::from_members([0, 33, 120]),
+                agg_hash: sha256(b"wide"),
             },
             RegistryCall::ParticipantCount,
             RegistryCall::GetAggregate {
@@ -584,7 +658,7 @@ mod tests {
         call(&mut state, addr(1), RegistryCall::Register);
         let record = RegistryCall::RecordAggregate {
             round: 2,
-            combo_mask: 0b011,
+            combo_mask: ComboMask::from_u32(0b011),
             agg_hash: sha256(b"agg"),
         };
         assert!(call(&mut state, addr(1), record).success);
@@ -597,11 +671,9 @@ mod tests {
             },
         );
         assert!(got.success);
-        assert_eq!(&got.output[..32], sha256(b"agg").as_bytes());
-        assert_eq!(
-            u32::from_le_bytes(got.output[32..36].try_into().unwrap()),
-            0b011
-        );
+        let (hash, mask) = parse_aggregate(&got.output).unwrap();
+        assert_eq!(hash, sha256(b"agg"));
+        assert_eq!(mask, ComboMask::from_u32(0b011));
         // Missing aggregate reverts.
         assert!(
             !call(
@@ -621,12 +693,114 @@ mod tests {
                 addr(5),
                 RegistryCall::RecordAggregate {
                     round: 2,
-                    combo_mask: 1,
+                    combo_mask: ComboMask::from_u32(1),
                     agg_hash: sha256(b"x")
                 }
             )
             .success
         );
+    }
+
+    #[test]
+    fn wide_masks_round_trip_through_storage() {
+        // Masks past the legacy 32-bit boundary survive the full
+        // record → storage-packing → get path, including a multi-word one.
+        let mut state = State::new();
+        call(&mut state, addr(1), RegistryCall::Register);
+        for (round, members) in [
+            (1u32, vec![31usize]),                 // last legacy bit
+            (2, vec![32]),                         // first wide bit
+            (3, vec![0, 33, 47]),                  // the 48-peer regime
+            (4, (0..128).collect::<Vec<usize>>()), // two storage words, full
+        ] {
+            let mask = ComboMask::from_members(members.iter().copied());
+            let record = RegistryCall::RecordAggregate {
+                round,
+                combo_mask: mask.clone(),
+                agg_hash: sha256(&round.to_le_bytes()),
+            };
+            let out = call(&mut state, addr(1), record);
+            assert!(out.success, "round {round} record failed");
+            // The event carries the full length-prefixed mask.
+            assert_eq!(out.logs.len(), 1);
+            assert_eq!(out.logs[0].topic, topic_aggregate_recorded());
+            assert_eq!(&out.logs[0].data[24..], mask.encode().as_slice());
+            let got = call(
+                &mut state,
+                addr(9),
+                RegistryCall::GetAggregate {
+                    round,
+                    aggregator: addr(1),
+                },
+            );
+            assert!(got.success, "round {round} get failed");
+            let (hash, back) = parse_aggregate(&got.output).unwrap();
+            assert_eq!(hash, sha256(&round.to_le_bytes()));
+            assert_eq!(back.members(), members, "round {round} mask mangled");
+        }
+    }
+
+    #[test]
+    fn rerecording_a_narrower_mask_clears_stale_wide_words() {
+        // A wide mask then a narrow one under the same (round, aggregator)
+        // key: the read must return exactly the narrow mask, not a hybrid.
+        let mut state = State::new();
+        call(&mut state, addr(1), RegistryCall::Register);
+        for mask in [
+            ComboMask::from_members(0..100),
+            ComboMask::from_members([2, 5]),
+        ] {
+            assert!(
+                call(
+                    &mut state,
+                    addr(1),
+                    RegistryCall::RecordAggregate {
+                        round: 7,
+                        combo_mask: mask.clone(),
+                        agg_hash: sha256(b"re"),
+                    }
+                )
+                .success
+            );
+            let got = call(
+                &mut state,
+                addr(9),
+                RegistryCall::GetAggregate {
+                    round: 7,
+                    aggregator: addr(1),
+                },
+            );
+            let (_, back) = parse_aggregate(&got.output).unwrap();
+            assert_eq!(back, mask);
+        }
+    }
+
+    #[test]
+    fn record_aggregate_rejects_malformed_masks() {
+        let mut state = State::new();
+        call(&mut state, addr(1), RegistryCall::Register);
+        let good = RegistryCall::RecordAggregate {
+            round: 1,
+            combo_mask: ComboMask::from_members([0, 40]),
+            agg_hash: sha256(b"ok"),
+        }
+        .encode();
+        assert!(RegistryCall::decode(&good).is_some());
+        // Oversize declared length.
+        let mut oversize = good.clone();
+        oversize[5] = 33;
+        assert_eq!(RegistryCall::decode(&oversize), None);
+        // Declared length longer than the remaining calldata.
+        let mut truncated = good.clone();
+        truncated[5] = 30;
+        assert_eq!(RegistryCall::decode(&truncated), None);
+        // Non-canonical (zero-padded) mask body.
+        let mut padded = Vec::new();
+        padded.push(4u8);
+        padded.extend_from_slice(&1u32.to_le_bytes());
+        padded.extend_from_slice(&[2u8, 0b1, 0b0]); // len 2, trailing zero
+        padded.extend_from_slice(sha256(b"pad").as_bytes());
+        assert_eq!(RegistryCall::decode(&padded), None);
     }
 
     #[test]

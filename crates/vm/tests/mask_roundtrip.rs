@@ -1,0 +1,114 @@
+//! Property tests for the variable-width combination mask: random member
+//! sets over populations of 1..=128 peers must survive the full
+//! `encode → ABI decode → member set` pipeline — and the executed contract's
+//! storage packing — bit-exactly, including the u32-compatibility boundary
+//! at N = 32/33.
+
+use blockfed_chain::{CallContext, State};
+use blockfed_crypto::sha256::sha256;
+use blockfed_crypto::H160;
+use blockfed_vm::registry::{execute_registry, topic_aggregate_recorded};
+use blockfed_vm::{parse_aggregate, ComboMask, RegistryCall};
+use proptest::prelude::*;
+
+/// Deterministically derives a member subset of `0..n` from a seed byte
+/// vector (the vendored proptest has no dependent-strategy support).
+fn subset(n: usize, picks: &[u8]) -> Vec<usize> {
+    let mut members: Vec<usize> = picks.iter().map(|&p| p as usize % n).collect();
+    members.sort_unstable();
+    members.dedup();
+    members
+}
+
+fn registry_addr() -> H160 {
+    let mut b = [0u8; 20];
+    b[0] = 0xEE;
+    H160::from_bytes(b)
+}
+
+fn exec(state: &mut State, caller: H160, call: RegistryCall) -> blockfed_chain::ExecOutcome {
+    let ctx = CallContext {
+        caller,
+        contract: registry_addr(),
+        calldata: call.encode(),
+        gas_budget: 1_000_000,
+        block_number: 1,
+        timestamp_ns: 0,
+    };
+    execute_registry(&ctx, state)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// encode → decode → members is the identity for any subset of 0..n,
+    /// n ∈ 1..=128.
+    #[test]
+    fn mask_wire_roundtrip(
+        n in 1usize..=128,
+        picks in prop::collection::vec(any::<u8>(), 1..24usize),
+    ) {
+        let members = subset(n, &picks);
+        let mask = ComboMask::from_members(members.iter().copied());
+        prop_assert_eq!(mask.members(), members.clone());
+        let (decoded, used) = ComboMask::decode_from(&mask.encode()).expect("decodes");
+        prop_assert_eq!(used, 1 + mask.byte_len());
+        prop_assert_eq!(decoded.members(), members);
+    }
+
+    /// The same round-trip through the full registry ABI: a RecordAggregate
+    /// call encodes to calldata, decodes back, and the executed contract's
+    /// GetAggregate returns the identical member set out of packed storage.
+    #[test]
+    fn mask_abi_and_storage_roundtrip(
+        n in 1usize..=128,
+        picks in prop::collection::vec(any::<u8>(), 1..24usize),
+        round in 0u32..1000,
+    ) {
+        let members = subset(n, &picks);
+        let mask = ComboMask::from_members(members.iter().copied());
+        let call = RegistryCall::RecordAggregate {
+            round,
+            combo_mask: mask.clone(),
+            agg_hash: sha256(&picks),
+        };
+        // Calldata round-trip.
+        let decoded = RegistryCall::decode(&call.encode()).expect("valid calldata");
+        prop_assert_eq!(&decoded, &call);
+
+        // Executed round-trip through storage.
+        let mut state = State::new();
+        let caller = registry_addr(); // any address may register
+        prop_assert!(exec(&mut state, caller, RegistryCall::Register).success);
+        let out = exec(&mut state, caller, call);
+        prop_assert!(out.success);
+        prop_assert_eq!(out.logs[0].topic, topic_aggregate_recorded());
+        let got = exec(
+            &mut state,
+            caller,
+            RegistryCall::GetAggregate { round, aggregator: caller },
+        );
+        prop_assert!(got.success);
+        let (hash, back) = parse_aggregate(&got.output).expect("parses");
+        prop_assert_eq!(hash, sha256(&picks));
+        prop_assert_eq!(back.members(), members);
+    }
+
+    /// The u32-compatibility boundary: any mask confined to bits 0..32 has a
+    /// faithful u32 view, and any mask touching bit ≥ 32 has none.
+    #[test]
+    fn u32_boundary(picks in prop::collection::vec(any::<u8>(), 1..16usize)) {
+        let narrow = ComboMask::from_members(subset(32, &picks));
+        let as_u32 = narrow.to_u32().expect("fits in u32");
+        prop_assert_eq!(ComboMask::from_u32(as_u32), narrow);
+
+        // Push one member across the boundary: bit 32 exactly (N = 33).
+        let mut wide_members = subset(32, &picks);
+        wide_members.push(32);
+        let wide = ComboMask::from_members(wide_members.iter().copied());
+        prop_assert_eq!(wide.to_u32(), None);
+        prop_assert_eq!(wide.members(), wide_members);
+        let (back, _) = ComboMask::decode_from(&wide.encode()).expect("decodes");
+        prop_assert_eq!(back, wide);
+    }
+}

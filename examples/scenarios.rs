@@ -1,9 +1,10 @@
 //! The scenario engine, end to end.
 //!
 //! ```text
-//! cargo run --release --example scenarios            # 10-peer churn demo
-//! cargo run --release --example scenarios -- --smoke # CI: tiny 5-peer churn+partition matrix
-//! cargo run --release --example scenarios -- --bestk # best-k vs consider wall-clock sweep
+//! cargo run --release --example scenarios              # 10-peer churn demo
+//! cargo run --release --example scenarios -- --smoke   # CI: tiny 5-peer churn+partition matrix
+//! cargo run --release --example scenarios -- --bestk   # best-k vs consider wall-clock sweep (incl. n=48)
+//! cargo run --release --example scenarios -- --bestk48 # CI: one 48-peer best-k cell past the u32 mask
 //! ```
 //!
 //! Every mode prints the matrix table and writes the machine-readable
@@ -11,7 +12,7 @@
 //! directory, seeding the repo's perf trajectory.
 
 use blockfed::fl::{Strategy, WaitPolicy};
-use blockfed::scenario::{ScenarioMatrix, ScenarioRunner, ScenarioSpec};
+use blockfed::scenario::{DataSpec, ScenarioMatrix, ScenarioRunner, ScenarioSpec};
 
 /// A small, fully featured churn scenario: heterogeneous compute, one
 /// mid-run partition + heal, a late join and an early leave.
@@ -51,18 +52,34 @@ fn smoke() {
     println!("scenario smoke OK");
 }
 
+/// The 48-peer best-k cell: past the old 32-peer (u32 combo-mask) ceiling, a
+/// requested `Consider` forced through the cutover onto `BestK(40)` so the
+/// linear arm runs and every recorded aggregate's mask spans bits ≥ 32.
+fn bestk48_spec() -> ScenarioSpec {
+    ScenarioSpec::new("bestk48", 48)
+        .rounds(2)
+        .consider_cutover(6, 40)
+        .data(DataSpec::scaled_for(48))
+        .seed(48)
+}
+
 fn bestk() {
     println!("best-k vs consider — wall-clock of the aggregation search\n");
     let runner = ScenarioRunner::new();
+    // Both sweeps share the same 48-peer-capable datasets so their
+    // wall-clocks compare apples to apples at every N.
+    let data = DataSpec::scaled_for(48);
 
     // The linear-cost path scales to peer counts where the exponential
-    // search is unthinkable: force each strategy explicitly (no cutover).
+    // search is unthinkable — including 48 peers, past the old u32
+    // combo-mask ceiling: force each strategy explicitly (no cutover).
     let bestk = ScenarioMatrix::new(
         ScenarioSpec::new("bestk-sweep", 3)
             .rounds(2)
-            .strategy(Strategy::BestK(3)),
+            .strategy(Strategy::BestK(3))
+            .data(data.clone()),
     )
-    .vary_peers(&[3, 5, 10, 15, 20]);
+    .vary_peers_default();
     let bestk_report = runner.run_matrix(&bestk);
     println!("{}", bestk_report.table());
 
@@ -73,18 +90,55 @@ fn bestk() {
         ScenarioSpec::new("consider-sweep", 3)
             .rounds(2)
             .strategy(Strategy::Consider)
-            .consider_cutover(32, 3), // explicitly disable the cutover
+            .consider_cutover(32, 3) // explicitly disable the cutover
+            .data(data),
     )
     .vary_peers(&[3, 5, 10, 15]);
     let consider_report = runner.run_matrix(&consider);
     println!("{}", consider_report.table());
 
-    // Merge both sweeps into the JSON feed.
+    // Plus the wide-mask certification cell.
+    let wide = runner.run(&bestk48_spec());
+    assert!(
+        wide.max_mask_bit.unwrap_or(0) >= 32,
+        "48-peer cell never recorded a >32-bit mask: {wide:?}"
+    );
+
+    // Merge everything into the JSON feed.
     let mut merged = bestk_report.clone();
     merged.name = "bestk-vs-consider".into();
     merged.cells.extend(consider_report.cells);
+    merged.cells.push(wide);
     let path = merged.write_json(".").expect("write BENCH_scenarios.json");
     println!("wrote {}", path.display());
+}
+
+fn bestk48() {
+    println!("48-peer best-k cell — the >32-peer combination-mask path\n");
+    let spec = bestk48_spec();
+    assert_eq!(
+        spec.resolved_strategy(),
+        Strategy::BestK(40),
+        "the cutover must force the linear arm"
+    );
+    let runner = ScenarioRunner::new();
+    let cell = runner.run(&spec);
+    let report = blockfed::scenario::ScenarioReport {
+        name: spec.name.clone(),
+        cells: vec![cell],
+    };
+    println!("{}", report.table());
+    let cell = &report.cells[0];
+    assert!(cell.records > 0, "nobody aggregated");
+    assert!(cell.mean_final_accuracy > 0.0, "cell learned nothing");
+    let widest = cell.max_mask_bit.expect("aggregates recorded on chain");
+    assert!(
+        widest >= 32,
+        "no aggregate mask crossed the u32 boundary (max bit {widest})"
+    );
+    let path = report.write_json(".").expect("write BENCH_scenarios.json");
+    println!("wrote {}", path.display());
+    println!("widest recorded mask bit: {widest} — 48-peer scenario OK");
 }
 
 fn demo() {
@@ -109,9 +163,10 @@ fn main() {
     match mode.as_str() {
         "--smoke" => smoke(),
         "--bestk" => bestk(),
+        "--bestk48" => bestk48(),
         "" | "--demo" => demo(),
         other => {
-            eprintln!("unknown mode {other}; use --smoke, --bestk, or --demo");
+            eprintln!("unknown mode {other}; use --smoke, --bestk, --bestk48, or --demo");
             std::process::exit(2);
         }
     }

@@ -2,7 +2,8 @@
 //! asynchronous policies under attack, and audit behaviour — all on the full
 //! decentralized stack through the public API.
 
-use blockfed::core::{Decentralized, DecentralizedConfig};
+use blockfed::chain::RetargetRule;
+use blockfed::core::{ComputeProfile, Decentralized, DecentralizedConfig, Fault, TimedFault};
 use blockfed::data::{partition_dataset, Dataset, Partition, SynthCifar, SynthCifarConfig};
 use blockfed::fl::{Adversary, Attack, ClientId, WaitPolicy};
 use blockfed::nn::SimpleNnConfig;
@@ -157,9 +158,87 @@ fn audits_cover_every_published_update_even_under_attack() {
     assert!(out.audits.iter().all(|a| a.verified));
 }
 
+/// Runs a long, straggler-slow 3-peer round schedule whose miners all get a
+/// 4× hash-rate shock at `shock_at` seconds, under the given retarget rule,
+/// and returns `(target_interval, post_shock_tail_mean_interval)` in
+/// virtual seconds. The target is the cadence the configured difficulty
+/// implies against the genesis hash rate — the cadence the adaptive rules
+/// defend.
+fn shocked_cadence(rule: RetargetRule, seed: u64) -> (f64, f64) {
+    let (shards, tests) = tiny_world(seed);
+    let shock_at = 4.0;
+    let compute = ComputeProfile {
+        hashrate: 100_000.0,
+        // Slow training keeps the run alive for tens of seconds after the
+        // shock, leaving the controller room to re-converge.
+        train_rate: 5.0,
+        contention: 0.3,
+    };
+    let mut cfg = config(seed);
+    cfg.compute = compute;
+    cfg.retarget = rule;
+    cfg.faults = (0..3)
+        .map(|p| {
+            TimedFault::at_secs(
+                shock_at,
+                Fault::HashRateShock {
+                    peer: p,
+                    factor: 4.0,
+                },
+            )
+        })
+        .collect();
+    let out = run(cfg, &shards, &tests, seed);
+
+    // Everyone trains throughout, so the genesis (and pre-shock) hash rate
+    // is three contention-reduced miners.
+    let rate = 3.0 * compute.effective_hashrate(true);
+    let target = 200_000.0 / rate; // difficulty / hashrate
+
+    let seals: Vec<f64> = out
+        .trace
+        .with_label("block.sealed")
+        .map(|e| e.time.as_secs_f64())
+        .collect();
+    let post: Vec<f64> = seals
+        .windows(2)
+        .filter(|w| w[0] > shock_at + 2.0 * target) // let the shock settle in
+        .map(|w| w[1] - w[0])
+        .collect();
+    assert!(
+        post.len() >= 12,
+        "{rule}: only {} post-shock intervals; run too short",
+        post.len()
+    );
+    // The tail, where an adaptive rule has had time to act.
+    let tail = &post[post.len() / 2..];
+    (target, tail.iter().sum::<f64>() / tail.len() as f64)
+}
+
+#[test]
+fn pi_retarget_restores_cadence_after_hash_shock_homestead_does_not() {
+    // A 4× hash-rate shock makes blocks 4× too fast at fixed difficulty.
+    // The PI controller must pull the tail cadence back within 2× of the
+    // configured target; Homestead's ±1/2048 fixed step cannot.
+    let (target, pi_tail) = shocked_cadence(RetargetRule::Pi { kp: 0.3, ki: 0.05 }, 27);
+    assert!(
+        pi_tail >= target / 2.0 && pi_tail <= target * 2.0,
+        "pi tail cadence {pi_tail:.3}s escaped [{:.3}, {:.3}]",
+        target / 2.0,
+        target * 2.0
+    );
+
+    let (target, homestead_tail) = shocked_cadence(RetargetRule::Homestead, 27);
+    assert!(
+        homestead_tail < target / 2.0,
+        "homestead unexpectedly recovered: tail {homestead_tail:.3}s vs target {target:.3}s"
+    );
+    // And the adaptive rule's cadence error is strictly smaller.
+    assert!((pi_tail - target).abs() < (homestead_tail - target).abs());
+}
+
 #[test]
 fn heterogeneous_compute_with_attacker_keeps_latency_ladder() {
-    use blockfed::core::ComputeProfile;
     let (shards, tests) = tiny_world(26);
     let stragglers = vec![
         ComputeProfile {

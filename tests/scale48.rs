@@ -1,0 +1,86 @@
+//! The >32-peer scale unlock, end to end: a 48-peer scenario cell must run
+//! green, record aggregates on chain whose combination masks cross the old
+//! u32 boundary, replay bit-identically at any worker count, and oversize
+//! populations must be rejected gracefully with the typed error instead of
+//! a panic.
+
+use blockfed::core::{ConfigError, Decentralized, DecentralizedConfig};
+use blockfed::data::{SynthCifar, SynthCifarConfig};
+use blockfed::fl::Strategy;
+use blockfed::scenario::{CellReport, DataSpec, ScenarioRunner, ScenarioSpec};
+
+/// Serializes tests that flip the global thread override.
+fn thread_guard() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    LOCK.lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// A 48-peer cell whose requested `Consider` is forced through the cutover
+/// onto `BestK(40)` — the linear arm, with 40-member aggregates whose masks
+/// necessarily span bits ≥ 32.
+fn wide_spec() -> ScenarioSpec {
+    ScenarioSpec::new("scale48", 48)
+        .rounds(2)
+        .consider_cutover(6, 40)
+        .data(DataSpec::scaled_for(48))
+        .seed(4848)
+}
+
+#[test]
+fn forty_eight_peer_cell_runs_green_with_wide_masks_at_any_thread_count() {
+    let _g = thread_guard();
+    let spec = wide_spec();
+    assert_eq!(
+        spec.resolved_strategy(),
+        Strategy::BestK(40),
+        "48 peers must resolve past the Consider→BestK cutover"
+    );
+    let run_at = |threads: usize| -> CellReport {
+        blockfed::compute::set_threads(threads);
+        let cell = ScenarioRunner::new().run(&spec);
+        blockfed::compute::set_threads(0);
+        cell
+    };
+    let single = run_at(1);
+    // Green end to end: every peer aggregated every round.
+    assert_eq!(single.records, 48 * 2, "rounds incomplete: {single:?}");
+    assert!(single.mean_final_accuracy > 0.0);
+    assert!(single.blocks > 0);
+    // The on-chain masks crossed the u32 boundary.
+    let widest = single.max_mask_bit.expect("aggregates recorded");
+    assert!(
+        widest >= 32,
+        "no recorded combination mask crossed bit 32 (max {widest})"
+    );
+    // Same seed, eight workers: bit-identical simulation (report equality
+    // already excludes host wall-clock).
+    let eight = run_at(8);
+    assert_eq!(single, eight, "thread count changed the simulation");
+}
+
+#[test]
+fn oversize_populations_fail_gracefully_not_by_panic() {
+    // The spec engine and the orchestrator reject 129 peers with the same
+    // typed message.
+    let spec_err = ScenarioSpec::new("too-big", 129)
+        .data(DataSpec::scaled_for(129))
+        .validate()
+        .unwrap_err();
+    assert_eq!(spec_err, ConfigError::TooManyPeers { got: 129 }.to_string());
+
+    let gen = SynthCifar::new(SynthCifarConfig::tiny());
+    let (_, test) = gen.generate(1);
+    let shards: Vec<_> = (0..129).map(|_| test.clone()).collect();
+    let err = Decentralized::try_new(DecentralizedConfig::default(), &shards, &shards)
+        .err()
+        .expect("129 peers must be rejected");
+    assert_eq!(err, ConfigError::TooManyPeers { got: 129 });
+    assert_eq!(err.to_string(), spec_err);
+
+    // Below the ceiling the same shape is accepted (48 > the old u32 cap).
+    let forty_eight: Vec<_> = (0..48).map(|_| test.clone()).collect();
+    assert!(
+        Decentralized::try_new(DecentralizedConfig::default(), &forty_eight, &forty_eight).is_ok()
+    );
+}
