@@ -121,6 +121,7 @@ fn bench_end_to_end(c: &mut Criterion) {
                 decay: StalenessDecay::Polynomial { a: 0.5 },
                 client_speeds: vec![8.0, 4.0, 1.0],
                 eval_every: 12,
+                batch_parallel: false,
             };
             let driver = AsyncFl::new(
                 config,

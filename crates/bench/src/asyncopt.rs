@@ -158,6 +158,7 @@ pub fn run_asyncopt(data: &PreparedData) -> AsyncOptOutput {
                 // Mirror the straggler compute spread of sub-study 1.
                 client_speeds: vec![11.0, 7.0, 1.0],
                 eval_every: total_merges,
+                batch_parallel: p.batch_parallel,
             };
             let driver = AsyncFl::new(config, data.shards(sel), data.test(sel));
             let mut factory = data.model_factory(sel);

@@ -51,6 +51,11 @@ pub struct Profile {
     pub alpha: f64,
     /// Master seed.
     pub seed: u64,
+    /// Run every local-training loop batch-parallel
+    /// (`blockfed_nn::Sequential::par_train_epochs`). Bit-identical to the
+    /// sequential loop, so tables and figures never depend on it; it only
+    /// buys host wall-clock on multicore machines.
+    pub batch_parallel: bool,
 }
 
 impl Profile {
@@ -71,6 +76,7 @@ impl Profile {
             momentum: 0.9,
             alpha: 0.8,
             seed: 42,
+            batch_parallel: true,
         }
     }
 
@@ -99,6 +105,7 @@ impl Profile {
             momentum: 0.9,
             alpha: 0.8,
             seed: 42,
+            batch_parallel: false,
         }
     }
 
@@ -279,6 +286,7 @@ pub fn vanilla_run(data: &PreparedData, sel: ModelSel, strategy: Strategy) -> Va
         lr: data.lr(sel),
         momentum: p.momentum,
         strategy,
+        batch_parallel: p.batch_parallel,
     };
     // All clients evaluate the distributed global model on the shared test
     // data, as in Table I (identical per-client rows).
@@ -309,21 +317,18 @@ pub fn decentralized_run(
 pub fn straggler_profiles() -> Vec<ComputeProfile> {
     vec![
         ComputeProfile {
-            hashrate: 80_000.0,
             train_rate: 1_100.0,
-            contention: 0.35,
+            ..ComputeProfile::paper_vm()
         },
         ComputeProfile {
-            hashrate: 80_000.0,
             train_rate: 700.0,
-            contention: 0.35,
+            ..ComputeProfile::paper_vm()
         },
         // The straggler: slower than a block interval, so faster peers see its
         // model one or two blocks later than their own.
         ComputeProfile {
-            hashrate: 80_000.0,
             train_rate: 100.0,
-            contention: 0.35,
+            ..ComputeProfile::paper_vm()
         },
     ]
 }
@@ -351,6 +356,7 @@ pub fn decentralized_scenario(
         .payload_bytes(data.payload_bytes(sel))
         .difficulty(3_000_000)
         .computes(per_peer_compute.unwrap_or_else(|| vec![ComputeProfile::paper_vm(); 3]))
+        .batch_parallel(p.batch_parallel)
         .link(LinkSpec::lan())
         .seed(p.seed)
 }

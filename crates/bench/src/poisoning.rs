@@ -230,7 +230,14 @@ pub fn run_robustness(data: &PreparedData) -> RobustnessOutput {
                     let mut model = factory();
                     model.set_params_flat(&global_params);
                     let mut opt = Sgd::new(data.lr(ModelSel::Simple), p.momentum);
-                    model.train_epochs(shard, p.local_epochs, &batcher, &mut opt, &mut train_rng);
+                    model.train_epochs_maybe_par(
+                        p.batch_parallel,
+                        shard,
+                        p.local_epochs,
+                        &batcher,
+                        &mut opt,
+                        &mut train_rng,
+                    );
                     let mut update =
                         ModelUpdate::new(ClientId(i), round, model.params_flat(), shard.len());
                     if i == 0 {

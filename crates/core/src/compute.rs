@@ -20,6 +20,13 @@ pub struct ComputeProfile {
     /// Fraction of compute that the *other* task steals when both run
     /// (`0.0` = perfect isolation, `0.9` = severe exhaustion).
     pub contention: f64,
+    /// Whether this peer's local training splits each mini-batch across the
+    /// host's `blockfed-compute` workers
+    /// (`blockfed_nn::Sequential::par_train_epochs`). The parallel loop is
+    /// bit-identical to the sequential one at any thread count, so the knob
+    /// trades host wall-clock only — never simulation outcomes. Off by
+    /// default; paper-scale scenario cells switch it on.
+    pub batch_parallel: bool,
 }
 
 impl ComputeProfile {
@@ -30,6 +37,7 @@ impl ComputeProfile {
             hashrate: 80_000.0,
             train_rate: 900.0,
             contention: 0.35,
+            batch_parallel: false,
         }
     }
 
@@ -39,6 +47,7 @@ impl ComputeProfile {
             hashrate,
             train_rate,
             contention: 0.0,
+            batch_parallel: false,
         }
     }
 
@@ -98,6 +107,7 @@ mod tests {
             hashrate: 1000.0,
             train_rate: 100.0,
             contention: 0.4,
+            batch_parallel: false,
         };
         assert_eq!(p.effective_hashrate(false), 1000.0);
         assert_eq!(p.effective_hashrate(true), 600.0);
@@ -118,6 +128,7 @@ mod tests {
             hashrate: 1000.0,
             train_rate: 100.0,
             contention: 0.5,
+            batch_parallel: false,
         };
         let quiet = p.training_time(100, 1, false);
         let contended = p.training_time(100, 1, true);

@@ -755,7 +755,11 @@ impl<'a> Decentralized<'a> {
                     let mut opt = Sgd::new(cfg.lr, cfg.momentum);
                     let mut rng =
                         hub.indexed_stream("train", (peer as u64) << 32 | u64::from(round));
-                    model.train_epochs(
+                    // The batch-parallel loop is bit-identical to the
+                    // sequential one, so the knob only changes how much host
+                    // wall-clock the (virtual-time-accounted) training costs.
+                    model.train_epochs_maybe_par(
+                        self.compute_for(peer).batch_parallel,
                         &self.train_shards[peer],
                         cfg.local_epochs,
                         &Batcher::new(cfg.batch_size),
@@ -1726,6 +1730,7 @@ mod tests {
                 hashrate: 100_000.0,
                 train_rate: 500.0,
                 contention: 0.3,
+                batch_parallel: false,
             },
             per_peer_compute: None,
             fitness_threshold: None,
@@ -1761,6 +1766,7 @@ mod tests {
             hashrate: 100_000.0,
             train_rate: 5.0,
             contention: 0.3,
+            batch_parallel: false,
         };
         cfg.difficulty = 100_000;
         cfg

@@ -43,6 +43,10 @@ pub struct AsyncFlConfig {
     pub client_speeds: Vec<f64>,
     /// Evaluate the global model every this many merges (1 = every merge).
     pub eval_every: u32,
+    /// Split each client's mini-batches across `blockfed-compute` workers
+    /// (`blockfed_nn::Sequential::par_train_epochs`). Bit-identical to the
+    /// sequential loop at any thread count.
+    pub batch_parallel: bool,
 }
 
 impl Default for AsyncFlConfig {
@@ -57,6 +61,7 @@ impl Default for AsyncFlConfig {
             decay: StalenessDecay::Polynomial { a: 0.5 },
             client_speeds: vec![1.0, 1.0, 1.0],
             eval_every: 1,
+            batch_parallel: false,
         }
     }
 }
@@ -222,7 +227,8 @@ impl<'a> AsyncFl<'a> {
             let mut model = make_model();
             model.set_params_flat(&snapshots[i]);
             let mut opt = Sgd::new(cfg.lr, cfg.momentum);
-            model.train_epochs(
+            model.train_epochs_maybe_par(
+                cfg.batch_parallel,
                 &self.train_shards[i],
                 cfg.local_epochs,
                 &batcher,
@@ -310,6 +316,7 @@ mod tests {
             decay: StalenessDecay::Polynomial { a: 0.5 },
             client_speeds: vec![1.0, 1.0, 1.0],
             eval_every: 4,
+            batch_parallel: false,
         }
     }
 

@@ -27,6 +27,10 @@ pub struct VanillaFlConfig {
     pub momentum: f32,
     /// Aggregation strategy at the central aggregator.
     pub strategy: Strategy,
+    /// Split each client's mini-batches across `blockfed-compute` workers
+    /// (`blockfed_nn::Sequential::par_train_epochs`). Bit-identical to the
+    /// sequential loop at any thread count, so results never depend on it.
+    pub batch_parallel: bool,
 }
 
 impl Default for VanillaFlConfig {
@@ -38,6 +42,7 @@ impl Default for VanillaFlConfig {
             lr: 0.05,
             momentum: 0.9,
             strategy: Strategy::NotConsider,
+            batch_parallel: false,
         }
     }
 }
@@ -161,7 +166,14 @@ impl<'a> VanillaFl<'a> {
                 let mut model = make_model();
                 model.set_params_flat(&global_params);
                 let mut opt = Sgd::new(self.config.lr, self.config.momentum);
-                model.train_epochs(shard, self.config.local_epochs, &batcher, &mut opt, rng);
+                model.train_epochs_maybe_par(
+                    self.config.batch_parallel,
+                    shard,
+                    self.config.local_epochs,
+                    &batcher,
+                    &mut opt,
+                    rng,
+                );
                 let mut update =
                     ModelUpdate::new(ClientId(i), round, model.params_flat(), shard.len());
                 update_hook(&mut update);
@@ -247,6 +259,7 @@ mod tests {
             lr: 0.1,
             momentum: 0.9,
             strategy,
+            batch_parallel: false,
         }
     }
 

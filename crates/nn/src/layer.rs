@@ -30,6 +30,11 @@ pub trait Layer: Send {
     /// Visits accumulated gradients in the same order as parameters.
     fn visit_grads(&self, f: &mut dyn FnMut(&Tensor));
 
+    /// Visits accumulated gradients mutably, in the same order as
+    /// [`Layer::visit_grads`] — how batch-parallel training folds per-shard
+    /// gradient snapshots back into the primary model in fixed shard order.
+    fn visit_grads_mut(&mut self, f: &mut dyn FnMut(&mut Tensor));
+
     /// Clears accumulated gradients.
     fn zero_grads(&mut self);
 
@@ -155,6 +160,11 @@ impl Layer for Linear {
         f(&self.grad_bias);
     }
 
+    fn visit_grads_mut(&mut self, f: &mut dyn FnMut(&mut Tensor)) {
+        f(&mut self.grad_weight);
+        f(&mut self.grad_bias);
+    }
+
     fn zero_grads(&mut self) {
         self.grad_weight.map_inplace(|_| 0.0);
         self.grad_bias.map_inplace(|_| 0.0);
@@ -201,6 +211,7 @@ impl Layer for Relu {
     fn visit_params(&self, _f: &mut dyn FnMut(&Tensor)) {}
     fn visit_params_mut(&mut self, _f: &mut dyn FnMut(&mut Tensor)) {}
     fn visit_grads(&self, _f: &mut dyn FnMut(&Tensor)) {}
+    fn visit_grads_mut(&mut self, _f: &mut dyn FnMut(&mut Tensor)) {}
     fn zero_grads(&mut self) {}
 
     fn box_clone(&self) -> Box<dyn Layer> {
@@ -247,6 +258,7 @@ impl Layer for Tanh {
     fn visit_params(&self, _f: &mut dyn FnMut(&Tensor)) {}
     fn visit_params_mut(&mut self, _f: &mut dyn FnMut(&mut Tensor)) {}
     fn visit_grads(&self, _f: &mut dyn FnMut(&Tensor)) {}
+    fn visit_grads_mut(&mut self, _f: &mut dyn FnMut(&mut Tensor)) {}
     fn zero_grads(&mut self) {}
 
     fn box_clone(&self) -> Box<dyn Layer> {
@@ -304,6 +316,7 @@ impl<L: Layer + Clone + 'static> Layer for Frozen<L> {
     fn visit_params(&self, _f: &mut dyn FnMut(&Tensor)) {}
     fn visit_params_mut(&mut self, _f: &mut dyn FnMut(&mut Tensor)) {}
     fn visit_grads(&self, _f: &mut dyn FnMut(&Tensor)) {}
+    fn visit_grads_mut(&mut self, _f: &mut dyn FnMut(&mut Tensor)) {}
     fn zero_grads(&mut self) {
         self.inner.zero_grads();
     }

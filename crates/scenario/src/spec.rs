@@ -36,6 +36,19 @@ impl Default for DataSpec {
 }
 
 impl DataSpec {
+    /// The paper-scale data spec: the full SynthCifar generator (64-dim
+    /// observations, 10 classes, 150 train / 60 test examples per class) with
+    /// the paper's Dirichlet label skew — the workload
+    /// [`SimpleNnConfig::paper`]-sized models train on. Pair it with
+    /// [`ScenarioSpec::model`] and [`ScenarioSpec::batch_parallel`] to run
+    /// paper-scale cells instead of the synthesized tiny default.
+    pub fn paper() -> Self {
+        DataSpec {
+            synth: SynthCifarConfig::default(),
+            partition: Partition::DirichletLabelSkew { alpha: 0.8 },
+        }
+    }
+
     /// A tiny synthetic data spec scaled so `peers` training shards and
     /// per-peer test splits each hold at least a handful of examples — the
     /// default tiny pools starve past ~40 peers. IID partitioning keeps
@@ -127,6 +140,13 @@ pub struct ScenarioSpec {
     pub data: DataSpec,
     /// The model architecture every peer trains.
     pub model: SimpleNnConfig,
+    /// Spec-level override of every peer's
+    /// [`ComputeProfile::batch_parallel`] flag, applied when the spec lowers
+    /// onto the orchestrator config — so the builder is order-independent
+    /// with respect to [`ScenarioSpec::computes`] /
+    /// [`ScenarioSpec::uniform_compute`]. `None` keeps the per-profile
+    /// flags.
+    pub batch_parallel: Option<bool>,
     /// Master seed: same seed ⇒ bit-identical report.
     pub seed: u64,
 }
@@ -150,6 +170,7 @@ impl ScenarioSpec {
                     hashrate: 100_000.0,
                     train_rate: 500.0,
                     contention: 0.3,
+                    batch_parallel: false,
                 };
                 peers
             ],
@@ -170,8 +191,26 @@ impl ScenarioSpec {
             timeline: Vec::new(),
             data,
             model,
+            batch_parallel: None,
             seed: 42,
         }
+    }
+
+    /// The paper-scale cell preset: `peers` peers training the paper's
+    /// ~62 K-parameter [`SimpleNnConfig::paper`] SimpleNN on the full
+    /// SynthCifar generator ([`DataSpec::paper`]) through the batch-parallel
+    /// loop — the one definition behind both the `--paper` CI cell and the
+    /// thread-sweep equivalence suite, so they can never drift apart.
+    pub fn paper_cell(name: impl Into<String>, peers: usize) -> Self {
+        ScenarioSpec::new(name, peers)
+            .rounds(2)
+            .local_epochs(2)
+            .batch_size(32)
+            .lr(0.01)
+            .data(DataSpec::paper())
+            .model(SimpleNnConfig::paper())
+            .batch_parallel(true)
+            .seed(64)
     }
 
     /// The peer count.
@@ -290,6 +329,32 @@ impl ScenarioSpec {
     pub fn peer_compute(mut self, peer: usize, profile: ComputeProfile) -> Self {
         self.computes[peer] = profile;
         self
+    }
+
+    /// Switches batch-parallel local training on or off for every peer: each
+    /// peer's mini-batches are split across the host's `blockfed-compute`
+    /// workers. Bit-identical results at any thread count, so reports never
+    /// depend on it — the knob is what lets cells train paper-scale models
+    /// in reasonable host wall-clock. Applied at lowering time over whatever
+    /// compute profiles the spec ends up with, so builder order does not
+    /// matter.
+    #[must_use]
+    pub fn batch_parallel(mut self, on: bool) -> Self {
+        self.batch_parallel = Some(on);
+        self
+    }
+
+    /// The per-peer compute profiles the lowered run will actually use: the
+    /// declared profiles with the spec-level [`ScenarioSpec::batch_parallel`]
+    /// override applied.
+    pub fn effective_computes(&self) -> Vec<ComputeProfile> {
+        let mut computes = self.computes.clone();
+        if let Some(on) = self.batch_parallel {
+            for c in &mut computes {
+                c.batch_parallel = on;
+            }
+        }
+        computes
     }
 
     /// Sets the topology.
@@ -465,7 +530,8 @@ impl ScenarioSpec {
 
     /// Lowers the spec onto the orchestrator's configuration.
     pub fn decentralized_config(&self) -> DecentralizedConfig {
-        let uniform = self.computes.windows(2).all(|w| w[0] == w[1]);
+        let computes = self.effective_computes();
+        let uniform = computes.windows(2).all(|w| w[0] == w[1]);
         DecentralizedConfig {
             rounds: self.rounds,
             local_epochs: self.local_epochs,
@@ -476,12 +542,8 @@ impl ScenarioSpec {
             strategy: self.resolved_strategy(),
             payload_bytes: self.payload_bytes,
             difficulty: self.difficulty,
-            compute: self.computes[0],
-            per_peer_compute: if uniform {
-                None
-            } else {
-                Some(self.computes.clone())
-            },
+            compute: computes[0],
+            per_peer_compute: if uniform { None } else { Some(computes) },
             fitness_threshold: self.fitness_threshold,
             norm_z_threshold: self.norm_z_threshold,
             degeneracy_min_classes: self.degeneracy_min_classes,
@@ -604,6 +666,35 @@ mod tests {
         assert_eq!(
             ScenarioSpec::new("h", 3).decentralized_config().retarget,
             RetargetRule::Homestead
+        );
+    }
+
+    #[test]
+    fn batch_parallel_is_builder_order_independent() {
+        // The spec-level knob survives a later computes()/uniform_compute()
+        // because it is applied at lowering time, not at builder-call time.
+        let profiles = vec![ComputeProfile::paper_vm(); 3];
+        let flipped_first = ScenarioSpec::new("bp", 3)
+            .batch_parallel(true)
+            .computes(profiles.clone());
+        let flipped_last = ScenarioSpec::new("bp", 3)
+            .computes(profiles)
+            .batch_parallel(true);
+        for spec in [&flipped_first, &flipped_last] {
+            assert!(spec.effective_computes().iter().all(|c| c.batch_parallel));
+            let cfg = spec.decentralized_config();
+            assert!(cfg.compute.batch_parallel, "lowering must carry the knob");
+        }
+        // Unset, the per-profile flags pass through untouched.
+        let mut spec = ScenarioSpec::new("bp-off", 3);
+        spec.computes[1].batch_parallel = true;
+        let effective = spec.effective_computes();
+        assert!(!effective[0].batch_parallel && effective[1].batch_parallel);
+        assert!(
+            spec.decentralized_config()
+                .per_peer_compute
+                .expect("non-uniform profiles stay per-peer")[1]
+                .batch_parallel
         );
     }
 

@@ -59,6 +59,7 @@ fn main() {
                 decay,
                 client_speeds: speeds.clone(),
                 eval_every: 24,
+                batch_parallel: false,
             };
             let driver = AsyncFl::new(config, &shards, &test);
             let nn = SimpleNnConfig::tiny(test.feature_dim(), test.num_classes());

@@ -5,6 +5,7 @@
 //! cargo run --release --example scenarios -- --smoke   # CI: tiny 5-peer churn+partition matrix
 //! cargo run --release --example scenarios -- --bestk   # best-k vs consider wall-clock sweep (incl. n=48)
 //! cargo run --release --example scenarios -- --bestk48 # CI: one 48-peer best-k cell past the u32 mask
+//! cargo run --release --example scenarios -- --paper   # CI: paper-scale SimpleNN cell, batch-parallel vs sequential
 //! ```
 //!
 //! Every mode prints the matrix table and writes the machine-readable
@@ -104,11 +105,24 @@ fn bestk() {
         "48-peer cell never recorded a >32-bit mask: {wide:?}"
     );
 
+    // The paper-scale cell, batch-parallel and sequential: identical
+    // simulations (the equality below), so the wall-clock delta between the
+    // two rows is exactly what batch-parallel training buys (or, on one
+    // core, its shard overhead).
+    let paper_par = runner.run(&paper_spec(true));
+    let paper_seq = runner.run(&paper_spec(false));
+    assert_eq!(
+        paper_par.mean_final_accuracy, paper_seq.mean_final_accuracy,
+        "batch-parallel training changed the simulation"
+    );
+
     // Merge everything into the JSON feed.
     let mut merged = bestk_report.clone();
     merged.name = "bestk-vs-consider".into();
     merged.cells.extend(consider_report.cells);
     merged.cells.push(wide);
+    merged.cells.push(paper_par);
+    merged.cells.push(paper_seq);
     let path = merged.write_json(".").expect("write BENCH_scenarios.json");
     println!("wrote {}", path.display());
 }
@@ -141,6 +155,55 @@ fn bestk48() {
     println!("widest recorded mask bit: {widest} — 48-peer scenario OK");
 }
 
+/// The paper-scale cell: three peers training the ~62 K-parameter SimpleNN on
+/// the full SynthCifar generator — the workload scenario cells used to be too
+/// slow for before batch-parallel training. One shared preset
+/// ([`ScenarioSpec::paper_cell`]) backs this CI cell and the thread-sweep
+/// equivalence suite.
+fn paper_spec(batch_parallel: bool) -> ScenarioSpec {
+    ScenarioSpec::paper_cell(
+        if batch_parallel {
+            "paper-par"
+        } else {
+            "paper-seq"
+        },
+        3,
+    )
+    .batch_parallel(batch_parallel)
+}
+
+fn paper() {
+    println!("paper-scale cell — SimpleNN (~62 K params) on full SynthCifar\n");
+    let runner = ScenarioRunner::new();
+    let par = runner.run(&paper_spec(true));
+    let seq = runner.run(&paper_spec(false));
+    // The batch-parallel loop is bit-identical to the sequential one: the
+    // two cells differ only in name and host wall-clock.
+    assert_eq!(
+        par.mean_final_accuracy, seq.mean_final_accuracy,
+        "batch-parallel training changed the simulation"
+    );
+    assert_eq!(par.makespan_secs, seq.makespan_secs);
+    assert_eq!(par.blocks, seq.blocks);
+    assert!(par.records > 0, "nobody aggregated");
+    assert!(
+        par.mean_final_accuracy > 0.15,
+        "paper-scale model learned nothing: {par:?}"
+    );
+    let report = blockfed::scenario::ScenarioReport {
+        name: "paper-scale".into(),
+        cells: vec![par, seq],
+    };
+    println!("{}", report.table());
+    let threads = blockfed::compute::num_threads();
+    println!(
+        "host workers: {threads} (speedup needs >1; on one core the delta is the shard overhead)"
+    );
+    let path = report.write_json(".").expect("write BENCH_scenarios.json");
+    println!("wrote {}", path.display());
+    println!("paper-scale scenario OK");
+}
+
 fn demo() {
     println!("10-peer heterogeneous churn scenario — deterministic replay\n");
     let spec = churn_spec(10).named("demo-10-peer-churn").seed(33);
@@ -164,9 +227,10 @@ fn main() {
         "--smoke" => smoke(),
         "--bestk" => bestk(),
         "--bestk48" => bestk48(),
+        "--paper" => paper(),
         "" | "--demo" => demo(),
         other => {
-            eprintln!("unknown mode {other}; use --smoke, --bestk, --bestk48, or --demo");
+            eprintln!("unknown mode {other}; use --smoke, --bestk, --bestk48, --paper, or --demo");
             std::process::exit(2);
         }
     }

@@ -53,6 +53,7 @@ fn vanilla_and_decentralized_agree_on_learnability() {
             hashrate: 100_000.0,
             train_rate: 500.0,
             contention: 0.2,
+            batch_parallel: false,
         },
         link: LinkSpec::lan(),
         payload_bytes: 10_000,
@@ -131,6 +132,7 @@ fn transfer_learning_pipeline_runs_decentralized() {
             hashrate: 100_000.0,
             train_rate: 500.0,
             contention: 0.2,
+            batch_parallel: false,
         },
         payload_bytes: cfg.payload_bytes(),
         seed: 11,
@@ -173,6 +175,7 @@ fn async_policies_form_a_latency_ladder() {
                 hashrate: 100_000.0,
                 train_rate: 5.0,
                 contention: 0.2,
+                batch_parallel: false,
             },
             payload_bytes: 10_000,
             seed: 21,

@@ -173,6 +173,7 @@ fn shocked_cadence(rule: RetargetRule, seed: u64) -> (f64, f64) {
         // shock, leaving the controller room to re-converge.
         train_rate: 5.0,
         contention: 0.3,
+        batch_parallel: false,
     };
     let mut cfg = config(seed);
     cfg.compute = compute;
@@ -188,12 +189,13 @@ fn shocked_cadence(rule: RetargetRule, seed: u64) -> (f64, f64) {
             )
         })
         .collect();
+    let difficulty = cfg.difficulty as f64;
     let out = run(cfg, &shards, &tests, seed);
 
     // Everyone trains throughout, so the genesis (and pre-shock) hash rate
     // is three contention-reduced miners.
     let rate = 3.0 * compute.effective_hashrate(true);
-    let target = 200_000.0 / rate; // difficulty / hashrate
+    let target = difficulty / rate;
 
     let seals: Vec<f64> = out
         .trace
@@ -245,16 +247,19 @@ fn heterogeneous_compute_with_attacker_keeps_latency_ladder() {
             hashrate: 100_000.0,
             train_rate: 500.0,
             contention: 0.3,
+            batch_parallel: false,
         },
         ComputeProfile {
             hashrate: 100_000.0,
             train_rate: 500.0,
             contention: 0.3,
+            batch_parallel: false,
         },
         ComputeProfile {
             hashrate: 100_000.0,
             train_rate: 5.0,
             contention: 0.3,
+            batch_parallel: false,
         },
     ];
     let mut waits = Vec::new();
