@@ -178,6 +178,35 @@ fn bench_net(c: &mut Criterion) {
     g.bench_function("flood_24_peers_21MB", |b| {
         b.iter(|| network.flood(NodeId(0), 21_200_000, &mut rng))
     });
+    // The flood-router pair the orchestrator's event loop rides on: the
+    // allocating per-call API versus the reusable-scratch API it was
+    // rebuilt over. Same RNG draws, same deliveries — the delta is exactly
+    // the per-flood allocation churn (route maps, avoid sets, path vecs)
+    // hoisted into `FloodScratch`.
+    for n in [48usize, 128] {
+        let wide = Network::new(n, Topology::FullMesh, LinkSpec::lan());
+        g.bench_function(format!("flood_routes_alloc_n{n}"), |b| {
+            b.iter(|| wide.flood_routes(NodeId(0), 10_000, &mut rng))
+        });
+        let mut scratch = blockfed_net::FloodScratch::new();
+        g.bench_function(format!("flood_with_scratch_n{n}"), |b| {
+            b.iter(|| {
+                let mut acc = 0u64;
+                wide.flood_with(
+                    NodeId(0),
+                    10_000,
+                    &mut rng,
+                    &mut scratch,
+                    |_, delay, path| {
+                        acc = acc
+                            .wrapping_add(delay.as_nanos())
+                            .wrapping_add(path.len() as u64);
+                    },
+                );
+                black_box(acc)
+            })
+        });
+    }
     g.finish();
 }
 

@@ -2,6 +2,7 @@
 //! choice, and candidate-block building for miners.
 
 use std::collections::HashMap;
+use std::sync::{Arc, OnceLock, RwLock};
 
 use blockfed_crypto::H256;
 
@@ -97,11 +98,41 @@ pub enum ImportOutcome {
     AlreadyKnown,
 }
 
-/// An in-memory blockchain with full per-block state tracking.
+/// A validated block's execution result, shared process-wide.
+type ExecutedBlock = (Arc<State>, Arc<Vec<Receipt>>);
+
+/// Process-wide memo of successfully validated block executions, keyed by
+/// `(block hash, runtime execution fingerprint)`.
+///
+/// In a simulated network every peer re-executes the identical block on the
+/// identical parent state — O(peers) copies of the same deterministic work,
+/// dominated by state cloning and whole-state root hashing. The block hash
+/// commits to the parent (hence, inductively, the parent state), the
+/// transaction root, and the resulting `state_root`, so one chain's
+/// validated result is every chain's result *under the same execution
+/// semantics*: a colliding hash with a different outcome would have to
+/// declare a different `state_root`, which changes the hash. The runtime's
+/// [`ContractRuntime::execution_fingerprint`] closes the remaining hole —
+/// two chains driven by semantically different runtimes (e.g. `NullRuntime`
+/// vs a native-dispatching VM) never share entries, so an import that
+/// *should* fail `BadStateRoot` under its own runtime still does. Only
+/// *successful* imports are memoized — tampered blocks hash differently and
+/// always re-execute (and fail) from scratch. Entries live for the process:
+/// a deliberate trade (see ROADMAP) — within one run the `Arc`-shared
+/// states use ~peers× *less* memory than the per-chain copies they replace.
+fn executed_memo() -> &'static RwLock<HashMap<(H256, u64), ExecutedBlock>> {
+    static MEMO: OnceLock<RwLock<HashMap<(H256, u64), ExecutedBlock>>> = OnceLock::new();
+    MEMO.get_or_init(|| RwLock::new(HashMap::new()))
+}
+
+/// An in-memory blockchain with full per-block state tracking. Per-block
+/// states and receipts are `Arc`-shared across every chain that imported the
+/// block, so N simulated peers hold one copy of each executed state instead
+/// of N.
 pub struct Blockchain {
     blocks: HashMap<H256, Block>,
-    states: HashMap<H256, State>,
-    receipts: HashMap<H256, Vec<Receipt>>,
+    states: HashMap<H256, Arc<State>>,
+    receipts: HashMap<H256, Arc<Vec<Receipt>>>,
     total_difficulty: HashMap<H256, u128>,
     head: H256,
     genesis: H256,
@@ -123,7 +154,7 @@ impl Blockchain {
         let mut states = HashMap::new();
         let mut total_difficulty = HashMap::new();
         blocks.insert(genesis_hash, genesis_block);
-        states.insert(genesis_hash, genesis_state);
+        states.insert(genesis_hash, Arc::new(genesis_state));
         total_difficulty.insert(genesis_hash, spec.difficulty);
         Blockchain {
             blocks,
@@ -198,12 +229,12 @@ impl Blockchain {
 
     /// The state at the canonical head.
     pub fn state(&self) -> &State {
-        &self.states[&self.head]
+        self.states[&self.head].as_ref()
     }
 
     /// The state after a given block, if known.
     pub fn state_at(&self, hash: &H256) -> Option<&State> {
-        self.states.get(hash)
+        self.states.get(hash).map(Arc::as_ref)
     }
 
     /// A block by hash.
@@ -218,7 +249,7 @@ impl Blockchain {
 
     /// Receipts of a block's transactions, if known.
     pub fn receipts(&self, hash: &H256) -> Option<&[Receipt]> {
-        self.receipts.get(hash).map(Vec::as_slice)
+        self.receipts.get(hash).map(|r| r.as_slice())
     }
 
     /// Total difficulty of a block.
@@ -287,34 +318,53 @@ impl Blockchain {
             return Err(ImportError::BadTxRoot);
         }
 
-        // Re-execute on the parent state.
-        let parent_state = &self.states[&block.header.parent];
-        let env = BlockEnv {
-            number: block.header.number,
-            timestamp_ns: block.header.timestamp_ns,
-            miner: block.header.miner,
-            gas_limit: block.header.gas_limit,
+        // Re-execute on the parent state — unless another chain in this
+        // process already validated this exact block (see [`executed_memo`]):
+        // a hit skips both the execution and the whole-state root hash.
+        let memo_key = (hash, runtime.execution_fingerprint());
+        let cached = executed_memo()
+            .read()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .get(&memo_key)
+            .cloned();
+        let (exec_state, exec_receipts) = match cached {
+            Some(entry) => entry,
+            None => {
+                let parent_state = self.states[&block.header.parent].as_ref();
+                let env = BlockEnv {
+                    number: block.header.number,
+                    timestamp_ns: block.header.timestamp_ns,
+                    miner: block.header.miner,
+                    gas_limit: block.header.gas_limit,
+                };
+                let result = execute_block_txs(parent_state, &block.transactions, &env, runtime);
+                let computed_root = result.state.root();
+                if computed_root != block.header.state_root {
+                    return Err(ImportError::BadStateRoot {
+                        declared: block.header.state_root,
+                        computed: computed_root,
+                    });
+                }
+                if result.gas_used != block.header.gas_used {
+                    return Err(ImportError::BadGasUsed {
+                        declared: block.header.gas_used,
+                        computed: result.gas_used,
+                    });
+                }
+                let entry = (Arc::new(result.state), Arc::new(result.receipts));
+                executed_memo()
+                    .write()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .insert(memo_key, entry.clone());
+                entry
+            }
         };
-        let result = execute_block_txs(parent_state, &block.transactions, &env, runtime);
-        let computed_root = result.state.root();
-        if computed_root != block.header.state_root {
-            return Err(ImportError::BadStateRoot {
-                declared: block.header.state_root,
-                computed: computed_root,
-            });
-        }
-        if result.gas_used != block.header.gas_used {
-            return Err(ImportError::BadGasUsed {
-                declared: block.header.gas_used,
-                computed: result.gas_used,
-            });
-        }
 
         let parent_td = self.total_difficulty[&block.header.parent];
         let td = parent_td.saturating_add(block.header.difficulty);
         self.total_difficulty.insert(hash, td);
-        self.states.insert(hash, result.state);
-        self.receipts.insert(hash, result.receipts);
+        self.states.insert(hash, exec_state);
+        self.receipts.insert(hash, exec_receipts);
         let parent_hash = block.header.parent;
         self.blocks.insert(hash, block);
 
@@ -364,7 +414,7 @@ impl Blockchain {
             miner,
             gas_limit: parent.header.gas_limit,
         };
-        let result = execute_block_txs(&self.states[&self.head], &txs, &env, runtime);
+        let result = execute_block_txs(self.states[&self.head].as_ref(), &txs, &env, runtime);
         let header = Header {
             parent: self.head,
             number: parent.header.number + 1,
@@ -501,6 +551,54 @@ mod tests {
         pow::mine(&mut block.header, 0, 10_000_000).unwrap();
         assert!(matches!(
             chain.import(block, &mut NullRuntime),
+            Err(ImportError::BadStateRoot { .. })
+        ));
+    }
+
+    #[test]
+    fn execution_memo_never_crosses_runtime_semantics() {
+        // A runtime whose contract calls credit a sink account — semantics
+        // that diverge from NullRuntime's no-op the moment a contract runs.
+        struct CreditRuntime;
+        impl ContractRuntime for CreditRuntime {
+            fn execute(
+                &mut self,
+                _ctx: &CallContext,
+                _code: &[u8],
+                state: &mut State,
+            ) -> crate::runtime::ExecOutcome {
+                state.credit(H160::from_bytes([0xCC; 20]), 7);
+                crate::runtime::ExecOutcome::ok()
+            }
+            fn execution_fingerprint(&self) -> u64 {
+                0xC4ED17
+            }
+        }
+        use crate::runtime::CallContext;
+
+        let k = key(21);
+        let contract = H160::from_bytes([0xAA; 20]);
+        let spec = GenesisSpec::with_accounts(&[k.address()], 1_000_000_000)
+            .with_difficulty(16)
+            .with_code(contract, vec![0x01]);
+        let tx = Transaction::call(k.address(), contract, vec![], 0)
+            .with_gas_limit(1_000_000)
+            .signed(&k);
+
+        // Build + import under CreditRuntime: validated, hence memoized.
+        let mut crediting = Blockchain::with_seal_policy(&spec, SealPolicy::Simulated);
+        let block = crediting.build_candidate(k.address(), vec![tx], 1_000, &mut CreditRuntime);
+        crediting
+            .import(block.clone(), &mut CreditRuntime)
+            .expect("valid under its own runtime");
+        assert_eq!(crediting.state().balance(&H160::from_bytes([0xCC; 20])), 7);
+
+        // The identical block under NullRuntime re-executes (no memo hit for
+        // a different fingerprint) and must fail its own state-root check —
+        // not silently adopt the crediting runtime's state.
+        let mut nulled = Blockchain::with_seal_policy(&spec, SealPolicy::Simulated);
+        assert!(matches!(
+            nulled.import(block, &mut NullRuntime),
             Err(ImportError::BadStateRoot { .. })
         ));
     }

@@ -268,6 +268,9 @@ mod tests {
 
     struct RevertingRuntime;
     impl ContractRuntime for RevertingRuntime {
+        fn execution_fingerprint(&self) -> u64 {
+            u64::MAX // always-revert semantics: never share with anything else
+        }
         fn execute(
             &mut self,
             _c: &CallContext,

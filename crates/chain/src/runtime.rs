@@ -68,6 +68,15 @@ pub trait ContractRuntime {
     /// Implementations mutate `state` freely; the block executor snapshots the
     /// state beforehand and rolls back if `success` is false.
     fn execute(&mut self, ctx: &CallContext, code: &[u8], state: &mut State) -> ExecOutcome;
+
+    /// A stable fingerprint of this runtime's *execution semantics*, used to
+    /// key the chain's process-wide block-execution memo: a validated
+    /// block's result is reused only between runtimes reporting the same
+    /// fingerprint. Two runtimes with equal fingerprints MUST execute every
+    /// `(context, code, state)` identically — so a runtime whose behaviour
+    /// depends on instance configuration (e.g. which native contracts are
+    /// registered) must fold that configuration in.
+    fn execution_fingerprint(&self) -> u64;
 }
 
 /// A runtime that treats every contract call as a successful no-op — useful
@@ -78,6 +87,10 @@ pub struct NullRuntime;
 impl ContractRuntime for NullRuntime {
     fn execute(&mut self, _ctx: &CallContext, _code: &[u8], _state: &mut State) -> ExecOutcome {
         ExecOutcome::ok()
+    }
+
+    fn execution_fingerprint(&self) -> u64 {
+        0 // the no-op semantics: one shared bucket
     }
 }
 

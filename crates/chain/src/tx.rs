@@ -1,9 +1,26 @@
 //! Transactions: signed messages that move value, deploy contracts, call
 //! contracts, and — in this system — carry federated model updates.
 
+use std::collections::HashSet;
+use std::sync::{OnceLock, RwLock};
+
 use blockfed_crypto::sha256::Sha256;
 use blockfed_crypto::{KeyPair, PublicKey, Signature, SignatureError, H160, H256};
 use serde::{Deserialize, Serialize};
+
+/// Process-wide memo of transaction hashes whose signatures verified.
+///
+/// Every peer in a simulated network validates the same gossiped
+/// transaction — once in its mempool, again when executing each block — so
+/// Schnorr verification is re-run O(peers × inclusions) times and dominates
+/// the event loop at large N. The verdict is a pure function of the
+/// transaction hash (which covers the signature), so one successful
+/// verification can serve the whole process. Only successes are memoized:
+/// failures stay un-cached, and any tampering changes the hash.
+fn verified_memo() -> &'static RwLock<HashSet<H256>> {
+    static MEMO: OnceLock<RwLock<HashSet<H256>>> = OnceLock::new();
+    MEMO.get_or_init(|| RwLock::new(HashSet::new()))
+}
 
 /// A transaction, optionally signed.
 ///
@@ -173,8 +190,21 @@ impl Transaction {
         if pk.address() != self.from {
             return Err(TxError::SenderMismatch);
         }
+        let hash = self.hash();
+        if verified_memo()
+            .read()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .contains(&hash)
+        {
+            return Ok(());
+        }
         pk.verify(&self.signing_bytes(), sig)
-            .map_err(TxError::BadSignature)
+            .map_err(TxError::BadSignature)?;
+        verified_memo()
+            .write()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .insert(hash);
+        Ok(())
     }
 
     /// The transaction hash (covers the signature when present).

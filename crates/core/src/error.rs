@@ -81,8 +81,8 @@ mod tests {
         assert!(ConfigError::TooFewPeers { got: 1 }
             .to_string()
             .starts_with("need at least two peers"));
-        let many = ConfigError::TooManyPeers { got: 129 }.to_string();
-        assert!(many.contains("at most 128 peers"), "{many}");
+        let many = ConfigError::TooManyPeers { got: 257 }.to_string();
+        assert!(many.contains("at most 256 peers"), "{many}");
         assert!(ConfigError::InvalidTimeline("x".into())
             .to_string()
             .starts_with("invalid fault timeline"));

@@ -34,7 +34,7 @@ use blockfed_fl::{
     aggregate_with, Adversary, CandidateEvaluator, ClientId, Combination, ModelUpdate,
     StalenessDecay, Strategy, WaitPolicy,
 };
-use blockfed_net::{LinkSpec, Network, NodeId, Topology};
+use blockfed_net::{FloodScratch, GossipMode, LinkSpec, Network, NodeId, Topology, ANNOUNCE_BYTES};
 use blockfed_nn::{Sequential, Sgd};
 use blockfed_sim::{RngHub, Scheduler, SimDuration, SimTime, Trace};
 use blockfed_vm::{BlockfedRuntime, ComboMask, NativeContract, NATIVE_REGISTRY_CODE};
@@ -48,11 +48,14 @@ use crate::coupling::{
 use crate::error::ConfigError;
 use crate::faults::{validate_timeline, Fault, TimedFault};
 
-/// The orchestrator's peer ceiling. Combination masks address up to 256
-/// participants ([`blockfed_vm::MAX_MASK_BITS`]); the run ceiling sits at
-/// half that so registry indices always stay well inside the mask domain
-/// even under heavy join churn.
-pub const MAX_PEERS: usize = 128;
+/// The orchestrator's peer ceiling: the combination mask's native width
+/// ([`blockfed_vm::MAX_MASK_BITS`]). Every peer — joiners included, since a
+/// joiner is dormant rather than re-registered — registers exactly once, so
+/// registry indices stay inside the mask domain even at full occupancy.
+/// Announce/fetch gossip plus the scratch-buffer flood router keep runs at
+/// this scale tractable (the old binding constraint was event-loop cost, not
+/// the on-chain encoding).
+pub const MAX_PEERS: usize = blockfed_vm::MAX_MASK_BITS;
 
 /// Configuration of a decentralized run.
 #[derive(Debug, Clone)]
@@ -114,6 +117,16 @@ pub struct DecentralizedConfig {
     pub link: LinkSpec,
     /// Network topology between peers (the paper's testbed is a full mesh).
     pub topology: Topology,
+    /// How model artifacts disseminate: the default two-phase
+    /// [`GossipMode::AnnounceFetch`] (digest-sized announcement floods, one
+    /// targeted payload pull per peer) or the legacy [`GossipMode::Full`]
+    /// payload flooding. The two modes drive bit-identical simulations —
+    /// artifacts arrive over the same shortest paths at the same virtual
+    /// instants — and differ only in what the traffic meters record (see
+    /// [`DecentralizedRun::gossip_bytes`] and
+    /// [`DecentralizedRun::fetch_bytes`]). Blocks and control transactions
+    /// are digest-sized already and stay push-gossip in both modes.
+    pub gossip: GossipMode,
     /// Optional staleness-aware re-weighting of aggregated updates: an
     /// update's FedAvg weight is scaled by `decay.factor(s)` where `s` is how
     /// many blocks its submission is buried under at aggregation time (the
@@ -155,6 +168,7 @@ impl Default for DecentralizedConfig {
             adversaries: Vec::new(),
             link: LinkSpec::lan(),
             topology: Topology::FullMesh,
+            gossip: GossipMode::AnnounceFetch,
             staleness_decay: None,
             faults: Vec::new(),
             retarget: RetargetRule::Homestead,
@@ -253,9 +267,27 @@ pub struct DecentralizedRun {
     pub audits: Vec<AuditRecord>,
     /// Total blocks sealed anywhere during the run (canonical or not).
     pub blocks_sealed: usize,
-    /// Total bytes crossing links during gossip floods (each message counted
-    /// once per relay edge it traverses).
+    /// Total bytes crossing links during gossip *floods* (each message
+    /// counted once per relay edge it traverses). Under
+    /// [`GossipMode::AnnounceFetch`] artifact floods carry only digest-sized
+    /// announcements, so this is the O(edges × digest) term; the payload
+    /// movement lands in [`DecentralizedRun::fetch_bytes`]. Under
+    /// [`GossipMode::Full`] everything — payload floods and recovery fetches
+    /// — folds in here, reproducing the legacy accounting byte for byte.
     pub gossip_bytes: u64,
+    /// Total bytes of targeted payload pulls under
+    /// [`GossipMode::AnnounceFetch`]: one artifact copy per receiving peer
+    /// over its shortest open path, recovery fetches included. Bytes are
+    /// counted per relay edge the pull crosses (payload × path hops), so on
+    /// a full mesh this is exactly `payload × (N−1)` per artifact — the
+    /// O(N) term — while sparse topologies additionally pay their relay
+    /// distances. Always zero under [`GossipMode::Full`].
+    pub fetch_bytes: u64,
+    /// Per-peer artifact inventory at run end: the sorted fingerprints of
+    /// every model payload the peer holds. The gossip-mode equivalence suite
+    /// asserts these sets are identical between `Full` and `AnnounceFetch`
+    /// under churn and timed partitions.
+    pub artifacts: Vec<Vec<H256>>,
     /// Every aggregate decision confirmed on peer 0's canonical chain, read
     /// back through the registry's packed mask storage — the evidence that a
     /// run's member sets (32-peer-plus ones included) survived the on-chain
@@ -315,6 +347,14 @@ impl DecentralizedRun {
         } else {
             1.0 - (self.chain.blocks.min(self.blocks_sealed) as f64 / self.blocks_sealed as f64)
         }
+    }
+
+    /// Every byte the run put on the wire: flood traffic plus targeted
+    /// payload pulls. The quantity to compare across gossip modes — the
+    /// split between [`DecentralizedRun::gossip_bytes`] and
+    /// [`DecentralizedRun::fetch_bytes`] is what the mode changes.
+    pub fn total_traffic_bytes(&self) -> u64 {
+        self.gossip_bytes + self.fetch_bytes
     }
 
     /// Highest participant index set in any on-chain aggregate mask, or
@@ -397,6 +437,28 @@ struct PeerState {
     first_round: u32,
     /// Cumulative hash-rate multiplier from `HashRateShock` faults.
     hash_scale: f64,
+    /// Memoized [`confirmed_submissions`] scan of this peer's chain. The
+    /// chain only changes on block import, yet the scan used to run on every
+    /// delivered transaction — the dominant event-loop cost at large N. Keyed
+    /// on (head hash, round); any head movement or round advance recomputes.
+    confirmed_cache: Option<ConfirmedCache>,
+}
+
+struct ConfirmedCache {
+    head: H256,
+    round: u32,
+    subs: Vec<crate::coupling::ConfirmedSubmission>,
+}
+
+/// Refreshes `peer`'s memoized confirmed-submission scan if its chain head
+/// or round moved since the last call.
+fn refresh_confirmed(peer: &mut PeerState, registry: H160, round: u32) {
+    let head = peer.chain.head();
+    let fresh = matches!(&peer.confirmed_cache, Some(c) if c.head == head && c.round == round);
+    if !fresh {
+        let subs = confirmed_submissions(&peer.chain, registry, round);
+        peer.confirmed_cache = Some(ConfirmedCache { head, round, subs });
+    }
 }
 
 impl PeerState {
@@ -406,54 +468,104 @@ impl PeerState {
     }
 }
 
+/// The run-wide gossip plumbing: the dissemination mode, the traffic meters
+/// it splits bytes across, the reusable flood-routing scratch, and the relay
+/// paths of deliveries still in flight.
+struct GossipState {
+    mode: GossipMode,
+    /// Whether relay paths must be recorded for in-flight cut checks. Only a
+    /// timeline that can sever a link ([`Fault::Partition`]) or kill a relay
+    /// ([`Fault::PeerLeave`]) ever consults a path, so fault-free runs skip
+    /// the per-delivery path clone entirely (an empty path always passes
+    /// [`Network::path_open`] and [`relays_alive`]).
+    track_routes: bool,
+    scratch: FloodScratch,
+    /// Relay path of every scheduled delivery (for in-flight cut checks).
+    route_log: Vec<Vec<(NodeId, NodeId)>>,
+    gossip_bytes: u64,
+    fetch_bytes: u64,
+}
+
+/// One resolved targeted fetch: the payload's arrival offset, how many relay
+/// edges it crosses, and the recorded path (empty when routes are untracked).
+struct FetchRoute {
+    delay: SimDuration,
+    hops: u64,
+    path: Vec<(NodeId, NodeId)>,
+}
+
 /// Schedules one flood's deliveries to currently active peers, records each
-/// delivery's relay path (so a partition injected while the message is in
-/// flight can drop it at arrival time), and accounts the gossip traffic:
-/// `bytes` × the number of distinct relay edges the flood used.
+/// delivery's relay path when the timeline can cut one mid-flight, and meters
+/// the traffic. A control flood (`artifact == false`) always pushes `bytes`
+/// once per relay edge. An artifact flood depends on the gossip mode:
+/// [`GossipMode::Full`] pushes the whole payload per edge, while
+/// [`GossipMode::AnnounceFetch`] floods a digest-sized announcement per edge
+/// and meters one targeted payload pull per receiving peer over its shortest
+/// path — the same path and arrival instant either way, so the simulation is
+/// bit-identical across modes and only the meters differ.
 #[allow(clippy::too_many_arguments)]
 fn schedule_flood(
     network: &Network,
     origin: usize,
     bytes: u64,
+    artifact: bool,
     peers: &[PeerState],
     rng: &mut impl Rng,
     sched: &mut Scheduler<Event>,
-    route_log: &mut Vec<Vec<(NodeId, NodeId)>>,
-    gossip_bytes: &mut u64,
+    gs: &mut GossipState,
     mk: impl Fn(usize, usize) -> Event,
 ) {
     // Crash-stopped and dormant peers neither receive nor relay: route over
     // the active subgraph.
-    let avoid: std::collections::HashSet<NodeId> = peers
-        .iter()
-        .enumerate()
-        .filter(|(_, p)| !p.active)
-        .map(|(i, _)| NodeId(i))
-        .collect();
-    let mut edges: std::collections::HashSet<(NodeId, NodeId)> = std::collections::HashSet::new();
-    for d in network.flood_routes_avoiding(NodeId(origin), bytes, rng, &avoid) {
-        edges.extend(d.path.iter().copied());
+    gs.scratch.set_avoid(peers.iter().map(|p| !p.active));
+    // An artifact no larger than the announcement is inlined in it — pulling
+    // it separately would only add a request round and double-count bytes —
+    // so announce/fetch engages strictly above the announcement size, which
+    // keeps `gossip_bytes(AnnounceFetch) ≤ gossip_bytes(Full)` for every
+    // payload and strictly `<` whenever a real artifact floods.
+    let announce = match (artifact, gs.mode) {
+        (true, GossipMode::AnnounceFetch) if bytes > ANNOUNCE_BYTES => Some(ANNOUNCE_BYTES),
+        _ => None,
+    };
+    sched.reserve(network.len());
+    let GossipState {
+        scratch,
+        route_log,
+        fetch_bytes,
+        track_routes,
+        ..
+    } = gs;
+    let mut deliveries = 0u64;
+    network.flood_with(NodeId(origin), bytes, rng, scratch, |node, delay, path| {
+        deliveries += 1;
+        if announce.is_some() {
+            *fetch_bytes += bytes * path.len() as u64;
+        }
         let route = route_log.len();
-        route_log.push(d.path);
-        sched.schedule_after(d.delay, mk(d.node.0, route));
-    }
-    *gossip_bytes += bytes * edges.len() as u64;
+        route_log.push(if *track_routes {
+            path.to_vec()
+        } else {
+            Vec::new()
+        });
+        sched.schedule_after(delay, mk(node.0, route));
+    });
+    // Every delivery path lies on the flood's shortest-path tree and each
+    // reached node contributes exactly its own tree edge, so the number of
+    // distinct relay edges equals the delivery count.
+    gs.gossip_bytes += announce.unwrap_or(bytes) * deliveries;
 }
 
 /// Whether every *relay* node on a recorded route is still alive: relay nodes
-/// are exactly the path's interior nodes (they touch two edges; the origin
-/// and the receiver touch one). A delivery whose relay crash-stopped while
-/// the message was in flight is lost, mirroring the partition semantics of
-/// [`Network::path_open`].
+/// are exactly the path's interior nodes — the endpoint each consecutive edge
+/// pair shares (the origin and the receiver touch one edge each). A delivery
+/// whose relay crash-stopped while the message was in flight is lost,
+/// mirroring the partition semantics of [`Network::path_open`].
 fn relays_alive(path: &[(NodeId, NodeId)], peers: &[PeerState]) -> bool {
-    let mut touched: HashMap<usize, u32> = HashMap::new();
-    for &(a, b) in path {
-        *touched.entry(a.0).or_insert(0) += 1;
-        *touched.entry(b.0).or_insert(0) += 1;
-    }
-    touched
-        .into_iter()
-        .all(|(node, count)| count < 2 || peers[node].active)
+    path.windows(2).all(|w| {
+        let (a, b) = w[0];
+        let shared = if a == w[1].0 || a == w[1].1 { a } else { b };
+        peers[shared.0].active
+    })
 }
 
 /// The decentralized experiment driver.
@@ -624,13 +736,16 @@ impl<'a> Decentralized<'a> {
                     active: !joiners.contains(&i),
                     first_round: 1,
                     hash_scale: 1.0,
+                    confirmed_cache: None,
                 }
             })
             .collect();
 
         // --- network & schedule ------------------------------------------
         let mut network = Network::new(n, cfg.topology.clone(), cfg.link);
-        let mut sched: Scheduler<Event> = Scheduler::new();
+        // Pre-size for the steady-state burst: one flood's deliveries per
+        // active peer plus mining/fault slack.
+        let mut sched: Scheduler<Event> = Scheduler::with_capacity(4 * n + 16);
         let mut net_rng = hub.stream("net");
         let mut mine_rng = hub.stream("mining");
         let mut train_time_rng = hub.stream("train-time");
@@ -641,9 +756,17 @@ impl<'a> Decentralized<'a> {
         let mut tx_update: Vec<Option<usize>> = Vec::new();
         let mut block_log: Vec<blockfed_chain::Block> = Vec::new();
         let mut block_miner: Vec<usize> = Vec::new(); // aligned with block_log
-                                                      // Relay path of every scheduled delivery (for in-flight cut checks).
-        let mut route_log: Vec<Vec<(NodeId, NodeId)>> = Vec::new();
-        let mut gossip_bytes: u64 = 0;
+        let mut gs = GossipState {
+            mode: cfg.gossip,
+            track_routes: cfg
+                .faults
+                .iter()
+                .any(|tf| matches!(tf.fault, Fault::Partition { .. } | Fault::PeerLeave { .. })),
+            scratch: FloodScratch::new(),
+            route_log: Vec::new(),
+            gossip_bytes: 0,
+            fetch_bytes: 0,
+        };
         // Submit-tx index by model fingerprint, for on-demand payload fetches
         // when a block confirms a submission whose artifact a peer never
         // received (partitioned mid-flood, or joined after the flood).
@@ -669,18 +792,18 @@ impl<'a> Decentralized<'a> {
             let idx = tx_log.len();
             tx_log.push(tx.clone());
             tx_update.push(None);
-            peers[i].my_txs.push(idx);
-            let state_now = peers[i].chain.state().clone();
-            let _ = peers[i].mempool.insert(tx, &state_now);
+            let p = &mut peers[i];
+            p.my_txs.push(idx);
+            let _ = p.mempool.insert(tx, p.chain.state());
             schedule_flood(
                 &network,
                 i,
                 512,
+                false,
                 &peers,
                 &mut net_rng,
                 &mut sched,
-                &mut route_log,
-                &mut gossip_bytes,
+                &mut gs,
                 |to, route| Event::DeliverTx { to, idx, route },
             );
         }
@@ -804,21 +927,21 @@ impl<'a> Decentralized<'a> {
                     fp_to_tx.insert(fingerprint, tx_idx);
                     peers[peer].my_txs.push(tx_idx);
 
-                    peers[peer].model_store.insert(fingerprint, update);
-                    let state_now = peers[peer].chain.state().clone();
-                    let _ = peers[peer].mempool.insert(tx, &state_now);
-                    peers[peer].training = false;
-                    peers[peer].train_done_at = Some(now);
+                    let p = &mut peers[peer];
+                    p.model_store.insert(fingerprint, update);
+                    let _ = p.mempool.insert(tx, p.chain.state());
+                    p.training = false;
+                    p.train_done_at = Some(now);
 
                     schedule_flood(
                         &network,
                         peer,
                         cfg.payload_bytes,
+                        true,
                         &peers,
                         &mut net_rng,
                         &mut sched,
-                        &mut route_log,
-                        &mut gossip_bytes,
+                        &mut gs,
                         |to, route| Event::DeliverTx {
                             to,
                             idx: tx_idx,
@@ -840,8 +963,7 @@ impl<'a> Decentralized<'a> {
                         &mut net_rng,
                         &mut tx_log,
                         &mut tx_update,
-                        &mut route_log,
-                        &mut gossip_bytes,
+                        &mut gs,
                         &mut train_time_rng,
                     );
                 }
@@ -855,20 +977,20 @@ impl<'a> Decentralized<'a> {
                     if !peers[to].active {
                         continue;
                     }
-                    if !network.path_open(&route_log[route])
-                        || !relays_alive(&route_log[route], &peers)
+                    if !network.path_open(&gs.route_log[route])
+                        || !relays_alive(&gs.route_log[route], &peers)
                     {
                         trace.record(now, "net.dropped", format!("tx to={to} idx={idx}"));
                         continue;
                     }
                     let tx = tx_log[idx].clone();
+                    let p = &mut peers[to];
                     if let Some(u) = tx_update[idx] {
                         let update = update_log[u].clone();
                         let fp = crate::coupling::model_fingerprint(&update);
-                        peers[to].model_store.insert(fp, update);
+                        p.model_store.insert(fp, update);
                     }
-                    let state_now = peers[to].chain.state().clone();
-                    let _ = peers[to].mempool.insert(tx, &state_now);
+                    let _ = p.mempool.insert(tx, p.chain.state());
                     self.try_aggregate(
                         to,
                         now,
@@ -884,8 +1006,7 @@ impl<'a> Decentralized<'a> {
                         &mut net_rng,
                         &mut tx_log,
                         &mut tx_update,
-                        &mut route_log,
-                        &mut gossip_bytes,
+                        &mut gs,
                         &mut train_time_rng,
                     );
                 }
@@ -926,12 +1047,12 @@ impl<'a> Decentralized<'a> {
                         }
                         draw -= w;
                     }
-                    let head_ts = peers[winner].chain.head_block().header.timestamp_ns;
+                    let p = &mut peers[winner];
+                    let head_ts = p.chain.head_block().header.timestamp_ns;
                     let ts = now.as_nanos().max(head_ts + 1);
-                    let state_now = peers[winner].chain.state().clone();
-                    peers[winner].mempool.prune(&state_now);
-                    let gas_limit = peers[winner].chain.head_block().header.gas_limit;
-                    let txs = peers[winner].mempool.select(&state_now, gas_limit, 64);
+                    p.mempool.prune(p.chain.state());
+                    let gas_limit = p.chain.head_block().header.gas_limit;
+                    let txs = p.mempool.select(p.chain.state(), gas_limit, 64);
                     let (block, ok) = {
                         let p = &mut peers[winner];
                         let block =
@@ -955,8 +1076,8 @@ impl<'a> Decentralized<'a> {
                                 block.transactions.len()
                             ),
                         );
-                        let state_after = peers[winner].chain.state().clone();
-                        peers[winner].mempool.prune(&state_after);
+                        let p = &mut peers[winner];
+                        p.mempool.prune(p.chain.state());
                         let block_idx = block_log.len();
                         let block_bytes = 1024 + 256 * block.transactions.len() as u64;
                         block_log.push(block);
@@ -965,11 +1086,11 @@ impl<'a> Decentralized<'a> {
                             &network,
                             winner,
                             block_bytes,
+                            false,
                             &peers,
                             &mut net_rng,
                             &mut sched,
-                            &mut route_log,
-                            &mut gossip_bytes,
+                            &mut gs,
                             |to, route| Event::DeliverBlock {
                                 to,
                                 idx: block_idx,
@@ -991,8 +1112,7 @@ impl<'a> Decentralized<'a> {
                             &mut net_rng,
                             &mut tx_log,
                             &mut tx_update,
-                            &mut route_log,
-                            &mut gossip_bytes,
+                            &mut gs,
                             &mut train_time_rng,
                         );
                     }
@@ -1004,8 +1124,8 @@ impl<'a> Decentralized<'a> {
                     if !peers[to].active {
                         continue;
                     }
-                    if !network.path_open(&route_log[route])
-                        || !relays_alive(&route_log[route], &peers)
+                    if !network.path_open(&gs.route_log[route])
+                        || !relays_alive(&gs.route_log[route], &peers)
                     {
                         trace.record(now, "net.dropped", format!("block to={to} idx={idx}"));
                         continue;
@@ -1020,45 +1140,72 @@ impl<'a> Decentralized<'a> {
                     // (peer, artifact) is kept in flight at a time.
                     let round_now = peers[to].current_round;
                     let miner = block_miner[idx];
-                    for s in confirmed_submissions(&peers[to].chain, registry, round_now) {
-                        if peers[to].model_store.contains_key(&s.model_hash)
-                            || fetch_pending.contains(&(to, s.model_hash))
-                        {
-                            continue;
-                        }
-                        let Some(&tx_idx) = fp_to_tx.get(&s.model_hash) else {
-                            continue;
-                        };
-                        if miner == to {
-                            continue;
-                        }
-                        let avoid: std::collections::HashSet<NodeId> = peers
+                    refresh_confirmed(&mut peers[to], registry, round_now);
+                    let missing: Vec<(H256, u64, usize)> = {
+                        let p = &peers[to];
+                        p.confirmed_cache
+                            .as_ref()
+                            .expect("just refreshed")
+                            .subs
                             .iter()
-                            .enumerate()
-                            .filter(|(_, p)| !p.active)
-                            .map(|(i, _)| NodeId(i))
-                            .collect();
-                        if let Some(d) = network
-                            .flood_routes_avoiding(
-                                NodeId(miner),
-                                s.payload_bytes,
-                                &mut net_rng,
-                                &avoid,
-                            )
-                            .into_iter()
-                            .find(|d| d.node.0 == to)
-                        {
-                            fetch_pending.insert((to, s.model_hash));
+                            .filter(|s| !p.model_store.contains_key(&s.model_hash))
+                            .filter_map(|s| {
+                                fp_to_tx
+                                    .get(&s.model_hash)
+                                    .map(|&t| (s.model_hash, s.payload_bytes, t))
+                            })
+                            .collect()
+                    };
+                    for (model_hash, payload_bytes, tx_idx) in missing {
+                        if fetch_pending.contains(&(to, model_hash)) || miner == to {
+                            continue;
+                        }
+                        let GossipState {
+                            mode,
+                            track_routes,
+                            scratch,
+                            route_log,
+                            gossip_bytes,
+                            fetch_bytes,
+                        } = &mut gs;
+                        scratch.set_avoid(peers.iter().map(|p| !p.active));
+                        let mut found: Option<FetchRoute> = None;
+                        network.flood_with(
+                            NodeId(miner),
+                            payload_bytes,
+                            &mut net_rng,
+                            scratch,
+                            |node, delay, path| {
+                                if node.0 == to {
+                                    found = Some(FetchRoute {
+                                        delay,
+                                        hops: path.len() as u64,
+                                        path: if *track_routes {
+                                            path.to_vec()
+                                        } else {
+                                            Vec::new()
+                                        },
+                                    });
+                                }
+                            },
+                        );
+                        if let Some(FetchRoute { delay, hops, path }) = found {
+                            fetch_pending.insert((to, model_hash));
                             let fetch_route = route_log.len();
-                            gossip_bytes += s.payload_bytes * d.path.len() as u64;
-                            route_log.push(d.path);
+                            // A targeted pull *is* the announce/fetch primary
+                            // path; Full mode keeps the legacy accounting.
+                            match mode {
+                                GossipMode::Full => *gossip_bytes += payload_bytes * hops,
+                                GossipMode::AnnounceFetch => *fetch_bytes += payload_bytes * hops,
+                            }
+                            route_log.push(path);
                             trace.record(
                                 now,
                                 "net.payload-fetch",
                                 format!("to={to} from={miner} round={round_now}"),
                             );
                             sched.schedule_after(
-                                d.delay,
+                                delay,
                                 Event::DeliverTx {
                                     to,
                                     idx: tx_idx,
@@ -1082,8 +1229,7 @@ impl<'a> Decentralized<'a> {
                         &mut net_rng,
                         &mut tx_log,
                         &mut tx_update,
-                        &mut route_log,
-                        &mut gossip_bytes,
+                        &mut gs,
                         &mut train_time_rng,
                     );
                 }
@@ -1133,8 +1279,7 @@ impl<'a> Decentralized<'a> {
                                         &mut net_rng,
                                         &mut tx_log,
                                         &mut tx_update,
-                                        &mut route_log,
-                                        &mut gossip_bytes,
+                                        &mut gs,
                                         &mut train_time_rng,
                                     );
                                 }
@@ -1154,18 +1299,18 @@ impl<'a> Decentralized<'a> {
                             let reg_idx = tx_log.len();
                             tx_log.push(tx.clone());
                             tx_update.push(None);
-                            peers[peer].my_txs.push(reg_idx);
-                            let state_now = peers[peer].chain.state().clone();
-                            let _ = peers[peer].mempool.insert(tx, &state_now);
+                            let p = &mut peers[peer];
+                            p.my_txs.push(reg_idx);
+                            let _ = p.mempool.insert(tx, p.chain.state());
                             schedule_flood(
                                 &network,
                                 peer,
                                 512,
+                                false,
                                 &peers,
                                 &mut net_rng,
                                 &mut sched,
-                                &mut route_log,
-                                &mut gossip_bytes,
+                                &mut gs,
                                 |to, route| Event::DeliverTx {
                                     to,
                                     idx: reg_idx,
@@ -1244,6 +1389,14 @@ impl<'a> Decentralized<'a> {
             })
             .collect();
         let aggregates = confirmed_aggregates(&peers[0].chain, registry);
+        let artifacts: Vec<Vec<H256>> = peers
+            .iter()
+            .map(|p| {
+                let mut fps: Vec<H256> = p.model_store.keys().copied().collect();
+                fps.sort_unstable();
+                fps
+            })
+            .collect();
         DecentralizedRun {
             peer_records: peers.into_iter().map(|p| p.records).collect(),
             chain,
@@ -1252,7 +1405,9 @@ impl<'a> Decentralized<'a> {
             published_updates: update_log,
             audits,
             blocks_sealed: block_log.len(),
-            gossip_bytes,
+            gossip_bytes: gs.gossip_bytes,
+            fetch_bytes: gs.fetch_bytes,
+            artifacts,
             aggregates,
         }
     }
@@ -1323,14 +1478,13 @@ impl<'a> Decentralized<'a> {
                 break;
             }
         }
-        let state_now = p.chain.state().clone();
-        p.mempool.prune(&state_now);
+        p.mempool.prune(p.chain.state());
         // Re-broadcast-to-self: a reorg may have unwound blocks carrying this
         // peer's transactions after `prune` already dropped them from the
         // pool. Re-insert every authored tx still ahead of the account nonce
         // so it gets mined again (stale and duplicate inserts are rejected).
         for &i in &p.my_txs {
-            let _ = p.mempool.insert(tx_log[i].clone(), &state_now);
+            let _ = p.mempool.insert(tx_log[i].clone(), p.chain.state());
         }
     }
 
@@ -1351,8 +1505,7 @@ impl<'a> Decentralized<'a> {
         net_rng: &mut impl Rng,
         tx_log: &mut Vec<Transaction>,
         tx_update: &mut Vec<Option<usize>>,
-        route_log: &mut Vec<Vec<(NodeId, NodeId)>>,
-        gossip_bytes: &mut u64,
+        gs: &mut GossipState,
         train_time_rng: &mut impl Rng,
     ) {
         let cfg = &self.config;
@@ -1372,16 +1525,37 @@ impl<'a> Decentralized<'a> {
         {
             return;
         }
-        // Confirmed submissions on *this peer's* chain with payloads at hand.
-        let confirmed = confirmed_submissions(&peers[peer].chain, registry, round);
+        // Confirmed submissions on *this peer's* chain (memoized until its
+        // head or round moves) with payloads at hand. The wait-policy bar is
+        // checked on a plain count first: this runs on every delivered
+        // transaction, and deep-cloning model parameters just to discover the
+        // policy is not yet satisfied was the hottest allocation in the run.
+        refresh_confirmed(&mut peers[peer], registry, round);
+        let cache = peers[peer]
+            .confirmed_cache
+            .as_ref()
+            .expect("just refreshed");
+        // `ready` is monotone in the arrival count and the count can never
+        // exceed either side of the intersection, so an upper-bound check
+        // skips the per-submission membership scan for the long waiting
+        // phase of every round.
+        let upper_bound = cache.subs.len().min(peers[peer].model_store.len());
+        if !cfg.wait_policy.ready(upper_bound, n) || upper_bound == 0 {
+            return;
+        }
+        let arrived_count = cache
+            .subs
+            .iter()
+            .filter(|s| peers[peer].model_store.contains_key(&s.model_hash))
+            .count();
+        if !cfg.wait_policy.ready(arrived_count, n) || arrived_count == 0 {
+            return;
+        }
+        let confirmed = cache.subs.clone();
         let arrived: Vec<ModelUpdate> = confirmed
             .iter()
             .filter_map(|s| peers[peer].model_store.get(&s.model_hash).cloned())
             .collect();
-        let arrived_count = arrived.len();
-        if !cfg.wait_policy.ready(arrived_count, n) || arrived.is_empty() {
-            return;
-        }
 
         let mut dropped: Vec<String> = Vec::new();
 
@@ -1583,18 +1757,18 @@ impl<'a> Decentralized<'a> {
         let idx = tx_log.len();
         tx_log.push(tx.clone());
         tx_update.push(None);
-        peers[peer].my_txs.push(idx);
-        let state_now = peers[peer].chain.state().clone();
-        let _ = peers[peer].mempool.insert(tx, &state_now);
+        let p = &mut peers[peer];
+        p.my_txs.push(idx);
+        let _ = p.mempool.insert(tx, p.chain.state());
         schedule_flood(
             network,
             peer,
             512,
+            false,
             peers,
             net_rng,
             sched,
-            route_log,
-            gossip_bytes,
+            gs,
             |to, route| Event::DeliverTx { to, idx, route },
         );
 
@@ -1739,6 +1913,7 @@ mod tests {
             adversaries: Vec::new(),
             link: LinkSpec::lan(),
             topology: Topology::FullMesh,
+            gossip: GossipMode::Full,
             staleness_decay: None,
             faults: Vec::new(),
             retarget: RetargetRule::Homestead,
@@ -1863,20 +2038,22 @@ mod tests {
     #[test]
     fn try_new_rejects_oversize_population_with_typed_error() {
         let fx = fixture();
-        // 129 shards: graceful typed rejection, no panic.
-        let shards: Vec<Dataset> = (0..129).map(|_| fx.tests[0].clone()).collect();
+        // 257 shards — one past the mask's native width: graceful typed
+        // rejection, no panic.
+        let shards: Vec<Dataset> = (0..257).map(|_| fx.tests[0].clone()).collect();
         let err = Decentralized::try_new(quick_config(WaitPolicy::All, 1), &shards, &shards)
             .err()
             .expect("must reject");
-        assert_eq!(err, crate::error::ConfigError::TooManyPeers { got: 129 });
-        // 48 is inside the new ceiling.
-        let forty_eight: Vec<Dataset> = (0..48).map(|_| fx.tests[0].clone()).collect();
-        assert!(Decentralized::try_new(
-            quick_config(WaitPolicy::All, 1),
-            &forty_eight,
-            &forty_eight
-        )
-        .is_ok());
+        assert_eq!(err, crate::error::ConfigError::TooManyPeers { got: 257 });
+        // The full mask domain is inside the ceiling now — 129 peers (the old
+        // rejection point) and 256 peers both construct.
+        for n in [129usize, 256] {
+            let inside: Vec<Dataset> = (0..n).map(|_| fx.tests[0].clone()).collect();
+            assert!(
+                Decentralized::try_new(quick_config(WaitPolicy::All, 1), &inside, &inside).is_ok(),
+                "{n} peers must be accepted"
+            );
+        }
     }
 
     #[test]
@@ -2433,7 +2610,88 @@ mod tests {
         let out = run(WaitPolicy::All, 55);
         assert!(out.blocks_sealed >= out.chain.blocks);
         assert!(out.gossip_bytes > 0);
+        assert_eq!(out.fetch_bytes, 0, "Full mode never meters fetches");
         let f = out.fork_rate();
         assert!((0.0..=1.0).contains(&f), "fork rate {f}");
+    }
+
+    fn run_with_gossip(
+        mode: GossipMode,
+        faults: Vec<crate::faults::TimedFault>,
+    ) -> DecentralizedRun {
+        let mut cfg = quick_config(WaitPolicy::All, 56);
+        cfg.gossip = mode;
+        cfg.faults = faults;
+        run_with(cfg, 56)
+    }
+
+    #[test]
+    fn gossip_modes_drive_identical_simulations_with_different_meters() {
+        let full = run_with_gossip(GossipMode::Full, Vec::new());
+        let af = run_with_gossip(GossipMode::AnnounceFetch, Vec::new());
+        // The simulation is bit-identical: same records (waits included),
+        // same chain, same artifacts everywhere, same settle time.
+        assert_eq!(full.peer_records, af.peer_records);
+        assert_eq!(full.chain, af.chain);
+        assert_eq!(full.finished_at, af.finished_at);
+        assert_eq!(full.blocks_sealed, af.blocks_sealed);
+        assert_eq!(full.artifacts, af.artifacts);
+        // Every peer holds every artifact under wait-all: 3 peers × 2 rounds.
+        for inventory in &af.artifacts {
+            assert_eq!(inventory.len(), 6);
+        }
+        // Only the meters differ: announce/fetch floods digests and pulls
+        // payloads, Full floods payloads and pulls nothing.
+        assert_eq!(full.fetch_bytes, 0);
+        assert!(af.fetch_bytes > 0);
+        assert!(
+            af.gossip_bytes < full.gossip_bytes,
+            "announce floods must be cheaper: {} !< {}",
+            af.gossip_bytes,
+            full.gossip_bytes
+        );
+    }
+
+    #[test]
+    fn tiny_artifacts_are_inlined_not_double_counted() {
+        // A payload at or below the announcement size gains nothing from a
+        // separate pull: announce/fetch must inline it (flood it whole) so
+        // bytes are never double-counted and AF never floods *more* than
+        // Full.
+        let run_tiny = |mode: GossipMode| {
+            let mut cfg = quick_config(WaitPolicy::All, 57);
+            cfg.payload_bytes = ANNOUNCE_BYTES; // boundary: inline, no pull
+            cfg.gossip = mode;
+            run_with(cfg, 57)
+        };
+        let full = run_tiny(GossipMode::Full);
+        let af = run_tiny(GossipMode::AnnounceFetch);
+        assert_eq!(full.peer_records, af.peer_records);
+        assert_eq!(af.fetch_bytes, 0, "inlined artifacts must not meter a pull");
+        assert_eq!(af.gossip_bytes, full.gossip_bytes);
+    }
+
+    #[test]
+    fn gossip_modes_agree_under_partition_and_churn() {
+        // A partition cutting in-flight deliveries plus a mid-run leave: the
+        // recovery machinery (on-demand fetch, ancestor sync) must fire the
+        // same way in both modes — only the fetch accounting moves.
+        let faults = vec![
+            crate::faults::TimedFault::at_secs(
+                0.15,
+                crate::faults::Fault::Partition {
+                    left: vec![0],
+                    right: vec![1, 2],
+                },
+            ),
+            crate::faults::TimedFault::at_secs(6.0, crate::faults::Fault::HealAll),
+        ];
+        let full = run_with_gossip(GossipMode::Full, faults.clone());
+        let af = run_with_gossip(GossipMode::AnnounceFetch, faults);
+        assert_eq!(full.peer_records, af.peer_records);
+        assert_eq!(full.artifacts, af.artifacts);
+        assert_eq!(full.finished_at, af.finished_at);
+        assert_eq!(full.fetch_bytes, 0);
+        assert!(af.gossip_bytes < full.gossip_bytes);
     }
 }

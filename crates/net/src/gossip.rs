@@ -1,9 +1,47 @@
-//! Gossip bookkeeping: per-node duplicate suppression.
+//! Gossip bookkeeping: dissemination modes and per-node duplicate
+//! suppression.
 
 use std::collections::{HashMap, HashSet};
 use std::hash::Hash;
 
 use crate::topology::NodeId;
+
+/// Bytes of a fixed-size artifact announcement: the artifact's 32-byte
+/// fingerprint, a 32-byte carrying-transaction hash, and ~64 bytes of round,
+/// declared size, sender, and signature — what a peer needs to decide whether
+/// to pull the payload and whom to pull it from.
+pub const ANNOUNCE_BYTES: u64 = 128;
+
+/// How large artifacts (model payloads) are disseminated.
+///
+/// Both modes drive the *same* simulation: an artifact reaches each peer over
+/// its shortest open relay path at the same virtual instant, so runs are
+/// bit-identical across modes — only the traffic accounting differs. The mode
+/// answers "what crosses the wire": the whole artifact on every relay edge,
+/// or a digest-sized announcement plus exactly one pulled copy per peer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum GossipMode {
+    /// Legacy full-payload flooding: every relay edge of the flood tree
+    /// carries the whole artifact. `gossip_bytes` grows as
+    /// `payload × edges`; nothing is accounted as a fetch.
+    Full,
+    /// Two-phase announce/fetch (the default): floods carry an
+    /// [`ANNOUNCE_BYTES`]-sized announcement; each peer lacking the payload
+    /// pulls exactly one copy over its shortest open path. Flood traffic
+    /// drops to `digest × edges` while payload movement — `payload` once per
+    /// receiving peer — is accounted separately as fetch traffic.
+    #[default]
+    AnnounceFetch,
+}
+
+impl std::fmt::Display for GossipMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GossipMode::Full => write!(f, "full"),
+            GossipMode::AnnounceFetch => write!(f, "announce-fetch"),
+        }
+    }
+}
 
 /// Tracks which messages each node has already seen, so flooding relays each
 /// message exactly once per node.
@@ -61,6 +99,17 @@ impl<Id: Eq + Hash> GossipTracker<Id> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn gossip_mode_defaults_to_announce_fetch_and_displays() {
+        assert_eq!(GossipMode::default(), GossipMode::AnnounceFetch);
+        assert_eq!(GossipMode::Full.to_string(), "full");
+        assert_eq!(GossipMode::AnnounceFetch.to_string(), "announce-fetch");
+        // The announcement must be digest-sized: far below even the small
+        // (248 KB) model artifact, or announce/fetch could never win.
+        let bound = 253_952 / 100;
+        assert!(ANNOUNCE_BYTES < bound);
+    }
 
     #[test]
     fn duplicate_suppression_is_per_node() {

@@ -25,7 +25,7 @@ pub mod link;
 pub mod net;
 pub mod topology;
 
-pub use gossip::GossipTracker;
+pub use gossip::{GossipMode, GossipTracker, ANNOUNCE_BYTES};
 pub use link::LinkSpec;
-pub use net::{FloodDelivery, Network};
+pub use net::{FloodDelivery, FloodScratch, Network};
 pub use topology::{NodeId, Topology};

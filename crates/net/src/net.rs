@@ -57,6 +57,79 @@ fn unordered(a: NodeId, b: NodeId) -> (NodeId, NodeId) {
     }
 }
 
+/// Reusable routing scratch for [`Network::flood_with`]: the Dijkstra state,
+/// pre-sampled edge delays, the avoid mask, a cached adjacency list, and the
+/// per-delivery path buffer — everything a flood allocates, hoisted out of
+/// the per-call hot path so an orchestrator flooding thousands of times
+/// reuses one set of buffers.
+///
+/// A scratch may be shared across networks; its caches re-key themselves when
+/// the topology or node count changes.
+#[derive(Debug, Default)]
+pub struct FloodScratch {
+    /// `avoid[i] == true` excludes node `i` from receiving and relaying.
+    /// Empty means "avoid nobody".
+    avoid: Vec<bool>,
+    dist: Vec<SimDuration>,
+    prev: Vec<usize>,
+    visited: Vec<bool>,
+    /// Sampled delay of undirected edge `(lo, hi)` at slot `lo * n + hi`,
+    /// valid only while its stamp matches the current flood's epoch.
+    edge_delay: Vec<(u64, Option<SimDuration>)>,
+    epoch: u64,
+    /// CSR adjacency (offsets + flattened neighbor lists) cached per
+    /// `(topology, n)`.
+    adj_off: Vec<usize>,
+    adj: Vec<usize>,
+    adj_key: Option<(Topology, usize)>,
+    path_buf: Vec<(NodeId, NodeId)>,
+}
+
+impl FloodScratch {
+    /// Creates an empty scratch; buffers size themselves on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Replaces the avoid mask: `flags` yields one `bool` per node id, `true`
+    /// excluding that node from receiving and relaying. Clearing to an empty
+    /// iterator avoids nobody. The mask persists across floods until reset.
+    pub fn set_avoid<I: IntoIterator<Item = bool>>(&mut self, flags: I) {
+        self.avoid.clear();
+        self.avoid.extend(flags);
+    }
+
+    /// Re-keys the adjacency cache and resets per-flood state.
+    fn prepare(&mut self, topology: &Topology, n: usize) {
+        let cached = matches!(&self.adj_key, Some((t, m)) if *m == n && t == topology);
+        if !cached {
+            self.adj.clear();
+            self.adj_off.clear();
+            self.adj_off.push(0);
+            for a in 0..n {
+                self.adj
+                    .extend(topology.neighbors(NodeId(a), n).into_iter().map(|b| b.0));
+                self.adj_off.push(self.adj.len());
+            }
+            self.adj_key = Some((topology.clone(), n));
+            self.edge_delay.clear();
+            self.edge_delay.resize(n * n, (0, None));
+            self.epoch = 0;
+        }
+        self.epoch += 1;
+        self.dist.clear();
+        self.dist.resize(n, SimDuration::MAX);
+        self.visited.clear();
+        self.visited.resize(n, false);
+        self.prev.clear();
+        self.prev.resize(n, usize::MAX);
+    }
+
+    fn avoided(&self, node: usize) -> bool {
+        self.avoid.get(node).copied().unwrap_or(false)
+    }
+}
+
 impl Network {
     /// Creates a network with one link profile everywhere.
     ///
@@ -198,69 +271,118 @@ impl Network {
         rng: &mut R,
         avoid: &HashSet<NodeId>,
     ) -> Vec<FloodDelivery> {
+        let mut scratch = FloodScratch::new();
+        scratch.set_avoid((0..self.n).map(|i| avoid.contains(&NodeId(i))));
+        let mut out = Vec::new();
+        self.flood_with(origin, bytes, rng, &mut scratch, |node, delay, path| {
+            out.push(FloodDelivery {
+                node,
+                delay,
+                path: path.to_vec(),
+            });
+        });
+        out
+    }
+
+    /// The allocation-free core of every flood API: shortest-path gossip
+    /// routing (Dijkstra over delays sampled once per edge) whose working
+    /// state lives in a caller-owned [`FloodScratch`]. `visit` is called once
+    /// per delivery in ascending node order with the receiver, its arrival
+    /// offset, and a *borrowed* relay path — clone the path only if you need
+    /// to keep it.
+    ///
+    /// Nodes flagged in the scratch's avoid mask (see
+    /// [`FloodScratch::set_avoid`]) neither receive nor relay. Edge delays
+    /// are pre-sampled over the full topology in a fixed order regardless of
+    /// the mask, so RNG consumption — and with it the rest of a
+    /// deterministic simulation — is identical across every flood API and
+    /// every avoid set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `origin` is out of range.
+    pub fn flood_with<R: Rng + ?Sized>(
+        &self,
+        origin: NodeId,
+        bytes: u64,
+        rng: &mut R,
+        scratch: &mut FloodScratch,
+        mut visit: impl FnMut(NodeId, SimDuration, &[(NodeId, NodeId)]),
+    ) {
         assert!(origin.0 < self.n, "origin out of range");
-        // Dijkstra with sampled edge weights: deterministic given the RNG.
-        let mut dist: HashMap<NodeId, SimDuration> = HashMap::new();
-        dist.insert(origin, SimDuration::ZERO);
-        let mut prev: HashMap<NodeId, NodeId> = HashMap::new();
-        let mut visited: HashSet<NodeId> = HashSet::new();
+        let n = self.n;
+        scratch.prepare(&self.topology, n);
         // Pre-sample each usable edge once (symmetric delay per message
-        // relay), over the full topology so RNG draws are avoid-independent.
-        let mut edge_delay: HashMap<(NodeId, NodeId), Option<SimDuration>> = HashMap::new();
-        for a in self.nodes() {
-            for b in self.topology.neighbors(a, self.n) {
-                let key = unordered(a, b);
-                edge_delay
-                    .entry(key)
-                    .or_insert_with(|| self.delay(key.0, key.1, bytes, rng));
+        // relay), in the same first-encounter order as the allocating APIs
+        // always have, so switching APIs never perturbs a simulation.
+        for a in 0..n {
+            for idx in scratch.adj_off[a]..scratch.adj_off[a + 1] {
+                let b = scratch.adj[idx];
+                let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+                let slot = lo * n + hi;
+                if scratch.edge_delay[slot].0 != scratch.epoch {
+                    // Adjacency holds by construction (the pair comes from
+                    // the adjacency list), so only the partition check gates
+                    // the sample — re-proving the topology edge per draw is
+                    // the kind of per-edge cost this path exists to shed.
+                    let d = if self.cut.contains(&(NodeId(lo), NodeId(hi))) {
+                        None
+                    } else {
+                        self.link(NodeId(lo), NodeId(hi)).delay(bytes, rng)
+                    };
+                    scratch.edge_delay[slot] = (scratch.epoch, d);
+                }
             }
         }
+        // Dijkstra with deterministic (distance, node id) selection.
+        scratch.dist[origin.0] = SimDuration::ZERO;
         loop {
-            let current = dist
-                .iter()
-                .filter(|(n, _)| !visited.contains(n))
-                .min_by_key(|(n, d)| (**d, n.0))
-                .map(|(n, d)| (*n, *d));
-            let (node, base) = match current {
-                Some(x) => x,
-                None => break,
-            };
-            visited.insert(node);
-            if node != origin && avoid.contains(&node) {
+            let mut node = n;
+            let mut base = SimDuration::MAX;
+            for v in 0..n {
+                if !scratch.visited[v] && scratch.dist[v] < base {
+                    node = v;
+                    base = scratch.dist[v];
+                }
+            }
+            if node == n {
+                break;
+            }
+            scratch.visited[node] = true;
+            if node != origin.0 && scratch.avoided(node) {
                 continue; // reachable but excluded: receives nothing, relays nothing
             }
-            for nb in self.topology.neighbors(node, self.n) {
-                if visited.contains(&nb) || avoid.contains(&nb) {
+            for idx in scratch.adj_off[node]..scratch.adj_off[node + 1] {
+                let nb = scratch.adj[idx];
+                if scratch.visited[nb] || scratch.avoided(nb) {
                     continue;
                 }
-                if let Some(Some(d)) = edge_delay.get(&unordered(node, nb)) {
-                    let candidate = base + *d;
-                    let best = dist.entry(nb).or_insert(SimDuration::MAX);
-                    if candidate < *best {
-                        *best = candidate;
-                        prev.insert(nb, node);
+                let (lo, hi) = if node <= nb { (node, nb) } else { (nb, node) };
+                let (stamp, delay) = scratch.edge_delay[lo * n + hi];
+                if let (true, Some(d)) = (stamp == scratch.epoch, delay) {
+                    let candidate = base + d;
+                    if candidate < scratch.dist[nb] {
+                        scratch.dist[nb] = candidate;
+                        scratch.prev[nb] = node;
                     }
                 }
             }
         }
-        let mut out: Vec<FloodDelivery> = dist
-            .into_iter()
-            .filter(|(node, _)| *node != origin)
-            .map(|(node, delay)| {
-                // Walk predecessors back to the origin to recover the path.
-                let mut path = Vec::new();
-                let mut at = node;
-                while at != origin {
-                    let p = prev[&at];
-                    path.push(unordered(p, at));
-                    at = p;
-                }
-                path.reverse();
-                FloodDelivery { node, delay, path }
-            })
-            .collect();
-        out.sort_by_key(|d| d.node);
-        out
+        for node in 0..n {
+            if node == origin.0 || scratch.dist[node] == SimDuration::MAX {
+                continue;
+            }
+            // Walk predecessors back to the origin to recover the path.
+            scratch.path_buf.clear();
+            let mut at = node;
+            while at != origin.0 {
+                let p = scratch.prev[at];
+                scratch.path_buf.push(unordered(NodeId(p), NodeId(at)));
+                at = p;
+            }
+            scratch.path_buf.reverse();
+            visit(NodeId(node), scratch.dist[node], &scratch.path_buf);
+        }
     }
 
     /// Whether every edge on a relay path is currently usable (adjacent under
@@ -469,5 +591,86 @@ mod tests {
     fn self_delay_is_none() {
         let net = Network::new(2, Topology::FullMesh, LinkSpec::lan());
         assert!(net.delay(NodeId(0), NodeId(0), 0, &mut rng()).is_none());
+    }
+
+    #[test]
+    fn scratch_flood_matches_allocating_api_across_topologies() {
+        // One shared scratch, reused across different topologies and sizes:
+        // per-seed results and RNG consumption must match the allocating API
+        // exactly (same deliveries, same delays, same paths).
+        let mut scratch = FloodScratch::new();
+        let topologies = [
+            Topology::FullMesh,
+            Topology::Ring,
+            Topology::Star { hub: NodeId(1) },
+            Topology::Custom(vec![
+                (NodeId(0), NodeId(1)),
+                (NodeId(1), NodeId(2)),
+                (NodeId(2), NodeId(3)),
+                (NodeId(0), NodeId(3)),
+                (NodeId(1), NodeId(4)),
+            ]),
+        ];
+        for (i, topo) in topologies.into_iter().enumerate() {
+            for n in [2usize, 5, 9] {
+                if matches!(topo, Topology::Custom(_)) && n < 5 {
+                    continue;
+                }
+                let net = Network::new(n, topo.clone(), LinkSpec::lan());
+                let avoid: HashSet<NodeId> = if n > 3 {
+                    [NodeId(2)].into_iter().collect()
+                } else {
+                    HashSet::new()
+                };
+                let seed = 100 + i as u64;
+                let reference = net.flood_routes_avoiding(
+                    NodeId(0),
+                    700,
+                    &mut RngHub::new(seed).stream("eq"),
+                    &avoid,
+                );
+                scratch.set_avoid((0..n).map(|v| avoid.contains(&NodeId(v))));
+                let mut via_scratch = Vec::new();
+                let mut reused_rng = RngHub::new(seed).stream("eq");
+                net.flood_with(
+                    NodeId(0),
+                    700,
+                    &mut reused_rng,
+                    &mut scratch,
+                    |node, delay, path| {
+                        via_scratch.push(FloodDelivery {
+                            node,
+                            delay,
+                            path: path.to_vec(),
+                        });
+                    },
+                );
+                assert_eq!(reference, via_scratch, "topology #{i} n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn scratch_avoid_mask_persists_until_reset() {
+        let net = Network::new(4, Topology::FullMesh, LinkSpec::instant());
+        let mut scratch = FloodScratch::new();
+        scratch.set_avoid([false, true, false, false]);
+        let mut reached = Vec::new();
+        net.flood_with(NodeId(0), 0, &mut rng(), &mut scratch, |node, _, _| {
+            reached.push(node.0)
+        });
+        assert_eq!(reached, vec![2, 3]);
+        // Same mask applies to the next flood until cleared.
+        reached.clear();
+        net.flood_with(NodeId(2), 0, &mut rng(), &mut scratch, |node, _, _| {
+            reached.push(node.0)
+        });
+        assert_eq!(reached, vec![0, 3]);
+        scratch.set_avoid(std::iter::empty());
+        reached.clear();
+        net.flood_with(NodeId(0), 0, &mut rng(), &mut scratch, |node, _, _| {
+            reached.push(node.0)
+        });
+        assert_eq!(reached, vec![1, 2, 3]);
     }
 }

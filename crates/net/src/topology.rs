@@ -78,9 +78,28 @@ impl Topology {
         }
     }
 
-    /// Whether two distinct nodes are adjacent.
+    /// Whether two distinct nodes are adjacent. Allocation-free: this sits
+    /// on the per-edge hot path of every flood.
     pub fn adjacent(&self, a: NodeId, b: NodeId, n: usize) -> bool {
-        a != b && self.neighbors(a, n).contains(&b)
+        assert!(a.0 < n, "node {a} out of range for {n} nodes");
+        if a == b || b.0 >= n {
+            return false;
+        }
+        match self {
+            Topology::FullMesh => true,
+            Topology::Ring => {
+                if n == 2 {
+                    true
+                } else {
+                    let diff = a.0.abs_diff(b.0);
+                    diff == 1 || diff == n - 1
+                }
+            }
+            Topology::Star { hub } => a == *hub || b == *hub,
+            Topology::Custom(edges) => edges
+                .iter()
+                .any(|&(x, y)| (x == a && y == b) || (x == b && y == a)),
+        }
     }
 }
 

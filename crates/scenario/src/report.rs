@@ -34,8 +34,12 @@ pub struct CellReport {
     pub makespan_secs: f64,
     /// Fraction of sealed blocks that did not make the canonical chain.
     pub fork_rate: f64,
-    /// Total bytes crossing links during gossip floods.
+    /// Total bytes crossing links during gossip floods (announcements only
+    /// under announce/fetch; full payloads under legacy full flooding).
     pub gossip_bytes: u64,
+    /// Total bytes of targeted payload pulls (one artifact copy per
+    /// receiving peer). Zero under legacy full flooding.
+    pub fetch_bytes: u64,
     /// Canonical blocks on peer 0's chain.
     pub blocks: usize,
     /// Total per-peer round records folded into the cell.
@@ -61,6 +65,7 @@ impl PartialEq for CellReport {
             && self.makespan_secs == other.makespan_secs
             && self.fork_rate == other.fork_rate
             && self.gossip_bytes == other.gossip_bytes
+            && self.fetch_bytes == other.fetch_bytes
             && self.blocks == other.blocks
             && self.records == other.records
             && self.max_mask_bit == other.max_mask_bit
@@ -91,6 +96,7 @@ impl ScenarioReport {
                 "Makespan (s)",
                 "Fork rate",
                 "Gossip (MB)",
+                "Fetch (MB)",
                 "Wall (s)",
             ],
         );
@@ -105,6 +111,7 @@ impl ScenarioReport {
                 format!("{:.1}", c.makespan_secs),
                 format!("{:.3}", c.fork_rate),
                 format!("{:.2}", c.gossip_bytes as f64 / 1e6),
+                format!("{:.2}", c.fetch_bytes as f64 / 1e6),
                 format!("{:.2}", c.wall_clock_secs),
             ]);
         }
@@ -145,6 +152,7 @@ impl ScenarioReport {
             ));
             out.push_str(&format!("\"fork_rate\": {}, ", json_f64(c.fork_rate)));
             out.push_str(&format!("\"gossip_bytes\": {}, ", c.gossip_bytes));
+            out.push_str(&format!("\"fetch_bytes\": {}, ", c.fetch_bytes));
             out.push_str(&format!("\"blocks\": {}, ", c.blocks));
             out.push_str(&format!("\"records\": {}, ", c.records));
             out.push_str(&format!(
@@ -176,6 +184,46 @@ impl ScenarioReport {
         std::fs::create_dir_all(dir)?;
         let path = dir.join("BENCH_scenarios.json");
         std::fs::write(&path, self.to_json())?;
+        Ok(path)
+    }
+
+    /// One perf-trajectory line per cell, in the `BENCH_history.jsonl`
+    /// shape: cell name, traffic meters, wall clock, and the recording
+    /// revision. `BENCH_scenarios.json` is overwritten per run; the history
+    /// file only ever grows, so deltas stay visible across PRs.
+    pub fn history_lines(&self, git_rev: &str) -> String {
+        let mut out = String::new();
+        for c in &self.cells {
+            out.push_str(&format!(
+                "{{\"cell\": {}, \"peers\": {}, \"gossip_bytes\": {}, \"fetch_bytes\": {}, \
+                 \"wall_clock_secs\": {}, \"git_rev\": {}}}\n",
+                json_str(&c.name),
+                c.peers,
+                c.gossip_bytes,
+                c.fetch_bytes,
+                json_f64(c.wall_clock_secs),
+                json_str(git_rev),
+            ));
+        }
+        out
+    }
+
+    /// Appends [`ScenarioReport::history_lines`] to `dir/BENCH_history.jsonl`
+    /// (created on first use). Returns the path written.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn append_history(&self, dir: impl AsRef<Path>, git_rev: &str) -> io::Result<PathBuf> {
+        use std::io::Write;
+        let dir = dir.as_ref();
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join("BENCH_history.jsonl");
+        let mut file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)?;
+        file.write_all(self.history_lines(git_rev).as_bytes())?;
         Ok(path)
     }
 }
@@ -223,6 +271,7 @@ mod tests {
             makespan_secs: 100.0,
             fork_rate: 0.1,
             gossip_bytes: 1_000_000,
+            fetch_bytes: 250_000,
             blocks: 12,
             records: 10,
             max_mask_bit: Some(4),
@@ -266,6 +315,35 @@ mod tests {
         let t = report.table();
         assert_eq!(t.len(), 3);
         assert!(t.to_string().contains("wait-3"));
+    }
+
+    #[test]
+    fn json_carries_fetch_bytes() {
+        let report = ScenarioReport {
+            name: "t".into(),
+            cells: vec![cell("one")],
+        };
+        assert!(report.to_json().contains("\"fetch_bytes\": 250000"));
+    }
+
+    #[test]
+    fn history_appends_one_line_per_cell_per_run() {
+        let dir = std::env::temp_dir().join(format!("blockfed-hist-{}", std::process::id()));
+        let report = ScenarioReport {
+            name: "h".into(),
+            cells: vec![cell("a"), cell("b")],
+        };
+        let path = report.append_history(&dir, "rev1").unwrap();
+        report.append_history(&dir, "rev2").unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = content.lines().collect();
+        assert_eq!(lines.len(), 4, "append must accumulate, not overwrite");
+        assert!(lines[0].contains("\"cell\": \"a\""));
+        assert!(lines[0].contains("\"git_rev\": \"rev1\""));
+        assert!(lines[3].contains("\"git_rev\": \"rev2\""));
+        assert!(lines[0].contains("\"gossip_bytes\": 1000000"));
+        assert!(lines[0].contains("\"fetch_bytes\": 250000"));
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

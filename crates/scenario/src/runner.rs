@@ -67,6 +67,7 @@ impl ScenarioRunner {
             makespan_secs: run.finished_at.as_secs_f64(),
             fork_rate: run.fork_rate(),
             gossip_bytes: run.gossip_bytes,
+            fetch_bytes: run.fetch_bytes,
             blocks: run.chain.blocks,
             records,
             max_mask_bit,

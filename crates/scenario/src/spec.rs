@@ -14,7 +14,7 @@ use blockfed_core::{
 };
 use blockfed_data::{Dataset, Partition, SynthCifarConfig};
 use blockfed_fl::{Adversary, StalenessDecay, Strategy, WaitPolicy};
-use blockfed_net::{LinkSpec, Topology};
+use blockfed_net::{GossipMode, LinkSpec, Topology};
 use blockfed_nn::{Sequential, SimpleNnConfig};
 
 /// How a scenario synthesizes and partitions its federated data.
@@ -105,6 +105,13 @@ pub struct ScenarioSpec {
     pub topology: Topology,
     /// Link profile between peers.
     pub link: LinkSpec,
+    /// How model artifacts disseminate: the default
+    /// [`GossipMode::AnnounceFetch`] floods digest-sized announcements and
+    /// pulls one payload copy per peer (`fetch_bytes`), while
+    /// [`GossipMode::Full`] reproduces the legacy payload-per-edge flood
+    /// accounting. Identical simulation either way — only the traffic split
+    /// in the cell report changes.
+    pub gossip: GossipMode,
     /// When a peer stops waiting for more models.
     pub wait_policy: WaitPolicy,
     /// The requested aggregation strategy (see [`ScenarioSpec::resolved_strategy`]).
@@ -176,6 +183,7 @@ impl ScenarioSpec {
             ],
             topology: Topology::FullMesh,
             link: LinkSpec::lan(),
+            gossip: GossipMode::AnnounceFetch,
             wait_policy: WaitPolicy::All,
             strategy: Strategy::Consider,
             consider_cutover: 6,
@@ -371,6 +379,13 @@ impl ScenarioSpec {
         self
     }
 
+    /// Sets the gossip dissemination mode (see [`ScenarioSpec::gossip`]).
+    #[must_use]
+    pub fn gossip(mut self, mode: GossipMode) -> Self {
+        self.gossip = mode;
+        self
+    }
+
     /// Enables the fitness gate.
     #[must_use]
     pub fn fitness_threshold(mut self, th: f64) -> Self {
@@ -550,6 +565,7 @@ impl ScenarioSpec {
             adversaries: self.adversaries.clone(),
             link: self.link,
             topology: self.topology.clone(),
+            gossip: self.gossip,
             staleness_decay: self.staleness_decay,
             faults: self.timeline.clone(),
             retarget: self.retarget,
@@ -627,15 +643,21 @@ mod tests {
         // has to cover the population now.
         let thirty_three = ScenarioSpec::new("past-u32", 33).data(DataSpec::scaled_for(33));
         thirty_three.validate().unwrap();
-        // Past the orchestrator ceiling the error mirrors ConfigError.
-        let too_many = ScenarioSpec::new("many", 129)
+        // 129 peers — the old ceiling's rejection point — now validates; the
+        // ceiling is the mask's native 256.
+        ScenarioSpec::new("past-old-cap", 129)
             .data(DataSpec::scaled_for(129))
             .validate()
+            .unwrap();
+        // Past the orchestrator ceiling the error mirrors ConfigError.
+        let too_many = ScenarioSpec::new("many", 257)
+            .data(DataSpec::scaled_for(257))
+            .validate()
             .unwrap_err();
-        assert!(too_many.contains("at most 128 peers"), "{too_many}");
+        assert!(too_many.contains("at most 256 peers"), "{too_many}");
         assert_eq!(
             too_many,
-            blockfed_core::ConfigError::TooManyPeers { got: 129 }.to_string(),
+            blockfed_core::ConfigError::TooManyPeers { got: 257 }.to_string(),
             "spec and orchestrator must reject with the same words"
         );
         assert!(ScenarioSpec::new("r0", 3).rounds(0).validate().is_err());
@@ -653,6 +675,20 @@ mod tests {
             .data(DataSpec::scaled_for(48))
             .validate()
             .is_ok());
+    }
+
+    #[test]
+    fn gossip_mode_lowers_into_the_config() {
+        // Announce/fetch is the primary path; Full is the opt-in legacy
+        // accounting.
+        let spec = ScenarioSpec::new("g", 3);
+        assert_eq!(spec.gossip, GossipMode::AnnounceFetch);
+        assert_eq!(
+            spec.decentralized_config().gossip,
+            GossipMode::AnnounceFetch
+        );
+        let full = ScenarioSpec::new("g", 3).gossip(GossipMode::Full);
+        assert_eq!(full.decentralized_config().gossip, GossipMode::Full);
     }
 
     #[test]

@@ -66,6 +66,26 @@ impl<E> EventQueue<E> {
         }
     }
 
+    /// Creates an empty queue whose heap holds `capacity` events before
+    /// reallocating — for simulations that know their event volume up front.
+    pub fn with_capacity(capacity: usize) -> Self {
+        EventQueue {
+            heap: BinaryHeap::with_capacity(capacity),
+            seq: 0,
+        }
+    }
+
+    /// Reserves room for at least `additional` more events, so a burst of
+    /// pushes (e.g. one gossip flood's deliveries) costs at most one grow.
+    pub fn reserve(&mut self, additional: usize) {
+        self.heap.reserve(additional);
+    }
+
+    /// Events the queue can hold without reallocating.
+    pub fn capacity(&self) -> usize {
+        self.heap.capacity()
+    }
+
     /// Schedules `event` at absolute instant `time`.
     pub fn push(&mut self, time: SimTime, event: E) {
         let seq = self.seq;
@@ -144,6 +164,20 @@ impl<E> Scheduler<E> {
             now: SimTime::ZERO,
             processed: 0,
         }
+    }
+
+    /// Creates a scheduler pre-sized for `capacity` pending events.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Scheduler {
+            queue: EventQueue::with_capacity(capacity),
+            now: SimTime::ZERO,
+            processed: 0,
+        }
+    }
+
+    /// Reserves room for at least `additional` more pending events.
+    pub fn reserve(&mut self, additional: usize) {
+        self.queue.reserve(additional);
     }
 
     /// The current virtual time.
@@ -246,6 +280,23 @@ mod tests {
         q.clear();
         assert!(q.is_empty());
         assert_eq!(q.peek_time(), None);
+    }
+
+    #[test]
+    fn presized_queue_pushes_without_growing() {
+        let mut q: EventQueue<u32> = EventQueue::with_capacity(64);
+        let cap = q.capacity();
+        assert!(cap >= 64);
+        for i in 0..64 {
+            q.push(SimTime::from_millis(64 - i), i as u32);
+        }
+        assert_eq!(q.capacity(), cap, "pushes within capacity must not grow");
+        // Order is still by time regardless of pre-sizing.
+        assert_eq!(q.pop().map(|(_, e)| e), Some(63));
+        let mut s: Scheduler<u32> = Scheduler::with_capacity(8);
+        s.reserve(100);
+        s.schedule_after(SimDuration::from_secs(1), 1);
+        assert_eq!(s.next(), Some((SimTime::from_secs(1), 1)));
     }
 
     #[test]

@@ -57,6 +57,24 @@ impl ContractRuntime for BlockfedRuntime {
             None => interp::run(ctx, code, state),
         }
     }
+
+    fn execution_fingerprint(&self) -> u64 {
+        // MiniVM semantics plus the registered native set: two instances
+        // execute identically iff they dispatch the same natives at the same
+        // addresses, so fold each (address, kind) pair in order-independently.
+        let mut acc: u64 = 0xB10C_FEED_0000_0001;
+        for (addr, native) in &self.natives {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325; // FNV-1a offset basis
+            for b in addr.as_bytes() {
+                h = (h ^ u64::from(*b)).wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            let kind = match native {
+                NativeContract::FlRegistry => 1u64,
+            };
+            acc ^= h.wrapping_mul(kind.wrapping_add(0x9E37_79B9_7F4A_7C15));
+        }
+        acc
+    }
 }
 
 #[cfg(test)]

@@ -1,19 +1,32 @@
 //! The scenario engine, end to end.
 //!
 //! ```text
-//! cargo run --release --example scenarios              # 10-peer churn demo
-//! cargo run --release --example scenarios -- --smoke   # CI: tiny 5-peer churn+partition matrix
-//! cargo run --release --example scenarios -- --bestk   # best-k vs consider wall-clock sweep (incl. n=48)
-//! cargo run --release --example scenarios -- --bestk48 # CI: one 48-peer best-k cell past the u32 mask
-//! cargo run --release --example scenarios -- --paper   # CI: paper-scale SimpleNN cell, batch-parallel vs sequential
+//! cargo run --release --example scenarios               # 10-peer churn demo
+//! cargo run --release --example scenarios -- --smoke    # CI: tiny 5-peer churn+partition matrix
+//! cargo run --release --example scenarios -- --bestk    # best-k vs consider wall-clock sweep (incl. n=48..256)
+//! cargo run --release --example scenarios -- --bench    # --bestk + append the perf trajectory (BENCH_history.jsonl)
+//! cargo run --release --example scenarios -- --bestk48  # CI: one 48-peer best-k cell past the u32 mask
+//! cargo run --release --example scenarios -- --gossip128 # CI: announce/fetch byte guards + 128-peer cell
+//! cargo run --release --example scenarios -- --paper    # CI: paper-scale SimpleNN cell, batch-parallel vs sequential
 //! ```
 //!
 //! Every mode prints the matrix table and writes the machine-readable
 //! `BENCH_scenarios.json` (per-cell wall-clock + accuracy) to the working
-//! directory, seeding the repo's perf trajectory.
+//! directory; `--bench` additionally appends one line per cell to
+//! `BENCH_history.jsonl` (cell, gossip/fetch bytes, wall clock, git rev) so
+//! deltas stay visible across PRs.
 
 use blockfed::fl::{Strategy, WaitPolicy};
-use blockfed::scenario::{DataSpec, ScenarioMatrix, ScenarioRunner, ScenarioSpec};
+use blockfed::net::GossipMode;
+use blockfed::scenario::{
+    CellReport, DataSpec, ScenarioMatrix, ScenarioReport, ScenarioRunner, ScenarioSpec,
+};
+
+/// Committed regression ceiling for the 48-peer best-k cell's *flood* bytes
+/// under announce/fetch. The legacy full-payload flood recorded ~51 MB for
+/// this cell; announcements keep it under this bound, and CI fails if a
+/// change pushes flood traffic back above it.
+const GOSSIP48_CEILING_BYTES: u64 = 12_000_000;
 
 /// A small, fully featured churn scenario: heterogeneous compute, one
 /// mid-run partition + heal, a late join and an early leave.
@@ -64,7 +77,55 @@ fn bestk48_spec() -> ScenarioSpec {
         .seed(48)
 }
 
-fn bestk() {
+/// A wide announce/fetch cell at `n` peers: best-k keeps aggregation linear,
+/// and `k` large enough that recorded masks must reach into the population's
+/// upper half. Difficulty scales with the population so the block cadence —
+/// and with it the fork rate — stays at the 48-peer cell's level instead of
+/// shrinking toward the link latency.
+fn wide_cell(n: usize, k: usize) -> ScenarioSpec {
+    ScenarioSpec::new(format!("scale{n}"), n)
+        .rounds(2)
+        .consider_cutover(6, k)
+        .difficulty(200_000 * n as u128 / 48)
+        .data(DataSpec::scaled_for(n))
+        .seed(n as u64)
+}
+
+/// Runs a wide announce/fetch cell and asserts every peer finished every
+/// round.
+fn run_wide(runner: &ScenarioRunner, n: usize, k: usize) -> CellReport {
+    let cell = runner.run(&wide_cell(n, k));
+    assert_eq!(cell.records, n * 2, "{n}-peer cell incomplete");
+    assert!(cell.mean_final_accuracy > 0.0);
+    cell
+}
+
+/// The 48-peer certification pair — the best-k cell under announce/fetch and
+/// its Full-mode twin — asserted to be the identical simulation (the modes
+/// may only move bytes between the meters). Shared by the `--bestk`/`--bench`
+/// feed and the `--gossip128` CI guard so they can never drift apart.
+fn certified_48_pair(runner: &ScenarioRunner) -> (CellReport, CellReport) {
+    let af = runner.run(&bestk48_spec());
+    let full = runner.run(
+        &bestk48_spec()
+            .named("bestk48-full")
+            .gossip(GossipMode::Full),
+    );
+    assert_eq!(
+        af.mean_final_accuracy, full.mean_final_accuracy,
+        "gossip mode changed the simulation"
+    );
+    assert_eq!(af.makespan_secs, full.makespan_secs);
+    assert_eq!(af.blocks, full.blocks);
+    assert_eq!(af.records, full.records);
+    assert_eq!(full.fetch_bytes, 0, "full flooding never meters fetches");
+    (af, full)
+}
+
+/// Builds (prints + writes) the full best-k/consider sweep report, now
+/// including the gossip-mode pair at 48 peers and the 128/256-peer
+/// announce/fetch cells.
+fn bestk_report() -> ScenarioReport {
     println!("best-k vs consider — wall-clock of the aggregation search\n");
     let runner = ScenarioRunner::new();
     // Both sweeps share the same 48-peer-capable datasets so their
@@ -98,11 +159,21 @@ fn bestk() {
     let consider_report = runner.run_matrix(&consider);
     println!("{}", consider_report.table());
 
-    // Plus the wide-mask certification cell.
-    let wide = runner.run(&bestk48_spec());
+    // Plus the wide-mask certification cell — in both gossip modes, so the
+    // JSON feed documents the announce/fetch flood-byte delta at 48 peers.
+    let (wide, wide_full) = certified_48_pair(&runner);
     assert!(
         wide.max_mask_bit.unwrap_or(0) >= 32,
         "48-peer cell never recorded a >32-bit mask: {wide:?}"
+    );
+
+    // The 128- and 256-peer announce/fetch cells: past the old 128-peer
+    // orchestrator ceiling, up to the combination mask's native width.
+    let scale128 = run_wide(&runner, 128, 100);
+    let scale256 = run_wide(&runner, 256, 200);
+    assert!(
+        scale256.max_mask_bit.unwrap_or(0) >= 128,
+        "256-peer cell never crossed mask bit 128: {scale256:?}"
     );
 
     // The paper-scale cell, batch-parallel and sequential: identical
@@ -121,10 +192,48 @@ fn bestk() {
     merged.name = "bestk-vs-consider".into();
     merged.cells.extend(consider_report.cells);
     merged.cells.push(wide);
+    merged.cells.push(wide_full);
+    merged.cells.push(scale128);
+    merged.cells.push(scale256);
     merged.cells.push(paper_par);
     merged.cells.push(paper_seq);
+    println!("{}", merged.table());
     let path = merged.write_json(".").expect("write BENCH_scenarios.json");
     println!("wrote {}", path.display());
+    merged
+}
+
+fn bestk() {
+    let _ = bestk_report();
+}
+
+/// The short git revision, for perf-trajectory lines; "unknown" outside a
+/// git checkout.
+fn git_rev() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .map(|o| String::from_utf8_lossy(&o.stdout).trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".into())
+}
+
+/// `--bestk` plus the perf trajectory: appends one `BENCH_history.jsonl`
+/// line per cell so `BENCH_scenarios.json` deltas are tracked across PRs.
+fn bench() {
+    let report = bestk_report();
+    let rev = git_rev();
+    let path = report
+        .append_history(".", &rev)
+        .expect("append BENCH_history.jsonl");
+    println!(
+        "appended {} cells at rev {} to {}",
+        report.cells.len(),
+        rev,
+        path.display()
+    );
 }
 
 fn bestk48() {
@@ -153,6 +262,45 @@ fn bestk48() {
     let path = report.write_json(".").expect("write BENCH_scenarios.json");
     println!("wrote {}", path.display());
     println!("widest recorded mask bit: {widest} — 48-peer scenario OK");
+}
+
+/// CI certification of the announce/fetch protocol: the 48-peer best-k cell
+/// must flood ≥ 5× fewer bytes than its full-flood twin (and stay under the
+/// committed ceiling), the two modes must drive the identical simulation,
+/// and a 128-peer announce/fetch cell — past the old orchestrator ceiling —
+/// must run green with masks in the population's upper half.
+fn gossip128() {
+    println!("announce/fetch gossip — 48-peer byte guards + 128-peer cell\n");
+    let runner = ScenarioRunner::new();
+    let (af, full) = certified_48_pair(&runner);
+    assert!(
+        af.gossip_bytes * 5 <= full.gossip_bytes,
+        "announce/fetch flood bytes not ≥5× below full flooding: {} vs {}",
+        af.gossip_bytes,
+        full.gossip_bytes
+    );
+    assert!(
+        af.gossip_bytes <= GOSSIP48_CEILING_BYTES,
+        "48-peer flood bytes regressed past the committed ceiling: {} > {}",
+        af.gossip_bytes,
+        GOSSIP48_CEILING_BYTES
+    );
+
+    let scale128 = run_wide(&runner, 128, 100);
+    let widest = scale128.max_mask_bit.expect("aggregates recorded");
+    assert!(
+        widest >= 64,
+        "128-peer masks never reached the upper half (max bit {widest})"
+    );
+
+    let report = blockfed::scenario::ScenarioReport {
+        name: "gossip128".into(),
+        cells: vec![af, full, scale128],
+    };
+    println!("{}", report.table());
+    let path = report.write_json(".").expect("write BENCH_scenarios.json");
+    println!("wrote {}", path.display());
+    println!("announce/fetch certification OK (widest 128-peer mask bit: {widest})");
 }
 
 /// The paper-scale cell: three peers training the ~62 K-parameter SimpleNN on
@@ -226,11 +374,16 @@ fn main() {
     match mode.as_str() {
         "--smoke" => smoke(),
         "--bestk" => bestk(),
+        "--bench" => bench(),
         "--bestk48" => bestk48(),
+        "--gossip128" => gossip128(),
         "--paper" => paper(),
         "" | "--demo" => demo(),
         other => {
-            eprintln!("unknown mode {other}; use --smoke, --bestk, --bestk48, --paper, or --demo");
+            eprintln!(
+                "unknown mode {other}; use --smoke, --bestk, --bench, --bestk48, --gossip128, \
+                 --paper, or --demo"
+            );
             std::process::exit(2);
         }
     }

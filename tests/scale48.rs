@@ -61,26 +61,30 @@ fn forty_eight_peer_cell_runs_green_with_wide_masks_at_any_thread_count() {
 
 #[test]
 fn oversize_populations_fail_gracefully_not_by_panic() {
-    // The spec engine and the orchestrator reject 129 peers with the same
-    // typed message.
-    let spec_err = ScenarioSpec::new("too-big", 129)
-        .data(DataSpec::scaled_for(129))
+    // The spec engine and the orchestrator reject 257 peers — one past the
+    // mask's native 256-bit width — with the same typed message.
+    let spec_err = ScenarioSpec::new("too-big", 257)
+        .data(DataSpec::scaled_for(257))
         .validate()
         .unwrap_err();
-    assert_eq!(spec_err, ConfigError::TooManyPeers { got: 129 }.to_string());
+    assert_eq!(spec_err, ConfigError::TooManyPeers { got: 257 }.to_string());
 
     let gen = SynthCifar::new(SynthCifarConfig::tiny());
     let (_, test) = gen.generate(1);
-    let shards: Vec<_> = (0..129).map(|_| test.clone()).collect();
+    let shards: Vec<_> = (0..257).map(|_| test.clone()).collect();
     let err = Decentralized::try_new(DecentralizedConfig::default(), &shards, &shards)
         .err()
-        .expect("129 peers must be rejected");
-    assert_eq!(err, ConfigError::TooManyPeers { got: 129 });
+        .expect("257 peers must be rejected");
+    assert_eq!(err, ConfigError::TooManyPeers { got: 257 });
     assert_eq!(err.to_string(), spec_err);
 
-    // Below the ceiling the same shape is accepted (48 > the old u32 cap).
-    let forty_eight: Vec<_> = (0..48).map(|_| test.clone()).collect();
-    assert!(
-        Decentralized::try_new(DecentralizedConfig::default(), &forty_eight, &forty_eight).is_ok()
-    );
+    // The whole mask domain is accepted now: 129 (the old ceiling's
+    // rejection point) and 256 both construct.
+    for n in [129usize, 256] {
+        let inside: Vec<_> = (0..n).map(|_| test.clone()).collect();
+        assert!(
+            Decentralized::try_new(DecentralizedConfig::default(), &inside, &inside).is_ok(),
+            "{n} peers must be accepted"
+        );
+    }
 }
