@@ -43,6 +43,9 @@ pub enum ConfigError {
     },
     /// Zero communication rounds requested.
     ZeroRounds,
+    /// The link profile is invalid (e.g. a loss rate outside `[0, 1]`).
+    /// Carries the link error's rendered form so the variant stays `Eq`.
+    InvalidLink(String),
 }
 
 impl std::fmt::Display for ConfigError {
@@ -65,6 +68,7 @@ impl std::fmt::Display for ConfigError {
                 "per-peer compute count mismatch ({profiles} profiles, {peers} peers)"
             ),
             ConfigError::ZeroRounds => write!(f, "need at least one round"),
+            ConfigError::InvalidLink(e) => write!(f, "invalid link profile: {e}"),
         }
     }
 }
@@ -104,5 +108,8 @@ mod tests {
         }
         .to_string()
         .contains("per-peer compute count mismatch"));
+        assert!(ConfigError::InvalidLink("loss".into())
+            .to_string()
+            .starts_with("invalid link profile"));
     }
 }

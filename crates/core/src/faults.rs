@@ -23,6 +23,10 @@
 //!   on the registry, and only then starts training for the current round.
 //! * [`Fault::HashRateShock`] multiplies a peer's hash rate (a miner
 //!   upgrading, throttling, or being DoS'd).
+//! * [`Fault::PeerCrash`] / [`Fault::PeerRestart`] model a process crash
+//!   rather than a departure: the crashed peer keeps its identity and
+//!   on-chain state but loses every in-flight fetch and its mempool, and on
+//!   restart resyncs the chain before resuming where its round left off.
 
 use blockfed_sim::SimDuration;
 
@@ -78,6 +82,20 @@ pub enum Fault {
         /// Multiplier, must be positive and finite.
         factor: f64,
     },
+    /// The peer's process crashes: it stops training, mining, and receiving,
+    /// and loses its volatile state (mempool, in-flight fetches) — but keeps
+    /// its key, records, and round position for a later
+    /// [`Fault::PeerRestart`].
+    PeerCrash {
+        /// The crashing peer.
+        peer: usize,
+    },
+    /// A crashed peer comes back: it resyncs the chain from its gossip
+    /// neighbours, then resumes the round it was in when it crashed.
+    PeerRestart {
+        /// The restarting peer.
+        peer: usize,
+    },
 }
 
 impl Fault {
@@ -86,7 +104,10 @@ impl Fault {
         match self {
             Fault::Partition { left, right } => left.iter().chain(right.iter()).copied().collect(),
             Fault::HealAll => Vec::new(),
-            Fault::PeerLeave { peer } | Fault::PeerJoin { peer } => vec![*peer],
+            Fault::PeerLeave { peer }
+            | Fault::PeerJoin { peer }
+            | Fault::PeerCrash { peer }
+            | Fault::PeerRestart { peer } => vec![*peer],
             Fault::HashRateShock { peer, .. } => vec![*peer],
         }
     }
@@ -137,13 +158,17 @@ impl std::fmt::Display for Fault {
             Fault::HashRateShock { peer, factor } => {
                 write!(f, "hash-shock peer={peer} x{factor}")
             }
+            Fault::PeerCrash { peer } => write!(f, "crash peer={peer}"),
+            Fault::PeerRestart { peer } => write!(f, "restart peer={peer}"),
         }
     }
 }
 
 /// Validates a whole timeline against a peer count: every fault must be
-/// individually valid, and a peer may join at most once and never act (leave,
-/// shock, partition membership) before its join instant.
+/// individually valid, a peer may join at most once and never act (leave,
+/// shock, partition membership) before its join instant, and each peer's
+/// crash/restart entries must alternate in time starting with a crash (no
+/// restarting a peer that is up, no crashing one that is already down).
 ///
 /// # Errors
 ///
@@ -168,6 +193,30 @@ pub fn validate_timeline(faults: &[TimedFault], n: usize) -> Result<(), String> 
             }) {
                 return Err(format!("peer {peer} is referenced before its join"));
             }
+        }
+    }
+    // Per-peer crash/restart alternation, in timeline-entry order for equal
+    // timestamps (the order the orchestrator applies them).
+    for p in 0..n {
+        let mut crashed = false;
+        let mut entries: Vec<(SimDuration, usize, bool)> = faults
+            .iter()
+            .enumerate()
+            .filter_map(|(i, tf)| match tf.fault {
+                Fault::PeerCrash { peer } if peer == p => Some((tf.at, i, true)),
+                Fault::PeerRestart { peer } if peer == p => Some((tf.at, i, false)),
+                _ => None,
+            })
+            .collect();
+        entries.sort();
+        for (at, _, is_crash) in entries {
+            if is_crash && crashed {
+                return Err(format!("peer {p} crashes at {at} while already down"));
+            }
+            if !is_crash && !crashed {
+                return Err(format!("peer {p} restarts at {at} without a prior crash"));
+            }
+            crashed = is_crash;
         }
     }
     Ok(())
@@ -236,6 +285,34 @@ mod tests {
     }
 
     #[test]
+    fn timeline_enforces_crash_restart_alternation() {
+        let restart_first = vec![TimedFault::at_secs(1.0, Fault::PeerRestart { peer: 1 })];
+        assert!(validate_timeline(&restart_first, 3).is_err());
+
+        let double_crash = vec![
+            TimedFault::at_secs(1.0, Fault::PeerCrash { peer: 1 }),
+            TimedFault::at_secs(2.0, Fault::PeerCrash { peer: 1 }),
+        ];
+        assert!(validate_timeline(&double_crash, 3).is_err());
+
+        let fine = vec![
+            TimedFault::at_secs(1.0, Fault::PeerCrash { peer: 1 }),
+            TimedFault::at_secs(3.0, Fault::PeerRestart { peer: 1 }),
+            TimedFault::at_secs(5.0, Fault::PeerCrash { peer: 1 }),
+            TimedFault::at_secs(2.0, Fault::PeerCrash { peer: 2 }),
+        ];
+        assert!(validate_timeline(&fine, 3).is_ok());
+
+        // Crash of a dormant joiner before its join is still premature.
+        let premature = vec![
+            TimedFault::at_secs(1.0, Fault::PeerCrash { peer: 2 }),
+            TimedFault::at_secs(4.0, Fault::PeerJoin { peer: 2 }),
+        ];
+        assert!(validate_timeline(&premature, 3).is_err());
+        assert!(Fault::PeerCrash { peer: 9 }.validate(3).is_err());
+    }
+
+    #[test]
     fn fault_display_is_informative() {
         assert_eq!(Fault::HealAll.to_string(), "heal-all");
         assert_eq!(Fault::PeerJoin { peer: 4 }.to_string(), "join peer=4");
@@ -245,5 +322,7 @@ mod tests {
         }
         .to_string()
         .contains("partition"));
+        assert_eq!(Fault::PeerCrash { peer: 1 }.to_string(), "crash peer=1");
+        assert_eq!(Fault::PeerRestart { peer: 1 }.to_string(), "restart peer=1");
     }
 }

@@ -144,6 +144,15 @@ pub struct DecentralizedConfig {
     /// restore the configured cadence after hash-rate shocks instead of
     /// letting them shift block production permanently.
     pub retarget: RetargetRule,
+    /// Liveness watchdog: if no progress (a training completion, a first-time
+    /// artifact arrival, or a round aggregation — block seals do not count,
+    /// they continue through a stall) happens for this much virtual time
+    /// while no fault is still pending, the run stops with a diagnostic in
+    /// [`DecentralizedRun::stall`] instead of spinning until the event cap.
+    /// `None` disables the monitor. The watchdog draws no randomness and a
+    /// run that makes progress never observes it, so enabling it cannot
+    /// perturb a healthy simulation.
+    pub watchdog: Option<SimDuration>,
     /// Master seed.
     pub seed: u64,
 }
@@ -172,6 +181,7 @@ impl Default for DecentralizedConfig {
             staleness_decay: None,
             faults: Vec::new(),
             retarget: RetargetRule::Homestead,
+            watchdog: Some(SimDuration::from_secs(600)),
             seed: 42,
         }
     }
@@ -293,6 +303,20 @@ pub struct DecentralizedRun {
     /// run's member sets (32-peer-plus ones included) survived the on-chain
     /// round trip.
     pub aggregates: Vec<ConfirmedAggregate>,
+    /// Deliveries lost in transit: per-edge packet loss sampled on the relay
+    /// tree plus in-flight partition/relay-crash cuts. Exactly zero on a
+    /// lossless, fault-free run.
+    pub dropped_msgs: u64,
+    /// Timeout-driven payload-fetch retries: every probe launched beyond a
+    /// fetch episode's first attempt. Zero when every pull lands first try.
+    pub fetch_retries: u64,
+    /// Mean virtual milliseconds between a payload fetch starting and the
+    /// artifact arriving, over episodes that recovered. Zero when no
+    /// on-demand fetch was needed.
+    pub recovery_ms: f64,
+    /// `Some(diagnostic)` when the liveness watchdog stopped a stalled run
+    /// (see [`DecentralizedConfig::watchdog`]); `None` for a clean finish.
+    pub stall: Option<String>,
 }
 
 impl DecentralizedRun {
@@ -405,11 +429,62 @@ impl CandidateEvaluator for PoolScorer<'_> {
 
 #[derive(Debug)]
 enum Event {
-    TrainDone { peer: usize },
-    DeliverTx { to: usize, idx: usize, route: usize },
-    DeliverBlock { to: usize, idx: usize, route: usize },
+    /// Local training finished. `gen` is the peer's training generation at
+    /// schedule time: a crash bumps the generation, so a completion that was
+    /// in flight when the process died arrives stale and is discarded.
+    TrainDone {
+        peer: usize,
+        gen: u32,
+    },
+    DeliverTx {
+        to: usize,
+        idx: usize,
+        route: usize,
+    },
+    DeliverBlock {
+        to: usize,
+        idx: usize,
+        route: usize,
+    },
     SealBlock,
-    Fault { idx: usize },
+    Fault {
+        idx: usize,
+    },
+    /// Deadline of fetch attempt `attempt` for `(to, fp)`: if the artifact
+    /// still has not arrived, the fetch retries from the next holder.
+    FetchTimeout {
+        to: usize,
+        fp: H256,
+        attempt: u32,
+    },
+    /// Periodic liveness check (only scheduled when the watchdog is on).
+    Watchdog,
+}
+
+/// A fetch gives up after this many timeout-driven retries; a later block
+/// delivery restarts the cycle from scratch, so the budget bounds work per
+/// episode without abandoning the artifact forever.
+const MAX_FETCH_ATTEMPTS: u32 = 8;
+
+/// Exponential backoff before fetch attempt `attempt + 1`: 250 ms doubling
+/// per attempt with ±10% jitter, capped at 8 s. The jitter draws from a
+/// dedicated RNG stream so lossless, fault-free runs — which never retry —
+/// consume exactly the randomness they did before retries existed.
+fn fetch_backoff(attempt: u32, rng: &mut impl Rng) -> SimDuration {
+    let base = 0.25 * f64::from(1u32 << attempt.min(6));
+    let jitter = rng.gen_range(0.9..1.1);
+    SimDuration::from_secs_f64((base * jitter).min(8.0))
+}
+
+/// One in-flight payload fetch: which attempt it is on, who was asked first
+/// (the confirming block's miner), and when the episode started (for the
+/// recovery-time metric).
+struct FetchState {
+    attempt: u32,
+    primary: usize,
+    first_at: SimTime,
+    payload_bytes: u64,
+    tx_idx: usize,
 }
 
 struct PeerState {
@@ -431,8 +506,12 @@ struct PeerState {
     /// its pending transactions, as real clients do).
     my_txs: Vec<usize>,
     /// Whether the peer currently participates (false before a `PeerJoin`
-    /// fires or after a `PeerLeave`).
+    /// fires, after a `PeerLeave`, or between a `PeerCrash` and its
+    /// `PeerRestart`).
     active: bool,
+    /// Training generation, bumped on every crash so in-flight `TrainDone`
+    /// events scheduled before the crash arrive stale and are ignored.
+    train_gen: u32,
     /// First round this peer participates in (1 unless it joined mid-run).
     first_round: u32,
     /// Cumulative hash-rate multiplier from `HashRateShock` faults.
@@ -456,7 +535,14 @@ fn refresh_confirmed(peer: &mut PeerState, registry: H160, round: u32) {
     let head = peer.chain.head();
     let fresh = matches!(&peer.confirmed_cache, Some(c) if c.head == head && c.round == round);
     if !fresh {
-        let subs = confirmed_submissions(&peer.chain, registry, round);
+        let mut subs = confirmed_submissions(&peer.chain, registry, round);
+        // Canonical candidate order: chain position reflects delivery and
+        // mining timing, which packet loss and retried fetches perturb.
+        // Sorting by submitter makes every aggregation (including its
+        // tie-break jitter assignment) a function of the round's model set
+        // alone, so a lossy run that recovers every artifact aggregates
+        // exactly what its lossless twin does.
+        subs.sort_by_key(|s| (s.sender, s.tx_hash));
         peer.confirmed_cache = Some(ConfirmedCache { head, round, subs });
     }
 }
@@ -475,15 +561,18 @@ struct GossipState {
     mode: GossipMode,
     /// Whether relay paths must be recorded for in-flight cut checks. Only a
     /// timeline that can sever a link ([`Fault::Partition`]) or kill a relay
-    /// ([`Fault::PeerLeave`]) ever consults a path, so fault-free runs skip
-    /// the per-delivery path clone entirely (an empty path always passes
-    /// [`Network::path_open`] and [`relays_alive`]).
+    /// ([`Fault::PeerLeave`], [`Fault::PeerCrash`]) ever consults a path, so
+    /// fault-free runs skip the per-delivery path clone entirely (an empty
+    /// path always passes [`Network::path_open`] and [`relays_alive`]).
     track_routes: bool,
     scratch: FloodScratch,
     /// Relay path of every scheduled delivery (for in-flight cut checks).
     route_log: Vec<Vec<(NodeId, NodeId)>>,
     gossip_bytes: u64,
     fetch_bytes: u64,
+    /// Deliveries lost in transit: per-edge packet loss on the relay tree
+    /// plus in-flight partition/relay-crash cuts.
+    dropped_msgs: u64,
 }
 
 /// One resolved targeted fetch: the payload's arrival offset, how many relay
@@ -535,9 +624,7 @@ fn schedule_flood(
         track_routes,
         ..
     } = gs;
-    let mut deliveries = 0u64;
-    network.flood_with(NodeId(origin), bytes, rng, scratch, |node, delay, path| {
-        deliveries += 1;
+    let stats = network.flood_with(NodeId(origin), bytes, rng, scratch, |node, delay, path| {
         if announce.is_some() {
             *fetch_bytes += bytes * path.len() as u64;
         }
@@ -551,8 +638,52 @@ fn schedule_flood(
     });
     // Every delivery path lies on the flood's shortest-path tree and each
     // reached node contributes exactly its own tree edge, so the number of
-    // distinct relay edges equals the delivery count.
-    gs.gossip_bytes += announce.unwrap_or(bytes) * deliveries;
+    // distinct relay edges equals the delivery count. Lost deliveries never
+    // crossed their last edge, so they meter no bytes — only the drop count.
+    gs.gossip_bytes += announce.unwrap_or(bytes) * stats.delivered as u64;
+    gs.dropped_msgs += stats.dropped as u64;
+}
+
+/// Routes one targeted payload pull from `source` toward `to` over the
+/// currently-open active subgraph, sampling per-edge loss like any other
+/// transmission. Returns `None` when `to` is unreachable or the pull was
+/// lost in transit — the caller's fetch episode then backs off and retries.
+fn probe_fetch(
+    network: &Network,
+    source: usize,
+    to: usize,
+    payload_bytes: u64,
+    peers: &[PeerState],
+    rng: &mut impl Rng,
+    gs: &mut GossipState,
+) -> Option<FetchRoute> {
+    gs.scratch.set_avoid(peers.iter().map(|p| !p.active));
+    let GossipState {
+        scratch,
+        track_routes,
+        ..
+    } = gs;
+    let mut found: Option<FetchRoute> = None;
+    let _ = network.flood_with(
+        NodeId(source),
+        payload_bytes,
+        rng,
+        scratch,
+        |node, delay, path| {
+            if node.0 == to {
+                found = Some(FetchRoute {
+                    delay,
+                    hops: path.len() as u64,
+                    path: if *track_routes {
+                        path.to_vec()
+                    } else {
+                        Vec::new()
+                    },
+                });
+            }
+        },
+    );
+    found
 }
 
 /// Whether every *relay* node on a recorded route is still alive: relay nodes
@@ -620,6 +751,10 @@ impl<'a> Decentralized<'a> {
             });
         }
         validate_timeline(&config.faults, n).map_err(ConfigError::InvalidTimeline)?;
+        config
+            .link
+            .validate()
+            .map_err(|e| ConfigError::InvalidLink(e.to_string()))?;
         config
             .compute
             .validate()
@@ -734,6 +869,7 @@ impl<'a> Decentralized<'a> {
                     records: Vec::new(),
                     my_txs: Vec::new(),
                     active: !joiners.contains(&i),
+                    train_gen: 0,
                     first_round: 1,
                     hash_scale: 1.0,
                     confirmed_cache: None,
@@ -758,23 +894,32 @@ impl<'a> Decentralized<'a> {
         let mut block_miner: Vec<usize> = Vec::new(); // aligned with block_log
         let mut gs = GossipState {
             mode: cfg.gossip,
-            track_routes: cfg
-                .faults
-                .iter()
-                .any(|tf| matches!(tf.fault, Fault::Partition { .. } | Fault::PeerLeave { .. })),
+            track_routes: cfg.faults.iter().any(|tf| {
+                matches!(
+                    tf.fault,
+                    Fault::Partition { .. } | Fault::PeerLeave { .. } | Fault::PeerCrash { .. }
+                )
+            }),
             scratch: FloodScratch::new(),
             route_log: Vec::new(),
             gossip_bytes: 0,
             fetch_bytes: 0,
+            dropped_msgs: 0,
         };
         // Submit-tx index by model fingerprint, for on-demand payload fetches
         // when a block confirms a submission whose artifact a peer never
-        // received (partitioned mid-flood, or joined after the flood).
+        // received (partitioned mid-flood, lost to packet drops, or joined
+        // after the flood).
         let mut fp_to_tx: HashMap<H256, usize> = HashMap::new();
-        // (peer, artifact) payload fetches currently in flight, so repeated
-        // block deliveries don't schedule (and double-count) duplicates.
-        let mut fetch_pending: std::collections::HashSet<(usize, H256)> =
-            std::collections::HashSet::new();
+        // One fetch episode per (peer, artifact) at a time: repeated block
+        // deliveries neither duplicate nor double-count it, and the episode's
+        // `FetchTimeout` owns retries until the artifact lands or the attempt
+        // budget runs out.
+        let mut fetches: HashMap<(usize, H256), FetchState> = HashMap::new();
+        let mut fetch_rng = hub.stream("fetch-backoff");
+        let mut fetch_retries: u64 = 0;
+        let mut recovery_total = SimDuration::ZERO;
+        let mut recoveries: u64 = 0;
 
         // Publication times (for the age-of-block metric) and each peer's
         // previously published parameters (for the replay attack).
@@ -817,7 +962,7 @@ impl<'a> Decentralized<'a> {
                 .compute_for(i)
                 .training_time(shard.len(), cfg.local_epochs, true);
             let jitter = base.mul_f64(train_time_rng.gen_range(0.0..0.05));
-            sched.schedule_after(base + jitter, Event::TrainDone { peer: i });
+            sched.schedule_after(base + jitter, Event::TrainDone { peer: i, gen: 0 });
         }
 
         // Fault timeline.
@@ -825,6 +970,15 @@ impl<'a> Decentralized<'a> {
         for (idx, tf) in cfg.faults.iter().enumerate() {
             sched.schedule_after(tf.at, Event::Fault { idx });
         }
+
+        // Liveness watchdog: re-armed on every check, fires the stall
+        // diagnostic when nothing has progressed for a full timeout while no
+        // scheduled fault can still unblock the run.
+        if let Some(timeout) = cfg.watchdog {
+            sched.schedule_after(timeout, Event::Watchdog);
+        }
+        let mut last_progress = SimTime::ZERO;
+        let mut stall: Option<String> = None;
 
         // Difficulty retargeting: the controller aims for the cadence the
         // configured difficulty implies against the genesis hash rate, so at
@@ -869,8 +1023,9 @@ impl<'a> Decentralized<'a> {
                 break;
             }
             match event {
-                Event::TrainDone { peer } if !peers[peer].active => {}
-                Event::TrainDone { peer } => {
+                Event::TrainDone { peer, gen }
+                    if !peers[peer].active || gen != peers[peer].train_gen => {}
+                Event::TrainDone { peer, .. } => {
                     let round = peers[peer].current_round;
                     // Train eagerly at the event (virtual time already paid).
                     let mut model = make_model();
@@ -918,6 +1073,7 @@ impl<'a> Decentralized<'a> {
                         submit_model_tx(&update, registry, &keys[peer], peers[peer].next_nonce);
                     peers[peer].next_nonce += 1;
                     trace.record(now, "train.done", format!("peer={peer} round={round}"));
+                    last_progress = now;
 
                     let tx_idx = tx_log.len();
                     tx_log.push(tx.clone());
@@ -965,15 +1121,14 @@ impl<'a> Decentralized<'a> {
                         &mut tx_update,
                         &mut gs,
                         &mut train_time_rng,
+                        &mut last_progress,
                     );
                 }
                 Event::DeliverTx { to, idx, route } => {
-                    // Whatever happens to this delivery, it is no longer in
-                    // flight: a later block delivery may retry the fetch.
-                    if let Some(u) = tx_update[idx] {
-                        let fp = crate::coupling::model_fingerprint(&update_log[u]);
-                        fetch_pending.remove(&(to, fp));
-                    }
+                    // A lost or undeliverable pull stays an open fetch
+                    // episode: its `FetchTimeout` owns the retry, so nothing
+                    // is removed from `fetches` here unless the artifact
+                    // actually lands.
                     if !peers[to].active {
                         continue;
                     }
@@ -981,15 +1136,28 @@ impl<'a> Decentralized<'a> {
                         || !relays_alive(&gs.route_log[route], &peers)
                     {
                         trace.record(now, "net.dropped", format!("tx to={to} idx={idx}"));
+                        gs.dropped_msgs += 1;
                         continue;
                     }
                     let tx = tx_log[idx].clone();
-                    let p = &mut peers[to];
                     if let Some(u) = tx_update[idx] {
                         let update = update_log[u].clone();
                         let fp = crate::coupling::model_fingerprint(&update);
-                        p.model_store.insert(fp, update);
+                        if let Some(st) = fetches.remove(&(to, fp)) {
+                            recoveries += 1;
+                            recovery_total += now.saturating_since(st.first_at);
+                            trace.record(
+                                now,
+                                "fetch.recovered",
+                                format!("to={to} attempts={}", st.attempt + 1),
+                            );
+                        }
+                        let p = &mut peers[to];
+                        if p.model_store.insert(fp, update).is_none() {
+                            last_progress = now;
+                        }
                     }
+                    let p = &mut peers[to];
                     let _ = p.mempool.insert(tx, p.chain.state());
                     self.try_aggregate(
                         to,
@@ -1008,6 +1176,7 @@ impl<'a> Decentralized<'a> {
                         &mut tx_update,
                         &mut gs,
                         &mut train_time_rng,
+                        &mut last_progress,
                     );
                 }
                 Event::SealBlock => {
@@ -1114,6 +1283,7 @@ impl<'a> Decentralized<'a> {
                             &mut tx_update,
                             &mut gs,
                             &mut train_time_rng,
+                            &mut last_progress,
                         );
                     }
                     let delay =
@@ -1128,16 +1298,19 @@ impl<'a> Decentralized<'a> {
                         || !relays_alive(&gs.route_log[route], &peers)
                     {
                         trace.record(now, "net.dropped", format!("block to={to} idx={idx}"));
+                        gs.dropped_msgs += 1;
                         continue;
                     }
                     self.import_with_orphans(to, idx, &mut peers, &block_log, &tx_log);
                     // On-demand payload recovery: the chain may confirm a
                     // submission whose artifact this peer never received (the
-                    // gossip crossed a partition, or the peer joined late).
-                    // Fetch it from the block's miner over the shortest
-                    // currently-open relay path; if the miner is unreachable,
-                    // the next delivered block retries. One fetch per
-                    // (peer, artifact) is kept in flight at a time.
+                    // gossip crossed a partition, was lost to packet drops,
+                    // or the peer joined late). Ask the block's miner first
+                    // over the shortest currently-open path; the episode's
+                    // `FetchTimeout` then retries with exponential backoff,
+                    // rotating over every active holder, until the artifact
+                    // lands or the attempt budget runs out. One episode per
+                    // (peer, artifact) is open at a time.
                     let round_now = peers[to].current_round;
                     let miner = block_miner[idx];
                     refresh_confirmed(&mut peers[to], registry, round_now);
@@ -1157,61 +1330,78 @@ impl<'a> Decentralized<'a> {
                             .collect()
                     };
                     for (model_hash, payload_bytes, tx_idx) in missing {
-                        if fetch_pending.contains(&(to, model_hash)) || miner == to {
+                        if fetches.contains_key(&(to, model_hash)) || miner == to {
                             continue;
                         }
-                        let GossipState {
-                            mode,
-                            track_routes,
-                            scratch,
-                            route_log,
-                            gossip_bytes,
-                            fetch_bytes,
-                        } = &mut gs;
-                        scratch.set_avoid(peers.iter().map(|p| !p.active));
-                        let mut found: Option<FetchRoute> = None;
-                        network.flood_with(
-                            NodeId(miner),
+                        let found = probe_fetch(
+                            &network,
+                            miner,
+                            to,
                             payload_bytes,
+                            &peers,
                             &mut net_rng,
-                            scratch,
-                            |node, delay, path| {
-                                if node.0 == to {
-                                    found = Some(FetchRoute {
-                                        delay,
-                                        hops: path.len() as u64,
-                                        path: if *track_routes {
-                                            path.to_vec()
-                                        } else {
-                                            Vec::new()
-                                        },
-                                    });
-                                }
+                            &mut gs,
+                        );
+                        fetches.insert(
+                            (to, model_hash),
+                            FetchState {
+                                attempt: 0,
+                                primary: miner,
+                                first_at: now,
+                                payload_bytes,
+                                tx_idx,
                             },
                         );
-                        if let Some(FetchRoute { delay, hops, path }) = found {
-                            fetch_pending.insert((to, model_hash));
-                            let fetch_route = route_log.len();
-                            // A targeted pull *is* the announce/fetch primary
-                            // path; Full mode keeps the legacy accounting.
-                            match mode {
-                                GossipMode::Full => *gossip_bytes += payload_bytes * hops,
-                                GossipMode::AnnounceFetch => *fetch_bytes += payload_bytes * hops,
+                        match found {
+                            Some(FetchRoute { delay, hops, path }) => {
+                                // A targeted pull *is* the announce/fetch
+                                // primary path; Full mode keeps the legacy
+                                // accounting.
+                                match gs.mode {
+                                    GossipMode::Full => gs.gossip_bytes += payload_bytes * hops,
+                                    GossipMode::AnnounceFetch => {
+                                        gs.fetch_bytes += payload_bytes * hops
+                                    }
+                                }
+                                let fetch_route = gs.route_log.len();
+                                gs.route_log.push(path);
+                                trace.record(
+                                    now,
+                                    "net.payload-fetch",
+                                    format!("to={to} from={miner} round={round_now}"),
+                                );
+                                sched.schedule_after(
+                                    delay,
+                                    Event::DeliverTx {
+                                        to,
+                                        idx: tx_idx,
+                                        route: fetch_route,
+                                    },
+                                );
+                                // Deadline past the expected arrival: on a
+                                // clean delivery the timeout finds the
+                                // episode resolved and does nothing.
+                                sched.schedule_after(
+                                    delay + fetch_backoff(0, &mut fetch_rng),
+                                    Event::FetchTimeout {
+                                        to,
+                                        fp: model_hash,
+                                        attempt: 0,
+                                    },
+                                );
                             }
-                            route_log.push(path);
-                            trace.record(
-                                now,
-                                "net.payload-fetch",
-                                format!("to={to} from={miner} round={round_now}"),
-                            );
-                            sched.schedule_after(
-                                delay,
-                                Event::DeliverTx {
-                                    to,
-                                    idx: tx_idx,
-                                    route: fetch_route,
-                                },
-                            );
+                            None => {
+                                // The pull was lost or the holder is
+                                // unreachable right now: back off and retry.
+                                sched.schedule_after(
+                                    fetch_backoff(0, &mut fetch_rng),
+                                    Event::FetchTimeout {
+                                        to,
+                                        fp: model_hash,
+                                        attempt: 0,
+                                    },
+                                );
+                            }
                         }
                     }
                     self.try_aggregate(
@@ -1231,6 +1421,7 @@ impl<'a> Decentralized<'a> {
                         &mut tx_update,
                         &mut gs,
                         &mut train_time_rng,
+                        &mut last_progress,
                     );
                 }
                 Event::Fault { idx } => {
@@ -1281,6 +1472,7 @@ impl<'a> Decentralized<'a> {
                                         &mut tx_update,
                                         &mut gs,
                                         &mut train_time_rng,
+                                        &mut last_progress,
                                     );
                                 }
                             }
@@ -1347,7 +1539,13 @@ impl<'a> Decentralized<'a> {
                                 true,
                             );
                             let jitter = base.mul_f64(train_time_rng.gen_range(0.0..0.05));
-                            sched.schedule_after(base + jitter, Event::TrainDone { peer });
+                            sched.schedule_after(
+                                base + jitter,
+                                Event::TrainDone {
+                                    peer,
+                                    gen: peers[peer].train_gen,
+                                },
+                            );
                         }
                         Fault::HashRateShock { peer, factor } => {
                             peers[peer].hash_scale *= factor;
@@ -1360,7 +1558,246 @@ impl<'a> Decentralized<'a> {
                                 ),
                             );
                         }
+                        Fault::PeerCrash { peer } => {
+                            // A process crash, not a departure: identity,
+                            // chain, records, and round position survive on
+                            // disk; volatile state does not. Bumping the
+                            // training generation discards the in-flight
+                            // `TrainDone`, and the peer's open fetch episodes
+                            // die with the process.
+                            peers[peer].active = false;
+                            peers[peer].train_gen += 1;
+                            peers[peer].mempool = Mempool::new();
+                            fetches.retain(|&(p, _), _| p != peer);
+                            trace.record(
+                                now,
+                                "churn.crash",
+                                format!("peer={peer} round={}", peers[peer].current_round),
+                            );
+                            // The active population shrank: re-check every
+                            // stalled waiter, exactly as for a leave.
+                            for p in 0..n {
+                                if peers[p].active {
+                                    self.try_aggregate(
+                                        p,
+                                        now,
+                                        registry,
+                                        &mut peers,
+                                        &mut scratch_pool,
+                                        &addr_to_client,
+                                        &publish_time,
+                                        &hub,
+                                        &mut trace,
+                                        &mut sched,
+                                        &network,
+                                        &mut net_rng,
+                                        &mut tx_log,
+                                        &mut tx_update,
+                                        &mut gs,
+                                        &mut train_time_rng,
+                                        &mut last_progress,
+                                    );
+                                }
+                            }
+                        }
+                        Fault::PeerRestart { peer } => {
+                            peers[peer].active = true;
+                            // Resync: import every block sealed so far (the
+                            // same ancestor-sync path a joiner uses); this
+                            // also re-inserts the peer's own pending
+                            // transactions into its fresh mempool.
+                            for b in 0..block_log.len() {
+                                self.import_with_orphans(peer, b, &mut peers, &block_log, &tx_log);
+                            }
+                            let synced_height = peers[peer].chain.head_block().number();
+                            trace.record(
+                                now,
+                                "churn.restart",
+                                format!(
+                                    "peer={peer} round={} synced_height={synced_height}",
+                                    peers[peer].current_round
+                                ),
+                            );
+                            if peers[peer].training {
+                                // The crash killed the local training run:
+                                // start the round's training over.
+                                let base = self.compute_for(peer).training_time(
+                                    self.train_shards[peer].len(),
+                                    cfg.local_epochs,
+                                    true,
+                                );
+                                let jitter = base.mul_f64(train_time_rng.gen_range(0.0..0.05));
+                                sched.schedule_after(
+                                    base + jitter,
+                                    Event::TrainDone {
+                                        peer,
+                                        gen: peers[peer].train_gen,
+                                    },
+                                );
+                            } else {
+                                // It had already published for this round:
+                                // re-enter the waiting path.
+                                self.try_aggregate(
+                                    peer,
+                                    now,
+                                    registry,
+                                    &mut peers,
+                                    &mut scratch_pool,
+                                    &addr_to_client,
+                                    &publish_time,
+                                    &hub,
+                                    &mut trace,
+                                    &mut sched,
+                                    &network,
+                                    &mut net_rng,
+                                    &mut tx_log,
+                                    &mut tx_update,
+                                    &mut gs,
+                                    &mut train_time_rng,
+                                    &mut last_progress,
+                                );
+                            }
+                        }
                     }
+                }
+                Event::FetchTimeout { to, fp, attempt } => {
+                    // Resolved episodes and superseded deadlines are no-ops,
+                    // so the timeout a successful pull leaves behind costs
+                    // nothing — and draws no randomness.
+                    let live = matches!(fetches.get(&(to, fp)), Some(st) if st.attempt == attempt);
+                    if !live {
+                        continue;
+                    }
+                    if !peers[to].active || peers[to].model_store.contains_key(&fp) {
+                        fetches.remove(&(to, fp));
+                        continue;
+                    }
+                    if attempt >= MAX_FETCH_ATTEMPTS {
+                        trace.record(now, "fetch.gave-up", format!("to={to} attempts={attempt}"));
+                        fetches.remove(&(to, fp));
+                        continue;
+                    }
+                    let next = attempt + 1;
+                    let (primary, payload_bytes, tx_idx) = {
+                        let st = &fetches[&(to, fp)];
+                        (st.primary, st.payload_bytes, st.tx_idx)
+                    };
+                    // Graceful degradation: any active peer holding the
+                    // artifact can serve it, not just the confirming miner.
+                    // The rotation starts at the primary and walks the sorted
+                    // holder list deterministically, so each retry takes the
+                    // freshest shortest open path from a (usually) different
+                    // source.
+                    let holders: Vec<usize> = (0..n)
+                        .filter(|&i| {
+                            i != to && peers[i].active && peers[i].model_store.contains_key(&fp)
+                        })
+                        .collect();
+                    if holders.is_empty() {
+                        // Nobody can serve it right now (churn); re-check
+                        // after backing off.
+                        sched.schedule_after(
+                            fetch_backoff(next, &mut fetch_rng),
+                            Event::FetchTimeout {
+                                to,
+                                fp,
+                                attempt: next,
+                            },
+                        );
+                        fetches.get_mut(&(to, fp)).expect("episode is live").attempt = next;
+                        continue;
+                    }
+                    let start = holders.iter().position(|&h| h == primary).unwrap_or(0);
+                    let source = holders[(start + next as usize - 1) % holders.len()];
+                    fetch_retries += 1;
+                    trace.record(
+                        now,
+                        "fetch.retry",
+                        format!("to={to} from={source} attempt={next}"),
+                    );
+                    let found = probe_fetch(
+                        &network,
+                        source,
+                        to,
+                        payload_bytes,
+                        &peers,
+                        &mut net_rng,
+                        &mut gs,
+                    );
+                    if let Some(FetchRoute { delay, hops, path }) = found {
+                        match gs.mode {
+                            GossipMode::Full => gs.gossip_bytes += payload_bytes * hops,
+                            GossipMode::AnnounceFetch => gs.fetch_bytes += payload_bytes * hops,
+                        }
+                        let fetch_route = gs.route_log.len();
+                        gs.route_log.push(path);
+                        sched.schedule_after(
+                            delay,
+                            Event::DeliverTx {
+                                to,
+                                idx: tx_idx,
+                                route: fetch_route,
+                            },
+                        );
+                        sched.schedule_after(
+                            delay + fetch_backoff(next, &mut fetch_rng),
+                            Event::FetchTimeout {
+                                to,
+                                fp,
+                                attempt: next,
+                            },
+                        );
+                    } else {
+                        sched.schedule_after(
+                            fetch_backoff(next, &mut fetch_rng),
+                            Event::FetchTimeout {
+                                to,
+                                fp,
+                                attempt: next,
+                            },
+                        );
+                    }
+                    fetches.get_mut(&(to, fp)).expect("episode is live").attempt = next;
+                }
+                Event::Watchdog => {
+                    let timeout = cfg.watchdog.expect("watchdog event implies a timeout");
+                    if pending_faults == 0 && now.saturating_since(last_progress) >= timeout {
+                        use std::fmt::Write as _;
+                        let n_active = peers.iter().filter(|p| p.active).count();
+                        let mut detail = String::new();
+                        for (i, peer) in peers.iter_mut().enumerate() {
+                            if !peer.active || peer.done(cfg.rounds) {
+                                continue;
+                            }
+                            let round = peer.current_round;
+                            refresh_confirmed(peer, registry, round);
+                            let cache = peer.confirmed_cache.as_ref().expect("just refreshed");
+                            let arrived = cache
+                                .subs
+                                .iter()
+                                .filter(|s| peer.model_store.contains_key(&s.model_hash))
+                                .count();
+                            let _ = write!(
+                                detail,
+                                " peer={i} round={round} training={} confirmed={} \
+                                 arrived={arrived} bar={n_active}",
+                                peer.training,
+                                cache.subs.len(),
+                            );
+                        }
+                        let diag = format!(
+                            "stalled: no progress for {timeout} under {:?} \
+                             (last progress at {last_progress}):{detail}",
+                            cfg.wait_policy
+                        );
+                        trace.record(now, "watchdog.stalled", diag.clone());
+                        stall = Some(diag);
+                        finished_at = now;
+                        break;
+                    }
+                    // Re-arm: checking twice per window bounds detection
+                    // latency at 1.5 timeouts.
+                    sched.schedule_after(timeout / 2, Event::Watchdog);
                 }
             }
             finished_at = now;
@@ -1409,6 +1846,14 @@ impl<'a> Decentralized<'a> {
             fetch_bytes: gs.fetch_bytes,
             artifacts,
             aggregates,
+            dropped_msgs: gs.dropped_msgs,
+            fetch_retries,
+            recovery_ms: if recoveries == 0 {
+                0.0
+            } else {
+                (recovery_total / recoveries).as_secs_f64() * 1e3
+            },
+            stall,
         }
     }
 
@@ -1507,6 +1952,7 @@ impl<'a> Decentralized<'a> {
         tx_update: &mut Vec<Option<usize>>,
         gs: &mut GossipState,
         train_time_rng: &mut impl Rng,
+        last_progress: &mut SimTime,
     ) {
         let cfg = &self.config;
         // Wait policies measure against the population that can still
@@ -1773,6 +2219,7 @@ impl<'a> Decentralized<'a> {
         );
 
         let wait = now.saturating_since(peers[peer].train_done_at.expect("checked above"));
+        *last_progress = now;
         trace.record(
             now,
             "round.aggregated",
@@ -1825,7 +2272,13 @@ impl<'a> Decentralized<'a> {
                 true,
             );
             let jitter = base.mul_f64(train_time_rng.gen_range(0.0..0.05));
-            sched.schedule_after(base + jitter, Event::TrainDone { peer });
+            sched.schedule_after(
+                base + jitter,
+                Event::TrainDone {
+                    peer,
+                    gen: peers[peer].train_gen,
+                },
+            );
         }
     }
 
@@ -1917,6 +2370,7 @@ mod tests {
             staleness_decay: None,
             faults: Vec::new(),
             retarget: RetargetRule::Homestead,
+            watchdog: Some(SimDuration::from_secs(600)),
             seed,
         }
     }
@@ -2613,6 +3067,205 @@ mod tests {
         assert_eq!(out.fetch_bytes, 0, "Full mode never meters fetches");
         let f = out.fork_rate();
         assert!((0.0..=1.0).contains(&f), "fork rate {f}");
+        // A lossless, fault-free run never loses, retries, or stalls.
+        assert_eq!(out.dropped_msgs, 0);
+        assert_eq!(out.fetch_retries, 0);
+        assert_eq!(out.recovery_ms, 0.0);
+        assert!(out.stall.is_none());
+    }
+
+    #[test]
+    fn invalid_link_profile_rejected_with_typed_error() {
+        let fx = fixture();
+        let mut cfg = quick_config(WaitPolicy::All, 1);
+        cfg.link.loss_rate = 1.5;
+        let err = Decentralized::try_new(cfg, &fx.shards, &fx.tests)
+            .err()
+            .expect("must reject");
+        assert!(matches!(err, ConfigError::InvalidLink(_)));
+        assert!(err.to_string().starts_with("invalid link profile"), "{err}");
+    }
+
+    #[test]
+    fn lossy_run_completes_via_fetch_retries() {
+        // 30% per-edge loss: artifact floods lose deliveries, the on-demand
+        // fetch path recovers them, and lost pulls are retried on timeout.
+        // Every round must still complete with every artifact everywhere.
+        let mut cfg = quick_config(WaitPolicy::All, 70);
+        cfg.gossip = GossipMode::AnnounceFetch;
+        cfg.link = LinkSpec::lan().with_loss(0.30);
+        let out = run_with(cfg, 70);
+        for (peer, records) in out.peer_records.iter().enumerate() {
+            assert_eq!(records.len(), 2, "peer {peer} incomplete");
+        }
+        assert!(out.dropped_msgs > 0, "30% loss dropped nothing");
+        assert!(out.stall.is_none(), "{:?}", out.stall);
+        // Wait-all rounds force full dissemination: everyone ends up holding
+        // all 3 peers × 2 rounds of artifacts despite the loss.
+        for inventory in &out.artifacts {
+            assert_eq!(inventory.len(), 6);
+        }
+    }
+
+    #[test]
+    fn lost_pull_is_retried_not_leaked() {
+        // Crank the loss until a pull itself is lost in transit: the episode
+        // must survive its failed delivery (the old one-shot set forgot it)
+        // and retry from a rotated holder until the artifact lands.
+        let mut found = None;
+        for seed in 70..90 {
+            let mut cfg = quick_config(WaitPolicy::All, seed);
+            cfg.gossip = GossipMode::AnnounceFetch;
+            cfg.link = LinkSpec::lan().with_loss(0.45);
+            let out = run_with(cfg, seed);
+            if out.fetch_retries > 0 {
+                found = Some(out);
+                break;
+            }
+        }
+        let out = found.expect("no seed in 70..90 exercised a fetch retry");
+        assert!(out.trace.count("net.payload-fetch") > 0);
+        assert!(out.trace.count("fetch.retry") > 0);
+        assert!(
+            out.trace.count("fetch.recovered") > 0,
+            "retried fetches never recovered"
+        );
+        // Every round still completed: nothing stayed stuck in flight.
+        for (peer, records) in out.peer_records.iter().enumerate() {
+            assert_eq!(records.len(), 2, "peer {peer} incomplete");
+        }
+        assert!(out.recovery_ms > 0.0);
+        assert!(out.stall.is_none());
+    }
+
+    #[test]
+    fn gossip_modes_agree_under_packet_loss() {
+        // Drop sampling happens on the flood's relay tree with the payload's
+        // byte size in both modes, so a lossy run is still bit-identical
+        // across gossip modes — meters aside.
+        let run_lossy = |mode: GossipMode| {
+            let mut cfg = quick_config(WaitPolicy::All, 71);
+            cfg.gossip = mode;
+            cfg.link = LinkSpec::lan().with_loss(0.20);
+            run_with(cfg, 71)
+        };
+        let full = run_lossy(GossipMode::Full);
+        let af = run_lossy(GossipMode::AnnounceFetch);
+        assert_eq!(full.peer_records, af.peer_records);
+        assert_eq!(full.artifacts, af.artifacts);
+        assert_eq!(full.finished_at, af.finished_at);
+        assert_eq!(full.dropped_msgs, af.dropped_msgs);
+        assert_eq!(full.fetch_retries, af.fetch_retries);
+        assert!(full.dropped_msgs > 0);
+        assert_eq!(full.fetch_bytes, 0);
+    }
+
+    #[test]
+    fn crashed_peer_restarts_resyncs_and_finishes() {
+        // Peer 2 crashes mid-training at t=1 s and restarts at t=30 s. The
+        // crash must not deadlock the survivors' wait-all rounds, and the
+        // restarted peer must resync the chain, retrain its round, and still
+        // complete both rounds.
+        let fx = fixture();
+        let mut cfg = straggler_config(WaitPolicy::All, 72);
+        cfg.faults = vec![
+            crate::faults::TimedFault::at_secs(1.0, crate::faults::Fault::PeerCrash { peer: 2 }),
+            crate::faults::TimedFault::at_secs(30.0, crate::faults::Fault::PeerRestart { peer: 2 }),
+        ];
+        let driver = Decentralized::new(cfg, &fx.shards, &fx.tests);
+        let nn = SimpleNnConfig::tiny(fx.tests[0].feature_dim(), fx.tests[0].num_classes());
+        let mut arch_rng = StdRng::seed_from_u64(72);
+        let out = driver.run(&mut || nn.build(&mut arch_rng));
+        assert_eq!(out.trace.count("churn.crash"), 1);
+        assert_eq!(out.trace.count("churn.restart"), 1);
+        let restart = out
+            .trace
+            .with_label("churn.restart")
+            .next()
+            .expect("restart traced");
+        let synced: u64 = restart
+            .detail
+            .split("synced_height=")
+            .nth(1)
+            .expect("synced_height recorded")
+            .parse()
+            .expect("numeric height");
+        assert!(
+            synced > 0,
+            "restarted peer synced no blocks: {}",
+            restart.detail
+        );
+        // All three peers complete both rounds — the crashed peer included,
+        // because it kept its identity and round position.
+        for (peer, records) in out.peer_records.iter().enumerate() {
+            assert_eq!(records.len(), 2, "peer {peer} incomplete");
+        }
+        assert!(out.stall.is_none(), "{:?}", out.stall);
+    }
+
+    #[test]
+    fn crash_restart_runs_are_deterministic() {
+        let run_once = || {
+            let fx = fixture();
+            let mut cfg = straggler_config(WaitPolicy::All, 73);
+            cfg.faults = vec![
+                crate::faults::TimedFault::at_secs(
+                    1.0,
+                    crate::faults::Fault::PeerCrash { peer: 1 },
+                ),
+                crate::faults::TimedFault::at_secs(
+                    25.0,
+                    crate::faults::Fault::PeerRestart { peer: 1 },
+                ),
+            ];
+            let driver = Decentralized::new(cfg, &fx.shards, &fx.tests);
+            let nn = SimpleNnConfig::tiny(fx.tests[0].feature_dim(), fx.tests[0].num_classes());
+            let mut arch_rng = StdRng::seed_from_u64(73);
+            driver.run(&mut || nn.build(&mut arch_rng))
+        };
+        let a = run_once();
+        let b = run_once();
+        assert_eq!(a.peer_records, b.peer_records);
+        assert_eq!(a.finished_at, b.finished_at);
+        assert_eq!(a.dropped_msgs, b.dropped_msgs);
+        assert_eq!(a.fetch_retries, b.fetch_retries);
+    }
+
+    #[test]
+    fn watchdog_fails_stalled_wait_all_run_with_diagnostic() {
+        // A permanent partition isolates peer 0 before any submission can
+        // cross; under WaitPolicy::All nobody's bar of 3 is ever met again.
+        // Without the watchdog this run would spin (blocks keep sealing on
+        // both sides) until the event cap; with it, the run stops quickly
+        // with a diagnostic naming the stuck peers.
+        let fx = fixture();
+        let mut cfg = quick_config(WaitPolicy::All, 74);
+        cfg.difficulty = 1_000_000;
+        cfg.link = LinkSpec {
+            latency: blockfed_sim::UniformJitter::constant(SimDuration::from_millis(2_000)),
+            bandwidth: None,
+            loss_rate: 0.0,
+        };
+        cfg.watchdog = Some(SimDuration::from_secs(60));
+        cfg.faults = vec![crate::faults::TimedFault::at_secs(
+            0.15,
+            crate::faults::Fault::Partition {
+                left: vec![0],
+                right: vec![1, 2],
+            },
+        )];
+        let driver = Decentralized::new(cfg, &fx.shards, &fx.tests);
+        let nn = SimpleNnConfig::tiny(fx.tests[0].feature_dim(), fx.tests[0].num_classes());
+        let mut arch_rng = StdRng::seed_from_u64(74);
+        let out = driver.run(&mut || nn.build(&mut arch_rng));
+        let diag = out.stall.as_ref().expect("run must be flagged as stalled");
+        assert!(diag.starts_with("stalled"), "{diag}");
+        assert!(diag.contains("peer="), "diagnostic names no peer: {diag}");
+        assert_eq!(out.trace.count("watchdog.stalled"), 1);
+        // The run stopped well before the event cap could: no peer finished
+        // both rounds, and virtual time is bounded by a few watchdog windows.
+        assert!(out.peer_records.iter().all(|r| r.len() < 2));
+        assert!(out.finished_at.as_secs_f64() < 600.0, "{}", out.finished_at);
     }
 
     fn run_with_gossip(

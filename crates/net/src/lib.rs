@@ -2,8 +2,10 @@
 //!
 //! Models what the paper's three-VM private Ethereum network does physically:
 //! point-to-point links with latency, jitter, bandwidth (so 21.2 MB model
-//! payloads cost what they should) and loss; topologies; gossip flooding with
-//! duplicate suppression; and partition fault injection.
+//! payloads cost what they should) and per-edge packet loss — unicast drops
+//! via [`LinkSpec::delay`], flood drops committed on the relay tree and
+//! metered by [`net::FloodStats`]; topologies; gossip flooding with duplicate
+//! suppression; and partition fault injection.
 //!
 //! # Examples
 //!
@@ -26,6 +28,6 @@ pub mod net;
 pub mod topology;
 
 pub use gossip::{GossipMode, GossipTracker, ANNOUNCE_BYTES};
-pub use link::LinkSpec;
-pub use net::{FloodDelivery, FloodScratch, Network};
+pub use link::{LinkError, LinkSpec};
+pub use net::{FloodDelivery, FloodScratch, FloodStats, Network};
 pub use topology::{NodeId, Topology};

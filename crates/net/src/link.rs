@@ -3,6 +3,28 @@
 use blockfed_sim::{SimDuration, UniformJitter};
 use rand::Rng;
 
+/// A rejected link configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LinkError {
+    /// The loss rate is outside `[0, 1]` (or not a number).
+    InvalidLossRate {
+        /// The offending rate.
+        got: f64,
+    },
+}
+
+impl std::fmt::Display for LinkError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LinkError::InvalidLossRate { got } => {
+                write!(f, "loss rate must be a probability in [0, 1], got {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LinkError {}
+
 /// The transmission characteristics of one directed link.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LinkSpec {
@@ -48,29 +70,62 @@ impl LinkSpec {
     ///
     /// # Panics
     ///
-    /// Panics if the rate is outside `[0, 1]`.
+    /// Panics if the rate is outside `[0, 1]`. Fallible callers (scenario
+    /// specs, config lowering) should use [`LinkSpec::try_with_loss`].
     #[must_use]
-    pub fn with_loss(mut self, rate: f64) -> Self {
-        assert!(
-            (0.0..=1.0).contains(&rate),
-            "loss rate must be a probability"
-        );
-        self.loss_rate = rate;
-        self
+    pub fn with_loss(self, rate: f64) -> Self {
+        self.try_with_loss(rate)
+            .expect("loss rate must be a probability")
     }
 
-    /// Samples the one-way delay for a message of `bytes`, or `None` if the
-    /// message is lost.
-    pub fn delay<R: Rng + ?Sized>(&self, bytes: u64, rng: &mut R) -> Option<SimDuration> {
-        if self.loss_rate > 0.0 && rng.gen_range(0.0..1.0) < self.loss_rate {
-            return None;
+    /// Sets the loss rate, rejecting anything outside `[0, 1]` with a typed
+    /// error instead of a panic.
+    pub fn try_with_loss(mut self, rate: f64) -> Result<Self, LinkError> {
+        if !(0.0..=1.0).contains(&rate) {
+            return Err(LinkError::InvalidLossRate { got: rate });
         }
+        self.loss_rate = rate;
+        Ok(self)
+    }
+
+    /// Validates the spec; currently only the loss rate can be out of range
+    /// (a `LinkSpec` literal bypasses the `with_loss` check).
+    pub fn validate(&self) -> Result<(), LinkError> {
+        if !(0.0..=1.0).contains(&self.loss_rate) {
+            return Err(LinkError::InvalidLossRate {
+                got: self.loss_rate,
+            });
+        }
+        Ok(())
+    }
+
+    /// Samples whether a message is dropped on this link. Draws from `rng`
+    /// only when the link is lossy, so a `loss_rate: 0.0` link consumes no
+    /// randomness — lossless runs stay bit-identical to builds without loss.
+    pub fn sample_drop<R: Rng + ?Sized>(&self, rng: &mut R) -> bool {
+        self.loss_rate > 0.0 && rng.gen_range(0.0..1.0) < self.loss_rate
+    }
+
+    /// Samples the one-way transmission delay (latency + serialization) for a
+    /// message of `bytes`, independent of loss. Floods use this to commit
+    /// their relay tree by delay and account drops separately via
+    /// [`LinkSpec::sample_drop`].
+    pub fn transmit_delay<R: Rng + ?Sized>(&self, bytes: u64, rng: &mut R) -> SimDuration {
         let mut d = self.latency.sample(rng);
         if let Some(bw) = self.bandwidth {
             assert!(bw > 0, "bandwidth must be positive");
             d += SimDuration::from_secs_f64(bytes as f64 / bw as f64);
         }
-        Some(d)
+        d
+    }
+
+    /// Samples the one-way delay for a message of `bytes`, or `None` if the
+    /// message is lost — the unicast view, where loss and delay are one draw.
+    pub fn delay<R: Rng + ?Sized>(&self, bytes: u64, rng: &mut R) -> Option<SimDuration> {
+        if self.sample_drop(rng) {
+            return None;
+        }
+        Some(self.transmit_delay(bytes, rng))
     }
 }
 
@@ -131,6 +186,47 @@ mod tests {
     #[should_panic(expected = "probability")]
     fn invalid_loss_rejected() {
         let _ = LinkSpec::lan().with_loss(1.5);
+    }
+
+    #[test]
+    fn try_with_loss_returns_typed_error() {
+        for bad in [-0.1, 1.5, f64::NAN] {
+            let err = LinkSpec::lan().try_with_loss(bad).unwrap_err();
+            assert!(matches!(err, LinkError::InvalidLossRate { .. }));
+            assert!(err.to_string().contains("probability"), "{err}");
+        }
+        let ok = LinkSpec::lan().try_with_loss(0.05).unwrap();
+        assert_eq!(ok.loss_rate, 0.05);
+        assert!(ok.validate().is_ok());
+        // A hand-built spec that bypassed the builder is still caught.
+        let mut raw = LinkSpec::lan();
+        raw.loss_rate = 2.0;
+        assert!(raw.validate().is_err());
+    }
+
+    #[test]
+    fn transmit_delay_matches_delay_on_lossless_links() {
+        // On a lossless link the two samplers consume RNG identically.
+        let link = LinkSpec::lan();
+        let mut a = RngHub::new(6).stream("l");
+        let mut b = RngHub::new(6).stream("l");
+        for bytes in [0u64, 1_000, 250_000] {
+            assert_eq!(
+                Some(link.transmit_delay(bytes, &mut a)),
+                link.delay(bytes, &mut b)
+            );
+        }
+    }
+
+    #[test]
+    fn sample_drop_draws_nothing_at_zero_loss() {
+        let link = LinkSpec::lan();
+        let mut a = RngHub::new(7).stream("l");
+        let mut b = RngHub::new(7).stream("l");
+        use rand::Rng;
+        assert!(!link.sample_drop(&mut a));
+        // `a` consumed nothing: both streams still agree.
+        assert_eq!(a.gen::<u64>(), b.gen::<u64>());
     }
 
     #[test]

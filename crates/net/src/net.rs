@@ -27,6 +27,18 @@ pub struct FloodDelivery {
     pub path: Vec<(NodeId, NodeId)>,
 }
 
+/// What one flood accomplished: how many deliveries were made, and how many
+/// were lost because their committed relay path crossed an edge that dropped
+/// the message ([`LinkSpec::sample_drop`]). On lossless links `dropped` is
+/// always zero.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FloodStats {
+    /// Deliveries handed to the visitor.
+    pub delivered: usize,
+    /// Deliveries lost to per-edge packet loss this flood.
+    pub dropped: usize,
+}
+
 /// A simulated network over `n` nodes.
 ///
 /// # Examples
@@ -76,6 +88,10 @@ pub struct FloodScratch {
     /// Sampled delay of undirected edge `(lo, hi)` at slot `lo * n + hi`,
     /// valid only while its stamp matches the current flood's epoch.
     edge_delay: Vec<(u64, Option<SimDuration>)>,
+    /// Epoch stamp marking an edge that dropped this flood's message
+    /// (per-edge loss). A stale stamp — any older epoch — means "not
+    /// dropped", so the buffer never needs clearing between floods.
+    edge_drop: Vec<u64>,
     epoch: u64,
     /// CSR adjacency (offsets + flattened neighbor lists) cached per
     /// `(topology, n)`.
@@ -114,6 +130,8 @@ impl FloodScratch {
             self.adj_key = Some((topology.clone(), n));
             self.edge_delay.clear();
             self.edge_delay.resize(n * n, (0, None));
+            self.edge_drop.clear();
+            self.edge_drop.resize(n * n, 0);
             self.epoch = 0;
         }
         self.epoch += 1;
@@ -226,7 +244,8 @@ impl Network {
 
     /// Computes flood (gossip) arrival offsets from `origin` to every reachable
     /// node: a shortest-path relay where each hop's delay is sampled once.
-    /// Nodes cut off by partitions or loss are absent from the result.
+    /// Nodes cut off by partitions, or whose delivery was lost to per-edge
+    /// packet loss, are absent from the result.
     pub fn flood<R: Rng + ?Sized>(
         &self,
         origin: NodeId,
@@ -274,7 +293,7 @@ impl Network {
         let mut scratch = FloodScratch::new();
         scratch.set_avoid((0..self.n).map(|i| avoid.contains(&NodeId(i))));
         let mut out = Vec::new();
-        self.flood_with(origin, bytes, rng, &mut scratch, |node, delay, path| {
+        let _ = self.flood_with(origin, bytes, rng, &mut scratch, |node, delay, path| {
             out.push(FloodDelivery {
                 node,
                 delay,
@@ -289,7 +308,8 @@ impl Network {
     /// state lives in a caller-owned [`FloodScratch`]. `visit` is called once
     /// per delivery in ascending node order with the receiver, its arrival
     /// offset, and a *borrowed* relay path — clone the path only if you need
-    /// to keep it.
+    /// to keep it. Returns a [`FloodStats`] counting deliveries made and
+    /// deliveries lost to per-edge packet loss.
     ///
     /// Nodes flagged in the scratch's avoid mask (see
     /// [`FloodScratch::set_avoid`]) neither receive nor relay. Edge delays
@@ -297,6 +317,17 @@ impl Network {
     /// the mask, so RNG consumption — and with it the rest of a
     /// deterministic simulation — is identical across every flood API and
     /// every avoid set.
+    ///
+    /// # Loss semantics
+    ///
+    /// Each non-cut edge samples one drop decision per flood, from the same
+    /// RNG stream as its delay and only when its link is lossy (so
+    /// `loss_rate: 0.0` consumes randomness exactly as a loss-free build).
+    /// The relay tree is committed by delay over *all* non-cut edges: gossip
+    /// suppresses redundant relays, so a message lost on a committed tree
+    /// edge takes the whole subtree behind it with it rather than silently
+    /// rerouting. Those deliveries are skipped (not visited) and counted in
+    /// the returned stats — recovery is the caller's job (retry, fetch).
     ///
     /// # Panics
     ///
@@ -308,7 +339,7 @@ impl Network {
         rng: &mut R,
         scratch: &mut FloodScratch,
         mut visit: impl FnMut(NodeId, SimDuration, &[(NodeId, NodeId)]),
-    ) {
+    ) -> FloodStats {
         assert!(origin.0 < self.n, "origin out of range");
         let n = self.n;
         scratch.prepare(&self.topology, n);
@@ -328,7 +359,11 @@ impl Network {
                     let d = if self.cut.contains(&(NodeId(lo), NodeId(hi))) {
                         None
                     } else {
-                        self.link(NodeId(lo), NodeId(hi)).delay(bytes, rng)
+                        let link = self.link(NodeId(lo), NodeId(hi));
+                        if link.sample_drop(rng) {
+                            scratch.edge_drop[slot] = scratch.epoch;
+                        }
+                        Some(link.transmit_delay(bytes, rng))
                     };
                     scratch.edge_delay[slot] = (scratch.epoch, d);
                 }
@@ -368,6 +403,7 @@ impl Network {
                 }
             }
         }
+        let mut stats = FloodStats::default();
         for node in 0..n {
             if node == origin.0 || scratch.dist[node] == SimDuration::MAX {
                 continue;
@@ -381,8 +417,20 @@ impl Network {
                 at = p;
             }
             scratch.path_buf.reverse();
+            // A drop on any committed tree edge loses the delivery (and,
+            // implicitly, everything relayed through the same edge).
+            if scratch
+                .path_buf
+                .iter()
+                .any(|&(a, b)| scratch.edge_drop[a.0 * n + b.0] == scratch.epoch)
+            {
+                stats.dropped += 1;
+                continue;
+            }
+            stats.delivered += 1;
             visit(NodeId(node), scratch.dist[node], &scratch.path_buf);
         }
+        stats
     }
 
     /// Whether every edge on a relay path is currently usable (adjacent under
@@ -591,6 +639,84 @@ mod tests {
     fn self_delay_is_none() {
         let net = Network::new(2, Topology::FullMesh, LinkSpec::lan());
         assert!(net.delay(NodeId(0), NodeId(0), 0, &mut rng()).is_none());
+    }
+
+    #[test]
+    fn lossless_flood_reports_zero_drops_and_full_delivery() {
+        let net = Network::new(6, Topology::FullMesh, LinkSpec::lan());
+        let mut scratch = FloodScratch::new();
+        let stats = net.flood_with(NodeId(0), 1_000, &mut rng(), &mut scratch, |_, _, _| {});
+        assert_eq!(
+            stats,
+            FloodStats {
+                delivered: 5,
+                dropped: 0
+            }
+        );
+    }
+
+    #[test]
+    fn lossy_flood_meters_dropped_deliveries() {
+        // 8-peer mesh at 20% per-edge loss: every delivery rides one direct
+        // edge, so across a few seeds some floods must lose deliveries —
+        // and delivered + dropped always accounts for every reachable node.
+        let net = Network::new(8, Topology::FullMesh, LinkSpec::lan().with_loss(0.2));
+        let mut scratch = FloodScratch::new();
+        let mut saw_drop = false;
+        for seed in 0..20u64 {
+            let mut rng = RngHub::new(seed).stream("lossy");
+            let mut visited = 0usize;
+            let stats = net.flood_with(NodeId(0), 1_000, &mut rng, &mut scratch, |_, _, _| {
+                visited += 1;
+            });
+            assert_eq!(stats.delivered, visited);
+            assert_eq!(stats.delivered + stats.dropped, 7);
+            saw_drop |= stats.dropped > 0;
+        }
+        assert!(saw_drop, "20 lossy floods never dropped a delivery");
+    }
+
+    #[test]
+    fn total_loss_drops_every_delivery() {
+        let net = Network::new(5, Topology::Ring, LinkSpec::lan().with_loss(1.0));
+        let mut scratch = FloodScratch::new();
+        let stats = net.flood_with(NodeId(0), 100, &mut rng(), &mut scratch, |node, _, _| {
+            panic!("delivery to {node} survived total loss")
+        });
+        assert_eq!(stats.delivered, 0);
+        assert_eq!(stats.dropped, 4);
+    }
+
+    #[test]
+    fn lossy_floods_are_deterministic_per_seed() {
+        let net = Network::new(9, Topology::Ring, LinkSpec::lan().with_loss(0.1));
+        let mut scratch = FloodScratch::new();
+        let run = |scratch: &mut FloodScratch| {
+            let mut out = Vec::new();
+            let stats = net.flood_with(
+                NodeId(3),
+                500,
+                &mut RngHub::new(11).stream("det"),
+                scratch,
+                |node, delay, _| out.push((node, delay)),
+            );
+            (stats, out)
+        };
+        let a = run(&mut scratch);
+        let b = run(&mut scratch);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn zero_loss_floods_consume_rng_like_lossless_links() {
+        // A loss_rate of exactly 0.0 must not draw the drop decision, so the
+        // committed delay tree — and everything downstream of the shared RNG
+        // stream — is bit-identical to a link built without loss.
+        let lossless = Network::new(7, Topology::Ring, LinkSpec::lan());
+        let zero_loss = Network::new(7, Topology::Ring, LinkSpec::lan().with_loss(0.0));
+        let a = lossless.flood(NodeId(0), 2_000, &mut RngHub::new(21).stream("z"));
+        let b = zero_loss.flood(NodeId(0), 2_000, &mut RngHub::new(21).stream("z"));
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -40,6 +40,19 @@ pub struct CellReport {
     /// Total bytes of targeted payload pulls (one artifact copy per
     /// receiving peer). Zero under legacy full flooding.
     pub fetch_bytes: u64,
+    /// Deliveries lost to per-edge packet loss (flood relays and targeted
+    /// pulls). Zero on lossless links.
+    pub dropped_msgs: u64,
+    /// Payload-fetch retries the loss-recovery machinery issued. Zero on
+    /// lossless fault-free runs.
+    pub fetch_retries: u64,
+    /// Mean virtual milliseconds from a fetch episode's first attempt to the
+    /// artifact's arrival, over episodes that needed the retry machinery.
+    /// `0.0` when nothing had to recover.
+    pub recovery_ms: f64,
+    /// Whether the liveness watchdog stopped the cell as stalled instead of
+    /// letting it settle.
+    pub stalled: bool,
     /// Canonical blocks on peer 0's chain.
     pub blocks: usize,
     /// Total per-peer round records folded into the cell.
@@ -66,6 +79,10 @@ impl PartialEq for CellReport {
             && self.fork_rate == other.fork_rate
             && self.gossip_bytes == other.gossip_bytes
             && self.fetch_bytes == other.fetch_bytes
+            && self.dropped_msgs == other.dropped_msgs
+            && self.fetch_retries == other.fetch_retries
+            && self.recovery_ms == other.recovery_ms
+            && self.stalled == other.stalled
             && self.blocks == other.blocks
             && self.records == other.records
             && self.max_mask_bit == other.max_mask_bit
@@ -97,6 +114,8 @@ impl ScenarioReport {
                 "Fork rate",
                 "Gossip (MB)",
                 "Fetch (MB)",
+                "Dropped",
+                "Retries",
                 "Wall (s)",
             ],
         );
@@ -112,6 +131,8 @@ impl ScenarioReport {
                 format!("{:.3}", c.fork_rate),
                 format!("{:.2}", c.gossip_bytes as f64 / 1e6),
                 format!("{:.2}", c.fetch_bytes as f64 / 1e6),
+                c.dropped_msgs.to_string(),
+                c.fetch_retries.to_string(),
                 format!("{:.2}", c.wall_clock_secs),
             ]);
         }
@@ -153,6 +174,10 @@ impl ScenarioReport {
             out.push_str(&format!("\"fork_rate\": {}, ", json_f64(c.fork_rate)));
             out.push_str(&format!("\"gossip_bytes\": {}, ", c.gossip_bytes));
             out.push_str(&format!("\"fetch_bytes\": {}, ", c.fetch_bytes));
+            out.push_str(&format!("\"dropped_msgs\": {}, ", c.dropped_msgs));
+            out.push_str(&format!("\"fetch_retries\": {}, ", c.fetch_retries));
+            out.push_str(&format!("\"recovery_ms\": {}, ", json_f64(c.recovery_ms)));
+            out.push_str(&format!("\"stalled\": {}, ", c.stalled));
             out.push_str(&format!("\"blocks\": {}, ", c.blocks));
             out.push_str(&format!("\"records\": {}, ", c.records));
             out.push_str(&format!(
@@ -196,11 +221,14 @@ impl ScenarioReport {
         for c in &self.cells {
             out.push_str(&format!(
                 "{{\"cell\": {}, \"peers\": {}, \"gossip_bytes\": {}, \"fetch_bytes\": {}, \
+                 \"dropped_msgs\": {}, \"fetch_retries\": {}, \
                  \"wall_clock_secs\": {}, \"git_rev\": {}}}\n",
                 json_str(&c.name),
                 c.peers,
                 c.gossip_bytes,
                 c.fetch_bytes,
+                c.dropped_msgs,
+                c.fetch_retries,
                 json_f64(c.wall_clock_secs),
                 json_str(git_rev),
             ));
@@ -272,6 +300,10 @@ mod tests {
             fork_rate: 0.1,
             gossip_bytes: 1_000_000,
             fetch_bytes: 250_000,
+            dropped_msgs: 7,
+            fetch_retries: 3,
+            recovery_ms: 120.5,
+            stalled: false,
             blocks: 12,
             records: 10,
             max_mask_bit: Some(4),
@@ -288,6 +320,13 @@ mod tests {
         let mut c = cell("a");
         c.blocks = 13;
         assert_ne!(a, c);
+        // The resilience meters are part of simulation identity.
+        let mut d = cell("a");
+        d.dropped_msgs = 8;
+        assert_ne!(a, d);
+        let mut e = cell("a");
+        e.stalled = true;
+        assert_ne!(a, e);
     }
 
     #[test]
@@ -302,6 +341,10 @@ mod tests {
         assert!(json.contains("\"mean_final_accuracy\": 0.5"));
         assert!(json.contains("\"max_mask_bit\": 4"));
         assert!(json.contains("\"wall_clock_secs\": 3.3"));
+        assert!(json.contains("\"dropped_msgs\": 7"));
+        assert!(json.contains("\"fetch_retries\": 3"));
+        assert!(json.contains("\"recovery_ms\": 120.5"));
+        assert!(json.contains("\"stalled\": false"));
         // Two cells, comma-separated.
         assert_eq!(json.matches("\"peers\": 5").count(), 2);
     }
@@ -343,6 +386,8 @@ mod tests {
         assert!(lines[3].contains("\"git_rev\": \"rev2\""));
         assert!(lines[0].contains("\"gossip_bytes\": 1000000"));
         assert!(lines[0].contains("\"fetch_bytes\": 250000"));
+        assert!(lines[0].contains("\"dropped_msgs\": 7"));
+        assert!(lines[0].contains("\"fetch_retries\": 3"));
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

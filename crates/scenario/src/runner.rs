@@ -68,6 +68,10 @@ impl ScenarioRunner {
             fork_rate: run.fork_rate(),
             gossip_bytes: run.gossip_bytes,
             fetch_bytes: run.fetch_bytes,
+            dropped_msgs: run.dropped_msgs,
+            fetch_retries: run.fetch_retries,
+            recovery_ms: run.recovery_ms,
+            stalled: run.stall.is_some(),
             blocks: run.chain.blocks,
             records,
             max_mask_bit,
@@ -155,6 +159,33 @@ mod tests {
         // A different seed diverges.
         let c = runner.run(&churn_spec(10, 34));
         assert_ne!(a, c);
+    }
+
+    #[test]
+    fn lossy_cell_records_resilience_meters_and_replays() {
+        // A lossy cell settles through the retry machinery, meters its drops,
+        // and still replays bit-identically; its lossless twin keeps every
+        // resilience meter at zero.
+        let spec = churn_spec(5, 70).loss(0.2);
+        let runner = ScenarioRunner::new();
+        let a = runner.run(&spec);
+        assert!(a.dropped_msgs > 0, "20% loss must drop something: {a:?}");
+        assert!(!a.stalled, "the lossy cell must settle, not stall: {a:?}");
+        assert!(a.records > 0);
+        let b = runner.run(&spec);
+        assert_eq!(a, b, "lossy runs must replay bit-identically");
+        // The lossless twin drops nothing on its links; the mid-run partition
+        // may still force on-demand fetch recoveries (deliveries cut in
+        // flight), which is the machinery working, not loss.
+        let clean = runner.run(&churn_spec(5, 70));
+        assert_eq!(clean.dropped_msgs, 0, "lossless links drop nothing");
+        assert!(!clean.stalled);
+        // A fault-free lossless cell keeps every resilience meter at zero.
+        let calm = runner.run(&ScenarioSpec::new("calm", 3).rounds(2).seed(70));
+        assert_eq!(calm.dropped_msgs, 0);
+        assert_eq!(calm.fetch_retries, 0);
+        assert_eq!(calm.recovery_ms, 0.0);
+        assert!(!calm.stalled);
     }
 
     #[test]

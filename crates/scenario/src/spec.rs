@@ -16,6 +16,7 @@ use blockfed_data::{Dataset, Partition, SynthCifarConfig};
 use blockfed_fl::{Adversary, StalenessDecay, Strategy, WaitPolicy};
 use blockfed_net::{GossipMode, LinkSpec, Topology};
 use blockfed_nn::{Sequential, SimpleNnConfig};
+use blockfed_sim::SimDuration;
 
 /// How a scenario synthesizes and partitions its federated data.
 #[derive(Debug, Clone, PartialEq)]
@@ -143,6 +144,10 @@ pub struct ScenarioSpec {
     pub adversaries: Vec<Adversary>,
     /// The fault/churn timeline.
     pub timeline: Vec<TimedFault>,
+    /// Liveness watchdog window: if the run makes no aggregation progress for
+    /// this long, it fails fast with a diagnostic instead of hanging (see
+    /// [`DecentralizedConfig::watchdog`]). `None` disables the monitor.
+    pub watchdog: Option<SimDuration>,
     /// Data synthesis and partitioning.
     pub data: DataSpec,
     /// The model architecture every peer trains.
@@ -197,6 +202,7 @@ impl ScenarioSpec {
             degeneracy_min_classes: None,
             adversaries: Vec::new(),
             timeline: Vec::new(),
+            watchdog: Some(SimDuration::from_secs(600)),
             data,
             model,
             batch_parallel: None,
@@ -379,6 +385,32 @@ impl ScenarioSpec {
         self
     }
 
+    /// Sets the per-edge packet-loss probability on the current link profile.
+    /// An out-of-range rate is caught by [`ScenarioSpec::validate`] (and the
+    /// orchestrator's typed `InvalidLink` rejection), not here — specs are
+    /// plain data.
+    #[must_use]
+    pub fn loss(mut self, rate: f64) -> Self {
+        self.link.loss_rate = rate;
+        self
+    }
+
+    /// Sets the liveness-watchdog window in virtual seconds (see
+    /// [`ScenarioSpec::watchdog`]).
+    #[must_use]
+    pub fn watchdog_secs(mut self, secs: f64) -> Self {
+        self.watchdog = Some(SimDuration::from_secs_f64(secs));
+        self
+    }
+
+    /// Disables the liveness watchdog (a genuinely stalled run then hangs —
+    /// only for tests that prove a stall exists).
+    #[must_use]
+    pub fn no_watchdog(mut self) -> Self {
+        self.watchdog = None;
+        self
+    }
+
     /// Sets the gossip dissemination mode (see [`ScenarioSpec::gossip`]).
     #[must_use]
     pub fn gossip(mut self, mode: GossipMode) -> Self {
@@ -461,6 +493,25 @@ impl ScenarioSpec {
         self
     }
 
+    /// Schedules a process crash at `secs`: the peer keeps its identity and
+    /// on-chain state but loses in-flight fetches and its mempool until a
+    /// [`ScenarioSpec::restart_at`].
+    #[must_use]
+    pub fn crash_at(mut self, secs: f64, peer: usize) -> Self {
+        self.timeline
+            .push(TimedFault::at_secs(secs, Fault::PeerCrash { peer }));
+        self
+    }
+
+    /// Schedules a crashed peer's restart at `secs` (resyncs the chain, then
+    /// resumes its round).
+    #[must_use]
+    pub fn restart_at(mut self, secs: f64, peer: usize) -> Self {
+        self.timeline
+            .push(TimedFault::at_secs(secs, Fault::PeerRestart { peer }));
+        self
+    }
+
     /// Replaces the data spec (the model is re-derived to match its shape).
     #[must_use]
     pub fn data(mut self, data: DataSpec) -> Self {
@@ -534,6 +585,11 @@ impl ScenarioSpec {
             }
         }
         blockfed_core::validate_timeline(&self.timeline, n)?;
+        if let Err(e) = self.link.validate() {
+            // Mirror the orchestrator's typed rejection word for word, so a
+            // spec and Decentralized::try_new refuse identically.
+            return Err(ConfigError::InvalidLink(e.to_string()).to_string());
+        }
         let pool = self.data.synth.test_per_class * self.data.synth.num_classes;
         if pool / n == 0 {
             return Err(format!(
@@ -569,6 +625,7 @@ impl ScenarioSpec {
             staleness_decay: self.staleness_decay,
             faults: self.timeline.clone(),
             retarget: self.retarget,
+            watchdog: self.watchdog,
             seed: self.seed,
         }
     }
@@ -741,8 +798,54 @@ mod tests {
             .heal_at(2.0)
             .join_at(3.0, 4)
             .leave_at(4.0, 0)
-            .hash_shock_at(5.0, 1, 2.0);
-        assert_eq!(spec.timeline.len(), 5);
+            .hash_shock_at(5.0, 1, 2.0)
+            .crash_at(6.0, 1)
+            .restart_at(7.0, 1);
+        assert_eq!(spec.timeline.len(), 7);
         spec.validate().unwrap();
+        // Crash/restart alternation is enforced through the shared timeline
+        // validator.
+        assert!(ScenarioSpec::new("r", 3)
+            .restart_at(1.0, 0)
+            .validate()
+            .is_err());
+    }
+
+    #[test]
+    fn loss_lowers_and_invalid_loss_mirrors_the_orchestrator() {
+        let spec = ScenarioSpec::new("lossy", 3).loss(0.05);
+        spec.validate().unwrap();
+        assert_eq!(spec.decentralized_config().link.loss_rate, 0.05);
+        // An out-of-range rate is refused with the orchestrator's words.
+        let err = ScenarioSpec::new("bad", 3)
+            .loss(1.5)
+            .validate()
+            .unwrap_err();
+        assert!(err.starts_with("invalid link profile"), "{err}");
+        assert_eq!(
+            err,
+            blockfed_core::ConfigError::InvalidLink(
+                blockfed_net::LinkError::InvalidLossRate { got: 1.5 }.to_string()
+            )
+            .to_string(),
+            "spec and orchestrator must reject with the same words"
+        );
+    }
+
+    #[test]
+    fn watchdog_knob_lowers_into_the_config() {
+        // The default matches the orchestrator's ten-minute window.
+        let spec = ScenarioSpec::new("w", 3);
+        assert_eq!(
+            spec.decentralized_config().watchdog,
+            Some(SimDuration::from_secs(600))
+        );
+        let tight = ScenarioSpec::new("w", 3).watchdog_secs(30.0);
+        assert_eq!(
+            tight.decentralized_config().watchdog,
+            Some(SimDuration::from_secs(30))
+        );
+        let off = ScenarioSpec::new("w", 3).no_watchdog();
+        assert_eq!(off.decentralized_config().watchdog, None);
     }
 }

@@ -8,6 +8,7 @@
 //! cargo run --release --example scenarios -- --bestk48  # CI: one 48-peer best-k cell past the u32 mask
 //! cargo run --release --example scenarios -- --gossip128 # CI: announce/fetch byte guards + 128-peer cell
 //! cargo run --release --example scenarios -- --paper    # CI: paper-scale SimpleNN cell, batch-parallel vs sequential
+//! cargo run --release --example scenarios -- --chaos    # CI: lossy 48-peer cells (loss 0/1/5/20%) + byte-accounting guard
 //! ```
 //!
 //! Every mode prints the matrix table and writes the machine-readable
@@ -27,6 +28,13 @@ use blockfed::scenario::{
 /// this cell; announcements keep it under this bound, and CI fails if a
 /// change pushes flood traffic back above it.
 const GOSSIP48_CEILING_BYTES: u64 = 12_000_000;
+
+/// The committed byte accounting of the lossless 48-peer announce/fetch cell
+/// (`BENCH_history.jsonl`). `--chaos` asserts a `loss_rate: 0.0` run still
+/// reproduces these exactly: the loss machinery must be invisible when the
+/// links are clean.
+const BESTK48_GOSSIP_BYTES: u64 = 6_593_536;
+const BESTK48_FETCH_BYTES: u64 = 45_120_000;
 
 /// A small, fully featured churn scenario: heterogeneous compute, one
 /// mid-run partition + heal, a late join and an early leave.
@@ -352,6 +360,72 @@ fn paper() {
     println!("paper-scale scenario OK");
 }
 
+/// The lossy-network certification: the 48-peer announce/fetch cell across
+/// loss ∈ {0, 1%, 5%, 20%}. The lossless run must reproduce the committed
+/// byte accounting exactly (the loss machinery is invisible on clean links);
+/// every lossy run must settle through the fetch retry machinery — never the
+/// watchdog — with the same records and final accuracy as the lossless twin,
+/// nonzero drop/retry meters, and a retry count bounded by the attempt
+/// budget per drop.
+fn chaos() {
+    println!("lossy 48-peer cells — loss sweep over the announce/fetch best-k cell\n");
+    let runner = ScenarioRunner::new();
+    let clean = runner.run(&bestk48_spec());
+    assert_eq!(
+        clean.gossip_bytes, BESTK48_GOSSIP_BYTES,
+        "loss_rate 0.0 must reproduce the committed gossip bytes exactly"
+    );
+    assert_eq!(
+        clean.fetch_bytes, BESTK48_FETCH_BYTES,
+        "loss_rate 0.0 must reproduce the committed fetch bytes exactly"
+    );
+    assert_eq!(clean.dropped_msgs, 0, "clean links never drop");
+    assert_eq!(clean.fetch_retries, 0, "clean links never retry");
+    assert!(!clean.stalled);
+
+    let mut cells = vec![clean.clone()];
+    for (label, loss) in [
+        ("bestk48-loss1", 0.01),
+        ("bestk48-loss5", 0.05),
+        ("bestk48-loss20", 0.20),
+    ] {
+        let cell = runner.run(&bestk48_spec().named(label).loss(loss));
+        assert!(
+            !cell.stalled,
+            "{label} hit the watchdog instead of settling"
+        );
+        assert_eq!(
+            cell.records, clean.records,
+            "{label} settled with fewer round records than the lossless twin"
+        );
+        assert_eq!(
+            cell.mean_final_accuracy, clean.mean_final_accuracy,
+            "{label}: loss changed the wait-all aggregation outcome"
+        );
+        assert!(cell.dropped_msgs > 0, "{label} never dropped a delivery");
+        assert!(
+            cell.fetch_retries <= cell.dropped_msgs * 8,
+            "{label}: retries unbounded — {} retries for {} drops",
+            cell.fetch_retries,
+            cell.dropped_msgs
+        );
+        cells.push(cell);
+    }
+    assert!(
+        cells[2].fetch_retries > 0,
+        "5% loss never exercised a fetch retry"
+    );
+
+    let report = blockfed::scenario::ScenarioReport {
+        name: "chaos48".into(),
+        cells,
+    };
+    println!("{}", report.table());
+    let path = report.write_json(".").expect("write BENCH_scenarios.json");
+    println!("wrote {}", path.display());
+    println!("lossy 48-peer certification OK");
+}
+
 fn demo() {
     println!("10-peer heterogeneous churn scenario — deterministic replay\n");
     let spec = churn_spec(10).named("demo-10-peer-churn").seed(33);
@@ -378,11 +452,12 @@ fn main() {
         "--bestk48" => bestk48(),
         "--gossip128" => gossip128(),
         "--paper" => paper(),
+        "--chaos" => chaos(),
         "" | "--demo" => demo(),
         other => {
             eprintln!(
                 "unknown mode {other}; use --smoke, --bestk, --bench, --bestk48, --gossip128, \
-                 --paper, or --demo"
+                 --paper, --chaos, or --demo"
             );
             std::process::exit(2);
         }
