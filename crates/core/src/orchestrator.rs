@@ -37,6 +37,7 @@ use blockfed_fl::{
 use blockfed_net::{FloodScratch, GossipMode, LinkSpec, Network, NodeId, Topology, ANNOUNCE_BYTES};
 use blockfed_nn::{Sequential, Sgd};
 use blockfed_sim::{RngHub, Scheduler, SimDuration, SimTime, Trace};
+use blockfed_telemetry::{MetricSet, NoopSink, Telemetry, TraceSink};
 use blockfed_vm::{BlockfedRuntime, ComboMask, NativeContract, NATIVE_REGISTRY_CODE};
 use rand::Rng;
 
@@ -303,23 +304,42 @@ pub struct DecentralizedRun {
     /// run's member sets (32-peer-plus ones included) survived the on-chain
     /// round trip.
     pub aggregates: Vec<ConfirmedAggregate>,
-    /// Deliveries lost in transit: per-edge packet loss sampled on the relay
-    /// tree plus in-flight partition/relay-crash cuts. Exactly zero on a
-    /// lossless, fault-free run.
-    pub dropped_msgs: u64,
-    /// Timeout-driven payload-fetch retries: every probe launched beyond a
-    /// fetch episode's first attempt. Zero when every pull lands first try.
-    pub fetch_retries: u64,
-    /// Mean virtual milliseconds between a payload fetch starting and the
-    /// artifact arriving, over episodes that recovered. Zero when no
-    /// on-demand fetch was needed.
-    pub recovery_ms: f64,
+    /// Every counter, gauge, and histogram the run folded: resilience meters
+    /// (`dropped_msgs`, `fetch_retries`, `fetch_recoveries`, `fetch_gave_up`,
+    /// `reorgs` counters; `recovery_ms`, `stalled` gauges) and the per-phase
+    /// timing distributions (`train_secs`, `wait_secs`, `staleness_secs`,
+    /// `fetch_ms`, `block_interval_secs` histograms). Deterministic: folded
+    /// in event-loop order from virtual-time quantities only, so two runs of
+    /// the same seed produce equal sets — the named accessors below keep the
+    /// legacy one-field-per-meter API working.
+    pub metrics: MetricSet,
     /// `Some(diagnostic)` when the liveness watchdog stopped a stalled run
     /// (see [`DecentralizedConfig::watchdog`]); `None` for a clean finish.
     pub stall: Option<String>,
 }
 
 impl DecentralizedRun {
+    /// Deliveries lost in transit: per-edge packet loss sampled on the relay
+    /// tree plus in-flight partition/relay-crash cuts. Exactly zero on a
+    /// lossless, fault-free run. (The `dropped_msgs` counter.)
+    pub fn dropped_msgs(&self) -> u64 {
+        self.metrics.counter("dropped_msgs")
+    }
+
+    /// Timeout-driven payload-fetch retries: every probe launched beyond a
+    /// fetch episode's first attempt. Zero when every pull lands first try.
+    /// (The `fetch_retries` counter.)
+    pub fn fetch_retries(&self) -> u64 {
+        self.metrics.counter("fetch_retries")
+    }
+
+    /// Mean virtual milliseconds between a payload fetch starting and the
+    /// artifact arriving, over episodes that recovered. Zero when no
+    /// on-demand fetch was needed. (The `recovery_ms` gauge.)
+    pub fn recovery_ms(&self) -> f64 {
+        self.metrics.gauge("recovery_ms")
+    }
+
     /// Mean aggregation wait across all peers and rounds.
     pub fn mean_wait(&self) -> SimDuration {
         let mut total = SimDuration::ZERO;
@@ -477,14 +497,143 @@ fn fetch_backoff(attempt: u32, rng: &mut impl Rng) -> SimDuration {
 }
 
 /// One in-flight payload fetch: which attempt it is on, who was asked first
-/// (the confirming block's miner), and when the episode started (for the
-/// recovery-time metric).
+/// (the confirming block's miner), when the episode started (for the
+/// recovery-time metric), and its open telemetry span.
 struct FetchState {
     attempt: u32,
     primary: usize,
     first_at: SimTime,
     payload_bytes: u64,
     tx_idx: usize,
+    span: u64,
+}
+
+/// The run's observability state, threaded through the event loop as one
+/// handle: the legacy string [`Trace`], the structured [`Telemetry`] emitter,
+/// the folded [`MetricSet`], the watchdog's progress clock, and the open-span
+/// bookkeeping that turns discrete events into per-peer round timelines
+/// (`round` ⊃ `round.train` → `round.wait`).
+///
+/// Span slots are updated unconditionally — ids are allocated even under a
+/// [`NoopSink`] — so instrumented state never depends on whether anyone is
+/// listening (the invariance proof relies on this).
+struct Obs<'s> {
+    trace: Trace,
+    tel: Telemetry<'s>,
+    metrics: MetricSet,
+    /// Virtual time of the last liveness-relevant event (see
+    /// [`DecentralizedConfig::watchdog`]).
+    last_progress: SimTime,
+    /// Most recent telemetry event per peer, cited by the watchdog's stall
+    /// diagnostic so a stuck run names what each peer last did.
+    last_event: Vec<Option<(SimTime, &'static str)>>,
+    /// Open `round` span per peer: `(span id, opened at)`.
+    round_span: Vec<Option<(u64, SimTime)>>,
+    /// Open `round.train` span per peer.
+    train_span: Vec<Option<(u64, SimTime)>>,
+    /// Open `round.wait` span per peer.
+    wait_span: Vec<Option<(u64, SimTime)>>,
+}
+
+impl<'s> Obs<'s> {
+    fn new(n: usize, sink: &'s mut dyn TraceSink) -> Self {
+        Obs {
+            trace: Trace::new(),
+            tel: Telemetry::new(sink),
+            metrics: MetricSet::new(),
+            last_progress: SimTime::ZERO,
+            last_event: vec![None; n],
+            round_span: vec![None; n],
+            train_span: vec![None; n],
+            wait_span: vec![None; n],
+        }
+    }
+
+    /// Notes a peer-attributed event for the watchdog diagnostic.
+    fn note(&mut self, peer: usize, now: SimTime, what: &'static str) {
+        self.last_event[peer] = Some((now, what));
+    }
+
+    /// Opens the `round` and `round.train` spans as a peer starts (or, after
+    /// a crash-restart, re-starts) training. A round span left open by a
+    /// crash is resumed, not reopened.
+    fn begin_training(&mut self, peer: usize, now: SimTime, round: u32) {
+        if self.round_span[peer].is_none() {
+            let id = self
+                .tel
+                .begin(now, "round", peer as u32, || vec![("round", round.into())]);
+            self.round_span[peer] = Some((id, now));
+        }
+        let id = self.tel.begin(now, "round.train", peer as u32, || {
+            vec![("round", round.into())]
+        });
+        self.train_span[peer] = Some((id, now));
+        self.note(peer, now, "train.start");
+    }
+
+    /// Closes the train span and opens the wait span as the peer publishes
+    /// its model — the instant the title's "wait or not to wait" clock
+    /// starts ticking.
+    fn training_done(&mut self, peer: usize, now: SimTime, round: u32) {
+        if let Some((id, opened)) = self.train_span[peer].take() {
+            self.tel.end(now, "round.train", peer as u32, id, Vec::new);
+            self.metrics
+                .observe("train_secs", now.saturating_since(opened).as_secs_f64());
+        }
+        let id = self.tel.begin(now, "round.wait", peer as u32, || {
+            vec![("round", round.into())]
+        });
+        self.wait_span[peer] = Some((id, now));
+        self.note(peer, now, "train.done");
+        self.last_progress = now;
+    }
+
+    /// Closes the wait and round spans as the peer aggregates.
+    fn aggregated(&mut self, peer: usize, now: SimTime) {
+        if let Some((id, _)) = self.wait_span[peer].take() {
+            self.tel.end(now, "round.wait", peer as u32, id, Vec::new);
+        }
+        if let Some((id, _)) = self.round_span[peer].take() {
+            self.tel.end(now, "round", peer as u32, id, Vec::new);
+        }
+        self.note(peer, now, "round.aggregated");
+        self.last_progress = now;
+    }
+
+    /// Aborts a crashed peer's in-progress phase spans. The round span stays
+    /// open: identity and round position survive a crash, so the round
+    /// resumes when the peer restarts.
+    fn crash_aborts(&mut self, peer: usize, now: SimTime) {
+        if let Some((id, _)) = self.train_span[peer].take() {
+            self.tel.end(now, "round.train", peer as u32, id, || {
+                vec![("aborted", true.into())]
+            });
+        }
+        if let Some((id, _)) = self.wait_span[peer].take() {
+            self.tel.end(now, "round.wait", peer as u32, id, || {
+                vec![("aborted", true.into())]
+            });
+        }
+        self.note(peer, now, "churn.crash");
+    }
+
+    /// Closes every span still open at run end (a stall, a dormant joiner
+    /// that never fired, or simply the last settle instant).
+    fn close_open_spans(&mut self, at: SimTime) {
+        for peer in 0..self.round_span.len() {
+            for (slot, name) in [
+                (&mut self.wait_span[peer], "round.wait"),
+                (&mut self.train_span[peer], "round.train"),
+                (&mut self.round_span[peer], "round"),
+            ] {
+                if let Some((id, _)) = slot.take() {
+                    self.tel.end(at, name, peer as u32, id, || {
+                        vec![("truncated", true.into())]
+                    });
+                }
+            }
+        }
+    }
 }
 
 struct PeerState {
@@ -598,10 +747,12 @@ fn schedule_flood(
     origin: usize,
     bytes: u64,
     artifact: bool,
+    now: SimTime,
     peers: &[PeerState],
     rng: &mut impl Rng,
     sched: &mut Scheduler<Event>,
     gs: &mut GossipState,
+    tel: &mut Telemetry<'_>,
     mk: impl Fn(usize, usize) -> Event,
 ) {
     // Crash-stopped and dormant peers neither receive nor relay: route over
@@ -642,6 +793,15 @@ fn schedule_flood(
     // crossed their last edge, so they meter no bytes — only the drop count.
     gs.gossip_bytes += announce.unwrap_or(bytes) * stats.delivered as u64;
     gs.dropped_msgs += stats.dropped as u64;
+    tel.instant(now, "net.flood", origin as u32, || {
+        vec![
+            ("bytes", bytes.into()),
+            ("artifact", artifact.into()),
+            ("announced", announce.is_some().into()),
+            ("delivered", (stats.delivered as u64).into()),
+            ("dropped", (stats.dropped as u64).into()),
+        ]
+    });
 }
 
 /// Routes one targeted payload pull from `source` toward `to` over the
@@ -808,10 +968,35 @@ impl<'a> Decentralized<'a> {
         make_model: &mut dyn FnMut() -> Sequential,
         update_hook: &mut dyn FnMut(&mut ModelUpdate),
     ) -> DecentralizedRun {
+        let mut sink = NoopSink;
+        self.run_traced_with_hook(make_model, update_hook, &mut sink)
+    }
+
+    /// Like [`Decentralized::run`] but emits structured telemetry — round /
+    /// train / wait spans, per-flood and per-fetch-episode records, PoW and
+    /// reorg events, churn and watchdog instants, all stamped with virtual
+    /// sim time — into `sink`. The sink only observes: a run traced into any
+    /// sink is bit-identical (records, chain, meters) to the same run under
+    /// [`NoopSink`].
+    pub fn run_traced(
+        &self,
+        make_model: &mut dyn FnMut() -> Sequential,
+        sink: &mut dyn TraceSink,
+    ) -> DecentralizedRun {
+        self.run_traced_with_hook(make_model, &mut |_| {}, sink)
+    }
+
+    /// The fully general entry point: telemetry sink plus update hook.
+    pub fn run_traced_with_hook(
+        &self,
+        make_model: &mut dyn FnMut() -> Sequential,
+        update_hook: &mut dyn FnMut(&mut ModelUpdate),
+        sink: &mut dyn TraceSink,
+    ) -> DecentralizedRun {
         let n = self.train_shards.len();
         let cfg = &self.config;
         let hub = RngHub::new(cfg.seed);
-        let mut trace = Trace::new();
+        let mut obs = Obs::new(n, sink);
 
         // --- identities, registry, chains -------------------------------
         let mut key_rng = hub.stream("keys");
@@ -945,10 +1130,12 @@ impl<'a> Decentralized<'a> {
                 i,
                 512,
                 false,
+                SimTime::ZERO,
                 &peers,
                 &mut net_rng,
                 &mut sched,
                 &mut gs,
+                &mut obs.tel,
                 |to, route| Event::DeliverTx { to, idx, route },
             );
         }
@@ -962,6 +1149,7 @@ impl<'a> Decentralized<'a> {
                 .compute_for(i)
                 .training_time(shard.len(), cfg.local_epochs, true);
             let jitter = base.mul_f64(train_time_rng.gen_range(0.0..0.05));
+            obs.begin_training(i, SimTime::ZERO, 1);
             sched.schedule_after(base + jitter, Event::TrainDone { peer: i, gen: 0 });
         }
 
@@ -976,8 +1164,10 @@ impl<'a> Decentralized<'a> {
         // scheduled fault can still unblock the run.
         if let Some(timeout) = cfg.watchdog {
             sched.schedule_after(timeout, Event::Watchdog);
+            obs.tel.run_instant(SimTime::ZERO, "watchdog.armed", || {
+                vec![("timeout_secs", timeout.as_secs_f64().into())]
+            });
         }
-        let mut last_progress = SimTime::ZERO;
         let mut stall: Option<String> = None;
 
         // Difficulty retargeting: the controller aims for the cadence the
@@ -1059,11 +1249,14 @@ impl<'a> Decentralized<'a> {
                                 last_published[peer].as_deref(),
                                 &mut attack_rng,
                             );
-                            trace.record(
+                            obs.trace.record(
                                 now,
                                 "attack.mounted",
                                 format!("peer={peer} round={round} attack={}", adv.attack),
                             );
+                            obs.tel.instant(now, "attack.mounted", peer as u32, || {
+                                vec![("round", round.into())]
+                            });
                         }
                     }
                     last_published[peer] = Some(update.params.clone());
@@ -1072,8 +1265,9 @@ impl<'a> Decentralized<'a> {
                     let tx =
                         submit_model_tx(&update, registry, &keys[peer], peers[peer].next_nonce);
                     peers[peer].next_nonce += 1;
-                    trace.record(now, "train.done", format!("peer={peer} round={round}"));
-                    last_progress = now;
+                    obs.trace
+                        .record(now, "train.done", format!("peer={peer} round={round}"));
+                    obs.training_done(peer, now, round);
 
                     let tx_idx = tx_log.len();
                     tx_log.push(tx.clone());
@@ -1094,10 +1288,12 @@ impl<'a> Decentralized<'a> {
                         peer,
                         cfg.payload_bytes,
                         true,
+                        now,
                         &peers,
                         &mut net_rng,
                         &mut sched,
                         &mut gs,
+                        &mut obs.tel,
                         |to, route| Event::DeliverTx {
                             to,
                             idx: tx_idx,
@@ -1113,7 +1309,7 @@ impl<'a> Decentralized<'a> {
                         &addr_to_client,
                         &publish_time,
                         &hub,
-                        &mut trace,
+                        &mut obs,
                         &mut sched,
                         &network,
                         &mut net_rng,
@@ -1121,7 +1317,6 @@ impl<'a> Decentralized<'a> {
                         &mut tx_update,
                         &mut gs,
                         &mut train_time_rng,
-                        &mut last_progress,
                     );
                 }
                 Event::DeliverTx { to, idx, route } => {
@@ -1135,7 +1330,11 @@ impl<'a> Decentralized<'a> {
                     if !network.path_open(&gs.route_log[route])
                         || !relays_alive(&gs.route_log[route], &peers)
                     {
-                        trace.record(now, "net.dropped", format!("tx to={to} idx={idx}"));
+                        obs.trace
+                            .record(now, "net.dropped", format!("tx to={to} idx={idx}"));
+                        obs.tel.instant(now, "net.dropped", to as u32, || {
+                            vec![("kind", "tx".into()), ("idx", (idx as u64).into())]
+                        });
                         gs.dropped_msgs += 1;
                         continue;
                     }
@@ -1145,8 +1344,14 @@ impl<'a> Decentralized<'a> {
                         let fp = crate::coupling::model_fingerprint(&update);
                         if let Some(st) = fetches.remove(&(to, fp)) {
                             recoveries += 1;
-                            recovery_total += now.saturating_since(st.first_at);
-                            trace.record(
+                            let took = now.saturating_since(st.first_at);
+                            recovery_total += took;
+                            obs.metrics.observe("fetch_ms", took.as_secs_f64() * 1e3);
+                            obs.tel.end(now, "fetch", to as u32, st.span, || {
+                                vec![("attempts", (st.attempt + 1).into())]
+                            });
+                            obs.note(to, now, "fetch.recovered");
+                            obs.trace.record(
                                 now,
                                 "fetch.recovered",
                                 format!("to={to} attempts={}", st.attempt + 1),
@@ -1154,7 +1359,8 @@ impl<'a> Decentralized<'a> {
                         }
                         let p = &mut peers[to];
                         if p.model_store.insert(fp, update).is_none() {
-                            last_progress = now;
+                            obs.last_progress = now;
+                            obs.note(to, now, "artifact.arrived");
                         }
                     }
                     let p = &mut peers[to];
@@ -1168,7 +1374,7 @@ impl<'a> Decentralized<'a> {
                         &addr_to_client,
                         &publish_time,
                         &hub,
-                        &mut trace,
+                        &mut obs,
                         &mut sched,
                         &network,
                         &mut net_rng,
@@ -1176,7 +1382,6 @@ impl<'a> Decentralized<'a> {
                         &mut tx_update,
                         &mut gs,
                         &mut train_time_rng,
-                        &mut last_progress,
                     );
                 }
                 Event::SealBlock => {
@@ -1233,10 +1438,13 @@ impl<'a> Decentralized<'a> {
                     if ok {
                         // Retarget on the observed inter-seal interval.
                         if let Some(prev) = last_seal_at {
-                            difficulty_ctl.observe(now.saturating_since(prev).as_nanos().max(1));
+                            let interval = now.saturating_since(prev);
+                            difficulty_ctl.observe(interval.as_nanos().max(1));
+                            obs.metrics
+                                .observe("block_interval_secs", interval.as_secs_f64());
                         }
                         last_seal_at = Some(now);
-                        trace.record(
+                        obs.trace.record(
                             now,
                             "block.sealed",
                             format!(
@@ -1245,6 +1453,12 @@ impl<'a> Decentralized<'a> {
                                 block.transactions.len()
                             ),
                         );
+                        obs.tel.instant(now, "pow.sealed", winner as u32, || {
+                            vec![
+                                ("number", block.number().into()),
+                                ("txs", (block.transactions.len() as u64).into()),
+                            ]
+                        });
                         let p = &mut peers[winner];
                         p.mempool.prune(p.chain.state());
                         let block_idx = block_log.len();
@@ -1256,10 +1470,12 @@ impl<'a> Decentralized<'a> {
                             winner,
                             block_bytes,
                             false,
+                            now,
                             &peers,
                             &mut net_rng,
                             &mut sched,
                             &mut gs,
+                            &mut obs.tel,
                             |to, route| Event::DeliverBlock {
                                 to,
                                 idx: block_idx,
@@ -1275,7 +1491,7 @@ impl<'a> Decentralized<'a> {
                             &addr_to_client,
                             &publish_time,
                             &hub,
-                            &mut trace,
+                            &mut obs,
                             &mut sched,
                             &network,
                             &mut net_rng,
@@ -1283,7 +1499,6 @@ impl<'a> Decentralized<'a> {
                             &mut tx_update,
                             &mut gs,
                             &mut train_time_rng,
-                            &mut last_progress,
                         );
                     }
                     let delay =
@@ -1297,11 +1512,17 @@ impl<'a> Decentralized<'a> {
                     if !network.path_open(&gs.route_log[route])
                         || !relays_alive(&gs.route_log[route], &peers)
                     {
-                        trace.record(now, "net.dropped", format!("block to={to} idx={idx}"));
+                        obs.trace
+                            .record(now, "net.dropped", format!("block to={to} idx={idx}"));
+                        obs.tel.instant(now, "net.dropped", to as u32, || {
+                            vec![("kind", "block".into()), ("idx", (idx as u64).into())]
+                        });
                         gs.dropped_msgs += 1;
                         continue;
                     }
-                    self.import_with_orphans(to, idx, &mut peers, &block_log, &tx_log);
+                    self.import_with_orphans(
+                        to, idx, now, &mut peers, &block_log, &tx_log, &mut obs,
+                    );
                     // On-demand payload recovery: the chain may confirm a
                     // submission whose artifact this peer never received (the
                     // gossip crossed a partition, was lost to packet drops,
@@ -1342,6 +1563,14 @@ impl<'a> Decentralized<'a> {
                             &mut net_rng,
                             &mut gs,
                         );
+                        let span = obs.tel.begin(now, "fetch", to as u32, || {
+                            vec![
+                                ("from", (miner as u64).into()),
+                                ("bytes", payload_bytes.into()),
+                                ("round", round_now.into()),
+                            ]
+                        });
+                        obs.note(to, now, "fetch.start");
                         fetches.insert(
                             (to, model_hash),
                             FetchState {
@@ -1350,6 +1579,7 @@ impl<'a> Decentralized<'a> {
                                 first_at: now,
                                 payload_bytes,
                                 tx_idx,
+                                span,
                             },
                         );
                         match found {
@@ -1365,7 +1595,7 @@ impl<'a> Decentralized<'a> {
                                 }
                                 let fetch_route = gs.route_log.len();
                                 gs.route_log.push(path);
-                                trace.record(
+                                obs.trace.record(
                                     now,
                                     "net.payload-fetch",
                                     format!("to={to} from={miner} round={round_now}"),
@@ -1413,7 +1643,7 @@ impl<'a> Decentralized<'a> {
                         &addr_to_client,
                         &publish_time,
                         &hub,
-                        &mut trace,
+                        &mut obs,
                         &mut sched,
                         &network,
                         &mut net_rng,
@@ -1421,19 +1651,21 @@ impl<'a> Decentralized<'a> {
                         &mut tx_update,
                         &mut gs,
                         &mut train_time_rng,
-                        &mut last_progress,
                     );
                 }
                 Event::Fault { idx } => {
                     pending_faults -= 1;
                     let fault = cfg.faults[idx].fault.clone();
-                    trace.record(now, "fault.fired", fault.to_string());
+                    obs.trace.record(now, "fault.fired", fault.to_string());
+                    obs.tel.run_instant(now, "fault.fired", || {
+                        vec![("fault", fault.to_string().into())]
+                    });
                     match fault {
                         Fault::Partition { left, right } => {
                             let l: Vec<NodeId> = left.iter().map(|&p| NodeId(p)).collect();
                             let r: Vec<NodeId> = right.iter().map(|&p| NodeId(p)).collect();
                             network.partition_halves(&l, &r);
-                            trace.record(
+                            obs.trace.record(
                                 now,
                                 "fault.partition",
                                 format!("left={left:?} right={right:?}"),
@@ -1441,11 +1673,12 @@ impl<'a> Decentralized<'a> {
                         }
                         Fault::HealAll => {
                             network.heal_all();
-                            trace.record(now, "fault.heal", String::new());
+                            obs.trace.record(now, "fault.heal", String::new());
                         }
                         Fault::PeerLeave { peer } => {
                             peers[peer].active = false;
-                            trace.record(
+                            obs.note(peer, now, "churn.leave");
+                            obs.trace.record(
                                 now,
                                 "churn.leave",
                                 format!("peer={peer} round={}", peers[peer].current_round),
@@ -1464,7 +1697,7 @@ impl<'a> Decentralized<'a> {
                                         &addr_to_client,
                                         &publish_time,
                                         &hub,
-                                        &mut trace,
+                                        &mut obs,
                                         &mut sched,
                                         &network,
                                         &mut net_rng,
@@ -1472,7 +1705,6 @@ impl<'a> Decentralized<'a> {
                                         &mut tx_update,
                                         &mut gs,
                                         &mut train_time_rng,
-                                        &mut last_progress,
                                     );
                                 }
                             }
@@ -1482,7 +1714,9 @@ impl<'a> Decentralized<'a> {
                             // 1. Sync: download every block sealed so far
                             //    (out-of-order imports resolve via orphans).
                             for b in 0..block_log.len() {
-                                self.import_with_orphans(peer, b, &mut peers, &block_log, &tx_log);
+                                self.import_with_orphans(
+                                    peer, b, now, &mut peers, &block_log, &tx_log, &mut obs,
+                                );
                             }
                             let synced_height = peers[peer].chain.head_block().number();
                             // 2. Register on the FL registry.
@@ -1499,10 +1733,12 @@ impl<'a> Decentralized<'a> {
                                 peer,
                                 512,
                                 false,
+                                now,
                                 &peers,
                                 &mut net_rng,
                                 &mut sched,
                                 &mut gs,
+                                &mut obs.tel,
                                 |to, route| Event::DeliverTx {
                                     to,
                                     idx: reg_idx,
@@ -1526,13 +1762,20 @@ impl<'a> Decentralized<'a> {
                             peers[peer].current_round = join_round;
                             peers[peer].training = true;
                             peers[peer].train_done_at = None;
-                            trace.record(
+                            obs.trace.record(
                                 now,
                                 "churn.join",
                                 format!(
                                     "peer={peer} round={join_round} synced_height={synced_height}"
                                 ),
                             );
+                            obs.tel.instant(now, "churn.join", peer as u32, || {
+                                vec![
+                                    ("round", join_round.into()),
+                                    ("synced_height", synced_height.into()),
+                                ]
+                            });
+                            obs.begin_training(peer, now, join_round);
                             let base = self.compute_for(peer).training_time(
                                 self.train_shards[peer].len(),
                                 cfg.local_epochs,
@@ -1549,7 +1792,7 @@ impl<'a> Decentralized<'a> {
                         }
                         Fault::HashRateShock { peer, factor } => {
                             peers[peer].hash_scale *= factor;
-                            trace.record(
+                            obs.trace.record(
                                 now,
                                 "fault.hashshock",
                                 format!(
@@ -1568,8 +1811,22 @@ impl<'a> Decentralized<'a> {
                             peers[peer].active = false;
                             peers[peer].train_gen += 1;
                             peers[peer].mempool = Mempool::new();
-                            fetches.retain(|&(p, _), _| p != peer);
-                            trace.record(
+                            // Sorted teardown so the emitted span ends don't
+                            // inherit the map's nondeterministic order.
+                            let mut dead: Vec<(H256, u64)> = fetches
+                                .iter()
+                                .filter(|((p, _), _)| *p == peer)
+                                .map(|((_, fp), st)| (*fp, st.span))
+                                .collect();
+                            dead.sort_unstable_by_key(|&(fp, _)| fp);
+                            for (fp, span) in dead {
+                                fetches.remove(&(peer, fp));
+                                obs.tel.end(now, "fetch", peer as u32, span, || {
+                                    vec![("aborted", true.into())]
+                                });
+                            }
+                            obs.crash_aborts(peer, now);
+                            obs.trace.record(
                                 now,
                                 "churn.crash",
                                 format!("peer={peer} round={}", peers[peer].current_round),
@@ -1587,7 +1844,7 @@ impl<'a> Decentralized<'a> {
                                         &addr_to_client,
                                         &publish_time,
                                         &hub,
-                                        &mut trace,
+                                        &mut obs,
                                         &mut sched,
                                         &network,
                                         &mut net_rng,
@@ -1595,7 +1852,6 @@ impl<'a> Decentralized<'a> {
                                         &mut tx_update,
                                         &mut gs,
                                         &mut train_time_rng,
-                                        &mut last_progress,
                                     );
                                 }
                             }
@@ -1607,10 +1863,12 @@ impl<'a> Decentralized<'a> {
                             // also re-inserts the peer's own pending
                             // transactions into its fresh mempool.
                             for b in 0..block_log.len() {
-                                self.import_with_orphans(peer, b, &mut peers, &block_log, &tx_log);
+                                self.import_with_orphans(
+                                    peer, b, now, &mut peers, &block_log, &tx_log, &mut obs,
+                                );
                             }
                             let synced_height = peers[peer].chain.head_block().number();
-                            trace.record(
+                            obs.trace.record(
                                 now,
                                 "churn.restart",
                                 format!(
@@ -1618,9 +1876,17 @@ impl<'a> Decentralized<'a> {
                                     peers[peer].current_round
                                 ),
                             );
+                            obs.tel.instant(now, "churn.restart", peer as u32, || {
+                                vec![
+                                    ("round", peers[peer].current_round.into()),
+                                    ("synced_height", synced_height.into()),
+                                ]
+                            });
+                            obs.note(peer, now, "churn.restart");
                             if peers[peer].training {
                                 // The crash killed the local training run:
                                 // start the round's training over.
+                                obs.begin_training(peer, now, peers[peer].current_round);
                                 let base = self.compute_for(peer).training_time(
                                     self.train_shards[peer].len(),
                                     cfg.local_epochs,
@@ -1637,6 +1903,13 @@ impl<'a> Decentralized<'a> {
                             } else {
                                 // It had already published for this round:
                                 // re-enter the waiting path.
+                                let round = peers[peer].current_round;
+                                if obs.wait_span[peer].is_none() {
+                                    let id = obs.tel.begin(now, "round.wait", peer as u32, || {
+                                        vec![("round", round.into())]
+                                    });
+                                    obs.wait_span[peer] = Some((id, now));
+                                }
                                 self.try_aggregate(
                                     peer,
                                     now,
@@ -1646,7 +1919,7 @@ impl<'a> Decentralized<'a> {
                                     &addr_to_client,
                                     &publish_time,
                                     &hub,
-                                    &mut trace,
+                                    &mut obs,
                                     &mut sched,
                                     &network,
                                     &mut net_rng,
@@ -1654,7 +1927,6 @@ impl<'a> Decentralized<'a> {
                                     &mut tx_update,
                                     &mut gs,
                                     &mut train_time_rng,
-                                    &mut last_progress,
                                 );
                             }
                         }
@@ -1669,12 +1941,26 @@ impl<'a> Decentralized<'a> {
                         continue;
                     }
                     if !peers[to].active || peers[to].model_store.contains_key(&fp) {
-                        fetches.remove(&(to, fp));
+                        if let Some(st) = fetches.remove(&(to, fp)) {
+                            obs.tel.end(now, "fetch", to as u32, st.span, || {
+                                vec![("superseded", true.into())]
+                            });
+                        }
                         continue;
                     }
                     if attempt >= MAX_FETCH_ATTEMPTS {
-                        trace.record(now, "fetch.gave-up", format!("to={to} attempts={attempt}"));
-                        fetches.remove(&(to, fp));
+                        obs.trace.record(
+                            now,
+                            "fetch.gave-up",
+                            format!("to={to} attempts={attempt}"),
+                        );
+                        if let Some(st) = fetches.remove(&(to, fp)) {
+                            obs.tel.end(now, "fetch", to as u32, st.span, || {
+                                vec![("gave_up", true.into())]
+                            });
+                        }
+                        obs.metrics.add("fetch_gave_up", 1);
+                        obs.note(to, now, "fetch.gave-up");
                         continue;
                     }
                     let next = attempt + 1;
@@ -1710,11 +1996,15 @@ impl<'a> Decentralized<'a> {
                     let start = holders.iter().position(|&h| h == primary).unwrap_or(0);
                     let source = holders[(start + next as usize - 1) % holders.len()];
                     fetch_retries += 1;
-                    trace.record(
+                    obs.trace.record(
                         now,
                         "fetch.retry",
                         format!("to={to} from={source} attempt={next}"),
                     );
+                    obs.tel.instant(now, "fetch.retry", to as u32, || {
+                        vec![("from", (source as u64).into()), ("attempt", next.into())]
+                    });
+                    obs.note(to, now, "fetch.retry");
                     let found = probe_fetch(
                         &network,
                         source,
@@ -1761,7 +2051,7 @@ impl<'a> Decentralized<'a> {
                 }
                 Event::Watchdog => {
                     let timeout = cfg.watchdog.expect("watchdog event implies a timeout");
-                    if pending_faults == 0 && now.saturating_since(last_progress) >= timeout {
+                    if pending_faults == 0 && now.saturating_since(obs.last_progress) >= timeout {
                         use std::fmt::Write as _;
                         let n_active = peers.iter().filter(|p| p.active).count();
                         let mut detail = String::new();
@@ -1784,17 +2074,61 @@ impl<'a> Decentralized<'a> {
                                 peer.training,
                                 cache.subs.len(),
                             );
+                            // Cite the peer's telemetry: what it last did...
+                            if let Some((at, what)) = obs.last_event[i] {
+                                let _ = write!(detail, " last={what}@{at}");
+                            }
+                            // ...every payload fetch still pending (sorted —
+                            // the episode map's order is nondeterministic)...
+                            let mut pending: Vec<(H256, u32)> = fetches
+                                .iter()
+                                .filter(|((p, _), _)| *p == i)
+                                .map(|((_, fp), st)| (*fp, st.attempt))
+                                .collect();
+                            pending.sort_unstable_by_key(|&(fp, _)| fp);
+                            for (fp, attempt) in pending {
+                                let _ = write!(detail, " fetch={}@a{attempt}", fp.short());
+                            }
+                            // ...and whose confirmed round artifacts never
+                            // arrived (the usual wait-all culprits).
+                            let missing: Vec<String> = cache
+                                .subs
+                                .iter()
+                                .filter(|s| !peer.model_store.contains_key(&s.model_hash))
+                                .filter_map(|s| {
+                                    addr_to_client.get(&s.sender).map(|c| c.to_string())
+                                })
+                                .collect();
+                            if !missing.is_empty() {
+                                let _ = write!(detail, " missing={}", missing.join(","));
+                            }
                         }
+                        let last_progress = obs.last_progress;
                         let diag = format!(
                             "stalled: no progress for {timeout} under {:?} \
                              (last progress at {last_progress}):{detail}",
                             cfg.wait_policy
                         );
-                        trace.record(now, "watchdog.stalled", diag.clone());
+                        obs.trace.record(now, "watchdog.stalled", diag.clone());
+                        obs.tel.run_instant(now, "watchdog.stalled", || {
+                            vec![
+                                (
+                                    "idle_secs",
+                                    now.saturating_since(last_progress).as_secs_f64().into(),
+                                ),
+                                ("detail", diag.clone().into()),
+                            ]
+                        });
                         stall = Some(diag);
                         finished_at = now;
                         break;
                     }
+                    obs.tel.run_instant(now, "watchdog.check", || {
+                        vec![(
+                            "idle_secs",
+                            now.saturating_since(obs.last_progress).as_secs_f64().into(),
+                        )]
+                    });
                     // Re-arm: checking twice per window bounds detection
                     // latency at 1.5 timeouts.
                     sched.schedule_after(timeout / 2, Event::Watchdog);
@@ -1807,6 +2141,36 @@ impl<'a> Decentralized<'a> {
         }
 
         // --- assemble results -----------------------------------------------
+        // Close whatever the run left open — truncated round phases (a stall
+        // or settle mid-round) and unresolved fetch episodes, the latter in
+        // sorted order so the trace's bytes never inherit map order.
+        let mut open_fetches: Vec<(usize, H256, u64)> = fetches
+            .iter()
+            .map(|((to, fp), st)| (*to, *fp, st.span))
+            .collect();
+        open_fetches.sort_unstable_by_key(|&(to, fp, _)| (to, fp));
+        for (to, _, span) in open_fetches {
+            obs.tel.end(finished_at, "fetch", to as u32, span, || {
+                vec![("truncated", true.into())]
+            });
+        }
+        obs.close_open_spans(finished_at);
+        // Fold the run-level meters into the metric set (the per-event
+        // histograms are already in).
+        obs.metrics.add("dropped_msgs", gs.dropped_msgs);
+        obs.metrics.add("fetch_retries", fetch_retries);
+        obs.metrics.add("fetch_recoveries", recoveries);
+        obs.metrics.add("blocks_sealed", block_log.len() as u64);
+        obs.metrics.set_gauge(
+            "recovery_ms",
+            if recoveries == 0 {
+                0.0
+            } else {
+                (recovery_total / recoveries).as_secs_f64() * 1e3
+            },
+        );
+        obs.metrics
+            .set_gauge("stalled", if stall.is_some() { 1.0 } else { 0.0 });
         let chain = self.chain_stats(&peers[0].chain);
         let audits: Vec<AuditRecord> = update_log
             .iter()
@@ -1837,7 +2201,7 @@ impl<'a> Decentralized<'a> {
         DecentralizedRun {
             peer_records: peers.into_iter().map(|p| p.records).collect(),
             chain,
-            trace,
+            trace: obs.trace,
             finished_at,
             published_updates: update_log,
             audits,
@@ -1846,13 +2210,7 @@ impl<'a> Decentralized<'a> {
             fetch_bytes: gs.fetch_bytes,
             artifacts,
             aggregates,
-            dropped_msgs: gs.dropped_msgs,
-            fetch_retries,
-            recovery_ms: if recoveries == 0 {
-                0.0
-            } else {
-                (recovery_total / recoveries).as_secs_f64() * 1e3
-            },
+            metrics: obs.metrics,
             stall,
         }
     }
@@ -1880,13 +2238,16 @@ impl<'a> Decentralized<'a> {
         blockfed_chain::pow::sample_mining_delay(difficulty, total, rng)
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn import_with_orphans(
         &self,
         to: usize,
         idx: usize,
+        now: SimTime,
         peers: &mut [PeerState],
         block_log: &[blockfed_chain::Block],
         tx_log: &[Transaction],
+        obs: &mut Obs<'_>,
     ) {
         let p = &mut peers[to];
         p.orphans.push(idx);
@@ -1902,7 +2263,24 @@ impl<'a> Decentralized<'a> {
             for &i in &p.orphans {
                 let block = block_log[i].clone();
                 match p.chain.import(block, &mut p.runtime) {
-                    Ok(_) => imported_any = true,
+                    Ok(outcome) => {
+                        if let blockfed_chain::ImportOutcome::Reorged { old_head } = outcome {
+                            let height = p.chain.head_block().number();
+                            obs.metrics.add("reorgs", 1);
+                            obs.trace.record(
+                                now,
+                                "chain.reorg",
+                                format!("peer={to} old_head={old_head} height={height}"),
+                            );
+                            obs.tel.instant(now, "chain.reorg", to as u32, || {
+                                vec![
+                                    ("old_head", old_head.short().into()),
+                                    ("height", height.into()),
+                                ]
+                            });
+                        }
+                        imported_any = true;
+                    }
                     Err(blockfed_chain::ImportError::UnknownParent(parent)) => {
                         remaining.push(i);
                         missing.push(parent);
@@ -1944,7 +2322,7 @@ impl<'a> Decentralized<'a> {
         addr_to_client: &HashMap<H160, ClientId>,
         publish_time: &HashMap<H256, SimTime>,
         hub: &RngHub,
-        trace: &mut Trace,
+        obs: &mut Obs<'_>,
         sched: &mut Scheduler<Event>,
         network: &Network,
         net_rng: &mut impl Rng,
@@ -1952,7 +2330,6 @@ impl<'a> Decentralized<'a> {
         tx_update: &mut Vec<Option<usize>>,
         gs: &mut GossipState,
         train_time_rng: &mut impl Rng,
-        last_progress: &mut SimTime,
     ) {
         let cfg = &self.config;
         // Wait policies measure against the population that can still
@@ -2011,7 +2388,7 @@ impl<'a> Decentralized<'a> {
             arrived.into_iter().partition(ModelUpdate::is_finite);
         for u in &malformed {
             dropped.push(format!("{}:malformed", u.client));
-            trace.record(
+            obs.trace.record(
                 now,
                 "anomaly.malformed",
                 format!("peer={peer} round={round} from={}", u.client),
@@ -2035,7 +2412,7 @@ impl<'a> Decentralized<'a> {
                 for (i, u) in finite.into_iter().enumerate() {
                     if flagged.contains(&i) {
                         dropped.push(format!("{}:norm-outlier", u.client));
-                        trace.record(
+                        obs.trace.record(
                             now,
                             "anomaly.norm",
                             format!("peer={peer} round={round} from={}", u.client),
@@ -2068,7 +2445,7 @@ impl<'a> Decentralized<'a> {
                     .map(|r| r.index)
                     .collect();
                 if flagged.len() >= screened.len() {
-                    trace.record(
+                    obs.trace.record(
                         now,
                         "anomaly.degenerate-gate-skipped",
                         format!("peer={peer} round={round} all candidates degenerate"),
@@ -2079,7 +2456,7 @@ impl<'a> Decentralized<'a> {
                     for (i, u) in screened.into_iter().enumerate() {
                         if flagged.contains(&i) {
                             dropped.push(format!("{}:degenerate", u.client));
-                            trace.record(
+                            obs.trace.record(
                                 now,
                                 "anomaly.degenerate",
                                 format!("peer={peer} round={round} from={}", u.client),
@@ -2117,7 +2494,7 @@ impl<'a> Decentralized<'a> {
                     for (a, u) in &scored {
                         if *a < th {
                             dropped.push(format!("{}:unfit", u.client));
-                            trace.record(
+                            obs.trace.record(
                                 now,
                                 "anomaly.unfit",
                                 format!("peer={peer} round={round} from={}", u.client),
@@ -2211,20 +2588,31 @@ impl<'a> Decentralized<'a> {
             peer,
             512,
             false,
+            now,
             peers,
             net_rng,
             sched,
             gs,
+            &mut obs.tel,
             |to, route| Event::DeliverTx { to, idx, route },
         );
 
         let wait = now.saturating_since(peers[peer].train_done_at.expect("checked above"));
-        *last_progress = now;
-        trace.record(
+        obs.aggregated(peer, now);
+        obs.metrics.observe("wait_secs", wait.as_secs_f64());
+        obs.trace.record(
             now,
             "round.aggregated",
             format!("peer={peer} round={round} chosen={chosen_label} wait={wait}"),
         );
+        obs.tel.instant(now, "round.aggregated", peer as u32, || {
+            vec![
+                ("round", round.into()),
+                ("wait_secs", wait.as_secs_f64().into()),
+                ("updates", (usable.len() as u64).into()),
+                ("chosen", chosen_label.clone().into()),
+            ]
+        });
         // Age-of-block freshness of the consumed updates.
         let mut age_total = SimDuration::ZERO;
         let mut age_max = SimDuration::ZERO;
@@ -2232,6 +2620,7 @@ impl<'a> Decentralized<'a> {
             let fp = crate::coupling::model_fingerprint(u);
             if let Some(&published) = publish_time.get(&fp) {
                 let age = now.saturating_since(published);
+                obs.metrics.observe("staleness_secs", age.as_secs_f64());
                 age_total += age;
                 age_max = age_max.max(age);
             }
@@ -2255,7 +2644,7 @@ impl<'a> Decentralized<'a> {
         // Map confirmed senders for the trace (audit-friendly).
         for s in &confirmed {
             if let Some(c) = addr_to_client.get(&s.sender) {
-                trace.record(
+                obs.trace.record(
                     now,
                     "round.input",
                     format!("peer={peer} from={c} round={round}"),
@@ -2266,6 +2655,7 @@ impl<'a> Decentralized<'a> {
         if round < cfg.rounds {
             peers[peer].current_round = round + 1;
             peers[peer].training = true;
+            obs.begin_training(peer, now, round + 1);
             let base = self.compute_for(peer).training_time(
                 self.train_shards[peer].len(),
                 cfg.local_epochs,
@@ -3068,10 +3458,18 @@ mod tests {
         let f = out.fork_rate();
         assert!((0.0..=1.0).contains(&f), "fork rate {f}");
         // A lossless, fault-free run never loses, retries, or stalls.
-        assert_eq!(out.dropped_msgs, 0);
-        assert_eq!(out.fetch_retries, 0);
-        assert_eq!(out.recovery_ms, 0.0);
+        assert_eq!(out.dropped_msgs(), 0);
+        assert_eq!(out.fetch_retries(), 0);
+        assert_eq!(out.recovery_ms(), 0.0);
         assert!(out.stall.is_none());
+        // And the metric set carries the per-phase timing distributions.
+        let waits = out.metrics.histogram("wait_secs").expect("waits observed");
+        assert_eq!(waits.count(), 6, "3 peers x 2 rounds");
+        assert!(out.metrics.histogram("train_secs").is_some());
+        assert_eq!(
+            out.metrics.counter("blocks_sealed"),
+            out.blocks_sealed as u64
+        );
     }
 
     #[test]
@@ -3098,13 +3496,69 @@ mod tests {
         for (peer, records) in out.peer_records.iter().enumerate() {
             assert_eq!(records.len(), 2, "peer {peer} incomplete");
         }
-        assert!(out.dropped_msgs > 0, "30% loss dropped nothing");
+        assert!(out.dropped_msgs() > 0, "30% loss dropped nothing");
         assert!(out.stall.is_none(), "{:?}", out.stall);
         // Wait-all rounds force full dissemination: everyone ends up holding
         // all 3 peers × 2 rounds of artifacts despite the loss.
         for inventory in &out.artifacts {
             assert_eq!(inventory.len(), 6);
         }
+    }
+
+    #[test]
+    fn traced_run_is_bit_identical_to_untraced() {
+        // Attaching a real sink must not perturb the simulation: telemetry
+        // draws no RNG and allocates span ids whether or not it records.
+        let mk_cfg = || {
+            let mut cfg = quick_config(WaitPolicy::All, 70);
+            cfg.gossip = GossipMode::AnnounceFetch;
+            cfg.link = LinkSpec::lan().with_loss(0.30);
+            cfg
+        };
+        let plain = run_with(mk_cfg(), 70);
+
+        let fx = fixture();
+        let driver = Decentralized::new(mk_cfg(), &fx.shards, &fx.tests);
+        let nn = SimpleNnConfig::tiny(fx.tests[0].feature_dim(), fx.tests[0].num_classes());
+        let mut arch_rng = StdRng::seed_from_u64(70);
+        let mut sink = blockfed_telemetry::MemorySink::new();
+        let traced = driver.run_traced(&mut || nn.build(&mut arch_rng), &mut sink);
+
+        assert_eq!(plain.peer_records, traced.peer_records);
+        assert_eq!(plain.finished_at, traced.finished_at);
+        assert_eq!(plain.metrics, traced.metrics);
+        assert_eq!(plain.gossip_bytes, traced.gossip_bytes);
+        assert_eq!(plain.fetch_bytes, traced.fetch_bytes);
+
+        // The sink captured the round lifecycle and the network events.
+        for name in [
+            "round",
+            "round.train",
+            "round.wait",
+            "net.flood",
+            "fetch",
+            "pow.sealed",
+            "round.aggregated",
+        ] {
+            assert!(sink.contains(name), "trace missing {name}");
+        }
+        // Spans balance: every begin has a matching end.
+        use blockfed_telemetry::RecordKind;
+        let begins = sink
+            .records()
+            .iter()
+            .filter(|r| r.kind == RecordKind::Begin)
+            .count();
+        let ends = sink
+            .records()
+            .iter()
+            .filter(|r| r.kind == RecordKind::End)
+            .count();
+        assert_eq!(begins, ends, "unbalanced spans in trace");
+        // And the JSONL export passes its own schema validator.
+        let lines =
+            blockfed_telemetry::jsonl::validate_jsonl(&sink.to_jsonl()).expect("valid JSONL");
+        assert_eq!(lines, sink.records().len());
     }
 
     #[test]
@@ -3118,7 +3572,7 @@ mod tests {
             cfg.gossip = GossipMode::AnnounceFetch;
             cfg.link = LinkSpec::lan().with_loss(0.45);
             let out = run_with(cfg, seed);
-            if out.fetch_retries > 0 {
+            if out.fetch_retries() > 0 {
                 found = Some(out);
                 break;
             }
@@ -3134,7 +3588,7 @@ mod tests {
         for (peer, records) in out.peer_records.iter().enumerate() {
             assert_eq!(records.len(), 2, "peer {peer} incomplete");
         }
-        assert!(out.recovery_ms > 0.0);
+        assert!(out.recovery_ms() > 0.0);
         assert!(out.stall.is_none());
     }
 
@@ -3154,9 +3608,9 @@ mod tests {
         assert_eq!(full.peer_records, af.peer_records);
         assert_eq!(full.artifacts, af.artifacts);
         assert_eq!(full.finished_at, af.finished_at);
-        assert_eq!(full.dropped_msgs, af.dropped_msgs);
-        assert_eq!(full.fetch_retries, af.fetch_retries);
-        assert!(full.dropped_msgs > 0);
+        assert_eq!(full.dropped_msgs(), af.dropped_msgs());
+        assert_eq!(full.fetch_retries(), af.fetch_retries());
+        assert!(full.dropped_msgs() > 0);
         assert_eq!(full.fetch_bytes, 0);
     }
 
@@ -3227,8 +3681,10 @@ mod tests {
         let b = run_once();
         assert_eq!(a.peer_records, b.peer_records);
         assert_eq!(a.finished_at, b.finished_at);
-        assert_eq!(a.dropped_msgs, b.dropped_msgs);
-        assert_eq!(a.fetch_retries, b.fetch_retries);
+        assert_eq!(
+            a.metrics, b.metrics,
+            "full metric sets must match bit for bit"
+        );
     }
 
     #[test]

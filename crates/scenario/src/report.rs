@@ -6,6 +6,7 @@ use std::path::{Path, PathBuf};
 
 use blockfed_fl::{Strategy, WaitPolicy};
 use blockfed_report::Table;
+use blockfed_telemetry::{Histogram, MetricSet};
 
 /// The folded result of one scenario cell.
 ///
@@ -40,19 +41,13 @@ pub struct CellReport {
     /// Total bytes of targeted payload pulls (one artifact copy per
     /// receiving peer). Zero under legacy full flooding.
     pub fetch_bytes: u64,
-    /// Deliveries lost to per-edge packet loss (flood relays and targeted
-    /// pulls). Zero on lossless links.
-    pub dropped_msgs: u64,
-    /// Payload-fetch retries the loss-recovery machinery issued. Zero on
-    /// lossless fault-free runs.
-    pub fetch_retries: u64,
-    /// Mean virtual milliseconds from a fetch episode's first attempt to the
-    /// artifact's arrival, over episodes that needed the retry machinery.
-    /// `0.0` when nothing had to recover.
-    pub recovery_ms: f64,
-    /// Whether the liveness watchdog stopped the cell as stalled instead of
-    /// letting it settle.
-    pub stalled: bool,
+    /// Counters, gauges, and per-phase distributions folded from the
+    /// instrumented run: resilience meters (`dropped_msgs`, `fetch_retries`,
+    /// `recovery_ms`, `stalled`) plus timing histograms (`wait_secs`,
+    /// `train_secs`, `staleness_secs`, `fetch_ms`, `block_interval_secs`).
+    /// Read by name with zero defaults; the named accessors below cover the
+    /// meters older callers used as fields.
+    pub metrics: MetricSet,
     /// Canonical blocks on peer 0's chain.
     pub blocks: usize,
     /// Total per-peer round records folded into the cell.
@@ -79,13 +74,51 @@ impl PartialEq for CellReport {
             && self.fork_rate == other.fork_rate
             && self.gossip_bytes == other.gossip_bytes
             && self.fetch_bytes == other.fetch_bytes
-            && self.dropped_msgs == other.dropped_msgs
-            && self.fetch_retries == other.fetch_retries
-            && self.recovery_ms == other.recovery_ms
-            && self.stalled == other.stalled
+            && self.metrics == other.metrics
             && self.blocks == other.blocks
             && self.records == other.records
             && self.max_mask_bit == other.max_mask_bit
+    }
+}
+
+impl CellReport {
+    /// Deliveries lost to per-edge packet loss (flood relays and targeted
+    /// pulls). Zero on lossless links.
+    pub fn dropped_msgs(&self) -> u64 {
+        self.metrics.counter("dropped_msgs")
+    }
+
+    /// Payload-fetch retries the loss-recovery machinery issued. Zero on
+    /// lossless fault-free runs.
+    pub fn fetch_retries(&self) -> u64 {
+        self.metrics.counter("fetch_retries")
+    }
+
+    /// Mean virtual milliseconds from a fetch episode's first attempt to the
+    /// artifact's arrival, over episodes that needed the retry machinery.
+    /// `0.0` when nothing had to recover.
+    pub fn recovery_ms(&self) -> f64 {
+        self.metrics.gauge("recovery_ms")
+    }
+
+    /// Whether the liveness watchdog stopped the cell as stalled instead of
+    /// letting it settle.
+    pub fn stalled(&self) -> bool {
+        self.metrics.gauge("stalled") != 0.0
+    }
+
+    /// Worst single aggregation wait (virtual seconds) any peer endured.
+    pub fn wait_max_secs(&self) -> f64 {
+        self.metrics
+            .histogram("wait_secs")
+            .map_or(0.0, Histogram::max)
+    }
+
+    /// Mean staleness (virtual seconds) of updates folded into aggregates.
+    pub fn staleness_mean_secs(&self) -> f64 {
+        self.metrics
+            .histogram("staleness_secs")
+            .map_or(0.0, Histogram::mean)
     }
 }
 
@@ -131,8 +164,8 @@ impl ScenarioReport {
                 format!("{:.3}", c.fork_rate),
                 format!("{:.2}", c.gossip_bytes as f64 / 1e6),
                 format!("{:.2}", c.fetch_bytes as f64 / 1e6),
-                c.dropped_msgs.to_string(),
-                c.fetch_retries.to_string(),
+                c.dropped_msgs().to_string(),
+                c.fetch_retries().to_string(),
                 format!("{:.2}", c.wall_clock_secs),
             ]);
         }
@@ -174,16 +207,25 @@ impl ScenarioReport {
             out.push_str(&format!("\"fork_rate\": {}, ", json_f64(c.fork_rate)));
             out.push_str(&format!("\"gossip_bytes\": {}, ", c.gossip_bytes));
             out.push_str(&format!("\"fetch_bytes\": {}, ", c.fetch_bytes));
-            out.push_str(&format!("\"dropped_msgs\": {}, ", c.dropped_msgs));
-            out.push_str(&format!("\"fetch_retries\": {}, ", c.fetch_retries));
-            out.push_str(&format!("\"recovery_ms\": {}, ", json_f64(c.recovery_ms)));
-            out.push_str(&format!("\"stalled\": {}, ", c.stalled));
+            out.push_str(&format!("\"dropped_msgs\": {}, ", c.dropped_msgs()));
+            out.push_str(&format!("\"fetch_retries\": {}, ", c.fetch_retries()));
+            out.push_str(&format!("\"recovery_ms\": {}, ", json_f64(c.recovery_ms())));
+            out.push_str(&format!("\"stalled\": {}, ", c.stalled()));
+            out.push_str(&format!(
+                "\"wait_max_secs\": {}, ",
+                json_f64(c.wait_max_secs())
+            ));
+            out.push_str(&format!(
+                "\"staleness_mean_secs\": {}, ",
+                json_f64(c.staleness_mean_secs())
+            ));
             out.push_str(&format!("\"blocks\": {}, ", c.blocks));
             out.push_str(&format!("\"records\": {}, ", c.records));
             out.push_str(&format!(
                 "\"max_mask_bit\": {}, ",
                 c.max_mask_bit.map_or("null".into(), |b| b.to_string())
             ));
+            out.push_str(&format!("\"metrics\": {}, ", c.metrics.to_json()));
             out.push_str(&format!(
                 "\"wall_clock_secs\": {}",
                 json_f64(c.wall_clock_secs)
@@ -222,13 +264,16 @@ impl ScenarioReport {
             out.push_str(&format!(
                 "{{\"cell\": {}, \"peers\": {}, \"gossip_bytes\": {}, \"fetch_bytes\": {}, \
                  \"dropped_msgs\": {}, \"fetch_retries\": {}, \
+                 \"wait_max_secs\": {}, \"staleness_mean_secs\": {}, \
                  \"wall_clock_secs\": {}, \"git_rev\": {}}}\n",
                 json_str(&c.name),
                 c.peers,
                 c.gossip_bytes,
                 c.fetch_bytes,
-                c.dropped_msgs,
-                c.fetch_retries,
+                c.dropped_msgs(),
+                c.fetch_retries(),
+                json_f64(c.wait_max_secs()),
+                json_f64(c.staleness_mean_secs()),
                 json_f64(c.wall_clock_secs),
                 json_str(git_rev),
             ));
@@ -287,6 +332,14 @@ mod tests {
     use super::*;
 
     fn cell(name: &str) -> CellReport {
+        let mut metrics = MetricSet::new();
+        metrics.add("dropped_msgs", 7);
+        metrics.add("fetch_retries", 3);
+        metrics.set_gauge("recovery_ms", 120.5);
+        metrics.set_gauge("stalled", 0.0);
+        metrics.observe("wait_secs", 1.0);
+        metrics.observe("wait_secs", 1.5);
+        metrics.observe("staleness_secs", 4.0);
         CellReport {
             name: name.into(),
             peers: 5,
@@ -300,10 +353,7 @@ mod tests {
             fork_rate: 0.1,
             gossip_bytes: 1_000_000,
             fetch_bytes: 250_000,
-            dropped_msgs: 7,
-            fetch_retries: 3,
-            recovery_ms: 120.5,
-            stalled: false,
+            metrics,
             blocks: 12,
             records: 10,
             max_mask_bit: Some(4),
@@ -322,11 +372,28 @@ mod tests {
         assert_ne!(a, c);
         // The resilience meters are part of simulation identity.
         let mut d = cell("a");
-        d.dropped_msgs = 8;
+        d.metrics.add("dropped_msgs", 1);
         assert_ne!(a, d);
         let mut e = cell("a");
-        e.stalled = true;
+        e.metrics.set_gauge("stalled", 1.0);
         assert_ne!(a, e);
+    }
+
+    #[test]
+    fn meter_accessors_read_the_metric_set() {
+        let c = cell("a");
+        assert_eq!(c.dropped_msgs(), 7);
+        assert_eq!(c.fetch_retries(), 3);
+        assert_eq!(c.recovery_ms(), 120.5);
+        assert!(!c.stalled());
+        assert_eq!(c.wait_max_secs(), 1.5);
+        assert_eq!(c.staleness_mean_secs(), 4.0);
+        // Missing metrics read as zero, never panic.
+        let mut bare = cell("b");
+        bare.metrics = MetricSet::new();
+        assert_eq!(bare.dropped_msgs(), 0);
+        assert_eq!(bare.wait_max_secs(), 0.0);
+        assert!(!bare.stalled());
     }
 
     #[test]
@@ -345,6 +412,12 @@ mod tests {
         assert!(json.contains("\"fetch_retries\": 3"));
         assert!(json.contains("\"recovery_ms\": 120.5"));
         assert!(json.contains("\"stalled\": false"));
+        // Telemetry columns derived from the folded histograms.
+        assert!(json.contains("\"wait_max_secs\": 1.5"));
+        assert!(json.contains("\"staleness_mean_secs\": 4"));
+        // The full extensible metric set rides along as a nested object.
+        assert!(json.contains("\"metrics\": {\"counters\":{"));
+        assert!(json.contains("\"wait_secs\":{\"count\":2"));
         // Two cells, comma-separated.
         assert_eq!(json.matches("\"peers\": 5").count(), 2);
     }
@@ -388,6 +461,8 @@ mod tests {
         assert!(lines[0].contains("\"fetch_bytes\": 250000"));
         assert!(lines[0].contains("\"dropped_msgs\": 7"));
         assert!(lines[0].contains("\"fetch_retries\": 3"));
+        assert!(lines[0].contains("\"wait_max_secs\": 1.5"));
+        assert!(lines[0].contains("\"staleness_mean_secs\": 4"));
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -35,12 +35,29 @@ impl ScenarioRunner {
     ///
     /// Panics if the spec fails [`ScenarioSpec::validate`].
     pub fn run(&self, spec: &ScenarioSpec) -> CellReport {
+        let mut sink = blockfed_telemetry::NoopSink;
+        self.run_traced(spec, &mut sink)
+    }
+
+    /// [`ScenarioRunner::run`] with a trace sink attached: the cell's spans
+    /// and events (round lifecycle, floods, fetch episodes, faults, watchdog)
+    /// land in `sink` stamped with virtual sim time. The simulation itself is
+    /// bit-identical with or without a sink.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec fails [`ScenarioSpec::validate`].
+    pub fn run_traced(
+        &self,
+        spec: &ScenarioSpec,
+        sink: &mut dyn blockfed_telemetry::TraceSink,
+    ) -> CellReport {
         spec.validate().expect("invalid scenario spec");
         let started = Instant::now();
         let (shards, tests) = prepare_data(spec);
         let mut arch_rng = StdRng::seed_from_u64(spec.seed ^ 0x5CE0);
         let model = spec.model;
-        let run = spec.run_with(&shards, &tests, &mut || model.build(&mut arch_rng));
+        let run = spec.run_traced_with(&shards, &tests, &mut || model.build(&mut arch_rng), sink);
 
         let finished: Vec<&Vec<blockfed_core::PeerRoundRecord>> =
             run.peer_records.iter().filter(|r| !r.is_empty()).collect();
@@ -68,10 +85,7 @@ impl ScenarioRunner {
             fork_rate: run.fork_rate(),
             gossip_bytes: run.gossip_bytes,
             fetch_bytes: run.fetch_bytes,
-            dropped_msgs: run.dropped_msgs,
-            fetch_retries: run.fetch_retries,
-            recovery_ms: run.recovery_ms,
-            stalled: run.stall.is_some(),
+            metrics: run.metrics,
             blocks: run.chain.blocks,
             records,
             max_mask_bit,
@@ -169,8 +183,8 @@ mod tests {
         let spec = churn_spec(5, 70).loss(0.2);
         let runner = ScenarioRunner::new();
         let a = runner.run(&spec);
-        assert!(a.dropped_msgs > 0, "20% loss must drop something: {a:?}");
-        assert!(!a.stalled, "the lossy cell must settle, not stall: {a:?}");
+        assert!(a.dropped_msgs() > 0, "20% loss must drop something: {a:?}");
+        assert!(!a.stalled(), "the lossy cell must settle, not stall: {a:?}");
         assert!(a.records > 0);
         let b = runner.run(&spec);
         assert_eq!(a, b, "lossy runs must replay bit-identically");
@@ -178,14 +192,32 @@ mod tests {
         // may still force on-demand fetch recoveries (deliveries cut in
         // flight), which is the machinery working, not loss.
         let clean = runner.run(&churn_spec(5, 70));
-        assert_eq!(clean.dropped_msgs, 0, "lossless links drop nothing");
-        assert!(!clean.stalled);
+        assert_eq!(clean.dropped_msgs(), 0, "lossless links drop nothing");
+        assert!(!clean.stalled());
         // A fault-free lossless cell keeps every resilience meter at zero.
         let calm = runner.run(&ScenarioSpec::new("calm", 3).rounds(2).seed(70));
-        assert_eq!(calm.dropped_msgs, 0);
-        assert_eq!(calm.fetch_retries, 0);
-        assert_eq!(calm.recovery_ms, 0.0);
-        assert!(!calm.stalled);
+        assert_eq!(calm.dropped_msgs(), 0);
+        assert_eq!(calm.fetch_retries(), 0);
+        assert_eq!(calm.recovery_ms(), 0.0);
+        assert!(!calm.stalled());
+        // The folded timing distributions ride along on every cell.
+        assert!(calm.metrics.histogram("wait_secs").is_some());
+        assert!(calm.wait_max_secs() >= 0.0);
+    }
+
+    #[test]
+    fn traced_cell_matches_untraced_and_captures_round_spans() {
+        // ScenarioRunner::run_traced is run() with a sink: same report bit
+        // for bit, plus the full span stream in the sink.
+        let spec = churn_spec(5, 70).loss(0.2);
+        let runner = ScenarioRunner::new();
+        let plain = runner.run(&spec);
+        let mut sink = blockfed_telemetry::MemorySink::new();
+        let traced = runner.run_traced(&spec, &mut sink);
+        assert_eq!(plain, traced, "a sink must never perturb the cell");
+        for name in ["round", "round.train", "round.wait", "net.flood"] {
+            assert!(sink.contains(name), "trace missing {name}");
+        }
     }
 
     #[test]

@@ -644,6 +644,25 @@ impl ScenarioSpec {
         peer_tests: &[Dataset],
         make_model: &mut dyn FnMut() -> Sequential,
     ) -> DecentralizedRun {
+        let mut sink = blockfed_telemetry::NoopSink;
+        self.run_traced_with(train_shards, peer_tests, make_model, &mut sink)
+    }
+
+    /// [`ScenarioSpec::run_with`] with a trace sink attached: every span and
+    /// event the orchestrator emits lands in `sink`, stamped with virtual sim
+    /// time. Attaching a sink never perturbs the simulation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec is invalid or the shard count differs from the
+    /// spec's peer count.
+    pub fn run_traced_with(
+        &self,
+        train_shards: &[Dataset],
+        peer_tests: &[Dataset],
+        make_model: &mut dyn FnMut() -> Sequential,
+        sink: &mut dyn blockfed_telemetry::TraceSink,
+    ) -> DecentralizedRun {
         self.validate().expect("invalid scenario spec");
         assert_eq!(
             train_shards.len(),
@@ -651,7 +670,7 @@ impl ScenarioSpec {
             "shard count must match the spec's peer count"
         );
         let driver = Decentralized::new(self.decentralized_config(), train_shards, peer_tests);
-        driver.run(make_model)
+        driver.run_traced(make_model, sink)
     }
 }
 

@@ -1,0 +1,388 @@
+//! JSONL trace encoding and a self-contained schema check.
+//!
+//! One record per line:
+//!
+//! ```json
+//! {"t":1500000,"ph":"B","name":"round","track":3,"id":7,"attrs":{"round":1}}
+//! ```
+//!
+//! `t` is virtual sim time in nanoseconds; `track` is a peer index or `-1`
+//! for run-level records; `id` pairs span begins with ends (`0` for
+//! instants). [`validate_jsonl`] re-parses emitted text with a minimal JSON
+//! scanner (the workspace has no JSON parser dependency) and enforces the
+//! schema, so CI can assert a trace file is well formed without external
+//! tooling.
+
+use crate::metrics::{json_number, json_string};
+use crate::record::{AttrValue, TraceRecord, RUN_TRACK};
+use std::fmt::Write as _;
+
+/// Encodes one record as a single JSON line (no trailing newline).
+pub fn record_to_jsonl(rec: &TraceRecord) -> String {
+    let mut out = String::with_capacity(96);
+    let track: i64 = if rec.track == RUN_TRACK {
+        -1
+    } else {
+        i64::from(rec.track)
+    };
+    let _ = write!(
+        out,
+        "{{\"t\":{},\"ph\":\"{}\",\"name\":{},\"track\":{},\"id\":{},\"attrs\":{{",
+        rec.time.as_nanos(),
+        rec.kind.phase(),
+        json_string(rec.name),
+        track,
+        rec.id,
+    );
+    for (i, (k, v)) in rec.attrs.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{}:", json_string(k));
+        match v {
+            AttrValue::U64(n) => {
+                let _ = write!(out, "{n}");
+            }
+            AttrValue::I64(n) => {
+                let _ = write!(out, "{n}");
+            }
+            AttrValue::F64(n) => out.push_str(&json_number(*n)),
+            AttrValue::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            AttrValue::Str(s) => out.push_str(&json_string(s)),
+        }
+    }
+    out.push_str("}}");
+    out
+}
+
+/// Encodes a slice of records as JSONL (newline-terminated lines).
+pub fn records_to_jsonl(records: &[TraceRecord]) -> String {
+    let mut out = String::new();
+    for rec in records {
+        out.push_str(&record_to_jsonl(rec));
+        out.push('\n');
+    }
+    out
+}
+
+/// Validates JSONL trace text against the schema. Returns the number of
+/// records on success, or a message naming the first offending line.
+pub fn validate_jsonl(text: &str) -> Result<usize, String> {
+    let mut n = 0;
+    for (lineno, line) in text.lines().enumerate() {
+        if line.is_empty() {
+            continue;
+        }
+        validate_line(line).map_err(|e| format!("line {}: {e}", lineno + 1))?;
+        n += 1;
+    }
+    Ok(n)
+}
+
+fn validate_line(line: &str) -> Result<(), String> {
+    let bytes = line.as_bytes();
+    let mut p = Parser { bytes, pos: 0 };
+    let keys = p.object_keys()?;
+    p.skip_ws();
+    if p.pos != bytes.len() {
+        return Err("trailing bytes after JSON object".to_string());
+    }
+    for required in ["t", "ph", "name", "track", "id", "attrs"] {
+        if !keys.iter().any(|(k, _)| k == required) {
+            return Err(format!("missing key \"{required}\""));
+        }
+    }
+    for (k, v) in &keys {
+        match (k.as_str(), v) {
+            ("t", Value::Number) | ("track", Value::Number) | ("id", Value::Number) => {}
+            ("ph", Value::String(s)) if s == "B" || s == "E" || s == "i" => {}
+            ("ph", Value::String(s)) => return Err(format!("bad phase {s:?}")),
+            ("name", Value::String(s)) if !s.is_empty() => {}
+            ("name", Value::String(_)) => return Err("empty name".to_string()),
+            ("attrs", Value::Object) => {}
+            (k, v) => return Err(format!("key {k:?} has wrong type ({v:?})")),
+        }
+    }
+    Ok(())
+}
+
+/// Shallow type of a validated JSON value.
+#[derive(Debug)]
+enum Value {
+    Number,
+    String(String),
+    Object,
+    Other,
+}
+
+/// Minimal recursive-descent JSON scanner: checks well-formedness and
+/// reports top-level key/value types without building a document tree.
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while let Some(b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\r' | b'\n') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected {:?} at byte {}", b as char, self.pos))
+        }
+    }
+
+    /// Parses a top-level object, returning its keys and value types.
+    fn object_keys(&mut self) -> Result<Vec<(String, Value)>, String> {
+        self.skip_ws();
+        self.expect(b'{')?;
+        let mut keys = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(keys);
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let val = self.value()?;
+            keys.push((key, val));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(keys);
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, String> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'"') => Ok(Value::String(self.string()?)),
+            Some(b'{') => {
+                self.object_keys()?;
+                Ok(Value::Object)
+            }
+            Some(b'[') => {
+                self.pos += 1;
+                self.skip_ws();
+                if self.peek() == Some(b']') {
+                    self.pos += 1;
+                    return Ok(Value::Other);
+                }
+                loop {
+                    self.value()?;
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => self.pos += 1,
+                        Some(b']') => {
+                            self.pos += 1;
+                            return Ok(Value::Other);
+                        }
+                        _ => return Err(format!("expected ',' or ']' at byte {}", self.pos)),
+                    }
+                }
+            }
+            Some(b't') => self.literal("true").map(|_| Value::Other),
+            Some(b'f') => self.literal("false").map(|_| Value::Other),
+            Some(b'n') => self.literal("null").map(|_| Value::Other),
+            Some(b'-' | b'0'..=b'9') => {
+                self.number()?;
+                Ok(Value::Number)
+            }
+            _ => Err(format!("unexpected byte at {}", self.pos)),
+        }
+    }
+
+    fn literal(&mut self, lit: &str) -> Result<(), String> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(())
+        } else {
+            Err(format!("bad literal at byte {}", self.pos))
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(c @ (b'"' | b'\\' | b'/')) => {
+                            out.push(c as char);
+                            self.pos += 1;
+                        }
+                        Some(b'n') => {
+                            out.push('\n');
+                            self.pos += 1;
+                        }
+                        Some(b't') => {
+                            out.push('\t');
+                            self.pos += 1;
+                        }
+                        Some(b'r') => {
+                            out.push('\r');
+                            self.pos += 1;
+                        }
+                        Some(b'b') | Some(b'f') => {
+                            self.pos += 1;
+                        }
+                        Some(b'u') => {
+                            self.pos += 1;
+                            for _ in 0..4 {
+                                match self.peek() {
+                                    Some(c) if c.is_ascii_hexdigit() => self.pos += 1,
+                                    _ => {
+                                        return Err(format!("bad \\u escape at byte {}", self.pos))
+                                    }
+                                }
+                            }
+                        }
+                        _ => return Err(format!("bad escape at byte {}", self.pos)),
+                    }
+                }
+                Some(_) => {
+                    // Advance one UTF-8 scalar; the input is a &str so the
+                    // encoding is already valid.
+                    let s = &self.bytes[self.pos..];
+                    let step = match s[0] {
+                        0x00..=0x7f => 1,
+                        0xc0..=0xdf => 2,
+                        0xe0..=0xef => 3,
+                        _ => 4,
+                    };
+                    out.push_str(std::str::from_utf8(&s[..step]).map_err(|_| "bad utf8")?);
+                    self.pos += step;
+                }
+                None => return Err("unterminated string".to_string()),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<(), String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if self.pos == start || self.bytes[start..self.pos] == [b'-'] {
+            Err(format!("bad number at byte {start}"))
+        } else {
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::RecordKind;
+    use blockfed_sim::SimTime;
+
+    fn rec() -> TraceRecord {
+        TraceRecord {
+            time: SimTime::from_millis(5),
+            kind: RecordKind::Begin,
+            name: "round",
+            track: 3,
+            id: 7,
+            attrs: vec![
+                ("round", 1u32.into()),
+                ("fp", "ab12\"cd".into()),
+                ("wait", 0.25f64.into()),
+                ("ok", true.into()),
+            ],
+        }
+    }
+
+    #[test]
+    fn encodes_the_documented_shape() {
+        let line = record_to_jsonl(&rec());
+        assert_eq!(
+            line,
+            "{\"t\":5000000,\"ph\":\"B\",\"name\":\"round\",\"track\":3,\"id\":7,\
+             \"attrs\":{\"round\":1,\"fp\":\"ab12\\\"cd\",\"wait\":0.25,\"ok\":true}}"
+        );
+    }
+
+    #[test]
+    fn run_track_encodes_as_minus_one() {
+        let mut r = rec();
+        r.track = RUN_TRACK;
+        assert!(record_to_jsonl(&r).contains("\"track\":-1"));
+    }
+
+    #[test]
+    fn emitted_jsonl_validates() {
+        let text = records_to_jsonl(&[rec(), rec()]);
+        assert_eq!(validate_jsonl(&text), Ok(2));
+    }
+
+    #[test]
+    fn validator_rejects_schema_violations() {
+        // Not JSON at all.
+        assert!(validate_jsonl("not json\n").is_err());
+        // Valid JSON, missing keys.
+        assert!(validate_jsonl("{\"t\":1}\n").is_err());
+        // Wrong phase letter.
+        let bad = "{\"t\":1,\"ph\":\"X\",\"name\":\"a\",\"track\":0,\"id\":0,\"attrs\":{}}\n";
+        assert!(validate_jsonl(bad).is_err());
+        // Wrong type for t.
+        let bad = "{\"t\":\"1\",\"ph\":\"i\",\"name\":\"a\",\"track\":0,\"id\":0,\"attrs\":{}}\n";
+        assert!(validate_jsonl(bad).is_err());
+        // Trailing garbage.
+        let bad = "{\"t\":1,\"ph\":\"i\",\"name\":\"a\",\"track\":0,\"id\":0,\"attrs\":{}}x\n";
+        assert!(validate_jsonl(bad).is_err());
+    }
+
+    #[test]
+    fn validator_accepts_blank_lines_and_nested_attrs() {
+        let ok = "\n{\"t\":1,\"ph\":\"i\",\"name\":\"a\",\"track\":-1,\"id\":0,\
+                  \"attrs\":{\"s\":\"x\",\"n\":-2.5e3,\"b\":false,\"z\":null}}\n\n";
+        assert_eq!(validate_jsonl(ok), Ok(1));
+    }
+}

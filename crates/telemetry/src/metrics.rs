@@ -1,0 +1,276 @@
+//! The in-process aggregator: counters, gauges, and histograms folded from
+//! the instrumented run, independent of whether a trace sink is attached.
+//!
+//! A [`MetricSet`] is always populated (folding is cheap arithmetic on
+//! values the simulation computes anyway), deterministic (fold order is the
+//! single-threaded event-loop order), and comparable (`PartialEq`), so two
+//! runs of the same seed produce equal metric sets bit for bit.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Summary histogram: count / sum / min / max (mean derived).
+///
+/// Enough for wait-time, staleness, and latency distributions without
+/// committing to a bucket layout; exact f64 arithmetic in deterministic
+/// fold order keeps it reproducible.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Histogram {
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Histogram {
+    /// Folds one observation in.
+    pub fn observe(&mut self, v: f64) {
+        if self.count == 0 {
+            self.min = v;
+            self.max = v;
+        } else {
+            if v < self.min {
+                self.min = v;
+            }
+            if v > self.max {
+                self.max = v;
+            }
+        }
+        self.count += 1;
+        self.sum += v;
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all observations.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Smallest observation (0.0 when empty).
+    pub fn min(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest observation (0.0 when empty).
+    pub fn max(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.max
+        }
+    }
+
+    /// Mean observation (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+}
+
+/// An extensible, ordered set of named counters, gauges, and histograms.
+///
+/// Replaces ad-hoc one-off meter fields: consumers read by name with
+/// zero-default semantics, so adding a metric never breaks existing readers.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct MetricSet {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+impl MetricSet {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `n` to the named counter (creating it at zero).
+    pub fn add(&mut self, name: &str, n: u64) {
+        *self.counters.entry(name.to_string()).or_insert(0) += n;
+    }
+
+    /// Reads a counter; missing counters read as zero.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Sets the named gauge.
+    pub fn set_gauge(&mut self, name: &str, v: f64) {
+        self.gauges.insert(name.to_string(), v);
+    }
+
+    /// Reads a gauge; missing gauges read as zero.
+    pub fn gauge(&self, name: &str) -> f64 {
+        self.gauges.get(name).copied().unwrap_or(0.0)
+    }
+
+    /// Folds one observation into the named histogram.
+    pub fn observe(&mut self, name: &str, v: f64) {
+        self.histograms
+            .entry(name.to_string())
+            .or_default()
+            .observe(v);
+    }
+
+    /// Reads a histogram, if any observation was ever folded into it.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// Iterates counters in name order.
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// Iterates gauges in name order.
+    pub fn gauges(&self) -> impl Iterator<Item = (&str, f64)> {
+        self.gauges.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// Iterates histograms in name order.
+    pub fn histograms(&self) -> impl Iterator<Item = (&str, &Histogram)> {
+        self.histograms.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Renders the whole set as one stable JSON object:
+    /// `{"counters":{..},"gauges":{..},"histograms":{"name":{"count":..,"sum":..,"min":..,"max":..,"mean":..}}}`.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"counters\":{");
+        for (i, (k, v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{}:{v}", json_string(k));
+        }
+        out.push_str("},\"gauges\":{");
+        for (i, (k, v)) in self.gauges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{}:{}", json_string(k), json_number(*v));
+        }
+        out.push_str("},\"histograms\":{");
+        for (i, (k, h)) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{}:{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"mean\":{}}}",
+                json_string(k),
+                h.count(),
+                json_number(h.sum()),
+                json_number(h.min()),
+                json_number(h.max()),
+                json_number(h.mean()),
+            );
+        }
+        out.push_str("}}");
+        out
+    }
+}
+
+/// Escapes a string as a JSON string literal (quotes included).
+pub(crate) fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Formats an f64 as a JSON number; non-finite values become `null`.
+pub(crate) fn json_number(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_summarizes() {
+        let mut h = Histogram::default();
+        assert_eq!(h.mean(), 0.0);
+        for v in [2.0, 4.0, 9.0] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.sum(), 15.0);
+        assert_eq!(h.min(), 2.0);
+        assert_eq!(h.max(), 9.0);
+        assert_eq!(h.mean(), 5.0);
+    }
+
+    #[test]
+    fn missing_metrics_read_as_zero() {
+        let m = MetricSet::new();
+        assert_eq!(m.counter("dropped_msgs"), 0);
+        assert_eq!(m.gauge("recovery_ms"), 0.0);
+        assert!(m.histogram("wait_secs").is_none());
+    }
+
+    #[test]
+    fn counters_accumulate_and_sets_compare() {
+        let mut a = MetricSet::new();
+        a.add("fetch_retries", 2);
+        a.add("fetch_retries", 3);
+        assert_eq!(a.counter("fetch_retries"), 5);
+        let mut b = MetricSet::new();
+        b.add("fetch_retries", 5);
+        assert_eq!(a, b);
+        b.set_gauge("recovery_ms", 1.5);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn json_is_stable_and_ordered() {
+        let mut m = MetricSet::new();
+        m.add("b_counter", 1);
+        m.add("a_counter", 2);
+        m.set_gauge("g", 0.5);
+        m.observe("h", 3.0);
+        let json = m.to_json();
+        assert_eq!(
+            json,
+            "{\"counters\":{\"a_counter\":2,\"b_counter\":1},\
+             \"gauges\":{\"g\":0.5},\
+             \"histograms\":{\"h\":{\"count\":1,\"sum\":3,\"min\":3,\"max\":3,\"mean\":3}}}"
+        );
+        assert_eq!(json, m.clone().to_json(), "rendering must be stable");
+    }
+
+    #[test]
+    fn json_escapes_and_non_finite() {
+        assert_eq!(json_string("a\"b\\c\n"), "\"a\\\"b\\\\c\\n\"");
+        assert_eq!(json_number(f64::NAN), "null");
+        assert_eq!(json_number(2.5), "2.5");
+    }
+}

@@ -1,0 +1,92 @@
+//! Wall-clock phase profiling — the one place host time is allowed.
+//!
+//! [`PhaseProfiler`] accumulates real elapsed time per named phase with
+//! `std::time::Instant`. It is strictly separate from the deterministic
+//! trace record: nothing measured here may feed back into simulation state,
+//! and profiler output never participates in run equality.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+/// Accumulates wall-clock time per named phase.
+#[derive(Debug, Default, Clone)]
+pub struct PhaseProfiler {
+    totals: BTreeMap<String, Duration>,
+}
+
+impl PhaseProfiler {
+    /// Creates an empty profiler.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Runs `f`, charging its wall-clock time to `phase`.
+    pub fn time<T>(&mut self, phase: &str, f: impl FnOnce() -> T) -> T {
+        let start = Instant::now();
+        let out = f();
+        self.add(phase, start.elapsed());
+        out
+    }
+
+    /// Adds an externally measured duration to `phase`.
+    pub fn add(&mut self, phase: &str, d: Duration) {
+        *self
+            .totals
+            .entry(phase.to_string())
+            .or_insert(Duration::ZERO) += d;
+    }
+
+    /// Total wall-clock seconds charged to `phase` (0.0 if never timed).
+    pub fn secs(&self, phase: &str) -> f64 {
+        self.totals
+            .get(phase)
+            .map(Duration::as_secs_f64)
+            .unwrap_or(0.0)
+    }
+
+    /// Iterates phases in name order as `(phase, seconds)`.
+    pub fn phases(&self) -> impl Iterator<Item = (&str, f64)> {
+        self.totals
+            .iter()
+            .map(|(k, v)| (k.as_str(), v.as_secs_f64()))
+    }
+
+    /// Renders an aligned two-column text table of phase totals.
+    pub fn table(&self) -> String {
+        let width = self
+            .totals
+            .keys()
+            .map(String::len)
+            .max()
+            .unwrap_or(5)
+            .max("phase".len());
+        let mut out = String::new();
+        let _ = writeln!(out, "{:<width$}  wall_secs", "phase");
+        for (phase, secs) in self.phases() {
+            let _ = writeln!(out, "{phase:<width$}  {secs:.6}");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulates_and_reports() {
+        let mut p = PhaseProfiler::new();
+        let v = p.time("work", || 40 + 2);
+        assert_eq!(v, 42);
+        p.add("work", Duration::from_millis(10));
+        p.add("idle", Duration::from_millis(5));
+        assert!(p.secs("work") >= 0.010);
+        assert!(p.secs("missing") == 0.0);
+        let phases: Vec<&str> = p.phases().map(|(k, _)| k).collect();
+        assert_eq!(phases, vec!["idle", "work"], "name-ordered");
+        let table = p.table();
+        assert!(table.contains("phase"));
+        assert!(table.contains("work"));
+    }
+}

@@ -1,0 +1,236 @@
+//! Sinks that consume trace records, and the [`Telemetry`] handle that
+//! instrumented code emits through.
+//!
+//! The invariance contract: a sink only *observes*. It must never draw from
+//! simulation RNG streams or influence scheduling, so a run traced into any
+//! sink is bit-identical to the same run with [`NoopSink`].
+
+use crate::jsonl;
+use crate::record::{Attr, RecordKind, TraceRecord, RUN_TRACK};
+use blockfed_sim::SimTime;
+
+/// A consumer of trace records.
+pub trait TraceSink {
+    /// Whether this sink wants records at all. When `false`, emission is
+    /// skipped entirely — attribute closures are never invoked, so a
+    /// disabled sink costs one branch per emission site.
+    fn enabled(&self) -> bool {
+        true
+    }
+    /// Consume one record.
+    fn record(&mut self, rec: TraceRecord);
+}
+
+/// The no-op sink: discards everything, reports itself disabled.
+///
+/// [`Telemetry`] caches `enabled()` at construction, so with this sink every
+/// emission site reduces to a branch on a bool (plus one span-id increment
+/// for begins, kept unconditional so span ids never depend on the sink).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NoopSink;
+
+impl TraceSink for NoopSink {
+    fn enabled(&self) -> bool {
+        false
+    }
+    fn record(&mut self, _rec: TraceRecord) {}
+}
+
+/// A sink that buffers every record in memory for later export.
+#[derive(Debug, Default, Clone)]
+pub struct MemorySink {
+    records: Vec<TraceRecord>,
+}
+
+impl MemorySink {
+    /// Creates an empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The buffered records, in emission order.
+    pub fn records(&self) -> &[TraceRecord] {
+        &self.records
+    }
+
+    /// Consumes the sink, returning the buffered records.
+    pub fn into_records(self) -> Vec<TraceRecord> {
+        self.records
+    }
+
+    /// Number of records with the given name.
+    pub fn count(&self, name: &str) -> usize {
+        self.records.iter().filter(|r| r.name == name).count()
+    }
+
+    /// Whether any record with the given name was emitted.
+    pub fn contains(&self, name: &str) -> bool {
+        self.records.iter().any(|r| r.name == name)
+    }
+
+    /// Renders the buffer as JSONL, one record per line (see [`crate::jsonl`]).
+    pub fn to_jsonl(&self) -> String {
+        jsonl::records_to_jsonl(&self.records)
+    }
+
+    /// Renders the buffer as a Chrome-trace / Perfetto JSON document.
+    pub fn to_chrome_trace(&self) -> String {
+        crate::chrome::chrome_trace(&self.records)
+    }
+}
+
+impl TraceSink for MemorySink {
+    fn record(&mut self, rec: TraceRecord) {
+        self.records.push(rec);
+    }
+}
+
+/// The emission handle instrumented code holds.
+///
+/// Wraps a sink with a cached enabled flag and a span-id counter. Span ids
+/// are allocated on every [`Telemetry::begin`] regardless of the sink, so
+/// instrumented state (a stored span id) is identical whether tracing is on
+/// or off — the invariance proof relies on this.
+pub struct Telemetry<'a> {
+    sink: &'a mut dyn TraceSink,
+    enabled: bool,
+    next_id: u64,
+}
+
+impl<'a> Telemetry<'a> {
+    /// Wraps a sink.
+    pub fn new(sink: &'a mut dyn TraceSink) -> Self {
+        let enabled = sink.enabled();
+        Telemetry {
+            sink,
+            enabled,
+            next_id: 1,
+        }
+    }
+
+    /// Whether records are being kept. Use to skip expensive attribute
+    /// construction that the closure forms can't express.
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Opens a span on a peer track (or [`RUN_TRACK`]) and returns its id.
+    /// The attribute closure runs only when the sink is enabled.
+    pub fn begin(
+        &mut self,
+        time: SimTime,
+        name: &'static str,
+        track: u32,
+        attrs: impl FnOnce() -> Vec<Attr>,
+    ) -> u64 {
+        let id = self.next_id;
+        self.next_id += 1;
+        if self.enabled {
+            self.sink.record(TraceRecord {
+                time,
+                kind: RecordKind::Begin,
+                name,
+                track,
+                id,
+                attrs: attrs(),
+            });
+        }
+        id
+    }
+
+    /// Closes the span `id` opened with the same `name` and `track`.
+    pub fn end(
+        &mut self,
+        time: SimTime,
+        name: &'static str,
+        track: u32,
+        id: u64,
+        attrs: impl FnOnce() -> Vec<Attr>,
+    ) {
+        if self.enabled {
+            self.sink.record(TraceRecord {
+                time,
+                kind: RecordKind::End,
+                name,
+                track,
+                id,
+                attrs: attrs(),
+            });
+        }
+    }
+
+    /// Emits an instantaneous event.
+    pub fn instant(
+        &mut self,
+        time: SimTime,
+        name: &'static str,
+        track: u32,
+        attrs: impl FnOnce() -> Vec<Attr>,
+    ) {
+        if self.enabled {
+            self.sink.record(TraceRecord {
+                time,
+                kind: RecordKind::Instant,
+                name,
+                track,
+                id: 0,
+                attrs: attrs(),
+            });
+        }
+    }
+
+    /// Emits a run-level instant (shorthand for `instant(.., RUN_TRACK, ..)`).
+    pub fn run_instant(
+        &mut self,
+        time: SimTime,
+        name: &'static str,
+        attrs: impl FnOnce() -> Vec<Attr>,
+    ) {
+        self.instant(time, name, RUN_TRACK, attrs);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noop_sink_is_disabled_and_skips_attr_closures() {
+        let mut sink = NoopSink;
+        let mut tel = Telemetry::new(&mut sink);
+        assert!(!tel.enabled());
+        let id = tel.begin(SimTime::ZERO, "span", 0, || {
+            panic!("attr closure must not run when disabled")
+        });
+        tel.end(SimTime::from_secs(1), "span", 0, id, || unreachable!());
+        tel.instant(SimTime::ZERO, "evt", 0, || unreachable!());
+    }
+
+    #[test]
+    fn span_ids_are_allocated_identically_on_and_off() {
+        let mut noop = NoopSink;
+        let mut mem = MemorySink::new();
+        let mut off = Telemetry::new(&mut noop);
+        let mut on = Telemetry::new(&mut mem);
+        for _ in 0..3 {
+            let a = off.begin(SimTime::ZERO, "s", 0, Vec::new);
+            let b = on.begin(SimTime::ZERO, "s", 0, Vec::new);
+            assert_eq!(a, b, "span ids must not depend on the sink");
+        }
+    }
+
+    #[test]
+    fn memory_sink_buffers_in_order() {
+        let mut sink = MemorySink::new();
+        let mut tel = Telemetry::new(&mut sink);
+        let id = tel.begin(SimTime::ZERO, "round", 2, || vec![("round", 1u32.into())]);
+        tel.instant(SimTime::from_millis(5), "net.flood", 2, Vec::new);
+        tel.end(SimTime::from_secs(1), "round", 2, id, Vec::new);
+        assert_eq!(sink.records().len(), 3);
+        assert_eq!(sink.count("round"), 2);
+        assert!(sink.contains("net.flood"));
+        assert_eq!(sink.records()[0].kind, RecordKind::Begin);
+        assert_eq!(sink.records()[2].kind, RecordKind::End);
+        assert_eq!(sink.records()[0].id, sink.records()[2].id);
+    }
+}

@@ -9,19 +9,26 @@
 //! cargo run --release --example scenarios -- --gossip128 # CI: announce/fetch byte guards + 128-peer cell
 //! cargo run --release --example scenarios -- --paper    # CI: paper-scale SimpleNN cell, batch-parallel vs sequential
 //! cargo run --release --example scenarios -- --chaos    # CI: lossy 48-peer cells (loss 0/1/5/20%) + byte-accounting guard
+//! cargo run --release --example scenarios -- --trace    # CI: traced runs bit-identical to untraced; JSONL + Chrome trace export
+//! cargo run --release --example scenarios -- --speedup  # per-phase wall clock of matmul/FedAvg/par_train_epochs at 1/2/8 threads
 //! ```
 //!
-//! Every mode prints the matrix table and writes the machine-readable
-//! `BENCH_scenarios.json` (per-cell wall-clock + accuracy) to the working
-//! directory; `--bench` additionally appends one line per cell to
-//! `BENCH_history.jsonl` (cell, gossip/fetch bytes, wall clock, git rev) so
-//! deltas stay visible across PRs.
+//! Every scenario mode prints the matrix table and writes the
+//! machine-readable `BENCH_scenarios.json` (per-cell wall-clock + accuracy)
+//! to the working directory; `--bench` additionally appends one line per cell
+//! to `BENCH_history.jsonl` (cell, gossip/fetch bytes, wall clock, git rev)
+//! so deltas stay visible across PRs. `--trace` writes `TRACE_bestk48.jsonl`
+//! (schema-validated) and `TRACE_bestk48.json` (open in Perfetto /
+//! `chrome://tracing`); `--speedup` appends one kernel-timing line per thread
+//! count to `BENCH_history.jsonl`.
 
 use blockfed::fl::{Strategy, WaitPolicy};
-use blockfed::net::GossipMode;
+use blockfed::net::{GossipMode, LinkSpec};
 use blockfed::scenario::{
     CellReport, DataSpec, ScenarioMatrix, ScenarioReport, ScenarioRunner, ScenarioSpec,
 };
+use blockfed::sim::{SimDuration, SimTime, UniformJitter};
+use blockfed::telemetry::{MemorySink, PhaseProfiler};
 
 /// Committed regression ceiling for the 48-peer best-k cell's *flood* bytes
 /// under announce/fetch. The legacy full-payload flood recorded ~51 MB for
@@ -379,9 +386,9 @@ fn chaos() {
         clean.fetch_bytes, BESTK48_FETCH_BYTES,
         "loss_rate 0.0 must reproduce the committed fetch bytes exactly"
     );
-    assert_eq!(clean.dropped_msgs, 0, "clean links never drop");
-    assert_eq!(clean.fetch_retries, 0, "clean links never retry");
-    assert!(!clean.stalled);
+    assert_eq!(clean.dropped_msgs(), 0, "clean links never drop");
+    assert_eq!(clean.fetch_retries(), 0, "clean links never retry");
+    assert!(!clean.stalled());
 
     let mut cells = vec![clean.clone()];
     for (label, loss) in [
@@ -391,7 +398,7 @@ fn chaos() {
     ] {
         let cell = runner.run(&bestk48_spec().named(label).loss(loss));
         assert!(
-            !cell.stalled,
+            !cell.stalled(),
             "{label} hit the watchdog instead of settling"
         );
         assert_eq!(
@@ -402,17 +409,17 @@ fn chaos() {
             cell.mean_final_accuracy, clean.mean_final_accuracy,
             "{label}: loss changed the wait-all aggregation outcome"
         );
-        assert!(cell.dropped_msgs > 0, "{label} never dropped a delivery");
+        assert!(cell.dropped_msgs() > 0, "{label} never dropped a delivery");
         assert!(
-            cell.fetch_retries <= cell.dropped_msgs * 8,
+            cell.fetch_retries() <= cell.dropped_msgs() * 8,
             "{label}: retries unbounded — {} retries for {} drops",
-            cell.fetch_retries,
-            cell.dropped_msgs
+            cell.fetch_retries(),
+            cell.dropped_msgs()
         );
         cells.push(cell);
     }
     assert!(
-        cells[2].fetch_retries > 0,
+        cells[2].fetch_retries() > 0,
         "5% loss never exercised a fetch retry"
     );
 
@@ -424,6 +431,192 @@ fn chaos() {
     let path = report.write_json(".").expect("write BENCH_scenarios.json");
     println!("wrote {}", path.display());
     println!("lossy 48-peer certification OK");
+}
+
+/// The telemetry certification:
+///
+/// 1. With telemetry off (the default no-op sink), the lossless 48-peer cell
+///    still reproduces the committed byte accounting exactly — tracing
+///    machinery is invisible when unused.
+/// 2. A lossy 48-peer cell traced into a real sink folds the *identical*
+///    report (bit for bit) as the untraced run — attaching a sink never
+///    perturbs the simulation.
+/// 3. The captured trace carries the round lifecycle (round ⊃ train → wait),
+///    flood/fetch network spans, and PoW seals, stamped with virtual time;
+///    the JSONL export passes its schema validator and the Chrome-trace
+///    export is written for Perfetto.
+/// 4. A deliberately stalled mini-cell's trace carries the watchdog firing.
+fn trace() {
+    println!("telemetry — traced vs untraced bit-identity + JSONL/Perfetto export\n");
+    let runner = ScenarioRunner::new();
+
+    // Telemetry off must reproduce the committed byte accounting.
+    let clean = runner.run(&bestk48_spec());
+    assert_eq!(
+        clean.gossip_bytes, BESTK48_GOSSIP_BYTES,
+        "telemetry-off run must reproduce the committed gossip bytes"
+    );
+    assert_eq!(
+        clean.fetch_bytes, BESTK48_FETCH_BYTES,
+        "telemetry-off run must reproduce the committed fetch bytes"
+    );
+
+    // A lossy cell, traced and untraced: the identical report.
+    let lossy = bestk48_spec().named("bestk48-loss5").loss(0.05);
+    let plain = runner.run(&lossy);
+    let mut sink = MemorySink::new();
+    let traced = runner.run_traced(&lossy, &mut sink);
+    assert_eq!(plain, traced, "a trace sink perturbed the simulation");
+    assert!(traced.dropped_msgs() > 0, "the lossy cell never dropped");
+
+    // The trace carries every span family the acceptance bar names, with
+    // virtual-time stamps.
+    for name in [
+        "round",
+        "round.train",
+        "round.wait",
+        "net.flood",
+        "fetch",
+        "pow.sealed",
+        "round.aggregated",
+        "watchdog.armed",
+    ] {
+        assert!(sink.contains(name), "trace missing {name}");
+    }
+    assert!(
+        sink.records().iter().any(|r| r.time > SimTime::ZERO),
+        "no record carries a nonzero virtual timestamp"
+    );
+
+    // Exports: schema-validated JSONL + a Chrome-trace document.
+    let jsonl = sink.to_jsonl();
+    let lines = blockfed::telemetry::jsonl::validate_jsonl(&jsonl)
+        .expect("JSONL export failed its own schema validator");
+    assert_eq!(lines, sink.records().len());
+    std::fs::write("TRACE_bestk48.jsonl", &jsonl).expect("write TRACE_bestk48.jsonl");
+    let chrome = sink.to_chrome_trace();
+    std::fs::write("TRACE_bestk48.json", &chrome).expect("write TRACE_bestk48.json");
+    println!(
+        "wrote TRACE_bestk48.jsonl ({} records) and TRACE_bestk48.json ({} bytes)",
+        lines,
+        chrome.len()
+    );
+
+    // A watchdog-stalled mini-cell: peer 0 is isolated before anything
+    // crosses the 2 s links, so wait-all can never complete; the watchdog
+    // fires and the trace records it.
+    let stall_spec = ScenarioSpec::new("stall-demo", 3)
+        .rounds(2)
+        .difficulty(1_000_000)
+        .link(LinkSpec {
+            latency: UniformJitter::constant(SimDuration::from_millis(2_000)),
+            bandwidth: None,
+            loss_rate: 0.0,
+        })
+        .watchdog_secs(60.0)
+        .partition_at(0.15, &[0], &[1, 2])
+        .seed(74);
+    let mut stall_sink = MemorySink::new();
+    let stalled = runner.run_traced(&stall_spec, &mut stall_sink);
+    assert!(
+        stalled.stalled(),
+        "the partitioned wait-all cell must stall"
+    );
+    assert!(
+        stall_sink.contains("watchdog.stalled"),
+        "stall never reached the trace"
+    );
+
+    let report = blockfed::scenario::ScenarioReport {
+        name: "trace".into(),
+        cells: vec![clean, traced, stalled],
+    };
+    println!("{}", report.table());
+    let path = report.write_json(".").expect("write BENCH_scenarios.json");
+    println!("wrote {}", path.display());
+    println!("telemetry certification OK");
+}
+
+/// Per-phase wall clock of the three parallel kernels the ROADMAP asks to
+/// measure — matmul, FedAvg, and `par_train_epochs` — at 1, 2, and 8 compute
+/// threads, timed with [`PhaseProfiler`] (host time, strictly outside the
+/// deterministic record) and appended to `BENCH_history.jsonl`. On a
+/// single-core host the numbers record thread overhead rather than speedup;
+/// the line carries the detected core count so readers can tell.
+fn speedup() {
+    use blockfed::data::{SynthCifar, SynthCifarConfig};
+    use blockfed::fl::{fed_avg, ClientId, ModelUpdate};
+    use blockfed::nn::{Sgd, SimpleNnConfig};
+    use blockfed::tensor::{matmul, Tensor};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    println!("multicore kernel timing — matmul / FedAvg / par_train_epochs at 1/2/8 threads\n");
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+
+    // Fixed workloads, reused at every thread count so rows compare directly.
+    let mut rng = StdRng::seed_from_u64(7);
+    let a = Tensor::from_vec(
+        (0..256 * 512).map(|_| rng.gen::<f32>()).collect(),
+        &[256, 512],
+    );
+    let b = Tensor::from_vec(
+        (0..512 * 256).map(|_| rng.gen::<f32>()).collect(),
+        &[512, 256],
+    );
+    let updates: Vec<ModelUpdate> = (0..32)
+        .map(|i| {
+            let params: Vec<f32> = (0..200_000).map(|_| rng.gen::<f32>()).collect();
+            ModelUpdate::new(ClientId(i), 1, params, 100 + i)
+        })
+        .collect();
+    let gen = SynthCifar::new(SynthCifarConfig::tiny());
+    let (train, _test) = gen.generate(7);
+    let nn_cfg = SimpleNnConfig::tiny(train.feature_dim(), train.num_classes());
+
+    let mut lines = String::new();
+    let rev = git_rev();
+    for threads in [1usize, 2, 8] {
+        blockfed::compute::set_threads(threads);
+        let mut prof = PhaseProfiler::new();
+        for _ in 0..20 {
+            prof.time("matmul", || matmul(&a, &b));
+        }
+        let refs: Vec<&ModelUpdate> = updates.iter().collect();
+        for _ in 0..10 {
+            prof.time("fedavg", || fed_avg(&refs).expect("aggregate"));
+        }
+        let mut arch_rng = StdRng::seed_from_u64(7);
+        let mut model = nn_cfg.build(&mut arch_rng);
+        let mut opt = Sgd::new(0.1, 0.9);
+        let batcher = blockfed::data::Batcher::new(16);
+        let mut train_rng = StdRng::seed_from_u64(8);
+        prof.time("par_train_epochs", || {
+            model.par_train_epochs(&train, 4, &batcher, &mut opt, &mut train_rng)
+        });
+        blockfed::compute::set_threads(0);
+
+        println!("threads = {threads}");
+        println!("{}", prof.table());
+        lines.push_str(&format!(
+            "{{\"cell\": \"kernel-speedup\", \"threads\": {threads}, \"host_cores\": {cores}, \
+             \"matmul_secs\": {:.6}, \"fedavg_secs\": {:.6}, \"par_train_epochs_secs\": {:.6}, \
+             \"git_rev\": \"{rev}\"}}\n",
+            prof.secs("matmul"),
+            prof.secs("fedavg"),
+            prof.secs("par_train_epochs"),
+        ));
+    }
+
+    use std::io::Write as _;
+    let mut file = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open("BENCH_history.jsonl")
+        .expect("open BENCH_history.jsonl");
+    file.write_all(lines.as_bytes())
+        .expect("append BENCH_history.jsonl");
+    println!("appended 3 kernel-speedup lines (host cores: {cores}) to BENCH_history.jsonl");
 }
 
 fn demo() {
@@ -453,11 +646,13 @@ fn main() {
         "--gossip128" => gossip128(),
         "--paper" => paper(),
         "--chaos" => chaos(),
+        "--trace" => trace(),
+        "--speedup" => speedup(),
         "" | "--demo" => demo(),
         other => {
             eprintln!(
                 "unknown mode {other}; use --smoke, --bestk, --bench, --bestk48, --gossip128, \
-                 --paper, --chaos, or --demo"
+                 --paper, --chaos, --trace, --speedup, or --demo"
             );
             std::process::exit(2);
         }

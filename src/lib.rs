@@ -28,6 +28,7 @@
 //! | [`fl`] | `blockfed-fl` | FedAvg, strategies (incl. best-k), robust rules, attacks, FedAsync |
 //! | [`core`] | `blockfed-core` | the fully coupled decentralized system |
 //! | [`scenario`] | `blockfed-scenario` | declarative N-peer scenarios: churn, partitions, parallel matrices |
+//! | [`telemetry`] | `blockfed-telemetry` | deterministic spans/events, metric folding, trace exporters |
 //! | [`report`] | `blockfed-report` | tables, CSV, terminal figures |
 //!
 //! # Quickstart
@@ -66,5 +67,6 @@ pub use blockfed_nn as nn;
 pub use blockfed_report as report;
 pub use blockfed_scenario as scenario;
 pub use blockfed_sim as sim;
+pub use blockfed_telemetry as telemetry;
 pub use blockfed_tensor as tensor;
 pub use blockfed_vm as vm;

@@ -133,9 +133,7 @@ proptest! {
         prop_assert_eq!(&full.artifacts, &af.artifacts);
         prop_assert_eq!(full.finished_at, af.finished_at);
         prop_assert_eq!(full.blocks_sealed, af.blocks_sealed);
-        prop_assert_eq!(full.dropped_msgs, af.dropped_msgs);
-        prop_assert_eq!(full.fetch_retries, af.fetch_retries);
-        prop_assert_eq!(full.recovery_ms, af.recovery_ms);
+        prop_assert_eq!(&full.metrics, &af.metrics);
         // The traffic split is the only divergence.
         prop_assert_eq!(full.fetch_bytes, 0);
     }
@@ -165,6 +163,6 @@ proptest! {
         let single = run_at(1);
         let eight = run_at(8);
         prop_assert_eq!(&single, &eight, "thread count leaked into a lossy run");
-        prop_assert!(!single.stalled, "chaos cell must settle: {:?}", single);
+        prop_assert!(!single.stalled(), "chaos cell must settle: {:?}", single);
     }
 }
