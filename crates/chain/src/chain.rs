@@ -2,17 +2,18 @@
 //! choice, and candidate-block building for miners.
 
 use std::collections::HashMap;
-use std::sync::{Arc, OnceLock, RwLock};
+use std::sync::Arc;
 
 use blockfed_crypto::H256;
 
 use crate::block::{Block, Header};
-use crate::executor::{execute_block_txs, BlockEnv};
+use crate::executor::{execute_block_txs_with, BlockEnv};
 use crate::genesis::GenesisSpec;
 use crate::pow;
 use crate::receipt::Receipt;
 use crate::runtime::ContractRuntime;
-use crate::state::State;
+use crate::state::{State, StateDelta};
+use crate::store::ChainStore;
 use crate::tx::Transaction;
 
 /// How strictly imported seals are checked.
@@ -30,6 +31,12 @@ pub enum SealPolicy {
 pub enum ImportError {
     /// The parent block is unknown (orphan).
     UnknownParent(H256),
+    /// The parent block is known but its state was pruned below the
+    /// finalized ancestor, so the import cannot re-execute. Only possible on
+    /// a chain with [`Blockchain::with_prune_depth`] (or after an explicit
+    /// [`Blockchain::prune_states`]) and only for blocks forking off below
+    /// the finalized height.
+    StatePruned(H256),
     /// Height is not parent height + 1.
     BadNumber {
         /// Expected height.
@@ -63,6 +70,7 @@ impl std::fmt::Display for ImportError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ImportError::UnknownParent(h) => write!(f, "unknown parent {h}"),
+            ImportError::StatePruned(h) => write!(f, "parent state pruned: {h}"),
             ImportError::BadNumber { expected, got } => {
                 write!(f, "bad height: expected {expected}, got {got}")
             }
@@ -98,46 +106,52 @@ pub enum ImportOutcome {
     AlreadyKnown,
 }
 
-/// A validated block's execution result, shared process-wide.
-type ExecutedBlock = (Arc<State>, Arc<Vec<Receipt>>);
-
-/// Process-wide memo of successfully validated block executions, keyed by
-/// `(block hash, runtime execution fingerprint)`.
-///
-/// In a simulated network every peer re-executes the identical block on the
-/// identical parent state — O(peers) copies of the same deterministic work,
-/// dominated by state cloning and whole-state root hashing. The block hash
-/// commits to the parent (hence, inductively, the parent state), the
-/// transaction root, and the resulting `state_root`, so one chain's
-/// validated result is every chain's result *under the same execution
-/// semantics*: a colliding hash with a different outcome would have to
-/// declare a different `state_root`, which changes the hash. The runtime's
-/// [`ContractRuntime::execution_fingerprint`] closes the remaining hole —
-/// two chains driven by semantically different runtimes (e.g. `NullRuntime`
-/// vs a native-dispatching VM) never share entries, so an import that
-/// *should* fail `BadStateRoot` under its own runtime still does. Only
-/// *successful* imports are memoized — tampered blocks hash differently and
-/// always re-execute (and fail) from scratch. Entries live for the process:
-/// a deliberate trade (see ROADMAP) — within one run the `Arc`-shared
-/// states use ~peers× *less* memory than the per-chain copies they replace.
-fn executed_memo() -> &'static RwLock<HashMap<(H256, u64), ExecutedBlock>> {
-    static MEMO: OnceLock<RwLock<HashMap<(H256, u64), ExecutedBlock>>> = OnceLock::new();
-    MEMO.get_or_init(|| RwLock::new(HashMap::new()))
+/// How a block's post-state is stored: a full snapshot, or a structural
+/// diff against the parent's state (materialized on demand by
+/// [`Blockchain::state_at`]).
+#[derive(Debug, Clone)]
+enum StateEntry {
+    /// A full, materialized state (genesis, every
+    /// `snapshot_interval`-aligned height, and re-anchor points after
+    /// pruning or forking).
+    Snapshot(Arc<State>),
+    /// The diff this block applies on top of its parent's state.
+    Delta {
+        parent: H256,
+        delta: Arc<StateDelta>,
+    },
 }
 
-/// An in-memory blockchain with full per-block state tracking. Per-block
-/// states and receipts are `Arc`-shared across every chain that imported the
-/// block, so N simulated peers hold one copy of each executed state instead
-/// of N.
+/// Default height interval between full state snapshots; blocks in between
+/// carry only their diff against the parent.
+const DEFAULT_SNAPSHOT_INTERVAL: u64 = 32;
+
+/// An in-memory blockchain backed by a run-scoped [`ChainStore`].
+///
+/// Per-block states are kept as structural diffs with periodic full
+/// snapshots (see [`Blockchain::with_snapshot_interval`]), so the chain
+/// holds one snapshot plus O(changed accounts) per block instead of a full
+/// state clone per block. Validated executions and signature verdicts are
+/// memoized in the store, so N simulated peers sharing one store (see
+/// [`Blockchain::with_store`]) execute each block once instead of N times —
+/// and the memos die with the store handle instead of living for the
+/// process. [`Blockchain::fork_at`] branches a new chain off any stored
+/// block in O(ancestors) pointer copies, and [`Blockchain::prune_states`]
+/// drops state entries below a finalized ancestor.
+#[derive(Clone)]
 pub struct Blockchain {
-    blocks: HashMap<H256, Block>,
-    states: HashMap<H256, Arc<State>>,
+    blocks: HashMap<H256, Arc<Block>>,
+    states: HashMap<H256, StateEntry>,
     receipts: HashMap<H256, Arc<Vec<Receipt>>>,
     total_difficulty: HashMap<H256, u128>,
     head: H256,
+    head_state: Arc<State>,
     genesis: H256,
     seal_policy: SealPolicy,
     retarget_rule: crate::retarget::RetargetRule,
+    store: ChainStore,
+    snapshot_interval: u64,
+    prune_depth: Option<u64>,
 }
 
 impl Blockchain {
@@ -146,15 +160,28 @@ impl Blockchain {
         Self::with_seal_policy(spec, SealPolicy::Full)
     }
 
-    /// Creates a chain with an explicit seal policy.
+    /// Creates a chain with an explicit seal policy and a fresh, private
+    /// [`ChainStore`].
     pub fn with_seal_policy(spec: &GenesisSpec, seal_policy: SealPolicy) -> Self {
+        Self::with_store(spec, seal_policy, ChainStore::new())
+    }
+
+    /// Creates a chain backed by an explicit store. Chains constructed from
+    /// the same handle share validated executions and signature verdicts —
+    /// this is how one run's peers collapse O(peers) re-execution to one,
+    /// without anything leaking past the handle's lifetime.
+    pub fn with_store(spec: &GenesisSpec, seal_policy: SealPolicy, store: ChainStore) -> Self {
         let (genesis_block, genesis_state) = spec.build();
         let genesis_hash = genesis_block.hash();
+        let genesis_state = Arc::new(genesis_state);
         let mut blocks = HashMap::new();
         let mut states = HashMap::new();
         let mut total_difficulty = HashMap::new();
-        blocks.insert(genesis_hash, genesis_block);
-        states.insert(genesis_hash, Arc::new(genesis_state));
+        blocks.insert(genesis_hash, Arc::new(genesis_block));
+        states.insert(
+            genesis_hash,
+            StateEntry::Snapshot(Arc::clone(&genesis_state)),
+        );
         total_difficulty.insert(genesis_hash, spec.difficulty);
         Blockchain {
             blocks,
@@ -162,10 +189,38 @@ impl Blockchain {
             receipts: HashMap::new(),
             total_difficulty,
             head: genesis_hash,
+            head_state: genesis_state,
             genesis: genesis_hash,
             seal_policy,
             retarget_rule: crate::retarget::RetargetRule::Homestead,
+            store,
+            snapshot_interval: DEFAULT_SNAPSHOT_INTERVAL,
+            prune_depth: None,
         }
+    }
+
+    /// The store backing this chain.
+    pub fn store(&self) -> &ChainStore {
+        &self.store
+    }
+
+    /// Sets the height interval between full state snapshots (builder
+    /// style). Smaller intervals materialize historical states faster;
+    /// larger ones hold less memory. Must be ≥ 1.
+    #[must_use]
+    pub fn with_snapshot_interval(mut self, interval: u64) -> Self {
+        self.snapshot_interval = interval.max(1);
+        self
+    }
+
+    /// Enables automatic state pruning (builder style): after every head
+    /// advance, state entries that cannot be materialized from the canonical
+    /// ancestor `depth` blocks below the head are dropped (see
+    /// [`Blockchain::prune_states`]). Blocks and receipts are never pruned.
+    #[must_use]
+    pub fn with_prune_depth(mut self, depth: u64) -> Self {
+        self.prune_depth = Some(depth);
+        self
     }
 
     /// The difficulty-retarget rule used by [`Blockchain::build_candidate`]
@@ -214,7 +269,7 @@ impl Blockchain {
 
     /// The canonical head block.
     pub fn head_block(&self) -> &Block {
-        &self.blocks[&self.head]
+        self.blocks[&self.head].as_ref()
     }
 
     /// The genesis hash.
@@ -229,17 +284,51 @@ impl Blockchain {
 
     /// The state at the canonical head.
     pub fn state(&self) -> &State {
-        self.states[&self.head].as_ref()
+        self.head_state.as_ref()
     }
 
-    /// The state after a given block, if known.
-    pub fn state_at(&self, hash: &H256) -> Option<&State> {
-        self.states.get(hash).map(Arc::as_ref)
+    /// The state after a given block: the cached head state, a stored
+    /// snapshot, or a state materialized by replaying the block's delta
+    /// chain forward from the nearest snapshot. `None` if the block is
+    /// unknown or its state was pruned.
+    pub fn state_at(&self, hash: &H256) -> Option<Arc<State>> {
+        if *hash == self.head {
+            return Some(Arc::clone(&self.head_state));
+        }
+        // Walk deltas back to a snapshot, then replay them forward.
+        let mut path: Vec<Arc<StateDelta>> = Vec::new();
+        let mut cursor = *hash;
+        let base = loop {
+            match self.states.get(&cursor)? {
+                StateEntry::Snapshot(s) => break Arc::clone(s),
+                StateEntry::Delta { parent, delta } => {
+                    path.push(Arc::clone(delta));
+                    if *parent == self.head {
+                        break Arc::clone(&self.head_state);
+                    }
+                    cursor = *parent;
+                }
+            }
+        };
+        if path.is_empty() {
+            return Some(base);
+        }
+        let mut state = (*base).clone();
+        for delta in path.iter().rev() {
+            state.apply(delta);
+        }
+        Some(Arc::new(state))
     }
 
     /// A block by hash.
     pub fn block(&self, hash: &H256) -> Option<&Block> {
-        self.blocks.get(hash)
+        self.blocks.get(hash).map(|b| b.as_ref())
+    }
+
+    /// A block by hash as a shared handle (no copy), for re-import into a
+    /// forked chain or another peer.
+    pub fn block_arc(&self, hash: &H256) -> Option<Arc<Block>> {
+        self.blocks.get(hash).cloned()
     }
 
     /// Whether a block is known.
@@ -280,7 +369,7 @@ impl Blockchain {
     /// The canonical block at a height, if within range.
     pub fn block_by_number(&self, number: u64) -> Option<&Block> {
         let chain = self.canonical_chain();
-        chain.get(number as usize).map(|h| &self.blocks[h])
+        chain.get(number as usize).map(|h| self.blocks[h].as_ref())
     }
 
     /// Validates and imports a block, executing its transactions.
@@ -292,6 +381,22 @@ impl Blockchain {
     pub fn import(
         &mut self,
         block: Block,
+        runtime: &mut dyn ContractRuntime,
+    ) -> Result<ImportOutcome, ImportError> {
+        self.import_arc(Arc::new(block), runtime)
+    }
+
+    /// [`Blockchain::import`] of a shared block handle — peers re-importing
+    /// a gossiped block pass the same `Arc` around instead of cloning the
+    /// block per chain.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ImportError`] describing the first validation failure; the
+    /// chain is unchanged on error.
+    pub fn import_arc(
+        &mut self,
+        block: Arc<Block>,
         runtime: &mut dyn ContractRuntime,
     ) -> Result<ImportOutcome, ImportError> {
         let hash = block.hash();
@@ -318,26 +423,32 @@ impl Blockchain {
             return Err(ImportError::BadTxRoot);
         }
 
-        // Re-execute on the parent state — unless another chain in this
-        // process already validated this exact block (see [`executed_memo`]):
-        // a hit skips both the execution and the whole-state root hash.
+        // Re-execute on the parent state — unless a chain sharing this
+        // chain's store already validated this exact block: a hit skips the
+        // execution, the whole-state root hash, and the parent-state diff.
+        // The memo key commits to the runtime's execution fingerprint, so
+        // semantically different runtimes never share results (see
+        // `store.rs` for the full soundness argument).
         let memo_key = (hash, runtime.execution_fingerprint());
-        let cached = executed_memo()
-            .read()
-            .unwrap_or_else(std::sync::PoisonError::into_inner)
-            .get(&memo_key)
-            .cloned();
-        let (exec_state, exec_receipts) = match cached {
+        let (exec_state, exec_receipts, delta) = match self.store.lookup_exec(&memo_key) {
             Some(entry) => entry,
             None => {
-                let parent_state = self.states[&block.header.parent].as_ref();
+                let parent_state = self
+                    .state_at(&block.header.parent)
+                    .ok_or(ImportError::StatePruned(block.header.parent))?;
                 let env = BlockEnv {
                     number: block.header.number,
                     timestamp_ns: block.header.timestamp_ns,
                     miner: block.header.miner,
                     gas_limit: block.header.gas_limit,
                 };
-                let result = execute_block_txs(parent_state, &block.transactions, &env, runtime);
+                let result = execute_block_txs_with(
+                    &parent_state,
+                    &block.transactions,
+                    &env,
+                    runtime,
+                    &self.store.sig_cache(),
+                );
                 let computed_root = result.state.root();
                 if computed_root != block.header.state_root {
                     return Err(ImportError::BadStateRoot {
@@ -351,11 +462,9 @@ impl Blockchain {
                         computed: result.gas_used,
                     });
                 }
-                let entry = (Arc::new(result.state), Arc::new(result.receipts));
-                executed_memo()
-                    .write()
-                    .unwrap_or_else(std::sync::PoisonError::into_inner)
-                    .insert(memo_key, entry.clone());
+                let delta = Arc::new(parent_state.diff(&result.state));
+                let entry = (Arc::new(result.state), Arc::new(result.receipts), delta);
+                self.store.insert_exec(memo_key, entry.clone());
                 entry
             }
         };
@@ -363,7 +472,20 @@ impl Blockchain {
         let parent_td = self.total_difficulty[&block.header.parent];
         let td = parent_td.saturating_add(block.header.difficulty);
         self.total_difficulty.insert(hash, td);
-        self.states.insert(hash, exec_state);
+        // Snapshot on the interval (and whenever the parent's own state
+        // entry is gone, e.g. pruned, so the new entry stays materializable);
+        // otherwise store only the diff.
+        let entry = if block.header.number.is_multiple_of(self.snapshot_interval)
+            || !self.states.contains_key(&block.header.parent)
+        {
+            StateEntry::Snapshot(Arc::clone(&exec_state))
+        } else {
+            StateEntry::Delta {
+                parent: block.header.parent,
+                delta,
+            }
+        };
+        self.states.insert(hash, entry);
         self.receipts.insert(hash, exec_receipts);
         let parent_hash = block.header.parent;
         self.blocks.insert(hash, block);
@@ -377,6 +499,10 @@ impl Blockchain {
         if td > head_td || (td == head_td && hash < self.head) {
             let old_head = self.head;
             self.head = hash;
+            self.head_state = exec_state;
+            if let Some(depth) = self.prune_depth {
+                self.prune_states(depth);
+            }
             if parent_hash == old_head {
                 Ok(ImportOutcome::Extended)
             } else {
@@ -385,6 +511,103 @@ impl Blockchain {
         } else {
             Ok(ImportOutcome::SideChain)
         }
+    }
+
+    /// Branches a new chain whose head is `hash`: the fork shares this
+    /// chain's store (so replaying blocks hits the execution memo), its
+    /// block/state/receipt entries for every ancestor of `hash` (`Arc`
+    /// pointer copies — no state is cloned), and nothing else. Use it to
+    /// replay an alternative suffix — e.g. re-run the tail of a finished
+    /// run under a different aggregation strategy — without re-executing
+    /// the shared prefix.
+    ///
+    /// Returns `None` if `hash` is unknown or its state was pruned.
+    pub fn fork_at(&self, hash: &H256) -> Option<Blockchain> {
+        let head_state = self.state_at(hash)?;
+        let mut blocks = HashMap::new();
+        let mut states = HashMap::new();
+        let mut receipts = HashMap::new();
+        let mut total_difficulty = HashMap::new();
+        let mut cursor = *hash;
+        loop {
+            let block = self.blocks.get(&cursor)?;
+            blocks.insert(cursor, Arc::clone(block));
+            if let Some(entry) = self.states.get(&cursor) {
+                states.insert(cursor, entry.clone());
+            }
+            if let Some(r) = self.receipts.get(&cursor) {
+                receipts.insert(cursor, Arc::clone(r));
+            }
+            total_difficulty.insert(cursor, *self.total_difficulty.get(&cursor)?);
+            if cursor == self.genesis {
+                break;
+            }
+            cursor = block.header.parent;
+        }
+        // Anchor the fork head with a materialized snapshot so the fork can
+        // always execute its first block, whatever was pruned upstream.
+        states.insert(*hash, StateEntry::Snapshot(Arc::clone(&head_state)));
+        Some(Blockchain {
+            blocks,
+            states,
+            receipts,
+            total_difficulty,
+            head: *hash,
+            head_state,
+            genesis: self.genesis,
+            seal_policy: self.seal_policy,
+            retarget_rule: self.retarget_rule,
+            store: self.store.clone(),
+            snapshot_interval: self.snapshot_interval,
+            prune_depth: self.prune_depth,
+        })
+    }
+
+    /// Drops state entries that cannot be materialized from the canonical
+    /// ancestor `depth` blocks below the head (the *finalized* block): the
+    /// finalized state is snapshotted, then every state entry either at a
+    /// height below the finalized one or on a side branch rooted below it is
+    /// removed. Blocks, receipts, and total difficulties are kept — history
+    /// audits still scan the full canonical chain; only the ability to
+    /// *execute* from pruned heights is given up (imports forking off below
+    /// the finalized block fail with [`ImportError::StatePruned`]).
+    ///
+    /// Returns the number of state entries dropped.
+    pub fn prune_states(&mut self, depth: u64) -> usize {
+        let fin_number = self.height().saturating_sub(depth);
+        let canon = self.canonical_chain();
+        let fin_hash = canon[fin_number as usize];
+        if let Some(fin_state) = self.state_at(&fin_hash) {
+            self.states
+                .insert(fin_hash, StateEntry::Snapshot(fin_state));
+        }
+        let mut keep: HashMap<H256, bool> = HashMap::new();
+        let hashes: Vec<H256> = self.states.keys().copied().collect();
+        for h in hashes {
+            self.decide_keep(h, fin_number, &mut keep);
+        }
+        let before = self.states.len();
+        self.states
+            .retain(|h, _| keep.get(h).copied().unwrap_or(false));
+        before - self.states.len()
+    }
+
+    /// Whether the state entry at `hash` survives pruning at `fin_number`:
+    /// it must sit at or above the finalized height and its delta chain must
+    /// bottom out in a snapshot that also survives.
+    fn decide_keep(&self, hash: H256, fin_number: u64, keep: &mut HashMap<H256, bool>) -> bool {
+        if let Some(&k) = keep.get(&hash) {
+            return k;
+        }
+        let verdict = match (self.blocks.get(&hash), self.states.get(&hash)) {
+            (Some(block), Some(entry)) if block.header.number >= fin_number => match entry {
+                StateEntry::Snapshot(_) => true,
+                StateEntry::Delta { parent, .. } => self.decide_keep(*parent, fin_number, keep),
+            },
+            _ => false,
+        };
+        keep.insert(hash, verdict);
+        verdict
     }
 
     /// Builds an unsealed candidate block on the current head: executes `txs`,
@@ -414,7 +637,13 @@ impl Blockchain {
             miner,
             gas_limit: parent.header.gas_limit,
         };
-        let result = execute_block_txs(self.states[&self.head].as_ref(), &txs, &env, runtime);
+        let result = execute_block_txs_with(
+            self.head_state.as_ref(),
+            &txs,
+            &env,
+            runtime,
+            &self.store.sig_cache(),
+        );
         let header = Header {
             parent: self.head,
             number: parent.header.number + 1,
@@ -585,8 +814,10 @@ mod tests {
             .with_gas_limit(1_000_000)
             .signed(&k);
 
-        // Build + import under CreditRuntime: validated, hence memoized.
-        let mut crediting = Blockchain::with_seal_policy(&spec, SealPolicy::Simulated);
+        // Build + import under CreditRuntime: validated, hence memoized in
+        // the shared store.
+        let store = ChainStore::new();
+        let mut crediting = Blockchain::with_store(&spec, SealPolicy::Simulated, store.clone());
         let block = crediting.build_candidate(k.address(), vec![tx], 1_000, &mut CreditRuntime);
         crediting
             .import(block.clone(), &mut CreditRuntime)
@@ -594,13 +825,51 @@ mod tests {
         assert_eq!(crediting.state().balance(&H160::from_bytes([0xCC; 20])), 7);
 
         // The identical block under NullRuntime re-executes (no memo hit for
-        // a different fingerprint) and must fail its own state-root check —
-        // not silently adopt the crediting runtime's state.
-        let mut nulled = Blockchain::with_seal_policy(&spec, SealPolicy::Simulated);
+        // a different fingerprint, even on the same store) and must fail its
+        // own state-root check — not silently adopt the crediting runtime's
+        // state.
+        let mut nulled = Blockchain::with_store(&spec, SealPolicy::Simulated, store.clone());
         assert!(matches!(
             nulled.import(block, &mut NullRuntime),
             Err(ImportError::BadStateRoot { .. })
         ));
+    }
+
+    #[test]
+    fn chains_sharing_a_store_execute_each_block_once() {
+        let k = key(22);
+        let store = ChainStore::new();
+        let spec = GenesisSpec::with_accounts(&[k.address()], 1_000_000_000).with_difficulty(16);
+        let mut a = Blockchain::with_store(&spec, SealPolicy::Simulated, store.clone());
+        let mut b = Blockchain::with_store(&spec, SealPolicy::Simulated, store.clone());
+        let tx = Transaction::transfer(k.address(), k.address(), 1, 0).signed(&k);
+        let block = Arc::new(a.build_candidate(k.address(), vec![tx], 1_000, &mut NullRuntime));
+        a.import_arc(Arc::clone(&block), &mut NullRuntime).unwrap();
+        let base = store.counters();
+        b.import_arc(block, &mut NullRuntime).unwrap();
+        let d = store.counters().since(&base);
+        assert_eq!(d.exec_hits, 1, "peer B must reuse peer A's execution");
+        assert_eq!(d.exec_misses, 0);
+        assert_eq!(a.state().root(), b.state().root());
+    }
+
+    #[test]
+    fn fresh_stores_are_isolated() {
+        // The regression the store exists to allow: chains with private
+        // stores share nothing, so one run can never observe another's
+        // cached executions (the old process-wide memo made that possible).
+        let k = key(23);
+        let spec = GenesisSpec::with_accounts(&[k.address()], 1_000_000_000).with_difficulty(16);
+        let mut a = Blockchain::with_seal_policy(&spec, SealPolicy::Simulated);
+        let block = Arc::new(a.build_candidate(k.address(), vec![], 1_000, &mut NullRuntime));
+        a.import_arc(Arc::clone(&block), &mut NullRuntime).unwrap();
+        assert_eq!(a.store().exec_entries(), 1);
+
+        let mut b = Blockchain::with_seal_policy(&spec, SealPolicy::Simulated);
+        b.import_arc(block, &mut NullRuntime).unwrap();
+        let c = b.store().counters();
+        assert_eq!(c.exec_hits, 0, "a private store cannot see other runs");
+        assert_eq!(c.exec_misses, 1);
     }
 
     #[test]
@@ -677,8 +946,10 @@ mod tests {
         );
         assert_eq!(chain.head(), a_hash);
 
-        // Extend B: the B-branch becomes heavier and triggers a reorg.
-        let parent_b = chain.block(&b_hash).unwrap().clone();
+        // Extend B: the B-branch becomes heavier and triggers a reorg. The
+        // parent is only read to fill in the header, so borrow it in place
+        // instead of cloning the whole block.
+        let parent_b = chain.block(&b_hash).unwrap();
         let mut block_c = Block {
             header: Header {
                 parent: b_hash,
@@ -805,6 +1076,162 @@ mod tests {
         assert_eq!(
             candidate.header.difficulty,
             pow::next_difficulty(parent.difficulty, ts - parent.timestamp_ns)
+        );
+    }
+
+    /// Builds a chain of `n` simulated blocks, each carrying one transfer,
+    /// so every block's state differs from its parent's.
+    fn transfer_chain(k: &KeyPair, n: u64, snapshot_interval: u64) -> Blockchain {
+        let spec = GenesisSpec::with_accounts(&[k.address()], 1_000_000_000).with_difficulty(16);
+        let mut chain = Blockchain::with_seal_policy(&spec, SealPolicy::Simulated)
+            .with_snapshot_interval(snapshot_interval);
+        for i in 0..n {
+            let tx = Transaction::transfer(k.address(), key(99).address(), 1, i).signed(k);
+            let b = chain.build_candidate(k.address(), vec![tx], (i + 1) * 1_000, &mut NullRuntime);
+            chain.import(b, &mut NullRuntime).unwrap();
+        }
+        chain
+    }
+
+    #[test]
+    fn state_at_materializes_through_delta_chains() {
+        let k = key(40);
+        // Snapshot every 3 blocks: heights 1, 2, 4, 5, 7 are delta entries.
+        let chain = transfer_chain(&k, 7, 3);
+        for hash in chain.canonical_chain() {
+            let declared = chain.block(&hash).unwrap().header.state_root;
+            let materialized = chain.state_at(&hash).unwrap().root();
+            assert_eq!(materialized, declared, "state at {hash} diverges");
+        }
+    }
+
+    #[test]
+    fn fork_at_branches_share_prefix_and_diverge() {
+        let k = key(41);
+        let chain = transfer_chain(&k, 4, 32);
+        let canon = chain.canonical_chain();
+        let fork_point = canon[2];
+
+        let mut fork = chain.fork_at(&fork_point).expect("known block");
+        assert_eq!(fork.head(), fork_point);
+        assert_eq!(fork.height(), 2);
+        assert_eq!(
+            fork.state().root(),
+            chain.state_at(&fork_point).unwrap().root()
+        );
+        // Blocks above the fork point are not in the fork.
+        assert!(!fork.contains(&canon[3]));
+
+        // Replaying the original suffix converges the fork on the same head
+        // without re-executing (shared store serves the memo hits).
+        let base = chain.store().counters();
+        for hash in &canon[3..] {
+            let block = chain.block_arc(hash).unwrap();
+            fork.import_arc(block, &mut NullRuntime).unwrap();
+        }
+        assert_eq!(fork.head(), chain.head());
+        assert_eq!(fork.state().root(), chain.state().root());
+        let d = chain.store().counters().since(&base);
+        assert_eq!(d.exec_misses, 0, "replay must hit the shared memo");
+        assert_eq!(d.exec_hits, 2);
+
+        // Diverging instead: a different block at height 3 reorgs the fork
+        // independently of the original chain.
+        let mut fork2 = chain.fork_at(&fork_point).unwrap();
+        let tx = Transaction::transfer(k.address(), key(98).address(), 5, 2).signed(&k);
+        let alt = fork2.build_candidate(k.address(), vec![tx], 999_000, &mut NullRuntime);
+        fork2.import(alt, &mut NullRuntime).unwrap();
+        assert_eq!(fork2.height(), 3);
+        assert_ne!(fork2.head(), canon[3]);
+        assert_eq!(chain.head(), *canon.last().unwrap(), "original untouched");
+        assert!(!chain.contains(&fork2.head()), "fork block stays private");
+    }
+
+    #[test]
+    fn prune_drops_old_states_but_keeps_history() {
+        let k = key(42);
+        let mut chain = transfer_chain(&k, 6, 2);
+        let canon = chain.canonical_chain();
+        let dropped = chain.prune_states(2);
+        assert!(dropped > 0);
+        // Below the finalized height (6 - 2 = 4): blocks and receipts stay,
+        // states are gone (except where nothing existed to prune).
+        for hash in &canon[..4] {
+            assert!(chain.contains(hash), "blocks are never pruned");
+            assert!(chain.state_at(hash).is_none(), "state below fin must go");
+        }
+        // At and above the finalized height everything still materializes.
+        for hash in &canon[4..] {
+            assert_eq!(
+                chain.state_at(hash).unwrap().root(),
+                chain.block(hash).unwrap().header.state_root
+            );
+        }
+        // The head still extends normally after pruning.
+        let tx = Transaction::transfer(k.address(), key(99).address(), 1, 6).signed(&k);
+        let b = chain.build_candidate(k.address(), vec![tx], 100_000, &mut NullRuntime);
+        chain.import(b, &mut NullRuntime).unwrap();
+        assert_eq!(chain.height(), 7);
+
+        // A block forking off below the finalized height cannot execute.
+        let genesis = chain.genesis();
+        let mut orphaned_fork = Block {
+            header: Header {
+                parent: genesis,
+                number: 1,
+                timestamp_ns: 500,
+                miner: k.address(),
+                difficulty: 16,
+                nonce: 0,
+                tx_root: Block::compute_tx_root(&[]),
+                state_root: H256::zero(),
+                gas_used: 0,
+                gas_limit: chain.head_block().header.gas_limit,
+            },
+            transactions: vec![],
+        };
+        orphaned_fork.header.nonce = 1;
+        assert_eq!(
+            chain.import(orphaned_fork, &mut NullRuntime),
+            Err(ImportError::StatePruned(genesis))
+        );
+    }
+
+    #[test]
+    fn auto_prune_bounds_state_entries() {
+        let k = key(43);
+        let spec = GenesisSpec::with_accounts(&[k.address()], 1_000_000_000).with_difficulty(16);
+        let mut chain = Blockchain::with_seal_policy(&spec, SealPolicy::Simulated)
+            .with_snapshot_interval(2)
+            .with_prune_depth(2);
+        for i in 0..10u64 {
+            let tx = Transaction::transfer(k.address(), key(99).address(), 1, i).signed(&k);
+            let b = chain.build_candidate(k.address(), vec![tx], (i + 1) * 1_000, &mut NullRuntime);
+            chain.import(b, &mut NullRuntime).unwrap();
+            // depth 2 keeps at most fin..head (3 heights) worth of states.
+            assert!(
+                chain.states.len() <= 3,
+                "states grew: {}",
+                chain.states.len()
+            );
+        }
+        assert_eq!(chain.height(), 10);
+        assert_eq!(chain.block_count(), 11, "blocks all retained");
+    }
+
+    #[test]
+    fn cloned_chains_are_independent_views_over_shared_storage() {
+        let k = key(44);
+        let mut chain = transfer_chain(&k, 3, 32);
+        let snapshot = chain.clone();
+        let tx = Transaction::transfer(k.address(), key(99).address(), 1, 3).signed(&k);
+        let b = chain.build_candidate(k.address(), vec![tx], 100_000, &mut NullRuntime);
+        chain.import(b, &mut NullRuntime).unwrap();
+        assert_eq!(chain.height(), 4);
+        assert_eq!(snapshot.height(), 3, "clone keeps its own head");
+        assert_eq!(
+            snapshot.state().root(),
+            chain.state_at(&snapshot.head()).unwrap().root()
         );
     }
 }

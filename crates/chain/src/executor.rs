@@ -6,6 +6,7 @@ use crate::gas::intrinsic_gas;
 use crate::receipt::{ExecStatus, Receipt};
 use crate::runtime::{CallContext, ContractRuntime};
 use crate::state::State;
+use crate::store::SigCache;
 use crate::tx::{contract_address, Transaction};
 
 /// Block-level environment for execution.
@@ -43,6 +44,20 @@ pub fn execute_tx(
     env: &BlockEnv,
     runtime: &mut dyn ContractRuntime,
 ) -> Receipt {
+    execute_tx_with(state, tx, env, runtime, &SigCache::disabled())
+}
+
+/// [`execute_tx`] with a run-scoped signature-verdict cache, so validators
+/// that already verified a gossiped transaction (in a mempool, or on another
+/// peer's chain sharing the same [`crate::ChainStore`]) skip the Schnorr
+/// check.
+pub fn execute_tx_with(
+    state: &mut State,
+    tx: &Transaction,
+    env: &BlockEnv,
+    runtime: &mut dyn ContractRuntime,
+    sig: &SigCache,
+) -> Receipt {
     let tx_hash = tx.hash();
     let invalid = |_reason: &str| Receipt {
         tx_hash,
@@ -52,7 +67,7 @@ pub fn execute_tx(
         logs: Vec::new(),
     };
 
-    if tx.verify_signature().is_err() {
+    if tx.verify_signature_with(sig).is_err() {
         return invalid("signature");
     }
     let intrinsic = intrinsic_gas(tx);
@@ -151,6 +166,18 @@ pub fn execute_block_txs(
     env: &BlockEnv,
     runtime: &mut dyn ContractRuntime,
 ) -> ExecutionResult {
+    execute_block_txs_with(parent_state, txs, env, runtime, &SigCache::disabled())
+}
+
+/// [`execute_block_txs`] with a run-scoped signature-verdict cache (see
+/// [`execute_tx_with`]).
+pub fn execute_block_txs_with(
+    parent_state: &State,
+    txs: &[Transaction],
+    env: &BlockEnv,
+    runtime: &mut dyn ContractRuntime,
+    sig: &SigCache,
+) -> ExecutionResult {
     let mut state = parent_state.clone();
     let mut receipts = Vec::with_capacity(txs.len());
     let mut gas_used = 0u64;
@@ -165,7 +192,7 @@ pub fn execute_block_txs(
             });
             continue;
         }
-        let receipt = execute_tx(&mut state, tx, env, runtime);
+        let receipt = execute_tx_with(&mut state, tx, env, runtime, sig);
         gas_used += receipt.gas_used;
         receipts.push(receipt);
     }

@@ -43,15 +43,20 @@ pub mod receipt;
 pub mod retarget;
 pub mod runtime;
 pub mod state;
+pub mod store;
 pub mod tx;
 
 pub use block::{Block, Header};
 pub use chain::{Blockchain, ImportError, ImportOutcome, SealPolicy};
-pub use executor::{execute_block_txs, execute_tx, BlockEnv, ExecutionResult};
+pub use executor::{
+    execute_block_txs, execute_block_txs_with, execute_tx, execute_tx_with, BlockEnv,
+    ExecutionResult,
+};
 pub use genesis::GenesisSpec;
 pub use mempool::{Mempool, MempoolError};
 pub use receipt::{ExecStatus, LogEntry, Receipt};
 pub use retarget::{simulate_cadence, DifficultyController, RetargetRule};
 pub use runtime::{CallContext, ContractRuntime, ExecOutcome, NullRuntime};
-pub use state::{Account, State, StateError};
+pub use state::{Account, State, StateDelta, StateError};
+pub use store::{ChainStore, SigCache, StoreCounters, StoreLimits};
 pub use tx::{contract_address, Transaction, TxError};

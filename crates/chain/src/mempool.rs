@@ -7,6 +7,7 @@ use blockfed_crypto::{H160, H256};
 
 use crate::gas::intrinsic_gas;
 use crate::state::State;
+use crate::store::SigCache;
 use crate::tx::Transaction;
 
 /// Error admitting a transaction to the pool.
@@ -65,12 +66,25 @@ impl std::error::Error for MempoolError {}
 pub struct Mempool {
     by_sender: BTreeMap<H160, BTreeMap<u64, Transaction>>,
     known: HashSet<H256>,
+    sig_cache: SigCache,
 }
 
 impl Mempool {
-    /// An empty pool.
+    /// An empty pool with signature caching disabled (every admission
+    /// verifies from scratch).
     pub fn new() -> Self {
         Mempool::default()
+    }
+
+    /// An empty pool whose admissions verify through a run-scoped
+    /// signature-verdict cache (see [`crate::ChainStore::sig_cache`]), so a
+    /// transaction gossiped to N peers costs one Schnorr verification
+    /// instead of N.
+    pub fn with_sig_cache(sig_cache: SigCache) -> Self {
+        Mempool {
+            sig_cache,
+            ..Mempool::default()
+        }
     }
 
     /// Number of pooled transactions.
@@ -97,7 +111,7 @@ impl Mempool {
     ///
     /// Returns [`MempoolError`] explaining the rejection.
     pub fn insert(&mut self, tx: Transaction, state: &State) -> Result<(), MempoolError> {
-        if tx.verify_signature().is_err() {
+        if tx.verify_signature_with(&self.sig_cache).is_err() {
             return Err(MempoolError::BadSignature);
         }
         if intrinsic_gas(&tx) > tx.gas_limit {

@@ -70,9 +70,11 @@ pub trait ContractRuntime {
     fn execute(&mut self, ctx: &CallContext, code: &[u8], state: &mut State) -> ExecOutcome;
 
     /// A stable fingerprint of this runtime's *execution semantics*, used to
-    /// key the chain's process-wide block-execution memo: a validated
-    /// block's result is reused only between runtimes reporting the same
-    /// fingerprint. Two runtimes with equal fingerprints MUST execute every
+    /// key the block-execution memo in the run-scoped
+    /// [`crate::ChainStore`]: a validated block's result is reused only
+    /// between runtimes reporting the same fingerprint (and only by chains
+    /// sharing the store handle). Two runtimes with equal fingerprints MUST
+    /// execute every
     /// `(context, code, state)` identically — so a runtime whose behaviour
     /// depends on instance configuration (e.g. which native contracts are
     /// registered) must fold that configuration in.

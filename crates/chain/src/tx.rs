@@ -1,26 +1,11 @@
 //! Transactions: signed messages that move value, deploy contracts, call
 //! contracts, and — in this system — carry federated model updates.
 
-use std::collections::HashSet;
-use std::sync::{OnceLock, RwLock};
-
 use blockfed_crypto::sha256::Sha256;
 use blockfed_crypto::{KeyPair, PublicKey, Signature, SignatureError, H160, H256};
 use serde::{Deserialize, Serialize};
 
-/// Process-wide memo of transaction hashes whose signatures verified.
-///
-/// Every peer in a simulated network validates the same gossiped
-/// transaction — once in its mempool, again when executing each block — so
-/// Schnorr verification is re-run O(peers × inclusions) times and dominates
-/// the event loop at large N. The verdict is a pure function of the
-/// transaction hash (which covers the signature), so one successful
-/// verification can serve the whole process. Only successes are memoized:
-/// failures stay un-cached, and any tampering changes the hash.
-fn verified_memo() -> &'static RwLock<HashSet<H256>> {
-    static MEMO: OnceLock<RwLock<HashSet<H256>>> = OnceLock::new();
-    MEMO.get_or_init(|| RwLock::new(HashSet::new()))
-}
+use crate::store::SigCache;
 
 /// A transaction, optionally signed.
 ///
@@ -182,28 +167,44 @@ impl Transaction {
 
     /// Verifies the signature and that the key matches the sender address.
     ///
+    /// This is the plain, uncached verification. In a simulated network
+    /// every peer validates the same gossiped transaction — once in its
+    /// mempool, again when executing each block — so Schnorr verification is
+    /// re-run O(peers × inclusions) times and dominates the event loop at
+    /// large N. Call sites on that hot path pass a run-scoped
+    /// [`SigCache`] via [`Transaction::verify_signature_with`] instead.
+    ///
     /// # Errors
     ///
     /// Returns [`TxError`] describing what failed.
     pub fn verify_signature(&self) -> Result<(), TxError> {
+        self.verify_signature_with(&SigCache::disabled())
+    }
+
+    /// [`Transaction::verify_signature`] through a run-scoped verdict cache.
+    ///
+    /// The verdict is a pure function of the transaction hash (which covers
+    /// the signature), so one successful verification serves every chain
+    /// sharing the cache's [`crate::ChainStore`]. Only successes are
+    /// recorded: failures stay un-cached, and any tampering changes the
+    /// hash. With [`SigCache::disabled`] this is exactly the plain
+    /// verification.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TxError`] describing what failed.
+    pub fn verify_signature_with(&self, cache: &SigCache) -> Result<(), TxError> {
         let (pk, sig) = self.signature.as_ref().ok_or(TxError::Unsigned)?;
         if pk.address() != self.from {
             return Err(TxError::SenderMismatch);
         }
         let hash = self.hash();
-        if verified_memo()
-            .read()
-            .unwrap_or_else(std::sync::PoisonError::into_inner)
-            .contains(&hash)
-        {
+        if cache.check(&hash) {
             return Ok(());
         }
         pk.verify(&self.signing_bytes(), sig)
             .map_err(TxError::BadSignature)?;
-        verified_memo()
-            .write()
-            .unwrap_or_else(std::sync::PoisonError::into_inner)
-            .insert(hash);
+        cache.record(hash);
         Ok(())
     }
 
@@ -252,6 +253,28 @@ mod tests {
         let tx = Transaction::transfer(H160::zero(), k.address(), 5, 0).signed(&k);
         assert_eq!(tx.from, k.address());
         assert!(tx.verify_signature().is_ok());
+    }
+
+    #[test]
+    fn cached_verify_matches_plain_and_records_only_successes() {
+        let store = crate::ChainStore::new();
+        let cache = store.sig_cache();
+        let k = key(9);
+        let good = Transaction::transfer(H160::zero(), k.address(), 5, 0).signed(&k);
+        assert!(good.verify_signature_with(&cache).is_ok());
+        assert_eq!(store.sig_entries(), 1);
+        // Second verification is served from the cache.
+        assert!(good.verify_signature_with(&cache).is_ok());
+        assert_eq!(store.counters().sig_hits, 1);
+        // Failures are never recorded; tampering changes the hash, so the
+        // tampered tx misses the cache and fails a fresh verification.
+        let mut bad = good.clone();
+        bad.value = 500;
+        assert!(matches!(
+            bad.verify_signature_with(&cache),
+            Err(TxError::BadSignature(_))
+        ));
+        assert_eq!(store.sig_entries(), 1);
     }
 
     #[test]

@@ -32,7 +32,7 @@ pub mod orchestrator;
 pub use anomaly::{
     detect_degenerate, detect_norm_outliers, detect_unfit, AnomalyReason, AnomalyReport,
 };
-pub use blockfed_chain::RetargetRule;
+pub use blockfed_chain::{Blockchain, ChainStore, RetargetRule, StoreCounters, StoreLimits};
 pub use compute::ComputeProfile;
 pub use coupling::{
     confirmed_aggregates, confirmed_submissions, model_fingerprint, record_aggregate_tx,
@@ -42,6 +42,6 @@ pub use error::ConfigError;
 pub use faults::{validate_timeline, Fault, TimedFault};
 pub use nonrepudiation::{collect_evidence, verify_evidence, AuditError, Evidence};
 pub use orchestrator::{
-    AuditRecord, ChainStats, Decentralized, DecentralizedConfig, DecentralizedRun, PeerRoundRecord,
-    MAX_PEERS,
+    registry_address, AuditRecord, ChainStats, Decentralized, DecentralizedConfig,
+    DecentralizedRun, PeerRoundRecord, MAX_PEERS,
 };

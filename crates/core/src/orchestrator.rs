@@ -26,7 +26,8 @@
 use std::collections::HashMap;
 
 use blockfed_chain::{
-    Blockchain, DifficultyController, GenesisSpec, Mempool, RetargetRule, SealPolicy, Transaction,
+    Blockchain, ChainStore, DifficultyController, GenesisSpec, Mempool, RetargetRule, SealPolicy,
+    Transaction,
 };
 use blockfed_crypto::{KeyPair, H160, H256};
 use blockfed_data::{Batcher, Dataset};
@@ -57,6 +58,17 @@ use crate::faults::{validate_timeline, Fault, TimedFault};
 /// this scale tractable (the old binding constraint was event-loop cost, not
 /// the on-chain encoding).
 pub const MAX_PEERS: usize = blockfed_vm::MAX_MASK_BITS;
+
+/// The fixed address the FL registry contract is deployed at in every run's
+/// genesis. Public so tooling that re-imports a run's blocks (fork replay,
+/// audits) can register the same native at the same address — matching the
+/// runtime fingerprint the run's peers used.
+pub fn registry_address() -> H160 {
+    let mut bytes = [0u8; 20];
+    bytes[0] = 0xFE;
+    bytes[19] = 0xED;
+    H160::from_bytes(bytes)
+}
 
 /// Configuration of a decentralized run.
 #[derive(Debug, Clone)]
@@ -154,6 +166,20 @@ pub struct DecentralizedConfig {
     /// run that makes progress never observes it, so enabling it cannot
     /// perturb a healthy simulation.
     pub watchdog: Option<SimDuration>,
+    /// Mid-run aggregation-strategy switch: `Some((r, s))` makes every round
+    /// ≥ `r` aggregate under `s` instead of
+    /// [`DecentralizedConfig::strategy`]. The fork-replay API uses this to
+    /// re-run a suffix of a finished run under a different strategy (e.g.
+    /// "replay round 40 under BestK instead of Consider") while the shared
+    /// [`ChainStore`] serves the unchanged prefix from its memo.
+    pub strategy_switch: Option<(u32, Strategy)>,
+    /// The chain store the run's peers share: `None` (the default) gives the
+    /// run a fresh private store dropped with it; `Some(handle)` lets a
+    /// caller share one store across *sequential* runs (fork replay, memory
+    /// checks) or inspect entry counts afterwards. The orchestrator calls
+    /// [`ChainStore::begin_epoch`] at run start, so entries untouched for a
+    /// full run age out instead of accumulating.
+    pub store: Option<ChainStore>,
     /// Master seed.
     pub seed: u64,
 }
@@ -183,6 +209,8 @@ impl Default for DecentralizedConfig {
             faults: Vec::new(),
             retarget: RetargetRule::Homestead,
             watchdog: Some(SimDuration::from_secs(600)),
+            strategy_switch: None,
+            store: None,
             seed: 42,
         }
     }
@@ -316,6 +344,11 @@ pub struct DecentralizedRun {
     /// `Some(diagnostic)` when the liveness watchdog stopped a stalled run
     /// (see [`DecentralizedConfig::watchdog`]); `None` for a clean finish.
     pub stall: Option<String>,
+    /// Peer 0's blockchain at run end — an `Arc`-backed view over the run's
+    /// shared storage (cheap to hold). [`Blockchain::fork_at`] on it, with
+    /// the run's [`ChainStore`] passed to a follow-up run's config, replays
+    /// any suffix of the finished run without re-executing the prefix.
+    pub final_chain: Blockchain,
 }
 
 impl DecentralizedRun {
@@ -1002,10 +1035,7 @@ impl<'a> Decentralized<'a> {
         let mut key_rng = hub.stream("keys");
         let keys: Vec<KeyPair> = (0..n).map(|_| KeyPair::generate(&mut key_rng)).collect();
         let addrs: Vec<H160> = keys.iter().map(KeyPair::address).collect();
-        let mut registry_bytes = [0u8; 20];
-        registry_bytes[0] = 0xFE;
-        registry_bytes[19] = 0xED;
-        let registry = H160::from_bytes(registry_bytes);
+        let registry = registry_address();
         let spec = GenesisSpec::with_accounts(&addrs, u64::MAX / 4)
             .with_difficulty(cfg.difficulty)
             .with_code(registry, NATIVE_REGISTRY_CODE.to_vec());
@@ -1035,14 +1065,23 @@ impl<'a> Decentralized<'a> {
                 _ => None,
             })
             .collect();
+        // One chain store shared by every peer of this run: each block is
+        // executed and each signature verified once per run instead of once
+        // per peer, and — unlike the old process-wide memos — everything is
+        // dropped with the store handle. A caller-supplied store (fork
+        // replay, memcheck) is reused across sequential runs; `begin_epoch`
+        // ages out entries the previous run stopped touching.
+        let store = cfg.store.clone().unwrap_or_default();
+        store.begin_epoch();
+        let store_base = store.counters();
         let mut peers: Vec<PeerState> = (0..n)
             .map(|i| {
                 let mut runtime = BlockfedRuntime::new();
                 runtime.register_native(registry, NativeContract::FlRegistry);
                 PeerState {
                     key: keys[i].clone(),
-                    chain: Blockchain::with_seal_policy(&spec, SealPolicy::Simulated),
-                    mempool: Mempool::new(),
+                    chain: Blockchain::with_store(&spec, SealPolicy::Simulated, store.clone()),
+                    mempool: Mempool::with_sig_cache(store.sig_cache()),
                     runtime,
                     next_nonce: 0,
                     model_store: HashMap::new(),
@@ -1075,7 +1114,7 @@ impl<'a> Decentralized<'a> {
         let mut tx_log: Vec<Transaction> = Vec::new();
         let mut update_log: Vec<ModelUpdate> = Vec::new(); // aligned with tx_log where applicable
         let mut tx_update: Vec<Option<usize>> = Vec::new();
-        let mut block_log: Vec<blockfed_chain::Block> = Vec::new();
+        let mut block_log: Vec<std::sync::Arc<blockfed_chain::Block>> = Vec::new();
         let mut block_miner: Vec<usize> = Vec::new(); // aligned with block_log
         let mut gs = GossipState {
             mode: cfg.gossip,
@@ -1429,10 +1468,16 @@ impl<'a> Decentralized<'a> {
                     let txs = p.mempool.select(p.chain.state(), gas_limit, 64);
                     let (block, ok) = {
                         let p = &mut peers[winner];
-                        let block =
-                            p.chain
-                                .build_candidate(p.key.address(), txs, ts, &mut p.runtime);
-                        let ok = p.chain.import(block.clone(), &mut p.runtime).is_ok();
+                        let block = std::sync::Arc::new(p.chain.build_candidate(
+                            p.key.address(),
+                            txs,
+                            ts,
+                            &mut p.runtime,
+                        ));
+                        let ok = p
+                            .chain
+                            .import_arc(std::sync::Arc::clone(&block), &mut p.runtime)
+                            .is_ok();
                         (block, ok)
                     };
                     if ok {
@@ -1810,7 +1855,7 @@ impl<'a> Decentralized<'a> {
                             // die with the process.
                             peers[peer].active = false;
                             peers[peer].train_gen += 1;
-                            peers[peer].mempool = Mempool::new();
+                            peers[peer].mempool = Mempool::with_sig_cache(store.sig_cache());
                             // Sorted teardown so the emitted span ends don't
                             // inherit the map's nondeterministic order.
                             let mut dead: Vec<(H256, u64)> = fetches
@@ -2171,6 +2216,21 @@ impl<'a> Decentralized<'a> {
         );
         obs.metrics
             .set_gauge("stalled", if stall.is_some() { 1.0 } else { 0.0 });
+        // Fold this run's chain-store contribution as a delta from the
+        // run-start snapshot: with a fresh store the delta is the absolute
+        // count, and with a caller-shared store each run still reports only
+        // its own hits/misses/evictions — so replaying a spec reproduces the
+        // same numbers. The run is single-threaded, so the deltas are exact.
+        let store_delta = store.counters().since(&store_base);
+        obs.metrics.add("store_exec_hits", store_delta.exec_hits);
+        obs.metrics
+            .add("store_exec_misses", store_delta.exec_misses);
+        obs.metrics.add("store_sig_hits", store_delta.sig_hits);
+        obs.metrics.add("store_sig_misses", store_delta.sig_misses);
+        obs.metrics.add(
+            "store_evictions",
+            store_delta.exec_evicted + store_delta.sig_evicted,
+        );
         let chain = self.chain_stats(&peers[0].chain);
         let audits: Vec<AuditRecord> = update_log
             .iter()
@@ -2198,6 +2258,7 @@ impl<'a> Decentralized<'a> {
                 fps
             })
             .collect();
+        let final_chain = peers[0].chain.clone();
         DecentralizedRun {
             peer_records: peers.into_iter().map(|p| p.records).collect(),
             chain,
@@ -2212,6 +2273,7 @@ impl<'a> Decentralized<'a> {
             aggregates,
             metrics: obs.metrics,
             stall,
+            final_chain,
         }
     }
 
@@ -2245,7 +2307,7 @@ impl<'a> Decentralized<'a> {
         idx: usize,
         now: SimTime,
         peers: &mut [PeerState],
-        block_log: &[blockfed_chain::Block],
+        block_log: &[std::sync::Arc<blockfed_chain::Block>],
         tx_log: &[Transaction],
         obs: &mut Obs<'_>,
     ) {
@@ -2261,8 +2323,8 @@ impl<'a> Decentralized<'a> {
             let mut remaining = Vec::new();
             let mut missing: Vec<H256> = Vec::new();
             for &i in &p.orphans {
-                let block = block_log[i].clone();
-                match p.chain.import(block, &mut p.runtime) {
+                let block = std::sync::Arc::clone(&block_log[i]);
+                match p.chain.import_arc(block, &mut p.runtime) {
                     Ok(outcome) => {
                         if let blockfed_chain::ImportOutcome::Reorged { old_head } = outcome {
                             let height = p.chain.head_block().number();
@@ -2542,7 +2604,14 @@ impl<'a> Decentralized<'a> {
         };
 
         // Aggregation under the configured strategy (the paper's "consider"
-        // search by default), scored on the peer's own test data.
+        // search by default), scored on the peer's own test data. A
+        // configured `strategy_switch` overrides the strategy from its cutover
+        // round onward — the lever fork replays use to re-run a suffix of a
+        // finished run under different aggregation semantics.
+        let strategy = match cfg.strategy_switch {
+            Some((from, s)) if round >= from => s,
+            _ => cfg.strategy,
+        };
         let refs: Vec<&ModelUpdate> = usable.iter().collect();
         let test = &self.peer_tests[peer];
         let mut agg_rng = hub.indexed_stream("aggregate", (peer as u64) << 32 | u64::from(round));
@@ -2550,7 +2619,7 @@ impl<'a> Decentralized<'a> {
             pool: scratch_pool,
             test,
         };
-        let outcome = aggregate_with(cfg.strategy, &refs, &mut scorer, &mut agg_rng)
+        let outcome = aggregate_with(strategy, &refs, &mut scorer, &mut agg_rng)
             .expect("non-empty usable updates");
 
         let me = ClientId(peer);
@@ -2761,6 +2830,8 @@ mod tests {
             faults: Vec::new(),
             retarget: RetargetRule::Homestead,
             watchdog: Some(SimDuration::from_secs(600)),
+            strategy_switch: None,
+            store: None,
             seed,
         }
     }

@@ -8,7 +8,9 @@
 
 use std::time::Instant;
 
+use blockfed_core::ChainStore;
 use blockfed_data::{partition_dataset, Dataset, SynthCifar};
+use blockfed_fl::Strategy;
 use blockfed_sim::RngHub;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -52,12 +54,70 @@ impl ScenarioRunner {
         spec: &ScenarioSpec,
         sink: &mut dyn blockfed_telemetry::TraceSink,
     ) -> CellReport {
+        self.run_cell(spec, sink, None)
+    }
+
+    /// [`ScenarioRunner::run`] against an explicit [`ChainStore`]: every peer
+    /// of the cell shares `store` for block-execution and signature-verdict
+    /// caching, and *sequential* cells handed the same handle reuse each
+    /// other's cached work — the memory-check and fork-replay paths. The
+    /// simulation itself is bit-identical to a private-store run; only the
+    /// cell's `store_*` counters observe the sharing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec fails [`ScenarioSpec::validate`].
+    pub fn run_with_store(&self, spec: &ScenarioSpec, store: &ChainStore) -> CellReport {
+        let mut sink = blockfed_telemetry::NoopSink;
+        self.run_cell(spec, &mut sink, Some(store.clone()))
+    }
+
+    /// Replays the suffix of a finished run under a different aggregation
+    /// strategy — "replay round `at_round` under BestK instead of Consider"
+    /// as a first-class operation. Runs `spec` to completion against a fresh
+    /// store, then runs a derived spec (named `{name}+replay@{at_round}`)
+    /// that switches to `strategy` from round `at_round` (1-based) onward
+    /// against the *same* store, so the unchanged prefix of blocks is served
+    /// from the execution memo instead of being re-executed. Returns the
+    /// (base, replay) reports.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec fails [`ScenarioSpec::validate`] or `at_round` is 0.
+    pub fn run_fork_replay(
+        &self,
+        spec: &ScenarioSpec,
+        at_round: u32,
+        strategy: Strategy,
+    ) -> (CellReport, CellReport) {
+        let store = ChainStore::new();
+        let base = self.run_with_store(spec, &store);
+        let replay_spec = spec
+            .clone()
+            .named(format!("{}+replay@{at_round}", spec.name))
+            .strategy_switch_at(at_round, strategy);
+        let replay = self.run_with_store(&replay_spec, &store);
+        (base, replay)
+    }
+
+    fn run_cell(
+        &self,
+        spec: &ScenarioSpec,
+        sink: &mut dyn blockfed_telemetry::TraceSink,
+        store: Option<ChainStore>,
+    ) -> CellReport {
         spec.validate().expect("invalid scenario spec");
         let started = Instant::now();
         let (shards, tests) = prepare_data(spec);
         let mut arch_rng = StdRng::seed_from_u64(spec.seed ^ 0x5CE0);
         let model = spec.model;
-        let run = spec.run_traced_with(&shards, &tests, &mut || model.build(&mut arch_rng), sink);
+        let run = spec.run_traced_with_store(
+            &shards,
+            &tests,
+            &mut || model.build(&mut arch_rng),
+            sink,
+            store,
+        );
 
         let finished: Vec<&Vec<blockfed_core::PeerRoundRecord>> =
             run.peer_records.iter().filter(|r| !r.is_empty()).collect();
@@ -105,7 +165,24 @@ impl ScenarioRunner {
         for c in &cells {
             c.validate().expect("invalid matrix cell");
         }
-        let reports = blockfed_compute::par_map(&cells, |spec| self.run(spec));
+        // Run each *distinct* cell exactly once and clone its report into
+        // every duplicate slot. Spec equality implies equal seeds, so a
+        // deduplicated cell is bit-identical to what the duplicate would have
+        // produced; distinct cells keep fully isolated fresh stores, so
+        // parallel cells can never observe each other's cached executions.
+        let mut unique: Vec<&ScenarioSpec> = Vec::new();
+        let mut slot: Vec<usize> = Vec::with_capacity(cells.len());
+        for c in &cells {
+            match unique.iter().position(|u| *u == c) {
+                Some(i) => slot.push(i),
+                None => {
+                    unique.push(c);
+                    slot.push(unique.len() - 1);
+                }
+            }
+        }
+        let unique_reports = blockfed_compute::par_map(&unique, |spec| self.run(spec));
+        let reports = slot.iter().map(|&i| unique_reports[i].clone()).collect();
         ScenarioReport {
             name: matrix.base.name.clone(),
             cells: reports,
@@ -218,6 +295,82 @@ mod tests {
         for name in ["round", "round.train", "round.wait", "net.flood"] {
             assert!(sink.contains(name), "trace missing {name}");
         }
+    }
+
+    #[test]
+    fn sequential_runs_share_nothing_unless_handed_a_store() {
+        // The memo-growth regression: two sequential in-process runs must not
+        // share or accumulate cached verdicts. With private (default) stores
+        // the second run starts cold — bit-identical reports, including the
+        // store_* counters, prove it re-verified and re-executed everything.
+        let spec = ScenarioSpec::new("iso", 3).rounds(2).seed(7);
+        let runner = ScenarioRunner::new();
+        let a = runner.run(&spec);
+        let b = runner.run(&spec);
+        assert_eq!(a, b, "private stores must leave no trace between runs");
+        // Within one run the cell's peers share its store, so sibling imports
+        // of the same block hit the memo; but every block was *executed*
+        // exactly once (a miss), so misses track the canonical chain.
+        assert!(a.metrics.counter("store_exec_misses") > 0);
+        // An explicitly shared store is the opt-in: the second run reuses the
+        // first's work, visible in its counters and nowhere else.
+        let store = blockfed_core::ChainStore::new();
+        let c = runner.run_with_store(&spec, &store);
+        let d = runner.run_with_store(&spec, &store);
+        assert_eq!(c, a, "an empty shared store behaves like a private one");
+        assert!(
+            d.metrics.counter("store_exec_hits") > c.metrics.counter("store_exec_hits"),
+            "the second run over a shared store must hit the warm memo: {d:?}"
+        );
+        assert_eq!(
+            d.metrics.counter("store_exec_misses"),
+            0,
+            "every block execution was cached by the first run"
+        );
+        assert_eq!(
+            d.metrics.counter("store_sig_misses"),
+            0,
+            "every verdict was cached by the first run"
+        );
+        // Sharing never changes simulation results.
+        assert_eq!(c.mean_final_accuracy, d.mean_final_accuracy);
+        assert_eq!(c.blocks, d.blocks);
+        assert_eq!(c.records, d.records);
+    }
+
+    #[test]
+    fn fork_replay_reuses_prefix_and_switches_strategy() {
+        let spec = ScenarioSpec::new("fr", 5).rounds(3).seed(9);
+        let runner = ScenarioRunner::new();
+        let (base, replay) = runner.run_fork_replay(&spec, 2, Strategy::NotConsider);
+        assert_eq!(replay.name, "fr+replay@2");
+        // The base leg against the (initially empty) shared store matches a
+        // plain private-store run bit for bit.
+        assert_eq!(base, runner.run(&spec));
+        // The replay's unchanged prefix is served from the execution memo.
+        assert!(
+            replay.metrics.counter("store_exec_hits") > 0,
+            "replay must reuse the base run's prefix: {replay:?}"
+        );
+        // Replaying is itself deterministic.
+        let (base2, replay2) = runner.run_fork_replay(&spec, 2, Strategy::NotConsider);
+        assert_eq!(base, base2);
+        assert_eq!(replay, replay2);
+    }
+
+    #[test]
+    fn matrix_dedups_identical_cells() {
+        // vary_seed(&[1, 1]) expands to two bit-identical cells; the runner
+        // executes one and clones the report into both slots, and the
+        // duplicate is indistinguishable from running it again from scratch.
+        let base = ScenarioSpec::new("dup", 3).rounds(2);
+        let matrix = ScenarioMatrix::new(base.clone()).vary_seed(&[1, 1]);
+        let runner = ScenarioRunner::new();
+        let report = runner.run_matrix(&matrix);
+        assert_eq!(report.cells.len(), 2, "every slot keeps its report");
+        assert_eq!(report.cells[0], report.cells[1]);
+        let solo = runner.run(&base.seed(1).named(report.cells[0].name.clone()));
+        assert_eq!(report.cells[0], solo, "dedup must not change any cell");
     }
 
     #[test]

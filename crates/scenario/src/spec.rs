@@ -9,8 +9,8 @@
 //! with [`ScenarioSpec::run_with`].
 
 use blockfed_core::{
-    ComputeProfile, ConfigError, Decentralized, DecentralizedConfig, DecentralizedRun, Fault,
-    RetargetRule, TimedFault, MAX_PEERS,
+    ChainStore, ComputeProfile, ConfigError, Decentralized, DecentralizedConfig, DecentralizedRun,
+    Fault, RetargetRule, TimedFault, MAX_PEERS,
 };
 use blockfed_data::{Dataset, Partition, SynthCifarConfig};
 use blockfed_fl::{Adversary, StalenessDecay, Strategy, WaitPolicy};
@@ -123,6 +123,12 @@ pub struct ScenarioSpec {
     pub consider_cutover: usize,
     /// The `k` used when the cutover kicks in.
     pub best_k: usize,
+    /// Mid-run strategy switch: from round `r` (1-based) onward the run
+    /// aggregates with the given strategy instead of the resolved base
+    /// strategy. [`crate::ScenarioRunner::run_fork_replay`] uses this to
+    /// replay a suffix of rounds under a different strategy against the same
+    /// chain store. `None` keeps one strategy throughout.
+    pub strategy_switch: Option<(u32, Strategy)>,
     /// Optional staleness-aware re-weighting of aggregated updates.
     pub staleness_decay: Option<StalenessDecay>,
     /// Declared on-chain size of a model artifact.
@@ -193,6 +199,7 @@ impl ScenarioSpec {
             strategy: Strategy::Consider,
             consider_cutover: 6,
             best_k: 3,
+            strategy_switch: None,
             staleness_decay: None,
             payload_bytes: 10_000,
             difficulty: 200_000,
@@ -287,6 +294,15 @@ impl ScenarioSpec {
     pub fn consider_cutover(mut self, peers: usize, k: usize) -> Self {
         self.consider_cutover = peers;
         self.best_k = k;
+        self
+    }
+
+    /// From round `round` (1-based) onward, aggregate with `strategy` instead
+    /// of the spec's base strategy — the knob behind
+    /// [`crate::ScenarioRunner::run_fork_replay`].
+    #[must_use]
+    pub fn strategy_switch_at(mut self, round: u32, strategy: Strategy) -> Self {
+        self.strategy_switch = Some((round, strategy));
         self
     }
 
@@ -573,6 +589,11 @@ impl ScenarioSpec {
         if self.best_k == 0 {
             return Err("best_k must be positive".into());
         }
+        if let Some((round, _)) = self.strategy_switch {
+            if round == 0 {
+                return Err("strategy_switch round is 1-based and must be positive".into());
+            }
+        }
         for c in &self.computes {
             c.validate()?;
         }
@@ -611,6 +632,7 @@ impl ScenarioSpec {
             momentum: self.momentum,
             wait_policy: self.wait_policy,
             strategy: self.resolved_strategy(),
+            strategy_switch: self.strategy_switch,
             payload_bytes: self.payload_bytes,
             difficulty: self.difficulty,
             compute: computes[0],
@@ -626,6 +648,7 @@ impl ScenarioSpec {
             faults: self.timeline.clone(),
             retarget: self.retarget,
             watchdog: self.watchdog,
+            store: None,
             seed: self.seed,
         }
     }
@@ -663,13 +686,36 @@ impl ScenarioSpec {
         make_model: &mut dyn FnMut() -> Sequential,
         sink: &mut dyn blockfed_telemetry::TraceSink,
     ) -> DecentralizedRun {
+        self.run_traced_with_store(train_shards, peer_tests, make_model, sink, None)
+    }
+
+    /// [`ScenarioSpec::run_traced_with`] with an explicit [`ChainStore`]
+    /// handle: every peer of the run shares `store` for block-execution and
+    /// signature-verdict caching, and sequential runs handed the same store
+    /// reuse each other's cached work (the fork-replay path). `None` gives
+    /// the run a private store that is dropped with it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec is invalid or the shard count differs from the
+    /// spec's peer count.
+    pub fn run_traced_with_store(
+        &self,
+        train_shards: &[Dataset],
+        peer_tests: &[Dataset],
+        make_model: &mut dyn FnMut() -> Sequential,
+        sink: &mut dyn blockfed_telemetry::TraceSink,
+        store: Option<ChainStore>,
+    ) -> DecentralizedRun {
         self.validate().expect("invalid scenario spec");
         assert_eq!(
             train_shards.len(),
             self.peers(),
             "shard count must match the spec's peer count"
         );
-        let driver = Decentralized::new(self.decentralized_config(), train_shards, peer_tests);
+        let mut cfg = self.decentralized_config();
+        cfg.store = store;
+        let driver = Decentralized::new(cfg, train_shards, peer_tests);
         driver.run_traced(make_model, sink)
     }
 }

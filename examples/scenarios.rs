@@ -10,6 +10,7 @@
 //! cargo run --release --example scenarios -- --paper    # CI: paper-scale SimpleNN cell, batch-parallel vs sequential
 //! cargo run --release --example scenarios -- --chaos    # CI: lossy 48-peer cells (loss 0/1/5/20%) + byte-accounting guard
 //! cargo run --release --example scenarios -- --trace    # CI: traced runs bit-identical to untraced; JSONL + Chrome trace export
+//! cargo run --release --example scenarios -- --memcheck # CI: 48-peer cell twice in-process; chain-store entries stay bounded
 //! cargo run --release --example scenarios -- --speedup  # per-phase wall clock of matmul/FedAvg/par_train_epochs at 1/2/8 threads
 //! ```
 //!
@@ -537,6 +538,76 @@ fn trace() {
     println!("telemetry certification OK");
 }
 
+/// The chain-store memory guard — the regression that motivated replacing the
+/// process-wide memos. Runs the 48-peer best-k cell **twice in one process**
+/// against an explicitly shared [`blockfed::core::ChainStore`] and asserts:
+///
+/// 1. the store's cached entry counts are identical after run 1 and run 2 —
+///    re-running the same cell re-uses the cache instead of growing it (the
+///    old global memos doubled here);
+/// 2. the second run is the identical simulation (accuracy, blocks, records)
+///    and served its unchanged prefix from the execution memo;
+/// 3. two idle epoch ticks age every entry out, so a dropped-and-reused
+///    handle cannot pin a dead run's state forever.
+fn memcheck() {
+    println!("chain-store memory guard — 48-peer cell twice in one process\n");
+    let runner = ScenarioRunner::new();
+    let store = blockfed::core::ChainStore::new();
+
+    let first = runner.run_with_store(&bestk48_spec(), &store);
+    let exec_entries = store.exec_entries();
+    let sig_entries = store.sig_entries();
+    assert!(exec_entries > 0, "the cell cached no block executions");
+    assert!(sig_entries > 0, "the cell cached no signature verdicts");
+
+    let second = runner.run_with_store(&bestk48_spec(), &store);
+    assert_eq!(
+        store.exec_entries(),
+        exec_entries,
+        "re-running the same cell must not grow the execution memo"
+    );
+    assert_eq!(
+        store.sig_entries(),
+        sig_entries,
+        "re-running the same cell must not grow the signature cache"
+    );
+    assert_eq!(first.mean_final_accuracy, second.mean_final_accuracy);
+    assert_eq!(first.blocks, second.blocks);
+    assert_eq!(first.records, second.records);
+    assert!(
+        second.metrics.counter("store_exec_hits") > first.metrics.counter("store_exec_hits"),
+        "the second run never hit the warm memo"
+    );
+    assert_eq!(
+        second.metrics.counter("store_exec_misses"),
+        0,
+        "every block execution was already cached"
+    );
+
+    // Two idle epochs: everything last touched in run 2 ages past the
+    // keep-window and is evicted — the store cannot pin dead runs.
+    store.begin_epoch();
+    store.begin_epoch();
+    assert_eq!(store.exec_entries(), 0, "idle epochs must drain the memo");
+    assert_eq!(
+        store.sig_entries(),
+        0,
+        "idle epochs must drain the verdicts"
+    );
+
+    let report = blockfed::scenario::ScenarioReport {
+        name: "memcheck".into(),
+        cells: vec![first, second],
+    };
+    println!("{}", report.table());
+    let path = report.write_json(".").expect("write BENCH_scenarios.json");
+    println!("wrote {}", path.display());
+    println!(
+        "chain-store memory guard OK (exec entries: {exec_entries}, sig entries: {sig_entries}, \
+         drained to 0 after two idle epochs)"
+    );
+}
+
 /// Per-phase wall clock of the three parallel kernels the ROADMAP asks to
 /// measure — matmul, FedAvg, and `par_train_epochs` — at 1, 2, and 8 compute
 /// threads, timed with [`PhaseProfiler`] (host time, strictly outside the
@@ -647,12 +718,13 @@ fn main() {
         "--paper" => paper(),
         "--chaos" => chaos(),
         "--trace" => trace(),
+        "--memcheck" => memcheck(),
         "--speedup" => speedup(),
         "" | "--demo" => demo(),
         other => {
             eprintln!(
                 "unknown mode {other}; use --smoke, --bestk, --bench, --bestk48, --gossip128, \
-                 --paper, --chaos, --trace, --speedup, or --demo"
+                 --paper, --chaos, --trace, --memcheck, --speedup, or --demo"
             );
             std::process::exit(2);
         }
