@@ -46,6 +46,9 @@ pub enum ConfigError {
     /// The link profile is invalid (e.g. a loss rate outside `[0, 1]`).
     /// Carries the link error's rendered form so the variant stays `Eq`.
     InvalidLink(String),
+    /// The adaptive policy controller is misconfigured (e.g. a bandit with no
+    /// arms or an exploration rate outside `[0, 1]`).
+    InvalidController(String),
 }
 
 impl std::fmt::Display for ConfigError {
@@ -69,6 +72,7 @@ impl std::fmt::Display for ConfigError {
             ),
             ConfigError::ZeroRounds => write!(f, "need at least one round"),
             ConfigError::InvalidLink(e) => write!(f, "invalid link profile: {e}"),
+            ConfigError::InvalidController(e) => write!(f, "invalid policy controller: {e}"),
         }
     }
 }

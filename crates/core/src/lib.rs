@@ -28,6 +28,7 @@ pub mod error;
 pub mod faults;
 pub mod nonrepudiation;
 pub mod orchestrator;
+pub mod policy;
 
 pub use anomaly::{
     detect_degenerate, detect_norm_outliers, detect_unfit, AnomalyReason, AnomalyReport,
@@ -44,4 +45,8 @@ pub use nonrepudiation::{collect_evidence, verify_evidence, AuditError, Evidence
 pub use orchestrator::{
     registry_address, AuditRecord, ChainStats, Decentralized, DecentralizedConfig,
     DecentralizedRun, PeerRoundRecord, MAX_PEERS,
+};
+pub use policy::{
+    BanditConfig, ControllerRule, ControllerSpec, PolicyController, PolicyDecision, PolicyEvent,
+    RoundObservation, RuleConfig,
 };

@@ -49,6 +49,7 @@ use crate::coupling::{
 };
 use crate::error::ConfigError;
 use crate::faults::{validate_timeline, Fault, TimedFault};
+use crate::policy::{ControllerSpec, PolicyController, PolicyDecision, PolicyEvent};
 
 /// The orchestrator's peer ceiling: the combination mask's native width
 /// ([`blockfed_vm::MAX_MASK_BITS`]). Every peer — joiners included, since a
@@ -180,6 +181,22 @@ pub struct DecentralizedConfig {
     /// [`ChainStore::begin_epoch`] at run start, so entries untouched for a
     /// full run age out instead of accumulating.
     pub store: Option<ChainStore>,
+    /// State-snapshot cadence of every peer's chain (see
+    /// [`Blockchain::with_snapshot_interval`]). `None` keeps the chain's
+    /// default interval. Part of the store configuration, so two otherwise
+    /// identical runs differing only here are distinct configurations.
+    pub snapshot_interval: Option<u64>,
+    /// Opt-in state pruning depth of every peer's chain (see
+    /// [`Blockchain::with_prune_depth`]). `None` disables pruning.
+    pub prune_depth: Option<u64>,
+    /// Optional adaptive policy controller (see [`ControllerSpec`]): observes
+    /// each round's wait time, staleness, fork rate, straggler spread, and
+    /// accuracy delta and may switch the wait policy, aggregation strategy,
+    /// or staleness decay **from the next round on**. Decisions land in
+    /// [`DecentralizedRun::policy_events`] and draw randomness only from the
+    /// dedicated `"policy-controller"` RNG stream, so a controller that never
+    /// fires reproduces the static run bit for bit.
+    pub controller: Option<ControllerSpec>,
     /// Master seed.
     pub seed: u64,
 }
@@ -211,6 +228,9 @@ impl Default for DecentralizedConfig {
             watchdog: Some(SimDuration::from_secs(600)),
             strategy_switch: None,
             store: None,
+            snapshot_interval: None,
+            prune_depth: None,
+            controller: None,
             seed: 42,
         }
     }
@@ -344,6 +364,10 @@ pub struct DecentralizedRun {
     /// `Some(diagnostic)` when the liveness watchdog stopped a stalled run
     /// (see [`DecentralizedConfig::watchdog`]); `None` for a clean finish.
     pub stall: Option<String>,
+    /// Every decision the adaptive policy controller applied, in virtual-time
+    /// order (see [`DecentralizedConfig::controller`]). Empty for static runs
+    /// and for controllers that never fire.
+    pub policy_events: Vec<PolicyEvent>,
     /// Peer 0's blockchain at run end — an `Arc`-backed view over the run's
     /// shared storage (cheap to hold). [`Blockchain::fork_at`] on it, with
     /// the run's [`ChainStore`] passed to a follow-up run's config, replays
@@ -367,10 +391,19 @@ impl DecentralizedRun {
     }
 
     /// Mean virtual milliseconds between a payload fetch starting and the
-    /// artifact arriving, over episodes that recovered. Zero when no
-    /// on-demand fetch was needed. (The `recovery_ms` gauge.)
+    /// artifact arriving, over episodes that recovered — including active
+    /// fetch time burned by earlier attempts on the same artifact that
+    /// exhausted their budget before a later confirming block restarted the
+    /// chase. Zero when no on-demand fetch was needed. (The `recovery_ms`
+    /// gauge.)
     pub fn recovery_ms(&self) -> f64 {
         self.metrics.gauge("recovery_ms")
+    }
+
+    /// Knob changes the adaptive policy controller applied during the run
+    /// (the `policy_switches` counter).
+    pub fn policy_switches(&self) -> u64 {
+        self.metrics.counter("policy_switches")
     }
 
     /// Mean aggregation wait across all peers and rounds.
@@ -531,14 +564,140 @@ fn fetch_backoff(attempt: u32, rng: &mut impl Rng) -> SimDuration {
 
 /// One in-flight payload fetch: which attempt it is on, who was asked first
 /// (the confirming block's miner), when the episode started (for the
-/// recovery-time metric), and its open telemetry span.
+/// recovery-time metric), time already burned by earlier gave-up episodes for
+/// the same artifact, and its open telemetry span.
 struct FetchState {
     attempt: u32,
     primary: usize,
     first_at: SimTime,
+    /// Active fetch time spent by earlier episodes for this `(peer, artifact)`
+    /// that exhausted their attempt budget before the next confirming block
+    /// restarted the cycle. Folded into the recovery metric on success, so
+    /// `recovery_ms` reflects the full time the artifact was being chased —
+    /// not just the final episode.
+    carried: SimDuration,
     payload_bytes: u64,
     tx_idx: usize,
     span: u64,
+}
+
+/// One round's effective aggregation knobs.
+#[derive(Clone, Copy)]
+struct RoundPolicy {
+    wait: WaitPolicy,
+    strategy: Strategy,
+    decay: Option<StalenessDecay>,
+}
+
+/// The per-round policy state threaded through the event loop: the effective
+/// knobs for every round (static config, `strategy_switch`, and controller
+/// decisions all resolve here), the controller itself, its dedicated RNG
+/// stream, and the decision log.
+///
+/// Invariant: round `r`'s policy never changes once any peer can be waiting
+/// in it — the controller observes round `r` at its *first* aggregation and
+/// its decisions apply to rounds `r + 1` onward only, so a wait bar can never
+/// move under a peer mid-wait.
+struct PolicyEngine {
+    /// Effective policy per round, indexed 1-based (`slot 0` unused).
+    by_round: Vec<RoundPolicy>,
+    controller: Option<Box<dyn PolicyController>>,
+    rng: rand::rngs::StdRng,
+    decisions: Vec<PolicyEvent>,
+    /// Highest round already observed by the controller (each round is
+    /// observed once, at its first aggregation anywhere).
+    last_observed: u32,
+    /// Accuracy of the previous observation, for the delta signal.
+    prev_accuracy: Option<f64>,
+    /// The configured replay cutover, re-imposed over controller decisions
+    /// (an explicit `strategy_switch` is a directive, not a default).
+    strategy_switch: Option<(u32, Strategy)>,
+    /// Whether the replay cutover has fired (noted once as progress).
+    cutover_noted: bool,
+    /// Blocks sealed so far (updated at each seal), for the fork-rate signal.
+    blocks_sealed: u64,
+}
+
+impl PolicyEngine {
+    fn new(cfg: &DecentralizedConfig, hub: &RngHub) -> Self {
+        let rounds = cfg.rounds as usize;
+        let by_round = (0..=rounds)
+            .map(|r| RoundPolicy {
+                wait: cfg.wait_policy,
+                strategy: match cfg.strategy_switch {
+                    Some((from, s)) if r as u32 >= from => s,
+                    _ => cfg.strategy,
+                },
+                decay: cfg.staleness_decay,
+            })
+            .collect();
+        PolicyEngine {
+            by_round,
+            controller: cfg.controller.as_ref().map(ControllerSpec::build),
+            rng: hub.stream("policy-controller"),
+            decisions: Vec::new(),
+            last_observed: 0,
+            prev_accuracy: None,
+            strategy_switch: cfg.strategy_switch,
+            cutover_noted: false,
+            blocks_sealed: 0,
+        }
+    }
+
+    fn slot(&self, round: u32) -> &RoundPolicy {
+        &self.by_round[(round as usize).min(self.by_round.len() - 1)]
+    }
+
+    fn wait(&self, round: u32) -> WaitPolicy {
+        self.slot(round).wait
+    }
+
+    fn strategy(&self, round: u32) -> Strategy {
+        self.slot(round).strategy
+    }
+
+    fn decay(&self, round: u32) -> Option<StalenessDecay> {
+        self.slot(round).decay
+    }
+
+    /// Feeds the controller one round observation and applies its decisions
+    /// to every round after `obs.round`. Returns the applied decisions (empty
+    /// when no controller is set or it stays quiet).
+    fn observe(
+        &mut self,
+        obs: &crate::policy::RoundObservation,
+        at: SimTime,
+    ) -> Vec<PolicyDecision> {
+        let Some(ctl) = self.controller.as_mut() else {
+            return Vec::new();
+        };
+        let decisions = ctl.decide(obs, &mut self.rng);
+        let from = (obs.round as usize + 1).min(self.by_round.len());
+        for d in &decisions {
+            for slot in &mut self.by_round[from..] {
+                match *d {
+                    PolicyDecision::SetWaitPolicy(w) => slot.wait = w,
+                    PolicyDecision::SetStrategy(s) => slot.strategy = s,
+                    PolicyDecision::SetStalenessDecay(dec) => slot.decay = dec,
+                }
+            }
+            self.decisions.push(PolicyEvent {
+                round: obs.round,
+                at,
+                decision: *d,
+            });
+        }
+        // An explicit replay cutover outranks the controller: re-impose it
+        // over whatever strategy the decisions just wrote.
+        if let Some((from_round, s)) = self.strategy_switch {
+            for (r, slot) in self.by_round.iter_mut().enumerate() {
+                if r as u32 >= from_round {
+                    slot.strategy = s;
+                }
+            }
+        }
+        decisions
+    }
 }
 
 /// The run's observability state, threaded through the event loop as one
@@ -966,6 +1125,9 @@ impl<'a> Decentralized<'a> {
         if config.rounds == 0 {
             return Err(ConfigError::ZeroRounds);
         }
+        if let Some(ctl) = &config.controller {
+            ctl.validate().map_err(ConfigError::InvalidController)?;
+        }
         Ok(Decentralized {
             config,
             train_shards,
@@ -1074,13 +1236,23 @@ impl<'a> Decentralized<'a> {
         let store = cfg.store.clone().unwrap_or_default();
         store.begin_epoch();
         let store_base = store.counters();
+        let build_chain = || {
+            let mut chain = Blockchain::with_store(&spec, SealPolicy::Simulated, store.clone());
+            if let Some(interval) = cfg.snapshot_interval {
+                chain = chain.with_snapshot_interval(interval);
+            }
+            if let Some(depth) = cfg.prune_depth {
+                chain = chain.with_prune_depth(depth);
+            }
+            chain
+        };
         let mut peers: Vec<PeerState> = (0..n)
             .map(|i| {
                 let mut runtime = BlockfedRuntime::new();
                 runtime.register_native(registry, NativeContract::FlRegistry);
                 PeerState {
                     key: keys[i].clone(),
-                    chain: Blockchain::with_store(&spec, SealPolicy::Simulated, store.clone()),
+                    chain: build_chain(),
                     mempool: Mempool::with_sig_cache(store.sig_cache()),
                     runtime,
                     next_nonce: 0,
@@ -1144,6 +1316,16 @@ impl<'a> Decentralized<'a> {
         let mut fetch_retries: u64 = 0;
         let mut recovery_total = SimDuration::ZERO;
         let mut recoveries: u64 = 0;
+        // Active fetch time left behind by episodes that exhausted their
+        // attempt budget, keyed like `fetches`: the next confirming block
+        // restarts the episode with this time carried over, so `recovery_ms`
+        // meters the whole chase. Cleared when the artifact arrives by any
+        // path or the chasing peer crashes.
+        let mut gave_up_elapsed: HashMap<(usize, H256), SimDuration> = HashMap::new();
+
+        // Per-round policy: the static knobs, the replay cutover, and — when
+        // configured — the adaptive controller with its dedicated RNG stream.
+        let mut engine = PolicyEngine::new(cfg, &hub);
 
         // Publication times (for the age-of-block metric) and each peer's
         // previously published parameters (for the replay attack).
@@ -1356,6 +1538,7 @@ impl<'a> Decentralized<'a> {
                         &mut tx_update,
                         &mut gs,
                         &mut train_time_rng,
+                        &mut engine,
                     );
                 }
                 Event::DeliverTx { to, idx, route } => {
@@ -1383,7 +1566,7 @@ impl<'a> Decentralized<'a> {
                         let fp = crate::coupling::model_fingerprint(&update);
                         if let Some(st) = fetches.remove(&(to, fp)) {
                             recoveries += 1;
-                            let took = now.saturating_since(st.first_at);
+                            let took = now.saturating_since(st.first_at) + st.carried;
                             recovery_total += took;
                             obs.metrics.observe("fetch_ms", took.as_secs_f64() * 1e3);
                             obs.tel.end(now, "fetch", to as u32, st.span, || {
@@ -1401,6 +1584,9 @@ impl<'a> Decentralized<'a> {
                             obs.last_progress = now;
                             obs.note(to, now, "artifact.arrived");
                         }
+                        // The artifact is here: any gave-up time still parked
+                        // for it can no longer be attributed to a recovery.
+                        gave_up_elapsed.remove(&(to, fp));
                     }
                     let p = &mut peers[to];
                     let _ = p.mempool.insert(tx, p.chain.state());
@@ -1421,6 +1607,7 @@ impl<'a> Decentralized<'a> {
                         &mut tx_update,
                         &mut gs,
                         &mut train_time_rng,
+                        &mut engine,
                     );
                 }
                 Event::SealBlock => {
@@ -1510,6 +1697,7 @@ impl<'a> Decentralized<'a> {
                         let block_bytes = 1024 + 256 * block.transactions.len() as u64;
                         block_log.push(block);
                         block_miner.push(winner);
+                        engine.blocks_sealed = block_log.len() as u64;
                         schedule_flood(
                             &network,
                             winner,
@@ -1544,6 +1732,7 @@ impl<'a> Decentralized<'a> {
                             &mut tx_update,
                             &mut gs,
                             &mut train_time_rng,
+                            &mut engine,
                         );
                     }
                     let delay =
@@ -1622,6 +1811,12 @@ impl<'a> Decentralized<'a> {
                                 attempt: 0,
                                 primary: miner,
                                 first_at: now,
+                                // A restarted chase resumes the recovery
+                                // clock where the gave-up episodes left it
+                                // (the idle gap between them stays excluded).
+                                carried: gave_up_elapsed
+                                    .remove(&(to, model_hash))
+                                    .unwrap_or(SimDuration::ZERO),
                                 payload_bytes,
                                 tx_idx,
                                 span,
@@ -1696,6 +1891,7 @@ impl<'a> Decentralized<'a> {
                         &mut tx_update,
                         &mut gs,
                         &mut train_time_rng,
+                        &mut engine,
                     );
                 }
                 Event::Fault { idx } => {
@@ -1750,6 +1946,7 @@ impl<'a> Decentralized<'a> {
                                         &mut tx_update,
                                         &mut gs,
                                         &mut train_time_rng,
+                                        &mut engine,
                                     );
                                 }
                             }
@@ -1870,6 +2067,8 @@ impl<'a> Decentralized<'a> {
                                     vec![("aborted", true.into())]
                                 });
                             }
+                            // Parked gave-up time dies with the process too.
+                            gave_up_elapsed.retain(|(p, _), _| *p != peer);
                             obs.crash_aborts(peer, now);
                             obs.trace.record(
                                 now,
@@ -1897,6 +2096,7 @@ impl<'a> Decentralized<'a> {
                                         &mut tx_update,
                                         &mut gs,
                                         &mut train_time_rng,
+                                        &mut engine,
                                     );
                                 }
                             }
@@ -1972,6 +2172,7 @@ impl<'a> Decentralized<'a> {
                                     &mut tx_update,
                                     &mut gs,
                                     &mut train_time_rng,
+                                    &mut engine,
                                 );
                             }
                         }
@@ -2003,6 +2204,12 @@ impl<'a> Decentralized<'a> {
                             obs.tel.end(now, "fetch", to as u32, st.span, || {
                                 vec![("gave_up", true.into())]
                             });
+                            // Park the episode's elapsed time (plus anything
+                            // earlier episodes already parked): the next
+                            // confirming block restarts the chase and the
+                            // recovery metric must cover the whole of it.
+                            *gave_up_elapsed.entry((to, fp)).or_insert(SimDuration::ZERO) +=
+                                now.saturating_since(st.first_at) + st.carried;
                         }
                         obs.metrics.add("fetch_gave_up", 1);
                         obs.note(to, now, "fetch.gave-up");
@@ -2096,7 +2303,18 @@ impl<'a> Decentralized<'a> {
                 }
                 Event::Watchdog => {
                     let timeout = cfg.watchdog.expect("watchdog event implies a timeout");
-                    if pending_faults == 0 && now.saturating_since(obs.last_progress) >= timeout {
+                    // A peer still training is a scheduled `TrainDone` — a
+                    // guaranteed future progress event — so a round that is
+                    // legitimately waiting on a straggler's long training
+                    // (the wait-all case the paper's title poses) is not a
+                    // stall, no matter how quiet the clock has been.
+                    let training_pending = peers
+                        .iter()
+                        .any(|p| p.active && !p.done(cfg.rounds) && p.training);
+                    if pending_faults == 0
+                        && !training_pending
+                        && now.saturating_since(obs.last_progress) >= timeout
+                    {
                         use std::fmt::Write as _;
                         let n_active = peers.iter().filter(|p| p.active).count();
                         let mut detail = String::new();
@@ -2149,10 +2367,19 @@ impl<'a> Decentralized<'a> {
                             }
                         }
                         let last_progress = obs.last_progress;
+                        // Cite the policy the stuck round actually runs
+                        // under — a controller may have moved it off the
+                        // configured one.
+                        let stuck_round = peers
+                            .iter()
+                            .filter(|p| p.active && !p.done(cfg.rounds))
+                            .map(|p| p.current_round)
+                            .min()
+                            .unwrap_or(1);
                         let diag = format!(
                             "stalled: no progress for {timeout} under {:?} \
                              (last progress at {last_progress}):{detail}",
-                            cfg.wait_policy
+                            engine.wait(stuck_round)
                         );
                         obs.trace.record(now, "watchdog.stalled", diag.clone());
                         obs.tel.run_instant(now, "watchdog.stalled", || {
@@ -2273,6 +2500,7 @@ impl<'a> Decentralized<'a> {
             aggregates,
             metrics: obs.metrics,
             stall,
+            policy_events: engine.decisions,
             final_chain,
         }
     }
@@ -2392,6 +2620,7 @@ impl<'a> Decentralized<'a> {
         tx_update: &mut Vec<Option<usize>>,
         gs: &mut GossipState,
         train_time_rng: &mut impl Rng,
+        engine: &mut PolicyEngine,
     ) {
         let cfg = &self.config;
         // Wait policies measure against the population that can still
@@ -2424,8 +2653,9 @@ impl<'a> Decentralized<'a> {
         // exceed either side of the intersection, so an upper-bound check
         // skips the per-submission membership scan for the long waiting
         // phase of every round.
+        let wait_policy = engine.wait(round);
         let upper_bound = cache.subs.len().min(peers[peer].model_store.len());
-        if !cfg.wait_policy.ready(upper_bound, n) || upper_bound == 0 {
+        if !wait_policy.ready(upper_bound, n) || upper_bound == 0 {
             return;
         }
         let arrived_count = cache
@@ -2433,7 +2663,7 @@ impl<'a> Decentralized<'a> {
             .iter()
             .filter(|s| peers[peer].model_store.contains_key(&s.model_hash))
             .count();
-        if !cfg.wait_policy.ready(arrived_count, n) || arrived_count == 0 {
+        if !wait_policy.ready(arrived_count, n) || arrived_count == 0 {
             return;
         }
         let confirmed = cache.subs.clone();
@@ -2577,7 +2807,7 @@ impl<'a> Decentralized<'a> {
         // update's FedAvg weight by `decay.factor(s)` where `s` is how many
         // blocks bury its submission on this peer's chain. Weights never drop
         // below one sample so a cutoff decay cannot zero the aggregate.
-        let usable: Vec<ModelUpdate> = match cfg.staleness_decay {
+        let usable: Vec<ModelUpdate> = match engine.decay(round) {
             None => usable,
             Some(decay) => {
                 let head = peers[peer].chain.head_block().number();
@@ -2603,15 +2833,36 @@ impl<'a> Decentralized<'a> {
             }
         };
 
-        // Aggregation under the configured strategy (the paper's "consider"
-        // search by default), scored on the peer's own test data. A
-        // configured `strategy_switch` overrides the strategy from its cutover
-        // round onward — the lever fork replays use to re-run a suffix of a
-        // finished run under different aggregation semantics.
-        let strategy = match cfg.strategy_switch {
-            Some((from, s)) if round >= from => s,
-            _ => cfg.strategy,
-        };
+        // Aggregation under the round's effective strategy (the paper's
+        // "consider" search by default). A configured `strategy_switch`
+        // overrides it from the cutover round onward — the lever fork replays
+        // use to re-run a suffix of a finished run under different
+        // aggregation semantics — and an adaptive controller may have moved
+        // it at an earlier round boundary.
+        let strategy = engine.strategy(round);
+        if let Some((from, _)) = engine.strategy_switch {
+            if round >= from && !engine.cutover_noted {
+                // The replay cutover engaging is forward motion, not
+                // silence: note it on the progress clock (and in telemetry)
+                // so the watchdog cannot kill a run mid-switch.
+                engine.cutover_noted = true;
+                obs.last_progress = now;
+                obs.trace.record(
+                    now,
+                    "policy.switched",
+                    format!("peer={peer} round={round} replay-cutover strategy={strategy:?}"),
+                );
+                obs.tel.instant(now, "policy.switched", peer as u32, || {
+                    vec![
+                        ("round", round.into()),
+                        (
+                            "decision",
+                            format!("replay-cutover strategy={strategy:?}").into(),
+                        ),
+                    ]
+                });
+            }
+        }
         let refs: Vec<&ModelUpdate> = usable.iter().collect();
         let test = &self.peer_tests[peer];
         let mut agg_rng = hub.indexed_stream("aggregate", (peer as u64) << 32 | u64::from(round));
@@ -2709,6 +2960,59 @@ impl<'a> Decentralized<'a> {
         });
         peers[peer].global_params = outcome.params;
         peers[peer].train_done_at = None;
+
+        // Adaptive-controller decision point: the *first* aggregation of each
+        // round feeds the controller one observation (built purely from state
+        // the run already tracks), and any decisions it returns re-tune
+        // rounds `round + 1` onward — never the round peers may already be
+        // waiting in. A controller that stays quiet leaves every meter,
+        // clock, and RNG stream (other than its own) untouched.
+        if engine.controller.is_some() && round > engine.last_observed {
+            engine.last_observed = round;
+            let canonical = peers[peer].chain.head_block().number();
+            let fork_rate = if engine.blocks_sealed == 0 {
+                0.0
+            } else {
+                (1.0 - canonical.min(engine.blocks_sealed) as f64 / engine.blocks_sealed as f64)
+                    .max(0.0)
+            };
+            let spread = obs
+                .metrics
+                .histogram("train_secs")
+                .map(|h| h.max() - h.min())
+                .unwrap_or(0.0);
+            let accuracy = outcome.score;
+            let accuracy_delta = engine.prev_accuracy.map_or(0.0, |p| accuracy - p);
+            engine.prev_accuracy = Some(accuracy);
+            let observation = crate::policy::RoundObservation {
+                round,
+                wait_secs: wait.as_secs_f64(),
+                staleness_mean_secs: update_age_mean.as_secs_f64(),
+                fork_rate,
+                straggler_spread_secs: spread,
+                accuracy,
+                accuracy_delta,
+                active_peers: n,
+                updates_used: usable.len(),
+                wait_policy,
+                staleness_decay: engine.decay(round),
+            };
+            for d in engine.observe(&observation, now) {
+                // A policy switch is forward motion: reset the watchdog's
+                // progress clock so a controlled run cannot be killed
+                // mid-switch, and meter + trace the decision.
+                obs.last_progress = now;
+                obs.metrics.add("policy_switches", 1);
+                obs.trace.record(
+                    now,
+                    "policy.switched",
+                    format!("peer={peer} round={round} {d}"),
+                );
+                obs.tel.instant(now, "policy.switched", peer as u32, || {
+                    vec![("round", round.into()), ("decision", d.to_string().into())]
+                });
+            }
+        }
 
         // Map confirmed senders for the trace (audit-friendly).
         for s in &confirmed {
@@ -2832,6 +3136,9 @@ mod tests {
             watchdog: Some(SimDuration::from_secs(600)),
             strategy_switch: None,
             store: None,
+            snapshot_interval: None,
+            prune_depth: None,
+            controller: None,
             seed,
         }
     }
@@ -3793,6 +4100,169 @@ mod tests {
         // both rounds, and virtual time is bounded by a few watchdog windows.
         assert!(out.peer_records.iter().all(|r| r.len() < 2));
         assert!(out.finished_at.as_secs_f64() < 600.0, "{}", out.finished_at);
+    }
+
+    #[test]
+    fn gave_up_fetch_restart_carries_recovery_time() {
+        // Regression for the recovery meter: a partition cuts an in-flight
+        // payload pull, the episode exhausts its attempt budget and gives up,
+        // and the next confirming block after the heal restarts the chase.
+        // `recovery_ms` must cover the whole chase — the gave-up episodes
+        // included — not just the final (short, post-heal) episode.
+        let fx = fixture();
+        let mut cfg = quick_config(WaitPolicy::All, 80);
+        cfg.rounds = 1;
+        cfg.gossip = GossipMode::AnnounceFetch;
+        // Slow serialization: the 10 kB artifact spends ~20 s on the wire
+        // while blocks (~1.3 kB) cross in a few seconds, so a block confirms
+        // a submission long before its payload can land.
+        cfg.link = LinkSpec {
+            latency: blockfed_sim::UniformJitter::constant(SimDuration::from_millis(50)),
+            bandwidth: Some(500),
+            loss_rate: 0.0,
+        };
+        // Cut after the fetch starts but while its pull is in flight; heal
+        // only after the ~40 s attempt budget has run out.
+        cfg.faults = vec![
+            crate::faults::TimedFault::at_secs(
+                12.0,
+                crate::faults::Fault::Partition {
+                    left: vec![0],
+                    right: vec![1, 2],
+                },
+            ),
+            crate::faults::TimedFault::at_secs(80.0, crate::faults::Fault::HealAll),
+        ];
+        let driver = Decentralized::new(cfg, &fx.shards, &fx.tests);
+        let nn = SimpleNnConfig::tiny(fx.tests[0].feature_dim(), fx.tests[0].num_classes());
+        let mut arch_rng = StdRng::seed_from_u64(80);
+        let out = driver.run(&mut || nn.build(&mut arch_rng));
+        assert!(
+            out.metrics.counter("fetch_gave_up") >= 1,
+            "no episode exhausted its budget: {:?}",
+            out.metrics
+        );
+        assert!(
+            out.metrics.counter("fetch_recoveries") >= 1,
+            "nothing recovered after the heal: {:?}",
+            out.metrics
+        );
+        assert!(out.trace.count("fetch.gave-up") >= 1);
+        assert!(out.trace.count("fetch.recovered") >= 1);
+        // The run settles: every peer still completes its round.
+        assert!(out.stall.is_none(), "{:?}", out.stall);
+        for (peer, records) in out.peer_records.iter().enumerate() {
+            assert_eq!(records.len(), 1, "peer {peer} incomplete");
+        }
+        // The carried chase dwarfs any single post-heal episode (~20 s on
+        // this link): only give-up time folded into the gauge gets it there.
+        assert!(
+            out.recovery_ms() > 30_000.0,
+            "recovery_ms lost the gave-up episodes: {}",
+            out.recovery_ms()
+        );
+    }
+
+    #[test]
+    fn watchdog_tolerates_training_longer_than_its_window() {
+        // Regression for the progress clock: a straggler whose *training*
+        // outlasts the whole watchdog window is guaranteed future progress
+        // (its TrainDone is scheduled), so a wait-all round quietly waiting
+        // on it must not be flagged as a stall.
+        let mut cfg = quick_config(WaitPolicy::All, 81);
+        cfg.rounds = 1;
+        cfg.watchdog = Some(SimDuration::from_secs(30));
+        let fast = cfg.compute;
+        let mut slow = cfg.compute;
+        slow.train_rate = 1.0; // ~60–150 s of training vs the 30 s window
+        cfg.per_peer_compute = Some(vec![fast, fast, slow]);
+        let out = run_with(cfg, 81);
+        assert!(out.stall.is_none(), "legit wait flagged: {:?}", out.stall);
+        for (peer, records) in out.peer_records.iter().enumerate() {
+            assert_eq!(records.len(), 1, "peer {peer} incomplete");
+        }
+        // The straggler's training really did outlast the window, so the old
+        // clock (no training-pending guard) would have fired.
+        let trains = out
+            .metrics
+            .histogram("train_secs")
+            .expect("trains observed");
+        assert!(trains.max() > 30.0, "straggler too fast: {}", trains.max());
+        assert_eq!(out.trace.count("watchdog.stalled"), 0);
+    }
+
+    #[test]
+    fn threshold_controller_switches_policy_mid_run() {
+        // The adaptive loop end to end: under straggler-dominated wait-all
+        // rounds the threshold rule demotes All → FirstK at a round boundary,
+        // and the decision log, counter, and trace all record it.
+        let mut cfg = straggler_config(WaitPolicy::All, 82);
+        cfg.rounds = 3;
+        cfg.controller = Some(ControllerSpec::threshold(crate::policy::RuleConfig {
+            wait_high_secs: 2.0,
+            ..Default::default()
+        }));
+        let out = run_with(cfg, 82);
+        assert!(
+            !out.policy_events.is_empty(),
+            "controller never fired: {:?}",
+            out.metrics
+        );
+        assert_eq!(out.policy_switches(), out.policy_events.len() as u64);
+        assert!(out.trace.count("policy.switched") > 0);
+        assert!(out.stall.is_none(), "{:?}", out.stall);
+        for (peer, records) in out.peer_records.iter().enumerate() {
+            assert_eq!(records.len(), 3, "peer {peer} incomplete");
+        }
+        // Decisions bind to the round that triggered them and change later
+        // rounds only: a switch observed at round r leaves r's policy alone,
+        // so every switch round is strictly before the final round.
+        for ev in &out.policy_events {
+            assert!((1..3).contains(&ev.round), "switch at round {}", ev.round);
+        }
+        // The wait policy genuinely changed: some later round aggregated
+        // with fewer than all three updates.
+        let demoted = out
+            .peer_records
+            .iter()
+            .flatten()
+            .any(|r| r.round > out.policy_events[0].round && r.updates_used < 3);
+        assert!(demoted, "no round ran under the demoted policy");
+    }
+
+    #[test]
+    fn noop_controller_is_bit_identical_to_static() {
+        // The controller hook must be free when it never fires: same records,
+        // metrics, chain, and settle time as the static run, and an empty
+        // decision log.
+        let baseline = run(WaitPolicy::All, 83);
+        let mut cfg = quick_config(WaitPolicy::All, 83);
+        cfg.controller = Some(ControllerSpec::noop());
+        let noop = run_with(cfg, 83);
+        assert_eq!(baseline.peer_records, noop.peer_records);
+        assert_eq!(baseline.metrics, noop.metrics);
+        assert_eq!(baseline.chain, noop.chain);
+        assert_eq!(baseline.finished_at, noop.finished_at);
+        assert!(noop.policy_events.is_empty());
+        assert_eq!(noop.policy_switches(), 0);
+    }
+
+    #[test]
+    fn invalid_controller_rejected_with_typed_error() {
+        let fx = fixture();
+        let mut cfg = quick_config(WaitPolicy::All, 1);
+        cfg.controller = Some(ControllerSpec::bandit(crate::policy::BanditConfig {
+            arms: Vec::new(),
+            epsilon: 0.2,
+        }));
+        let err = Decentralized::try_new(cfg, &fx.shards, &fx.tests)
+            .err()
+            .expect("must reject");
+        assert!(matches!(err, ConfigError::InvalidController(_)));
+        assert!(
+            err.to_string().starts_with("invalid policy controller"),
+            "{err}"
+        );
     }
 
     fn run_with_gossip(

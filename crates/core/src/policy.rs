@@ -1,0 +1,511 @@
+//! The adaptive per-round policy controller.
+//!
+//! The paper's central question — wait for every update or aggregate what's
+//! there — is answered *statically* per run everywhere else in this
+//! workspace. This module closes the loop: a [`PolicyController`] observes
+//! each aggregated round (wait time, staleness, fork rate, straggler spread,
+//! accuracy delta — the signals the orchestrator already meters) and emits
+//! [`PolicyDecision`]s that re-tune the wait policy, aggregation strategy, or
+//! staleness decay **at the next round boundary**.
+//!
+//! Controllers are described by plain data ([`ControllerSpec`]) so scenario
+//! specs stay `Clone + PartialEq` and matrix cells can dedup on equality; the
+//! trait object is built once per run. Any randomness a controller wants is
+//! drawn from a dedicated `RngHub` stream the orchestrator passes in, so a
+//! controlled run stays bit-identical at any `BLOCKFED_THREADS` and a
+//! controller that never fires reproduces the static run exactly.
+
+use blockfed_fl::{StalenessDecay, Strategy, WaitPolicy};
+use blockfed_sim::SimTime;
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::fmt;
+
+/// Everything a controller sees about one freshly aggregated round.
+///
+/// All fields are derived from state the orchestrator already tracks — no
+/// extra simulation work happens to feed a controller.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoundObservation {
+    /// The 1-based round that just aggregated (first aggregation of it).
+    pub round: u32,
+    /// Virtual seconds the aggregating peer spent between finishing local
+    /// training and aggregating — the price of waiting.
+    pub wait_secs: f64,
+    /// Mean staleness (virtual seconds between an update's publication and
+    /// its aggregation) over the updates this aggregation consumed.
+    pub staleness_mean_secs: f64,
+    /// Run-level fork rate so far: non-canonical sealed blocks over all
+    /// sealed blocks.
+    pub fork_rate: f64,
+    /// Spread (max − min, virtual seconds) of the training times observed so
+    /// far — how heterogeneous the stragglers are.
+    pub straggler_spread_secs: f64,
+    /// The aggregating peer's post-aggregation test accuracy.
+    pub accuracy: f64,
+    /// Accuracy change versus the previous observed round (`0.0` on the
+    /// first observation).
+    pub accuracy_delta: f64,
+    /// Peers currently active (not left/crashed).
+    pub active_peers: usize,
+    /// Model updates this aggregation actually consumed.
+    pub updates_used: usize,
+    /// The wait policy the observed round ran under.
+    pub wait_policy: WaitPolicy,
+    /// The staleness decay the observed round ran under.
+    pub staleness_decay: Option<StalenessDecay>,
+}
+
+/// One knob change a controller requests, applied from the next round on.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PolicyDecision {
+    /// Switch the wait policy (All ↔ FirstK).
+    SetWaitPolicy(WaitPolicy),
+    /// Switch the aggregation strategy (NotConsider / Consider / BestK).
+    SetStrategy(Strategy),
+    /// Replace (or clear) the staleness re-weighting.
+    SetStalenessDecay(Option<StalenessDecay>),
+}
+
+impl fmt::Display for PolicyDecision {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PolicyDecision::SetWaitPolicy(p) => write!(f, "wait={p}"),
+            PolicyDecision::SetStrategy(s) => write!(f, "strategy={s:?}"),
+            PolicyDecision::SetStalenessDecay(Some(d)) => write!(f, "decay={d:?}"),
+            PolicyDecision::SetStalenessDecay(None) => write!(f, "decay=off"),
+        }
+    }
+}
+
+/// One applied decision, stamped with when and for which round it fired —
+/// the entries of the decision log on `DecentralizedRun`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PolicyEvent {
+    /// The round whose aggregation triggered the decision.
+    pub round: u32,
+    /// Virtual time the decision was made.
+    pub at: SimTime,
+    /// What changed.
+    pub decision: PolicyDecision,
+}
+
+/// An online policy controller: observes each round, emits knob changes.
+///
+/// Implementations must be deterministic given the observation sequence and
+/// the provided RNG — the orchestrator hands in a dedicated `RngHub` stream
+/// so controller randomness never perturbs any other stream.
+pub trait PolicyController {
+    /// Observe `obs` and return the decisions to apply from the next round.
+    /// Returning an empty vector leaves every knob untouched.
+    fn decide(&mut self, obs: &RoundObservation, rng: &mut StdRng) -> Vec<PolicyDecision>;
+}
+
+/// Thresholds for the rule-based controller (all in virtual seconds).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RuleConfig {
+    /// Waits above this trip the All → FirstK demotion.
+    pub wait_high_secs: f64,
+    /// Waits below this (with accuracy falling) trip FirstK → All promotion.
+    pub wait_low_secs: f64,
+    /// Fraction of active peers a demoted FirstK keeps (clamped to ≥ 2).
+    pub keep_fraction: f64,
+    /// Mean staleness above this enables polynomial staleness decay if none
+    /// is set.
+    pub staleness_high_secs: f64,
+}
+
+impl Default for RuleConfig {
+    fn default() -> Self {
+        RuleConfig {
+            wait_high_secs: 5.0,
+            wait_low_secs: 1.0,
+            keep_fraction: 0.5,
+            staleness_high_secs: 10.0,
+        }
+    }
+}
+
+/// Configuration of the ε-greedy bandit controller.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BanditConfig {
+    /// The wait-policy arms the bandit chooses between.
+    pub arms: Vec<WaitPolicy>,
+    /// Exploration probability per observation.
+    pub epsilon: f64,
+}
+
+impl Default for BanditConfig {
+    fn default() -> Self {
+        BanditConfig {
+            arms: vec![WaitPolicy::All, WaitPolicy::FirstK(2)],
+            epsilon: 0.2,
+        }
+    }
+}
+
+/// The controller rule a spec selects.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ControllerRule {
+    /// Never emits a decision — the bit-identity baseline.
+    Noop,
+    /// Deterministic threshold rules over wait time / staleness / accuracy.
+    Threshold(RuleConfig),
+    /// ε-greedy bandit over wait-policy arms, rewarded by accuracy gain per
+    /// unit round time.
+    Bandit(BanditConfig),
+}
+
+/// Plain-data description of a controller: which rule, and from which round
+/// it may start firing. Lives on configs and scenario specs (which must stay
+/// `Clone + PartialEq`); [`ControllerSpec::build`] instantiates the trait
+/// object at run start.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ControllerSpec {
+    /// Decisions from rounds before this (1-based) are suppressed.
+    pub from_round: u32,
+    /// The rule to run.
+    pub rule: ControllerRule,
+}
+
+impl ControllerSpec {
+    /// A controller that never fires (proves the observation plumbing is
+    /// invisible).
+    pub fn noop() -> Self {
+        ControllerSpec {
+            from_round: 1,
+            rule: ControllerRule::Noop,
+        }
+    }
+
+    /// The rule-based controller with the given thresholds.
+    pub fn threshold(cfg: RuleConfig) -> Self {
+        ControllerSpec {
+            from_round: 1,
+            rule: ControllerRule::Threshold(cfg),
+        }
+    }
+
+    /// The ε-greedy bandit controller.
+    pub fn bandit(cfg: BanditConfig) -> Self {
+        ControllerSpec {
+            from_round: 1,
+            rule: ControllerRule::Bandit(cfg),
+        }
+    }
+
+    /// Suppresses decisions before round `round` (1-based).
+    #[must_use]
+    pub fn from_round(mut self, round: u32) -> Self {
+        self.from_round = round;
+        self
+    }
+
+    /// Checks the spec is runnable.
+    ///
+    /// # Errors
+    ///
+    /// Describes the first violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.from_round == 0 {
+            return Err("controller from_round is 1-based and must be positive".into());
+        }
+        match &self.rule {
+            ControllerRule::Noop => Ok(()),
+            ControllerRule::Threshold(cfg) => {
+                if !(cfg.keep_fraction > 0.0 && cfg.keep_fraction <= 1.0) {
+                    return Err(format!(
+                        "controller keep_fraction must be in (0, 1], got {}",
+                        cfg.keep_fraction
+                    ));
+                }
+                if cfg.wait_high_secs < cfg.wait_low_secs {
+                    return Err("controller wait_high_secs must be >= wait_low_secs".into());
+                }
+                Ok(())
+            }
+            ControllerRule::Bandit(cfg) => {
+                if cfg.arms.is_empty() {
+                    return Err("a bandit controller needs at least one arm".into());
+                }
+                if !(0.0..=1.0).contains(&cfg.epsilon) {
+                    return Err(format!(
+                        "bandit epsilon must be in [0, 1], got {}",
+                        cfg.epsilon
+                    ));
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Instantiates the controller this spec describes.
+    pub fn build(&self) -> Box<dyn PolicyController> {
+        match &self.rule {
+            ControllerRule::Noop => Box::new(NoopController),
+            ControllerRule::Threshold(cfg) => Box::new(ThresholdController {
+                cfg: cfg.clone(),
+                from_round: self.from_round,
+            }),
+            ControllerRule::Bandit(cfg) => Box::new(BanditController {
+                cfg: cfg.clone(),
+                from_round: self.from_round,
+                current: 0,
+                pulls: vec![0u32; cfg.arms.len()],
+                value: vec![0.0f64; cfg.arms.len()],
+            }),
+        }
+    }
+}
+
+impl fmt::Display for ControllerSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.rule {
+            ControllerRule::Noop => write!(f, "noop")?,
+            ControllerRule::Threshold(_) => write!(f, "rule")?,
+            ControllerRule::Bandit(cfg) => write!(f, "bandit{}", cfg.arms.len())?,
+        }
+        if self.from_round > 1 {
+            write!(f, "@r{}", self.from_round)?;
+        }
+        Ok(())
+    }
+}
+
+/// The controller behind [`ControllerRule::Noop`].
+struct NoopController;
+
+impl PolicyController for NoopController {
+    fn decide(&mut self, _obs: &RoundObservation, _rng: &mut StdRng) -> Vec<PolicyDecision> {
+        Vec::new()
+    }
+}
+
+/// The controller behind [`ControllerRule::Threshold`]: pure rules, no RNG
+/// draws, stateless across rounds (the observation carries the current
+/// policy).
+struct ThresholdController {
+    cfg: RuleConfig,
+    from_round: u32,
+}
+
+impl PolicyController for ThresholdController {
+    fn decide(&mut self, obs: &RoundObservation, _rng: &mut StdRng) -> Vec<PolicyDecision> {
+        if obs.round < self.from_round {
+            return Vec::new();
+        }
+        let mut out = Vec::new();
+        match obs.wait_policy {
+            WaitPolicy::All if obs.wait_secs > self.cfg.wait_high_secs => {
+                let k = ((obs.active_peers as f64 * self.cfg.keep_fraction).ceil() as usize).max(2);
+                if k < obs.active_peers {
+                    out.push(PolicyDecision::SetWaitPolicy(WaitPolicy::FirstK(k)));
+                }
+            }
+            WaitPolicy::FirstK(_)
+                if obs.wait_secs < self.cfg.wait_low_secs && obs.accuracy_delta < 0.0 =>
+            {
+                out.push(PolicyDecision::SetWaitPolicy(WaitPolicy::All));
+            }
+            _ => {}
+        }
+        if obs.staleness_mean_secs > self.cfg.staleness_high_secs && obs.staleness_decay.is_none() {
+            out.push(PolicyDecision::SetStalenessDecay(Some(
+                StalenessDecay::Polynomial { a: 0.5 },
+            )));
+        }
+        out
+    }
+}
+
+/// The controller behind [`ControllerRule::Bandit`]: ε-greedy over wait
+/// policies, rewarding each pulled arm with the observed accuracy delta.
+struct BanditController {
+    cfg: BanditConfig,
+    from_round: u32,
+    current: usize,
+    pulls: Vec<u32>,
+    value: Vec<f64>,
+}
+
+impl PolicyController for BanditController {
+    fn decide(&mut self, obs: &RoundObservation, rng: &mut StdRng) -> Vec<PolicyDecision> {
+        if obs.round < self.from_round {
+            return Vec::new();
+        }
+        // Credit the arm whose policy the observed round actually ran under
+        // (the spec's static policy until our first switch lands).
+        let ran = self
+            .cfg
+            .arms
+            .iter()
+            .position(|a| *a == obs.wait_policy)
+            .unwrap_or(self.current);
+        self.pulls[ran] += 1;
+        let n = f64::from(self.pulls[ran]);
+        self.value[ran] += (obs.accuracy_delta - self.value[ran]) / n;
+        // ε-greedy selection for the next round.
+        let next = if rng.gen::<f64>() < self.cfg.epsilon {
+            rng.gen_range(0..self.cfg.arms.len())
+        } else {
+            // Prefer unexplored arms, then the best mean reward; ties go to
+            // the lowest index so selection is deterministic.
+            (0..self.cfg.arms.len())
+                .max_by(|&a, &b| {
+                    let score = |i: usize| {
+                        if self.pulls[i] == 0 {
+                            f64::INFINITY
+                        } else {
+                            self.value[i]
+                        }
+                    };
+                    score(a)
+                        .partial_cmp(&score(b))
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                        .then(b.cmp(&a))
+                })
+                .unwrap_or(0)
+        };
+        self.current = next;
+        if self.cfg.arms[next] != obs.wait_policy {
+            vec![PolicyDecision::SetWaitPolicy(self.cfg.arms[next])]
+        } else {
+            Vec::new()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn obs(round: u32, wait: f64, policy: WaitPolicy) -> RoundObservation {
+        RoundObservation {
+            round,
+            wait_secs: wait,
+            staleness_mean_secs: 0.0,
+            fork_rate: 0.0,
+            straggler_spread_secs: 0.0,
+            accuracy: 0.5,
+            accuracy_delta: 0.0,
+            active_peers: 8,
+            updates_used: 8,
+            wait_policy: policy,
+            staleness_decay: None,
+        }
+    }
+
+    #[test]
+    fn noop_never_fires() {
+        let mut c = ControllerSpec::noop().build();
+        let mut rng = StdRng::seed_from_u64(1);
+        for r in 1..=5 {
+            assert!(c
+                .decide(&obs(r, 100.0, WaitPolicy::All), &mut rng)
+                .is_empty());
+        }
+    }
+
+    #[test]
+    fn threshold_demotes_slow_wait_all_and_promotes_back() {
+        let spec = ControllerSpec::threshold(RuleConfig::default());
+        spec.validate().unwrap();
+        let mut c = spec.build();
+        let mut rng = StdRng::seed_from_u64(1);
+        let d = c.decide(&obs(1, 8.0, WaitPolicy::All), &mut rng);
+        assert_eq!(
+            d,
+            vec![PolicyDecision::SetWaitPolicy(WaitPolicy::FirstK(4))]
+        );
+        // Fast round with falling accuracy under FirstK promotes back.
+        let mut o = obs(2, 0.5, WaitPolicy::FirstK(4));
+        o.accuracy_delta = -0.01;
+        let d = c.decide(&o, &mut rng);
+        assert_eq!(d, vec![PolicyDecision::SetWaitPolicy(WaitPolicy::All)]);
+        // A fast round with rising accuracy leaves the knobs alone.
+        let mut o = obs(3, 0.5, WaitPolicy::FirstK(4));
+        o.accuracy_delta = 0.01;
+        assert!(c.decide(&o, &mut rng).is_empty());
+    }
+
+    #[test]
+    fn threshold_enables_decay_on_high_staleness() {
+        let mut c = ControllerSpec::threshold(RuleConfig::default()).build();
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut o = obs(1, 0.5, WaitPolicy::All);
+        o.staleness_mean_secs = 30.0;
+        assert_eq!(
+            c.decide(&o, &mut rng),
+            vec![PolicyDecision::SetStalenessDecay(Some(
+                StalenessDecay::Polynomial { a: 0.5 }
+            ))]
+        );
+        // Already decayed rounds are left alone.
+        o.staleness_decay = Some(StalenessDecay::Polynomial { a: 0.5 });
+        assert!(c.decide(&o, &mut rng).is_empty());
+    }
+
+    #[test]
+    fn from_round_suppresses_early_decisions() {
+        let mut c = ControllerSpec::threshold(RuleConfig::default())
+            .from_round(3)
+            .build();
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(c
+            .decide(&obs(2, 50.0, WaitPolicy::All), &mut rng)
+            .is_empty());
+        assert!(!c
+            .decide(&obs(3, 50.0, WaitPolicy::All), &mut rng)
+            .is_empty());
+    }
+
+    #[test]
+    fn bandit_is_deterministic_given_the_stream() {
+        let spec = ControllerSpec::bandit(BanditConfig::default());
+        spec.validate().unwrap();
+        let run = |seed: u64| {
+            let mut c = spec.build();
+            let mut rng = StdRng::seed_from_u64(seed);
+            (1..=6)
+                .map(|r| c.decide(&obs(r, 1.0, WaitPolicy::All), &mut rng))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(9), run(9), "same stream, same decisions");
+    }
+
+    #[test]
+    fn validation_catches_bad_specs() {
+        let bad = ControllerSpec::bandit(BanditConfig {
+            arms: Vec::new(),
+            epsilon: 0.1,
+        });
+        assert!(bad.validate().is_err());
+        let bad = ControllerSpec::bandit(BanditConfig {
+            arms: vec![WaitPolicy::All],
+            epsilon: 1.5,
+        });
+        assert!(bad.validate().is_err());
+        let bad = ControllerSpec::threshold(RuleConfig {
+            keep_fraction: 0.0,
+            ..RuleConfig::default()
+        });
+        assert!(bad.validate().is_err());
+        assert!(ControllerSpec::noop().from_round(0).validate().is_err());
+    }
+
+    #[test]
+    fn display_names_are_compact() {
+        assert_eq!(ControllerSpec::noop().to_string(), "noop");
+        assert_eq!(
+            ControllerSpec::threshold(RuleConfig::default())
+                .from_round(2)
+                .to_string(),
+            "rule@r2"
+        );
+        assert_eq!(
+            ControllerSpec::bandit(BanditConfig::default()).to_string(),
+            "bandit2"
+        );
+    }
+}

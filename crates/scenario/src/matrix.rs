@@ -4,6 +4,7 @@
 //! defence); the matrix type makes the pattern declarative and lets the
 //! runner execute every cell in parallel.
 
+use blockfed_core::ControllerSpec;
 use blockfed_fl::{Strategy, WaitPolicy};
 
 use crate::spec::ScenarioSpec;
@@ -37,6 +38,7 @@ pub struct ScenarioMatrix {
     wait_policies: Vec<WaitPolicy>,
     strategies: Vec<Strategy>,
     seeds: Vec<u64>,
+    controllers: Vec<Option<ControllerSpec>>,
 }
 
 impl ScenarioMatrix {
@@ -48,6 +50,7 @@ impl ScenarioMatrix {
             wait_policies: Vec::new(),
             strategies: Vec::new(),
             seeds: Vec::new(),
+            controllers: Vec::new(),
         }
     }
 
@@ -88,6 +91,15 @@ impl ScenarioMatrix {
         self
     }
 
+    /// Varies the adaptive policy controller. `None` entries pin the cell to
+    /// the spec's static knobs — the axis for controller-vs-static
+    /// comparisons on otherwise identical cells.
+    #[must_use]
+    pub fn vary_controller(mut self, controllers: &[Option<ControllerSpec>]) -> Self {
+        self.controllers = controllers.to_vec();
+        self
+    }
+
     /// The number of cells the matrix expands to (the product of the axis
     /// lengths; an empty axis keeps the base value and counts as one).
     pub fn len(&self) -> usize {
@@ -96,6 +108,7 @@ impl ScenarioMatrix {
             self.wait_policies.len(),
             self.strategies.len(),
             self.seeds.len(),
+            self.controllers.len(),
         ]
         .iter()
         .map(|&l| l.max(1))
@@ -121,32 +134,47 @@ impl ScenarioMatrix {
         let wait_axis = axis(&self.wait_policies);
         let strat_axis = axis(&self.strategies);
         let seed_axis = axis(&self.seeds);
+        // ControllerSpec is not Copy; borrow the axis entries instead.
+        let ctl_axis: Vec<Option<&Option<ControllerSpec>>> = if self.controllers.is_empty() {
+            vec![None]
+        } else {
+            self.controllers.iter().map(Some).collect()
+        };
 
         let mut out = Vec::new();
         for &n in &peer_axis {
             for &w in &wait_axis {
                 for &s in &strat_axis {
                     for &seed in &seed_axis {
-                        let mut cell = self.base.clone();
-                        let mut name = self.base.name.clone();
-                        if let Some(n) = n {
-                            cell = resize_peers(cell, n);
-                            name.push_str(&format!("/n={n}"));
+                        for &ctl in &ctl_axis {
+                            let mut cell = self.base.clone();
+                            let mut name = self.base.name.clone();
+                            if let Some(n) = n {
+                                cell = resize_peers(cell, n);
+                                name.push_str(&format!("/n={n}"));
+                            }
+                            if let Some(w) = w {
+                                cell.wait_policy = w;
+                                name.push_str(&format!("/{w}"));
+                            }
+                            if let Some(s) = s {
+                                cell.strategy = s;
+                                name.push_str(&format!("/{s}"));
+                            }
+                            if let Some(seed) = seed {
+                                cell.seed = seed;
+                                name.push_str(&format!("/seed={seed}"));
+                            }
+                            if let Some(ctl) = ctl {
+                                cell.controller = ctl.clone();
+                                match ctl {
+                                    Some(c) => name.push_str(&format!("/ctl={c}")),
+                                    None => name.push_str("/ctl=static"),
+                                }
+                            }
+                            cell.name = name;
+                            out.push(cell);
                         }
-                        if let Some(w) = w {
-                            cell.wait_policy = w;
-                            name.push_str(&format!("/{w}"));
-                        }
-                        if let Some(s) = s {
-                            cell.strategy = s;
-                            name.push_str(&format!("/{s}"));
-                        }
-                        if let Some(seed) = seed {
-                            cell.seed = seed;
-                            name.push_str(&format!("/seed={seed}"));
-                        }
-                        cell.name = name;
-                        out.push(cell);
                     }
                 }
             }

@@ -25,6 +25,9 @@ pub struct CellReport {
     pub wait_policy: WaitPolicy,
     /// The strategy actually used (after the Consider→BestK cutover).
     pub strategy: Strategy,
+    /// Compact name of the adaptive policy controller the cell ran under
+    /// (`None` = the spec's static knobs, the paper's setting).
+    pub controller: Option<String>,
     /// Master seed.
     pub seed: u64,
     /// Mean final-round accuracy across peers that completed ≥ 1 round.
@@ -56,6 +59,10 @@ pub struct CellReport {
     /// (`None` when no aggregate confirmed). A value ≥ 32 certifies the cell
     /// ran through the variable-width (post-u32) combination-mask path.
     pub max_mask_bit: Option<u32>,
+    /// Accuracy trajectory over virtual time: one `(completed_at_secs,
+    /// mean_accuracy)` entry per communication round that anyone finished,
+    /// in round order — the raw material of time-to-accuracy comparisons.
+    pub round_accuracy: Vec<(f64, f64)>,
     /// Host wall-clock the cell took (excluded from equality).
     pub wall_clock_secs: f64,
 }
@@ -67,6 +74,7 @@ impl PartialEq for CellReport {
             && self.rounds == other.rounds
             && self.wait_policy == other.wait_policy
             && self.strategy == other.strategy
+            && self.controller == other.controller
             && self.seed == other.seed
             && self.mean_final_accuracy == other.mean_final_accuracy
             && self.mean_wait_secs == other.mean_wait_secs
@@ -78,6 +86,7 @@ impl PartialEq for CellReport {
             && self.blocks == other.blocks
             && self.records == other.records
             && self.max_mask_bit == other.max_mask_bit
+            && self.round_accuracy == other.round_accuracy
     }
 }
 
@@ -120,6 +129,22 @@ impl CellReport {
             .histogram("staleness_secs")
             .map_or(0.0, Histogram::mean)
     }
+
+    /// Knob changes the cell's adaptive controller applied. Zero on static
+    /// (and noop-controller) cells.
+    pub fn policy_switches(&self) -> u64 {
+        self.metrics.counter("policy_switches")
+    }
+
+    /// Virtual seconds until the cell's mean accuracy first reached
+    /// `threshold` (the paper's speed-vs-precision currency). `None` if no
+    /// round got there — which compares as *slower than* any reached time.
+    pub fn time_to_accuracy(&self, threshold: f64) -> Option<f64> {
+        self.round_accuracy
+            .iter()
+            .find(|&&(_, acc)| acc >= threshold)
+            .map(|&(t, _)| t)
+    }
 }
 
 /// The folded result of a whole scenario matrix.
@@ -141,6 +166,7 @@ impl ScenarioReport {
                 "Peers",
                 "Policy",
                 "Strategy",
+                "Ctl",
                 "Final acc",
                 "Mean wait (s)",
                 "Makespan (s)",
@@ -158,6 +184,7 @@ impl ScenarioReport {
                 c.peers.to_string(),
                 c.wait_policy.to_string(),
                 c.strategy.to_string(),
+                c.controller.clone().unwrap_or_else(|| "-".into()),
                 format!("{:.4}", c.mean_final_accuracy),
                 format!("{:.2}", c.mean_wait_secs),
                 format!("{:.1}", c.makespan_secs),
@@ -167,6 +194,29 @@ impl ScenarioReport {
                 c.dropped_msgs().to_string(),
                 c.fetch_retries().to_string(),
                 format!("{:.2}", c.wall_clock_secs),
+            ]);
+        }
+        table
+    }
+
+    /// Renders the speed-vs-precision comparison: per cell, the virtual time
+    /// to first reach `threshold` mean accuracy (the wait-or-not-to-wait
+    /// question in one number), alongside final accuracy and the knob changes
+    /// an adaptive controller applied.
+    pub fn time_to_accuracy_table(&self, threshold: f64) -> Table {
+        let mut table = Table::new(
+            format!("Time to {:.0}% accuracy — {}", threshold * 100.0, self.name),
+            &["Cell", "Policy", "Ctl", "TTA (s)", "Final acc", "Switches"],
+        );
+        for c in &self.cells {
+            table.row_owned(vec![
+                c.name.clone(),
+                c.wait_policy.to_string(),
+                c.controller.clone().unwrap_or_else(|| "-".into()),
+                c.time_to_accuracy(threshold)
+                    .map_or_else(|| "never".into(), |t| format!("{t:.1}")),
+                format!("{:.4}", c.mean_final_accuracy),
+                c.policy_switches().to_string(),
             ]);
         }
         table
@@ -190,6 +240,10 @@ impl ScenarioReport {
             out.push_str(&format!(
                 "\"strategy\": {}, ",
                 json_str(&c.strategy.to_string())
+            ));
+            out.push_str(&format!(
+                "\"controller\": {}, ",
+                c.controller.as_deref().map_or("null".into(), json_str)
             ));
             out.push_str(&format!("\"seed\": {}, ", c.seed));
             out.push_str(&format!(
@@ -218,6 +272,15 @@ impl ScenarioReport {
             out.push_str(&format!(
                 "\"staleness_mean_secs\": {}, ",
                 json_f64(c.staleness_mean_secs())
+            ));
+            out.push_str(&format!("\"policy_switches\": {}, ", c.policy_switches()));
+            out.push_str(&format!(
+                "\"round_accuracy\": [{}], ",
+                c.round_accuracy
+                    .iter()
+                    .map(|&(t, a)| format!("[{}, {}]", json_f64(t), json_f64(a)))
+                    .collect::<Vec<_>>()
+                    .join(", ")
             ));
             out.push_str(&format!("\"blocks\": {}, ", c.blocks));
             out.push_str(&format!("\"records\": {}, ", c.records));
@@ -265,6 +328,7 @@ impl ScenarioReport {
                 "{{\"cell\": {}, \"peers\": {}, \"gossip_bytes\": {}, \"fetch_bytes\": {}, \
                  \"dropped_msgs\": {}, \"fetch_retries\": {}, \
                  \"wait_max_secs\": {}, \"staleness_mean_secs\": {}, \
+                 \"policy_switches\": {}, \"final_accuracy\": {}, \
                  \"wall_clock_secs\": {}, \"git_rev\": {}}}\n",
                 json_str(&c.name),
                 c.peers,
@@ -274,6 +338,8 @@ impl ScenarioReport {
                 c.fetch_retries(),
                 json_f64(c.wait_max_secs()),
                 json_f64(c.staleness_mean_secs()),
+                c.policy_switches(),
+                json_f64(c.mean_final_accuracy),
                 json_f64(c.wall_clock_secs),
                 json_str(git_rev),
             ));
@@ -346,6 +412,7 @@ mod tests {
             rounds: 2,
             wait_policy: WaitPolicy::FirstK(3),
             strategy: Strategy::BestK(3),
+            controller: None,
             seed: 7,
             mean_final_accuracy: 0.5,
             mean_wait_secs: 1.25,
@@ -357,6 +424,7 @@ mod tests {
             blocks: 12,
             records: 10,
             max_mask_bit: Some(4),
+            round_accuracy: vec![(40.0, 0.3), (100.0, 0.5)],
             wall_clock_secs: 3.3,
         }
     }
@@ -394,6 +462,33 @@ mod tests {
         assert_eq!(bare.dropped_msgs(), 0);
         assert_eq!(bare.wait_max_secs(), 0.0);
         assert!(!bare.stalled());
+        assert_eq!(bare.policy_switches(), 0);
+    }
+
+    #[test]
+    fn time_to_accuracy_walks_the_trajectory() {
+        let c = cell("a"); // rounds at (40s, 0.3) and (100s, 0.5)
+        assert_eq!(c.time_to_accuracy(0.25), Some(40.0));
+        assert_eq!(c.time_to_accuracy(0.3), Some(40.0));
+        assert_eq!(c.time_to_accuracy(0.4), Some(100.0));
+        assert_eq!(c.time_to_accuracy(0.9), None, "never reached");
+        // The trajectory and controller identity are part of cell equality.
+        let mut d = cell("a");
+        d.round_accuracy[1].1 = 0.6;
+        assert_ne!(c, d);
+        let mut e = cell("a");
+        e.controller = Some("rule".into());
+        assert_ne!(c, e);
+        // The TTA table renders reached and never-reached cells.
+        let report = ScenarioReport {
+            name: "tta".into(),
+            cells: vec![cell("fast"), cell("slow")],
+        };
+        let rendered = report.time_to_accuracy_table(0.4).to_string();
+        assert!(rendered.contains("Time to 40% accuracy"));
+        assert!(rendered.contains("100.0"));
+        let rendered = report.time_to_accuracy_table(0.9).to_string();
+        assert!(rendered.contains("never"));
     }
 
     #[test]
@@ -415,6 +510,11 @@ mod tests {
         // Telemetry columns derived from the folded histograms.
         assert!(json.contains("\"wait_max_secs\": 1.5"));
         assert!(json.contains("\"staleness_mean_secs\": 4"));
+        // Adaptive-policy columns: controller identity, switch count, and
+        // the accuracy trajectory TTA is computed from.
+        assert!(json.contains("\"controller\": null"));
+        assert!(json.contains("\"policy_switches\": 0"));
+        assert!(json.contains("\"round_accuracy\": [[40, 0.3], [100, 0.5]]"));
         // The full extensible metric set rides along as a nested object.
         assert!(json.contains("\"metrics\": {\"counters\":{"));
         assert!(json.contains("\"wait_secs\":{\"count\":2"));

@@ -8,7 +8,7 @@
 
 use std::time::Instant;
 
-use blockfed_core::ChainStore;
+use blockfed_core::{ChainStore, ControllerSpec};
 use blockfed_data::{partition_dataset, Dataset, SynthCifar};
 use blockfed_fl::Strategy;
 use blockfed_sim::RngHub;
@@ -100,6 +100,34 @@ impl ScenarioRunner {
         (base, replay)
     }
 
+    /// Controller-vs-static comparison from a shared prefix — the
+    /// [`ScenarioRunner::run_fork_replay`] pattern with the adaptive
+    /// controller as the delta. Runs `spec` (with any controller stripped)
+    /// against a fresh store, then a derived spec (named `{name}+ctl={…}`)
+    /// with `controller` attached against the *same* store: the rounds before
+    /// the controller's first firing replay from the execution memo instead
+    /// of being re-executed. Returns the (static, controlled) reports.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec fails [`ScenarioSpec::validate`] or the controller
+    /// spec is invalid.
+    pub fn run_controller_replay(
+        &self,
+        spec: &ScenarioSpec,
+        controller: ControllerSpec,
+    ) -> (CellReport, CellReport) {
+        let store = ChainStore::new();
+        let mut static_spec = spec.clone();
+        static_spec.controller = None;
+        let base = self.run_with_store(&static_spec, &store);
+        let controlled_spec = static_spec
+            .named(format!("{}+ctl={controller}", spec.name))
+            .controller(controller);
+        let controlled = self.run_with_store(&controlled_spec, &store);
+        (base, controlled)
+    }
+
     fn run_cell(
         &self,
         spec: &ScenarioSpec,
@@ -132,12 +160,35 @@ impl ScenarioRunner {
         };
         let records = run.peer_records.iter().map(Vec::len).sum();
         let max_mask_bit = run.max_mask_bit().map(|b| b as u32);
+        // Accuracy-over-time trajectory: a round counts from the moment its
+        // last finisher aggregated, at the mean accuracy the finishers saw.
+        let mut round_accuracy = Vec::new();
+        for round in 1..=spec.rounds {
+            let finishers: Vec<&blockfed_core::PeerRoundRecord> = run
+                .peer_records
+                .iter()
+                .flatten()
+                .filter(|r| r.round == round)
+                .collect();
+            if finishers.is_empty() {
+                continue;
+            }
+            let done_at = finishers
+                .iter()
+                .map(|r| r.aggregated_at)
+                .max()
+                .expect("non-empty");
+            let mean_acc =
+                finishers.iter().map(|r| r.chosen_accuracy).sum::<f64>() / finishers.len() as f64;
+            round_accuracy.push((done_at.as_secs_f64(), mean_acc));
+        }
         CellReport {
             name: spec.name.clone(),
             peers: spec.peers(),
             rounds: spec.rounds,
             wait_policy: spec.wait_policy,
             strategy: spec.resolved_strategy(),
+            controller: spec.controller.as_ref().map(ToString::to_string),
             seed: spec.seed,
             mean_final_accuracy,
             mean_wait_secs: run.mean_wait().as_secs_f64(),
@@ -149,6 +200,7 @@ impl ScenarioRunner {
             blocks: run.chain.blocks,
             records,
             max_mask_bit,
+            round_accuracy,
             wall_clock_secs: started.elapsed().as_secs_f64(),
         }
     }
@@ -371,6 +423,58 @@ mod tests {
         assert_eq!(report.cells[0], report.cells[1]);
         let solo = runner.run(&base.seed(1).named(report.cells[0].name.clone()));
         assert_eq!(report.cells[0], solo, "dedup must not change any cell");
+    }
+
+    #[test]
+    fn dedup_key_covers_store_and_controller_fields() {
+        // Regression: the matrix dedup keys on *spec equality*. Cells that
+        // differ only in snapshot_interval, prune_depth, or the controller
+        // would be silently merged if any of those fields escaped PartialEq —
+        // each must keep the pair distinct.
+        let base = ScenarioSpec::new("key", 3).rounds(1);
+        let variants = [
+            base.clone().snapshot_interval(2),
+            base.clone().prune_depth(4),
+            base.clone()
+                .controller(blockfed_core::ControllerSpec::noop()),
+        ];
+        for v in &variants {
+            assert_ne!(base, *v, "field must be part of spec identity: {}", v.name);
+        }
+        // End to end: a matrix whose controller axis is (static, noop) runs
+        // both cells instead of cloning one report — visible in the reports'
+        // controller columns.
+        let matrix = ScenarioMatrix::new(base)
+            .vary_controller(&[None, Some(blockfed_core::ControllerSpec::noop())]);
+        let report = ScenarioRunner::new().run_matrix(&matrix);
+        assert_eq!(report.cells.len(), 2);
+        assert_eq!(report.cells[0].controller, None);
+        assert_eq!(report.cells[1].controller, Some("noop".into()));
+        assert!(report.cells[1].name.ends_with("/ctl=noop"));
+    }
+
+    #[test]
+    fn controller_replay_shares_the_prefix_with_the_static_run() {
+        // run_controller_replay is the fork-replay pattern with the adaptive
+        // controller as the delta: same store, so the rounds before the
+        // controller's first firing come from the execution memo.
+        let spec = churn_spec(5, 9).rounds(3);
+        let runner = ScenarioRunner::new();
+        let ctl = blockfed_core::ControllerSpec::threshold(Default::default());
+        let (base, controlled) = runner.run_controller_replay(&spec, ctl.clone());
+        assert_eq!(base.controller, None);
+        assert_eq!(controlled.controller, Some("rule".into()));
+        assert!(controlled.name.ends_with("+ctl=rule"));
+        // The static leg matches a plain private-store run bit for bit.
+        assert_eq!(base, runner.run(&spec));
+        assert!(
+            controlled.metrics.counter("store_exec_hits") > 0,
+            "controlled leg must reuse the static prefix: {controlled:?}"
+        );
+        // Replaying the comparison is itself deterministic.
+        let (base2, controlled2) = runner.run_controller_replay(&spec, ctl);
+        assert_eq!(base, base2);
+        assert_eq!(controlled, controlled2);
     }
 
     #[test]

@@ -9,8 +9,8 @@
 //! with [`ScenarioSpec::run_with`].
 
 use blockfed_core::{
-    ChainStore, ComputeProfile, ConfigError, Decentralized, DecentralizedConfig, DecentralizedRun,
-    Fault, RetargetRule, TimedFault, MAX_PEERS,
+    ChainStore, ComputeProfile, ConfigError, ControllerSpec, Decentralized, DecentralizedConfig,
+    DecentralizedRun, Fault, RetargetRule, TimedFault, MAX_PEERS,
 };
 use blockfed_data::{Dataset, Partition, SynthCifarConfig};
 use blockfed_fl::{Adversary, StalenessDecay, Strategy, WaitPolicy};
@@ -154,6 +154,19 @@ pub struct ScenarioSpec {
     /// this long, it fails fast with a diagnostic instead of hanging (see
     /// [`DecentralizedConfig::watchdog`]). `None` disables the monitor.
     pub watchdog: Option<SimDuration>,
+    /// State-snapshot cadence of every peer's chain (`None` keeps the
+    /// default). Store configuration is part of spec identity: two cells
+    /// differing only here are distinct and never deduplicated.
+    pub snapshot_interval: Option<u64>,
+    /// Opt-in state-pruning depth of every peer's chain (`None` disables).
+    /// Part of spec identity, like [`ScenarioSpec::snapshot_interval`].
+    pub prune_depth: Option<u64>,
+    /// Optional adaptive policy controller: observes each round's wait time,
+    /// staleness, fork rate, straggler spread, and accuracy delta and may
+    /// switch wait policy / strategy / staleness decay at round boundaries
+    /// (see [`ControllerSpec`]). `None` keeps the spec's static knobs — the
+    /// paper's setting.
+    pub controller: Option<ControllerSpec>,
     /// Data synthesis and partitioning.
     pub data: DataSpec,
     /// The model architecture every peer trains.
@@ -210,6 +223,9 @@ impl ScenarioSpec {
             adversaries: Vec::new(),
             timeline: Vec::new(),
             watchdog: Some(SimDuration::from_secs(600)),
+            snapshot_interval: None,
+            prune_depth: None,
+            controller: None,
             data,
             model,
             batch_parallel: None,
@@ -427,6 +443,30 @@ impl ScenarioSpec {
         self
     }
 
+    /// Sets the state-snapshot cadence of every peer's chain (see
+    /// [`ScenarioSpec::snapshot_interval`]).
+    #[must_use]
+    pub fn snapshot_interval(mut self, interval: u64) -> Self {
+        self.snapshot_interval = Some(interval);
+        self
+    }
+
+    /// Enables state pruning at `depth` blocks behind every peer's head (see
+    /// [`ScenarioSpec::prune_depth`]).
+    #[must_use]
+    pub fn prune_depth(mut self, depth: u64) -> Self {
+        self.prune_depth = Some(depth);
+        self
+    }
+
+    /// Attaches an adaptive policy controller (see
+    /// [`ScenarioSpec::controller`]).
+    #[must_use]
+    pub fn controller(mut self, spec: ControllerSpec) -> Self {
+        self.controller = Some(spec);
+        self
+    }
+
     /// Sets the gossip dissemination mode (see [`ScenarioSpec::gossip`]).
     #[must_use]
     pub fn gossip(mut self, mode: GossipMode) -> Self {
@@ -606,6 +646,13 @@ impl ScenarioSpec {
             }
         }
         blockfed_core::validate_timeline(&self.timeline, n)?;
+        if let Some(ctl) = &self.controller {
+            if let Err(e) = ctl.validate() {
+                // Mirror the orchestrator's typed rejection word for word, so
+                // a spec and Decentralized::try_new refuse identically.
+                return Err(ConfigError::InvalidController(e).to_string());
+            }
+        }
         if let Err(e) = self.link.validate() {
             // Mirror the orchestrator's typed rejection word for word, so a
             // spec and Decentralized::try_new refuse identically.
@@ -648,6 +695,9 @@ impl ScenarioSpec {
             faults: self.timeline.clone(),
             retarget: self.retarget,
             watchdog: self.watchdog,
+            snapshot_interval: self.snapshot_interval,
+            prune_depth: self.prune_depth,
+            controller: self.controller.clone(),
             store: None,
             seed: self.seed,
         }

@@ -9,6 +9,7 @@
 //! cargo run --release --example scenarios -- --gossip128 # CI: announce/fetch byte guards + 128-peer cell
 //! cargo run --release --example scenarios -- --paper    # CI: paper-scale SimpleNN cell, batch-parallel vs sequential
 //! cargo run --release --example scenarios -- --chaos    # CI: lossy 48-peer cells (loss 0/1/5/20%) + byte-accounting guard
+//! cargo run --release --example scenarios -- --adaptive # CI: churn+shock cell, policy controller vs static wait policies (time-to-accuracy)
 //! cargo run --release --example scenarios -- --trace    # CI: traced runs bit-identical to untraced; JSONL + Chrome trace export
 //! cargo run --release --example scenarios -- --memcheck # CI: 48-peer cell twice in-process; chain-store entries stay bounded
 //! cargo run --release --example scenarios -- --speedup  # per-phase wall clock of matmul/FedAvg/par_train_epochs at 1/2/8 threads
@@ -23,6 +24,8 @@
 //! `chrome://tracing`); `--speedup` appends one kernel-timing line per thread
 //! count to `BENCH_history.jsonl`.
 
+use blockfed::core::{ControllerSpec, RuleConfig};
+use blockfed::data::Partition;
 use blockfed::fl::{Strategy, WaitPolicy};
 use blockfed::net::{GossipMode, LinkSpec};
 use blockfed::scenario::{
@@ -434,6 +437,153 @@ fn chaos() {
     println!("lossy 48-peer certification OK");
 }
 
+/// The accuracy bar the adaptive certification clocks: the first virtual
+/// second at which a whole round settled at or above this mean accuracy.
+const ADAPTIVE_TTA_TARGET: f64 = 0.95;
+
+/// The 48-peer churn + hash-shock cell behind `--adaptive`. Peer 0 holds a
+/// label-skewed shard and crawls through training: its round-1 update lands
+/// only after ~5 virtual seconds (behind a partition window that forks its
+/// solo chain), and its round-2 update is still baking when the peer leaves
+/// for good at 10 s — so every wait-all round is gated by the straggler, and
+/// round 2 can only settle when the leave releases it. A first-k round sails
+/// past the straggler but its thin aggregates never see the excluded shards'
+/// classes. The cell also joins a late peer and doubles a miner's hash rate —
+/// the churn+shock regime the paper's static tables sweep.
+fn adaptive48_spec() -> ScenarioSpec {
+    let scaled = DataSpec::scaled_for(48);
+    // Floods relay around partial cuts, so truly isolating peer 0 means
+    // severing it from *every* other peer — minus peer 9, which has not
+    // joined yet and may not be referenced before it does.
+    let early: Vec<usize> = (1..48).filter(|&p| p != 9).collect();
+    let mut spec = ScenarioSpec::new("adaptive48", 48)
+        .rounds(3)
+        .consider_cutover(6, 40)
+        .data(DataSpec {
+            partition: Partition::DirichletLabelSkew { alpha: 0.2 },
+            synth: blockfed::data::SynthCifarConfig {
+                train_per_class: 150,
+                test_per_class: 150,
+                ..scaled.synth
+            },
+        })
+        .partition_at(0.1, &[0], &early)
+        .heal_at(4.5)
+        .hash_shock_at(2.0, 5, 6.0)
+        .join_at(5.5, 9)
+        .leave_at(10.0, 0)
+        .seed(48);
+    // Peer 0 is the churn victim: it trains its (tiny, skewed) shard at a
+    // crawl, so round 1 settles only when its update finally lands and its
+    // round-2 update is still unfinished when it leaves at 10 s. The tail
+    // half of the population is a medium-speed band, so a first-k
+    // aggregation deterministically excludes part of its skewed shards.
+    spec.computes[0].train_rate = 0.8;
+    for c in spec.computes.iter_mut().skip(24) {
+        c.train_rate = 60.0;
+    }
+    spec
+}
+
+/// The rule the `--adaptive` controller runs: demote wait-all as soon as a
+/// round waited > 0.5 virtual seconds (every peer's round-1 wait clears that
+/// bar, whichever one aggregates first), keeping 90 % of the active peers;
+/// never promote back (`wait_low_secs: 0.0`) and leave staleness decay
+/// alone, so the certified trajectory is purely the wait-policy story.
+fn adaptive_rule() -> RuleConfig {
+    RuleConfig {
+        wait_high_secs: 0.5,
+        wait_low_secs: 0.0,
+        keep_fraction: 0.9,
+        staleness_high_secs: f64::INFINITY,
+    }
+}
+
+/// The adaptive-policy certification: the churn+shock cell under static
+/// wait-all, static first-k, and the threshold controller. The controller
+/// must switch at least once and reach [`ADAPTIVE_TTA_TARGET`] no later than
+/// *every* static wait policy — the "wait or not to wait" question answered
+/// online instead of per run.
+fn adaptive() {
+    println!("adaptive policy — 48-peer churn+shock cell: controller vs static wait policies\n");
+    let runner = ScenarioRunner::new();
+    let base = adaptive48_spec();
+    let all = runner.run(&base.clone().named("adaptive48-all"));
+    let first24 = runner.run(
+        &base
+            .clone()
+            .named("adaptive48-first24")
+            .wait(WaitPolicy::FirstK(24)),
+    );
+    let first36 = runner.run(
+        &base
+            .clone()
+            .named("adaptive48-first36")
+            .wait(WaitPolicy::FirstK(36)),
+    );
+    let ctl = runner.run(
+        &base
+            .named("adaptive48-ctl")
+            .controller(ControllerSpec::threshold(adaptive_rule())),
+    );
+
+    let report = ScenarioReport {
+        name: "adaptive48".into(),
+        cells: vec![all, first24, first36, ctl],
+    };
+    println!("{}", report.time_to_accuracy_table(ADAPTIVE_TTA_TARGET));
+    for cell in &report.cells {
+        let traj: Vec<String> = cell
+            .round_accuracy
+            .iter()
+            .map(|(t, a)| format!("{t:.1}s→{a:.3}"))
+            .collect();
+        println!("{:<22} {}", cell.name, traj.join("  "));
+    }
+    println!("\n{}", report.table());
+
+    let ctl = &report.cells[3];
+    assert!(
+        ctl.policy_switches() > 0,
+        "the controller never fired on the churn+shock cell"
+    );
+    assert_eq!(
+        report.cells[0].policy_switches(),
+        0,
+        "a static cell metered a switch"
+    );
+    let ctl_tta = ctl
+        .time_to_accuracy(ADAPTIVE_TTA_TARGET)
+        .expect("the controlled run never reached the target accuracy");
+    for cell in &report.cells[..3] {
+        match cell.time_to_accuracy(ADAPTIVE_TTA_TARGET) {
+            Some(t) => assert!(
+                ctl_tta <= t,
+                "static {} reached {:.0}% accuracy at {t:.1}s, before the controller's {ctl_tta:.1}s",
+                cell.name,
+                ADAPTIVE_TTA_TARGET * 100.0
+            ),
+            None => println!(
+                "static {} never reached {:.0}% accuracy",
+                cell.name,
+                ADAPTIVE_TTA_TARGET * 100.0
+            ),
+        }
+    }
+    let path = report.write_json(".").expect("write BENCH_scenarios.json");
+    println!("wrote {}", path.display());
+    let rev = git_rev();
+    let hist = report
+        .append_history(".", &rev)
+        .expect("append BENCH_history.jsonl");
+    println!(
+        "appended {} cells at rev {rev} to {}",
+        report.cells.len(),
+        hist.display()
+    );
+    println!("adaptive policy certification OK (controller TTA {ctl_tta:.1}s)");
+}
+
 /// The telemetry certification:
 ///
 /// 1. With telemetry off (the default no-op sink), the lossless 48-peer cell
@@ -717,6 +867,7 @@ fn main() {
         "--gossip128" => gossip128(),
         "--paper" => paper(),
         "--chaos" => chaos(),
+        "--adaptive" => adaptive(),
         "--trace" => trace(),
         "--memcheck" => memcheck(),
         "--speedup" => speedup(),
@@ -724,7 +875,7 @@ fn main() {
         other => {
             eprintln!(
                 "unknown mode {other}; use --smoke, --bestk, --bench, --bestk48, --gossip128, \
-                 --paper, --chaos, --trace, --memcheck, --speedup, or --demo"
+                 --paper, --chaos, --adaptive, --trace, --memcheck, --speedup, or --demo"
             );
             std::process::exit(2);
         }

@@ -1,0 +1,173 @@
+//! Adaptive-policy invariance: attaching a controller that never fires must
+//! be completely free. A run with `ControllerSpec::noop()` reproduces the
+//! static run bit for bit — per-peer records, canonical chain stats, the full
+//! folded metric set, and the raw trace bytes — at 1 and 8 compute threads,
+//! on calm runs and under a chaos timeline (partition + heal, crash +
+//! restart). Controllers that *do* fire (threshold rules, the ε-greedy
+//! bandit) draw only from their dedicated RNG stream, so controlled runs are
+//! themselves bit-identical at any thread count.
+
+use blockfed::core::{
+    ComputeProfile, ControllerSpec, Decentralized, DecentralizedConfig, Fault, TimedFault,
+};
+use blockfed::data::{partition_dataset, Dataset, Partition, SynthCifar, SynthCifarConfig};
+use blockfed::nn::SimpleNnConfig;
+use blockfed::telemetry::MemorySink;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const THREAD_COUNTS: [usize; 2] = [1, 8];
+
+/// Serializes tests that flip the global thread override.
+fn thread_guard() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    LOCK.lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+fn world(n: usize, seed: u64) -> (Vec<Dataset>, Vec<Dataset>) {
+    let gen = SynthCifar::new(SynthCifarConfig::tiny());
+    let (train, test) = gen.generate(seed);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let shards = partition_dataset(&train, n, Partition::Iid, &mut rng);
+    (shards, vec![test; n])
+}
+
+/// The chaos timeline from the fork-replay suite: a partition cutting
+/// in-flight deliveries, a heal, and a crash + restart of the last peer.
+fn chaos_faults(n: usize) -> Vec<TimedFault> {
+    vec![
+        TimedFault::at_secs(
+            0.5,
+            Fault::Partition {
+                left: vec![0],
+                right: (1..n).collect(),
+            },
+        ),
+        TimedFault::at_secs(4.0, Fault::HealAll),
+        TimedFault::at_secs(1.0, Fault::PeerCrash { peer: n - 1 }),
+        TimedFault::at_secs(9.0, Fault::PeerRestart { peer: n - 1 }),
+    ]
+}
+
+/// Everything a run can disagree on: records, chain stats, metrics, settle
+/// time, traffic meters, the decision log, and the raw trace bytes.
+#[derive(PartialEq, Debug)]
+struct Fingerprint {
+    records: Vec<Vec<blockfed::core::PeerRoundRecord>>,
+    chain: blockfed::core::ChainStats,
+    metrics: blockfed::telemetry::MetricSet,
+    finished_at: blockfed::sim::SimTime,
+    gossip_bytes: u64,
+    fetch_bytes: u64,
+    policy_events: Vec<blockfed::core::PolicyEvent>,
+    trace: String,
+}
+
+fn run_once(n: usize, seed: u64, chaos: bool, controller: Option<ControllerSpec>) -> Fingerprint {
+    let cfg = DecentralizedConfig {
+        rounds: 2,
+        local_epochs: 1,
+        batch_size: 16,
+        lr: 0.1,
+        payload_bytes: 10_000,
+        difficulty: 200_000,
+        compute: ComputeProfile {
+            hashrate: 100_000.0,
+            train_rate: 500.0,
+            contention: 0.3,
+            batch_parallel: false,
+        },
+        faults: if chaos { chaos_faults(n) } else { Vec::new() },
+        controller,
+        seed,
+        ..Default::default()
+    };
+    let (shards, tests) = world(n, seed);
+    let driver = Decentralized::new(cfg, &shards, &tests);
+    let nn = SimpleNnConfig::tiny(tests[0].feature_dim(), tests[0].num_classes());
+    let mut arch_rng = StdRng::seed_from_u64(seed);
+    let mut sink = MemorySink::new();
+    let run = driver.run_traced(&mut || nn.build(&mut arch_rng), &mut sink);
+    Fingerprint {
+        records: run.peer_records,
+        chain: run.chain,
+        metrics: run.metrics,
+        finished_at: run.finished_at,
+        gossip_bytes: run.gossip_bytes,
+        fetch_bytes: run.fetch_bytes,
+        policy_events: run.policy_events,
+        trace: sink.to_jsonl(),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// A never-firing controller is invisible: the run is bit-identical to
+    /// the static one — trace bytes included — at 1 and 8 threads, with and
+    /// without the chaos timeline.
+    #[test]
+    fn noop_controller_is_bit_identical_to_static_run(
+        seed in 0u64..500,
+        chaos in any::<bool>(),
+    ) {
+        let _g = thread_guard();
+        let n = 4;
+        let mut baseline: Option<Fingerprint> = None;
+        for &threads in &THREAD_COUNTS {
+            blockfed::compute::set_threads(threads);
+            let fp_static = run_once(n, seed, chaos, None);
+            let fp_noop = run_once(n, seed, chaos, Some(ControllerSpec::noop()));
+            prop_assert!(
+                fp_noop.policy_events.is_empty(),
+                "noop controller logged a decision"
+            );
+            prop_assert_eq!(
+                fp_noop.metrics.counter("policy_switches"), 0,
+                "noop controller metered a switch"
+            );
+            prop_assert_eq!(
+                &fp_noop, &fp_static,
+                "noop-controller run diverged at {} threads (chaos={})",
+                threads, chaos
+            );
+            // And every thread count reproduces the same simulation.
+            match &baseline {
+                None => baseline = Some(fp_static),
+                Some(b) => prop_assert_eq!(b, &fp_static, "thread count {} diverged", threads),
+            }
+        }
+        blockfed::compute::set_threads(0);
+    }
+}
+
+/// A controller that *does* fire draws only from its dedicated RNG stream,
+/// so controlled runs — threshold and bandit alike — are bit-identical at 1
+/// and 8 threads, calm or chaotic.
+#[test]
+fn firing_controllers_are_thread_count_invariant() {
+    let _g = thread_guard();
+    let controllers = [
+        ControllerSpec::threshold(Default::default()),
+        ControllerSpec::bandit(Default::default()),
+    ];
+    for ctl in controllers {
+        for chaos in [false, true] {
+            let mut baseline: Option<Fingerprint> = None;
+            for &threads in &THREAD_COUNTS {
+                blockfed::compute::set_threads(threads);
+                let fp = run_once(4, 11, chaos, Some(ctl.clone()));
+                match &baseline {
+                    None => baseline = Some(fp),
+                    Some(b) => assert_eq!(
+                        b, &fp,
+                        "{ctl} run diverged at {threads} threads (chaos={chaos})"
+                    ),
+                }
+            }
+        }
+    }
+    blockfed::compute::set_threads(0);
+}
