@@ -131,6 +131,69 @@ pub fn confirmed_submissions(
     out
 }
 
+/// A `record_aggregate` call confirmed on a peer's canonical chain, decoded
+/// from calldata only — the light form the tier-2 committee merge polls on
+/// every block arrival (see [`confirmed_aggregate_records`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AggregateRecord {
+    /// The peer that recorded the aggregate.
+    pub sender: H160,
+    /// Communication round.
+    pub round: u32,
+    /// The member bitset the record committed to.
+    pub combo_mask: ComboMask,
+    /// Fingerprint of the aggregated model.
+    pub agg_hash: H256,
+}
+
+/// Scans a peer's canonical chain for successfully executed
+/// `record_aggregate` calls to `registry` in the given round, decoding
+/// calldata without any storage readback.
+///
+/// This is the hot-path sibling of [`confirmed_aggregates`]: the tier-2
+/// merge re-checks readiness on every block delivery, so it wants receipts +
+/// calldata (cheap, and sees *every* confirmed record, including re-recorded
+/// rounds) rather than the executed `get_aggregate` audit path.
+pub fn confirmed_aggregate_records(
+    chain: &Blockchain,
+    registry: H160,
+    round: u32,
+) -> Vec<AggregateRecord> {
+    let mut out = Vec::new();
+    for block_hash in chain.canonical_chain() {
+        let block = chain.block(&block_hash).expect("canonical block exists");
+        let receipts = chain.receipts(&block_hash);
+        for (i, tx) in block.transactions.iter().enumerate() {
+            if tx.to != Some(registry) {
+                continue;
+            }
+            let ok = receipts
+                .and_then(|rs| rs.get(i))
+                .map(blockfed_chain::Receipt::is_success)
+                .unwrap_or(false);
+            if !ok {
+                continue;
+            }
+            if let Some(RegistryCall::RecordAggregate {
+                round: r,
+                combo_mask,
+                agg_hash,
+            }) = RegistryCall::decode(&tx.data)
+            {
+                if r == round {
+                    out.push(AggregateRecord {
+                        sender: tx.from,
+                        round: r,
+                        combo_mask,
+                        agg_hash,
+                    });
+                }
+            }
+        }
+    }
+    out
+}
+
 /// An aggregate decision confirmed on a peer's canonical chain, read back
 /// through the registry's `get_aggregate` ABI — i.e. out of the contract's
 /// packed mask storage, not merely re-decoded from transaction calldata.
@@ -310,6 +373,40 @@ mod tests {
         assert_eq!(confirmed.len(), 1, "{confirmed:?}");
         assert_eq!(confirmed[0].combo_mask, second);
         assert_eq!(confirmed[0].agg_hash, sha256(b"agg2"));
+    }
+
+    #[test]
+    fn light_record_scan_sees_every_confirmed_record() {
+        let k = key(7);
+        let registry = registry_addr();
+        let spec = GenesisSpec::with_accounts(&[k.address()], u64::MAX / 4)
+            .with_code(registry, blockfed_vm::NATIVE_REGISTRY_CODE.to_vec());
+        let mut chain = Blockchain::with_seal_policy(&spec, SealPolicy::Simulated);
+        let mut runtime = BlockfedRuntime::new();
+        runtime.register_native(registry, blockfed_vm::NativeContract::FlRegistry);
+
+        let mask = ComboMask::from_members([0, 300]);
+        let txs = vec![
+            register_tx(registry, &k, 0),
+            record_aggregate_tx(2, mask.clone(), sha256(b"c0"), registry, &k, 1),
+            record_aggregate_tx(3, mask.clone(), sha256(b"other-round"), registry, &k, 2),
+        ];
+        let block = chain.build_candidate(k.address(), txs, 1_000, &mut runtime);
+        chain.import(block, &mut runtime).unwrap();
+
+        let recs = confirmed_aggregate_records(&chain, registry, 2);
+        assert_eq!(recs.len(), 1);
+        assert_eq!(recs[0].sender, k.address());
+        assert_eq!(recs[0].round, 2);
+        assert_eq!(recs[0].combo_mask, mask);
+        assert_eq!(recs[0].agg_hash, sha256(b"c0"));
+        // Unlike the readback audit, a re-record keeps *both* entries: the
+        // merge wants every confirmed record for the round, superseded or
+        // not, so a tier-1 record overwritten in storage stays visible.
+        let tx = record_aggregate_tx(2, mask.clone(), sha256(b"c0-again"), registry, &k, 3);
+        let block = chain.build_candidate(k.address(), vec![tx], 2_000, &mut runtime);
+        chain.import(block, &mut runtime).unwrap();
+        assert_eq!(confirmed_aggregate_records(&chain, registry, 2).len(), 2);
     }
 
     #[test]

@@ -49,6 +49,9 @@ pub enum ConfigError {
     /// The adaptive policy controller is misconfigured (e.g. a bandit with no
     /// arms or an exploration rate outside `[0, 1]`).
     InvalidController(String),
+    /// The committee layout is inconsistent with the peer count (e.g. more
+    /// committees than peers).
+    InvalidCommittees(String),
 }
 
 impl std::fmt::Display for ConfigError {
@@ -59,7 +62,7 @@ impl std::fmt::Display for ConfigError {
             }
             ConfigError::TooManyPeers { got } => write!(
                 f,
-                "at most {MAX_PEERS} peers are supported (got {got}); combination masks cap at 256 bits"
+                "at most {MAX_PEERS} peers are supported (got {got}); combination masks cap at {MAX_PEERS} bits"
             ),
             ConfigError::ShardTestMismatch { shards, tests } => {
                 write!(f, "shard/test count mismatch ({shards} shards, {tests} tests)")
@@ -73,6 +76,7 @@ impl std::fmt::Display for ConfigError {
             ConfigError::ZeroRounds => write!(f, "need at least one round"),
             ConfigError::InvalidLink(e) => write!(f, "invalid link profile: {e}"),
             ConfigError::InvalidController(e) => write!(f, "invalid policy controller: {e}"),
+            ConfigError::InvalidCommittees(e) => write!(f, "invalid committee spec: {e}"),
         }
     }
 }
@@ -89,8 +93,8 @@ mod tests {
         assert!(ConfigError::TooFewPeers { got: 1 }
             .to_string()
             .starts_with("need at least two peers"));
-        let many = ConfigError::TooManyPeers { got: 257 }.to_string();
-        assert!(many.contains("at most 256 peers"), "{many}");
+        let many = ConfigError::TooManyPeers { got: 1025 }.to_string();
+        assert!(many.contains("at most 1024 peers"), "{many}");
         assert!(ConfigError::InvalidTimeline("x".into())
             .to_string()
             .starts_with("invalid fault timeline"));
@@ -115,5 +119,8 @@ mod tests {
         assert!(ConfigError::InvalidLink("loss".into())
             .to_string()
             .starts_with("invalid link profile"));
+        assert!(ConfigError::InvalidCommittees("x".into())
+            .to_string()
+            .starts_with("invalid committee spec"));
     }
 }

@@ -22,6 +22,7 @@
 #![warn(missing_docs)]
 
 pub mod anomaly;
+pub mod committee;
 pub mod compute;
 pub mod coupling;
 pub mod error;
@@ -34,10 +35,12 @@ pub use anomaly::{
     detect_degenerate, detect_norm_outliers, detect_unfit, AnomalyReason, AnomalyReport,
 };
 pub use blockfed_chain::{Blockchain, ChainStore, RetargetRule, StoreCounters, StoreLimits};
+pub use committee::{CommitteeAssignment, CommitteeSpec};
 pub use compute::ComputeProfile;
 pub use coupling::{
-    confirmed_aggregates, confirmed_submissions, model_fingerprint, record_aggregate_tx,
-    register_tx, submit_model_tx, ConfirmedAggregate, ConfirmedSubmission,
+    confirmed_aggregate_records, confirmed_aggregates, confirmed_submissions, model_fingerprint,
+    record_aggregate_tx, register_tx, submit_model_tx, AggregateRecord, ConfirmedAggregate,
+    ConfirmedSubmission,
 };
 pub use error::ConfigError;
 pub use faults::{validate_timeline, Fault, TimedFault};

@@ -133,14 +133,26 @@ pub struct DecentralizedConfig {
     pub topology: Topology,
     /// How model artifacts disseminate: the default two-phase
     /// [`GossipMode::AnnounceFetch`] (digest-sized announcement floods, one
-    /// targeted payload pull per peer) or the legacy [`GossipMode::Full`]
-    /// payload flooding. The two modes drive bit-identical simulations —
-    /// artifacts arrive over the same shortest paths at the same virtual
-    /// instants — and differ only in what the traffic meters record (see
+    /// targeted payload pull per peer), the legacy [`GossipMode::Full`]
+    /// payload flooding, or peer-sampled [`GossipMode::Epidemic`] rumor
+    /// spreading whose announcement traffic stops scaling with edge count.
+    /// All modes drive bit-identical simulations — artifacts arrive over the
+    /// same shortest paths at the same virtual instants — and differ only in
+    /// what the traffic meters record (see
     /// [`DecentralizedRun::gossip_bytes`] and
     /// [`DecentralizedRun::fetch_bytes`]). Blocks and control transactions
-    /// are digest-sized already and stay push-gossip in both modes.
+    /// are digest-sized already and stay push-gossip under `Full` and
+    /// `AnnounceFetch`; under `Epidemic` *everything* larger than an
+    /// announcement is announced and pulled.
     pub gossip: GossipMode,
+    /// Optional hierarchical aggregation: shard peers into committees that
+    /// aggregate locally (tier 1, the configured [`WaitPolicy`] applied
+    /// against the peer's own committee) and publish one committee-level
+    /// aggregate each, which every peer merges deterministically across
+    /// committees (tier 2) before advancing its round. `None` — and any spec
+    /// with `count <= 1`, which the orchestrator normalizes away — is the
+    /// flat topology and reproduces the unsharded run byte for byte.
+    pub committees: Option<crate::committee::CommitteeSpec>,
     /// Optional staleness-aware re-weighting of aggregated updates: an
     /// update's FedAvg weight is scaled by `decay.factor(s)` where `s` is how
     /// many blocks its submission is buried under at aggregation time (the
@@ -222,6 +234,7 @@ impl Default for DecentralizedConfig {
             link: LinkSpec::lan(),
             topology: Topology::FullMesh,
             gossip: GossipMode::AnnounceFetch,
+            committees: None,
             staleness_decay: None,
             faults: Vec::new(),
             retarget: RetargetRule::Homestead,
@@ -406,6 +419,28 @@ impl DecentralizedRun {
         self.metrics.counter("policy_switches")
     }
 
+    /// Tier-2 committee merges completed across all peers (the
+    /// `committee_rounds` counter). Zero for flat runs.
+    pub fn committee_rounds(&self) -> u64 {
+        self.metrics.counter("committee_rounds")
+    }
+
+    /// Flood bytes attributable to the committee tier: leader record floods,
+    /// committee-aggregate announcements, and tier-2 merge records (the
+    /// `tier2_gossip_bytes` counter; a subset of
+    /// [`DecentralizedRun::gossip_bytes`]). Zero for flat runs.
+    pub fn tier2_gossip_bytes(&self) -> u64 {
+        self.metrics.counter("tier2_gossip_bytes")
+    }
+
+    /// Pulled-payload bytes attributable to the committee tier:
+    /// committee-aggregate artifact pulls and their loss recovery (the
+    /// `tier2_fetch_bytes` counter; a subset of
+    /// [`DecentralizedRun::fetch_bytes`]). Zero for flat runs.
+    pub fn tier2_fetch_bytes(&self) -> u64 {
+        self.metrics.counter("tier2_fetch_bytes")
+    }
+
     /// Mean aggregation wait across all peers and rounds.
     pub fn mean_wait(&self) -> SimDuration {
         let mut total = SimDuration::ZERO;
@@ -528,6 +563,13 @@ enum Event {
         route: usize,
     },
     DeliverBlock {
+        to: usize,
+        idx: usize,
+        route: usize,
+    },
+    /// A committee-level aggregate artifact arriving at a peer (hierarchical
+    /// runs only). `idx` indexes the run's aggregate artifact log.
+    DeliverAgg {
         to: usize,
         idx: usize,
         route: usize,
@@ -862,12 +904,78 @@ struct PeerState {
     /// delivered transaction — the dominant event-loop cost at large N. Keyed
     /// on (head hash, round); any head movement or round advance recomputes.
     confirmed_cache: Option<ConfirmedCache>,
+    /// Hierarchical runs only: set between this peer's tier-1 (committee)
+    /// aggregation and its tier-2 cross-committee merge. Like the round
+    /// position it survives a crash — the tier-1 record is already in
+    /// `records`, so losing the pending state would strand the round.
+    tier1: Option<Tier1Pending>,
+    /// Hierarchical runs only: committee-level aggregate artifacts this peer
+    /// holds, mapping aggregate fingerprint to the run's aggregate log. Like
+    /// `model_store`, survives a crash (artifacts are on disk).
+    agg_store: HashMap<H256, usize>,
+    /// Memoized [`crate::coupling::confirmed_aggregate_records`] scan for the
+    /// tier-2 readiness check, keyed like `confirmed_cache`.
+    agg_records_cache: Option<AggRecordsCache>,
 }
 
 struct ConfirmedCache {
     head: H256,
     round: u32,
     subs: Vec<crate::coupling::ConfirmedSubmission>,
+}
+
+/// A peer's state between tier-1 committee aggregation and the tier-2 merge.
+#[derive(Clone)]
+struct Tier1Pending {
+    round: u32,
+    /// When tier-1 aggregation completed (the tier-2 merge wait clock).
+    done_at: SimTime,
+    /// FedAvg weight of the peer's own committee aggregate (sample counts of
+    /// the updates it consumed).
+    weight: u64,
+    /// Members of the peer's own committee aggregate, for the tier-2 union
+    /// mask.
+    members: Vec<usize>,
+}
+
+struct AggRecordsCache {
+    head: H256,
+    round: u32,
+    records: Vec<crate::coupling::AggregateRecord>,
+}
+
+/// The run's resolved committee layout: the committee count and the
+/// peer→committee map derived once from the spec. Immutable for the whole
+/// run, so every peer (and every thread) sees the same sharding.
+struct CommitteeCtx {
+    count: usize,
+    of: Vec<usize>,
+}
+
+/// One published committee-level aggregate, indexed by the run's aggregate
+/// log (events carry the index, not the parameters).
+struct AggArtifact {
+    hash: H256,
+    params: Vec<f32>,
+    /// FedAvg weight for the tier-2 merge: sample counts behind the chosen
+    /// tier-1 combination.
+    weight: u64,
+    round: u32,
+}
+
+/// Refreshes `peer`'s memoized confirmed `record_aggregate` scan (tier-2
+/// readiness input) if its chain head or round moved since the last call.
+fn refresh_agg_records(peer: &mut PeerState, registry: H160, round: u32) {
+    let head = peer.chain.head();
+    let fresh = matches!(&peer.agg_records_cache, Some(c) if c.head == head && c.round == round);
+    if !fresh {
+        let records = crate::coupling::confirmed_aggregate_records(&peer.chain, registry, round);
+        peer.agg_records_cache = Some(AggRecordsCache {
+            head,
+            round,
+            records,
+        });
+    }
 }
 
 /// Refreshes `peer`'s memoized confirmed-submission scan if its chain head
@@ -891,7 +999,8 @@ fn refresh_confirmed(peer: &mut PeerState, registry: H160, round: u32) {
 impl PeerState {
     fn done(&self, total_rounds: u32) -> bool {
         self.first_round > total_rounds
-            || self.records.len() as u32 >= total_rounds + 1 - self.first_round
+            || (self.tier1.is_none()
+                && self.records.len() as u32 >= total_rounds + 1 - self.first_round)
     }
 }
 
@@ -914,6 +1023,10 @@ struct GossipState {
     /// Deliveries lost in transit: per-edge packet loss on the relay tree
     /// plus in-flight partition/relay-crash cuts.
     dropped_msgs: u64,
+    /// Dedicated RNG stream for [`GossipMode::Epidemic`]'s neighbor sampling.
+    /// Always created (streams are mutually independent, so an unused stream
+    /// perturbs nothing) but drawn from only when the mode is epidemic.
+    epidemic_rng: rand::rngs::StdRng,
 }
 
 /// One resolved targeted fetch: the payload's arrival offset, how many relay
@@ -926,12 +1039,18 @@ struct FetchRoute {
 
 /// Schedules one flood's deliveries to currently active peers, records each
 /// delivery's relay path when the timeline can cut one mid-flight, and meters
-/// the traffic. A control flood (`artifact == false`) always pushes `bytes`
-/// once per relay edge. An artifact flood depends on the gossip mode:
-/// [`GossipMode::Full`] pushes the whole payload per edge, while
-/// [`GossipMode::AnnounceFetch`] floods a digest-sized announcement per edge
-/// and meters one targeted payload pull per receiving peer over its shortest
-/// path — the same path and arrival instant either way, so the simulation is
+/// the traffic. A control flood (`artifact == false`) pushes `bytes` once per
+/// relay edge under [`GossipMode::Full`] and [`GossipMode::AnnounceFetch`].
+/// An artifact flood depends on the gossip mode: [`GossipMode::Full`] pushes
+/// the whole payload per edge, while [`GossipMode::AnnounceFetch`] floods a
+/// digest-sized announcement per edge and meters one targeted payload pull
+/// per *pulling* peer (`pulls`; a hierarchical run scopes model pulls to the
+/// sender's committee) over its shortest path. [`GossipMode::Epidemic`]
+/// announces *every* message larger than an announcement — blocks and
+/// control transactions included — and replaces the per-edge announcement
+/// cost with `ANNOUNCE_BYTES ×` the transmissions of a fanout-sampled rumor
+/// sweep drawn from the dedicated epidemic stream. The delivery schedule is
+/// the flood's shortest-path tree in every mode, so the simulation is
 /// bit-identical across modes and only the meters differ.
 #[allow(clippy::too_many_arguments)]
 fn schedule_flood(
@@ -946,6 +1065,7 @@ fn schedule_flood(
     gs: &mut GossipState,
     tel: &mut Telemetry<'_>,
     mk: impl Fn(usize, usize) -> Event,
+    pulls: impl Fn(usize) -> bool,
 ) {
     // Crash-stopped and dormant peers neither receive nor relay: route over
     // the active subgraph.
@@ -957,6 +1077,7 @@ fn schedule_flood(
     // payload and strictly `<` whenever a real artifact floods.
     let announce = match (artifact, gs.mode) {
         (true, GossipMode::AnnounceFetch) if bytes > ANNOUNCE_BYTES => Some(ANNOUNCE_BYTES),
+        (_, GossipMode::Epidemic { .. }) if bytes > ANNOUNCE_BYTES => Some(ANNOUNCE_BYTES),
         _ => None,
     };
     sched.reserve(network.len());
@@ -968,7 +1089,7 @@ fn schedule_flood(
         ..
     } = gs;
     let stats = network.flood_with(NodeId(origin), bytes, rng, scratch, |node, delay, path| {
-        if announce.is_some() {
+        if announce.is_some() && pulls(node.0) {
             *fetch_bytes += bytes * path.len() as u64;
         }
         let route = route_log.len();
@@ -983,7 +1104,22 @@ fn schedule_flood(
     // reached node contributes exactly its own tree edge, so the number of
     // distinct relay edges equals the delivery count. Lost deliveries never
     // crossed their last edge, so they meter no bytes — only the drop count.
-    gs.gossip_bytes += announce.unwrap_or(bytes) * stats.delivered as u64;
+    match gs.mode {
+        GossipMode::Epidemic { fanout } if announce.is_some() => {
+            // The rumor sweep reuses the flood scratch (its avoid mask is
+            // already the active-peer mask; `prepare` re-stamps the epoch)
+            // and draws only from the epidemic stream, so the flood schedule
+            // above is untouched.
+            let transmissions = network.epidemic_transmissions(
+                NodeId(origin),
+                fanout,
+                &mut gs.scratch,
+                &mut gs.epidemic_rng,
+            );
+            gs.gossip_bytes += ANNOUNCE_BYTES * transmissions;
+        }
+        _ => gs.gossip_bytes += announce.unwrap_or(bytes) * stats.delivered as u64,
+    }
     gs.dropped_msgs += stats.dropped as u64;
     tel.instant(now, "net.flood", origin as u32, || {
         vec![
@@ -1128,6 +1264,19 @@ impl<'a> Decentralized<'a> {
         if let Some(ctl) = &config.controller {
             ctl.validate().map_err(ConfigError::InvalidController)?;
         }
+        if let Some(spec) = &config.committees {
+            if spec.count == 0 {
+                return Err(ConfigError::InvalidCommittees(
+                    "need at least one committee".into(),
+                ));
+            }
+            if spec.count > n {
+                return Err(ConfigError::InvalidCommittees(format!(
+                    "more committees than peers ({} committees, {n} peers)",
+                    spec.count
+                )));
+            }
+        }
         Ok(Decentralized {
             config,
             train_shards,
@@ -1269,9 +1418,28 @@ impl<'a> Decentralized<'a> {
                     first_round: 1,
                     hash_scale: 1.0,
                     confirmed_cache: None,
+                    tier1: None,
+                    agg_store: HashMap::new(),
+                    agg_records_cache: None,
                 }
             })
             .collect();
+
+        // Hierarchical committee layout, resolved once. A spec with a single
+        // committee *is* the flat topology: normalizing it to `None` keeps
+        // every flat code path untouched, so that run is byte-identical to an
+        // unconfigured one.
+        let committee: Option<CommitteeCtx> =
+            cfg.committees
+                .filter(|c| c.count > 1)
+                .map(|c| CommitteeCtx {
+                    count: c.count,
+                    of: c.assign(n),
+                });
+        // Committee-level aggregate artifacts and in-flight targeted pulls of
+        // them (expected-arrival guarded, like payload fetch episodes).
+        let mut agg_log: Vec<AggArtifact> = Vec::new();
+        let mut agg_pulls: HashMap<(usize, H256), SimTime> = HashMap::new();
 
         // --- network & schedule ------------------------------------------
         let mut network = Network::new(n, cfg.topology.clone(), cfg.link);
@@ -1301,6 +1469,7 @@ impl<'a> Decentralized<'a> {
             gossip_bytes: 0,
             fetch_bytes: 0,
             dropped_msgs: 0,
+            epidemic_rng: hub.stream("epidemic"),
         };
         // Submit-tx index by model fingerprint, for on-demand payload fetches
         // when a block confirms a submission whose artifact a peer never
@@ -1358,6 +1527,7 @@ impl<'a> Decentralized<'a> {
                 &mut gs,
                 &mut obs.tel,
                 |to, route| Event::DeliverTx { to, idx, route },
+                |_| true,
             );
         }
 
@@ -1415,7 +1585,12 @@ impl<'a> Decentralized<'a> {
 
         // --- event loop ----------------------------------------------------
         let mut events_processed: u64 = 0;
-        let event_cap: u64 = 2_000_000;
+        // Full floods deliver O(n) events each and every peer floods several
+        // times per round, so the safety cap must scale with the population:
+        // the flat 2M floor covers small runs, the quadratic term covers a
+        // 1024-peer run's per-round delivery volume with headroom.
+        let event_cap: u64 =
+            2_000_000u64.max((n as u64) * (n as u64) * (4 * u64::from(cfg.rounds) + 8));
         let mut finished_at = SimTime::ZERO;
 
         // The run is over once every *active* peer finished its rounds and no
@@ -1520,6 +1695,12 @@ impl<'a> Decentralized<'a> {
                             idx: tx_idx,
                             route,
                         },
+                        // Only committee members pull the model payload: the
+                        // rest of the population sees the announcement (and
+                        // the minable digest transaction it carries) but
+                        // never fetches the parameters — the tier-1 half of
+                        // the hierarchical traffic win.
+                        |to| committee.as_ref().is_none_or(|cs| cs.of[to] == cs.of[peer]),
                     );
                     self.try_aggregate(
                         peer,
@@ -1539,6 +1720,9 @@ impl<'a> Decentralized<'a> {
                         &mut gs,
                         &mut train_time_rng,
                         &mut engine,
+                        committee.as_ref(),
+                        &mut agg_log,
+                        &mut agg_pulls,
                     );
                 }
                 Event::DeliverTx { to, idx, route } => {
@@ -1561,7 +1745,18 @@ impl<'a> Decentralized<'a> {
                         continue;
                     }
                     let tx = tx_log[idx].clone();
-                    if let Some(u) = tx_update[idx] {
+                    // A hierarchical run scopes model payloads to the
+                    // sender's committee: everyone else received only the
+                    // announcement, so they mine the digest transaction but
+                    // never hold (or store) the parameters.
+                    let holds_payload = |client: usize, to: usize| {
+                        committee
+                            .as_ref()
+                            .is_none_or(|cs| cs.of[client] == cs.of[to])
+                    };
+                    if let Some(u) =
+                        tx_update[idx].filter(|&u| holds_payload(update_log[u].client.0, to))
+                    {
                         let update = update_log[u].clone();
                         let fp = crate::coupling::model_fingerprint(&update);
                         if let Some(st) = fetches.remove(&(to, fp)) {
@@ -1608,6 +1803,9 @@ impl<'a> Decentralized<'a> {
                         &mut gs,
                         &mut train_time_rng,
                         &mut engine,
+                        committee.as_ref(),
+                        &mut agg_log,
+                        &mut agg_pulls,
                     );
                 }
                 Event::SealBlock => {
@@ -1714,6 +1912,7 @@ impl<'a> Decentralized<'a> {
                                 idx: block_idx,
                                 route,
                             },
+                            |_| true,
                         );
                         self.try_aggregate(
                             winner,
@@ -1733,7 +1932,33 @@ impl<'a> Decentralized<'a> {
                             &mut gs,
                             &mut train_time_rng,
                             &mut engine,
+                            committee.as_ref(),
+                            &mut agg_log,
+                            &mut agg_pulls,
                         );
+                        // The winner imported its own block without a
+                        // `DeliverBlock` event: newly confirmed records may
+                        // have made its tier-2 merge ready.
+                        if let Some(cs) = &committee {
+                            self.try_merge(
+                                winner,
+                                now,
+                                registry,
+                                &mut peers,
+                                &addr_to_client,
+                                &mut obs,
+                                &mut sched,
+                                &network,
+                                &mut net_rng,
+                                &mut tx_log,
+                                &mut tx_update,
+                                &mut gs,
+                                &mut train_time_rng,
+                                cs,
+                                &agg_log,
+                                &mut agg_pulls,
+                            );
+                        }
                     }
                     let delay =
                         self.sample_race_delay(&peers, difficulty_ctl.difficulty(), &mut mine_rng);
@@ -1777,6 +2002,14 @@ impl<'a> Decentralized<'a> {
                             .subs
                             .iter()
                             .filter(|s| !p.model_store.contains_key(&s.model_hash))
+                            // Hierarchical runs only chase artifacts of the
+                            // peer's own committee — the rest were never
+                            // meant to arrive.
+                            .filter(|s| {
+                                addr_to_client.get(&s.sender).is_some_and(|c| {
+                                    committee.as_ref().is_none_or(|cs| cs.of[c.0] == cs.of[to])
+                                })
+                            })
                             .filter_map(|s| {
                                 fp_to_tx
                                     .get(&s.model_hash)
@@ -1829,7 +2062,7 @@ impl<'a> Decentralized<'a> {
                                 // accounting.
                                 match gs.mode {
                                     GossipMode::Full => gs.gossip_bytes += payload_bytes * hops,
-                                    GossipMode::AnnounceFetch => {
+                                    GossipMode::AnnounceFetch | GossipMode::Epidemic { .. } => {
                                         gs.fetch_bytes += payload_bytes * hops
                                     }
                                 }
@@ -1892,7 +2125,76 @@ impl<'a> Decentralized<'a> {
                         &mut gs,
                         &mut train_time_rng,
                         &mut engine,
+                        committee.as_ref(),
+                        &mut agg_log,
+                        &mut agg_pulls,
                     );
+                    // Fresh confirmations may complete a pending tier-2 merge.
+                    if let Some(cs) = &committee {
+                        self.try_merge(
+                            to,
+                            now,
+                            registry,
+                            &mut peers,
+                            &addr_to_client,
+                            &mut obs,
+                            &mut sched,
+                            &network,
+                            &mut net_rng,
+                            &mut tx_log,
+                            &mut tx_update,
+                            &mut gs,
+                            &mut train_time_rng,
+                            cs,
+                            &agg_log,
+                            &mut agg_pulls,
+                        );
+                    }
+                }
+                Event::DeliverAgg { to, idx, route } => {
+                    if !peers[to].active {
+                        continue;
+                    }
+                    if !network.path_open(&gs.route_log[route])
+                        || !relays_alive(&gs.route_log[route], &peers)
+                    {
+                        obs.trace.record(
+                            now,
+                            "net.dropped",
+                            format!("agg to={to} idx={idx} round={}", agg_log[idx].round),
+                        );
+                        obs.tel.instant(now, "net.dropped", to as u32, || {
+                            vec![("kind", "agg".into()), ("idx", (idx as u64).into())]
+                        });
+                        gs.dropped_msgs += 1;
+                        continue;
+                    }
+                    let hash = agg_log[idx].hash;
+                    agg_pulls.remove(&(to, hash));
+                    if peers[to].agg_store.insert(hash, idx).is_none() {
+                        obs.last_progress = now;
+                        obs.note(to, now, "agg.arrived");
+                    }
+                    if let Some(cs) = &committee {
+                        self.try_merge(
+                            to,
+                            now,
+                            registry,
+                            &mut peers,
+                            &addr_to_client,
+                            &mut obs,
+                            &mut sched,
+                            &network,
+                            &mut net_rng,
+                            &mut tx_log,
+                            &mut tx_update,
+                            &mut gs,
+                            &mut train_time_rng,
+                            cs,
+                            &agg_log,
+                            &mut agg_pulls,
+                        );
+                    }
                 }
                 Event::Fault { idx } => {
                     pending_faults -= 1;
@@ -1947,7 +2249,34 @@ impl<'a> Decentralized<'a> {
                                         &mut gs,
                                         &mut train_time_rng,
                                         &mut engine,
+                                        committee.as_ref(),
+                                        &mut agg_log,
+                                        &mut agg_pulls,
                                     );
+                                    // A shrunken population can also satisfy
+                                    // a pending tier-2 merge (a committee
+                                    // with no live member and no record is
+                                    // no longer needed).
+                                    if let Some(cs) = &committee {
+                                        self.try_merge(
+                                            p,
+                                            now,
+                                            registry,
+                                            &mut peers,
+                                            &addr_to_client,
+                                            &mut obs,
+                                            &mut sched,
+                                            &network,
+                                            &mut net_rng,
+                                            &mut tx_log,
+                                            &mut tx_update,
+                                            &mut gs,
+                                            &mut train_time_rng,
+                                            cs,
+                                            &agg_log,
+                                            &mut agg_pulls,
+                                        );
+                                    }
                                 }
                             }
                         }
@@ -1986,6 +2315,7 @@ impl<'a> Decentralized<'a> {
                                     idx: reg_idx,
                                     route,
                                 },
+                                |_| true,
                             );
                             // 3. Enter the *earliest* round still in progress
                             //    and only then start training. Entering any
@@ -2097,7 +2427,34 @@ impl<'a> Decentralized<'a> {
                                         &mut gs,
                                         &mut train_time_rng,
                                         &mut engine,
+                                        committee.as_ref(),
+                                        &mut agg_log,
+                                        &mut agg_pulls,
                                     );
+                                    // A shrunken population can also satisfy
+                                    // a pending tier-2 merge (a committee
+                                    // with no live member and no record is
+                                    // no longer needed).
+                                    if let Some(cs) = &committee {
+                                        self.try_merge(
+                                            p,
+                                            now,
+                                            registry,
+                                            &mut peers,
+                                            &addr_to_client,
+                                            &mut obs,
+                                            &mut sched,
+                                            &network,
+                                            &mut net_rng,
+                                            &mut tx_log,
+                                            &mut tx_update,
+                                            &mut gs,
+                                            &mut train_time_rng,
+                                            cs,
+                                            &agg_log,
+                                            &mut agg_pulls,
+                                        );
+                                    }
                                 }
                             }
                         }
@@ -2173,7 +2530,33 @@ impl<'a> Decentralized<'a> {
                                     &mut gs,
                                     &mut train_time_rng,
                                     &mut engine,
+                                    committee.as_ref(),
+                                    &mut agg_log,
+                                    &mut agg_pulls,
                                 );
+                                // A restart may resume between tier-1 and
+                                // the merge (the pending state survives on
+                                // disk): re-check it immediately.
+                                if let Some(cs) = &committee {
+                                    self.try_merge(
+                                        peer,
+                                        now,
+                                        registry,
+                                        &mut peers,
+                                        &addr_to_client,
+                                        &mut obs,
+                                        &mut sched,
+                                        &network,
+                                        &mut net_rng,
+                                        &mut tx_log,
+                                        &mut tx_update,
+                                        &mut gs,
+                                        &mut train_time_rng,
+                                        cs,
+                                        &agg_log,
+                                        &mut agg_pulls,
+                                    );
+                                }
                             }
                         }
                     }
@@ -2269,7 +2652,9 @@ impl<'a> Decentralized<'a> {
                     if let Some(FetchRoute { delay, hops, path }) = found {
                         match gs.mode {
                             GossipMode::Full => gs.gossip_bytes += payload_bytes * hops,
-                            GossipMode::AnnounceFetch => gs.fetch_bytes += payload_bytes * hops,
+                            GossipMode::AnnounceFetch | GossipMode::Epidemic { .. } => {
+                                gs.fetch_bytes += payload_bytes * hops
+                            }
                         }
                         let fetch_route = gs.route_log.len();
                         gs.route_log.push(path);
@@ -2621,6 +3006,9 @@ impl<'a> Decentralized<'a> {
         gs: &mut GossipState,
         train_time_rng: &mut impl Rng,
         engine: &mut PolicyEngine,
+        committee: Option<&CommitteeCtx>,
+        agg_log: &mut Vec<AggArtifact>,
+        agg_pulls: &mut HashMap<(usize, H256), SimTime>,
     ) {
         let cfg = &self.config;
         // Wait policies measure against the population that can still
@@ -2629,8 +3017,15 @@ impl<'a> Decentralized<'a> {
         // since-departed peer published before leaving (its signed model
         // remains a valid contribution). So after churn, "wait-all" means
         // "as many confirmed models as there are live peers", which keeps
-        // rounds live without discarding legitimate updates.
-        let n = peers.iter().filter(|p| p.active).count();
+        // rounds live without discarding legitimate updates. A hierarchical
+        // run scopes the bar (and the candidate set below) to the peer's own
+        // committee: tier-1 is the flat algorithm run per committee.
+        let active_n = peers.iter().filter(|p| p.active).count();
+        let n = peers
+            .iter()
+            .enumerate()
+            .filter(|(i, p)| p.active && committee.is_none_or(|cs| cs.of[*i] == cs.of[peer]))
+            .count();
         let round = peers[peer].current_round;
         if !peers[peer].active
             || peers[peer].done(cfg.rounds)
@@ -2658,15 +3053,29 @@ impl<'a> Decentralized<'a> {
         if !wait_policy.ready(upper_bound, n) || upper_bound == 0 {
             return;
         }
+        // Tier-1 candidates are this committee's submissions only (trivially
+        // everyone's in a flat run).
+        let in_committee = |sender: &H160| {
+            addr_to_client
+                .get(sender)
+                .is_some_and(|c| committee.is_none_or(|cs| cs.of[c.0] == cs.of[peer]))
+        };
         let arrived_count = cache
             .subs
             .iter()
-            .filter(|s| peers[peer].model_store.contains_key(&s.model_hash))
+            .filter(|s| {
+                in_committee(&s.sender) && peers[peer].model_store.contains_key(&s.model_hash)
+            })
             .count();
         if !wait_policy.ready(arrived_count, n) || arrived_count == 0 {
             return;
         }
-        let confirmed = cache.subs.clone();
+        let confirmed: Vec<crate::coupling::ConfirmedSubmission> = cache
+            .subs
+            .iter()
+            .filter(|s| in_committee(&s.sender))
+            .cloned()
+            .collect();
         let arrived: Vec<ModelUpdate> = confirmed
             .iter()
             .filter_map(|s| peers[peer].model_store.get(&s.model_hash).cloned())
@@ -2883,39 +3292,98 @@ impl<'a> Decentralized<'a> {
         let chosen_label = label(&outcome.combination);
 
         // Record the aggregate on chain: a variable-width mask over client
-        // indices, so members past index 31 are preserved verbatim.
-        let mask = ComboMask::from_members(outcome.combination.members().iter().map(|c| c.0));
+        // indices, so members past index 31 are preserved verbatim. In a
+        // hierarchical run only the committee *leader* — its lowest-indexed
+        // active member — records (and publishes) the committee aggregate;
+        // in a flat run every peer records, exactly as before committees
+        // existed.
+        let is_leader = committee.is_none_or(|cs| {
+            (0..peers.len()).find(|&i| peers[i].active && cs.of[i] == cs.of[peer]) == Some(peer)
+        });
+        let members: Vec<usize> = outcome.combination.members().iter().map(|c| c.0).collect();
+        let member_set: std::collections::HashSet<usize> = members.iter().copied().collect();
+        // FedAvg weight the committee aggregate carries into the tier-2
+        // merge: the sample counts behind the chosen combination.
+        let weight: u64 = usable
+            .iter()
+            .filter(|u| member_set.contains(&u.client.0))
+            .map(|u| u.sample_count as u64)
+            .sum::<u64>()
+            .max(1);
+        let mask = ComboMask::from_members(members.iter().copied());
         let agg_hash = blockfed_crypto::sha256::sha256(&blockfed_nn::serialize::encode_params(
             &outcome.params,
         ));
-        let tx = record_aggregate_tx(
-            round,
-            mask,
-            agg_hash,
-            registry,
-            &peers[peer].key,
-            peers[peer].next_nonce,
-        );
-        peers[peer].next_nonce += 1;
-        let idx = tx_log.len();
-        tx_log.push(tx.clone());
-        tx_update.push(None);
-        let p = &mut peers[peer];
-        p.my_txs.push(idx);
-        let _ = p.mempool.insert(tx, p.chain.state());
-        schedule_flood(
-            network,
-            peer,
-            512,
-            false,
-            now,
-            peers,
-            net_rng,
-            sched,
-            gs,
-            &mut obs.tel,
-            |to, route| Event::DeliverTx { to, idx, route },
-        );
+        let tier2_before = (gs.gossip_bytes, gs.fetch_bytes);
+        if is_leader {
+            let tx = record_aggregate_tx(
+                round,
+                mask,
+                agg_hash,
+                registry,
+                &peers[peer].key,
+                peers[peer].next_nonce,
+            );
+            peers[peer].next_nonce += 1;
+            let idx = tx_log.len();
+            tx_log.push(tx.clone());
+            tx_update.push(None);
+            let p = &mut peers[peer];
+            p.my_txs.push(idx);
+            let _ = p.mempool.insert(tx, p.chain.state());
+            schedule_flood(
+                network,
+                peer,
+                512,
+                false,
+                now,
+                peers,
+                net_rng,
+                sched,
+                gs,
+                &mut obs.tel,
+                |to, route| Event::DeliverTx { to, idx, route },
+                |_| true,
+            );
+            if committee.is_some() {
+                // Publish the committee aggregate itself: the cross-committee
+                // artifact every peer pulls for its tier-2 merge. C such
+                // artifacts per round replace N model payloads — the tier-2
+                // half of the hierarchical traffic win.
+                let aidx = agg_log.len();
+                agg_log.push(AggArtifact {
+                    hash: agg_hash,
+                    params: outcome.params.clone(),
+                    weight,
+                    round,
+                });
+                peers[peer].agg_store.insert(agg_hash, aidx);
+                schedule_flood(
+                    network,
+                    peer,
+                    cfg.payload_bytes,
+                    true,
+                    now,
+                    peers,
+                    net_rng,
+                    sched,
+                    gs,
+                    &mut obs.tel,
+                    |to, route| Event::DeliverAgg {
+                        to,
+                        idx: aidx,
+                        route,
+                    },
+                    |_| true,
+                );
+            }
+        }
+        if committee.is_some() {
+            obs.metrics
+                .add("tier2_gossip_bytes", gs.gossip_bytes - tier2_before.0);
+            obs.metrics
+                .add("tier2_fetch_bytes", gs.fetch_bytes - tier2_before.1);
+        }
 
         let wait = now.saturating_since(peers[peer].train_done_at.expect("checked above"));
         obs.aggregated(peer, now);
@@ -2992,7 +3460,8 @@ impl<'a> Decentralized<'a> {
                 straggler_spread_secs: spread,
                 accuracy,
                 accuracy_delta,
-                active_peers: n,
+                active_peers: active_n,
+                committees: committee.map_or(1, |c| c.count),
                 updates_used: usable.len(),
                 wait_policy,
                 staleness_decay: engine.decay(round),
@@ -3025,6 +3494,297 @@ impl<'a> Decentralized<'a> {
             }
         }
 
+        match committee {
+            Some(cs) => {
+                // Tier-1 done: park the round until every other committee's
+                // aggregate is both *recorded* on this peer's chain and *held*
+                // locally, then merge. The merge — not this aggregation —
+                // advances the round.
+                peers[peer].tier1 = Some(Tier1Pending {
+                    round,
+                    done_at: now,
+                    weight,
+                    members,
+                });
+                self.try_merge(
+                    peer,
+                    now,
+                    registry,
+                    peers,
+                    addr_to_client,
+                    obs,
+                    sched,
+                    network,
+                    net_rng,
+                    tx_log,
+                    tx_update,
+                    gs,
+                    train_time_rng,
+                    cs,
+                    agg_log,
+                    agg_pulls,
+                );
+            }
+            None if round < cfg.rounds => {
+                peers[peer].current_round = round + 1;
+                peers[peer].training = true;
+                obs.begin_training(peer, now, round + 1);
+                let base = self.compute_for(peer).training_time(
+                    self.train_shards[peer].len(),
+                    cfg.local_epochs,
+                    true,
+                );
+                let jitter = base.mul_f64(train_time_rng.gen_range(0.0..0.05));
+                sched.schedule_after(
+                    base + jitter,
+                    Event::TrainDone {
+                        peer,
+                        gen: peers[peer].train_gen,
+                    },
+                );
+            }
+            None => {}
+        }
+    }
+
+    /// The tier-2 cross-committee merge: once a peer's own tier-1 aggregation
+    /// is done, it waits until every *needed* committee — one with a live
+    /// member or a confirmed `record_aggregate` for the round — has a
+    /// confirmed record whose aggregate artifact the peer holds, then merges
+    /// all committee aggregates by FedAvg weight in committee order. The
+    /// choice of record per committee is its lowest-indexed sender with
+    /// parameters at hand, so the merge is a pure function of chain + local
+    /// artifacts and needs no cross-peer coordination. The highest-indexed
+    /// active peer records the merged result on chain (one tier-2 record per
+    /// round instead of N), and the merge advances the peer's round exactly
+    /// like a flat aggregation does.
+    #[allow(clippy::too_many_arguments)]
+    fn try_merge(
+        &self,
+        peer: usize,
+        now: SimTime,
+        registry: H160,
+        peers: &mut [PeerState],
+        addr_to_client: &HashMap<H160, ClientId>,
+        obs: &mut Obs<'_>,
+        sched: &mut Scheduler<Event>,
+        network: &Network,
+        net_rng: &mut impl Rng,
+        tx_log: &mut Vec<Transaction>,
+        tx_update: &mut Vec<Option<usize>>,
+        gs: &mut GossipState,
+        train_time_rng: &mut impl Rng,
+        committee: &CommitteeCtx,
+        agg_log: &[AggArtifact],
+        agg_pulls: &mut HashMap<(usize, H256), SimTime>,
+    ) {
+        let cfg = &self.config;
+        if !peers[peer].active {
+            return;
+        }
+        let Some(t1) = peers[peer].tier1.clone() else {
+            return;
+        };
+        let round = t1.round;
+        let my_com = committee.of[peer];
+        refresh_agg_records(&mut peers[peer], registry, round);
+        let records = peers[peer]
+            .agg_records_cache
+            .as_ref()
+            .expect("just refreshed")
+            .records
+            .clone();
+        // Per committee: whether any record is confirmed, and the chosen one
+        // (lowest sender index with parameters held). Ties — a tier-2 record
+        // from the same sender as a tier-1 record — resolve to the earliest
+        // in chain order, which is the tier-1 record.
+        let mut has_record = vec![false; committee.count];
+        let mut chosen: Vec<Option<(usize, H256, ComboMask)>> = vec![None; committee.count];
+        for rec in &records {
+            let Some(c) = addr_to_client.get(&rec.sender) else {
+                continue;
+            };
+            let com = committee.of[c.0];
+            if com == my_com {
+                continue;
+            }
+            has_record[com] = true;
+            if !peers[peer].agg_store.contains_key(&rec.agg_hash) {
+                continue;
+            }
+            match &chosen[com] {
+                Some((best, _, _)) if *best <= c.0 => {}
+                _ => chosen[com] = Some((c.0, rec.agg_hash, rec.combo_mask.clone())),
+            }
+        }
+        let mut needed = vec![false; committee.count];
+        for (i, p) in peers.iter().enumerate() {
+            if p.active {
+                needed[committee.of[i]] = true;
+            }
+        }
+        for (com, h) in has_record.iter().enumerate() {
+            if *h {
+                needed[com] = true;
+            }
+        }
+        let ready =
+            (0..committee.count).all(|com| com == my_com || !needed[com] || chosen[com].is_some());
+        if !ready {
+            // Recovery: a committee's record is confirmed but its artifact
+            // never arrived (lost flood, late join). Pull it from the
+            // lowest-indexed active holder over the shortest open path,
+            // guarded by the expected arrival of any pull already in flight.
+            for com in 0..committee.count {
+                if com == my_com || !has_record[com] || chosen[com].is_some() {
+                    continue;
+                }
+                let mut cand: Option<(usize, H256)> = None;
+                for rec in &records {
+                    let Some(c) = addr_to_client.get(&rec.sender) else {
+                        continue;
+                    };
+                    if committee.of[c.0] != com {
+                        continue;
+                    }
+                    match cand {
+                        Some((best, _)) if best <= c.0 => {}
+                        _ => cand = Some((c.0, rec.agg_hash)),
+                    }
+                }
+                let Some((_, hash)) = cand else {
+                    continue;
+                };
+                if agg_pulls.get(&(peer, hash)).is_some_and(|&exp| now < exp) {
+                    continue;
+                }
+                let Some(src) = (0..peers.len()).find(|&i| {
+                    i != peer && peers[i].active && peers[i].agg_store.contains_key(&hash)
+                }) else {
+                    continue;
+                };
+                let aidx = peers[src].agg_store[&hash];
+                if let Some(FetchRoute { delay, hops, path }) =
+                    probe_fetch(network, src, peer, cfg.payload_bytes, peers, net_rng, gs)
+                {
+                    match gs.mode {
+                        GossipMode::Full => gs.gossip_bytes += cfg.payload_bytes * hops,
+                        GossipMode::AnnounceFetch | GossipMode::Epidemic { .. } => {
+                            gs.fetch_bytes += cfg.payload_bytes * hops;
+                        }
+                    }
+                    obs.metrics
+                        .add("tier2_fetch_bytes", cfg.payload_bytes * hops);
+                    let route = gs.route_log.len();
+                    gs.route_log.push(path);
+                    obs.trace.record(
+                        now,
+                        "net.agg-fetch",
+                        format!("to={peer} from={src} round={round}"),
+                    );
+                    sched.schedule_after(
+                        delay,
+                        Event::DeliverAgg {
+                            to: peer,
+                            idx: aidx,
+                            route,
+                        },
+                    );
+                    agg_pulls.insert((peer, hash), now + delay);
+                }
+            }
+            return;
+        }
+        // Weighted merge in committee-index order; the peer's own committee
+        // contributes its tier-1 result (already in `global_params`).
+        let dim = peers[peer].global_params.len();
+        let mut acc = vec![0f64; dim];
+        let mut total_w = 0f64;
+        for (com, chosen_rec) in chosen.iter().enumerate().take(committee.count) {
+            let (w, params) = if com == my_com {
+                (t1.weight.max(1) as f64, &peers[peer].global_params)
+            } else if let Some((_, hash, _)) = chosen_rec {
+                let art = &agg_log[peers[peer].agg_store[hash]];
+                (art.weight.max(1) as f64, &art.params)
+            } else {
+                continue; // not needed: no member, no record
+            };
+            for (a, p) in acc.iter_mut().zip(params.iter()) {
+                *a += w * f64::from(*p);
+            }
+            total_w += w;
+        }
+        let merged: Vec<f32> = acc.iter().map(|a| (*a / total_w) as f32).collect();
+        let merged_hash =
+            blockfed_crypto::sha256::sha256(&blockfed_nn::serialize::encode_params(&merged));
+        peers[peer].global_params = merged;
+        // One tier-2 record per round: the highest-indexed active peer
+        // records the merged aggregate with the union mask of every consumed
+        // committee's members. (Its key may also have authored a tier-1
+        // record for the round — the light scan sees both, which is benign:
+        // chosen-record selection prefers the earlier, artifact-backed one.)
+        if peers.iter().rposition(|p| p.active) == Some(peer) {
+            let mut union: std::collections::BTreeSet<usize> = t1.members.iter().copied().collect();
+            for c in chosen.iter().flatten() {
+                union.extend(c.2.members());
+            }
+            let mask = ComboMask::from_members(union);
+            let tx = record_aggregate_tx(
+                round,
+                mask,
+                merged_hash,
+                registry,
+                &peers[peer].key,
+                peers[peer].next_nonce,
+            );
+            peers[peer].next_nonce += 1;
+            let idx = tx_log.len();
+            tx_log.push(tx.clone());
+            tx_update.push(None);
+            let p = &mut peers[peer];
+            p.my_txs.push(idx);
+            let _ = p.mempool.insert(tx, p.chain.state());
+            let before = (gs.gossip_bytes, gs.fetch_bytes);
+            schedule_flood(
+                network,
+                peer,
+                512,
+                false,
+                now,
+                peers,
+                net_rng,
+                sched,
+                gs,
+                &mut obs.tel,
+                |to, route| Event::DeliverTx { to, idx, route },
+                |_| true,
+            );
+            obs.metrics
+                .add("tier2_gossip_bytes", gs.gossip_bytes - before.0);
+            obs.metrics
+                .add("tier2_fetch_bytes", gs.fetch_bytes - before.1);
+        }
+        let merge_wait = now.saturating_since(t1.done_at);
+        obs.metrics.add("committee_rounds", 1);
+        obs.metrics
+            .observe("merge_wait_secs", merge_wait.as_secs_f64());
+        obs.last_progress = now;
+        obs.note(peer, now, "round.merged");
+        obs.trace.record(
+            now,
+            "round.merged",
+            format!(
+                "peer={peer} round={round} committees={} wait={merge_wait}",
+                committee.count
+            ),
+        );
+        obs.tel.instant(now, "round.merged", peer as u32, || {
+            vec![
+                ("round", round.into()),
+                ("wait_secs", merge_wait.as_secs_f64().into()),
+            ]
+        });
+        peers[peer].tier1 = None;
         if round < cfg.rounds {
             peers[peer].current_round = round + 1;
             peers[peer].training = true;
@@ -3139,6 +3899,7 @@ mod tests {
             snapshot_interval: None,
             prune_depth: None,
             controller: None,
+            committees: None,
             seed,
         }
     }
@@ -3260,22 +4021,83 @@ mod tests {
     #[test]
     fn try_new_rejects_oversize_population_with_typed_error() {
         let fx = fixture();
-        // 257 shards — one past the mask's native width: graceful typed
+        // 1025 shards — one past the mask's widened width: graceful typed
         // rejection, no panic.
-        let shards: Vec<Dataset> = (0..257).map(|_| fx.tests[0].clone()).collect();
+        let shards: Vec<Dataset> = (0..1025).map(|_| fx.tests[0].clone()).collect();
         let err = Decentralized::try_new(quick_config(WaitPolicy::All, 1), &shards, &shards)
             .err()
             .expect("must reject");
-        assert_eq!(err, crate::error::ConfigError::TooManyPeers { got: 257 });
-        // The full mask domain is inside the ceiling now — 129 peers (the old
-        // rejection point) and 256 peers both construct.
-        for n in [129usize, 256] {
+        assert_eq!(err, crate::error::ConfigError::TooManyPeers { got: 1025 });
+        // The full mask domain is inside the ceiling now — 257 peers (the old
+        // rejection point) and 1024 peers both construct.
+        for n in [257usize, 1024] {
             let inside: Vec<Dataset> = (0..n).map(|_| fx.tests[0].clone()).collect();
             assert!(
                 Decentralized::try_new(quick_config(WaitPolicy::All, 1), &inside, &inside).is_ok(),
                 "{n} peers must be accepted"
             );
         }
+    }
+
+    #[test]
+    fn try_new_rejects_bad_committee_specs() {
+        let fx = fixture();
+        let mut cfg = quick_config(WaitPolicy::All, 1);
+        cfg.committees = Some(crate::committee::CommitteeSpec::contiguous(0));
+        let err = Decentralized::try_new(cfg, &fx.shards, &fx.tests)
+            .err()
+            .expect("zero committees must reject");
+        assert!(
+            err.to_string().starts_with("invalid committee spec"),
+            "{err}"
+        );
+        let mut cfg = quick_config(WaitPolicy::All, 1);
+        cfg.committees = Some(crate::committee::CommitteeSpec::contiguous(4));
+        let err = Decentralized::try_new(cfg, &fx.shards, &fx.tests)
+            .err()
+            .expect("more committees than peers must reject");
+        assert!(
+            err.to_string().contains("more committees than peers"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn single_committee_reproduces_flat_run_exactly() {
+        let flat = run(WaitPolicy::All, 21);
+        let mut cfg = quick_config(WaitPolicy::All, 21);
+        cfg.committees = Some(crate::committee::CommitteeSpec::contiguous(1));
+        let one = run_with(cfg, 21);
+        assert_eq!(flat.peer_records, one.peer_records);
+        assert_eq!(flat.chain, one.chain);
+        assert_eq!(flat.finished_at, one.finished_at);
+        assert_eq!(flat.gossip_bytes, one.gossip_bytes);
+        assert_eq!(flat.fetch_bytes, one.fetch_bytes);
+        assert_eq!(one.committee_rounds(), 0, "flat runs never merge");
+    }
+
+    #[test]
+    fn committee_run_completes_with_tier2_merges() {
+        let mut cfg = quick_config(WaitPolicy::All, 23);
+        cfg.committees = Some(crate::committee::CommitteeSpec::contiguous(2));
+        let out = run_with(cfg, 23);
+        assert!(out.stall.is_none(), "stalled: {:?}", out.stall);
+        for (i, records) in out.peer_records.iter().enumerate() {
+            assert_eq!(records.len(), 2, "peer {i} must finish both rounds");
+        }
+        // Every peer merged every round: 3 peers × 2 rounds.
+        assert_eq!(out.committee_rounds(), 6);
+        // Tier-2 traffic was metered and is a subset of the run's totals.
+        assert!(out.tier2_gossip_bytes() > 0);
+        assert!(out.tier2_gossip_bytes() <= out.gossip_bytes);
+        assert!(out.tier2_fetch_bytes() <= out.fetch_bytes);
+        // Deterministic replay.
+        let mut cfg = quick_config(WaitPolicy::All, 23);
+        cfg.committees = Some(crate::committee::CommitteeSpec::contiguous(2));
+        let again = run_with(cfg, 23);
+        assert_eq!(out.peer_records, again.peer_records);
+        assert_eq!(out.chain, again.chain);
+        assert_eq!(out.finished_at, again.finished_at);
     }
 
     #[test]

@@ -48,6 +48,11 @@ pub struct RoundObservation {
     pub accuracy_delta: f64,
     /// Peers currently active (not left/crashed).
     pub active_peers: usize,
+    /// Committees the run is sharded into (`1` for flat aggregation). Under
+    /// hierarchical aggregation the observed wait is a *tier-1* wait against
+    /// the peer's own committee bar, so a controller comparing waits across
+    /// cells needs the committee context.
+    pub committees: usize,
     /// Model updates this aggregation actually consumed.
     pub updates_used: usize,
     /// The wait policy the observed round ran under.
@@ -390,6 +395,7 @@ mod tests {
             accuracy: 0.5,
             accuracy_delta: 0.0,
             active_peers: 8,
+            committees: 1,
             updates_used: 8,
             wait_policy: policy,
             staleness_decay: None,

@@ -14,11 +14,13 @@ pub const ANNOUNCE_BYTES: u64 = 128;
 
 /// How large artifacts (model payloads) are disseminated.
 ///
-/// Both modes drive the *same* simulation: an artifact reaches each peer over
+/// All modes drive the *same* simulation: an artifact reaches each peer over
 /// its shortest open relay path at the same virtual instant, so runs are
 /// bit-identical across modes — only the traffic accounting differs. The mode
 /// answers "what crosses the wire": the whole artifact on every relay edge,
-/// or a digest-sized announcement plus exactly one pulled copy per peer.
+/// a digest-sized announcement plus exactly one pulled copy per peer, or a
+/// peer-sampled epidemic rumor whose announcement traffic stops scaling with
+/// edge count entirely.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum GossipMode {
     /// Legacy full-payload flooding: every relay edge of the flood tree
@@ -32,6 +34,18 @@ pub enum GossipMode {
     /// receiving peer — is accounted separately as fetch traffic.
     #[default]
     AnnounceFetch,
+    /// Peer-sampled epidemic announcements: instead of relaying the
+    /// announcement over every edge of the flood tree, each infected node
+    /// pushes it to `fanout` neighbors sampled from a dedicated RNG stream
+    /// (epoch-stamped like the flood scratch), and *every* message larger
+    /// than an announcement — model artifacts, blocks, control transactions —
+    /// is announced and pulled rather than pushed whole. Announcement
+    /// traffic is bounded by `digest × fanout × nodes` regardless of edge
+    /// count; bodies are accounted as fetch traffic per receiving peer.
+    Epidemic {
+        /// Sampled push targets per infected node, per rumor.
+        fanout: usize,
+    },
 }
 
 impl std::fmt::Display for GossipMode {
@@ -39,6 +53,7 @@ impl std::fmt::Display for GossipMode {
         match self {
             GossipMode::Full => write!(f, "full"),
             GossipMode::AnnounceFetch => write!(f, "announce-fetch"),
+            GossipMode::Epidemic { fanout } => write!(f, "epidemic-f{fanout}"),
         }
     }
 }
@@ -105,6 +120,10 @@ mod tests {
         assert_eq!(GossipMode::default(), GossipMode::AnnounceFetch);
         assert_eq!(GossipMode::Full.to_string(), "full");
         assert_eq!(GossipMode::AnnounceFetch.to_string(), "announce-fetch");
+        assert_eq!(
+            GossipMode::Epidemic { fanout: 3 }.to_string(),
+            "epidemic-f3"
+        );
         // The announcement must be digest-sized: far below even the small
         // (248 KB) model artifact, or announce/fetch could never win.
         let bound = 253_952 / 100;

@@ -439,6 +439,70 @@ impl Network {
     pub fn path_open(&self, path: &[(NodeId, NodeId)]) -> bool {
         path.iter().all(|&(a, b)| self.connected(a, b))
     }
+
+    /// Counts the announcement pushes of a peer-sampled epidemic (rumor)
+    /// sweep from `origin`: starting at the origin, each newly infected node
+    /// pushes the rumor to `fanout` neighbors drawn uniformly (with
+    /// replacement) from its adjacency list. Every push over a live edge
+    /// costs one transmission whether or not the target already heard the
+    /// rumor; pushes whose edge is severed by a partition cross nothing and
+    /// cost nothing. Nodes flagged in the scratch's avoid mask neither
+    /// receive nor relay (the origin, as in [`Network::flood_with`], always
+    /// pushes).
+    ///
+    /// The sweep reuses the caller's [`FloodScratch`] — adjacency comes from
+    /// the same CSR cache the floods use and the infected set lives in the
+    /// scratch's epoch-reset buffers — and draws only from the RNG handed in,
+    /// so callers give it a dedicated stream to keep the rest of a
+    /// deterministic simulation unperturbed. Transmissions are bounded by
+    /// `fanout × n` (each node pushes at most once).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `origin` is out of range.
+    pub fn epidemic_transmissions<R: Rng + ?Sized>(
+        &self,
+        origin: NodeId,
+        fanout: usize,
+        scratch: &mut FloodScratch,
+        rng: &mut R,
+    ) -> u64 {
+        assert!(origin.0 < self.n, "origin out of range");
+        let n = self.n;
+        scratch.prepare(&self.topology, n);
+        // `visited` doubles as the infected set for this sweep.
+        scratch.visited[origin.0] = true;
+        let mut frontier = vec![origin.0];
+        let mut next = Vec::new();
+        let mut transmissions = 0u64;
+        while !frontier.is_empty() {
+            for &node in &frontier {
+                let deg = scratch.adj_off[node + 1] - scratch.adj_off[node];
+                if deg == 0 {
+                    continue;
+                }
+                for _ in 0..fanout {
+                    let pick = scratch.adj[scratch.adj_off[node] + rng.gen_range(0..deg)];
+                    let (lo, hi) = if node <= pick {
+                        (node, pick)
+                    } else {
+                        (pick, node)
+                    };
+                    if self.cut.contains(&(NodeId(lo), NodeId(hi))) {
+                        continue;
+                    }
+                    transmissions += 1;
+                    if !scratch.visited[pick] && !scratch.avoided(pick) {
+                        scratch.visited[pick] = true;
+                        next.push(pick);
+                    }
+                }
+            }
+            frontier.clear();
+            std::mem::swap(&mut frontier, &mut next);
+        }
+        transmissions
+    }
 }
 
 #[cfg(test)]
@@ -774,6 +838,61 @@ mod tests {
                 assert_eq!(reference, via_scratch, "topology #{i} n={n}");
             }
         }
+    }
+
+    #[test]
+    fn epidemic_sweep_is_bounded_and_deterministic() {
+        let net = Network::new(48, Topology::FullMesh, LinkSpec::lan());
+        let mut scratch = FloodScratch::new();
+        let run = |scratch: &mut FloodScratch| {
+            net.epidemic_transmissions(
+                NodeId(0),
+                3,
+                scratch,
+                &mut RngHub::new(7).stream("epidemic"),
+            )
+        };
+        let a = run(&mut scratch);
+        let b = run(&mut scratch);
+        assert_eq!(a, b, "same seed, same sweep");
+        assert!(a > 0);
+        // Each node pushes at most once: fanout × n is a hard ceiling, far
+        // below the n² edge count a full-mesh flood announcement rides.
+        assert!(a <= 3 * 48);
+    }
+
+    #[test]
+    fn epidemic_pushes_over_cut_edges_cost_nothing() {
+        let mut net = Network::new(6, Topology::FullMesh, LinkSpec::lan());
+        let left: Vec<NodeId> = (0..3).map(NodeId).collect();
+        let right: Vec<NodeId> = (3..6).map(NodeId).collect();
+        net.partition_halves(&left, &right);
+        let mut scratch = FloodScratch::new();
+        // With the far half unreachable, at most the origin's half (3 nodes)
+        // ever gets infected, and only intra-half pushes are charged.
+        let t = net.epidemic_transmissions(
+            NodeId(0),
+            4,
+            &mut scratch,
+            &mut RngHub::new(11).stream("epidemic"),
+        );
+        assert!(t <= 4 * 3, "cut pushes were metered: {t}");
+    }
+
+    #[test]
+    fn epidemic_avoided_nodes_neither_receive_nor_relay() {
+        let net = Network::new(5, Topology::FullMesh, LinkSpec::lan());
+        let mut scratch = FloodScratch::new();
+        scratch.set_avoid([false, true, true, true, true]);
+        // Everyone but the origin is avoided: nobody gets infected, so only
+        // the origin's own fanout pushes are ever made.
+        let t = net.epidemic_transmissions(
+            NodeId(0),
+            3,
+            &mut scratch,
+            &mut RngHub::new(13).stream("epidemic"),
+        );
+        assert_eq!(t, 3);
     }
 
     #[test]

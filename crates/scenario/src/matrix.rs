@@ -4,8 +4,9 @@
 //! defence); the matrix type makes the pattern declarative and lets the
 //! runner execute every cell in parallel.
 
-use blockfed_core::ControllerSpec;
+use blockfed_core::{CommitteeSpec, ControllerSpec};
 use blockfed_fl::{Strategy, WaitPolicy};
+use blockfed_net::GossipMode;
 
 use crate::spec::ScenarioSpec;
 
@@ -13,7 +14,11 @@ use crate::spec::ScenarioSpec;
 /// the full combination search still terminates, the mid range around the
 /// Consider→BestK cutover, and a 48-peer point past the old 32-peer
 /// (u32 combo-mask) ceiling so every sweep exercises the variable-width
-/// mask path.
+/// mask path. The axis deliberately stops well below the 1024-peer
+/// orchestrator ceiling: flat cells past a few hundred peers are
+/// quadratic-traffic territory, covered instead by the hierarchical
+/// committee cells (`tests/scale1024.rs`, `examples/scenarios.rs
+/// --committees`) over [`crate::DataSpec::scaled_for`]'s capped pools.
 pub const DEFAULT_PEER_AXIS: &[usize] = &[3, 5, 10, 15, 20, 48];
 
 /// A base scenario plus variation axes. Empty axes keep the base value, so a
@@ -39,6 +44,8 @@ pub struct ScenarioMatrix {
     strategies: Vec<Strategy>,
     seeds: Vec<u64>,
     controllers: Vec<Option<ControllerSpec>>,
+    committees: Vec<Option<CommitteeSpec>>,
+    gossips: Vec<GossipMode>,
 }
 
 impl ScenarioMatrix {
@@ -51,6 +58,8 @@ impl ScenarioMatrix {
             strategies: Vec::new(),
             seeds: Vec::new(),
             controllers: Vec::new(),
+            committees: Vec::new(),
+            gossips: Vec::new(),
         }
     }
 
@@ -100,6 +109,22 @@ impl ScenarioMatrix {
         self
     }
 
+    /// Varies the hierarchical committee layout. `None` entries pin the cell
+    /// to the flat (single-tier) topology — the axis for flat-vs-committee
+    /// comparisons on otherwise identical cells.
+    #[must_use]
+    pub fn vary_committees(mut self, layouts: &[Option<CommitteeSpec>]) -> Self {
+        self.committees = layouts.to_vec();
+        self
+    }
+
+    /// Varies the gossip dissemination mode (including epidemic fan-outs).
+    #[must_use]
+    pub fn vary_gossip(mut self, modes: &[GossipMode]) -> Self {
+        self.gossips = modes.to_vec();
+        self
+    }
+
     /// The number of cells the matrix expands to (the product of the axis
     /// lengths; an empty axis keeps the base value and counts as one).
     pub fn len(&self) -> usize {
@@ -109,6 +134,8 @@ impl ScenarioMatrix {
             self.strategies.len(),
             self.seeds.len(),
             self.controllers.len(),
+            self.committees.len(),
+            self.gossips.len(),
         ]
         .iter()
         .map(|&l| l.max(1))
@@ -134,6 +161,8 @@ impl ScenarioMatrix {
         let wait_axis = axis(&self.wait_policies);
         let strat_axis = axis(&self.strategies);
         let seed_axis = axis(&self.seeds);
+        let com_axis = axis(&self.committees);
+        let gossip_axis = axis(&self.gossips);
         // ControllerSpec is not Copy; borrow the axis entries instead.
         let ctl_axis: Vec<Option<&Option<ControllerSpec>>> = if self.controllers.is_empty() {
             vec![None]
@@ -147,33 +176,48 @@ impl ScenarioMatrix {
                 for &s in &strat_axis {
                     for &seed in &seed_axis {
                         for &ctl in &ctl_axis {
-                            let mut cell = self.base.clone();
-                            let mut name = self.base.name.clone();
-                            if let Some(n) = n {
-                                cell = resize_peers(cell, n);
-                                name.push_str(&format!("/n={n}"));
-                            }
-                            if let Some(w) = w {
-                                cell.wait_policy = w;
-                                name.push_str(&format!("/{w}"));
-                            }
-                            if let Some(s) = s {
-                                cell.strategy = s;
-                                name.push_str(&format!("/{s}"));
-                            }
-                            if let Some(seed) = seed {
-                                cell.seed = seed;
-                                name.push_str(&format!("/seed={seed}"));
-                            }
-                            if let Some(ctl) = ctl {
-                                cell.controller = ctl.clone();
-                                match ctl {
-                                    Some(c) => name.push_str(&format!("/ctl={c}")),
-                                    None => name.push_str("/ctl=static"),
+                            for &com in &com_axis {
+                                for &g in &gossip_axis {
+                                    let mut cell = self.base.clone();
+                                    let mut name = self.base.name.clone();
+                                    if let Some(n) = n {
+                                        cell = resize_peers(cell, n);
+                                        name.push_str(&format!("/n={n}"));
+                                    }
+                                    if let Some(w) = w {
+                                        cell.wait_policy = w;
+                                        name.push_str(&format!("/{w}"));
+                                    }
+                                    if let Some(s) = s {
+                                        cell.strategy = s;
+                                        name.push_str(&format!("/{s}"));
+                                    }
+                                    if let Some(seed) = seed {
+                                        cell.seed = seed;
+                                        name.push_str(&format!("/seed={seed}"));
+                                    }
+                                    if let Some(ctl) = ctl {
+                                        cell.controller = ctl.clone();
+                                        match ctl {
+                                            Some(c) => name.push_str(&format!("/ctl={c}")),
+                                            None => name.push_str("/ctl=static"),
+                                        }
+                                    }
+                                    if let Some(com) = com {
+                                        cell.committees = com;
+                                        match com {
+                                            Some(cs) => name.push_str(&format!("/{cs}")),
+                                            None => name.push_str("/flat"),
+                                        }
+                                    }
+                                    if let Some(g) = g {
+                                        cell.gossip = g;
+                                        name.push_str(&format!("/{g}"));
+                                    }
+                                    cell.name = name;
+                                    out.push(cell);
                                 }
                             }
-                            cell.name = name;
-                            out.push(cell);
                         }
                     }
                 }
@@ -237,6 +281,35 @@ mod tests {
         for c in &cells {
             c.validate().unwrap();
         }
+    }
+
+    #[test]
+    fn committee_and_gossip_axes_expand_and_name_cells() {
+        use blockfed_net::GossipMode;
+        let m = ScenarioMatrix::new(ScenarioSpec::new("h", 8))
+            .vary_committees(&[None, Some(CommitteeSpec::contiguous(4))])
+            .vary_gossip(&[
+                GossipMode::AnnounceFetch,
+                GossipMode::Epidemic { fanout: 3 },
+            ]);
+        let cells = m.cells();
+        assert_eq!(cells.len(), 4);
+        assert!(cells.iter().any(|c| c.name == "h/flat/announce-fetch"));
+        assert!(cells.iter().any(|c| c.name == "h/c4/epidemic-f3"));
+        for c in &cells {
+            c.validate().unwrap();
+        }
+        let committee_cell = cells.iter().find(|c| c.name == "h/c4/epidemic-f3").unwrap();
+        assert_eq!(
+            committee_cell.committees,
+            Some(CommitteeSpec::contiguous(4))
+        );
+        assert_eq!(committee_cell.gossip, GossipMode::Epidemic { fanout: 3 });
+        // Seeded layouts carry their seed in the cell name.
+        let seeded = ScenarioMatrix::new(ScenarioSpec::new("s", 8))
+            .vary_committees(&[Some(CommitteeSpec::seeded(2, 7))])
+            .cells();
+        assert_eq!(seeded[0].name, "s/c2s7");
     }
 
     #[test]

@@ -136,6 +136,35 @@ impl CellReport {
         self.metrics.counter("policy_switches")
     }
 
+    /// Tier-2 committee merges completed across peers (hierarchical cells
+    /// only; zero on flat cells).
+    pub fn committee_rounds(&self) -> u64 {
+        self.metrics.counter("committee_rounds")
+    }
+
+    /// Worst wait (virtual seconds) any peer spent between finishing its
+    /// committee's tier-1 aggregate and completing the tier-2 cross-committee
+    /// merge. `0.0` on flat cells.
+    pub fn merge_wait_max_secs(&self) -> f64 {
+        self.metrics
+            .histogram("merge_wait_secs")
+            .map_or(0.0, Histogram::max)
+    }
+
+    /// Flood bytes attributable to the committee tier (leader record floods,
+    /// committee-aggregate announcements, tier-2 merge records) — a subset of
+    /// [`CellReport::gossip_bytes`]. Zero on flat cells.
+    pub fn tier2_gossip_bytes(&self) -> u64 {
+        self.metrics.counter("tier2_gossip_bytes")
+    }
+
+    /// Pulled-payload bytes attributable to the committee tier
+    /// (committee-aggregate pulls and their loss recovery) — a subset of
+    /// [`CellReport::fetch_bytes`]. Zero on flat cells.
+    pub fn tier2_fetch_bytes(&self) -> u64 {
+        self.metrics.counter("tier2_fetch_bytes")
+    }
+
     /// Virtual seconds until the cell's mean accuracy first reached
     /// `threshold` (the paper's speed-vs-precision currency). `None` if no
     /// round got there — which compares as *slower than* any reached time.
@@ -274,6 +303,19 @@ impl ScenarioReport {
                 json_f64(c.staleness_mean_secs())
             ));
             out.push_str(&format!("\"policy_switches\": {}, ", c.policy_switches()));
+            out.push_str(&format!("\"committee_rounds\": {}, ", c.committee_rounds()));
+            out.push_str(&format!(
+                "\"merge_wait_max_secs\": {}, ",
+                json_f64(c.merge_wait_max_secs())
+            ));
+            out.push_str(&format!(
+                "\"tier2_gossip_bytes\": {}, ",
+                c.tier2_gossip_bytes()
+            ));
+            out.push_str(&format!(
+                "\"tier2_fetch_bytes\": {}, ",
+                c.tier2_fetch_bytes()
+            ));
             out.push_str(&format!(
                 "\"round_accuracy\": [{}], ",
                 c.round_accuracy
@@ -324,11 +366,25 @@ impl ScenarioReport {
     pub fn history_lines(&self, git_rev: &str) -> String {
         let mut out = String::new();
         for c in &self.cells {
+            // Hierarchical cells carry their committee meters; flat cells
+            // keep the legacy line shape so committed history stays diffable.
+            let committee = if c.committee_rounds() > 0 {
+                format!(
+                    "\"committee_rounds\": {}, \"merge_wait_max_secs\": {}, \
+                     \"tier2_gossip_bytes\": {}, \"tier2_fetch_bytes\": {}, ",
+                    c.committee_rounds(),
+                    json_f64(c.merge_wait_max_secs()),
+                    c.tier2_gossip_bytes(),
+                    c.tier2_fetch_bytes(),
+                )
+            } else {
+                String::new()
+            };
             out.push_str(&format!(
                 "{{\"cell\": {}, \"peers\": {}, \"gossip_bytes\": {}, \"fetch_bytes\": {}, \
                  \"dropped_msgs\": {}, \"fetch_retries\": {}, \
                  \"wait_max_secs\": {}, \"staleness_mean_secs\": {}, \
-                 \"policy_switches\": {}, \"final_accuracy\": {}, \
+                 \"policy_switches\": {}, {committee}\"final_accuracy\": {}, \
                  \"wall_clock_secs\": {}, \"git_rev\": {}}}\n",
                 json_str(&c.name),
                 c.peers,
@@ -463,6 +519,22 @@ mod tests {
         assert_eq!(bare.wait_max_secs(), 0.0);
         assert!(!bare.stalled());
         assert_eq!(bare.policy_switches(), 0);
+        // Committee meters read zero on flat cells…
+        assert_eq!(bare.committee_rounds(), 0);
+        assert_eq!(bare.merge_wait_max_secs(), 0.0);
+        assert_eq!(bare.tier2_gossip_bytes(), 0);
+        assert_eq!(bare.tier2_fetch_bytes(), 0);
+        // …and read the folded counters on hierarchical ones.
+        let mut hier = cell("h");
+        hier.metrics.add("committee_rounds", 4);
+        hier.metrics.add("tier2_gossip_bytes", 512);
+        hier.metrics.add("tier2_fetch_bytes", 2048);
+        hier.metrics.observe("merge_wait_secs", 1.5);
+        hier.metrics.observe("merge_wait_secs", 0.5);
+        assert_eq!(hier.committee_rounds(), 4);
+        assert_eq!(hier.merge_wait_max_secs(), 1.5);
+        assert_eq!(hier.tier2_gossip_bytes(), 512);
+        assert_eq!(hier.tier2_fetch_bytes(), 2048);
     }
 
     #[test]
@@ -514,6 +586,11 @@ mod tests {
         // the accuracy trajectory TTA is computed from.
         assert!(json.contains("\"controller\": null"));
         assert!(json.contains("\"policy_switches\": 0"));
+        // Committee columns are always present (zero on flat cells).
+        assert!(json.contains("\"committee_rounds\": 0"));
+        assert!(json.contains("\"merge_wait_max_secs\": 0"));
+        assert!(json.contains("\"tier2_gossip_bytes\": 0"));
+        assert!(json.contains("\"tier2_fetch_bytes\": 0"));
         assert!(json.contains("\"round_accuracy\": [[40, 0.3], [100, 0.5]]"));
         // The full extensible metric set rides along as a nested object.
         assert!(json.contains("\"metrics\": {\"counters\":{"));
@@ -563,7 +640,27 @@ mod tests {
         assert!(lines[0].contains("\"fetch_retries\": 3"));
         assert!(lines[0].contains("\"wait_max_secs\": 1.5"));
         assert!(lines[0].contains("\"staleness_mean_secs\": 4"));
+        // Flat cells keep the legacy line shape — no committee columns.
+        assert!(!lines[0].contains("committee_rounds"));
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn history_lines_carry_committee_meters_on_hierarchical_cells() {
+        let mut hier = cell("hier");
+        hier.metrics.add("committee_rounds", 6);
+        hier.metrics.add("tier2_gossip_bytes", 4096);
+        hier.metrics.add("tier2_fetch_bytes", 8192);
+        hier.metrics.observe("merge_wait_secs", 2.5);
+        let report = ScenarioReport {
+            name: "h".into(),
+            cells: vec![hier],
+        };
+        let line = report.history_lines("rev");
+        assert!(line.contains("\"committee_rounds\": 6"), "{line}");
+        assert!(line.contains("\"merge_wait_max_secs\": 2.5"), "{line}");
+        assert!(line.contains("\"tier2_gossip_bytes\": 4096"), "{line}");
+        assert!(line.contains("\"tier2_fetch_bytes\": 8192"), "{line}");
     }
 
     #[test]

@@ -428,15 +428,20 @@ mod tests {
     #[test]
     fn dedup_key_covers_store_and_controller_fields() {
         // Regression: the matrix dedup keys on *spec equality*. Cells that
-        // differ only in snapshot_interval, prune_depth, or the controller
-        // would be silently merged if any of those fields escaped PartialEq —
-        // each must keep the pair distinct.
+        // differ only in snapshot_interval, prune_depth, the controller, the
+        // committee layout, or the gossip mode would be silently merged if
+        // any of those fields escaped PartialEq — each must keep the pair
+        // distinct.
         let base = ScenarioSpec::new("key", 3).rounds(1);
         let variants = [
             base.clone().snapshot_interval(2),
             base.clone().prune_depth(4),
             base.clone()
                 .controller(blockfed_core::ControllerSpec::noop()),
+            base.clone()
+                .committees(blockfed_core::CommitteeSpec::contiguous(2)),
+            base.clone()
+                .gossip(blockfed_net::GossipMode::Epidemic { fanout: 2 }),
         ];
         for v in &variants {
             assert_ne!(base, *v, "field must be part of spec identity: {}", v.name);
@@ -444,13 +449,27 @@ mod tests {
         // End to end: a matrix whose controller axis is (static, noop) runs
         // both cells instead of cloning one report — visible in the reports'
         // controller columns.
-        let matrix = ScenarioMatrix::new(base)
+        let matrix = ScenarioMatrix::new(base.clone())
             .vary_controller(&[None, Some(blockfed_core::ControllerSpec::noop())]);
         let report = ScenarioRunner::new().run_matrix(&matrix);
         assert_eq!(report.cells.len(), 2);
         assert_eq!(report.cells[0].controller, None);
         assert_eq!(report.cells[1].controller, Some("noop".into()));
         assert!(report.cells[1].name.ends_with("/ctl=noop"));
+        // Same end to end for the hierarchical axes: flat vs committee runs
+        // both cells (visible in the committee meters), never one clone.
+        let hier = ScenarioMatrix::new(base.rounds(1))
+            .vary_committees(&[None, Some(blockfed_core::CommitteeSpec::contiguous(2))]);
+        let hier_report = ScenarioRunner::new().run_matrix(&hier);
+        assert_eq!(hier_report.cells.len(), 2);
+        assert!(hier_report.cells[0].name.ends_with("/flat"));
+        assert_eq!(hier_report.cells[0].committee_rounds(), 0);
+        assert!(hier_report.cells[1].name.ends_with("/c2"));
+        assert!(
+            hier_report.cells[1].committee_rounds() > 0,
+            "the committee cell must actually merge: {:?}",
+            hier_report.cells[1]
+        );
     }
 
     #[test]

@@ -9,8 +9,8 @@
 //! with [`ScenarioSpec::run_with`].
 
 use blockfed_core::{
-    ChainStore, ComputeProfile, ConfigError, ControllerSpec, Decentralized, DecentralizedConfig,
-    DecentralizedRun, Fault, RetargetRule, TimedFault, MAX_PEERS,
+    ChainStore, CommitteeSpec, ComputeProfile, ConfigError, ControllerSpec, Decentralized,
+    DecentralizedConfig, DecentralizedRun, Fault, RetargetRule, TimedFault, MAX_PEERS,
 };
 use blockfed_data::{Dataset, Partition, SynthCifarConfig};
 use blockfed_fl::{Adversary, StalenessDecay, Strategy, WaitPolicy};
@@ -36,6 +36,12 @@ impl Default for DataSpec {
     }
 }
 
+/// Where [`DataSpec::scaled_for`]'s linear pool growth stops: the per-class
+/// count 256 peers resolve to. Beyond it each peer's shard shrinks (to a
+/// floor of at least one example at [`blockfed_core::MAX_PEERS`] peers)
+/// instead of the pool — and the evaluation cost — growing without bound.
+const SCALED_PER_CLASS_CAP: usize = 320;
+
 impl DataSpec {
     /// The paper-scale data spec: the full SynthCifar generator (64-dim
     /// observations, 10 classes, 150 train / 60 test examples per class) with
@@ -55,9 +61,17 @@ impl DataSpec {
     /// default tiny pools starve past ~40 peers. IID partitioning keeps
     /// every shard non-empty at large populations where Dirichlet skew can
     /// zero one out.
+    ///
+    /// Growth is capped past 256 peers: pools stop growing linearly once
+    /// each shard would otherwise keep holding ~5 examples, so a 1024-peer
+    /// cell synthesizes (and scores against) the same 1 280-example pool as
+    /// a 256-peer one, with every shard and test split still non-empty. The
+    /// floor below keeps small populations on the legacy pool sizes.
     pub fn scaled_for(peers: usize) -> Self {
         let tiny = SynthCifarConfig::tiny();
-        let per_class = (5 * peers).div_ceil(tiny.num_classes).max(20);
+        let per_class = (5 * peers)
+            .div_ceil(tiny.num_classes)
+            .clamp(20, SCALED_PER_CLASS_CAP);
         DataSpec {
             synth: SynthCifarConfig {
                 train_per_class: per_class,
@@ -167,6 +181,13 @@ pub struct ScenarioSpec {
     /// (see [`ControllerSpec`]). `None` keeps the spec's static knobs — the
     /// paper's setting.
     pub controller: Option<ControllerSpec>,
+    /// Optional hierarchical committee layout: peers aggregate locally per
+    /// committee (tier 1) and merge the committee aggregates across the
+    /// population (tier 2) before advancing their round (see
+    /// [`DecentralizedConfig::committees`]). `None` — and any spec naming a
+    /// single committee — is the flat topology. Part of spec identity: two
+    /// cells differing only here are distinct and never deduplicated.
+    pub committees: Option<CommitteeSpec>,
     /// Data synthesis and partitioning.
     pub data: DataSpec,
     /// The model architecture every peer trains.
@@ -226,6 +247,7 @@ impl ScenarioSpec {
             snapshot_interval: None,
             prune_depth: None,
             controller: None,
+            committees: None,
             data,
             model,
             batch_parallel: None,
@@ -474,6 +496,14 @@ impl ScenarioSpec {
         self
     }
 
+    /// Attaches a hierarchical committee layout (see
+    /// [`ScenarioSpec::committees`]).
+    #[must_use]
+    pub fn committees(mut self, spec: CommitteeSpec) -> Self {
+        self.committees = Some(spec);
+        self
+    }
+
     /// Enables the fitness gate.
     #[must_use]
     pub fn fitness_threshold(mut self, th: f64) -> Self {
@@ -658,10 +688,36 @@ impl ScenarioSpec {
             // spec and Decentralized::try_new refuse identically.
             return Err(ConfigError::InvalidLink(e.to_string()).to_string());
         }
+        if let Some(cs) = &self.committees {
+            // Mirror the orchestrator's typed rejection word for word, so a
+            // spec and Decentralized::try_new refuse identically.
+            if cs.count == 0 {
+                return Err(
+                    ConfigError::InvalidCommittees("need at least one committee".into())
+                        .to_string(),
+                );
+            }
+            if cs.count > n {
+                return Err(ConfigError::InvalidCommittees(format!(
+                    "more committees than peers ({} committees, {n} peers)",
+                    cs.count
+                ))
+                .to_string());
+            }
+        }
         let pool = self.data.synth.test_per_class * self.data.synth.num_classes;
         if pool / n == 0 {
             return Err(format!(
                 "test pool of {pool} examples cannot cover {n} peers"
+            ));
+        }
+        // Starved training pools used to slip past validation and blow up
+        // deep in partitioning/training at large populations; reject them
+        // up front like the test pool.
+        let train = self.data.synth.train_per_class * self.data.synth.num_classes;
+        if train / n == 0 {
+            return Err(format!(
+                "train pool of {train} examples cannot shard across {n} peers"
             ));
         }
         Ok(())
@@ -698,6 +754,7 @@ impl ScenarioSpec {
             snapshot_interval: self.snapshot_interval,
             prune_depth: self.prune_depth,
             controller: self.controller.clone(),
+            committees: self.committees,
             store: None,
             seed: self.seed,
         }
@@ -815,21 +872,21 @@ mod tests {
         // has to cover the population now.
         let thirty_three = ScenarioSpec::new("past-u32", 33).data(DataSpec::scaled_for(33));
         thirty_three.validate().unwrap();
-        // 129 peers — the old ceiling's rejection point — now validates; the
-        // ceiling is the mask's native 256.
-        ScenarioSpec::new("past-old-cap", 129)
-            .data(DataSpec::scaled_for(129))
+        // 257 peers — the old ceiling's rejection point — now validates; the
+        // ceiling is the mask's widened 1024.
+        ScenarioSpec::new("past-old-cap", 257)
+            .data(DataSpec::scaled_for(257))
             .validate()
             .unwrap();
         // Past the orchestrator ceiling the error mirrors ConfigError.
-        let too_many = ScenarioSpec::new("many", 257)
-            .data(DataSpec::scaled_for(257))
+        let too_many = ScenarioSpec::new("many", 1025)
+            .data(DataSpec::scaled_for(1025))
             .validate()
             .unwrap_err();
-        assert!(too_many.contains("at most 256 peers"), "{too_many}");
+        assert!(too_many.contains("at most 1024 peers"), "{too_many}");
         assert_eq!(
             too_many,
-            blockfed_core::ConfigError::TooManyPeers { got: 257 }.to_string(),
+            blockfed_core::ConfigError::TooManyPeers { got: 1025 }.to_string(),
             "spec and orchestrator must reject with the same words"
         );
         assert!(ScenarioSpec::new("r0", 3).rounds(0).validate().is_err());
@@ -847,6 +904,78 @@ mod tests {
             .data(DataSpec::scaled_for(48))
             .validate()
             .is_ok());
+        // A starved *train* pool is refused up front instead of blowing up
+        // deep in the partitioner at run time.
+        let starved_train = ScenarioSpec::new("st", 48).data(DataSpec {
+            synth: blockfed_data::SynthCifarConfig {
+                train_per_class: 1,
+                test_per_class: 100,
+                ..blockfed_data::SynthCifarConfig::tiny()
+            },
+            partition: blockfed_data::Partition::Iid,
+        });
+        let err = starved_train.validate().unwrap_err();
+        assert!(err.contains("train pool of 4 examples"), "{err}");
+    }
+
+    #[test]
+    fn committee_spec_validates_and_lowers() {
+        use blockfed_core::CommitteeSpec;
+        // Default flat: no committees in the lowered config.
+        let flat = ScenarioSpec::new("flat", 6);
+        assert_eq!(flat.committees, None);
+        assert_eq!(flat.decentralized_config().committees, None);
+        // A committee layout lowers verbatim.
+        let spec = ScenarioSpec::new("c", 6).committees(CommitteeSpec::contiguous(3));
+        spec.validate().unwrap();
+        assert_eq!(
+            spec.decentralized_config().committees,
+            Some(CommitteeSpec::contiguous(3))
+        );
+        // Invalid layouts are refused with the orchestrator's exact words.
+        let zero = ScenarioSpec::new("c0", 6)
+            .committees(CommitteeSpec::contiguous(0))
+            .validate()
+            .unwrap_err();
+        assert_eq!(
+            zero,
+            blockfed_core::ConfigError::InvalidCommittees("need at least one committee".into())
+                .to_string()
+        );
+        let over = ScenarioSpec::new("c9", 6)
+            .committees(CommitteeSpec::seeded(9, 7))
+            .validate()
+            .unwrap_err();
+        assert_eq!(
+            over,
+            blockfed_core::ConfigError::InvalidCommittees(
+                "more committees than peers (9 committees, 6 peers)".into()
+            )
+            .to_string()
+        );
+    }
+
+    #[test]
+    fn scaled_data_caps_past_256_peers_but_covers_the_ceiling() {
+        // Linear growth below the cap…
+        assert_eq!(DataSpec::scaled_for(48).synth.train_per_class, 60);
+        // …the 256-peer point lands exactly on it (so the committed scale256
+        // baselines are untouched)…
+        assert_eq!(DataSpec::scaled_for(256).synth.train_per_class, 320);
+        assert_eq!(DataSpec::scaled_for(512).synth.train_per_class, 320);
+        // …and past it the pool stops growing while every shard and test
+        // split stays non-empty all the way to the orchestrator ceiling.
+        let huge = DataSpec::scaled_for(MAX_PEERS);
+        assert_eq!(huge.synth.train_per_class, 320);
+        let pool = huge.synth.test_per_class * huge.synth.num_classes;
+        assert!(
+            pool / MAX_PEERS >= 1,
+            "pool {pool} starves {MAX_PEERS} peers"
+        );
+        ScenarioSpec::new("ceiling", MAX_PEERS)
+            .data(huge)
+            .validate()
+            .unwrap();
     }
 
     #[test]

@@ -14,7 +14,7 @@
 //! compatibility boundary with the legacy fixed-width encoding.
 
 /// Maximum number of participants a mask can address.
-pub const MAX_MASK_BITS: usize = 256;
+pub const MAX_MASK_BITS: usize = 1024;
 
 /// Maximum canonical byte length of a mask (`MAX_MASK_BITS / 8`).
 pub const MAX_MASK_BYTES: usize = MAX_MASK_BITS / 8;
@@ -280,7 +280,14 @@ mod tests {
 
     #[test]
     fn wire_encoding_round_trips_and_rejects_junk() {
-        for members in [vec![], vec![0], vec![31], vec![32], vec![0, 64, 255]] {
+        for members in [
+            vec![],
+            vec![0],
+            vec![31],
+            vec![32],
+            vec![0, 64, 255],
+            vec![0, 256, 512, 1023],
+        ] {
             let m = ComboMask::from_members(members);
             let wire = m.encode();
             let (back, used) = ComboMask::decode_from(&wire).unwrap();
@@ -295,8 +302,8 @@ mod tests {
         }
         // Truncated body.
         assert!(ComboMask::decode_from(&[3, 1, 2]).is_none());
-        // Oversize length.
-        assert!(ComboMask::decode_from(&[33]).is_none());
+        // Oversize length (129 bytes would address bits beyond the cap).
+        assert!(ComboMask::decode_from(&[129]).is_none());
         // Non-canonical (zero-padded) body.
         assert!(ComboMask::decode_from(&[2, 1, 0]).is_none());
         // Empty buffer.
@@ -305,12 +312,15 @@ mod tests {
 
     #[test]
     fn storage_words_pack_and_unpack() {
-        let m = ComboMask::from_members([0, 9, 63, 64, 130, 255]);
+        let m = ComboMask::from_members([0, 9, 63, 64, 130, 255, 256, 700, 1023]);
         let words = m.to_words();
         assert_eq!(words[0], (1 << 0) | (1 << 9) | (1 << 63));
         assert_eq!(words[1], 1 << 0);
         assert_eq!(words[2], 1 << 2);
         assert_eq!(words[3], 1 << 63);
+        assert_eq!(words[4], 1 << 0);
+        assert_eq!(words[10], 1 << (700 - 640));
+        assert_eq!(words[15], 1 << 63);
         assert_eq!(ComboMask::from_words(&words, m.byte_len()), Some(m));
     }
 
@@ -323,7 +333,7 @@ mod tests {
         // Length longer than canonical: trailing zero byte → corrupt.
         assert_eq!(ComboMask::from_words(&words, 7), None);
         // Oversize length.
-        assert_eq!(ComboMask::from_words(&[0; MASK_STORAGE_WORDS], 33), None);
+        assert_eq!(ComboMask::from_words(&[0; MASK_STORAGE_WORDS], 129), None);
         // Empty mask stores as length zero.
         assert_eq!(
             ComboMask::from_words(&[0; MASK_STORAGE_WORDS], 0),
@@ -333,17 +343,17 @@ mod tests {
 
     #[test]
     fn from_bytes_rejects_oversize() {
-        assert!(ComboMask::from_bytes(&[1u8; 33]).is_none());
-        // 33 bytes of zeros trims to empty: fine.
-        assert!(ComboMask::from_bytes(&[0u8; 33]).is_some());
-        assert!(ComboMask::from_bytes(&[0xFF; 32]).is_some());
+        assert!(ComboMask::from_bytes(&[1u8; 129]).is_none());
+        // 129 bytes of zeros trims to empty: fine.
+        assert!(ComboMask::from_bytes(&[0u8; 129]).is_some());
+        assert!(ComboMask::from_bytes(&[0xFF; 128]).is_some());
     }
 
     #[test]
-    #[should_panic(expected = "at most 256 participants")]
+    #[should_panic(expected = "at most 1024 participants")]
     fn set_beyond_cap_panics() {
         let mut m = ComboMask::empty();
-        m.set(256);
+        m.set(1024);
     }
 
     #[test]

@@ -16,7 +16,7 @@
 //! | 1 | `submit_model` | round u32, model_hash 32B, payload_bytes u64, sample_count u64 | submission index (u64 LE) |
 //! | 2 | `round_count` | round u32 | count (u64 LE) |
 //! | 3 | `get_submission` | round u32, index u64 | sender 20B ‖ model_hash 32B ‖ payload u64 ‖ samples u64 |
-//! | 4 | `record_aggregate` | round u32, mask_len u8, mask bytes (LE bitset, ≤ 32B), agg_hash 32B | — |
+//! | 4 | `record_aggregate` | round u32, mask_len u8, mask bytes (LE bitset, ≤ 128B), agg_hash 32B | — |
 //! | 5 | `participant_count` | — | count (u64 LE) |
 //! | 6 | `get_aggregate` | round u32, aggregator 20B | agg_hash 32B ‖ mask_len u8 ‖ mask bytes |
 //!
@@ -712,6 +712,7 @@ mod tests {
             (2, vec![32]),                         // first wide bit
             (3, vec![0, 33, 47]),                  // the 48-peer regime
             (4, (0..128).collect::<Vec<usize>>()), // two storage words, full
+            (5, vec![0, 255, 256, 1023]),          // past the old 256-bit cap
         ] {
             let mask = ComboMask::from_members(members.iter().copied());
             let record = RegistryCall::RecordAggregate {
@@ -786,9 +787,15 @@ mod tests {
         }
         .encode();
         assert!(RegistryCall::decode(&good).is_some());
-        // Oversize declared length.
-        let mut oversize = good.clone();
-        oversize[5] = 33;
+        // Oversize declared length: 129 mask bytes would address bits past
+        // the cap, and the body really is present so only the length check
+        // can reject it.
+        let mut oversize = Vec::new();
+        oversize.push(4u8);
+        oversize.extend_from_slice(&1u32.to_le_bytes());
+        oversize.push(129u8);
+        oversize.extend_from_slice(&[1u8; 129]);
+        oversize.extend_from_slice(sha256(b"big").as_bytes());
         assert_eq!(RegistryCall::decode(&oversize), None);
         // Declared length longer than the remaining calldata.
         let mut truncated = good.clone();

@@ -7,6 +7,7 @@
 //! cargo run --release --example scenarios -- --bench    # --bestk + append the perf trajectory (BENCH_history.jsonl)
 //! cargo run --release --example scenarios -- --bestk48  # CI: one 48-peer best-k cell past the u32 mask
 //! cargo run --release --example scenarios -- --gossip128 # CI: announce/fetch byte guards + 128-peer cell
+//! cargo run --release --example scenarios -- --committees # CI: hierarchical 256/512/1024-peer committee cells + flat-byte reproduction guard
 //! cargo run --release --example scenarios -- --paper    # CI: paper-scale SimpleNN cell, batch-parallel vs sequential
 //! cargo run --release --example scenarios -- --chaos    # CI: lossy 48-peer cells (loss 0/1/5/20%) + byte-accounting guard
 //! cargo run --release --example scenarios -- --adaptive # CI: churn+shock cell, policy controller vs static wait policies (time-to-accuracy)
@@ -24,7 +25,7 @@
 //! `chrome://tracing`); `--speedup` appends one kernel-timing line per thread
 //! count to `BENCH_history.jsonl`.
 
-use blockfed::core::{ControllerSpec, RuleConfig};
+use blockfed::core::{CommitteeSpec, ControllerSpec, RuleConfig};
 use blockfed::data::Partition;
 use blockfed::fl::{Strategy, WaitPolicy};
 use blockfed::net::{GossipMode, LinkSpec};
@@ -46,6 +47,15 @@ const GOSSIP48_CEILING_BYTES: u64 = 12_000_000;
 /// links are clean.
 const BESTK48_GOSSIP_BYTES: u64 = 6_593_536;
 const BESTK48_FETCH_BYTES: u64 = 45_120_000;
+
+/// Committed regression ceilings for the 512-/1024-peer committee cells'
+/// gossip bytes: epidemic fan-out bounds announcement traffic by
+/// `digest × fanout × nodes` per rumor, so the flood term scales with the
+/// rumor count instead of the mesh's edge count. CI fails if a change
+/// pushes committee-mode gossip back onto the edge-count curve (a flat
+/// 512-peer announce/fetch extrapolation already crosses 750 MB).
+const COM512_GOSSIP_CEILING_BYTES: u64 = 380_000_000;
+const COM1024_GOSSIP_CEILING_BYTES: u64 = 1_500_000_000;
 
 /// A small, fully featured churn scenario: heterogeneous compute, one
 /// mid-run partition + heal, a late join and an early leave.
@@ -320,6 +330,134 @@ fn gossip128() {
     let path = report.write_json(".").expect("write BENCH_scenarios.json");
     println!("wrote {}", path.display());
     println!("announce/fetch certification OK (widest 128-peer mask bit: {widest})");
+}
+
+/// A hierarchical cell at `n` peers sharded into `committees` contiguous
+/// committees: tier-1 aggregation stays linear via the `BestK(48)` cutover
+/// inside each committee, the tier-2 merge records a union mask over every
+/// participating member, and epidemic fan-out keeps announcement traffic off
+/// the edge-count curve. Difficulty scales with the population so block
+/// cadence stays at the 48-peer cell's level.
+fn committee_cell(n: usize, committees: usize) -> ScenarioSpec {
+    ScenarioSpec::new(format!("scale{n}-committee"), n)
+        .rounds(2)
+        .consider_cutover(6, 48)
+        .difficulty(200_000 * n as u128 / 48)
+        .gossip(GossipMode::Epidemic { fanout: 3 })
+        .committees(CommitteeSpec::contiguous(committees))
+        .data(DataSpec::scaled_for(n))
+        .seed(n as u64)
+}
+
+/// The hierarchical-aggregation certification (`--committees`):
+///
+/// 1. Hierarchy off **is** the flat path, byte for byte: a single-committee,
+///    full-fan-out run of the 48-peer best-k cell reproduces the committed
+///    flat byte accounting exactly.
+/// 2. The 256-peer flat-vs-committee pair: sharding the same population into
+///    16 committees under epidemic fan-out must cut total traffic
+///    (gossip + fetch) to ≤ 50 % of the flat baseline.
+/// 3. 512- and 1024-peer committee cells — past the old mask ceiling — run
+///    green (every peer merges every round) under the committed gossip-byte
+///    ceiling, with on-chain masks crossing bit 256 at 1024 peers.
+fn committees() {
+    println!("hierarchical committees — flat reproduction guard + 256/512/1024 cells\n");
+    let runner = ScenarioRunner::new();
+
+    // 1. The exact-reproduction guard: one committee, default announce/fetch
+    //    fan-out. The committee layer must normalize itself away entirely.
+    let one = runner.run(
+        &bestk48_spec()
+            .named("bestk48-c1")
+            .committees(CommitteeSpec::contiguous(1)),
+    );
+    assert_eq!(
+        one.gossip_bytes, BESTK48_GOSSIP_BYTES,
+        "a single-committee run must reproduce the committed flat gossip bytes exactly"
+    );
+    assert_eq!(
+        one.fetch_bytes, BESTK48_FETCH_BYTES,
+        "a single-committee run must reproduce the committed flat fetch bytes exactly"
+    );
+    assert_eq!(
+        one.committee_rounds(),
+        0,
+        "a single committee must lower to the flat path, not merge"
+    );
+
+    // 2. The 256-peer pair: the flat announce/fetch baseline (the committed
+    //    scale256 cell) against the same population in 16 committees.
+    let flat = run_wide(&runner, 256, 200);
+    let com256 = runner.run(&committee_cell(256, 16));
+    assert_eq!(
+        com256.records,
+        256 * 2,
+        "256-peer committee cell incomplete"
+    );
+    assert_eq!(
+        com256.committee_rounds(),
+        256 * 2,
+        "every peer must complete a tier-2 merge every round"
+    );
+    assert!(com256.mean_final_accuracy > 0.0);
+    let flat_total = flat.gossip_bytes + flat.fetch_bytes;
+    let com_total = com256.gossip_bytes + com256.fetch_bytes;
+    assert!(
+        com_total * 2 <= flat_total,
+        "committee mode must cut gossip+fetch to ≤ 50% of flat: {com_total} vs {flat_total}"
+    );
+
+    // 3. Past the old 256-peer ceiling: 512 and 1024 peers, green and cheap.
+    let com512 = runner.run(&committee_cell(512, 16));
+    let com1024 = runner.run(&committee_cell(1024, 16));
+    for (cell, n, ceiling) in [
+        (&com512, 512u64, COM512_GOSSIP_CEILING_BYTES),
+        (&com1024, 1024u64, COM1024_GOSSIP_CEILING_BYTES),
+    ] {
+        assert_eq!(
+            cell.records as u64,
+            n * 2,
+            "{}-peer committee cell incomplete",
+            n
+        );
+        assert_eq!(
+            cell.committee_rounds(),
+            n * 2,
+            "{}-peer cell: merges incomplete",
+            n
+        );
+        assert!(cell.mean_final_accuracy > 0.0);
+        assert!(
+            cell.gossip_bytes <= ceiling,
+            "{}-peer committee gossip regressed past the ceiling: {} > {}",
+            n,
+            cell.gossip_bytes,
+            ceiling
+        );
+    }
+    let widest = com1024.max_mask_bit.expect("1024-peer aggregates recorded");
+    assert!(
+        widest >= 256,
+        "no 1024-peer mask crossed the old 256-bit ceiling (max bit {widest})"
+    );
+
+    let report = ScenarioReport {
+        name: "committees".into(),
+        cells: vec![one, flat, com256, com512, com1024],
+    };
+    println!("{}", report.table());
+    let path = report.write_json(".").expect("write BENCH_scenarios.json");
+    println!("wrote {}", path.display());
+    let rev = git_rev();
+    let hist = report
+        .append_history(".", &rev)
+        .expect("append BENCH_history.jsonl");
+    println!(
+        "appended {} cells at rev {rev} to {}",
+        report.cells.len(),
+        hist.display()
+    );
+    println!("hierarchical committee certification OK (widest 1024-peer mask bit: {widest})");
 }
 
 /// The paper-scale cell: three peers training the ~62 K-parameter SimpleNN on
@@ -865,6 +1003,7 @@ fn main() {
         "--bench" => bench(),
         "--bestk48" => bestk48(),
         "--gossip128" => gossip128(),
+        "--committees" => committees(),
         "--paper" => paper(),
         "--chaos" => chaos(),
         "--adaptive" => adaptive(),
@@ -875,7 +1014,8 @@ fn main() {
         other => {
             eprintln!(
                 "unknown mode {other}; use --smoke, --bestk, --bench, --bestk48, --gossip128, \
-                 --paper, --chaos, --adaptive, --trace, --memcheck, --speedup, or --demo"
+                 --committees, --paper, --chaos, --adaptive, --trace, --memcheck, --speedup, \
+                 or --demo"
             );
             std::process::exit(2);
         }

@@ -1,8 +1,9 @@
-//! Property tests of the gossip-mode contract: `AnnounceFetch` and `Full`
-//! must drive *identical* simulations — the same artifact set delivered to
-//! every live peer, the same per-round records, the same chain — under
-//! randomized churn and timed partitions, while announce/fetch always floods
-//! strictly fewer bytes than full-payload flooding.
+//! Property tests of the gossip-mode contract: `AnnounceFetch`, `Full`, and
+//! `Epidemic` must drive *identical* simulations — the same artifact set
+//! delivered to every live peer, the same per-round records, the same chain —
+//! under randomized churn and timed partitions, while announce/fetch always
+//! floods strictly fewer bytes than full-payload flooding and epidemic
+//! fan-out undercuts even the announce floods once the mesh is wide.
 
 use blockfed::core::{
     ComputeProfile, Decentralized, DecentralizedConfig, DecentralizedRun, Fault, TimedFault,
@@ -148,5 +149,54 @@ proptest! {
         prop_assert!(af.fetch_bytes >= payload * (n as u64 - 1));
         prop_assert_eq!(&full.artifacts, &af.artifacts);
         prop_assert_eq!(&full.peer_records, &af.peer_records);
+    }
+
+    /// On every fault-free N ≥ 3 mesh cell, epidemic fan-out delivers the
+    /// identical simulation as announce/fetch — same artifacts, records,
+    /// chain, settle time — for any fanout. Only the traffic accounting may
+    /// differ: that is the whole gossip-mode contract.
+    #[test]
+    fn epidemic_agrees_with_announce_fetch_on_every_mesh(
+        n in 3usize..9,
+        fanout in 1usize..5,
+        payload in (ANNOUNCE_BYTES + 1)..40_000u64,
+        seed in 0u64..500,
+    ) {
+        let cfg = base_config(seed, 1, payload);
+        let af = run(cfg.clone(), GossipMode::AnnounceFetch, n, seed);
+        let epi = run(cfg, GossipMode::Epidemic { fanout }, n, seed);
+        prop_assert_eq!(&af.artifacts, &epi.artifacts);
+        prop_assert_eq!(&af.peer_records, &epi.peer_records);
+        prop_assert_eq!(&af.chain, &epi.chain);
+        prop_assert_eq!(af.finished_at, epi.finished_at);
+        prop_assert_eq!(af.blocks_sealed, epi.blocks_sealed);
+        // Bodies still reach every peer — as targeted pulls.
+        prop_assert!(epi.fetch_bytes >= payload * (n as u64 - 1));
+    }
+}
+
+/// At 48 peers the announce term itself scales with the flood tree's edge
+/// count; epidemic fan-out caps transmissions per rumor at `fanout` per
+/// infected node, so its gossip bytes drop strictly below announce/fetch —
+/// while the simulation stays bit-identical.
+#[test]
+fn epidemic_undercuts_announce_fetch_gossip_at_48_peers() {
+    let n = 48;
+    let seed = 4_848;
+    let mut cfg = base_config(seed, 1, 10_000);
+    cfg.strategy = blockfed::fl::Strategy::BestK(3);
+    let af = run(cfg.clone(), GossipMode::AnnounceFetch, n, seed);
+    for fanout in [2, 3] {
+        let epi = run(cfg.clone(), GossipMode::Epidemic { fanout }, n, seed);
+        assert_eq!(af.artifacts, epi.artifacts);
+        assert_eq!(af.peer_records, epi.peer_records);
+        assert_eq!(af.chain, epi.chain);
+        assert_eq!(af.finished_at, epi.finished_at);
+        assert!(
+            epi.gossip_bytes < af.gossip_bytes,
+            "fanout {fanout}: epidemic announcements not cheaper: {} !< {}",
+            epi.gossip_bytes,
+            af.gossip_bytes
+        );
     }
 }

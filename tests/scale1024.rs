@@ -1,0 +1,105 @@
+//! The 1024-peer unlock, end to end: hierarchical committee aggregation plus
+//! epidemic announcement fan-out carry a cell four times past the old
+//! 256-peer mask ceiling. The cell must run green (every peer merges every
+//! round), confirm on-chain masks with bits ≥ 256 (impossible before the
+//! widening), replay bit-identically at any worker count, and reject the
+//! 1025th peer with the orchestrator's typed error instead of a panic.
+
+use blockfed::core::CommitteeSpec;
+use blockfed::fl::Strategy;
+use blockfed::net::GossipMode;
+use blockfed::scenario::{CellReport, DataSpec, ScenarioRunner, ScenarioSpec};
+
+/// Serializes tests that flip the global thread override.
+fn thread_guard() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    LOCK.lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// A 1024-peer cell sharded into 16 contiguous committees of 64. Tier-1
+/// aggregation stays linear via `BestK(48)` inside each committee; the tier-2
+/// merge records a union mask over every participating member, so bits in
+/// the top committees (indices ≥ 960) are guaranteed on chain. Difficulty
+/// scales with the population so block cadence stays at the 48-peer cell's
+/// level, and epidemic fan-out keeps announcement traffic off the
+/// edge-count curve.
+fn committee_spec() -> ScenarioSpec {
+    ScenarioSpec::new("scale1024", 1024)
+        .rounds(1)
+        .consider_cutover(6, 48)
+        .difficulty(200_000 * 1024 / 48)
+        .gossip(GossipMode::Epidemic { fanout: 3 })
+        .committees(CommitteeSpec::contiguous(16))
+        .data(DataSpec::scaled_for(1024))
+        .seed(102_400)
+}
+
+#[test]
+fn thousand_peer_committee_cell_runs_green_with_wide_masks_at_any_thread_count() {
+    let _g = thread_guard();
+    let spec = committee_spec();
+    assert_eq!(
+        spec.resolved_strategy(),
+        Strategy::BestK(48),
+        "1024 peers must resolve past the Consider→BestK cutover"
+    );
+    let run_at = |threads: usize| -> CellReport {
+        blockfed::compute::set_threads(threads);
+        let cell = ScenarioRunner::new().run(&spec);
+        blockfed::compute::set_threads(0);
+        cell
+    };
+    let single = run_at(1);
+    // Green end to end: every peer merged the round.
+    assert_eq!(single.records, 1024, "round incomplete: {single:?}");
+    assert_eq!(
+        single.committee_rounds(),
+        1024,
+        "every peer must complete a tier-2 merge: {single:?}"
+    );
+    assert!(single.mean_final_accuracy > 0.0);
+    assert!(single.blocks > 0);
+    // The on-chain masks addressed the region past the old 256-bit ceiling.
+    let widest = single.max_mask_bit.expect("aggregates recorded");
+    assert!(
+        widest >= 256,
+        "no recorded combination mask crossed bit 256 (max {widest})"
+    );
+    // The committee tier metered its own traffic, and epidemic announcements
+    // keep the flood term below the pulled payloads.
+    assert!(single.tier2_gossip_bytes() > 0);
+    assert!(single.tier2_gossip_bytes() <= single.gossip_bytes);
+    assert!(single.tier2_fetch_bytes() <= single.fetch_bytes);
+    assert!(
+        single.gossip_bytes < single.fetch_bytes,
+        "epidemic announcements must undercut the pulled payloads: gossip {} !< fetch {}",
+        single.gossip_bytes,
+        single.fetch_bytes
+    );
+    // Same seed, eight workers: bit-identical simulation (report equality
+    // already excludes host wall-clock).
+    let eight = run_at(8);
+    assert_eq!(single, eight, "thread count changed the simulation");
+}
+
+#[test]
+fn the_1025th_peer_is_rejected_gracefully_at_the_new_boundary() {
+    // One past the widened ceiling: the spec refuses with the orchestrator's
+    // exact typed-error words — no panic, no truncation.
+    let over = ScenarioSpec::new("over", 1025)
+        .data(DataSpec::scaled_for(1025))
+        .validate()
+        .unwrap_err();
+    assert!(over.contains("at most 1024 peers"), "{over}");
+    assert_eq!(
+        over,
+        blockfed::core::ConfigError::TooManyPeers { got: 1025 }.to_string()
+    );
+    // The ceiling itself is fine — 1024 peers validate.
+    ScenarioSpec::new("at-cap", 1024)
+        .committees(CommitteeSpec::contiguous(16))
+        .data(DataSpec::scaled_for(1024))
+        .validate()
+        .unwrap();
+}

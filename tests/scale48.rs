@@ -61,26 +61,29 @@ fn forty_eight_peer_cell_runs_green_with_wide_masks_at_any_thread_count() {
 
 #[test]
 fn oversize_populations_fail_gracefully_not_by_panic() {
-    // The spec engine and the orchestrator reject 257 peers — one past the
-    // mask's native 256-bit width — with the same typed message.
-    let spec_err = ScenarioSpec::new("too-big", 257)
-        .data(DataSpec::scaled_for(257))
+    // The spec engine and the orchestrator reject 1025 peers — one past the
+    // mask's native 1024-bit width — with the same typed message.
+    let spec_err = ScenarioSpec::new("too-big", 1025)
+        .data(DataSpec::scaled_for(1025))
         .validate()
         .unwrap_err();
-    assert_eq!(spec_err, ConfigError::TooManyPeers { got: 257 }.to_string());
+    assert_eq!(
+        spec_err,
+        ConfigError::TooManyPeers { got: 1025 }.to_string()
+    );
 
     let gen = SynthCifar::new(SynthCifarConfig::tiny());
     let (_, test) = gen.generate(1);
-    let shards: Vec<_> = (0..257).map(|_| test.clone()).collect();
+    let shards: Vec<_> = (0..1025).map(|_| test.clone()).collect();
     let err = Decentralized::try_new(DecentralizedConfig::default(), &shards, &shards)
         .err()
-        .expect("257 peers must be rejected");
-    assert_eq!(err, ConfigError::TooManyPeers { got: 257 });
+        .expect("1025 peers must be rejected");
+    assert_eq!(err, ConfigError::TooManyPeers { got: 1025 });
     assert_eq!(err.to_string(), spec_err);
 
-    // The whole mask domain is accepted now: 129 (the old ceiling's
-    // rejection point) and 256 both construct.
-    for n in [129usize, 256] {
+    // The whole mask domain is accepted now: 257 (the old ceiling's
+    // rejection point) and 1024 both construct.
+    for n in [257usize, 1024] {
         let inside: Vec<_> = (0..n).map(|_| test.clone()).collect();
         assert!(
             Decentralized::try_new(DecentralizedConfig::default(), &inside, &inside).is_ok(),
